@@ -1,0 +1,285 @@
+// Command polybench runs the throughput experiments of EXPERIMENTS.md
+// from the shell: the integer-set micro-benchmarks (B1 list, B3 skip
+// list), the resize experiment (B2), the snapshot-scan experiment (B4),
+// and the contention-manager ablation (B5).
+//
+// Usage:
+//
+//	polybench -bench list  -updates 10 -range 512 -workers 1,2,4,8 -dur 300ms
+//	polybench -bench hash  -updates 25 -range 4096 -resize-every 10ms
+//	polybench -bench skip  -updates 10 -range 4096
+//	polybench -bench scan  -workers 4
+//	polybench -bench cm    -workers 8
+//	polybench -bench all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"polytm/internal/baseline"
+	"polytm/internal/core"
+	"polytm/internal/harness"
+	"polytm/internal/lockfree"
+	"polytm/internal/stm"
+	"polytm/internal/structures"
+	"polytm/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "all", "which experiment: list, hash, skip, scan, cm, all")
+	updates := flag.Int("updates", 10, "update percentage")
+	keyRange := flag.Uint64("range", 512, "key range (steady-state size is half)")
+	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
+	dur := flag.Duration("dur", 200*time.Millisecond, "duration per configuration")
+	resizeEvery := flag.Duration("resize-every", 10*time.Millisecond, "resize cadence for -bench hash")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var workers []int
+	for _, f := range strings.Split(*workersFlag, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w <= 0 {
+			fmt.Printf("bad worker count %q\n", f)
+			return
+		}
+		workers = append(workers, w)
+	}
+	mix := workload.Mix{UpdatePct: *updates, KeyRange: *keyRange}
+	base := harness.Config{Duration: *dur, Mix: mix, Seed: *seed}
+
+	switch *bench {
+	case "list":
+		benchList(base, workers)
+	case "hash":
+		benchHash(base, workers, *resizeEvery)
+	case "skip":
+		benchSkip(base, workers)
+	case "scan":
+		benchScan(base, workers)
+	case "cm":
+		benchCM(base, workers)
+	case "all":
+		benchList(base, workers)
+		benchHash(base, workers, *resizeEvery)
+		benchSkip(base, workers)
+		benchScan(base, workers)
+		benchCM(base, workers)
+	default:
+		fmt.Printf("unknown bench %q\n", *bench)
+	}
+}
+
+func benchList(base harness.Config, workers []int) {
+	title := fmt.Sprintf("B1: sorted-list integer set, %d%% updates, range %d",
+		base.Mix.UpdatePct, base.Mix.KeyRange)
+	var rows []harness.Result
+	mk := map[string]func() workload.IntSet{
+		"coarse-lock":         func() workload.IntSet { return baseline.NewCoarseList() },
+		"lazy-lock (tuned)":   func() workload.IntSet { return baseline.NewLazyList() },
+		"lock-free (Michael)": func() workload.IntSet { return lockfree.NewList() },
+		"stm-mono (def)":      func() workload.IntSet { return structures.NewTList(core.NewDefault(), core.Def) },
+		"stm-poly (weak)":     func() workload.IntSet { return structures.NewTList(core.NewDefault(), core.Weak) },
+	}
+	for _, name := range []string{"coarse-lock", "lazy-lock (tuned)", "lock-free (Michael)", "stm-mono (def)", "stm-poly (weak)"} {
+		cfg := base
+		cfg.Name = name
+		rows = append(rows, harness.Sweep(mk[name], cfg, workers)...)
+	}
+	fmt.Print(harness.Table(title, rows))
+}
+
+func benchHash(base harness.Config, workers []int, every time.Duration) {
+	title := fmt.Sprintf("B2: hash set with background resize every %v, %d%% updates, range %d",
+		every, base.Mix.UpdatePct, base.Mix.KeyRange)
+	var rows []harness.Result
+	for _, w := range workers {
+		cfg := base
+		cfg.Workers = w
+		cfg.ResizeEvery = every
+
+		cfg.Name = "stm-mono (def ops)"
+		tmM := core.NewDefault()
+		hm := structures.NewTHash(tmM, core.Def, 16)
+		growM := true
+		cfg.Resizer = func() { hm.Resize(growM); growM = !growM }
+		rows = append(rows, harness.Run(hm, cfg))
+
+		cfg.Name = "stm-poly (weak ops)"
+		tmP := core.NewDefault()
+		hp := structures.NewTHash(tmP, core.Weak, 16)
+		growP := true
+		cfg.Resizer = func() { hp.Resize(growP); growP = !growP }
+		rows = append(rows, harness.Run(hp, cfg))
+
+		cfg.Name = "coarse-lock"
+		hc := baseline.NewCoarseHash(16)
+		growC := true
+		cfg.Resizer = func() { hc.Resize(growC); growC = !growC }
+		rows = append(rows, harness.Run(hc, cfg))
+
+		cfg.Name = "striped-lock"
+		hs := baseline.NewStripedHash(16, 16)
+		growS := true
+		cfg.Resizer = func() { hs.Resize(growS); growS = !growS }
+		rows = append(rows, harness.Run(hs, cfg))
+
+		cfg.Name = "split-ordered (lock-free)"
+		cfg.Resizer = nil // grows automatically; that is its point
+		rows = append(rows, harness.Run(lockfree.NewSplitOrdered(), cfg))
+	}
+	fmt.Print(harness.Table(title, rows))
+}
+
+func benchSkip(base harness.Config, workers []int) {
+	title := fmt.Sprintf("B3: skip-list integer set, %d%% updates, range %d",
+		base.Mix.UpdatePct, base.Mix.KeyRange)
+	var rows []harness.Result
+	for _, spec := range []struct {
+		name string
+		mk   func() workload.IntSet
+	}{
+		{"coarse-lock", func() workload.IntSet { return baseline.NewCoarseSkipList() }},
+		{"stm-mono (def)", func() workload.IntSet { return structures.NewTSkipList(core.NewDefault(), core.Def) }},
+		{"stm-poly (weak search)", func() workload.IntSet { return structures.NewTSkipList(core.NewDefault(), core.Weak) }},
+	} {
+		cfg := base
+		cfg.Name = spec.name
+		rows = append(rows, harness.Sweep(spec.mk, cfg, workers)...)
+	}
+	fmt.Print(harness.Table(title, rows))
+}
+
+// benchScan measures full-structure scans concurrent with writers under
+// def vs snapshot semantics (B4).
+func benchScan(base harness.Config, workers []int) {
+	fmt.Printf("== B4: full-list scans under concurrent writers ==\n")
+	for _, w := range workers {
+		for _, sem := range []core.Semantics{core.Def, core.Snapshot} {
+			tm := core.NewDefault()
+			l := structures.NewTList(tm, core.Weak)
+			for k := uint64(0); k < base.Mix.KeyRange; k += 2 {
+				l.Insert(k)
+			}
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			// Writers churn the list.
+			for i := 0; i < w; i++ {
+				go func(seed int64) {
+					g := workload.NewGenerator(seed, workload.Mix{UpdatePct: 100, KeyRange: base.Mix.KeyRange})
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						workload.Apply(l, g.Next())
+					}
+				}(base.Seed + int64(i))
+			}
+			// One scanner under the chosen semantics.
+			var scans uint64
+			var aborts uint64
+			go func() {
+				defer close(done)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					_ = scanList(tm, l, sem)
+					scans++
+				}
+			}()
+			start := time.Now()
+			time.Sleep(base.Duration)
+			close(stop)
+			<-done
+			el := time.Since(start)
+			fmt.Printf("  scan(%-8v) writers=%-3d %10.1f scans/s (engine aborts total: %d)\n",
+				sem, w, float64(scans)/el.Seconds(), aborts+tm.Stats().Aborts)
+		}
+	}
+}
+
+func scanList(tm *core.TM, l *structures.TList, sem core.Semantics) uint64 {
+	if sem == core.Snapshot {
+		return l.Sum()
+	}
+	var sum uint64
+	for _, k := range l.Snapshot() {
+		sum += k
+	}
+	return sum
+}
+
+// benchCM is the contention-manager ablation (B5): a high-contention
+// counter array under each manager.
+func benchCM(base harness.Config, workers []int) {
+	fmt.Printf("== B5: contention-manager ablation (8-counter hotspot) ==\n")
+	cms := []struct {
+		name string
+		f    stm.CMFactory
+	}{
+		{"suicide", stm.NewSuicide()},
+		{"polite", stm.NewPolite(8)},
+		{"backoff", stm.NewBackoff(0, 0)},
+		{"karma", stm.NewKarma()},
+		{"timestamp", stm.NewTimestamp()},
+		{"aggressive", stm.NewAggressive()},
+	}
+	for _, w := range workers {
+		for _, cm := range cms {
+			tm := core.NewDefault()
+			vars := make([]*core.TVar[int], 8)
+			for i := range vars {
+				vars[i] = core.NewTVar(tm, 0)
+			}
+			stop := make(chan struct{})
+			doneCh := make(chan uint64, w)
+			for i := 0; i < w; i++ {
+				go func(seed uint64) {
+					var n uint64
+					r := seed
+					for {
+						select {
+						case <-stop:
+							doneCh <- n
+							return
+						default:
+						}
+						r = r*1664525 + 1013904223
+						i := int(r>>8) % len(vars)
+						j := int(r>>16) % len(vars)
+						_ = tm.Atomic(func(tx *core.Tx) error {
+							a, err := core.Get(tx, vars[i])
+							if err != nil {
+								return err
+							}
+							if err := core.Set(tx, vars[i], a+1); err != nil {
+								return err
+							}
+							return core.Modify(tx, vars[j], func(v int) int { return v - 1 })
+						}, core.WithContentionManager(cm.f))
+						n++
+					}
+				}(uint64(i + 1))
+			}
+			start := time.Now()
+			time.Sleep(base.Duration)
+			close(stop)
+			var total uint64
+			for i := 0; i < w; i++ {
+				total += <-doneCh
+			}
+			el := time.Since(start)
+			s := tm.Stats()
+			fmt.Printf("  cm=%-10s workers=%-3d %12.0f txns/s  abort-rate=%.3f\n",
+				cm.name, w, float64(total)/el.Seconds(), s.AbortRate())
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Command schedcheck replays the paper's Figure 1 against the three
+// synchronizations and prints the verdicts, reproducing the figure's
+// caption: "Schedule that is accepted by lock-based and polymorphic
+// transactions but not by monomorphic transactions."
+//
+// Usage:
+//
+//	schedcheck            # Figure 1 verdicts (experiment F1)
+//	schedcheck -grid      # additionally print the schedules in the
+//	                      # paper's column layout
+//	schedcheck -engine    # additionally replay Figure 1 on the real STM
+//	                      # engine and report the same verdicts
+//	schedcheck -file s.txt  # check a custom transactional schedule
+//	                        # written in the paper's notation, e.g.
+//	                        # p1:start(weak); p1:r(x); p1:commit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"polytm/internal/accept"
+	"polytm/internal/schedule"
+	"polytm/internal/stm"
+)
+
+func main() {
+	grid := flag.Bool("grid", false, "print the schedules in the paper's figure layout")
+	engine := flag.Bool("engine", false, "replay Figure 1 on the real STM engine too")
+	file := flag.String("file", "", "check a custom transactional schedule from this file instead of Figure 1")
+	flag.Parse()
+
+	if *file != "" {
+		if err := checkCustom(*file, *grid); err != nil {
+			fmt.Fprintln(os.Stderr, "schedcheck:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	tm := schedule.Figure1TM()
+	lk := schedule.Figure1Lock()
+
+	if *grid {
+		fmt.Println("Figure 1, lock-based schedule:")
+		fmt.Println(lk.Grid())
+		fmt.Println("Figure 1, transactional schedule:")
+		fmt.Println(tm.Grid())
+	}
+
+	inst := accept.NewInstance(tm)
+	verdict := func(name string, ok bool, detail string) {
+		mark := "REJECTED"
+		if ok {
+			mark = "accepted"
+		}
+		fmt.Printf("  %-22s %s%s\n", name, mark, detail)
+	}
+
+	fmt.Println("Experiment F1 — Figure 1 acceptance:")
+	lr := schedule.ExecLockBased(lk, schedule.Figure1LockSems())
+	verdict("lock-based", lr.Accepted, "")
+	pr := schedule.ExecPolymorphic(tm)
+	verdict("polymorphic", pr.Accepted, "")
+	mr := schedule.ExecMonomorphic(tm)
+	detail := ""
+	if !mr.Accepted {
+		detail = fmt.Sprintf("  (%s at event %d)", mr.Reason, mr.AbortAt)
+	}
+	verdict("monomorphic", mr.Accepted, detail)
+
+	paperOK := lr.Accepted && pr.Accepted && !mr.Accepted
+	fmt.Printf("paper claim reproduced: %v\n", paperOK)
+
+	if pr.Accepted {
+		fmt.Printf("\npolymorphic history: %s\n", pr.History)
+	}
+
+	if *engine {
+		fmt.Println("\nEngine-level replay (internal/stm):")
+		ok := replayOnEngine()
+		fmt.Printf("  weak commits, def aborts: %v\n", ok)
+		if !ok {
+			os.Exit(1)
+		}
+	}
+
+	_ = inst
+	if !paperOK {
+		os.Exit(1)
+	}
+}
+
+// checkCustom parses a user schedule and reports the verdict of every
+// synchronization (for lock-based, via the instance mapping of
+// internal/accept: derived critical-step semantics over the same
+// interleaving).
+func checkCustom(path string, grid bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s, err := schedule.Parse(string(raw))
+	if err != nil {
+		return err
+	}
+	if !s.IsTransactional() {
+		// A lock-based schedule: execute it literally with atomic
+		// per-operation semantics.
+		if grid {
+			fmt.Println(s.Grid())
+		}
+		r := schedule.ExecLockBased(s, nil)
+		fmt.Printf("lock-based execution: accepted=%v", r.Accepted)
+		if !r.Accepted {
+			fmt.Printf("  (%s)", r.Reason)
+		}
+		fmt.Println()
+		return nil
+	}
+	if err := s.WellFormedTransactional(); err != nil {
+		return err
+	}
+	if grid {
+		fmt.Println(s.Grid())
+	}
+	inst := accept.NewInstance(s)
+	for _, sync := range []accept.Synchronization{accept.LockBased, accept.Polymorphic, accept.Monomorphic} {
+		ok := accept.Accepts(sync, inst)
+		mark := "REJECTED"
+		if ok {
+			mark = "accepted"
+		}
+		detail := ""
+		if sync == accept.Monomorphic {
+			if r := schedule.ExecMonomorphic(s); !r.Accepted {
+				detail = fmt.Sprintf("  (%s at event %d)", r.Reason, r.AbortAt)
+			}
+		}
+		fmt.Printf("  %-22s %s%s\n", sync, mark, detail)
+	}
+	return nil
+}
+
+// replayOnEngine drives the exact Figure 1 interleaving through the real
+// STM engine twice: once with p1 weak (must commit) and once with p1 def
+// (must abort).
+func replayOnEngine() bool {
+	run := func(sem stm.Semantics) error {
+		e := stm.NewDefaultEngine()
+		x, y, z := e.NewVar(0), e.NewVar(0), e.NewVar(0)
+		p1 := e.Begin(sem)
+		if _, err := p1.Read(x); err != nil {
+			return err
+		}
+		p3 := e.Begin(stm.SemanticsDef)
+		if err := p3.Write(z, 30); err != nil {
+			return err
+		}
+		if _, err := p1.Read(y); err != nil {
+			return err
+		}
+		if err := p3.Commit(); err != nil {
+			return err
+		}
+		p2 := e.Begin(stm.SemanticsDef)
+		if err := p2.Write(x, 20); err != nil {
+			return err
+		}
+		if err := p2.Commit(); err != nil {
+			return err
+		}
+		if _, err := p1.Read(z); err != nil {
+			return err
+		}
+		return p1.Commit()
+	}
+	weakErr := run(stm.SemanticsWeak)
+	defErr := run(stm.SemanticsDef)
+	return weakErr == nil && stm.IsRetryable(defErr)
+}

@@ -1,0 +1,79 @@
+// Command theorems machine-checks Theorems 1 and 2 of the paper over a
+// bounded schedule space and runs the acceptance-rate experiment (A1).
+//
+// Usage:
+//
+//	theorems                       # check both theorems (experiments T1, T2)
+//	theorems -theorem 1            # only Theorem 1
+//	theorems -max-accesses 3       # widen the exhaustive space
+//	theorems -acceptance -n 20000  # acceptance-rate sampling (A1)
+//	theorems -sample 5000 -ops 3   # sampled 3-process hierarchy check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"polytm/internal/accept"
+	"polytm/internal/schedule"
+)
+
+func main() {
+	which := flag.Int("theorem", 0, "theorem to check (1 or 2; 0 = both)")
+	maxAcc := flag.Int("max-accesses", 2, "max accesses per operation in the exhaustive space")
+	acceptance := flag.Bool("acceptance", false, "run the acceptance-rate experiment (A1)")
+	n := flag.Int("n", 10000, "samples for -acceptance")
+	sample := flag.Int("sample", 0, "additionally check the hierarchy on this many random 3-op schedules")
+	ops := flag.Int("ops", 3, "operations per random schedule for -sample")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	cfg := accept.DefaultEnumConfig()
+	cfg.MaxAccesses = *maxAcc
+
+	fail := false
+	if *acceptance {
+		r := accept.AcceptanceRates(*seed, *n, *ops)
+		fmt.Println("Experiment A1 — acceptance rates over random schedules:")
+		fmt.Printf("  %s\n", r)
+		if r.Lock < r.Poly || r.Poly < r.Mono {
+			fmt.Println("  HIERARCHY VIOLATED")
+			fail = true
+		}
+	} else {
+		if *which == 0 || *which == 1 {
+			rep := accept.CheckTheorem1(cfg)
+			fmt.Println(rep)
+			if !rep.Holds() {
+				fail = true
+			}
+		}
+		if *which == 0 || *which == 2 {
+			rep := accept.CheckTheorem2(cfg)
+			fmt.Println(rep)
+			if !rep.Holds() {
+				fail = true
+			}
+		}
+		if *sample > 0 {
+			checked, violation := accept.SampledMonotonicity(*seed, *sample, *ops)
+			if violation != nil {
+				fmt.Printf("sampled hierarchy VIOLATED after %d checks on:\n%s\n",
+					checked, violation.TM.Grid())
+				fail = true
+			} else {
+				fmt.Printf("sampled hierarchy holds on %d random %d-operation schedules\n", checked, *ops)
+			}
+		}
+	}
+
+	// Footnote: print the witness for human inspection.
+	if !*acceptance {
+		fmt.Println("\nwitness (Figure 1, transactional form):")
+		fmt.Println(schedule.Figure1TM().Grid())
+	}
+	if fail {
+		os.Exit(1)
+	}
+}

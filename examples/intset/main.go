@@ -1,0 +1,48 @@
+// Integer-set shootout: the sorted-list micro-benchmark of the STM
+// literature across all three synchronization families of the paper —
+// lock-based (coarse and lazy), lock-free (Michael), and transactional
+// (monomorphic def vs polymorphic weak) — over a worker sweep. The
+// absolute numbers are machine-dependent; the shape to look for is the
+// polymorphic column beating the monomorphic one on search-dominated
+// mixes and closing the gap to the tuned implementations.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"polytm/internal/baseline"
+	"polytm/internal/core"
+	"polytm/internal/harness"
+	"polytm/internal/lockfree"
+	"polytm/internal/structures"
+	"polytm/internal/workload"
+)
+
+func main() {
+	workers := []int{1, 2, 4, 8}
+	for _, updates := range []int{0, 10, 50} {
+		cfg := harness.Config{
+			Duration: 150 * time.Millisecond,
+			Mix:      workload.Mix{UpdatePct: updates, KeyRange: 512},
+			Seed:     1,
+		}
+		var rows []harness.Result
+		for _, spec := range []struct {
+			name string
+			mk   func() workload.IntSet
+		}{
+			{"coarse-lock", func() workload.IntSet { return baseline.NewCoarseList() }},
+			{"lazy-lock", func() workload.IntSet { return baseline.NewLazyList() }},
+			{"lock-free", func() workload.IntSet { return lockfree.NewList() }},
+			{"stm-mono(def)", func() workload.IntSet { return structures.NewTList(core.NewDefault(), core.Def) }},
+			{"stm-poly(weak)", func() workload.IntSet { return structures.NewTList(core.NewDefault(), core.Weak) }},
+		} {
+			c := cfg
+			c.Name = spec.name
+			rows = append(rows, harness.Sweep(spec.mk, c, workers)...)
+		}
+		fmt.Print(harness.Table(fmt.Sprintf("sorted-list set, %d%% updates", updates), rows))
+		fmt.Println()
+	}
+}

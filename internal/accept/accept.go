@@ -1,0 +1,211 @@
+// Package accept implements Definition 1 of the paper — the concurrency
+// relation between synchronizations — and machine-checks Theorems 1 and
+// 2 over bounded schedule spaces.
+//
+// # Common currency
+//
+// Definition 1 compares synchronizations by the schedules they accept,
+// but a lock-based schedule and a transactional schedule carry different
+// synchronization events. Following the paper's proofs, the comparison
+// is made over *instances*: a transactional schedule (the access
+// interleaving with canonical start/commit placement) together with the
+// per-operation critical-step semantics its start parameters declare
+// (weak ⇒ consecutive pairs, def ⇒ all accesses atomic). Each
+// synchronization accepts or rejects an instance on its own terms:
+//
+//   - Monomorphic: ExecMonomorphic on the transactional schedule
+//     (start(*) runs as start(def), clause (i) of the paper).
+//   - Polymorphic: ExecPolymorphic (parameters honoured).
+//   - Lock-based: an existential over lock placements. For the same
+//     interleaving the minimal placement (lock immediately before each
+//     access, unlock immediately after) always executes; the resulting
+//     in-place history must be equivalent to a sequential history of the
+//     declared critical steps. For the reverse theorem directions the
+//     lock-based synchronization may also realize the history serially
+//     (2PL run one operation at a time) — "fine-grained locks can
+//     implement 2-phase-locking".
+package accept
+
+import (
+	"fmt"
+
+	"polytm/internal/schedule"
+)
+
+// Synchronization identifies one of the paper's three synchronizations.
+type Synchronization int
+
+// The synchronizations compared by the theorems.
+const (
+	LockBased Synchronization = iota
+	Monomorphic
+	Polymorphic
+)
+
+// String names the synchronization.
+func (s Synchronization) String() string {
+	switch s {
+	case LockBased:
+		return "lock-based"
+	case Monomorphic:
+		return "monomorphic"
+	case Polymorphic:
+		return "polymorphic"
+	default:
+		return fmt.Sprintf("Synchronization(%d)", int(s))
+	}
+}
+
+// Instance is one comparable schedule: the transactional rendition plus
+// the declared critical-step semantics of each operation.
+type Instance struct {
+	TM   schedule.Schedule
+	Sems map[schedule.Proc]schedule.OpSem
+}
+
+// NewInstance builds an instance from a transactional schedule, deriving
+// each operation's declared semantics from its start parameter.
+func NewInstance(tm schedule.Schedule) Instance {
+	return Instance{TM: tm, Sems: DeriveSems(tm)}
+}
+
+// DeriveSems maps each process's start parameter to the critical-step
+// structure it declares: weak ⇒ consecutive pairs over the operation's
+// accesses, everything else ⇒ one atomic step.
+func DeriveSems(tm schedule.Schedule) map[schedule.Proc]schedule.OpSem {
+	counts := map[schedule.Proc]int{}
+	params := map[schedule.Proc]schedule.Sem{}
+	for _, e := range tm.Events {
+		switch e.Kind {
+		case schedule.KStart:
+			params[e.P] = e.Sem
+		case schedule.KRead, schedule.KWrite:
+			counts[e.P]++
+		}
+	}
+	out := map[schedule.Proc]schedule.OpSem{}
+	for p, n := range counts {
+		if params[p] == schedule.SemWeak {
+			out[p] = schedule.PairsSem(n)
+		} else {
+			out[p] = schedule.AtomicSem(n)
+		}
+	}
+	return out
+}
+
+// MinimalLockSchedule converts a transactional schedule into a
+// lock-based one preserving the access interleaving: start/commit events
+// are dropped and every access is wrapped in lock/unlock on its
+// register. The minimal placement never blocks, so the interleaving is
+// always executable; validity then rests entirely on the declared
+// critical-step semantics.
+func MinimalLockSchedule(tm schedule.Schedule) schedule.Schedule {
+	var out []schedule.Event
+	for _, e := range tm.Events {
+		switch e.Kind {
+		case schedule.KRead, schedule.KWrite:
+			out = append(out,
+				schedule.Event{P: e.P, Kind: schedule.KLock, Reg: e.Reg},
+				e,
+				schedule.Event{P: e.P, Kind: schedule.KUnlock, Reg: e.Reg},
+			)
+		}
+	}
+	return schedule.Schedule{Events: out}
+}
+
+// Accepts reports whether synchronization s accepts the instance.
+func Accepts(s Synchronization, inst Instance) bool {
+	switch s {
+	case Monomorphic:
+		return schedule.ExecMonomorphic(inst.TM).Accepted
+	case Polymorphic:
+		return schedule.ExecPolymorphic(inst.TM).Accepted
+	case LockBased:
+		return AcceptsLock(inst)
+	default:
+		return false
+	}
+}
+
+// AcceptsLock implements the lock-based synchronization's existential
+// acceptance: the same-interleaving minimal placement, and failing that,
+// a serial 2PL realization reproducing a sequential history (which by
+// definition is valid). Serial realization requires some order of whole
+// operations to be consistent with the declared critical steps — for
+// atomic-semantics operations that is exactly serializability.
+func AcceptsLock(inst Instance) bool {
+	r := schedule.ExecLockBased(MinimalLockSchedule(inst.TM), inst.Sems)
+	if r.Accepted {
+		return true
+	}
+	_, ok := SerialLockRealization(inst)
+	return ok
+}
+
+// SerialLockRealization searches for an order of the instance's
+// operations whose one-at-a-time 2PL execution is accepted. It returns
+// the serial lock-based schedule found. (Any serial execution trivially
+// yields a sequential history; acceptance additionally demands the
+// schedule be executable, which serial 2PL always is.)
+func SerialLockRealization(inst Instance) (schedule.Schedule, bool) {
+	procs := inst.TM.Procs()
+	n := len(procs)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var build func(order []schedule.Proc) schedule.Schedule
+	build = func(order []schedule.Proc) schedule.Schedule {
+		var out []schedule.Event
+		for _, p := range order {
+			// Strict 2PL per operation: lock every register first (in
+			// first-use order), run the accesses, unlock everything.
+			evs := inst.TM.ByProc(p)
+			var regs []schedule.Register
+			seen := map[schedule.Register]bool{}
+			for _, e := range evs {
+				if (e.Kind == schedule.KRead || e.Kind == schedule.KWrite) && !seen[e.Reg] {
+					seen[e.Reg] = true
+					regs = append(regs, e.Reg)
+				}
+			}
+			for _, r := range regs {
+				out = append(out, schedule.Event{P: p, Kind: schedule.KLock, Reg: r})
+			}
+			for _, e := range evs {
+				if e.Kind == schedule.KRead || e.Kind == schedule.KWrite {
+					out = append(out, e)
+				}
+			}
+			for i := len(regs) - 1; i >= 0; i-- {
+				out = append(out, schedule.Event{P: p, Kind: schedule.KUnlock, Reg: regs[i]})
+			}
+		}
+		return schedule.Schedule{Events: out}
+	}
+	var rec func(k int) (schedule.Schedule, bool)
+	rec = func(k int) (schedule.Schedule, bool) {
+		if k == n {
+			order := make([]schedule.Proc, n)
+			for i, pi := range perm {
+				order[i] = procs[pi]
+			}
+			s := build(order)
+			if schedule.ExecLockBased(s, inst.Sems).Accepted {
+				return s, true
+			}
+			return schedule.Schedule{}, false
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if s, ok := rec(k + 1); ok {
+				return s, true
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return schedule.Schedule{}, false
+	}
+	return rec(0)
+}

@@ -1,0 +1,173 @@
+package accept
+
+import (
+	"testing"
+
+	"polytm/internal/schedule"
+)
+
+func TestFigure1AcceptanceTriple(t *testing.T) {
+	inst := NewInstance(schedule.Figure1TM())
+	if !Accepts(LockBased, inst) {
+		t.Fatal("lock-based must accept Figure 1")
+	}
+	if !Accepts(Polymorphic, inst) {
+		t.Fatal("polymorphic must accept Figure 1")
+	}
+	if Accepts(Monomorphic, inst) {
+		t.Fatal("monomorphic must reject Figure 1")
+	}
+}
+
+func TestDeriveSems(t *testing.T) {
+	sems := DeriveSems(schedule.Figure1TM())
+	if got := len(sems[schedule.P1].Steps); got != 2 {
+		t.Fatalf("p1 (weak, 3 reads) should have 2 pair steps, got %d", got)
+	}
+	if got := len(sems[schedule.P2].Steps); got != 1 {
+		t.Fatalf("p2 (def) should have 1 atomic step, got %d", got)
+	}
+}
+
+func TestMinimalLockScheduleWellFormed(t *testing.T) {
+	s := MinimalLockSchedule(schedule.Figure1TM())
+	if err := s.WellFormedLockBased(); err != nil {
+		t.Fatalf("minimal lock schedule ill-formed: %v", err)
+	}
+	// 5 accesses (p1's three reads, p2's and p3's writes) -> 15 events.
+	if len(s.Events) != 15 {
+		t.Fatalf("events = %d, want 15", len(s.Events))
+	}
+}
+
+func TestSerialLockRealizationOfSerialSchedule(t *testing.T) {
+	s := schedule.Schedule{Events: []schedule.Event{
+		{P: 1, Kind: schedule.KStart},
+		{P: 1, Kind: schedule.KWrite, Reg: "x", Val: 1},
+		{P: 1, Kind: schedule.KCommit},
+		{P: 2, Kind: schedule.KStart},
+		{P: 2, Kind: schedule.KRead, Reg: "x"},
+		{P: 2, Kind: schedule.KCommit},
+	}}
+	got, ok := SerialLockRealization(NewInstance(s))
+	if !ok {
+		t.Fatal("serial realization must exist")
+	}
+	if err := got.WellFormedLockBased(); err != nil {
+		t.Fatalf("realization ill-formed: %v", err)
+	}
+}
+
+func TestTheorem1(t *testing.T) {
+	rep := CheckTheorem1(DefaultEnumConfig())
+	if !rep.ForwardHolds {
+		t.Fatal("Theorem 1 forward direction failed: Figure 1 not a witness")
+	}
+	if !rep.ReverseHolds {
+		t.Fatalf("Theorem 1 reverse direction failed on %v", rep.Counterexample.TM)
+	}
+	if rep.Checked == 0 {
+		t.Fatal("no instances enumerated")
+	}
+	t.Logf("%s", rep)
+}
+
+func TestTheorem2(t *testing.T) {
+	rep := CheckTheorem2(DefaultEnumConfig())
+	if !rep.ForwardHolds {
+		t.Fatal("Theorem 2 forward direction failed: Figure 1 not a witness")
+	}
+	if !rep.ReverseHolds {
+		t.Fatalf("Theorem 2 reverse direction failed on %v", rep.Counterexample.TM)
+	}
+	t.Logf("%s", rep)
+}
+
+// TestTheoremsWiderSpace re-checks both theorems over a larger
+// exhaustive space (three registers); skipped under -short.
+func TestTheoremsWiderSpace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide exhaustive space; skipped in -short mode")
+	}
+	cfg := EnumConfig{
+		MaxAccesses: 2,
+		Registers:   []schedule.Register{"x", "y", "z"},
+		Params:      []schedule.Sem{schedule.SemDef, schedule.SemWeak},
+	}
+	r1 := CheckTheorem1(cfg)
+	if !r1.Holds() {
+		t.Fatalf("Theorem 1 failed on the wider space: %s", r1)
+	}
+	r2 := CheckTheorem2(cfg)
+	if !r2.Holds() {
+		t.Fatalf("Theorem 2 failed on the wider space: %s", r2)
+	}
+	t.Logf("wider space: %d instances per theorem", r1.Checked)
+}
+
+func TestSampledMonotonicityThreeOps(t *testing.T) {
+	checked, violation := SampledMonotonicity(42, 2000, 3)
+	if violation != nil {
+		t.Fatalf("hierarchy violated after %d checks on %v", checked, violation.TM)
+	}
+	if checked != 2000 {
+		t.Fatalf("checked = %d, want 2000", checked)
+	}
+}
+
+func TestAcceptanceRatesHierarchy(t *testing.T) {
+	r := AcceptanceRates(7, 3000, 3)
+	if r.Lock < r.Poly || r.Poly < r.Mono {
+		t.Fatalf("acceptance hierarchy violated: %v", r)
+	}
+	if r.LockSame < r.Poly {
+		t.Fatalf("same-interleaving lock acceptance must dominate poly: %v", r)
+	}
+	// The space contains Figure-1-like patterns, so the polymorphic
+	// synchronization must accept strictly more than the monomorphic one.
+	if r.Poly == r.Mono {
+		t.Fatalf("expected a strict poly > mono gap: %v", r)
+	}
+	t.Logf("%v", r)
+}
+
+func TestEnumerateCountsAndStops(t *testing.T) {
+	cfg := EnumConfig{
+		MaxAccesses: 1,
+		Registers:   []schedule.Register{"x"},
+		Params:      []schedule.Sem{schedule.SemDef},
+	}
+	// 2 shapes (r, w) per op, 1 param: 4 shape pairs; each op has 3
+	// events -> C(6,3)=20 interleavings; total 80.
+	n := Enumerate(cfg, func(Instance) bool { return true })
+	if n != 80 {
+		t.Fatalf("enumerated %d, want 80", n)
+	}
+	// Early stop.
+	n = Enumerate(cfg, func(Instance) bool { return false })
+	if n != 1 {
+		t.Fatalf("early stop yielded %d, want 1", n)
+	}
+}
+
+func TestEnumeratedInstancesWellFormed(t *testing.T) {
+	bad := 0
+	Enumerate(DefaultEnumConfig(), func(inst Instance) bool {
+		if err := inst.TM.WellFormedTransactional(); err != nil {
+			bad++
+			return false
+		}
+		return true
+	})
+	if bad != 0 {
+		t.Fatal("enumeration produced an ill-formed schedule")
+	}
+}
+
+func TestRandomInstanceWellFormed(t *testing.T) {
+	checked, violation := SampledMonotonicity(99, 500, 2)
+	if violation != nil {
+		t.Fatalf("2-op hierarchy violated on %v", violation.TM)
+	}
+	_ = checked
+}

@@ -1,0 +1,162 @@
+package accept
+
+import (
+	"math/rand"
+
+	"polytm/internal/schedule"
+)
+
+// EnumConfig bounds the exhaustive instance space: every combination of
+// two operations, each a sequence of 1..MaxAccesses read/write accesses
+// over Registers, each operation carrying each Param, interleaved in
+// every possible order (start placed immediately before the first
+// access, commit immediately after the last — delayed commits are
+// covered by the interleaving of the commit events themselves).
+type EnumConfig struct {
+	MaxAccesses int
+	Registers   []schedule.Register
+	Params      []schedule.Sem
+}
+
+// DefaultEnumConfig is the bounded space used by the theorem checks:
+// two operations of up to 2 accesses over {x, y} with def/weak
+// parameters. Small enough for exhaustive search, large enough to
+// contain all two-operation conflict patterns.
+func DefaultEnumConfig() EnumConfig {
+	return EnumConfig{
+		MaxAccesses: 2,
+		Registers:   []schedule.Register{"x", "y"},
+		Params:      []schedule.Sem{schedule.SemDef, schedule.SemWeak},
+	}
+}
+
+// access is an operation-shape element.
+type access struct {
+	write bool
+	reg   schedule.Register
+}
+
+// shapes enumerates all access sequences of length 1..max over regs.
+func shapes(max int, regs []schedule.Register) [][]access {
+	var out [][]access
+	var rec func(prefix []access)
+	rec = func(prefix []access) {
+		if len(prefix) > 0 {
+			cp := make([]access, len(prefix))
+			copy(cp, prefix)
+			out = append(out, cp)
+		}
+		if len(prefix) == max {
+			return
+		}
+		for _, w := range []bool{false, true} {
+			for _, r := range regs {
+				rec(append(prefix, access{write: w, reg: r}))
+			}
+		}
+	}
+	rec(nil)
+	return out
+}
+
+// opEvents renders one operation's full event sequence.
+func opEvents(p schedule.Proc, sem schedule.Sem, sh []access) []schedule.Event {
+	evs := make([]schedule.Event, 0, len(sh)+2)
+	evs = append(evs, schedule.Event{P: p, Kind: schedule.KStart, Sem: sem})
+	for i, a := range sh {
+		if a.write {
+			evs = append(evs, schedule.Event{P: p, Kind: schedule.KWrite, Reg: a.reg, Val: int(p)*100 + i + 1})
+		} else {
+			evs = append(evs, schedule.Event{P: p, Kind: schedule.KRead, Reg: a.reg})
+		}
+	}
+	return append(evs, schedule.Event{P: p, Kind: schedule.KCommit})
+}
+
+// interleavings invokes yield with every merge of a and b that preserves
+// each sequence's order. yield returning false stops the enumeration.
+func interleavings(a, b []schedule.Event, yield func([]schedule.Event) bool) bool {
+	buf := make([]schedule.Event, 0, len(a)+len(b))
+	var rec func(i, j int) bool
+	rec = func(i, j int) bool {
+		if i == len(a) && j == len(b) {
+			cp := make([]schedule.Event, len(buf))
+			copy(cp, buf)
+			return yield(cp)
+		}
+		if i < len(a) {
+			buf = append(buf, a[i])
+			if !rec(i+1, j) {
+				return false
+			}
+			buf = buf[:len(buf)-1]
+		}
+		if j < len(b) {
+			buf = append(buf, b[j])
+			if !rec(i, j+1) {
+				return false
+			}
+			buf = buf[:len(buf)-1]
+		}
+		return true
+	}
+	return rec(0, 0)
+}
+
+// Enumerate yields every instance of the bounded space. yield returning
+// false stops early. It returns the number of instances yielded.
+func Enumerate(cfg EnumConfig, yield func(Instance) bool) int {
+	count := 0
+	shs := shapes(cfg.MaxAccesses, cfg.Registers)
+	for _, s1 := range shs {
+		for _, s2 := range shs {
+			for _, p1 := range cfg.Params {
+				for _, p2 := range cfg.Params {
+					a := opEvents(1, p1, s1)
+					b := opEvents(2, p2, s2)
+					stop := !interleavings(a, b, func(evs []schedule.Event) bool {
+						count++
+						return yield(NewInstance(schedule.Schedule{Events: evs}))
+					})
+					if stop {
+						return count
+					}
+				}
+			}
+		}
+	}
+	return count
+}
+
+// RandomInstance draws a random instance with nops operations (up to
+// maxAcc accesses each) over regs, using rng. Used by the three-process
+// sampled checks and the acceptance-rate experiment (A1).
+func RandomInstance(rng *rand.Rand, nops, maxAcc int, regs []schedule.Register, params []schedule.Sem) Instance {
+	seqs := make([][]schedule.Event, nops)
+	for i := 0; i < nops; i++ {
+		n := 1 + rng.Intn(maxAcc)
+		sh := make([]access, n)
+		for j := range sh {
+			sh[j] = access{write: rng.Intn(2) == 1, reg: regs[rng.Intn(len(regs))]}
+		}
+		seqs[i] = opEvents(schedule.Proc(i+1), params[rng.Intn(len(params))], sh)
+	}
+	// Random merge preserving each sequence's order.
+	idx := make([]int, nops)
+	var evs []schedule.Event
+	for {
+		var candidates []int
+		for i := 0; i < nops; i++ {
+			if idx[i] < len(seqs[i]) {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		c := candidates[rng.Intn(len(candidates))]
+		evs = append(evs, seqs[c][idx[c]])
+		idx[c]++
+	}
+	return NewInstance(schedule.Schedule{Events: evs})
+}

@@ -1,0 +1,89 @@
+package accept
+
+import (
+	"math/rand"
+	"testing"
+
+	"polytm/internal/schedule"
+)
+
+// TestMonoAcceptedAlwaysSeriallyRealizable: the reverse direction of
+// Theorem 1 as a property over random instances — every monomorphically
+// accepted schedule has a serial strict-2PL lock-based realization.
+func TestMonoAcceptedAlwaysSeriallyRealizable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	regs := []schedule.Register{"x", "y", "z"}
+	params := []schedule.Sem{schedule.SemDef, schedule.SemWeak}
+	checked := 0
+	for i := 0; i < 2000; i++ {
+		inst := RandomInstance(rng, 3, 3, regs, params)
+		if !Accepts(Monomorphic, inst) {
+			continue
+		}
+		checked++
+		s, ok := SerialLockRealization(inst)
+		if !ok {
+			t.Fatalf("mono-accepted instance has no serial realization:\n%s", inst.TM.Grid())
+		}
+		if err := s.WellFormedLockBased(); err != nil {
+			t.Fatalf("realization ill-formed: %v", err)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no accepted instances sampled")
+	}
+	t.Logf("verified serial realizability of %d accepted instances", checked)
+}
+
+// TestAllDefPolyEqualsMono: with every parameter def, polymorphic and
+// monomorphic execution coincide — the paper's backward-compatibility
+// property ("the default semantics def will be used").
+func TestAllDefPolyEqualsMono(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	regs := []schedule.Register{"x", "y"}
+	for i := 0; i < 3000; i++ {
+		inst := RandomInstance(rng, 2+rng.Intn(2), 3, regs, []schedule.Sem{schedule.SemDef})
+		mono := schedule.ExecMonomorphic(inst.TM)
+		poly := schedule.ExecPolymorphic(inst.TM)
+		if mono.Accepted != poly.Accepted {
+			t.Fatalf("all-def divergence on:\n%s\nmono=%v poly=%v",
+				inst.TM.Grid(), mono.Accepted, poly.Accepted)
+		}
+		if mono.Accepted {
+			// Histories must match value for value.
+			for k := range mono.History.Events {
+				if mono.History.Events[k] != poly.History.Events[k] {
+					t.Fatalf("all-def history divergence at event %d", k)
+				}
+			}
+		}
+	}
+}
+
+// TestWeakeningNeverRejectsMore: flipping any def parameter to weak
+// never turns an accepted schedule into a rejected one (monotonicity of
+// polymorphism, the intuition behind Theorem 2).
+func TestWeakeningNeverRejectsMore(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	regs := []schedule.Register{"x", "y"}
+	for i := 0; i < 2000; i++ {
+		inst := RandomInstance(rng, 2, 3, regs, []schedule.Sem{schedule.SemDef})
+		if !schedule.ExecPolymorphic(inst.TM).Accepted {
+			continue
+		}
+		// Flip each operation's parameter to weak, one at a time.
+		for _, p := range inst.TM.Procs() {
+			weakened := schedule.Schedule{Events: make([]schedule.Event, len(inst.TM.Events))}
+			copy(weakened.Events, inst.TM.Events)
+			for k := range weakened.Events {
+				if weakened.Events[k].P == p && weakened.Events[k].Kind == schedule.KStart {
+					weakened.Events[k].Sem = schedule.SemWeak
+				}
+			}
+			if !schedule.ExecPolymorphic(weakened).Accepted {
+				t.Fatalf("weakening %v rejected a previously accepted schedule:\n%s",
+					p, inst.TM.Grid())
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package accept
+
+import (
+	"fmt"
+	"math/rand"
+
+	"polytm/internal/schedule"
+)
+
+// Report is the machine-checked result of one theorem.
+type Report struct {
+	Name string
+	// S1, S2: the claim is S1 enables strictly higher concurrency than
+	// S2 — S1 ⇒ S2 (forward witness) and S2 6⇒ S1 (reverse, checked over
+	// the bounded space).
+	S1, S2 Synchronization
+
+	// ForwardHolds: a witness instance accepted by S1 and rejected by S2
+	// exists (Figure 1).
+	ForwardHolds bool
+	Witness      Instance
+
+	// ReverseHolds: no instance in the bounded space is accepted by S2
+	// and rejected by S1.
+	ReverseHolds   bool
+	Checked        int
+	Counterexample *Instance
+}
+
+// String summarizes the report.
+func (r Report) String() string {
+	s := fmt.Sprintf("%s: %v => %v: %v; %v 6=> %v over %d bounded schedules: %v",
+		r.Name, r.S1, r.S2, r.ForwardHolds, r.S2, r.S1, r.Checked, r.ReverseHolds)
+	if r.Counterexample != nil {
+		s += fmt.Sprintf("\n  counterexample: %v", r.Counterexample.TM)
+	}
+	return s
+}
+
+// Holds reports whether both directions were verified.
+func (r Report) Holds() bool { return r.ForwardHolds && r.ReverseHolds }
+
+// CheckTheorem1 machine-checks Theorem 1: lock-based synchronization
+// enables strictly higher concurrency than monomorphic synchronization.
+// Forward: Figure 1 is accepted by lock-based and rejected by
+// monomorphic. Reverse: over the bounded space, every instance accepted
+// by monomorphic is accepted by lock-based (fine-grained locks implement
+// 2PL — here via the serial realization).
+func CheckTheorem1(cfg EnumConfig) Report {
+	rep := Report{Name: "Theorem 1", S1: LockBased, S2: Monomorphic}
+	w := NewInstance(schedule.Figure1TM())
+	rep.Witness = w
+	rep.ForwardHolds = Accepts(LockBased, w) && !Accepts(Monomorphic, w)
+	rep.ReverseHolds = true
+	rep.Checked = Enumerate(cfg, func(inst Instance) bool {
+		if Accepts(Monomorphic, inst) && !Accepts(LockBased, inst) {
+			c := inst
+			rep.Counterexample = &c
+			rep.ReverseHolds = false
+			return false
+		}
+		return true
+	})
+	return rep
+}
+
+// CheckTheorem2 machine-checks Theorem 2: polymorphic synchronization
+// enables strictly higher concurrency than monomorphic synchronization.
+// Forward: Figure 1 (p1 parameterized weak) is accepted by polymorphic
+// and rejected by monomorphic. Reverse: every instance accepted by
+// monomorphic is accepted by polymorphic — a monomorphic execution is a
+// polymorphic execution whose parameters are all def, and weakening a
+// parameter only relaxes validation.
+func CheckTheorem2(cfg EnumConfig) Report {
+	rep := Report{Name: "Theorem 2", S1: Polymorphic, S2: Monomorphic}
+	w := NewInstance(schedule.Figure1TM())
+	rep.Witness = w
+	rep.ForwardHolds = Accepts(Polymorphic, w) && !Accepts(Monomorphic, w)
+	rep.ReverseHolds = true
+	rep.Checked = Enumerate(cfg, func(inst Instance) bool {
+		if Accepts(Monomorphic, inst) && !Accepts(Polymorphic, inst) {
+			c := inst
+			rep.Counterexample = &c
+			rep.ReverseHolds = false
+			return false
+		}
+		return true
+	})
+	return rep
+}
+
+// SampledMonotonicity draws n random instances with nops operations and
+// verifies the acceptance hierarchy on each: monomorphic-accepted ⊆
+// polymorphic-accepted ⊆ lock-based-accepted. It returns the first
+// violating instance, if any.
+func SampledMonotonicity(seed int64, n, nops int) (checked int, violation *Instance) {
+	rng := rand.New(rand.NewSource(seed))
+	regs := []schedule.Register{"x", "y", "z"}
+	params := []schedule.Sem{schedule.SemDef, schedule.SemWeak}
+	for i := 0; i < n; i++ {
+		inst := RandomInstance(rng, nops, 3, regs, params)
+		mono := Accepts(Monomorphic, inst)
+		poly := Accepts(Polymorphic, inst)
+		lock := Accepts(LockBased, inst)
+		if (mono && !poly) || (poly && !lock) {
+			v := inst
+			return i + 1, &v
+		}
+		checked++
+	}
+	return checked, nil
+}
+
+// Rates is the acceptance-rate experiment (A1): the fraction of random
+// instances each synchronization accepts. The paper's hierarchy implies
+// rate(lock) >= rate(poly) >= rate(mono), with strict gaps on spaces
+// containing Figure-1-like patterns.
+type Rates struct {
+	N                int
+	Lock, Poly, Mono int
+	// LockSame counts acceptance by the minimal same-interleaving lock
+	// placement only (no serial realization fallback) — the
+	// hand-over-hand regime of Figure 1, more discriminating than the
+	// fully existential Lock count (which is total on this space, since
+	// locks can always fall back to a serial 2PL realization).
+	LockSame int
+}
+
+// AcceptanceRates samples n random instances with nops operations.
+func AcceptanceRates(seed int64, n, nops int) Rates {
+	rng := rand.New(rand.NewSource(seed))
+	regs := []schedule.Register{"x", "y", "z"}
+	params := []schedule.Sem{schedule.SemDef, schedule.SemWeak}
+	out := Rates{N: n}
+	for i := 0; i < n; i++ {
+		inst := RandomInstance(rng, nops, 3, regs, params)
+		if Accepts(LockBased, inst) {
+			out.Lock++
+		}
+		if schedule.ExecLockBased(MinimalLockSchedule(inst.TM), inst.Sems).Accepted {
+			out.LockSame++
+		}
+		if Accepts(Polymorphic, inst) {
+			out.Poly++
+		}
+		if Accepts(Monomorphic, inst) {
+			out.Mono++
+		}
+	}
+	return out
+}
+
+// String renders the rates.
+func (r Rates) String() string {
+	pct := func(k int) float64 { return 100 * float64(k) / float64(r.N) }
+	return fmt.Sprintf("N=%d lock=%.1f%% lock-same-interleaving=%.1f%% poly=%.1f%% mono=%.1f%%",
+		r.N, pct(r.Lock), pct(r.LockSame), pct(r.Poly), pct(r.Mono))
+}

@@ -1,0 +1,246 @@
+package baseline
+
+import (
+	"sync"
+
+	"polytm/internal/locks"
+)
+
+// mix64 is the splitmix64 finalizer shared by the hash baselines.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// CoarseHash is a resizable hash set under one RWMutex: resize is
+// trivial but every operation serializes behind the global lock.
+type CoarseHash struct {
+	mu      sync.RWMutex
+	buckets [][]uint64
+	n       int
+}
+
+// NewCoarseHash creates a coarse-grained hash set with nbuckets initial
+// buckets (rounded up to a power of two).
+func NewCoarseHash(nbuckets int) *CoarseHash {
+	n := 1
+	for n < nbuckets {
+		n <<= 1
+	}
+	return &CoarseHash{buckets: make([][]uint64, n)}
+}
+
+func (h *CoarseHash) idx(key uint64) uint64 { return mix64(key) & uint64(len(h.buckets)-1) }
+
+// Insert adds key, returning false if present.
+func (h *CoarseHash) Insert(key uint64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := h.idx(key)
+	for _, k := range h.buckets[b] {
+		if k == key {
+			return false
+		}
+	}
+	h.buckets[b] = append(h.buckets[b], key)
+	h.n++
+	return true
+}
+
+// Remove deletes key, returning false if absent.
+func (h *CoarseHash) Remove(key uint64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := h.idx(key)
+	for i, k := range h.buckets[b] {
+		if k == key {
+			last := len(h.buckets[b]) - 1
+			h.buckets[b][i] = h.buckets[b][last]
+			h.buckets[b] = h.buckets[b][:last]
+			h.n--
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether key is present.
+func (h *CoarseHash) Contains(key uint64) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for _, k := range h.buckets[h.idx(key)] {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the element count.
+func (h *CoarseHash) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.n
+}
+
+// Buckets returns the bucket count.
+func (h *CoarseHash) Buckets() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.buckets)
+}
+
+// Resize doubles or halves the table under the global write lock,
+// blocking every concurrent operation for the duration.
+func (h *CoarseHash) Resize(grow bool) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	newLen := len(h.buckets) * 2
+	if !grow {
+		newLen = max(1, len(h.buckets)/2)
+	}
+	fresh := make([][]uint64, newLen)
+	for _, b := range h.buckets {
+		for _, k := range b {
+			i := mix64(k) & uint64(newLen-1)
+			fresh[i] = append(fresh[i], k)
+		}
+	}
+	h.buckets = fresh
+	return newLen
+}
+
+// StripedHash is a hash set with lock striping (a fixed stripe array
+// guards a growable bucket array). Operations lock one stripe; resize
+// write-locks all stripes in order — concurrency-friendly operations,
+// stop-the-world resize.
+type StripedHash struct {
+	stripes *locks.Striped
+	mu      sync.RWMutex // guards the buckets slice header swap
+	buckets [][]uint64
+	n       int64
+	countMu sync.Mutex
+}
+
+// NewStripedHash creates a striped hash set with nbuckets initial
+// buckets and nstripes stripes. The bucket count never drops below the
+// stripe count (both powers of two), so two keys in one bucket always
+// share a stripe — the invariant that makes one-stripe locking safe.
+func NewStripedHash(nbuckets, nstripes int) *StripedHash {
+	s := locks.NewStriped(nstripes)
+	n := s.Len()
+	for n < nbuckets {
+		n <<= 1
+	}
+	return &StripedHash{stripes: s, buckets: make([][]uint64, n)}
+}
+
+func (h *StripedHash) withStripe(key uint64, w bool, f func(b uint64)) {
+	hash := mix64(key)
+	mu := h.stripes.For(hash)
+	if w {
+		mu.Lock()
+		defer mu.Unlock()
+	} else {
+		mu.RLock()
+		defer mu.RUnlock()
+	}
+	h.mu.RLock()
+	b := hash & uint64(len(h.buckets)-1)
+	f(b)
+	h.mu.RUnlock()
+}
+
+// Insert adds key, returning false if present.
+func (h *StripedHash) Insert(key uint64) bool {
+	ok := false
+	h.withStripe(key, true, func(b uint64) {
+		for _, k := range h.buckets[b] {
+			if k == key {
+				return
+			}
+		}
+		h.buckets[b] = append(h.buckets[b], key)
+		ok = true
+	})
+	if ok {
+		h.countMu.Lock()
+		h.n++
+		h.countMu.Unlock()
+	}
+	return ok
+}
+
+// Remove deletes key, returning false if absent.
+func (h *StripedHash) Remove(key uint64) bool {
+	ok := false
+	h.withStripe(key, true, func(b uint64) {
+		for i, k := range h.buckets[b] {
+			if k == key {
+				last := len(h.buckets[b]) - 1
+				h.buckets[b][i] = h.buckets[b][last]
+				h.buckets[b] = h.buckets[b][:last]
+				ok = true
+				return
+			}
+		}
+	})
+	if ok {
+		h.countMu.Lock()
+		h.n--
+		h.countMu.Unlock()
+	}
+	return ok
+}
+
+// Contains reports whether key is present.
+func (h *StripedHash) Contains(key uint64) bool {
+	found := false
+	h.withStripe(key, false, func(b uint64) {
+		for _, k := range h.buckets[b] {
+			if k == key {
+				found = true
+				return
+			}
+		}
+	})
+	return found
+}
+
+// Len returns the element count.
+func (h *StripedHash) Len() int {
+	h.countMu.Lock()
+	defer h.countMu.Unlock()
+	return int(h.n)
+}
+
+// Buckets returns the bucket count.
+func (h *StripedHash) Buckets() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.buckets)
+}
+
+// Resize doubles or halves the bucket array. It locks every stripe —
+// a stop-the-world pause for all operations.
+func (h *StripedHash) Resize(grow bool) int {
+	h.stripes.LockAll()
+	defer h.stripes.UnlockAll()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	newLen := len(h.buckets) * 2
+	if !grow {
+		newLen = max(h.stripes.Len(), len(h.buckets)/2)
+	}
+	fresh := make([][]uint64, newLen)
+	for _, b := range h.buckets {
+		for _, k := range b {
+			i := mix64(k) & uint64(newLen-1)
+			fresh[i] = append(fresh[i], k)
+		}
+	}
+	h.buckets = fresh
+	return newLen
+}

@@ -1,0 +1,325 @@
+// Package core implements transaction polymorphism, the primary
+// contribution of Gramoli & Guerraoui, "Brief Announcement: Transaction
+// Polymorphism" (SPAA 2011): a transactional memory whose transactions
+// start with a semantic parameter p — start(p) — so that transactions of
+// distinct semantics run concurrently in one memory.
+//
+// The package wraps the word-based STM engine of internal/stm with:
+//
+//   - typed transactional variables (TVar[T]),
+//   - an Atomic combinator carrying per-transaction options — the
+//     semantics parameter, a contention manager (a per-transaction
+//     liveness policy), and attempt bounds,
+//   - nested transactions with the three composition policies the
+//     paper's concluding remarks ask about (NestParam, NestParent,
+//     NestStrongest), and
+//   - automatic escalation to irrevocable semantics when a nested scope
+//     requires it inside an optimistic parent.
+//
+// A transaction that omits the parameter runs with the memory's default
+// semantics — the paper's "def" — so monomorphic code works unchanged.
+package core
+
+import (
+	"errors"
+
+	"polytm/internal/stm"
+)
+
+// Semantics re-exports the engine's semantics type; see internal/stm for
+// the catalogue (Def, Weak, Snapshot, Irrevocable).
+type Semantics = stm.Semantics
+
+// The semantics values, re-exported for API convenience.
+const (
+	Def         = stm.SemanticsDef
+	Weak        = stm.SemanticsWeak
+	Snapshot    = stm.SemanticsSnapshot
+	Irrevocable = stm.SemanticsIrrevocable
+)
+
+// NestingPolicy answers the paper's concluding question: "what should be
+// the semantics of a nested transaction? the semantics indicated by its
+// parameter as if it was not nested, the parent transaction semantics,
+// or the strongest of the two?"
+type NestingPolicy uint8
+
+const (
+	// NestStrongest (the default) gives a nested transaction the
+	// stronger of its own parameter and the enclosing effective
+	// semantics: weakening never happens implicitly.
+	NestStrongest NestingPolicy = iota
+	// NestParam gives a nested transaction exactly the semantics its
+	// parameter indicates, as if it were not nested.
+	NestParam
+	// NestParent makes a nested transaction inherit the enclosing
+	// effective semantics, ignoring its own parameter.
+	NestParent
+)
+
+// String names the policy.
+func (p NestingPolicy) String() string {
+	switch p {
+	case NestStrongest:
+		return "strongest"
+	case NestParam:
+		return "param"
+	case NestParent:
+		return "parent"
+	default:
+		return "NestingPolicy(?)"
+	}
+}
+
+// Compose computes the effective semantics of a nested scope whose
+// enclosing effective semantics is parent and whose own parameter is
+// child, under policy p.
+func Compose(parent, child Semantics, p NestingPolicy) Semantics {
+	switch p {
+	case NestParam:
+		return child
+	case NestParent:
+		return parent
+	default:
+		return stm.Stronger(parent, child)
+	}
+}
+
+// errEscalate requests that the outermost transaction restart under
+// irrevocable semantics (a nested irrevocable scope cannot be honoured
+// after optimistic accesses have already been performed).
+var errEscalate = errors.New("core: escalate to irrevocable")
+
+// ErrNoTransaction is returned by operations that require an enclosing
+// transaction when none is active.
+var ErrNoTransaction = errors.New("core: no active transaction")
+
+// Config configures a polymorphic transactional memory.
+type Config struct {
+	// Default is the semantics used by transactions that do not pass
+	// WithSemantics — the paper's def. The zero value is Def.
+	Default Semantics
+	// Nesting selects the composition policy for nested transactions.
+	Nesting NestingPolicy
+	// EscalateAfter, when > 0, escalates a transaction to Irrevocable
+	// semantics after that many conflict-aborted optimistic attempts —
+	// a guaranteed-progress fallback (starvation freedom bought with
+	// serialization).
+	EscalateAfter int
+	// Engine tunes the underlying STM engine.
+	Engine stm.Config
+}
+
+// TM is a polymorphic transactional memory.
+type TM struct {
+	eng           *stm.Engine
+	def           Semantics
+	nesting       NestingPolicy
+	escalateAfter int
+}
+
+// New creates a polymorphic transactional memory with cfg.
+func New(cfg Config) *TM {
+	return &TM{
+		eng:           stm.NewEngine(cfg.Engine),
+		def:           cfg.Default,
+		nesting:       cfg.Nesting,
+		escalateAfter: cfg.EscalateAfter,
+	}
+}
+
+// NewDefault creates a TM with the default configuration (def
+// semantics, strongest-wins nesting).
+func NewDefault() *TM { return New(Config{}) }
+
+// Engine exposes the underlying engine (benchmarks and tests).
+func (tm *TM) Engine() *stm.Engine { return tm.eng }
+
+// Stats returns engine counters.
+func (tm *TM) Stats() stm.StatsSnapshot { return tm.eng.Stats() }
+
+// ResetStats zeroes engine counters.
+func (tm *TM) ResetStats() { tm.eng.ResetStats() }
+
+// NestingPolicy returns the TM's composition policy.
+func (tm *TM) NestingPolicy() NestingPolicy { return tm.nesting }
+
+// txnOpts collects per-transaction options.
+type txnOpts struct {
+	sem    Semantics
+	semSet bool
+	cm     stm.CMFactory
+}
+
+// Option customises one transaction.
+type Option func(*txnOpts)
+
+// WithSemantics is the paper's start(p): it sets the transaction's
+// semantic parameter. Omitting it yields the memory's default semantics.
+func WithSemantics(s Semantics) Option {
+	return func(o *txnOpts) { o.sem = s; o.semSet = true }
+}
+
+// WithContentionManager gives the transaction its own liveness policy.
+func WithContentionManager(f stm.CMFactory) Option {
+	return func(o *txnOpts) { o.cm = f }
+}
+
+func (tm *TM) resolve(opts []Option) txnOpts {
+	o := txnOpts{sem: tm.def}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// Tx is the handle passed to a transaction body. It is bound to one
+// goroutine and must not escape the body.
+type Tx struct {
+	tm    *TM
+	inner *stm.Txn
+}
+
+// Inner exposes the engine-level transaction (schedule executors and
+// tests need it).
+func (tx *Tx) Inner() *stm.Txn { return tx.inner }
+
+// Semantics returns the semantics currently in effect for this scope.
+func (tx *Tx) Semantics() Semantics { return tx.inner.EffectiveSemantics() }
+
+// Retry, returned from a transaction body, blocks the transaction until
+// a variable it read changes and then re-executes it — the composable
+// blocking combinator (a consumer returns Retry on empty, and sleeps
+// instead of spinning).
+var Retry = stm.ErrRetryWait
+
+// Atomic runs fn as a transaction with the given options, retrying on
+// conflict until it commits or fn returns a non-retryable error. It is
+// the paper's start(p) … commit block. A body returning Retry blocks
+// until the transaction's read set changes. If the TM was configured
+// with EscalateAfter, a transaction that keeps losing conflicts is
+// restarted under Irrevocable semantics, guaranteeing progress.
+func (tm *TM) Atomic(fn func(*Tx) error, opts ...Option) error {
+	o := tm.resolve(opts)
+	sem := o.sem
+	bound := 0
+	if tm.escalateAfter > 0 && sem != Irrevocable {
+		bound = tm.escalateAfter
+	}
+	for {
+		err := tm.eng.RunWithOptions(sem, o.cm, bound, func(itx *stm.Txn) error {
+			return fn(&Tx{tm: tm, inner: itx})
+		})
+		switch {
+		case errors.Is(err, errEscalate) && sem != Irrevocable:
+			sem = Irrevocable
+			bound = 0
+		case errors.Is(err, stm.ErrTooManyAttempts) && tm.escalateAfter > 0 && sem != Irrevocable:
+			sem = Irrevocable
+			bound = 0
+		default:
+			return err
+		}
+	}
+}
+
+// Atomic runs fn as a transaction nested in tx. Nesting is flat
+// (subsumption): the nested scope shares the parent's read and write
+// sets and commits with it, but its accesses run under the semantics
+// computed by the TM's nesting policy from the enclosing semantics and
+// the scope's own parameter.
+//
+// If the composed semantics is Irrevocable while the enclosing
+// transaction is optimistic, the guarantee cannot be granted
+// retroactively; Atomic aborts the whole transaction and the outermost
+// Atomic restarts it irrevocably from the beginning.
+func (tx *Tx) Atomic(fn func(*Tx) error, opts ...Option) error {
+	o := tx.tm.resolve(opts)
+	eff := Compose(tx.inner.EffectiveSemantics(), o.sem, tx.tm.nesting)
+	if eff == Irrevocable && tx.inner.Semantics() != Irrevocable {
+		tx.inner.Abort()
+		return errEscalate
+	}
+	tx.inner.PushMode(eff)
+	defer tx.inner.PopMode()
+	return fn(tx)
+}
+
+// TVar is a typed transactional variable.
+type TVar[T any] struct {
+	v *stm.Var
+}
+
+// NewTVar allocates a typed transactional variable in tm holding init.
+func NewTVar[T any](tm *TM, init T) *TVar[T] {
+	return &TVar[T]{v: tm.eng.NewVar(init)}
+}
+
+// Var exposes the untyped engine variable.
+func (tv *TVar[T]) Var() *stm.Var { return tv.v }
+
+// LoadDirect reads the committed value outside any transaction (tests,
+// quiescent inspection).
+func (tv *TVar[T]) LoadDirect() T { return tv.v.LoadDirect().(T) }
+
+// StoreDirect overwrites the value outside any transaction; safe only
+// when no transaction is live.
+func (tv *TVar[T]) StoreDirect(val T) { tv.v.StoreDirect(val) }
+
+// Get reads tv inside tx under the semantics in effect.
+func Get[T any](tx *Tx, tv *TVar[T]) (T, error) {
+	raw, err := tx.inner.Read(tv.v)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return raw.(T), nil
+}
+
+// GetAnchored reads tv inside tx with an anchored (pinned) entry: under
+// Weak semantics the read is exempt from elastic window sliding and is
+// validated at every cut and at commit, like a def read. Use it for
+// structural roots (a hash table's bucket array, a tree's root) that an
+// elastic operation must observe consistently with its write, while the
+// traversal below stays elastic.
+func GetAnchored[T any](tx *Tx, tv *TVar[T]) (T, error) {
+	raw, err := tx.inner.ReadPinned(tv.v)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return raw.(T), nil
+}
+
+// Set writes val to tv inside tx.
+func Set[T any](tx *Tx, tv *TVar[T], val T) error {
+	return tx.inner.Write(tv.v, val)
+}
+
+// Modify applies f to tv's current value inside tx.
+func Modify[T any](tx *Tx, tv *TVar[T], f func(T) T) error {
+	cur, err := Get(tx, tv)
+	if err != nil {
+		return err
+	}
+	return Set(tx, tv, f(cur))
+}
+
+// AtomicGet is a convenience one-shot transactional read.
+func AtomicGet[T any](tm *TM, tv *TVar[T], opts ...Option) (T, error) {
+	var out T
+	err := tm.Atomic(func(tx *Tx) error {
+		v, err := Get(tx, tv)
+		if err != nil {
+			return err
+		}
+		out = v
+		return nil
+	}, opts...)
+	return out, err
+}
+
+// AtomicSet is a convenience one-shot transactional write.
+func AtomicSet[T any](tm *TM, tv *TVar[T], val T, opts ...Option) error {
+	return tm.Atomic(func(tx *Tx) error { return Set(tx, tv, val) }, opts...)
+}

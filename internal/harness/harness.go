@@ -1,0 +1,145 @@
+// Package harness measures integer-set implementations under the
+// workloads of package workload and prints the rows the experiment
+// index of DESIGN.md calls for. It is used both by cmd/polybench and by
+// the repository-level benchmarks.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polytm/internal/workload"
+)
+
+// Result is one measurement: a named configuration and its throughput.
+type Result struct {
+	Name     string
+	Workers  int
+	Duration time.Duration
+	Ops      uint64
+	// Resizes counts completed resize passes (hash benchmarks only).
+	Resizes uint64
+}
+
+// Throughput returns operations per second.
+func (r Result) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Duration.Seconds()
+}
+
+// String renders one table row.
+func (r Result) String() string {
+	s := fmt.Sprintf("%-28s workers=%-3d ops=%-10d %12.0f ops/s", r.Name, r.Workers, r.Ops, r.Throughput())
+	if r.Resizes > 0 {
+		s += fmt.Sprintf("  resizes=%d", r.Resizes)
+	}
+	return s
+}
+
+// Config parameterizes one run.
+type Config struct {
+	Name     string
+	Workers  int
+	Duration time.Duration
+	Mix      workload.Mix
+	Seed     int64
+	// Resizer, when non-nil, runs a background goroutine invoking it in
+	// a loop for the duration of the run (the B2 experiment); it should
+	// perform one resize pass per call.
+	Resizer func()
+	// ResizeEvery throttles the resizer between passes.
+	ResizeEvery time.Duration
+}
+
+// Run measures s under cfg.
+func Run(s workload.IntSet, cfg Config) Result {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 200 * time.Millisecond
+	}
+	workload.Prefill(s, cfg.Mix.KeyRange)
+
+	var ops atomic.Uint64
+	var resizes atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			g := workload.NewGenerator(seed, cfg.Mix)
+			n := uint64(0)
+			for {
+				select {
+				case <-stop:
+					ops.Add(n)
+					return
+				default:
+				}
+				workload.Apply(s, g.Next())
+				n++
+			}
+		}(cfg.Seed + int64(w)*7919)
+	}
+	if cfg.Resizer != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cfg.Resizer()
+				resizes.Add(1)
+				if cfg.ResizeEvery > 0 {
+					timer := time.NewTimer(cfg.ResizeEvery)
+					select {
+					case <-stop:
+						timer.Stop()
+						return
+					case <-timer.C:
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	return Result{
+		Name:     cfg.Name,
+		Workers:  cfg.Workers,
+		Duration: cfg.Duration,
+		Ops:      ops.Load(),
+		Resizes:  resizes.Load(),
+	}
+}
+
+// Sweep runs cfg across the worker counts, returning one Result per
+// entry. mkSet builds a fresh set per run so state never leaks.
+func Sweep(mkSet func() workload.IntSet, cfg Config, workers []int) []Result {
+	out := make([]Result, 0, len(workers))
+	for _, w := range workers {
+		c := cfg
+		c.Workers = w
+		out = append(out, Run(mkSet(), c))
+	}
+	return out
+}
+
+// Table renders results with a header line.
+func Table(title string, rs []Result) string {
+	s := "== " + title + " ==\n"
+	for _, r := range rs {
+		s += r.String() + "\n"
+	}
+	return s
+}

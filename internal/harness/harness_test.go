@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"polytm/internal/baseline"
+	"polytm/internal/core"
+	"polytm/internal/structures"
+	"polytm/internal/workload"
+)
+
+func TestRunProducesOps(t *testing.T) {
+	r := Run(baseline.NewCoarseList(), Config{
+		Name:     "coarse",
+		Workers:  2,
+		Duration: 50 * time.Millisecond,
+		Mix:      workload.Mix{UpdatePct: 10, KeyRange: 64},
+		Seed:     1,
+	})
+	if r.Ops == 0 {
+		t.Fatal("no operations measured")
+	}
+	if r.Throughput() <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+	if !strings.Contains(r.String(), "coarse") {
+		t.Fatal("row must carry the name")
+	}
+}
+
+func TestRunTransactionalSet(t *testing.T) {
+	tm := core.NewDefault()
+	r := Run(structures.NewTList(tm, core.Weak), Config{
+		Name:     "tlist-weak",
+		Workers:  2,
+		Duration: 50 * time.Millisecond,
+		Mix:      workload.Mix{UpdatePct: 20, KeyRange: 64},
+		Seed:     2,
+	})
+	if r.Ops == 0 {
+		t.Fatal("no transactional operations measured")
+	}
+}
+
+func TestRunWithResizer(t *testing.T) {
+	tm := core.NewDefault()
+	h := structures.NewTHash(tm, core.Weak, 8)
+	grow := true
+	r := Run(h, Config{
+		Name:     "thash+resize",
+		Workers:  2,
+		Duration: 80 * time.Millisecond,
+		Mix:      workload.Mix{UpdatePct: 25, KeyRange: 128},
+		Seed:     3,
+		Resizer: func() {
+			h.Resize(grow)
+			grow = !grow
+		},
+		ResizeEvery: 5 * time.Millisecond,
+	})
+	if r.Resizes == 0 {
+		t.Fatal("resizer never completed a pass")
+	}
+	if r.Ops == 0 {
+		t.Fatal("operations starved entirely during resize churn")
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	rs := Sweep(func() workload.IntSet { return baseline.NewCoarseList() }, Config{
+		Name:     "coarse",
+		Duration: 20 * time.Millisecond,
+		Mix:      workload.Mix{UpdatePct: 0, KeyRange: 32},
+	}, []int{1, 2, 4})
+	if len(rs) != 3 {
+		t.Fatalf("got %d results, want 3", len(rs))
+	}
+	for i, w := range []int{1, 2, 4} {
+		if rs[i].Workers != w {
+			t.Fatalf("result %d workers = %d, want %d", i, rs[i].Workers, w)
+		}
+	}
+	tbl := Table("sweep", rs)
+	if !strings.Contains(tbl, "== sweep ==") || strings.Count(tbl, "\n") != 4 {
+		t.Fatalf("unexpected table:\n%s", tbl)
+	}
+}

@@ -1,0 +1,73 @@
+package lockfree
+
+import "sync/atomic"
+
+// HashSet is Michael's lock-free hash table (SPAA 2002): a fixed array
+// of lock-free list-based sets. It "synchronizes efficiently concurrent
+// insert, remove, and contains operations, as long as the number of
+// elements remains proportional to the number of buckets" (the paper's
+// words) — and, deliberately, it does NOT support resize. That
+// limitation is the motivating example of the paper's introduction; see
+// SplitOrdered for the extensible alternative and the transactional
+// hash table in internal/structures for the polymorphic one.
+type HashSet struct {
+	buckets []*List
+	mask    uint64
+	size    atomic.Int64
+}
+
+// NewHashSet creates a Michael hash table with at least nbuckets
+// buckets (rounded up to a power of two, minimum 1).
+func NewHashSet(nbuckets int) *HashSet {
+	n := 1
+	for n < nbuckets {
+		n <<= 1
+	}
+	bs := make([]*List, n)
+	for i := range bs {
+		bs[i] = NewList()
+	}
+	return &HashSet{buckets: bs, mask: uint64(n - 1)}
+}
+
+// mix64 is the splitmix64 finalizer, used as the hash function.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (h *HashSet) bucket(key uint64) *List { return h.buckets[mix64(key)&h.mask] }
+
+// Insert adds key, returning false if present.
+func (h *HashSet) Insert(key uint64) bool {
+	if h.bucket(key).Insert(key) {
+		h.size.Add(1)
+		return true
+	}
+	return false
+}
+
+// Remove deletes key, returning false if absent.
+func (h *HashSet) Remove(key uint64) bool {
+	if h.bucket(key).Remove(key) {
+		h.size.Add(-1)
+		return true
+	}
+	return false
+}
+
+// Contains reports whether key is present.
+func (h *HashSet) Contains(key uint64) bool { return h.bucket(key).Contains(key) }
+
+// Len returns the element count (approximate under concurrency).
+func (h *HashSet) Len() int { return int(h.size.Load()) }
+
+// Buckets returns the fixed bucket count.
+func (h *HashSet) Buckets() int { return len(h.buckets) }
+
+// LoadFactor returns elements per bucket.
+func (h *HashSet) LoadFactor() float64 {
+	return float64(h.size.Load()) / float64(len(h.buckets))
+}

@@ -1,0 +1,74 @@
+package lockfree
+
+import "sync/atomic"
+
+// Queue is a Michael–Scott lock-free FIFO queue.
+type Queue[T any] struct {
+	head atomic.Pointer[qnode[T]]
+	tail atomic.Pointer[qnode[T]]
+	n    atomic.Int64
+}
+
+type qnode[T any] struct {
+	v    T
+	next atomic.Pointer[qnode[T]]
+}
+
+// NewQueue creates an empty queue.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	sentinel := &qnode[T]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Enqueue appends v.
+func (q *Queue[T]) Enqueue(v T) {
+	n := &qnode[T]{v: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			// Help a lagging enqueuer swing the tail.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			q.n.Add(1)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest element, or ok=false when
+// empty.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if head == tail {
+			if next == nil {
+				return v, false
+			}
+			// Tail is lagging; help.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if q.head.CompareAndSwap(head, next) {
+			q.n.Add(-1)
+			return next.v, true
+		}
+	}
+}
+
+// Len returns the element count (approximate under concurrency).
+func (q *Queue[T]) Len() int { return int(q.n.Load()) }

@@ -1,0 +1,303 @@
+package lockfree
+
+import (
+	"math/bits"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoKeysOrderDummiesBeforeRegulars(t *testing.T) {
+	// A bucket's dummy key must sort before every regular key whose hash
+	// falls in that bucket (for any table size).
+	f := func(h uint64, b uint16) bool {
+		bucket := uint64(b)
+		if bits.Reverse64(h)|1 == 0 {
+			return true
+		}
+		// If h mod 2^k == bucket for the smallest covering size, the
+		// dummy of that bucket precedes the regular key.
+		if h&(uint64(1<<16)-1) != bucket {
+			return true
+		}
+		return soDummyKey(bucket) < soRegularKey(h)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoParent(t *testing.T) {
+	cases := []struct{ b, want uint64 }{
+		{0, 0}, {1, 0}, {2, 0}, {3, 1}, {4, 0}, {5, 1}, {6, 2}, {7, 3},
+		{8, 0}, {12, 4}, {1 << 20, 0}, {(1 << 20) | 5, 5},
+	}
+	for _, c := range cases {
+		if got := soParent(c.b); got != c.want {
+			t.Errorf("soParent(%d) = %d, want %d", c.b, got, c.want)
+		}
+	}
+}
+
+func TestSoParentDummyPrecedesChild(t *testing.T) {
+	// Recursive initialization depends on dummy(parent(b)) < dummy(b).
+	f := func(b uint32) bool {
+		bucket := uint64(b)
+		if bucket == 0 {
+			return true
+		}
+		return soDummyKey(soParent(bucket)) < soDummyKey(bucket)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitOrderedBasics(t *testing.T) {
+	s := NewSplitOrdered()
+	if s.Contains(7) {
+		t.Fatal("empty set contains 7")
+	}
+	if !s.Insert(7) || s.Insert(7) {
+		t.Fatal("insert semantics broken")
+	}
+	if !s.Contains(7) {
+		t.Fatal("7 missing")
+	}
+	if !s.Remove(7) || s.Remove(7) {
+		t.Fatal("remove semantics broken")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len = %d, want 0", s.Len())
+	}
+}
+
+func TestSplitOrderedGrows(t *testing.T) {
+	s := NewSplitOrdered()
+	before := s.Buckets()
+	for k := uint64(0); k < 10000; k++ {
+		if !s.Insert(k) {
+			t.Fatalf("insert %d", k)
+		}
+	}
+	if s.Len() != 10000 {
+		t.Fatalf("len = %d, want 10000", s.Len())
+	}
+	if s.Buckets() <= before {
+		t.Fatalf("table did not grow: %d buckets", s.Buckets())
+	}
+	// Every key must remain reachable across all the doublings.
+	for k := uint64(0); k < 10000; k++ {
+		if !s.Contains(k) {
+			t.Fatalf("key %d lost after resize", k)
+		}
+	}
+	for k := uint64(0); k < 10000; k += 2 {
+		if !s.Remove(k) {
+			t.Fatalf("remove %d", k)
+		}
+	}
+	for k := uint64(0); k < 10000; k++ {
+		if s.Contains(k) != (k%2 == 1) {
+			t.Fatalf("contains(%d) wrong after removals", k)
+		}
+	}
+}
+
+func TestSplitOrderedModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewSplitOrdered()
+		model := make(map[uint64]bool)
+		for _, op := range ops {
+			key := uint64(op % 128)
+			switch op % 3 {
+			case 0:
+				if s.Insert(key) != !model[key] {
+					return false
+				}
+				model[key] = true
+			case 1:
+				if s.Remove(key) != model[key] {
+					return false
+				}
+				delete(model, key)
+			case 2:
+				if s.Contains(key) != model[key] {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitOrderedConcurrent(t *testing.T) {
+	s := NewSplitOrdered()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < per; i++ {
+				if !s.Insert(base + i) {
+					t.Errorf("insert %d failed", base+i)
+					return
+				}
+			}
+			for i := uint64(0); i < per; i++ {
+				if !s.Contains(base + i) {
+					t.Errorf("lost key %d", base+i)
+					return
+				}
+			}
+			for i := uint64(0); i < per; i += 2 {
+				if !s.Remove(base + i) {
+					t.Errorf("remove %d failed", base+i)
+					return
+				}
+			}
+		}(uint64(w) * 100000)
+	}
+	wg.Wait()
+	if got, want := s.Len(), workers*per/2; got != want {
+		t.Fatalf("len = %d, want %d", got, want)
+	}
+}
+
+func TestStackLIFO(t *testing.T) {
+	var s Stack[int]
+	if _, ok := s.Pop(); ok {
+		t.Fatal("pop from empty stack succeeded")
+	}
+	for i := 1; i <= 5; i++ {
+		s.Push(i)
+	}
+	for i := 5; i >= 1; i-- {
+		v, ok := s.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+}
+
+func TestStackConcurrentConservation(t *testing.T) {
+	var s Stack[uint64]
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	var popped sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < per; i++ {
+				s.Push(base + i)
+			}
+			for i := uint64(0); i < per; i++ {
+				v, ok := s.Pop()
+				if !ok {
+					t.Error("pop failed with elements outstanding")
+					return
+				}
+				if _, dup := popped.LoadOrStore(v, true); dup {
+					t.Errorf("value %d popped twice", v)
+					return
+				}
+			}
+		}(uint64(w) * 10000)
+	}
+	wg.Wait()
+	if s.Len() != 0 {
+		t.Fatalf("len = %d, want 0", s.Len())
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int]()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue from empty queue succeeded")
+	}
+	for i := 1; i <= 5; i++ {
+		q.Enqueue(i)
+	}
+	for i := 1; i <= 5; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+}
+
+func TestQueuePerProducerOrder(t *testing.T) {
+	q := NewQueue[uint64]()
+	const producers, per = 4, 2000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < per; i++ {
+				q.Enqueue(id*1000000 + i)
+			}
+		}(uint64(p))
+	}
+	wg.Wait()
+	// Single consumer: each producer's elements must appear in order.
+	last := map[uint64]int64{}
+	count := 0
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		count++
+		id, seq := v/1000000, int64(v%1000000)
+		if prev, seen := last[id]; seen && seq <= prev {
+			t.Fatalf("producer %d out of order: %d after %d", id, seq, prev)
+		}
+		last[id] = seq
+	}
+	if count != producers*per {
+		t.Fatalf("dequeued %d, want %d", count, producers*per)
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	q := NewQueue[uint64]()
+	const producers, consumers, per = 4, 4, 1000
+	var wg sync.WaitGroup
+	var got sync.Map
+	var consumed sync.WaitGroup
+	consumed.Add(producers * per)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < per; i++ {
+				q.Enqueue(base + i)
+			}
+		}(uint64(p) * 10000)
+	}
+	for c := 0; c < consumers; c++ {
+		go func() {
+			for {
+				v, ok := q.Dequeue()
+				if !ok {
+					continue
+				}
+				if _, dup := got.LoadOrStore(v, true); dup {
+					t.Errorf("value %d consumed twice", v)
+				}
+				consumed.Done()
+			}
+		}()
+	}
+	wg.Wait()
+	consumed.Wait()
+	if q.Len() != 0 {
+		t.Fatalf("len = %d, want 0", q.Len())
+	}
+}

@@ -1,0 +1,44 @@
+package lockfree
+
+import "sync/atomic"
+
+// Stack is a Treiber lock-free stack. The zero value is ready to use.
+type Stack[T any] struct {
+	top atomic.Pointer[snode[T]]
+	n   atomic.Int64
+}
+
+type snode[T any] struct {
+	v    T
+	next *snode[T]
+}
+
+// Push adds v to the top of the stack.
+func (s *Stack[T]) Push(v T) {
+	n := &snode[T]{v: v}
+	for {
+		top := s.top.Load()
+		n.next = top
+		if s.top.CompareAndSwap(top, n) {
+			s.n.Add(1)
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top element, or ok=false when empty.
+func (s *Stack[T]) Pop() (v T, ok bool) {
+	for {
+		top := s.top.Load()
+		if top == nil {
+			return v, false
+		}
+		if s.top.CompareAndSwap(top, top.next) {
+			s.n.Add(-1)
+			return top.v, true
+		}
+	}
+}
+
+// Len returns the element count (approximate under concurrency).
+func (s *Stack[T]) Len() int { return int(s.n.Load()) }

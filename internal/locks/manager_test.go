@@ -1,0 +1,285 @@
+package locks
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestAcquireRelease(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.HeldBy(1, "x") {
+		t.Fatal("owner 1 should hold x")
+	}
+	if err := m.Release(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holder("x") != 0 {
+		t.Fatal("x should be free")
+	}
+}
+
+func TestReleaseNotHeld(t *testing.T) {
+	m := NewManager()
+	if err := m.Release(1, "x"); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("err = %v, want ErrNotHeld", err)
+	}
+	_ = m.Acquire(2, "x")
+	if err := m.Release(1, "x"); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("release of other's lock: %v, want ErrNotHeld", err)
+	}
+}
+
+func TestReentrancy(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.HeldBy(1, "x") {
+		t.Fatal("x must still be held after one of two releases")
+	}
+	if err := m.Release(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holder("x") != 0 {
+		t.Fatal("x should be free after matching releases")
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	m := NewManager()
+	if err := m.TryAcquire(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TryAcquire(2, "x"); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("err = %v, want ErrWouldBlock", err)
+	}
+	if err := m.TryAcquire(1, "x"); err != nil {
+		t.Fatalf("reentrant TryAcquire: %v", err)
+	}
+}
+
+func TestZeroOwnerRejected(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(0, "x"); err == nil {
+		t.Fatal("owner 0 must be rejected")
+	}
+	if err := m.TryAcquire(0, "x"); err == nil {
+		t.Fatal("owner 0 must be rejected")
+	}
+}
+
+func TestBlockingHandoff(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Acquire(2, "x") }()
+	// Owner 2 must be blocked; give the release.
+	if err := m.Release(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	if !m.HeldBy(2, "x") {
+		t.Fatal("owner 2 should hold x after handoff")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "y"); err != nil {
+		t.Fatal(err)
+	}
+	// Owner 1 blocks on y (held by 2); then owner 2 requesting x closes
+	// the cycle and must get ErrDeadlock.
+	step := make(chan error, 1)
+	go func() { step <- m.Acquire(1, "y") }()
+	// Wait until owner 1 is registered as waiting.
+	for {
+		m.mu.Lock()
+		_, waiting := m.waitFor[1]
+		m.mu.Unlock()
+		if waiting {
+			break
+		}
+	}
+	err := m.Acquire(2, "x")
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	// Resolve: owner 2 releases y, owner 1 proceeds.
+	if err := m.Release(2, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-step; err != nil {
+		t.Fatal(err)
+	}
+	_, _, d := m.Stats()
+	if d != 1 {
+		t.Fatalf("deadlocks = %d, want 1", d)
+	}
+}
+
+func TestReleaseAll(t *testing.T) {
+	m := NewManager()
+	for _, k := range []string{"a", "b", "c"} {
+		if err := m.Acquire(1, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := m.ReleaseAll(1); n != 3 {
+		t.Fatalf("released %d, want 3", n)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if m.Holder(k) != 0 {
+			t.Fatalf("%s still held", k)
+		}
+	}
+}
+
+func TestManagerMutualExclusion(t *testing.T) {
+	m := NewManager()
+	counter := 0
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go func(owner uint64) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := m.Acquire(owner, "ctr"); err != nil {
+					t.Error(err)
+					return
+				}
+				counter++
+				if err := m.Release(owner, "ctr"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if counter != workers*per {
+		t.Fatalf("counter = %d, want %d (mutual exclusion violated)", counter, workers*per)
+	}
+}
+
+func TestTwoPhaseDiscipline(t *testing.T) {
+	m := NewManager()
+	tp := NewTwoPhase(m, 1, false)
+	if err := tp.Lock("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Lock("y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Unlock("x"); err != nil {
+		t.Fatal(err)
+	}
+	if !tp.Shrinking() {
+		t.Fatal("unlock must start the shrinking phase")
+	}
+	if err := tp.Lock("z"); !errors.Is(err, ErrTwoPhaseViolation) {
+		t.Fatalf("lock after unlock: %v, want ErrTwoPhaseViolation", err)
+	}
+	tp.ReleaseAll()
+	if m.Holder("y") != 0 {
+		t.Fatal("y should be free after ReleaseAll")
+	}
+}
+
+func TestStrictTwoPhaseRefusesEarlyUnlock(t *testing.T) {
+	m := NewManager()
+	tp := NewTwoPhase(m, 1, true)
+	if err := tp.Lock("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Unlock("x"); !errors.Is(err, ErrTwoPhaseViolation) {
+		t.Fatalf("strict unlock: %v, want ErrTwoPhaseViolation", err)
+	}
+	tp.ReleaseAll()
+	if m.Holder("x") != 0 {
+		t.Fatal("x should be free")
+	}
+}
+
+func TestTwoPhaseIdempotentLock(t *testing.T) {
+	m := NewManager()
+	tp := NewTwoPhase(m, 1, false)
+	if err := tp.Lock("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Lock("x"); err != nil {
+		t.Fatal(err)
+	}
+	if !tp.Holds("x") {
+		t.Fatal("x should be held")
+	}
+	tp.ReleaseAll()
+	if m.Holder("x") != 0 {
+		t.Fatal("x should be free after ReleaseAll despite double Lock")
+	}
+}
+
+func TestStripedBasics(t *testing.T) {
+	s := NewStriped(10)
+	if s.Len() != 16 {
+		t.Fatalf("Len = %d, want 16 (next power of two)", s.Len())
+	}
+	if s.For(0) == s.For(1) {
+		t.Fatal("adjacent hashes should map to distinct stripes")
+	}
+	if s.For(5) != s.For(5+16) {
+		t.Fatal("stripe selection must be hash mod size")
+	}
+}
+
+func TestStripedLockAll(t *testing.T) {
+	s := NewStriped(4)
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(h uint64) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				mu := s.For(h)
+				mu.Lock()
+				counter++
+				mu.Unlock()
+			}
+		}(uint64(0)) // all workers share one stripe so counter is protected
+	}
+	// Concurrent global sections.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.LockAll()
+				counter += 2
+				s.UnlockAll()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 4*1000+3*50*2 {
+		t.Fatalf("counter = %d, want %d", counter, 4*1000+3*50*2)
+	}
+}

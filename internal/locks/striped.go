@@ -1,0 +1,43 @@
+package locks
+
+import "sync"
+
+// Striped is a fixed array of reader/writer locks indexed by hash — the
+// classic lock-striping scheme of coarse-to-medium-grained hash tables.
+// The stripe count is rounded up to a power of two so selection is a
+// mask.
+type Striped struct {
+	stripes []sync.RWMutex
+	mask    uint64
+}
+
+// NewStriped creates a striped lock set with at least n stripes (minimum
+// 1, rounded up to a power of two).
+func NewStriped(n int) *Striped {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &Striped{stripes: make([]sync.RWMutex, size), mask: uint64(size - 1)}
+}
+
+// For returns the stripe responsible for hash h.
+func (s *Striped) For(h uint64) *sync.RWMutex { return &s.stripes[h&s.mask] }
+
+// Len returns the number of stripes.
+func (s *Striped) Len() int { return len(s.stripes) }
+
+// LockAll write-locks every stripe in index order (a global critical
+// section, e.g. for resize); UnlockAll releases in reverse order.
+func (s *Striped) LockAll() {
+	for i := range s.stripes {
+		s.stripes[i].Lock()
+	}
+}
+
+// UnlockAll releases all stripes taken by LockAll.
+func (s *Striped) UnlockAll() {
+	for i := len(s.stripes) - 1; i >= 0; i-- {
+		s.stripes[i].Unlock()
+	}
+}

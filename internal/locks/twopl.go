@@ -1,0 +1,77 @@
+package locks
+
+import "errors"
+
+// ErrTwoPhaseViolation is returned when a lock is requested after the
+// first unlock — the growing phase has ended.
+var ErrTwoPhaseViolation = errors.New("locks: lock acquired after unlock (2PL violation)")
+
+// TwoPhase wraps a Manager with the two-phase locking discipline: all
+// Lock calls must precede the first Unlock. The paper's Theorem 1 uses
+// the fact that fine-grained locks *can* implement 2PL — every schedule
+// a monomorphic TM accepts can be produced by a 2PL locking of the same
+// accesses — while plain well-formed locking (Figure 1's hand-over-hand
+// pattern) also accepts schedules no TM can. TwoPhase lets executors and
+// tests distinguish those two regimes mechanically.
+type TwoPhase struct {
+	m         *Manager
+	owner     uint64
+	shrinking bool
+	held      map[any]bool
+	strict    bool
+}
+
+// NewTwoPhase starts a 2PL session for owner on manager m. If strict is
+// true, individual Unlock calls are refused: all locks are held until
+// ReleaseAll (strict 2PL, the discipline commit-time STM locking
+// follows).
+func NewTwoPhase(m *Manager, owner uint64, strict bool) *TwoPhase {
+	return &TwoPhase{m: m, owner: owner, held: make(map[any]bool), strict: strict}
+}
+
+// Lock acquires key, enforcing the growing phase.
+func (t *TwoPhase) Lock(key any) error {
+	if t.shrinking {
+		return ErrTwoPhaseViolation
+	}
+	if t.held[key] {
+		return nil
+	}
+	if err := t.m.Acquire(t.owner, key); err != nil {
+		return err
+	}
+	t.held[key] = true
+	return nil
+}
+
+// Unlock releases key and enters the shrinking phase. Under strict 2PL
+// it returns ErrTwoPhaseViolation (use ReleaseAll).
+func (t *TwoPhase) Unlock(key any) error {
+	if t.strict {
+		return ErrTwoPhaseViolation
+	}
+	if !t.held[key] {
+		return ErrNotHeld
+	}
+	if err := t.m.Release(t.owner, key); err != nil {
+		return err
+	}
+	delete(t.held, key)
+	t.shrinking = true
+	return nil
+}
+
+// ReleaseAll ends the session, releasing every held lock.
+func (t *TwoPhase) ReleaseAll() {
+	for key := range t.held {
+		_ = t.m.Release(t.owner, key)
+		delete(t.held, key)
+	}
+	t.shrinking = true
+}
+
+// Holds reports whether key is currently held in this session.
+func (t *TwoPhase) Holds(key any) bool { return t.held[key] }
+
+// Shrinking reports whether the growing phase has ended.
+func (t *TwoPhase) Shrinking() bool { return t.shrinking }

@@ -1,0 +1,88 @@
+package locks
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestTwoPhaseBankTransfers: concurrent strict-2PL sessions move money
+// between accounts through the deadlock-detecting manager; deadlock
+// victims release everything and retry. The total is invariant and no
+// session ever observes a torn pair while holding both locks.
+func TestTwoPhaseBankTransfers(t *testing.T) {
+	m := NewManager()
+	const accounts = 6
+	const initial = 1000
+	balances := make([]int, accounts)
+	for i := range balances {
+		balances[i] = initial
+	}
+
+	var wg sync.WaitGroup
+	const workers, transfers = 6, 300
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go func(owner uint64, seed uint32) {
+			defer wg.Done()
+			r := seed
+			for i := 0; i < transfers; i++ {
+				r = r*1664525 + 1013904223
+				a := int(r>>8) % accounts
+				b := int(r>>16) % accounts
+				if a == b {
+					b = (b + 1) % accounts
+				}
+				for {
+					tp := NewTwoPhase(m, owner, true)
+					if err := tp.Lock(a); err != nil {
+						tp.ReleaseAll()
+						continue
+					}
+					if err := tp.Lock(b); err != nil {
+						// Deadlock victim: drop everything, retry.
+						if !errors.Is(err, ErrDeadlock) {
+							t.Errorf("unexpected lock error: %v", err)
+							tp.ReleaseAll()
+							return
+						}
+						tp.ReleaseAll()
+						continue
+					}
+					balances[a]--
+					balances[b]++
+					tp.ReleaseAll()
+					break
+				}
+			}
+		}(uint64(w), uint32(w*13))
+	}
+	wg.Wait()
+	total := 0
+	for _, b := range balances {
+		total += b
+	}
+	if total != accounts*initial {
+		t.Fatalf("total = %d, want %d (2PL lost an update)", total, accounts*initial)
+	}
+	acq, contended, deadlocks := m.Stats()
+	t.Logf("acquired=%d contended=%d deadlocks=%d", acq, contended, deadlocks)
+}
+
+// TestTwoPhaseHoldsAcrossCriticalSection: while a strict session holds
+// its locks, no other owner can acquire them (TryAcquire fails), and
+// after ReleaseAll it can.
+func TestTwoPhaseHoldsAcrossCriticalSection(t *testing.T) {
+	m := NewManager()
+	tp := NewTwoPhase(m, 1, true)
+	if err := tp.Lock("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TryAcquire(2, "x"); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("TryAcquire while held: %v, want ErrWouldBlock", err)
+	}
+	tp.ReleaseAll()
+	if err := m.TryAcquire(2, "x"); err != nil {
+		t.Fatalf("TryAcquire after release: %v", err)
+	}
+}

@@ -1,0 +1,198 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildSteps derives the critical steps of an executed transactional
+// history: one step per def operation (interval from its first access to
+// its commit), consecutive-pair steps for weak operations (interval from
+// the first to the second access of the pair, extended to the commit for
+// the final write-anchored step). Used to cross-check the operational
+// executors against the declarative SequentiallyEquivalent definition.
+func buildSteps(h History) []Step {
+	type acc struct {
+		a   Access
+		pos int
+	}
+	perProc := map[Proc][]acc{}
+	commitPos := map[Proc]int{}
+	params := map[Proc]Sem{}
+	for i, e := range h.Events {
+		switch e.Kind {
+		case KStart:
+			params[e.P] = e.Sem
+		case KCommit:
+			commitPos[e.P] = i
+		case KRead, KWrite:
+			perProc[e.P] = append(perProc[e.P], acc{Access{e.Kind, e.Reg, e.Val}, i})
+		}
+	}
+	var steps []Step
+	for p, as := range perProc {
+		// A weak operation is elastic only over its read prefix: pairs
+		// of consecutive reads up to the first write; the window read
+		// plus everything from the first write on form one final
+		// critical step anchored at commit (the executor degrades to
+		// def there).
+		firstWrite := len(as)
+		for i, a := range as {
+			if a.a.Kind == KWrite {
+				firstWrite = i
+				break
+			}
+		}
+		if params[p] == SemWeak && firstWrite >= 1 {
+			idx := 0
+			for i := 0; i+1 < firstWrite; i++ {
+				steps = append(steps, Step{P: p, Index: idx,
+					Accesses: []Access{as[i].a, as[i+1].a},
+					Lo:       as[i].pos, Hi: as[i+1].pos})
+				idx++
+			}
+			if firstWrite == len(as) {
+				// Read-only: the pairs are the whole semantics; a
+				// single read is its own step.
+				if len(as) == 1 {
+					steps = append(steps, Step{P: p, Index: idx,
+						Accesses: []Access{as[0].a},
+						Lo:       as[0].pos, Hi: as[0].pos})
+				}
+			} else {
+				// Final step: the window read plus everything from the
+				// first write on, anchored at commit.
+				final := Step{P: p, Index: idx, Lo: as[firstWrite-1].pos, Hi: commitPos[p]}
+				for i := firstWrite - 1; i < len(as); i++ {
+					final.Accesses = append(final.Accesses, as[i].a)
+				}
+				steps = append(steps, final)
+			}
+		} else {
+			st := Step{P: p, Index: 0, Lo: as[0].pos, Hi: commitPos[p]}
+			for _, a := range as {
+				st.Accesses = append(st.Accesses, a.a)
+			}
+			steps = append(steps, st)
+		}
+	}
+	return steps
+}
+
+// randomTxnSchedule builds a random well-formed transactional schedule
+// with nops operations of 1..3 accesses over {x,y,z}.
+func randomTxnSchedule(rng *rand.Rand, nops int, params []Sem) Schedule {
+	regs := []Register{"x", "y", "z"}
+	seqs := make([][]Event, nops)
+	for i := 0; i < nops; i++ {
+		p := Proc(i + 1)
+		n := 1 + rng.Intn(3)
+		evs := []Event{{P: p, Kind: KStart, Sem: params[rng.Intn(len(params))]}}
+		for j := 0; j < n; j++ {
+			reg := regs[rng.Intn(len(regs))]
+			if rng.Intn(2) == 0 {
+				evs = append(evs, Event{P: p, Kind: KRead, Reg: reg})
+			} else {
+				evs = append(evs, Event{P: p, Kind: KWrite, Reg: reg, Val: (i+1)*100 + j + 1})
+			}
+		}
+		seqs[i] = append(evs, Event{P: p, Kind: KCommit})
+	}
+	idx := make([]int, nops)
+	var out []Event
+	for {
+		var cand []int
+		for i := range seqs {
+			if idx[i] < len(seqs[i]) {
+				cand = append(cand, i)
+			}
+		}
+		if len(cand) == 0 {
+			return Schedule{Events: out}
+		}
+		c := cand[rng.Intn(len(cand))]
+		out = append(out, seqs[c][idx[c]])
+		idx[c]++
+	}
+}
+
+// TestMonoAcceptanceImpliesSequentialEquivalence: every schedule the
+// monomorphic executor accepts yields a history equivalent to a
+// sequential history of whole-operation critical steps — the paper's
+// validity definition. This cross-validates the operational executor
+// against the declarative checker.
+func TestMonoAcceptanceImpliesSequentialEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	accepted := 0
+	for i := 0; i < 3000; i++ {
+		s := randomTxnSchedule(rng, 2+rng.Intn(2), []Sem{SemDef})
+		r := ExecMonomorphic(s)
+		if !r.Accepted {
+			continue
+		}
+		accepted++
+		if !SequentiallyEquivalent(buildSteps(r.History)) {
+			t.Fatalf("mono accepted a non-serializable history:\n%s", r.History)
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no schedules accepted — generator broken")
+	}
+	t.Logf("cross-checked %d accepted histories", accepted)
+}
+
+// TestPolyAcceptanceImpliesStepEquivalence: same cross-check for the
+// polymorphic executor under its declared (pairwise for weak) steps.
+func TestPolyAcceptanceImpliesStepEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	accepted := 0
+	for i := 0; i < 3000; i++ {
+		s := randomTxnSchedule(rng, 2+rng.Intn(2), []Sem{SemDef, SemWeak})
+		r := ExecPolymorphic(s)
+		if !r.Accepted {
+			continue
+		}
+		accepted++
+		if !SequentiallyEquivalent(buildSteps(r.History)) {
+			t.Fatalf("poly accepted a history violating its declared critical steps:\n%s", r.History)
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no schedules accepted — generator broken")
+	}
+	t.Logf("cross-checked %d accepted histories", accepted)
+}
+
+// TestSerialSchedulesAlwaysAccepted: operations run one after another
+// are accepted by both transactional synchronizations, whatever the
+// parameters — the baseline sanity of any synchronization.
+func TestSerialSchedulesAlwaysAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	regs := []Register{"x", "y"}
+	params := []Sem{SemDef, SemWeak, SemSnapshot}
+	for i := 0; i < 500; i++ {
+		nops := 2 + rng.Intn(3)
+		var evs []Event
+		for p := 1; p <= nops; p++ {
+			sem := params[rng.Intn(len(params))]
+			evs = append(evs, Event{P: Proc(p), Kind: KStart, Sem: sem})
+			n := 1 + rng.Intn(3)
+			for j := 0; j < n; j++ {
+				reg := regs[rng.Intn(len(regs))]
+				if sem != SemSnapshot && rng.Intn(2) == 0 {
+					evs = append(evs, Event{P: Proc(p), Kind: KWrite, Reg: reg, Val: p*100 + j})
+				} else {
+					evs = append(evs, Event{P: Proc(p), Kind: KRead, Reg: reg})
+				}
+			}
+			evs = append(evs, Event{P: Proc(p), Kind: KCommit})
+		}
+		s := Schedule{Events: evs}
+		if r := ExecMonomorphic(s); !r.Accepted {
+			t.Fatalf("mono rejected a serial schedule: %s (%s)", s, r.Reason)
+		}
+		if r := ExecPolymorphic(s); !r.Accepted {
+			t.Fatalf("poly rejected a serial schedule: %s (%s)", s, r.Reason)
+		}
+	}
+}

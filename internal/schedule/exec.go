@@ -1,0 +1,161 @@
+package schedule
+
+import "fmt"
+
+// Result is the outcome of executing a schedule under a synchronization.
+type Result struct {
+	Accepted bool
+	History  History
+	Reason   string // diagnosis when rejected
+	AbortAt  int    // index of the aborting event, -1 if none
+}
+
+func rejected(at int, format string, args ...any) Result {
+	return Result{Accepted: false, AbortAt: at, Reason: fmt.Sprintf(format, args...)}
+}
+
+// txnState tracks one live transaction during transactional execution.
+type txnState struct {
+	sem     Sem
+	started bool
+	// rset holds (register, value read) pairs in read order. Under weak
+	// semantics before the first write it is trimmed to the sliding
+	// window; afterwards it grows like a def read set.
+	rset []Access
+	// wset buffers writes (register -> value), applied at commit.
+	wset map[Register]int
+	// worder preserves write order for the history.
+	written bool
+	// startMem is the committed state at start (snapshot semantics).
+	startMem map[Register]int
+}
+
+// ExecMonomorphic executes a transactional schedule under monomorphic
+// synchronization: every start(p) is executed as start(def) — the
+// paper's clause (i) — and each transaction keeps its whole read set
+// current at every access and at commit (single-version opaque TM).
+// The schedule is accepted iff no event aborts.
+func ExecMonomorphic(s Schedule) Result { return execTransactional(s, true) }
+
+// ExecPolymorphic executes a transactional schedule under polymorphic
+// synchronization: each transaction runs the semantics of its start
+// parameter (def, weak/elastic, or snapshot).
+func ExecPolymorphic(s Schedule) Result { return execTransactional(s, false) }
+
+func execTransactional(s Schedule, mono bool) Result {
+	if err := s.WellFormedTransactional(); err != nil {
+		return rejected(-1, "ill-formed: %v", err)
+	}
+	mem := map[Register]int{}
+	txns := map[Proc]*txnState{}
+	hist := History{Events: make([]Event, 0, len(s.Events))}
+
+	// currentAll reports whether every tracked read value is still the
+	// register's committed value (the transaction's own buffered writes
+	// do not change mem).
+	currentAll := func(t *txnState) bool {
+		for _, a := range t.rset {
+			if mem[a.Reg] != a.Val {
+				return false
+			}
+		}
+		return true
+	}
+
+	for i, e := range s.Events {
+		he := e
+		switch e.Kind {
+		case KStart:
+			sem := e.Sem
+			if mono {
+				sem = SemDef // clause (i): start(*) executes as start(def)
+				he.Sem = SemDef
+			}
+			t := &txnState{sem: sem, started: true, wset: map[Register]int{}}
+			if sem == SemSnapshot {
+				t.startMem = make(map[Register]int, len(mem))
+				for k, v := range mem {
+					t.startMem[k] = v
+				}
+			}
+			txns[e.P] = t
+
+		case KRead:
+			t := txns[e.P]
+			if t == nil {
+				return rejected(i, "%v: read outside transaction", e.P)
+			}
+			var val int
+			fromWset := false
+			if t.sem == SemSnapshot {
+				val = t.startMem[e.Reg] // multi-version: value at start
+			} else if v, ok := t.wset[e.Reg]; ok {
+				val = v // read-your-writes: not a memory read
+				fromWset = true
+			} else {
+				val = mem[e.Reg] // latest committed value
+			}
+			he.Val = val
+			switch {
+			case t.sem == SemSnapshot || fromWset:
+				// Snapshot never aborts; buffered values need no
+				// validation and are not tracked.
+			case t.sem == SemWeak && !t.written:
+				// Elastic: only the sliding window must stay current.
+				if !currentAll(t) {
+					return rejected(i, "%v: elastic window invalidated at r(%s)", e.P, e.Reg)
+				}
+				t.rset = append(t.rset, Access{Kind: KRead, Reg: e.Reg, Val: val})
+				if len(t.rset) > 1 {
+					t.rset = t.rset[len(t.rset)-1:] // cut: keep the window
+				}
+			default: // def (and weak after its first write)
+				if !currentAll(t) {
+					return rejected(i, "%v: read validation failed at r(%s)", e.P, e.Reg)
+				}
+				t.rset = append(t.rset, Access{Kind: KRead, Reg: e.Reg, Val: val})
+			}
+
+		case KWrite:
+			t := txns[e.P]
+			if t == nil {
+				return rejected(i, "%v: write outside transaction", e.P)
+			}
+			if t.sem == SemSnapshot {
+				return rejected(i, "%v: write in snapshot (read-only) transaction", e.P)
+			}
+			if t.sem == SemWeak && !t.written {
+				// The window anchors the write's critical step and is
+				// validated from here on like a def read set.
+				t.written = true
+			}
+			t.wset[e.Reg] = e.Val
+
+		case KCommit:
+			t := txns[e.P]
+			if t == nil {
+				return rejected(i, "%v: commit outside transaction", e.P)
+			}
+			switch {
+			case t.sem == SemSnapshot:
+				// Read-only; commits unconditionally.
+			case t.sem == SemWeak && !t.written:
+				// Read-only elastic: every window was validated on the
+				// fly; nothing to re-check.
+			default:
+				if !currentAll(t) {
+					return rejected(i, "%v: commit validation failed", e.P)
+				}
+			}
+			for r, v := range t.wset {
+				mem[r] = v
+			}
+			delete(txns, e.P)
+
+		case KLock, KUnlock:
+			return rejected(i, "lock event in transactional schedule")
+		}
+		hist.Events = append(hist.Events, he)
+	}
+	return Result{Accepted: true, History: hist, AbortAt: -1}
+}

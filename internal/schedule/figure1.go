@@ -1,0 +1,83 @@
+package schedule
+
+// This file encodes the paper's Figure 1 — the witness schedule
+// "accepted by lock-based and polymorphic transactions but not by
+// monomorphic transactions" — in both its lock-based and transactional
+// renditions, exactly event for event.
+//
+// Three processes over registers x, y, z, all initially 0:
+//
+//	p1 runs a sorted-linked-list-style search r(x), r(y), r(z) whose
+//	   declared semantics is the pairs γ1={r(x),r(y)}, γ2={r(y),r(z)}
+//	   (hand-over-hand locking / start(weak));
+//	p3 writes z (w(z,30)) in the middle of the search;
+//	p2 overwrites x (w(x,20)) after p1 has moved past it.
+//
+// No single point of the execution has the values returned by r(x) and
+// r(z) simultaneously present once both writers commit in that order
+// relative to p1's reads under commit-time currency — which is why every
+// monomorphic transaction aborts — while each pair is atomic at some
+// point, which locks and elastic transactions both exploit.
+
+// Figure-1 process names.
+const (
+	P1 Proc = 1
+	P2 Proc = 2
+	P3 Proc = 3
+)
+
+// Figure-1 written values.
+const (
+	ValZ3 = 30 // value p3 writes to z
+	ValX2 = 20 // value p2 writes to x
+)
+
+// Figure1Lock returns the lock-based schedule of Figure 1 (left side).
+func Figure1Lock() Schedule {
+	return Schedule{Events: []Event{
+		{P: P1, Kind: KLock, Reg: "x"},
+		{P: P1, Kind: KRead, Reg: "x"},
+		{P: P1, Kind: KLock, Reg: "y"},
+		{P: P3, Kind: KLock, Reg: "z"},
+		{P: P3, Kind: KWrite, Reg: "z", Val: ValZ3},
+		{P: P1, Kind: KRead, Reg: "y"},
+		{P: P3, Kind: KUnlock, Reg: "z"},
+		{P: P1, Kind: KUnlock, Reg: "x"},
+		{P: P2, Kind: KLock, Reg: "x"},
+		{P: P2, Kind: KWrite, Reg: "x", Val: ValX2},
+		{P: P1, Kind: KLock, Reg: "z"},
+		{P: P2, Kind: KUnlock, Reg: "x"},
+		{P: P1, Kind: KRead, Reg: "z"},
+		{P: P1, Kind: KUnlock, Reg: "y"},
+		{P: P1, Kind: KUnlock, Reg: "z"},
+	}}
+}
+
+// Figure1LockSems returns the declared operation semantics of the
+// lock-based Figure 1: p1's three reads have pairs semantics (the
+// hand-over-hand invariant), the writers are single-access operations.
+func Figure1LockSems() map[Proc]OpSem {
+	return map[Proc]OpSem{
+		P1: PairsSem(3),
+		P2: AtomicSem(1),
+		P3: AtomicSem(1),
+	}
+}
+
+// Figure1TM returns the transactional schedule of Figure 1 (right
+// side): p1 runs start(weak); p2 and p3 run start(def).
+func Figure1TM() Schedule {
+	return Schedule{Events: []Event{
+		{P: P1, Kind: KStart, Sem: SemWeak},
+		{P: P1, Kind: KRead, Reg: "x"},
+		{P: P3, Kind: KStart, Sem: SemDef},
+		{P: P3, Kind: KWrite, Reg: "z", Val: ValZ3},
+		{P: P1, Kind: KRead, Reg: "y"},
+		{P: P3, Kind: KCommit},
+		{P: P2, Kind: KStart, Sem: SemDef},
+		{P: P2, Kind: KWrite, Reg: "x", Val: ValX2},
+		{P: P2, Kind: KCommit},
+		{P: P1, Kind: KRead, Reg: "z"},
+		{P: P1, Kind: KCommit},
+	}}
+}

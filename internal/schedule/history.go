@@ -1,0 +1,124 @@
+package schedule
+
+import "fmt"
+
+// History is the result of executing a schedule: the same events with
+// read events carrying the values their execution returned (the paper's
+// H). Initial register values are 0.
+type History struct {
+	Events []Event
+}
+
+// String renders the history one event per line with read values.
+func (h History) String() string {
+	out := ""
+	for i, e := range h.Events {
+		if i > 0 {
+			out += "; "
+		}
+		if e.Kind == KRead {
+			out += fmt.Sprintf("%v:r(%s):%d", e.P, e.Reg, e.Val)
+		} else {
+			out += e.String()
+		}
+	}
+	return out
+}
+
+// Access is one read or write inside a critical step, with the value it
+// returned (reads) or wrote (writes).
+type Access struct {
+	Kind Kind
+	Reg  Register
+	Val  int
+}
+
+// Step is one critical step γ of one operation, ready for the
+// sequential-equivalence check: its accesses in program order and the
+// interval of schedule positions [Lo, Hi] within which its atomicity
+// point may lie (for a lock-based step, the span of its accesses; for a
+// transactional step, from its first access to the commit event).
+type Step struct {
+	P        Proc
+	Index    int // position of this step within its operation
+	Accesses []Access
+	Lo, Hi   int
+}
+
+// SequentiallyEquivalent reports whether the steps can be ordered as a
+// sequential history: a total order of steps that (a) respects each
+// operation's program order, (b) admits strictly increasing atomicity
+// points with each step's point inside its [Lo, Hi] interval, and
+// (c) is legal — every read returns the most recent write to its
+// register in that order (initial values 0), with intra-step writes
+// visible to later intra-step reads.
+//
+// The search is exhaustive over step permutations with pruning; the
+// model targets the paper's hand-sized schedules (a handful of steps).
+func SequentiallyEquivalent(steps []Step) bool {
+	n := len(steps)
+	if n == 0 {
+		return true
+	}
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	var rec func(lastPoint float64) bool
+	rec = func(lastPoint float64) bool {
+		if len(order) == n {
+			return legal(steps, order)
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			// Program order: all earlier steps of the same operation
+			// must already be placed.
+			ok := true
+			for j := 0; j < n; j++ {
+				if j != i && !used[j] && steps[j].P == steps[i].P && steps[j].Index < steps[i].Index {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Interval feasibility: the step's point must exceed the
+			// previous point and fit inside [Lo, Hi].
+			point := lastPoint + 0.001
+			if float64(steps[i].Lo) > point {
+				point = float64(steps[i].Lo)
+			}
+			if point > float64(steps[i].Hi)+0.5 {
+				continue
+			}
+			used[i] = true
+			order = append(order, i)
+			if rec(point) {
+				return true
+			}
+			order = order[:len(order)-1]
+			used[i] = false
+		}
+		return false
+	}
+	return rec(-1)
+}
+
+// legal simulates the steps in the given order and checks every read.
+func legal(steps []Step, order []int) bool {
+	mem := map[Register]int{}
+	for _, idx := range order {
+		for _, a := range steps[idx].Accesses {
+			switch a.Kind {
+			case KRead:
+				if mem[a.Reg] != a.Val {
+					return false
+				}
+			case KWrite:
+				mem[a.Reg] = a.Val
+			}
+		}
+	}
+	return true
+}

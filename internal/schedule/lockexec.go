@@ -1,0 +1,122 @@
+package schedule
+
+// OpSem declares the semantics of one operation: the assignment of its
+// accesses (indexed in program order, counting only reads and writes) to
+// critical steps — the paper's "assignment of accesses to critical
+// steps". Steps may share accesses, as in the sorted-list contains whose
+// pairs both contain r(y).
+type OpSem struct {
+	Steps [][]int
+}
+
+// AtomicSem is the all-in-one-step semantics of n accesses — what a
+// monomorphic transaction enforces.
+func AtomicSem(n int) OpSem {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return OpSem{Steps: [][]int{idx}}
+}
+
+// PairsSem is the consecutive-pairs semantics of n accesses — the
+// paper's γ1={a0,a1}, γ2={a1,a2}, … (a single step when n < 2).
+func PairsSem(n int) OpSem {
+	if n < 2 {
+		return AtomicSem(n)
+	}
+	steps := make([][]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		steps = append(steps, []int{i, i + 1})
+	}
+	return OpSem{Steps: steps}
+}
+
+// ExecLockBased executes a lock-based schedule literally: lock events
+// acquire per-register locks (a lock held by another process means the
+// interleaving cannot occur and the schedule is rejected), accesses must
+// be covered by a lock on their register, writes apply in place, reads
+// return the current value. The history is then checked for validity:
+// it must be equivalent to a sequential history of the operations'
+// declared critical steps (sems maps each process to its operation's
+// semantics; missing entries default to atomic). Each step's atomicity
+// point is confined to the span of its accesses, which the held locks
+// make exclusive.
+func ExecLockBased(s Schedule, sems map[Proc]OpSem) Result {
+	if err := s.WellFormedLockBased(); err != nil {
+		return rejected(-1, "ill-formed: %v", err)
+	}
+	mem := map[Register]int{}
+	holder := map[Register]Proc{}
+	hist := History{Events: make([]Event, 0, len(s.Events))}
+
+	// accesses[p] collects p's executed accesses with their positions.
+	type posAccess struct {
+		a   Access
+		pos int
+	}
+	accesses := map[Proc][]posAccess{}
+
+	for i, e := range s.Events {
+		he := e
+		switch e.Kind {
+		case KLock:
+			if h, held := holder[e.Reg]; held && h != e.P {
+				return rejected(i, "%v: lock(%s) while held by %v — interleaving impossible", e.P, e.Reg, h)
+			}
+			holder[e.Reg] = e.P
+		case KUnlock:
+			if holder[e.Reg] != e.P {
+				return rejected(i, "%v: unlock(%s) not held", e.P, e.Reg)
+			}
+			delete(holder, e.Reg)
+		case KRead:
+			if holder[e.Reg] != e.P {
+				return rejected(i, "%v: r(%s) without holding its lock", e.P, e.Reg)
+			}
+			he.Val = mem[e.Reg]
+			accesses[e.P] = append(accesses[e.P], posAccess{Access{KRead, e.Reg, he.Val}, i})
+		case KWrite:
+			if holder[e.Reg] != e.P {
+				return rejected(i, "%v: w(%s) without holding its lock", e.P, e.Reg)
+			}
+			mem[e.Reg] = e.Val
+			accesses[e.P] = append(accesses[e.P], posAccess{Access{KWrite, e.Reg, e.Val}, i})
+		case KStart, KCommit:
+			return rejected(i, "transactional event in lock-based schedule")
+		}
+		hist.Events = append(hist.Events, he)
+	}
+
+	// Build critical steps from the declared semantics and check
+	// sequential equivalence.
+	var steps []Step
+	for p, pas := range accesses {
+		sem, ok := sems[p]
+		if !ok {
+			sem = AtomicSem(len(pas))
+		}
+		for si, idxs := range sem.Steps {
+			st := Step{P: p, Index: si, Lo: len(s.Events), Hi: -1}
+			for _, ai := range idxs {
+				if ai < 0 || ai >= len(pas) {
+					return rejected(-1, "%v: semantics references access %d of %d", p, ai, len(pas))
+				}
+				pa := pas[ai]
+				st.Accesses = append(st.Accesses, pa.a)
+				if pa.pos < st.Lo {
+					st.Lo = pa.pos
+				}
+				if pa.pos > st.Hi {
+					st.Hi = pa.pos
+				}
+			}
+			steps = append(steps, st)
+		}
+	}
+	if !SequentiallyEquivalent(steps) {
+		return Result{Accepted: false, History: hist, AbortAt: -1,
+			Reason: "history not equivalent to a sequential history of the declared critical steps"}
+	}
+	return Result{Accepted: true, History: hist, AbortAt: -1}
+}

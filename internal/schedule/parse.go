@@ -1,0 +1,129 @@
+package schedule
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a schedule from the compact textual notation used by the
+// paper (and printed by Schedule.String): events separated by
+// semicolons or newlines, each of the form
+//
+//	p1:start(weak)   p2:start(def)   p3:start        (default def)
+//	p1:r(x)          p2:w(x,20)      p1:commit
+//	p1:lock(x)       p1:unlock(x)
+//
+// Whitespace is free; '#' starts a comment to end of line. Process
+// names are p<N> with N >= 1.
+func Parse(src string) (Schedule, error) {
+	var out Schedule
+	for ln, rawLine := range strings.Split(src, "\n") {
+		line := rawLine
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, tok := range strings.Split(line, ";") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			ev, err := parseEvent(tok)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("line %d: %q: %w", ln+1, tok, err)
+			}
+			out.Events = append(out.Events, ev)
+		}
+	}
+	if len(out.Events) == 0 {
+		return Schedule{}, fmt.Errorf("empty schedule")
+	}
+	return out, nil
+}
+
+func parseEvent(tok string) (Event, error) {
+	colon := strings.IndexByte(tok, ':')
+	if colon < 0 {
+		return Event{}, fmt.Errorf("missing ':' between process and event")
+	}
+	pstr := strings.TrimSpace(tok[:colon])
+	if len(pstr) < 2 || pstr[0] != 'p' {
+		return Event{}, fmt.Errorf("bad process %q (want pN)", pstr)
+	}
+	pn, err := strconv.Atoi(pstr[1:])
+	if err != nil || pn < 1 {
+		return Event{}, fmt.Errorf("bad process number %q", pstr)
+	}
+	ev := Event{P: Proc(pn)}
+
+	body := strings.TrimSpace(tok[colon+1:])
+	name := body
+	var arg string
+	if open := strings.IndexByte(body, '('); open >= 0 {
+		if !strings.HasSuffix(body, ")") {
+			return Event{}, fmt.Errorf("unbalanced parentheses in %q", body)
+		}
+		name = body[:open]
+		arg = strings.TrimSpace(body[open+1 : len(body)-1])
+	}
+
+	switch name {
+	case "start":
+		ev.Kind = KStart
+		switch arg {
+		case "", "def", "⊥", "*":
+			ev.Sem = SemDef
+		case "weak":
+			ev.Sem = SemWeak
+		case "snapshot":
+			ev.Sem = SemSnapshot
+		default:
+			return Event{}, fmt.Errorf("unknown semantics %q", arg)
+		}
+	case "commit":
+		ev.Kind = KCommit
+		if arg != "" {
+			return Event{}, fmt.Errorf("commit takes no argument")
+		}
+	case "r":
+		ev.Kind = KRead
+		if arg == "" {
+			return Event{}, fmt.Errorf("read needs a register")
+		}
+		ev.Reg = Register(arg)
+	case "w":
+		ev.Kind = KWrite
+		parts := strings.SplitN(arg, ",", 2)
+		if parts[0] == "" {
+			return Event{}, fmt.Errorf("write needs a register")
+		}
+		ev.Reg = Register(strings.TrimSpace(parts[0]))
+		if len(parts) == 2 {
+			v, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+			if err != nil {
+				return Event{}, fmt.Errorf("bad write value %q", parts[1])
+			}
+			ev.Val = v
+		} else {
+			// Unvalued writes get a synthetic unique value per position
+			// when the schedule is completed by the caller; default to
+			// process*1000 here for determinism.
+			ev.Val = pn * 1000
+		}
+	case "lock":
+		ev.Kind = KLock
+		if arg == "" {
+			return Event{}, fmt.Errorf("lock needs a register")
+		}
+		ev.Reg = Register(arg)
+	case "unlock":
+		ev.Kind = KUnlock
+		if arg == "" {
+			return Event{}, fmt.Errorf("unlock needs a register")
+		}
+		ev.Reg = Register(arg)
+	default:
+		return Event{}, fmt.Errorf("unknown event %q", name)
+	}
+	return ev, nil
+}

@@ -1,0 +1,108 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFigure1RoundTrip(t *testing.T) {
+	want := Figure1TM()
+	got, err := Parse(want.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(want.Events) {
+		t.Fatalf("len = %d, want %d", len(got.Events), len(want.Events))
+	}
+	for i := range want.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got.Events[i], want.Events[i])
+		}
+	}
+}
+
+func TestParseLockScheduleRoundTrip(t *testing.T) {
+	want := Figure1Lock()
+	got, err := Parse(want.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got.Events[i], want.Events[i])
+		}
+	}
+}
+
+func TestParseMultilineWithComments(t *testing.T) {
+	src := `
+# Figure 1, hand-written
+p1:start(weak)
+p1:r(x)        # the search begins
+p3:start(def); p3:w(z,30); p1:r(y); p3:commit
+p2:start(def); p2:w(x,20); p2:commit
+p1:r(z); p1:commit
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 11 {
+		t.Fatalf("events = %d, want 11", len(s.Events))
+	}
+	r := ExecPolymorphic(s)
+	if !r.Accepted {
+		t.Fatalf("hand-written Figure 1 rejected by poly: %s", r.Reason)
+	}
+	if ExecMonomorphic(s).Accepted {
+		t.Fatal("hand-written Figure 1 accepted by mono")
+	}
+}
+
+func TestParseDefaultsAndAliases(t *testing.T) {
+	s, err := Parse("p1:start; p1:r(x); p1:commit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events[0].Sem != SemDef {
+		t.Fatal("bare start must default to def")
+	}
+	s, err = Parse("p1:start(*); p1:w(x); p1:commit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events[0].Sem != SemDef {
+		t.Fatal("start(*) must map to def")
+	}
+	if s.Events[1].Val == 0 {
+		t.Fatal("unvalued write must get a synthetic value")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"start(weak)",        // no process
+		"q1:start",           // bad process letter
+		"p0:start",           // process numbers start at 1
+		"p1:start(turbo)",    // unknown semantics
+		"p1:frobnicate(x)",   // unknown event
+		"p1:r()",             // read without register
+		"p1:w(x,notanumber)", // bad value
+		"p1:commit(now)",     // commit takes no argument
+		"p1:lock",            // lock without register
+		"p1:r(x",             // unbalanced parens
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseErrorMentionsLine(t *testing.T) {
+	_, err := Parse("p1:start\np1:oops\np1:commit")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line number", err)
+	}
+}

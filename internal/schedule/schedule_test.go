@@ -1,0 +1,400 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+)
+
+// --- well-formedness -------------------------------------------------
+
+func TestWellFormedTransactional(t *testing.T) {
+	s := Figure1TM()
+	if err := s.WellFormedTransactional(); err != nil {
+		t.Fatalf("Figure 1 TM schedule must be well-formed: %v", err)
+	}
+}
+
+func TestIllFormedTransactional(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []Event
+	}{
+		{"access outside txn", []Event{{P: 1, Kind: KRead, Reg: "x"}}},
+		{"commit without start", []Event{{P: 1, Kind: KCommit}}},
+		{"nested start", []Event{
+			{P: 1, Kind: KStart}, {P: 1, Kind: KStart}}},
+		{"unterminated txn", []Event{
+			{P: 1, Kind: KStart}, {P: 1, Kind: KRead, Reg: "x"}}},
+		{"lock event", []Event{
+			{P: 1, Kind: KStart}, {P: 1, Kind: KLock, Reg: "x"}}},
+	}
+	for _, c := range cases {
+		if err := (Schedule{Events: c.events}).WellFormedTransactional(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestWellFormedLockBased(t *testing.T) {
+	if err := Figure1Lock().WellFormedLockBased(); err != nil {
+		t.Fatalf("Figure 1 lock schedule must be well-formed: %v", err)
+	}
+}
+
+func TestIllFormedLockBased(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []Event
+	}{
+		{"unlock without lock", []Event{{P: 1, Kind: KUnlock, Reg: "x"}}},
+		{"never unlocked", []Event{{P: 1, Kind: KLock, Reg: "x"}}},
+		{"re-lock held", []Event{
+			{P: 1, Kind: KLock, Reg: "x"}, {P: 1, Kind: KLock, Reg: "x"}}},
+		{"start event", []Event{{P: 1, Kind: KStart}}},
+	}
+	for _, c := range cases {
+		if err := (Schedule{Events: c.events}).WellFormedLockBased(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+// --- Figure 1: the paper's central claim ------------------------------
+
+func TestFigure1AcceptedByLocks(t *testing.T) {
+	r := ExecLockBased(Figure1Lock(), Figure1LockSems())
+	if !r.Accepted {
+		t.Fatalf("lock-based must accept Figure 1: %s", r.Reason)
+	}
+	// p1 must have observed x=0, y=0, z=30 — the hand-over-hand values.
+	vals := readValues(r.History, P1)
+	if vals["x"] != 0 || vals["y"] != 0 || vals["z"] != ValZ3 {
+		t.Fatalf("p1 observed %v, want x=0 y=0 z=%d", vals, ValZ3)
+	}
+}
+
+func TestFigure1RejectedByMonomorphic(t *testing.T) {
+	r := ExecMonomorphic(Figure1TM())
+	if r.Accepted {
+		t.Fatal("monomorphic synchronization must reject Figure 1")
+	}
+	if r.AbortAt < 0 {
+		t.Fatal("expected an aborting event index")
+	}
+	if !strings.Contains(r.Reason, "read validation") {
+		t.Fatalf("unexpected reason: %s", r.Reason)
+	}
+}
+
+func TestFigure1AcceptedByPolymorphic(t *testing.T) {
+	r := ExecPolymorphic(Figure1TM())
+	if !r.Accepted {
+		t.Fatalf("polymorphic synchronization must accept Figure 1: %s", r.Reason)
+	}
+	vals := readValues(r.History, P1)
+	if vals["x"] != 0 || vals["y"] != 0 || vals["z"] != ValZ3 {
+		t.Fatalf("p1 observed %v, want x=0 y=0 z=%d", vals, ValZ3)
+	}
+}
+
+// TestFigure1PolyMatchesEngine: the schedule-level verdicts must agree
+// with the real engine behaviour (TestFigure1EngineLevel in
+// internal/stm); here we additionally check the poly history equals the
+// lock history on read values — the two accepting synchronizations
+// observe the same world.
+func TestFigure1PolyAndLockAgree(t *testing.T) {
+	lock := ExecLockBased(Figure1Lock(), Figure1LockSems())
+	poly := ExecPolymorphic(Figure1TM())
+	lv, pv := readValues(lock.History, P1), readValues(poly.History, P1)
+	for _, reg := range []Register{"x", "y", "z"} {
+		if lv[reg] != pv[reg] {
+			t.Fatalf("lock and poly disagree on %s: %d vs %d", reg, lv[reg], pv[reg])
+		}
+	}
+}
+
+func readValues(h History, p Proc) map[Register]int {
+	out := map[Register]int{}
+	for _, e := range h.Events {
+		if e.P == p && e.Kind == KRead {
+			out[e.Reg] = e.Val
+		}
+	}
+	return out
+}
+
+// --- executor unit behaviour ------------------------------------------
+
+func TestMonoAcceptsSerialSchedule(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{P: 1, Kind: KStart}, {P: 1, Kind: KWrite, Reg: "x", Val: 1}, {P: 1, Kind: KCommit},
+		{P: 2, Kind: KStart}, {P: 2, Kind: KRead, Reg: "x"}, {P: 2, Kind: KCommit},
+	}}
+	r := ExecMonomorphic(s)
+	if !r.Accepted {
+		t.Fatalf("serial schedule rejected: %s", r.Reason)
+	}
+	if v := readValues(r.History, 2)["x"]; v != 1 {
+		t.Fatalf("p2 read %d, want 1", v)
+	}
+}
+
+func TestMonoRejectsInvalidatedRead(t *testing.T) {
+	// p1 reads x, p2 commits a write to x, p1 reads y -> validation of
+	// {x} fails.
+	s := Schedule{Events: []Event{
+		{P: 1, Kind: KStart},
+		{P: 1, Kind: KRead, Reg: "x"},
+		{P: 2, Kind: KStart},
+		{P: 2, Kind: KWrite, Reg: "x", Val: 9},
+		{P: 2, Kind: KCommit},
+		{P: 1, Kind: KRead, Reg: "y"},
+		{P: 1, Kind: KCommit},
+	}}
+	if r := ExecMonomorphic(s); r.Accepted {
+		t.Fatal("mono must reject: read set invalidated mid-transaction")
+	}
+	// The same schedule with p1 weak is accepted by poly: the window
+	// after r(x) is {x}, and r(y) validates it... x was overwritten, so
+	// weak must also reject here (the window itself died).
+	s.Events[0].Sem = SemWeak
+	if r := ExecPolymorphic(s); r.Accepted {
+		t.Fatal("weak must also reject when the window itself is invalidated")
+	}
+}
+
+func TestWeakAcceptsCutScenario(t *testing.T) {
+	// p1(weak) reads x then y; p2 overwrites x (outside the window);
+	// p1 reads z: accepted, unlike mono.
+	s := Schedule{Events: []Event{
+		{P: 1, Kind: KStart, Sem: SemWeak},
+		{P: 1, Kind: KRead, Reg: "x"},
+		{P: 1, Kind: KRead, Reg: "y"},
+		{P: 2, Kind: KStart},
+		{P: 2, Kind: KWrite, Reg: "x", Val: 9},
+		{P: 2, Kind: KCommit},
+		{P: 1, Kind: KRead, Reg: "z"},
+		{P: 1, Kind: KCommit},
+	}}
+	if r := ExecPolymorphic(s); !r.Accepted {
+		t.Fatalf("poly must accept the cut scenario: %s", r.Reason)
+	}
+	if r := ExecMonomorphic(s); r.Accepted {
+		t.Fatal("mono must reject the cut scenario")
+	}
+}
+
+func TestWeakBecomesDefAfterWrite(t *testing.T) {
+	// p1(weak) reads x, writes q, reads y; p2 then overwrites y before
+	// p1 commits -> commit validation fails even under weak.
+	s := Schedule{Events: []Event{
+		{P: 1, Kind: KStart, Sem: SemWeak},
+		{P: 1, Kind: KRead, Reg: "x"},
+		{P: 1, Kind: KWrite, Reg: "q", Val: 5},
+		{P: 1, Kind: KRead, Reg: "y"},
+		{P: 2, Kind: KStart},
+		{P: 2, Kind: KWrite, Reg: "y", Val: 9},
+		{P: 2, Kind: KCommit},
+		{P: 1, Kind: KCommit},
+	}}
+	if r := ExecPolymorphic(s); r.Accepted {
+		t.Fatal("weak with a write must validate at commit and reject")
+	}
+}
+
+func TestSnapshotSemReadsStartState(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{P: 2, Kind: KStart}, {P: 2, Kind: KWrite, Reg: "x", Val: 7}, {P: 2, Kind: KCommit},
+		{P: 1, Kind: KStart, Sem: SemSnapshot},
+		{P: 3, Kind: KStart}, {P: 3, Kind: KWrite, Reg: "x", Val: 8}, {P: 3, Kind: KCommit},
+		{P: 1, Kind: KRead, Reg: "x"},
+		{P: 1, Kind: KCommit},
+	}}
+	r := ExecPolymorphic(s)
+	if !r.Accepted {
+		t.Fatalf("snapshot schedule rejected: %s", r.Reason)
+	}
+	if v := readValues(r.History, 1)["x"]; v != 7 {
+		t.Fatalf("snapshot read %d, want 7 (value at start)", v)
+	}
+	// Under mono the same schedule runs as def: the read returns 8 and
+	// is accepted (single read, current at commit).
+	r = ExecMonomorphic(s)
+	if !r.Accepted {
+		t.Fatalf("mono: %s", r.Reason)
+	}
+	if v := readValues(r.History, 1)["x"]; v != 8 {
+		t.Fatalf("mono read %d, want 8 (latest committed)", v)
+	}
+}
+
+func TestSnapshotWriteRejectedBySchedExec(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{P: 1, Kind: KStart, Sem: SemSnapshot},
+		{P: 1, Kind: KWrite, Reg: "x", Val: 1},
+		{P: 1, Kind: KCommit},
+	}}
+	if r := ExecPolymorphic(s); r.Accepted {
+		t.Fatal("write in snapshot transaction must be rejected")
+	}
+}
+
+func TestReadYourWritesNotValidated(t *testing.T) {
+	// p1 writes x then reads it back (buffered value, not a memory
+	// read); p2's commit to x must not abort p1's read-back, but p1's
+	// commit has no memory reads to validate, so it commits and
+	// overwrites.
+	s := Schedule{Events: []Event{
+		{P: 1, Kind: KStart},
+		{P: 1, Kind: KWrite, Reg: "x", Val: 5},
+		{P: 2, Kind: KStart},
+		{P: 2, Kind: KWrite, Reg: "x", Val: 6},
+		{P: 2, Kind: KCommit},
+		{P: 1, Kind: KRead, Reg: "x"},
+		{P: 1, Kind: KCommit},
+	}}
+	r := ExecMonomorphic(s)
+	if !r.Accepted {
+		t.Fatalf("read-your-writes schedule rejected: %s", r.Reason)
+	}
+	if v := readValues(r.History, 1)["x"]; v != 5 {
+		t.Fatalf("read-back = %d, want 5 (own buffered write)", v)
+	}
+}
+
+// --- lock executor ----------------------------------------------------
+
+func TestLockExecRejectsConflictingLock(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{P: 1, Kind: KLock, Reg: "x"},
+		{P: 2, Kind: KLock, Reg: "x"}, // impossible interleaving
+		{P: 1, Kind: KUnlock, Reg: "x"},
+		{P: 2, Kind: KUnlock, Reg: "x"},
+	}}
+	if r := ExecLockBased(s, nil); r.Accepted {
+		t.Fatal("conflicting lock must reject the interleaving")
+	}
+}
+
+func TestLockExecRequiresCoverage(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{P: 1, Kind: KRead, Reg: "x"},
+	}}
+	if r := ExecLockBased(s, nil); r.Accepted {
+		t.Fatal("access without holding the lock must be rejected")
+	}
+}
+
+func TestLockExecRejectsNonSerializable(t *testing.T) {
+	// Two atomic operations that each read both registers interleaved
+	// with writes so that no sequential order justifies the values:
+	// p1 reads x=0 then y=1 (after p2 wrote both x and y) — with atomic
+	// semantics for p1 the two reads bracket p2's atomic double write.
+	s := Schedule{Events: []Event{
+		{P: 1, Kind: KLock, Reg: "x"},
+		{P: 1, Kind: KRead, Reg: "x"}, // 0
+		{P: 1, Kind: KUnlock, Reg: "x"},
+		{P: 2, Kind: KLock, Reg: "x"},
+		{P: 2, Kind: KLock, Reg: "y"},
+		{P: 2, Kind: KWrite, Reg: "x", Val: 1},
+		{P: 2, Kind: KWrite, Reg: "y", Val: 1},
+		{P: 2, Kind: KUnlock, Reg: "x"},
+		{P: 2, Kind: KUnlock, Reg: "y"},
+		{P: 1, Kind: KLock, Reg: "y"},
+		{P: 1, Kind: KRead, Reg: "y"}, // 1
+		{P: 1, Kind: KUnlock, Reg: "y"},
+	}}
+	sems := map[Proc]OpSem{1: AtomicSem(2), 2: AtomicSem(2)}
+	if r := ExecLockBased(s, sems); r.Accepted {
+		t.Fatal("atomic semantics for p1 must reject x=0,y=1")
+	}
+	// With pairs (= single pair = both in one step) it is the same; but
+	// declaring p1's reads as two independent singleton steps accepts.
+	sems[1] = OpSem{Steps: [][]int{{0}, {1}}}
+	if r := ExecLockBased(s, sems); !r.Accepted {
+		t.Fatalf("singleton steps must accept: %s", r.Reason)
+	}
+}
+
+// --- sequential equivalence checker ------------------------------------
+
+func TestSequentiallyEquivalentBasics(t *testing.T) {
+	// One writer step then one reader step.
+	steps := []Step{
+		{P: 1, Index: 0, Accesses: []Access{{KWrite, "x", 5}}, Lo: 0, Hi: 0},
+		{P: 2, Index: 0, Accesses: []Access{{KRead, "x", 5}}, Lo: 1, Hi: 1},
+	}
+	if !SequentiallyEquivalent(steps) {
+		t.Fatal("trivial write-then-read must be equivalent")
+	}
+	// Reader claims a value nobody wrote.
+	steps[1].Accesses[0].Val = 6
+	if SequentiallyEquivalent(steps) {
+		t.Fatal("read of unwritten value must not be equivalent")
+	}
+}
+
+func TestSequentiallyEquivalentRespectsIntervals(t *testing.T) {
+	// The reader's interval ends before the writer's begins, so the
+	// reader cannot be ordered after the writer.
+	steps := []Step{
+		{P: 1, Index: 0, Accesses: []Access{{KWrite, "x", 5}}, Lo: 10, Hi: 10},
+		{P: 2, Index: 0, Accesses: []Access{{KRead, "x", 5}}, Lo: 0, Hi: 1},
+	}
+	if SequentiallyEquivalent(steps) {
+		t.Fatal("interval constraint violated")
+	}
+}
+
+func TestSequentiallyEquivalentProgramOrder(t *testing.T) {
+	// Same process: step 1 must precede step 0 is impossible.
+	steps := []Step{
+		{P: 1, Index: 1, Accesses: []Access{{KRead, "x", 5}}, Lo: 0, Hi: 20},
+		{P: 1, Index: 0, Accesses: []Access{{KRead, "x", 0}}, Lo: 0, Hi: 20},
+		{P: 2, Index: 0, Accesses: []Access{{KWrite, "x", 5}}, Lo: 0, Hi: 20},
+	}
+	// Legal order exists: p1/0 (x=0), p2 write, p1/1 (x=5).
+	if !SequentiallyEquivalent(steps) {
+		t.Fatal("expected an order respecting program order")
+	}
+	// Now make it impossible: step 0 needs 5, step 1 needs 0.
+	steps[0].Accesses[0].Val = 0
+	steps[1].Accesses[0].Val = 5
+	if SequentiallyEquivalent(steps) {
+		t.Fatal("no order should satisfy read 5 before read 0 in program order")
+	}
+}
+
+func TestIntraStepReadYourWrites(t *testing.T) {
+	steps := []Step{
+		{P: 1, Index: 0, Accesses: []Access{
+			{KWrite, "x", 7}, {KRead, "x", 7},
+		}, Lo: 0, Hi: 5},
+	}
+	if !SequentiallyEquivalent(steps) {
+		t.Fatal("intra-step write must be visible to later intra-step read")
+	}
+}
+
+// --- rendering ----------------------------------------------------------
+
+func TestGridRendering(t *testing.T) {
+	g := Figure1TM().Grid()
+	if !strings.Contains(g, "start(weak)") {
+		t.Fatalf("grid missing start(weak):\n%s", g)
+	}
+	if !strings.Contains(g, "p1") || !strings.Contains(g, "p3") {
+		t.Fatalf("grid missing process headers:\n%s", g)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{P: 2, Kind: KWrite, Reg: "x", Val: 20}
+	if e.String() != "p2:w(x,20)" {
+		t.Fatalf("got %q", e.String())
+	}
+	e = Event{P: 1, Kind: KStart, Sem: SemWeak}
+	if e.String() != "p1:start(weak)" {
+		t.Fatalf("got %q", e.String())
+	}
+}

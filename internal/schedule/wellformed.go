@@ -1,0 +1,77 @@
+package schedule
+
+import "fmt"
+
+// WellFormedTransactional checks the paper's definition (ii): every
+// process's projection is a sequence of transactions, each starting with
+// a start event and ending with a matching commit, with accesses only in
+// between, and no lock events anywhere.
+func (s Schedule) WellFormedTransactional() error {
+	type st int
+	const (
+		outside st = iota
+		inside
+	)
+	state := map[Proc]st{}
+	for i, e := range s.Events {
+		switch e.Kind {
+		case KLock, KUnlock:
+			return fmt.Errorf("event %d (%v): lock event in transactional schedule", i, e)
+		case KStart:
+			if state[e.P] == inside {
+				return fmt.Errorf("event %d (%v): nested start", i, e)
+			}
+			state[e.P] = inside
+		case KCommit:
+			if state[e.P] != inside {
+				return fmt.Errorf("event %d (%v): commit without start", i, e)
+			}
+			state[e.P] = outside
+		case KRead, KWrite:
+			if state[e.P] != inside {
+				return fmt.Errorf("event %d (%v): access outside transaction", i, e)
+			}
+		}
+	}
+	for p, st := range state {
+		if st == inside {
+			return fmt.Errorf("%v: transaction not committed", p)
+		}
+	}
+	return nil
+}
+
+// WellFormedLockBased checks the paper's definition (i): for each shared
+// register x, every lock(x) has a following unlock(x) by the same
+// process, locks are not re-acquired while held by the same process,
+// unlocks match holds, and no transactional events appear. It does not
+// require accesses to be covered by locks — that is a validity concern,
+// not well-formedness (see LockExec).
+func (s Schedule) WellFormedLockBased() error {
+	held := map[Proc]map[Register]bool{}
+	for i, e := range s.Events {
+		switch e.Kind {
+		case KStart, KCommit:
+			return fmt.Errorf("event %d (%v): transactional event in lock-based schedule", i, e)
+		case KLock:
+			if held[e.P] == nil {
+				held[e.P] = map[Register]bool{}
+			}
+			if held[e.P][e.Reg] {
+				return fmt.Errorf("event %d (%v): re-lock of held register", i, e)
+			}
+			held[e.P][e.Reg] = true
+		case KUnlock:
+			if !held[e.P][e.Reg] {
+				return fmt.Errorf("event %d (%v): unlock of register not held", i, e)
+			}
+			delete(held[e.P], e.Reg)
+		}
+	}
+	for p, m := range held {
+		for r := range m {
+			return fmt.Errorf("%v: register %s never unlocked", p, r)
+		}
+	}
+	return nil
+}

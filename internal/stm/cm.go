@@ -1,0 +1,191 @@
+package stm
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// ContentionManager arbitrates conflicts between transactions. Each
+// transaction attempt owns one manager instance (managers may keep
+// per-attempt state such as backoff counters), while priority metadata
+// (karma, birth timestamp) persists across attempts via the Txn.
+//
+// The manager is consulted when the transaction fails to acquire a
+// commit-time lock held by another live transaction. It returns a
+// Resolution telling the engine what to do. Managers implementing
+// priority schemes may additionally request the *enemy's* abort through
+// the engine's kill mechanism; the victim observes ErrKilled at its next
+// safe point.
+//
+// Contention management is itself a form of the paper's polymorphism:
+// "providing one liveness guarantee per transaction" — each transaction
+// can carry its own manager.
+type ContentionManager interface {
+	// OnLockBusy is invoked when tx fails to take a lock owned by enemy
+	// (which may be nil if the owner finished in the meantime).
+	// attempt counts consecutive failures on this same lock.
+	OnLockBusy(tx *Txn, enemy *Txn, attempt int) Resolution
+
+	// OnAbort is invoked after the transaction aborts, before the run
+	// loop re-executes it; managers typically back off here.
+	OnAbort(tx *Txn)
+
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// Resolution is a contention-management decision.
+type Resolution uint8
+
+const (
+	// ResolutionAbortSelf aborts the current transaction for retry.
+	ResolutionAbortSelf Resolution = iota
+	// ResolutionRetryLock spins and retries the lock acquisition.
+	ResolutionRetryLock
+	// ResolutionKillEnemy marks the lock owner as killed and retries the
+	// acquisition (the owner releases its locks when it observes the
+	// kill at its next safe point).
+	ResolutionKillEnemy
+)
+
+// CMFactory builds a fresh manager for each transaction attempt.
+type CMFactory func() ContentionManager
+
+// ---------------------------------------------------------------------
+// Suicide: always abort self immediately. The simplest livelock-prone
+// policy; the classical baseline.
+
+// NewSuicide returns the suicide contention-manager factory.
+func NewSuicide() CMFactory { return func() ContentionManager { return suicide{} } }
+
+type suicide struct{}
+
+func (suicide) OnLockBusy(*Txn, *Txn, int) Resolution { return ResolutionAbortSelf }
+func (suicide) OnAbort(*Txn)                          {}
+func (suicide) Name() string                          { return "suicide" }
+
+// ---------------------------------------------------------------------
+// Polite: spin with bounded exponential backoff waiting for the lock,
+// then abort self.
+
+// NewPolite returns a polite manager factory with the given maximum
+// number of spin rounds (<=0 means the default of 8).
+func NewPolite(maxSpins int) CMFactory {
+	if maxSpins <= 0 {
+		maxSpins = 8
+	}
+	return func() ContentionManager { return &polite{max: maxSpins} }
+}
+
+type polite struct{ max int }
+
+func (p *polite) OnLockBusy(tx *Txn, enemy *Txn, attempt int) Resolution {
+	if attempt >= p.max {
+		return ResolutionAbortSelf
+	}
+	for i := 0; i < 1<<uint(attempt); i++ {
+		runtime.Gosched()
+	}
+	return ResolutionRetryLock
+}
+func (p *polite) OnAbort(*Txn) {}
+func (p *polite) Name() string { return "polite" }
+
+// ---------------------------------------------------------------------
+// Backoff: abort self on conflict but sleep with randomized exponential
+// backoff between attempts, bounding livelock probabilistically.
+
+// NewBackoff returns a backoff manager factory. base is the first-retry
+// backoff (<=0 means 1µs); cap bounds the exponential growth
+// (<=0 means 1ms).
+func NewBackoff(base, cap time.Duration) CMFactory {
+	if base <= 0 {
+		base = time.Microsecond
+	}
+	if cap <= 0 {
+		cap = time.Millisecond
+	}
+	return func() ContentionManager {
+		return &backoff{base: base, cap: cap, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+	}
+}
+
+type backoff struct {
+	base, cap time.Duration
+	rng       *rand.Rand
+}
+
+func (b *backoff) OnLockBusy(*Txn, *Txn, int) Resolution { return ResolutionAbortSelf }
+
+func (b *backoff) OnAbort(tx *Txn) {
+	d := b.base << uint(min(tx.Attempt(), 16))
+	if d > b.cap {
+		d = b.cap
+	}
+	if d > 0 {
+		time.Sleep(time.Duration(b.rng.Int63n(int64(d)) + 1))
+	}
+}
+func (b *backoff) Name() string { return "backoff" }
+
+// ---------------------------------------------------------------------
+// Karma: priority = accumulated work (reads+writes across attempts).
+// Higher karma kills the lower-karma enemy; lower karma aborts self.
+// Ties favour the lock holder.
+
+// NewKarma returns the karma manager factory.
+func NewKarma() CMFactory { return func() ContentionManager { return karma{} } }
+
+type karma struct{}
+
+func (karma) OnLockBusy(tx *Txn, enemy *Txn, attempt int) Resolution {
+	if enemy == nil {
+		return ResolutionRetryLock // owner gone; lock release imminent
+	}
+	if tx.Karma() > enemy.Karma() {
+		return ResolutionKillEnemy
+	}
+	return ResolutionAbortSelf
+}
+func (karma) OnAbort(*Txn) {}
+func (karma) Name() string { return "karma" }
+
+// ---------------------------------------------------------------------
+// Timestamp ("greedy"): the older transaction (earlier first-attempt
+// birth order) wins; the younger aborts.
+
+// NewTimestamp returns the timestamp manager factory.
+func NewTimestamp() CMFactory { return func() ContentionManager { return timestampCM{} } }
+
+type timestampCM struct{}
+
+func (timestampCM) OnLockBusy(tx *Txn, enemy *Txn, attempt int) Resolution {
+	if enemy == nil {
+		return ResolutionRetryLock
+	}
+	if tx.Birth() < enemy.Birth() {
+		return ResolutionKillEnemy
+	}
+	return ResolutionAbortSelf
+}
+func (timestampCM) OnAbort(*Txn) {}
+func (timestampCM) Name() string { return "timestamp" }
+
+// ---------------------------------------------------------------------
+// Aggressive: always kill the enemy. Maximal progress for the requester,
+// livelock-prone under symmetry; included for the ablation study.
+
+// NewAggressive returns the aggressive manager factory.
+func NewAggressive() CMFactory { return func() ContentionManager { return aggressive{} } }
+
+type aggressive struct{}
+
+func (aggressive) OnLockBusy(tx *Txn, enemy *Txn, attempt int) Resolution {
+	if enemy == nil {
+		return ResolutionRetryLock
+	}
+	return ResolutionKillEnemy
+}
+func (aggressive) OnAbort(*Txn) {}
+func (aggressive) Name() string { return "aggressive" }

@@ -1,0 +1,153 @@
+package stm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Config carries engine-wide policy knobs.
+type Config struct {
+	// DefaultCM builds the contention manager used by transactions that
+	// do not carry their own. Nil means NewPolite(8).
+	DefaultCM CMFactory
+
+	// MaxAttempts bounds re-executions per Engine.Run call; 0 means
+	// unbounded (irrevocable fallback still guarantees progress when a
+	// transaction is escalated explicitly by the caller).
+	MaxAttempts int
+
+	// ElasticWindow is the number of trailing reads an elastic
+	// transaction retains before its first write (ε-STM's read buffer;
+	// default 2). Cuts validate only the most recent of them — the
+	// paper's pairwise critical steps — but at the first write the whole
+	// retained window (typically the pred/curr pair that located the
+	// write) joins the commit-validated read set. Values < 2 are
+	// treated as 2.
+	ElasticWindow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultCM == nil {
+		c.DefaultCM = NewPolite(8)
+	}
+	if c.ElasticWindow < 2 {
+		c.ElasticWindow = 2
+	}
+	return c
+}
+
+// Engine is one transactional memory: a global version clock, an
+// identity space for variables and transactions, a snapshot registry,
+// and the irrevocability token. Engines are independent; variables must
+// not flow between them.
+type Engine struct {
+	cfg       Config
+	clock     Clock
+	nextVarID atomic.Uint64
+	nextTxnID atomic.Uint64
+	snaps     snapshotRegistry
+
+	// irrevocable serializes SemanticsIrrevocable transactions.
+	irrevocable sync.Mutex
+
+	// live maps transaction id -> *Txn for contention managers that
+	// need to inspect or kill lock owners.
+	live sync.Map
+
+	stats Stats
+}
+
+// NewEngine creates an engine with the given configuration.
+func NewEngine(cfg Config) *Engine {
+	e := &Engine{cfg: cfg.withDefaults()}
+	e.snaps.init()
+	return e
+}
+
+// NewDefaultEngine creates an engine with default configuration.
+func NewDefaultEngine() *Engine { return NewEngine(Config{}) }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() StatsSnapshot { return e.stats.Snapshot() }
+
+// ResetStats zeroes the engine counters (between benchmark phases).
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// Clock exposes the engine's global version clock (read-mostly; tests
+// and the schedule executors use it).
+func (e *Engine) Clock() *Clock { return &e.clock }
+
+// lookupTxn resolves a live transaction by id, or nil.
+func (e *Engine) lookupTxn(id uint64) *Txn {
+	v, ok := e.live.Load(id)
+	if !ok {
+		return nil
+	}
+	return v.(*Txn)
+}
+
+// Begin starts a transaction with semantics sem and the engine's default
+// contention manager. The returned Txn must be finished with Commit or
+// Abort. Most callers should use Run (or core.Atomic) instead, which
+// handles the retry loop.
+func (e *Engine) Begin(sem Semantics) *Txn {
+	return e.BeginWith(sem, nil)
+}
+
+// BeginWith starts a transaction with semantics sem and a specific
+// contention manager factory (nil means the engine default).
+func (e *Engine) BeginWith(sem Semantics, cm CMFactory) *Txn {
+	if cm == nil {
+		cm = e.cfg.DefaultCM
+	}
+	tx := &Txn{
+		eng:   e,
+		sem:   sem,
+		cmFac: cm,
+		birth: e.nextTxnID.Add(1),
+	}
+	tx.begin()
+	return tx
+}
+
+// Run executes fn transactionally under semantics sem, retrying on
+// conflicts until commit, a non-retryable error from fn, or the
+// configured attempt bound. It returns fn's error (aborting the
+// transaction) or nil after a successful commit.
+func (e *Engine) Run(sem Semantics, fn func(*Txn) error) error {
+	return e.RunWith(sem, nil, fn)
+}
+
+// RunWith is Run with an explicit contention manager factory.
+func (e *Engine) RunWith(sem Semantics, cm CMFactory, fn func(*Txn) error) error {
+	if cm == nil {
+		cm = e.cfg.DefaultCM
+	}
+	tx := &Txn{eng: e, sem: sem, cmFac: cm, birth: e.nextTxnID.Add(1)}
+	for attempt := 1; ; attempt++ {
+		tx.begin()
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+			if err == nil {
+				return nil
+			}
+		} else {
+			tx.Abort()
+		}
+		if !IsRetryable(err) {
+			return err
+		}
+		tx.cm.OnAbort(tx)
+		if e.cfg.MaxAttempts > 0 && attempt >= e.cfg.MaxAttempts {
+			return ErrTooManyAttempts
+		}
+	}
+}
+
+// Quiesce returns once no snapshot transactions are live. It is a test
+// and shutdown helper, not part of the hot path.
+func (e *Engine) Quiesce() {
+	for e.snaps.activeCount() > 0 {
+	}
+}

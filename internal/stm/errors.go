@@ -1,0 +1,59 @@
+package stm
+
+import "errors"
+
+// Abort reasons. errConflict is the internal retryable sentinel: the
+// run loop in Engine.Run (and core.Atomic on top of it) re-executes the
+// transaction body when the commit or a read aborts with it. User errors
+// returned from the body are never retried; they abort the transaction
+// and propagate unchanged.
+var (
+	// ErrConflict is returned by transactional operations when the
+	// transaction must abort due to a conflict and be retried.
+	ErrConflict = errors.New("stm: transaction aborted by conflict")
+
+	// ErrKilled is returned when a contention manager of a competing
+	// transaction requested this transaction's abort.
+	ErrKilled = errors.New("stm: transaction killed by contention manager")
+
+	// ErrSnapshotWrite is returned by Txn.Write when the transaction
+	// runs under SemanticsSnapshot, which is read-only.
+	ErrSnapshotWrite = errors.New("stm: write attempted in snapshot (read-only) transaction")
+
+	// ErrTxnDone is returned when a finished (committed or aborted)
+	// transaction handle is used again.
+	ErrTxnDone = errors.New("stm: use of finished transaction")
+
+	// ErrCrossEngine is returned when a transaction touches a variable
+	// owned by a different engine.
+	ErrCrossEngine = errors.New("stm: variable belongs to a different engine")
+
+	// ErrTooManyAttempts is returned by Engine.Run when a transaction
+	// exceeded the configured maximum number of attempts.
+	ErrTooManyAttempts = errors.New("stm: transaction exceeded maximum attempts")
+)
+
+// IsRetryable reports whether err is one of the engine-generated abort
+// reasons that should trigger transparent re-execution.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrConflict) || errors.Is(err, ErrKilled)
+}
+
+// AbortError wraps a conflict abort with diagnostic detail.
+type AbortError struct {
+	Reason string // human-readable conflict site, e.g. "read validation"
+	VarID  uint64 // variable involved, 0 if not applicable
+	Err    error  // ErrConflict or ErrKilled
+}
+
+// Error implements error.
+func (e *AbortError) Error() string {
+	return "stm: abort (" + e.Reason + ")"
+}
+
+// Unwrap returns the underlying sentinel so errors.Is works.
+func (e *AbortError) Unwrap() error { return e.Err }
+
+func abortConflict(reason string, varID uint64) error {
+	return &AbortError{Reason: reason, VarID: varID, Err: ErrConflict}
+}

@@ -1,0 +1,72 @@
+package stm
+
+import "runtime"
+
+// Irrevocable path (SemanticsIrrevocable).
+//
+// An irrevocable transaction is guaranteed to commit on its only
+// attempt: it never validates, never aborts on conflict, and may
+// therefore perform irreversible side effects (I/O). The guarantee is
+// obtained pessimistically: a global token serializes irrevocable
+// transactions against each other, and every variable the transaction
+// touches — reads included — is locked at encounter time and held until
+// commit (strict two-phase locking). Optimistic transactions that hit
+// those locks resolve the conflict through their contention manager; the
+// engine refuses to kill an irrevocable owner, so they back off or
+// abort, preserving the liveness guarantee.
+//
+// Deadlock cannot occur: the token means at most one irrevocable
+// transaction holds encounter locks, and optimistic committers either
+// acquire all their commit locks or abort in bounded time (their lock
+// acquisition never blocks indefinitely), after which the irrevocable
+// spinner proceeds.
+
+// readIrrevocable performs one irrevocable-mode read: lock the variable
+// (if not already held) and read its head, which the lock now stabilizes.
+func (tx *Txn) readIrrevocable(v *Var) (any, error) {
+	if err := tx.encounterLock(v); err != nil {
+		return nil, err
+	}
+	return v.head.Load().val, nil
+}
+
+// encounterLock acquires and records an encounter-time lock on v,
+// spinning until any optimistic holder releases it.
+func (tx *Txn) encounterLock(v *Var) error {
+	for _, el := range tx.encLocks {
+		if el.v == v {
+			return nil
+		}
+	}
+	for {
+		prev, ok := v.tryLock(tx.id)
+		if ok {
+			tx.encLocks = append(tx.encLocks, encLock{v: v, prevLW: prev})
+			return nil
+		}
+		// The holder is an optimistic committer (irrevocable peers are
+		// excluded by the token); it finishes or aborts in bounded time.
+		runtime.Gosched()
+	}
+}
+
+// commitIrrevocable publishes buffered writes at a fresh commit
+// timestamp and releases every encounter lock. It cannot fail.
+func (tx *Txn) commitIrrevocable() {
+	wv := tx.eng.clock.Tick()
+	needed := tx.eng.snaps.minActive()
+	for i := range tx.wset {
+		e := &tx.wset[i]
+		e.v.head.Store(&Version{val: e.val, ver: wv, prev: retainHistory(e.v.head.Load(), wv, needed)})
+	}
+	for _, el := range tx.encLocks {
+		if _, written := tx.wmap[el.v]; written {
+			el.v.unlockTo(packVersion(wv))
+		} else {
+			el.v.unlockTo(el.prevLW)
+		}
+	}
+	tx.encLocks = tx.encLocks[:0]
+	tx.eng.stats.Commits.Add(1)
+	tx.finish(statusCommitted)
+}

@@ -1,0 +1,156 @@
+package stm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLockWordVersionRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		v &^= lockBit // versions are 63-bit
+		w := packVersion(v)
+		return !isLocked(w) && wordVersion(w) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockWordOwnerRoundTrip(t *testing.T) {
+	f := func(o uint64) bool {
+		o &^= lockBit
+		w := packOwner(o)
+		return isLocked(w) && wordOwner(w) == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockWordStatesDisjoint(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a &^= lockBit
+		b &^= lockBit
+		return packVersion(a) != packOwner(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockWordZeroIsUnlockedVersionZero(t *testing.T) {
+	if isLocked(0) {
+		t.Fatal("zero word must be unlocked")
+	}
+	if wordVersion(0) != 0 {
+		t.Fatal("zero word must carry version 0")
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock Now = %d, want 0", c.Now())
+	}
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		v := c.Tick()
+		if v <= prev {
+			t.Fatalf("Tick not strictly increasing: %d after %d", v, prev)
+		}
+		prev = v
+	}
+	if c.Now() != prev {
+		t.Fatalf("Now = %d, want %d", c.Now(), prev)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now = %d, want 100", c.Now())
+	}
+	c.Advance(50) // never moves backwards
+	if c.Now() != 100 {
+		t.Fatalf("Advance moved clock backwards to %d", c.Now())
+	}
+	if v := c.Tick(); v != 101 {
+		t.Fatalf("Tick after Advance = %d, want 101", v)
+	}
+}
+
+func TestClockTickConcurrentUnique(t *testing.T) {
+	var c Clock
+	const workers, per = 8, 2000
+	out := make(chan []uint64, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			vs := make([]uint64, per)
+			for i := range vs {
+				vs[i] = c.Tick()
+			}
+			out <- vs
+		}()
+	}
+	seen := make(map[uint64]bool, workers*per)
+	for w := 0; w < workers; w++ {
+		for _, v := range <-out {
+			if seen[v] {
+				t.Fatalf("duplicate commit timestamp %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("got %d unique timestamps, want %d", len(seen), workers*per)
+	}
+}
+
+func TestVersionResolveAt(t *testing.T) {
+	v3 := &Version{val: "c", ver: 30}
+	v2 := &Version{val: "b", ver: 20, prev: nil}
+	v3.prev = v2
+	v1 := &Version{val: "a", ver: 10}
+	v2.prev = v1
+
+	cases := []struct {
+		at   uint64
+		want any
+	}{
+		{30, "c"}, {31, "c"}, {29, "b"}, {20, "b"}, {15, "a"}, {10, "a"},
+	}
+	for _, c := range cases {
+		got := v3.resolveAt(c.at)
+		if got == nil || got.val != c.want {
+			t.Fatalf("resolveAt(%d) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	if v3.resolveAt(9) != nil {
+		t.Fatal("resolveAt before oldest version must return nil")
+	}
+}
+
+func TestVersionTrim(t *testing.T) {
+	v3 := &Version{val: "c", ver: 30}
+	v2 := &Version{val: "b", ver: 20}
+	v1 := &Version{val: "a", ver: 10}
+	v3.prev, v2.prev = v2, v1
+
+	got := v3.trimmed(25) // keep newest <= 25, i.e. v2; drop v1
+	if got != v3 || v3.prev != v2 || v2.prev != nil {
+		t.Fatal("trimmed(25) should keep v3->v2 and cut v1")
+	}
+
+	v3.prev, v2.prev = v2, v1
+	got = v3.trimmed(35) // newest <= 35 is v3 itself: drop all history
+	if got != v3 || v3.prev != nil {
+		t.Fatal("trimmed(35) should keep only v3")
+	}
+
+	v3.prev, v2.prev = v2, v1
+	got = v3.trimmed(5) // nothing <= 5: keep the whole chain
+	if got != v3 || v3.prev != v2 || v2.prev != v1 {
+		t.Fatal("trimmed(5) should keep the full chain")
+	}
+}

@@ -1,0 +1,93 @@
+package stm
+
+import (
+	"errors"
+	"runtime"
+	"time"
+)
+
+// ErrRetryWait is returned by a transaction body to request blocking
+// retry (the composable STM "retry" combinator): the transaction aborts
+// and re-executes only after at least one variable it read has been
+// overwritten by a commit — so a consumer waiting on an empty queue
+// sleeps instead of spinning through conflict aborts.
+var ErrRetryWait = errors.New("stm: retry when read set changes")
+
+// awaitChange blocks until some entry of the recorded read set is no
+// longer current (a writer committed to it) — the wake-up condition of
+// ErrRetryWait. The wait is a backoff poll: versions are compared by
+// head identity, which a commit always replaces. A nil or empty read
+// set returns immediately (nothing can ever change; re-execution would
+// be identical, so treat it as a programming error surfaced by a fast
+// spin instead of a deadlock).
+func awaitChange(entries []readEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	backoff := time.Microsecond
+	for {
+		for i := range entries {
+			if entries[i].v.head.Load() != entries[i].ver {
+				return
+			}
+		}
+		if backoff < time.Millisecond {
+			runtime.Gosched()
+			backoff *= 2
+			continue
+		}
+		time.Sleep(backoff)
+	}
+}
+
+// RunWithRetry is Engine.Run extended with ErrRetryWait handling: when
+// the body returns ErrRetryWait, the engine blocks until the
+// transaction's read set changes, then re-executes. Conflicts retry
+// immediately as in Run.
+func (e *Engine) RunWithRetry(sem Semantics, cm CMFactory, fn func(*Txn) error) error {
+	return e.RunWithOptions(sem, cm, 0, fn)
+}
+
+// RunWithOptions is the fully parameterized run loop: semantics,
+// contention-manager factory (nil = engine default), a per-call attempt
+// bound (0 = the engine's configured MaxAttempts), ErrRetryWait
+// blocking, and conflict retry. Every other Run variant delegates here.
+func (e *Engine) RunWithOptions(sem Semantics, cm CMFactory, maxAttempts int, fn func(*Txn) error) error {
+	if cm == nil {
+		cm = e.cfg.DefaultCM
+	}
+	if maxAttempts == 0 {
+		maxAttempts = e.cfg.MaxAttempts
+	}
+	tx := &Txn{eng: e, sem: sem, cmFac: cm, birth: e.nextTxnID.Add(1)}
+	for attempt := 1; ; attempt++ {
+		tx.begin()
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+			if err == nil {
+				return nil
+			}
+		} else if errors.Is(err, ErrRetryWait) {
+			// Capture the read set before aborting, then sleep on it.
+			waitSet := make([]readEntry, len(tx.rset))
+			copy(waitSet, tx.rset)
+			tx.Abort()
+			if maxAttempts > 0 && attempt >= maxAttempts {
+				return ErrTooManyAttempts
+			}
+			awaitChange(waitSet)
+			tx.cm.OnAbort(tx)
+			continue
+		} else {
+			tx.Abort()
+		}
+		if !IsRetryable(err) {
+			return err
+		}
+		tx.cm.OnAbort(tx)
+		if maxAttempts > 0 && attempt >= maxAttempts {
+			return ErrTooManyAttempts
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package stm
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// snapshotRegistry tracks the start timestamps of live snapshot-semantics
+// transactions so that writers know how much version history they must
+// preserve on each variable's chain. Writers consult only the cached
+// atomic minimum, so the hot path never takes the mutex.
+type snapshotRegistry struct {
+	mu     sync.Mutex
+	active map[uint64]uint64 // txn id -> start timestamp
+	min    atomic.Uint64     // cached minimum of active, or math.MaxUint64
+}
+
+func (r *snapshotRegistry) init() {
+	r.active = make(map[uint64]uint64)
+	r.min.Store(math.MaxUint64)
+}
+
+// register records that transaction id reads at snapshot timestamp ts.
+func (r *snapshotRegistry) register(id, ts uint64) {
+	r.mu.Lock()
+	r.active[id] = ts
+	if ts < r.min.Load() {
+		r.min.Store(ts)
+	}
+	r.mu.Unlock()
+}
+
+// unregister removes transaction id and recomputes the cached minimum.
+func (r *snapshotRegistry) unregister(id uint64) {
+	r.mu.Lock()
+	delete(r.active, id)
+	m := uint64(math.MaxUint64)
+	for _, ts := range r.active {
+		if ts < m {
+			m = ts
+		}
+	}
+	r.min.Store(m)
+	r.mu.Unlock()
+}
+
+// minActive returns the smallest start timestamp of any live snapshot
+// transaction, or math.MaxUint64 if none — writers keep the newest
+// version with ver <= minActive and may trim everything older.
+func (r *snapshotRegistry) minActive() uint64 { return r.min.Load() }
+
+// activeCount returns the number of live snapshot transactions.
+func (r *snapshotRegistry) activeCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.active)
+}

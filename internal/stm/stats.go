@@ -1,0 +1,72 @@
+package stm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats holds engine-wide event counters. All counters are updated with
+// atomic adds on hot paths and are therefore approximate only in their
+// mutual consistency, never in their individual totals.
+type Stats struct {
+	Starts        atomic.Uint64 // transaction attempts begun
+	Commits       atomic.Uint64 // successful commits
+	Aborts        atomic.Uint64 // aborts of any kind
+	ReadAborts    atomic.Uint64 // aborts during read validation/extension
+	LockAborts    atomic.Uint64 // aborts acquiring commit-time locks
+	ValidateAbort atomic.Uint64 // aborts during commit-time validation
+	Kills         atomic.Uint64 // aborts requested by contention managers
+	Extensions    atomic.Uint64 // successful read-timestamp extensions
+	ElasticCuts   atomic.Uint64 // elastic prefix cuts (the paper's γ windows sliding)
+	SnapshotReads atomic.Uint64 // reads resolved from non-head versions
+	Irrevocables  atomic.Uint64 // transactions run irrevocably
+	VarsAllocated atomic.Uint64 // NewVar calls
+	Reads         atomic.Uint64 // transactional reads
+	Writes        atomic.Uint64 // transactional writes
+}
+
+// Snapshot copies the counters into a plain struct for reporting.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Starts:        s.Starts.Load(),
+		Commits:       s.Commits.Load(),
+		Aborts:        s.Aborts.Load(),
+		ReadAborts:    s.ReadAborts.Load(),
+		LockAborts:    s.LockAborts.Load(),
+		ValidateAbort: s.ValidateAbort.Load(),
+		Kills:         s.Kills.Load(),
+		Extensions:    s.Extensions.Load(),
+		ElasticCuts:   s.ElasticCuts.Load(),
+		SnapshotReads: s.SnapshotReads.Load(),
+		Irrevocables:  s.Irrevocables.Load(),
+		VarsAllocated: s.VarsAllocated.Load(),
+		Reads:         s.Reads.Load(),
+		Writes:        s.Writes.Load(),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Starts, Commits, Aborts               uint64
+	ReadAborts, LockAborts, ValidateAbort uint64
+	Kills, Extensions, ElasticCuts        uint64
+	SnapshotReads, Irrevocables           uint64
+	VarsAllocated, Reads, Writes          uint64
+}
+
+// AbortRate returns aborts per attempt, in [0,1].
+func (s StatsSnapshot) AbortRate() float64 {
+	if s.Starts == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(s.Starts)
+}
+
+// String renders the snapshot as a single diagnostic line.
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf(
+		"starts=%d commits=%d aborts=%d (read=%d lock=%d val=%d kill=%d) ext=%d cuts=%d snapreads=%d irrevocable=%d reads=%d writes=%d abort-rate=%.3f",
+		s.Starts, s.Commits, s.Aborts, s.ReadAborts, s.LockAborts,
+		s.ValidateAbort, s.Kills, s.Extensions, s.ElasticCuts,
+		s.SnapshotReads, s.Irrevocables, s.Reads, s.Writes, s.AbortRate())
+}

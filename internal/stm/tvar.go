@@ -1,0 +1,91 @@
+package stm
+
+import "sync/atomic"
+
+// Var is an untyped transactional variable: one shared register of the
+// paper's model. All access must go through a transaction (Txn.Read,
+// Txn.Write) or the non-transactional escape hatches below, which are
+// only safe when no transaction is live (e.g. test setup and teardown).
+//
+// Typed access is provided by the generic wrappers in package core.
+type Var struct {
+	eng *Engine
+	id  uint64
+
+	// lw is the versioned lock word; see lockword.go.
+	lw atomic.Uint64
+
+	// head points at the current committed version. It is never nil and
+	// is only replaced, under the lock word, by a newer version whose
+	// prev is the old head.
+	head atomic.Pointer[Version]
+}
+
+// NewVar allocates a transactional variable owned by engine e holding
+// initial value v at version 0 (committed "before the beginning of
+// time", so it is visible to every transaction).
+func (e *Engine) NewVar(v any) *Var {
+	tv := &Var{eng: e, id: e.nextVarID.Add(1)}
+	tv.head.Store(&Version{val: v, ver: 0})
+	tv.lw.Store(packVersion(0))
+	e.stats.VarsAllocated.Add(1)
+	return tv
+}
+
+// ID returns the variable's engine-unique identity. Commit-time locking
+// acquires locks in increasing ID order, which makes transactional
+// deadlock impossible.
+func (v *Var) ID() uint64 { return v.id }
+
+// Engine returns the engine that owns this variable.
+func (v *Var) Engine() *Engine { return v.eng }
+
+// LoadDirect reads the current committed value without any transactional
+// protection. It is linearizable on its own (the head version record is
+// immutable) but provides no consistency with other reads; it exists for
+// tests, statistics and post-quiescence inspection.
+func (v *Var) LoadDirect() any { return v.head.Load().val }
+
+// StoreDirect overwrites the variable outside any transaction. It must
+// only be used while no transaction is live; it advances the global
+// clock so concurrent later transactions would observe the change, but
+// it performs no conflict detection.
+func (v *Var) StoreDirect(val any) {
+	wv := v.eng.clock.Tick()
+	old := v.head.Load()
+	v.head.Store(&Version{val: val, ver: wv, prev: retainHistory(old, wv, v.eng.snaps.minActive())})
+	v.lw.Store(packVersion(wv))
+}
+
+// currentVersion returns the head version record.
+func (v *Var) currentVersion() *Version { return v.head.Load() }
+
+// tryLock attempts to acquire the variable's lock for transaction owner,
+// returning the previous unlocked word and true on success. It fails
+// immediately if the variable is locked by anyone (including, defensively,
+// the owner itself — callers are expected to dedupe).
+func (v *Var) tryLock(owner uint64) (prev uint64, ok bool) {
+	w := v.lw.Load()
+	if isLocked(w) {
+		return 0, false
+	}
+	if v.lw.CompareAndSwap(w, packOwner(owner)) {
+		return w, true
+	}
+	return 0, false
+}
+
+// unlockTo releases the lock, installing the unlocked word w (either the
+// pre-lock word on abort, or packVersion(commitTS) on commit). Only the
+// lock owner may call it.
+func (v *Var) unlockTo(w uint64) { v.lw.Store(w) }
+
+// lockedBy reports whether the variable is currently locked and, if so,
+// by which transaction id.
+func (v *Var) lockedBy() (owner uint64, locked bool) {
+	w := v.lw.Load()
+	if !isLocked(w) {
+		return 0, false
+	}
+	return wordOwner(w), true
+}

@@ -1,0 +1,513 @@
+package stm
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+)
+
+// Transaction status values.
+const (
+	statusActive uint32 = iota
+	statusCommitted
+	statusAborted
+)
+
+// readEntry records one validated read: the variable and the exact
+// version record observed. Validation is by pointer identity: the read
+// is still valid iff the variable's head is still that record. A pinned
+// entry is never dropped by elastic window sliding and is validated at
+// every cut and at commit — the anchor mechanism that lets elastic
+// operations compose safely with structural invalidation (e.g. a hash
+// table's bucket array being replaced by a resize).
+type readEntry struct {
+	v      *Var
+	ver    *Version
+	pinned bool
+}
+
+// writeEntry buffers one pending write (lazy versioning: writes become
+// visible only at commit).
+type writeEntry struct {
+	v      *Var
+	val    any
+	prevLW uint64 // pre-lock word, meaningful once locked
+	locked bool
+}
+
+// encLock records an encounter-time lock held by an irrevocable
+// transaction on a variable it has read (or read and written).
+type encLock struct {
+	v      *Var
+	prevLW uint64
+}
+
+// Txn is one transaction. A Txn value is reused across the attempts of
+// one Engine.Run call (so karma and birth order persist), but each
+// attempt gets a fresh id, read timestamp, and read/write sets via
+// begin. Txn is not safe for concurrent use by multiple goroutines; the
+// paper's model runs each operation on one process.
+type Txn struct {
+	eng   *Engine
+	sem   Semantics
+	cmFac CMFactory
+	cm    ContentionManager
+
+	// birth is the id of the first attempt; it defines the age order
+	// used by the timestamp contention manager.
+	birth uint64
+
+	// id is the per-attempt identity, used as the lock-word owner.
+	id uint64
+
+	// rv is the read timestamp: all reads are consistent at rv.
+	rv uint64
+
+	status atomic.Uint32
+	killed atomic.Bool
+
+	rset []readEntry
+	wmap map[*Var]int
+	wset []writeEntry
+
+	// written marks that a SemanticsWeak transaction has performed its
+	// first write and must behave monomorphically from then on.
+	written bool
+
+	// karma accumulates accesses across attempts for the karma manager.
+	karma uint64
+
+	attempt int
+
+	snapRegistered  bool
+	irrevocableHeld bool
+	encLocks        []encLock
+
+	// modes is the nested-scope semantics stack; see nesting.go.
+	modes semStack
+
+	// elasticFloor is the read-set index below which elastic window
+	// sliding may not drop entries (they belong to enclosing scopes).
+	elasticFloor int
+}
+
+// begin (re)initializes the transaction for a new attempt.
+func (tx *Txn) begin() {
+	tx.id = tx.eng.nextTxnID.Add(1)
+	tx.attempt++
+	tx.status.Store(statusActive)
+	tx.killed.Store(false)
+	tx.rset = tx.rset[:0]
+	tx.wset = tx.wset[:0]
+	if tx.wmap == nil {
+		tx.wmap = make(map[*Var]int, 8)
+	} else {
+		clear(tx.wmap)
+	}
+	tx.written = false
+	tx.encLocks = tx.encLocks[:0]
+	tx.modes.stack = tx.modes.stack[:0]
+	tx.elasticFloor = 0
+	tx.cm = tx.cmFac()
+	tx.eng.stats.Starts.Add(1)
+	tx.eng.live.Store(tx.id, tx)
+
+	switch tx.sem {
+	case SemanticsIrrevocable:
+		tx.eng.irrevocable.Lock()
+		tx.irrevocableHeld = true
+		tx.rv = tx.eng.clock.Now()
+		tx.eng.stats.Irrevocables.Add(1)
+	case SemanticsSnapshot:
+		// Registration order matters: publish a conservative lower
+		// bound (pre <= rv) to the registry FIRST, then sample the read
+		// timestamp. Writers that read the registry minimum before our
+		// store committed at wv <= pre's clock <= rv, so their new
+		// version is itself visible at rv; writers that read it after
+		// preserve at least every version >= the newest one <= pre —
+		// a superset of what resolving at rv needs. Either way no
+		// version this snapshot requires is ever trimmed.
+		r := &tx.eng.snaps
+		r.mu.Lock()
+		pre := tx.eng.clock.Now()
+		r.active[tx.id] = pre
+		if pre < r.min.Load() {
+			r.min.Store(pre)
+		}
+		r.mu.Unlock()
+		tx.rv = tx.eng.clock.Now()
+		tx.snapRegistered = true
+	default:
+		tx.rv = tx.eng.clock.Now()
+	}
+}
+
+// finish tears down per-attempt registrations.
+func (tx *Txn) finish(st uint32) {
+	tx.status.Store(st)
+	tx.eng.live.Delete(tx.id)
+	if tx.snapRegistered {
+		tx.eng.snaps.unregister(tx.id)
+		tx.snapRegistered = false
+	}
+	if tx.irrevocableHeld {
+		tx.eng.irrevocable.Unlock()
+		tx.irrevocableHeld = false
+	}
+}
+
+// ID returns the current attempt's identity.
+func (tx *Txn) ID() uint64 { return tx.id }
+
+// Birth returns the id of the transaction's first attempt (its age).
+func (tx *Txn) Birth() uint64 { return tx.birth }
+
+// Attempt returns the 1-based attempt number.
+func (tx *Txn) Attempt() int { return tx.attempt }
+
+// Karma returns the accumulated access count across attempts.
+func (tx *Txn) Karma() uint64 { return tx.karma }
+
+// Semantics returns the transaction's semantic parameter p.
+func (tx *Txn) Semantics() Semantics { return tx.sem }
+
+// ReadTimestamp returns the current read timestamp rv.
+func (tx *Txn) ReadTimestamp() uint64 { return tx.rv }
+
+// Engine returns the owning engine.
+func (tx *Txn) Engine() *Engine { return tx.eng }
+
+// kill requests asynchronous abort. It returns false if the transaction
+// cannot be killed (irrevocable transactions are guaranteed to commit).
+func (tx *Txn) kill() bool {
+	if tx.sem == SemanticsIrrevocable {
+		return false
+	}
+	tx.killed.Store(true)
+	return true
+}
+
+// checkLive verifies the transaction is usable and not killed.
+func (tx *Txn) checkLive() error {
+	if tx.status.Load() != statusActive {
+		return ErrTxnDone
+	}
+	if tx.killed.Load() {
+		tx.eng.stats.Kills.Add(1)
+		tx.abortCleanup()
+		return ErrKilled
+	}
+	return nil
+}
+
+// Read performs a transactional read of v under the transaction's
+// semantics. On conflict it aborts the transaction and returns a
+// retryable error (see IsRetryable).
+func (tx *Txn) Read(v *Var) (any, error) {
+	if err := tx.checkLive(); err != nil {
+		return nil, err
+	}
+	if v.eng != tx.eng {
+		tx.abortCleanup()
+		return nil, ErrCrossEngine
+	}
+	tx.eng.stats.Reads.Add(1)
+	tx.karma++
+
+	// Read-your-writes.
+	if i, ok := tx.wmap[v]; ok {
+		return tx.wset[i].val, nil
+	}
+
+	switch sem := tx.effective(); {
+	case sem == SemanticsSnapshot:
+		return tx.readSnapshot(v)
+	case sem == SemanticsIrrevocable:
+		return tx.readIrrevocable(v)
+	case sem == SemanticsWeak && !tx.written:
+		return tx.readElastic(v, false)
+	default:
+		return tx.readDef(v)
+	}
+}
+
+// ReadPinned performs a transactional read whose entry is anchored: an
+// elastic transaction never slides it out of the validated set, so the
+// value is guaranteed current at every later cut and at commit, exactly
+// like a def read. Under non-weak semantics it is identical to Read.
+func (tx *Txn) ReadPinned(v *Var) (any, error) {
+	if err := tx.checkLive(); err != nil {
+		return nil, err
+	}
+	if v.eng != tx.eng {
+		tx.abortCleanup()
+		return nil, ErrCrossEngine
+	}
+	tx.eng.stats.Reads.Add(1)
+	tx.karma++
+	if i, ok := tx.wmap[v]; ok {
+		return tx.wset[i].val, nil
+	}
+	switch sem := tx.effective(); {
+	case sem == SemanticsSnapshot:
+		return tx.readSnapshot(v)
+	case sem == SemanticsIrrevocable:
+		return tx.readIrrevocable(v)
+	case sem == SemanticsWeak && !tx.written:
+		return tx.readElastic(v, true)
+	default:
+		return tx.readDef(v)
+	}
+}
+
+// waitUnlocked spins until v is not locked by another transaction. A
+// locked variable may be mid-publish by a committer whose timestamp was
+// taken BEFORE this transaction's read timestamp; trusting its (old)
+// head would tear that commit across variables — the classic TL2 locked
+// read hazard. Optimistic committers hold locks only across the publish
+// loop; an irrevocable writer may hold them for its whole span, and
+// readers of its variables wait it out (it is 2PL, after all). Returns
+// an error if this transaction is killed while waiting.
+func (tx *Txn) waitUnlocked(v *Var) error {
+	for {
+		owner, locked := v.lockedBy()
+		if !locked || owner == tx.id {
+			return nil
+		}
+		if tx.killed.Load() {
+			tx.eng.stats.Kills.Add(1)
+			tx.abortCleanup()
+			return ErrKilled
+		}
+		runtime.Gosched()
+	}
+}
+
+// readDef is the TL2/LSA read: wait out any in-flight commit, take the
+// current head; if it is newer than rv, try to extend rv by
+// revalidating the read set; otherwise the head is exactly the newest
+// version <= rv (any commit after this transaction started has a
+// strictly larger timestamp), so it is safe.
+func (tx *Txn) readDef(v *Var) (any, error) {
+	for {
+		if err := tx.waitUnlocked(v); err != nil {
+			return nil, err
+		}
+		h := v.head.Load()
+		if h.ver <= tx.rv {
+			tx.rset = append(tx.rset, readEntry{v: v, ver: h})
+			return h.val, nil
+		}
+		if !tx.extend() {
+			tx.eng.stats.ReadAborts.Add(1)
+			tx.abortCleanup()
+			return nil, abortConflict("read validation", v.id)
+		}
+	}
+}
+
+// extend attempts to advance rv to the current clock, revalidating every
+// tracked read. Returns false if any read is no longer valid.
+func (tx *Txn) extend() bool {
+	now := tx.eng.clock.Now()
+	if !tx.validateReads() {
+		return false
+	}
+	tx.rv = now
+	tx.eng.stats.Extensions.Add(1)
+	return true
+}
+
+// validateReads checks every tracked read: the observed version must
+// still be the head and the variable must not be locked by another
+// transaction.
+func (tx *Txn) validateReads() bool {
+	for i := range tx.rset {
+		e := &tx.rset[i]
+		if e.v.head.Load() != e.ver {
+			return false
+		}
+		if owner, locked := e.v.lockedBy(); locked && owner != tx.id {
+			return false
+		}
+	}
+	return true
+}
+
+// Write buffers a transactional write of val to v.
+func (tx *Txn) Write(v *Var, val any) error {
+	if err := tx.checkLive(); err != nil {
+		return err
+	}
+	if v.eng != tx.eng {
+		tx.abortCleanup()
+		return ErrCrossEngine
+	}
+	tx.eng.stats.Writes.Add(1)
+	tx.karma++
+
+	switch tx.effective() {
+	case SemanticsSnapshot:
+		tx.abortCleanup()
+		return ErrSnapshotWrite
+	case SemanticsIrrevocable:
+		if err := tx.encounterLock(v); err != nil {
+			return err
+		}
+	case SemanticsWeak:
+		// From the first write on, the elastic transaction behaves
+		// monomorphically: its current consistency window anchors the
+		// write's critical step and is validated at commit.
+		tx.written = true
+	}
+
+	if i, ok := tx.wmap[v]; ok {
+		tx.wset[i].val = val
+		return nil
+	}
+	tx.wset = append(tx.wset, writeEntry{v: v, val: val})
+	tx.wmap[v] = len(tx.wset) - 1
+	return nil
+}
+
+// Abort aborts the transaction explicitly. It is idempotent on a
+// finished transaction.
+func (tx *Txn) Abort() {
+	if tx.status.Load() != statusActive {
+		return
+	}
+	tx.abortCleanup()
+}
+
+// abortCleanup releases resources and marks the transaction aborted.
+func (tx *Txn) abortCleanup() {
+	// Release commit-time locks (restore pre-lock words).
+	for i := range tx.wset {
+		if tx.wset[i].locked {
+			tx.wset[i].v.unlockTo(tx.wset[i].prevLW)
+			tx.wset[i].locked = false
+		}
+	}
+	// Release encounter-time locks.
+	for _, el := range tx.encLocks {
+		el.v.unlockTo(el.prevLW)
+	}
+	tx.encLocks = tx.encLocks[:0]
+	tx.eng.stats.Aborts.Add(1)
+	tx.finish(statusAborted)
+}
+
+// Commit attempts to commit. On success all buffered writes become
+// visible atomically at a fresh commit timestamp. On conflict the
+// transaction is aborted and a retryable error returned.
+func (tx *Txn) Commit() error {
+	if tx.status.Load() != statusActive {
+		return ErrTxnDone
+	}
+	if tx.killed.Load() && tx.sem != SemanticsIrrevocable {
+		tx.eng.stats.Kills.Add(1)
+		tx.abortCleanup()
+		return ErrKilled
+	}
+
+	if tx.sem == SemanticsIrrevocable {
+		tx.commitIrrevocable()
+		return nil
+	}
+
+	// Read-only transactions were validated incrementally (def: all
+	// reads consistent at rv; weak: every window pairwise-consistent;
+	// snapshot: reads resolved at the start timestamp) and commit
+	// without further work.
+	if len(tx.wset) == 0 {
+		tx.eng.stats.Commits.Add(1)
+		tx.finish(statusCommitted)
+		return nil
+	}
+
+	// Acquire commit-time locks in variable-id order (deadlock-free).
+	sort.Slice(tx.wset, func(i, j int) bool { return tx.wset[i].v.id < tx.wset[j].v.id })
+	// Rebuild the map: indices moved.
+	for i := range tx.wset {
+		tx.wmap[tx.wset[i].v] = i
+	}
+	for i := range tx.wset {
+		if err := tx.lockForCommit(&tx.wset[i]); err != nil {
+			return err
+		}
+	}
+
+	wv := tx.eng.clock.Tick()
+
+	// TL2 fast path: if nothing committed since we started, reads are
+	// trivially valid.
+	if wv != tx.rv+1 {
+		if !tx.validateReads() {
+			tx.eng.stats.ValidateAbort.Add(1)
+			tx.abortCleanup()
+			return abortConflict("commit validation", 0)
+		}
+	}
+
+	tx.publish(wv)
+	tx.eng.stats.Commits.Add(1)
+	tx.finish(statusCommitted)
+	return nil
+}
+
+// lockForCommit acquires one commit lock, driving the contention manager
+// on conflict.
+func (tx *Txn) lockForCommit(e *writeEntry) error {
+	for attempt := 0; ; attempt++ {
+		if tx.killed.Load() {
+			tx.eng.stats.Kills.Add(1)
+			tx.abortCleanup()
+			return ErrKilled
+		}
+		prev, ok := e.v.tryLock(tx.id)
+		if ok {
+			e.prevLW = prev
+			e.locked = true
+			return nil
+		}
+		owner, locked := e.v.lockedBy()
+		if !locked {
+			continue // released between load and CAS; retry immediately
+		}
+		if owner == tx.id {
+			// Defensive: already ours (cannot happen — wmap dedupes).
+			return nil
+		}
+		enemy := tx.eng.lookupTxn(owner)
+		switch tx.cm.OnLockBusy(tx, enemy, attempt) {
+		case ResolutionAbortSelf:
+			tx.eng.stats.LockAborts.Add(1)
+			tx.abortCleanup()
+			return abortConflict("lock busy", e.v.id)
+		case ResolutionKillEnemy:
+			if enemy == nil || enemy.kill() {
+				runtime.Gosched()
+				continue
+			}
+			// Enemy is unkillable (irrevocable): yield the fight.
+			tx.eng.stats.LockAborts.Add(1)
+			tx.abortCleanup()
+			return abortConflict("lock busy (irrevocable owner)", e.v.id)
+		case ResolutionRetryLock:
+			runtime.Gosched()
+		}
+	}
+}
+
+// publish installs all buffered writes at commit timestamp wv and
+// releases the locks. The overwritten head is preserved on the version
+// chain, trimmed to what live snapshot readers may still need.
+func (tx *Txn) publish(wv uint64) {
+	needed := tx.eng.snaps.minActive()
+	for i := range tx.wset {
+		e := &tx.wset[i]
+		e.v.head.Store(&Version{val: e.val, ver: wv, prev: retainHistory(e.v.head.Load(), wv, needed)})
+		e.v.unlockTo(packVersion(wv))
+		e.locked = false
+	}
+}

@@ -1,0 +1,60 @@
+package stm
+
+// Version is one immutable committed state of a transactional variable.
+// Versions form a singly linked chain from newest (the variable's head)
+// to oldest. The chain exists so that snapshot-semantics readers can
+// resolve reads against the committed state at their start timestamp —
+// this is the composition rule the paper's concluding remarks call for:
+// "a multi versioned transaction could not return stale data if a singly
+// versioned transaction does not backup data when overwriting it". In
+// this engine every writer backs up the overwritten version for as long
+// as any active snapshot transaction may need it.
+type Version struct {
+	val  any
+	ver  uint64
+	prev *Version
+}
+
+// Value returns the committed value held by this version.
+func (v *Version) Value() any { return v.val }
+
+// Timestamp returns the commit timestamp of this version.
+func (v *Version) Timestamp() uint64 { return v.ver }
+
+// resolveAt returns the newest version in the chain whose timestamp is
+// <= at, or nil if the chain has been trimmed past that point (which the
+// snapshot registry guarantees cannot happen for registered snapshots).
+func (v *Version) resolveAt(at uint64) *Version {
+	for cur := v; cur != nil; cur = cur.prev {
+		if cur.ver <= at {
+			return cur
+		}
+	}
+	return nil
+}
+
+// retainHistory decides what of the overwritten chain a writer committing
+// at timestamp wv must keep: nothing, if no live snapshot reader can need
+// a version older than wv; otherwise the chain trimmed to the oldest
+// timestamp still needed.
+func retainHistory(old *Version, wv, needed uint64) *Version {
+	if needed >= wv {
+		return nil
+	}
+	return old.trimmed(needed)
+}
+
+// trimmed returns the chain headed by v with every version strictly older
+// than needed removed, where needed is the oldest timestamp any active
+// snapshot reader may still request. The newest version with ver <=
+// needed is kept (it is the one such a reader resolves to); everything
+// older is unlinked so the garbage collector can reclaim it.
+func (v *Version) trimmed(needed uint64) *Version {
+	for cur := v; cur != nil; cur = cur.prev {
+		if cur.ver <= needed {
+			cur.prev = nil
+			return v
+		}
+	}
+	return v
+}

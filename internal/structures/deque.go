@@ -1,0 +1,189 @@
+package structures
+
+import "polytm/internal/core"
+
+// TDeque is a transactional double-ended queue: a doubly-linked list
+// between two sentinels, every link a TVar. Operations are short Def
+// transactions; both ends can be worked concurrently, and — being
+// transactions — operations on both ends compose atomically (e.g. a
+// rotate, or a steal that observes emptiness and both ends at one
+// point), which is where the transactional version earns its keep over
+// a two-lock deque.
+type TDeque[T any] struct {
+	tm   *core.TM
+	head *dnode[T] // sentinel; head.next is the front element
+	tail *dnode[T] // sentinel; tail.prev is the back element
+	size *core.TVar[int]
+}
+
+type dnode[T any] struct {
+	val  T
+	prev *core.TVar[*dnode[T]]
+	next *core.TVar[*dnode[T]]
+}
+
+// NewTDeque creates an empty transactional deque.
+func NewTDeque[T any](tm *core.TM) *TDeque[T] {
+	h := &dnode[T]{}
+	t := &dnode[T]{}
+	h.prev = core.NewTVar[*dnode[T]](tm, nil)
+	h.next = core.NewTVar(tm, t)
+	t.prev = core.NewTVar(tm, h)
+	t.next = core.NewTVar[*dnode[T]](tm, nil)
+	return &TDeque[T]{tm: tm, head: h, tail: t, size: core.NewTVar(tm, 0)}
+}
+
+// insertBetween links n between a and b inside tx.
+func (d *TDeque[T]) insertBetween(tx *core.Tx, n, a, b *dnode[T]) error {
+	if err := core.Set(tx, n.prev, a); err != nil {
+		return err
+	}
+	if err := core.Set(tx, n.next, b); err != nil {
+		return err
+	}
+	if err := core.Set(tx, a.next, n); err != nil {
+		return err
+	}
+	if err := core.Set(tx, b.prev, n); err != nil {
+		return err
+	}
+	return core.Modify(tx, d.size, func(s int) int { return s + 1 })
+}
+
+// unlink removes n (between its current neighbours) inside tx.
+func (d *TDeque[T]) unlink(tx *core.Tx, n *dnode[T]) error {
+	a, err := core.Get(tx, n.prev)
+	if err != nil {
+		return err
+	}
+	b, err := core.Get(tx, n.next)
+	if err != nil {
+		return err
+	}
+	if err := core.Set(tx, a.next, b); err != nil {
+		return err
+	}
+	if err := core.Set(tx, b.prev, a); err != nil {
+		return err
+	}
+	return core.Modify(tx, d.size, func(s int) int { return s - 1 })
+}
+
+// PushFront adds v at the front.
+func (d *TDeque[T]) PushFront(v T) {
+	must(d.tm.Atomic(func(tx *core.Tx) error {
+		n := &dnode[T]{val: v,
+			prev: core.NewTVar[*dnode[T]](d.tm, nil),
+			next: core.NewTVar[*dnode[T]](d.tm, nil)}
+		first, err := core.Get(tx, d.head.next)
+		if err != nil {
+			return err
+		}
+		return d.insertBetween(tx, n, d.head, first)
+	}))
+}
+
+// PushBack adds v at the back.
+func (d *TDeque[T]) PushBack(v T) {
+	must(d.tm.Atomic(func(tx *core.Tx) error {
+		n := &dnode[T]{val: v,
+			prev: core.NewTVar[*dnode[T]](d.tm, nil),
+			next: core.NewTVar[*dnode[T]](d.tm, nil)}
+		last, err := core.Get(tx, d.tail.prev)
+		if err != nil {
+			return err
+		}
+		return d.insertBetween(tx, n, last, d.tail)
+	}))
+}
+
+// PopFront removes and returns the front element, ok=false when empty.
+func (d *TDeque[T]) PopFront() (v T, ok bool) {
+	must(d.tm.Atomic(func(tx *core.Tx) error {
+		first, err := core.Get(tx, d.head.next)
+		if err != nil {
+			return err
+		}
+		if first == d.tail {
+			ok = false
+			return nil
+		}
+		v, ok = first.val, true
+		return d.unlink(tx, first)
+	}))
+	return v, ok
+}
+
+// PopBack removes and returns the back element, ok=false when empty.
+func (d *TDeque[T]) PopBack() (v T, ok bool) {
+	must(d.tm.Atomic(func(tx *core.Tx) error {
+		last, err := core.Get(tx, d.tail.prev)
+		if err != nil {
+			return err
+		}
+		if last == d.head {
+			ok = false
+			return nil
+		}
+		v, ok = last.val, true
+		return d.unlink(tx, last)
+	}))
+	return v, ok
+}
+
+// Rotate atomically moves the front element to the back, returning
+// false when the deque is empty — a composed two-end transaction no
+// two-lock deque performs atomically.
+func (d *TDeque[T]) Rotate() bool {
+	var moved bool
+	must(d.tm.Atomic(func(tx *core.Tx) error {
+		first, err := core.Get(tx, d.head.next)
+		if err != nil {
+			return err
+		}
+		if first == d.tail {
+			moved = false
+			return nil
+		}
+		if err := d.unlink(tx, first); err != nil {
+			return err
+		}
+		last, err := core.Get(tx, d.tail.prev)
+		if err != nil {
+			return err
+		}
+		moved = true
+		return d.insertBetween(tx, first, last, d.tail)
+	}))
+	return moved
+}
+
+// Len returns the element count.
+func (d *TDeque[T]) Len() int {
+	n, err := core.AtomicGet(d.tm, d.size)
+	must(err)
+	return n
+}
+
+// Drain pops everything from the front in one atomic transaction and
+// returns the values in order.
+func (d *TDeque[T]) Drain() []T {
+	var out []T
+	must(d.tm.Atomic(func(tx *core.Tx) error {
+		out = out[:0]
+		for {
+			first, err := core.Get(tx, d.head.next)
+			if err != nil {
+				return err
+			}
+			if first == d.tail {
+				return nil
+			}
+			out = append(out, first.val)
+			if err := d.unlink(tx, first); err != nil {
+				return err
+			}
+		}
+	}))
+	return out
+}

@@ -1,0 +1,245 @@
+// Package structures provides the transactional data structures the
+// paper's introduction motivates, built purely on the polymorphic
+// transaction API of internal/core: a sorted linked list, a hash table
+// that — unlike Michael's lock-free one — supports resize, a skip list,
+// and a FIFO queue. Each structure takes an operation semantics at
+// construction, so the same code runs monomorphically (Def everywhere:
+// what a classical STM gives you) or polymorphically (Weak searches that
+// elastically cut their read prefix, exactly Figure 1's p1).
+//
+// Every operation runs in a transaction and retries internally on
+// conflict; operations therefore compose: call them inside an enclosing
+// tm.Atomic and they become nested scopes governed by the TM's nesting
+// policy.
+package structures
+
+import (
+	"fmt"
+
+	"polytm/internal/core"
+)
+
+// must panics on impossible engine errors. Structure operations run
+// with unbounded retry, so the only error a transaction body can
+// surface is a programming error in the structure itself.
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("structures: unexpected transaction error: %v", err))
+	}
+}
+
+// listNode is one node of the sorted singly-linked list. Nodes are
+// immutable except for their next pointer, which lives in a TVar.
+type listNode struct {
+	key  uint64
+	next *core.TVar[*listNode]
+}
+
+// TList is a transactional sorted linked list implementing an integer
+// set — the paper's running example. With Weak operation semantics its
+// searches are elastic: the traversal keeps only a pairwise-consistent
+// window, so writers behind the search never abort it (Figure 1).
+type TList struct {
+	tm   *core.TM
+	head *core.TVar[*listNode]
+	size *core.TVar[int]
+	sem  core.Semantics
+}
+
+// NewTList creates an empty list whose operations run with semantics
+// sem (core.Weak for elastic searches, core.Def for monomorphic).
+func NewTList(tm *core.TM, sem core.Semantics) *TList {
+	return &TList{
+		tm:   tm,
+		head: core.NewTVar[*listNode](tm, nil),
+		size: core.NewTVar(tm, 0),
+		sem:  sem,
+	}
+}
+
+// search walks the list inside tx, returning the last node with key <
+// target (nil if none, meaning the insertion point is the head) and the
+// first node with key >= target (nil at the end).
+func (l *TList) search(tx *core.Tx, key uint64) (pred, curr *listNode, err error) {
+	curr, err = core.Get(tx, l.head)
+	if err != nil {
+		return nil, nil, err
+	}
+	for curr != nil && curr.key < key {
+		next, err := core.Get(tx, curr.next)
+		if err != nil {
+			return nil, nil, err
+		}
+		pred, curr = curr, next
+	}
+	return pred, curr, nil
+}
+
+func (l *TList) containsBody(tx *core.Tx, key uint64, out *bool) error {
+	_, curr, err := l.search(tx, key)
+	if err != nil {
+		return err
+	}
+	*out = curr != nil && curr.key == key
+	return nil
+}
+
+func (l *TList) insertBody(tx *core.Tx, key uint64, out *bool) error {
+	pred, curr, err := l.search(tx, key)
+	if err != nil {
+		return err
+	}
+	if curr != nil && curr.key == key {
+		*out = false
+		return nil
+	}
+	n := &listNode{key: key, next: core.NewTVar(l.tm, curr)}
+	if pred == nil {
+		err = core.Set(tx, l.head, n)
+	} else {
+		err = core.Set(tx, pred.next, n)
+	}
+	if err != nil {
+		return err
+	}
+	*out = true
+	return core.Modify(tx, l.size, func(s int) int { return s + 1 })
+}
+
+func (l *TList) removeBody(tx *core.Tx, key uint64, out *bool) error {
+	pred, curr, err := l.search(tx, key)
+	if err != nil {
+		return err
+	}
+	if curr == nil || curr.key != key {
+		*out = false
+		return nil
+	}
+	next, err := core.Get(tx, curr.next)
+	if err != nil {
+		return err
+	}
+	if pred == nil {
+		err = core.Set(tx, l.head, next)
+	} else {
+		err = core.Set(tx, pred.next, next)
+	}
+	if err != nil {
+		return err
+	}
+	// Mark the removed node by rewriting its next pointer with the same
+	// value: structurally a no-op, but it bumps the variable's version
+	// so any concurrent elastic operation whose window includes curr
+	// (e.g. a remove of curr's successor that already slid pred out of
+	// its window) conflicts and retries instead of updating an unlinked
+	// node.
+	if err := core.Set(tx, curr.next, next); err != nil {
+		return err
+	}
+	*out = true
+	return core.Modify(tx, l.size, func(s int) int { return s - 1 })
+}
+
+// Contains reports whether key is in the set.
+func (l *TList) Contains(key uint64) bool {
+	var found bool
+	must(l.tm.Atomic(func(tx *core.Tx) error {
+		return l.containsBody(tx, key, &found)
+	}, core.WithSemantics(l.sem)))
+	return found
+}
+
+// ContainsTx is Contains inside an enclosing transaction; the operation
+// becomes a nested scope whose semantics the TM's nesting policy
+// composes from the enclosing semantics and the list's own.
+func (l *TList) ContainsTx(tx *core.Tx, key uint64) (bool, error) {
+	var found bool
+	err := tx.Atomic(func(tx *core.Tx) error {
+		return l.containsBody(tx, key, &found)
+	}, core.WithSemantics(l.sem))
+	return found, err
+}
+
+// Insert adds key, returning false if it was already present.
+func (l *TList) Insert(key uint64) bool {
+	var added bool
+	must(l.tm.Atomic(func(tx *core.Tx) error {
+		return l.insertBody(tx, key, &added)
+	}, core.WithSemantics(l.sem)))
+	return added
+}
+
+// InsertTx is Insert inside an enclosing transaction.
+func (l *TList) InsertTx(tx *core.Tx, key uint64) (bool, error) {
+	var added bool
+	err := tx.Atomic(func(tx *core.Tx) error {
+		return l.insertBody(tx, key, &added)
+	}, core.WithSemantics(l.sem))
+	return added, err
+}
+
+// Remove deletes key, returning false if it was absent.
+func (l *TList) Remove(key uint64) bool {
+	var removed bool
+	must(l.tm.Atomic(func(tx *core.Tx) error {
+		return l.removeBody(tx, key, &removed)
+	}, core.WithSemantics(l.sem)))
+	return removed
+}
+
+// RemoveTx is Remove inside an enclosing transaction.
+func (l *TList) RemoveTx(tx *core.Tx, key uint64) (bool, error) {
+	var removed bool
+	err := tx.Atomic(func(tx *core.Tx) error {
+		return l.removeBody(tx, key, &removed)
+	}, core.WithSemantics(l.sem))
+	return removed, err
+}
+
+// Len returns the element count.
+func (l *TList) Len() int {
+	n, err := core.AtomicGet(l.tm, l.size)
+	must(err)
+	return n
+}
+
+// Sum returns the sum of all keys in one atomic snapshot read — a whole
+// structure scan, the kind of operation Snapshot semantics exists for.
+func (l *TList) Sum() uint64 {
+	var sum uint64
+	must(l.tm.Atomic(func(tx *core.Tx) error {
+		sum = 0
+		curr, err := core.Get(tx, l.head)
+		if err != nil {
+			return err
+		}
+		for curr != nil {
+			sum += curr.key
+			if curr, err = core.Get(tx, curr.next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, core.WithSemantics(core.Snapshot)))
+	return sum
+}
+
+// Snapshot returns the keys in order, read atomically.
+func (l *TList) Snapshot() []uint64 {
+	var out []uint64
+	must(l.tm.Atomic(func(tx *core.Tx) error {
+		out = out[:0]
+		curr, err := core.Get(tx, l.head)
+		if err != nil {
+			return err
+		}
+		for curr != nil {
+			out = append(out, curr.key)
+			if curr, err = core.Get(tx, curr.next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, core.WithSemantics(core.Snapshot)))
+	return out
+}

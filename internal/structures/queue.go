@@ -1,0 +1,144 @@
+package structures
+
+import "polytm/internal/core"
+
+// TQueue is a transactional FIFO queue with a sentinel head node (the
+// two-pointer layout of Michael & Scott, transactionalized). Operations
+// run under Def semantics — they are two-to-three access transactions
+// for which elasticity buys nothing — but being transactions they
+// compose: a dequeue-then-enqueue transfer between queues is one atomic
+// step when run inside an enclosing tm.Atomic.
+type TQueue[T any] struct {
+	tm   *core.TM
+	head *core.TVar[*qnode[T]] // sentinel; head.next is the front
+	tail *core.TVar[*qnode[T]]
+	size *core.TVar[int]
+}
+
+type qnode[T any] struct {
+	val  T
+	next *core.TVar[*qnode[T]]
+}
+
+// NewTQueue creates an empty transactional queue.
+func NewTQueue[T any](tm *core.TM) *TQueue[T] {
+	sentinel := &qnode[T]{next: core.NewTVar[*qnode[T]](tm, nil)}
+	return &TQueue[T]{
+		tm:   tm,
+		head: core.NewTVar(tm, sentinel),
+		tail: core.NewTVar(tm, sentinel),
+		size: core.NewTVar(tm, 0),
+	}
+}
+
+// Enqueue appends v.
+func (q *TQueue[T]) Enqueue(v T) {
+	must(q.tm.Atomic(func(tx *core.Tx) error { return q.EnqueueTx(tx, v) }))
+}
+
+// EnqueueTx appends v inside an enclosing transaction.
+func (q *TQueue[T]) EnqueueTx(tx *core.Tx, v T) error {
+	n := &qnode[T]{val: v, next: core.NewTVar[*qnode[T]](q.tm, nil)}
+	t, err := core.Get(tx, q.tail)
+	if err != nil {
+		return err
+	}
+	if err := core.Set(tx, t.next, n); err != nil {
+		return err
+	}
+	if err := core.Set(tx, q.tail, n); err != nil {
+		return err
+	}
+	return core.Modify(tx, q.size, func(s int) int { return s + 1 })
+}
+
+// Dequeue removes and returns the front element, or ok=false if empty.
+func (q *TQueue[T]) Dequeue() (v T, ok bool) {
+	must(q.tm.Atomic(func(tx *core.Tx) error {
+		var err error
+		v, ok, err = q.DequeueTx(tx)
+		return err
+	}))
+	return v, ok
+}
+
+// DequeueTx removes the front element inside an enclosing transaction.
+func (q *TQueue[T]) DequeueTx(tx *core.Tx) (v T, ok bool, err error) {
+	s, err := core.Get(tx, q.head)
+	if err != nil {
+		return v, false, err
+	}
+	first, err := core.Get(tx, s.next)
+	if err != nil {
+		return v, false, err
+	}
+	if first == nil {
+		return v, false, nil
+	}
+	if err := core.Set(tx, q.head, first); err != nil {
+		return v, false, err
+	}
+	// If we dequeued the last element, the tail must fall back to the
+	// new sentinel (first, whose value we are about to take).
+	rest, err := core.Get(tx, first.next)
+	if err != nil {
+		return v, false, err
+	}
+	if rest == nil {
+		if err := core.Set(tx, q.tail, first); err != nil {
+			return v, false, err
+		}
+	}
+	if err := core.Modify(tx, q.size, func(s int) int { return s - 1 }); err != nil {
+		return v, false, err
+	}
+	return first.val, true, nil
+}
+
+// DequeueBlocking removes and returns the front element, blocking
+// (via the Retry combinator: sleeping until the queue changes, not
+// spinning) while the queue is empty.
+func (q *TQueue[T]) DequeueBlocking() T {
+	var v T
+	must(q.tm.Atomic(func(tx *core.Tx) error {
+		got, ok, err := q.DequeueTx(tx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return core.Retry
+		}
+		v = got
+		return nil
+	}))
+	return v
+}
+
+// Len returns the element count.
+func (q *TQueue[T]) Len() int {
+	n, err := core.AtomicGet(q.tm, q.size)
+	must(err)
+	return n
+}
+
+// LenTx returns the element count inside an enclosing transaction.
+func (q *TQueue[T]) LenTx(tx *core.Tx) (int, error) {
+	return core.Get(tx, q.size)
+}
+
+// Transfer atomically moves the front element of src to the back of
+// dst, returning false if src was empty — transactional composition in
+// one call.
+func Transfer[T any](tm *core.TM, src, dst *TQueue[T]) bool {
+	var moved bool
+	must(tm.Atomic(func(tx *core.Tx) error {
+		v, ok, err := src.DequeueTx(tx)
+		if err != nil || !ok {
+			moved = false
+			return err
+		}
+		moved = true
+		return dst.EnqueueTx(tx, v)
+	}))
+	return moved
+}

@@ -1,0 +1,174 @@
+package structures
+
+import (
+	"sync/atomic"
+
+	"polytm/internal/core"
+)
+
+const skipMaxLevel = 16
+
+// TSkipList is a transactional skip list integer set. Searches
+// (Contains) run with the structure's configured semantics — elastic
+// searches skim the index levels without dragging a read set behind
+// them. Updates always run under Def semantics: an insert or remove
+// links at several levels at once, and its correctness needs every
+// predecessor it read to be validated, which is precisely the "safest
+// semantics" the paper's def denotes. Choosing semantics per operation
+// like this is the paper's polymorphism put to work inside one
+// structure.
+type TSkipList struct {
+	tm   *core.TM
+	head *slNode // sentinel; key unused
+	size *core.TVar[int]
+	sem  core.Semantics
+	seed atomic.Uint64
+}
+
+type slNode struct {
+	key  uint64
+	next []*core.TVar[*slNode]
+}
+
+// NewTSkipList creates an empty skip list whose searches use sem.
+func NewTSkipList(tm *core.TM, sem core.Semantics) *TSkipList {
+	head := &slNode{next: make([]*core.TVar[*slNode], skipMaxLevel)}
+	for i := range head.next {
+		head.next[i] = core.NewTVar[*slNode](tm, nil)
+	}
+	s := &TSkipList{tm: tm, head: head, size: core.NewTVar(tm, 0), sem: sem}
+	s.seed.Store(0x9e3779b97f4a7c15)
+	return s
+}
+
+// randLevel draws a geometric(1/2) height in [1, skipMaxLevel] from a
+// lock-free splitmix64 stream.
+func (s *TSkipList) randLevel() int {
+	x := s.seed.Add(0x9e3779b97f4a7c15)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	lvl := 1
+	for x&1 == 1 && lvl < skipMaxLevel {
+		lvl++
+		x >>= 1
+	}
+	return lvl
+}
+
+// search fills preds/succs per level for key inside tx.
+func (s *TSkipList) search(tx *core.Tx, key uint64, preds []*slNode, succs []*slNode) error {
+	pred := s.head
+	for lvl := skipMaxLevel - 1; lvl >= 0; lvl-- {
+		curr, err := core.Get(tx, pred.next[lvl])
+		if err != nil {
+			return err
+		}
+		for curr != nil && curr.key < key {
+			next, err := core.Get(tx, curr.next[lvl])
+			if err != nil {
+				return err
+			}
+			pred, curr = curr, next
+		}
+		if preds != nil {
+			preds[lvl] = pred
+			succs[lvl] = curr
+		}
+	}
+	return nil
+}
+
+// Contains reports whether key is in the set.
+func (s *TSkipList) Contains(key uint64) bool {
+	var found bool
+	must(s.tm.Atomic(func(tx *core.Tx) error {
+		pred := s.head
+		var curr *slNode
+		for lvl := skipMaxLevel - 1; lvl >= 0; lvl-- {
+			var err error
+			curr, err = core.Get(tx, pred.next[lvl])
+			if err != nil {
+				return err
+			}
+			for curr != nil && curr.key < key {
+				next, err := core.Get(tx, curr.next[lvl])
+				if err != nil {
+					return err
+				}
+				pred, curr = curr, next
+			}
+		}
+		found = curr != nil && curr.key == key
+		return nil
+	}, core.WithSemantics(s.sem)))
+	return found
+}
+
+// Insert adds key, returning false if present. Runs under Def.
+func (s *TSkipList) Insert(key uint64) bool {
+	lvl := s.randLevel()
+	var added bool
+	must(s.tm.Atomic(func(tx *core.Tx) error {
+		preds := make([]*slNode, skipMaxLevel)
+		succs := make([]*slNode, skipMaxLevel)
+		if err := s.search(tx, key, preds, succs); err != nil {
+			return err
+		}
+		if succs[0] != nil && succs[0].key == key {
+			added = false
+			return nil
+		}
+		n := &slNode{key: key, next: make([]*core.TVar[*slNode], lvl)}
+		for i := 0; i < lvl; i++ {
+			n.next[i] = core.NewTVar(s.tm, succs[i])
+		}
+		for i := 0; i < lvl; i++ {
+			if err := core.Set(tx, preds[i].next[i], n); err != nil {
+				return err
+			}
+		}
+		added = true
+		return core.Modify(tx, s.size, func(v int) int { return v + 1 })
+	}, core.WithSemantics(core.Def)))
+	return added
+}
+
+// Remove deletes key, returning false if absent. Runs under Def.
+func (s *TSkipList) Remove(key uint64) bool {
+	var removed bool
+	must(s.tm.Atomic(func(tx *core.Tx) error {
+		preds := make([]*slNode, skipMaxLevel)
+		succs := make([]*slNode, skipMaxLevel)
+		if err := s.search(tx, key, preds, succs); err != nil {
+			return err
+		}
+		target := succs[0]
+		if target == nil || target.key != key {
+			removed = false
+			return nil
+		}
+		for i := 0; i < len(target.next); i++ {
+			if preds[i] == nil || succs[i] != target {
+				continue
+			}
+			next, err := core.Get(tx, target.next[i])
+			if err != nil {
+				return err
+			}
+			if err := core.Set(tx, preds[i].next[i], next); err != nil {
+				return err
+			}
+		}
+		removed = true
+		return core.Modify(tx, s.size, func(v int) int { return v - 1 })
+	}, core.WithSemantics(core.Def)))
+	return removed
+}
+
+// Len returns the element count.
+func (s *TSkipList) Len() int {
+	n, err := core.AtomicGet(s.tm, s.size)
+	must(err)
+	return n
+}

@@ -1,0 +1,482 @@
+package structures
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"polytm/internal/core"
+)
+
+// set is the common shape of the integer sets under test.
+type set interface {
+	Insert(uint64) bool
+	Remove(uint64) bool
+	Contains(uint64) bool
+	Len() int
+}
+
+// eachSet runs f on every (name, constructor) pair of transactional set.
+func eachSet(t *testing.T, f func(t *testing.T, mk func() set)) {
+	t.Helper()
+	cases := []struct {
+		name string
+		mk   func() set
+	}{
+		{"TList/def", func() set { return NewTList(core.NewDefault(), core.Def) }},
+		{"TList/weak", func() set { return NewTList(core.NewDefault(), core.Weak) }},
+		{"THash/def", func() set { return NewTHash(core.NewDefault(), core.Def, 8) }},
+		{"THash/weak", func() set { return NewTHash(core.NewDefault(), core.Weak, 8) }},
+		{"TSkipList/def", func() set { return NewTSkipList(core.NewDefault(), core.Def) }},
+		{"TSkipList/weak", func() set { return NewTSkipList(core.NewDefault(), core.Weak) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) { f(t, c.mk) })
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	eachSet(t, func(t *testing.T, mk func() set) {
+		s := mk()
+		if s.Contains(5) {
+			t.Fatal("empty set contains 5")
+		}
+		if !s.Insert(5) || s.Insert(5) {
+			t.Fatal("insert semantics broken")
+		}
+		if !s.Contains(5) {
+			t.Fatal("5 missing")
+		}
+		if s.Len() != 1 {
+			t.Fatalf("len = %d, want 1", s.Len())
+		}
+		if !s.Remove(5) || s.Remove(5) {
+			t.Fatal("remove semantics broken")
+		}
+		if s.Contains(5) || s.Len() != 0 {
+			t.Fatal("5 present after remove")
+		}
+	})
+}
+
+func TestSetMatchesModel(t *testing.T) {
+	eachSet(t, func(t *testing.T, mk func() set) {
+		f := func(ops []uint16) bool {
+			s := mk()
+			model := map[uint64]bool{}
+			for _, op := range ops {
+				key := uint64(op % 32)
+				switch op % 3 {
+				case 0:
+					if s.Insert(key) != !model[key] {
+						return false
+					}
+					model[key] = true
+				case 1:
+					if s.Remove(key) != model[key] {
+						return false
+					}
+					delete(model, key)
+				case 2:
+					if s.Contains(key) != model[key] {
+						return false
+					}
+				}
+			}
+			return s.Len() == len(model)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestSetConcurrentDisjoint(t *testing.T) {
+	eachSet(t, func(t *testing.T, mk func() set) {
+		s := mk()
+		const workers, per = 4, 100
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(base uint64) {
+				defer wg.Done()
+				for i := uint64(0); i < per; i++ {
+					if !s.Insert(base + i) {
+						t.Errorf("insert %d failed", base+i)
+						return
+					}
+				}
+				for i := uint64(0); i < per; i += 2 {
+					if !s.Remove(base + i) {
+						t.Errorf("remove %d failed", base+i)
+						return
+					}
+				}
+			}(uint64(w) * 1000)
+		}
+		wg.Wait()
+		if got, want := s.Len(), workers*per/2; got != want {
+			t.Fatalf("len = %d, want %d", got, want)
+		}
+		for w := 0; w < workers; w++ {
+			base := uint64(w) * 1000
+			for i := uint64(0); i < per; i++ {
+				if s.Contains(base+i) != (i%2 == 1) {
+					t.Fatalf("contains(%d) wrong", base+i)
+				}
+			}
+		}
+	})
+}
+
+// TestSetConcurrentContended drives all workers into a small key space
+// and cross-checks the final state against per-key success counters —
+// the linearizability conservation argument.
+func TestSetConcurrentContended(t *testing.T) {
+	eachSet(t, func(t *testing.T, mk func() set) {
+		s := mk()
+		const workers, keys, opsPer = 4, 8, 300
+		var inserted, removed [keys]int64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(seed))
+				localIns := make([]int64, keys)
+				localRem := make([]int64, keys)
+				for i := 0; i < opsPer; i++ {
+					k := uint64(r.Intn(keys))
+					if r.Intn(2) == 0 {
+						if s.Insert(k) {
+							localIns[k]++
+						}
+					} else if s.Remove(k) {
+						localRem[k]++
+					}
+				}
+				mu.Lock()
+				for k := 0; k < keys; k++ {
+					inserted[k] += localIns[k]
+					removed[k] += localRem[k]
+				}
+				mu.Unlock()
+			}(int64(w + 1))
+		}
+		wg.Wait()
+		for k := uint64(0); k < keys; k++ {
+			diff := inserted[k] - removed[k]
+			if diff != 0 && diff != 1 {
+				t.Fatalf("key %d: inserts-removes = %d", k, diff)
+			}
+			if s.Contains(k) != (diff == 1) {
+				t.Fatalf("key %d: contains = %v, want %v", k, !(diff == 1), diff == 1)
+			}
+		}
+	})
+}
+
+func TestTListSnapshotAndSum(t *testing.T) {
+	tm := core.NewDefault()
+	l := NewTList(tm, core.Weak)
+	var want uint64
+	for _, k := range []uint64{5, 1, 9, 3} {
+		l.Insert(k)
+		want += k
+	}
+	if got := l.Sum(); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	snap := l.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1] >= snap[i] {
+			t.Fatalf("snapshot not sorted: %v", snap)
+		}
+	}
+}
+
+// TestTListSumInvariantUnderChurn: writers move one key around (remove k,
+// insert k+delta where delta sums to zero over pairs); snapshot sums must
+// always equal one of the legal states. Simplest invariant: insert and
+// remove the same keys so the sum alternates between S and S; here we
+// swap 10<->10 (no-op pairs) — instead, move value between two keys so
+// the multiset sum is preserved.
+func TestTListSumInvariantUnderChurn(t *testing.T) {
+	tm := core.NewDefault()
+	l := NewTList(tm, core.Weak)
+	for k := uint64(1); k <= 20; k++ {
+		l.Insert(k)
+	}
+	baseSum := l.Sum()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Churner: atomically replaces key 100 with 101 and back — sum
+	// changes by +-1 between the two legal states.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cur := uint64(100)
+		l.Insert(cur)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			next := uint64(201) - cur // alternates 100 <-> 101
+			l.Remove(cur)
+			l.Insert(next)
+			cur = next
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		got := l.Sum()
+		if got != baseSum && got != baseSum+100 && got != baseSum+101 && got != baseSum+201 {
+			t.Errorf("snapshot sum %d not a legal state (base %d)", got, baseSum)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestTHashResizePreservesContents(t *testing.T) {
+	tm := core.NewDefault()
+	h := NewTHash(tm, core.Weak, 4)
+	for k := uint64(0); k < 200; k++ {
+		h.Insert(k)
+	}
+	before := h.Buckets()
+	if got := h.Resize(true); got != before*2 {
+		t.Fatalf("resize -> %d buckets, want %d", got, before*2)
+	}
+	for k := uint64(0); k < 200; k++ {
+		if !h.Contains(k) {
+			t.Fatalf("key %d lost in resize", k)
+		}
+	}
+	if h.Len() != 200 {
+		t.Fatalf("len = %d, want 200", h.Len())
+	}
+	h.Resize(false)
+	for k := uint64(0); k < 200; k++ {
+		if !h.Contains(k) {
+			t.Fatalf("key %d lost in shrink", k)
+		}
+	}
+}
+
+// TestTHashConcurrentOpsDuringResize is the motivating scenario of the
+// paper's introduction, live: elastic operations churn the table while a
+// resizer repeatedly doubles and halves it. Nothing may be lost.
+func TestTHashConcurrentOpsDuringResize(t *testing.T) {
+	tm := core.NewDefault()
+	h := NewTHash(tm, core.Weak, 4)
+	const workers, per = 4, 150
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < per; i++ {
+				if !h.Insert(base + i) {
+					t.Errorf("insert %d failed", base+i)
+					return
+				}
+			}
+			for i := uint64(0); i < per; i += 2 {
+				if !h.Remove(base + i) {
+					t.Errorf("remove %d failed", base+i)
+					return
+				}
+			}
+		}(uint64(w) * 10000)
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		grow := true
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Resize(grow)
+				grow = !grow
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if got, want := h.Len(), workers*per/2; got != want {
+		t.Fatalf("len = %d, want %d", got, want)
+	}
+	for w := 0; w < workers; w++ {
+		base := uint64(w) * 10000
+		for i := uint64(0); i < per; i++ {
+			if h.Contains(base+i) != (i%2 == 1) {
+				t.Fatalf("contains(%d) wrong after resize churn", base+i)
+			}
+		}
+	}
+}
+
+func TestTQueueFIFO(t *testing.T) {
+	tm := core.NewDefault()
+	q := NewTQueue[int](tm)
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue from empty succeeded")
+	}
+	for i := 1; i <= 5; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	for i := 1; i <= 5; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue = %d,%v want %d", v, ok, i)
+		}
+	}
+	// Drain then reuse: the tail must have been reset correctly.
+	q.Enqueue(42)
+	if v, ok := q.Dequeue(); !ok || v != 42 {
+		t.Fatalf("reuse after drain failed: %d,%v", v, ok)
+	}
+}
+
+func TestTQueueConcurrent(t *testing.T) {
+	tm := core.NewDefault()
+	q := NewTQueue[uint64](tm)
+	const producers, per = 4, 300
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < per; i++ {
+				q.Enqueue(id*100000 + i)
+			}
+		}(uint64(p))
+	}
+	wg.Wait()
+	last := map[uint64]int64{}
+	for i := 0; i < producers*per; i++ {
+		v, ok := q.Dequeue()
+		if !ok {
+			t.Fatalf("queue drained early at %d", i)
+		}
+		id, seq := v/100000, int64(v%100000)
+		if prev, seen := last[id]; seen && seq <= prev {
+			t.Fatalf("producer %d out of order", id)
+		}
+		last[id] = seq
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len = %d after drain", q.Len())
+	}
+}
+
+// TestDequeueBlocking: consumers block on an empty queue and drain
+// everything producers push, exactly once each.
+func TestDequeueBlocking(t *testing.T) {
+	tm := core.NewDefault()
+	q := NewTQueue[uint64](tm)
+	const producers, per, consumers = 3, 200, 3
+	var prod sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prod.Add(1)
+		go func(base uint64) {
+			defer prod.Done()
+			for i := uint64(0); i < per; i++ {
+				q.Enqueue(base + i)
+			}
+		}(uint64(p) * 10000)
+	}
+	var seen sync.Map
+	var got sync.WaitGroup
+	got.Add(producers * per)
+	for c := 0; c < consumers; c++ {
+		go func() {
+			for {
+				v := q.DequeueBlocking()
+				if _, dup := seen.LoadOrStore(v, true); dup {
+					t.Errorf("value %d consumed twice", v)
+				}
+				got.Done()
+			}
+		}()
+	}
+	prod.Wait()
+	got.Wait()
+	if q.Len() != 0 {
+		t.Fatalf("len = %d after drain", q.Len())
+	}
+	// The consumer goroutines stay blocked in DequeueBlocking; they are
+	// reclaimed when the test binary exits (the queue never changes
+	// again, so they sleep).
+}
+
+func TestTransferComposes(t *testing.T) {
+	tm := core.NewDefault()
+	a := NewTQueue[int](tm)
+	b := NewTQueue[int](tm)
+	a.Enqueue(1)
+	a.Enqueue(2)
+	if !Transfer(tm, a, b) {
+		t.Fatal("transfer failed")
+	}
+	if Transfer(tm, b, b) != true {
+		t.Fatal("self transfer of nonempty queue should succeed")
+	}
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("lens = %d,%d want 1,1", a.Len(), b.Len())
+	}
+	if Transfer(tm, NewTQueue[int](tm), b) {
+		t.Fatal("transfer from empty queue should report false")
+	}
+}
+
+// TestMixedStructuresOneTransaction: a cross-structure transaction (move
+// a key from a list into a hash set) is atomic — the paper's genericity
+// claim for transactions.
+func TestMixedStructuresOneTransaction(t *testing.T) {
+	tm := core.NewDefault()
+	l := NewTList(tm, core.Weak)
+	h := NewTHash(tm, core.Weak, 8)
+	l.Insert(7)
+	err := tm.Atomic(func(tx *core.Tx) error {
+		// Composed operations become nested scopes of this transaction.
+		ok, err := l.RemoveTx(tx, 7)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			t.Fatal("remove failed")
+		}
+		ok, err = h.InsertTx(tx, 7)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			t.Fatal("insert failed")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Contains(7) || !h.Contains(7) {
+		t.Fatal("cross-structure move not atomic")
+	}
+}

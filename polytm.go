@@ -1,0 +1,112 @@
+// Package polytm is a Go implementation of transaction polymorphism
+// (Gramoli & Guerraoui, "Brief Announcement: Transaction Polymorphism",
+// SPAA 2011): a software transactional memory whose transactions carry a
+// per-transaction semantic parameter — the paper's start(p) — so that
+// transactions of different semantics run concurrently in one memory:
+//
+//	tm := polytm.New()
+//	x := polytm.NewTVar(tm, 0)
+//
+//	// The paper's default semantics "def": omit the parameter.
+//	tm.Atomic(func(tx *polytm.Tx) error {
+//	    v, _ := polytm.Get(tx, x)
+//	    return polytm.Set(tx, x, v+1)
+//	})
+//
+//	// The paper's start(weak): an elastic search that cuts its read
+//	// prefix instead of aborting (accepts Figure 1's schedule).
+//	tm.Atomic(func(tx *polytm.Tx) error {
+//	    _, err := polytm.Get(tx, x)
+//	    return err
+//	}, polytm.WithSemantics(polytm.Weak))
+//
+// The available semantics are Def (opaque, monomorphic), Weak (elastic),
+// Snapshot (multi-version read-only; never aborts) and Irrevocable
+// (guaranteed to commit on its first attempt). Nested transactions
+// compose their semantics under the TM's NestingPolicy — parameter,
+// parent, or strongest-of-the-two, the three answers to the paper's
+// concluding question.
+//
+// Transactional collections built on this API live in
+// internal/structures and are re-exported by the example programs; the
+// executable rendition of the paper's formal model (schedules,
+// histories, acceptance, the two theorems) lives in internal/schedule
+// and internal/accept, driven by cmd/schedcheck and cmd/theorems.
+package polytm
+
+import (
+	"polytm/internal/core"
+	"polytm/internal/stm"
+)
+
+// TM is a polymorphic transactional memory.
+type TM = core.TM
+
+// Tx is the in-transaction handle.
+type Tx = core.Tx
+
+// TVar is a typed transactional variable.
+type TVar[T any] = core.TVar[T]
+
+// Semantics is the paper's parameter p of start(p).
+type Semantics = core.Semantics
+
+// NestingPolicy selects how nested transactions compose semantics.
+type NestingPolicy = core.NestingPolicy
+
+// Config configures a TM.
+type Config = core.Config
+
+// Option customises one transaction.
+type Option = core.Option
+
+// The transaction semantics.
+const (
+	Def         = core.Def
+	Weak        = core.Weak
+	Snapshot    = core.Snapshot
+	Irrevocable = core.Irrevocable
+)
+
+// The nesting composition policies.
+const (
+	NestStrongest = core.NestStrongest
+	NestParam     = core.NestParam
+	NestParent    = core.NestParent
+)
+
+// Retry, returned from a transaction body, blocks the transaction until
+// a variable it read changes, then re-executes it — the composable
+// blocking combinator.
+var Retry = core.Retry
+
+// New creates a TM with default configuration (Def default semantics,
+// strongest-wins nesting).
+func New() *TM { return core.NewDefault() }
+
+// NewWithConfig creates a TM with cfg.
+func NewWithConfig(cfg Config) *TM { return core.New(cfg) }
+
+// NewTVar allocates a transactional variable holding init.
+func NewTVar[T any](tm *TM, init T) *TVar[T] { return core.NewTVar(tm, init) }
+
+// Get reads a TVar inside a transaction.
+func Get[T any](tx *Tx, tv *TVar[T]) (T, error) { return core.Get(tx, tv) }
+
+// GetAnchored reads a TVar with an anchored entry (exempt from elastic
+// window sliding; see core.GetAnchored).
+func GetAnchored[T any](tx *Tx, tv *TVar[T]) (T, error) { return core.GetAnchored(tx, tv) }
+
+// Set writes a TVar inside a transaction.
+func Set[T any](tx *Tx, tv *TVar[T], val T) error { return core.Set(tx, tv, val) }
+
+// Modify applies f to a TVar's value inside a transaction.
+func Modify[T any](tx *Tx, tv *TVar[T], f func(T) T) error { return core.Modify(tx, tv, f) }
+
+// WithSemantics is the paper's start(p): set the semantic parameter.
+func WithSemantics(s Semantics) Option { return core.WithSemantics(s) }
+
+// WithContentionManager gives the transaction its own liveness policy;
+// the factories live in internal/stm (NewSuicide, NewPolite, NewBackoff,
+// NewKarma, NewTimestamp, NewAggressive).
+func WithContentionManager(f stm.CMFactory) Option { return core.WithContentionManager(f) }

@@ -1,0 +1,86 @@
+package polytm_test
+
+import (
+	"sync"
+	"testing"
+
+	"polytm"
+)
+
+func TestPublicAPICounter(t *testing.T) {
+	tm := polytm.New()
+	x := polytm.NewTVar(tm, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				if err := tm.Atomic(func(tx *polytm.Tx) error {
+					return polytm.Modify(tx, x, func(v int) int { return v + 1 })
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := x.LoadDirect(); got != 1000 {
+		t.Fatalf("counter = %d, want 1000", got)
+	}
+}
+
+func TestPublicAPISemantics(t *testing.T) {
+	tm := polytm.New()
+	for _, s := range []polytm.Semantics{polytm.Def, polytm.Weak, polytm.Snapshot, polytm.Irrevocable} {
+		err := tm.Atomic(func(tx *polytm.Tx) error {
+			if tx.Semantics() != s {
+				t.Fatalf("semantics = %v, want %v", tx.Semantics(), s)
+			}
+			return nil
+		}, polytm.WithSemantics(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPublicAPIRetry(t *testing.T) {
+	tm := polytm.New()
+	flag := polytm.NewTVar(tm, false)
+	woke := make(chan struct{})
+	go func() {
+		_ = tm.Atomic(func(tx *polytm.Tx) error {
+			v, err := polytm.Get(tx, flag)
+			if err != nil {
+				return err
+			}
+			if !v {
+				return polytm.Retry
+			}
+			return nil
+		})
+		close(woke)
+	}()
+	if err := tm.Atomic(func(tx *polytm.Tx) error {
+		return polytm.Set(tx, flag, true)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-woke
+}
+
+func TestPublicAPINestingPolicies(t *testing.T) {
+	tm := polytm.NewWithConfig(polytm.Config{Nesting: polytm.NestParam})
+	var inner polytm.Semantics
+	_ = tm.Atomic(func(tx *polytm.Tx) error {
+		return tx.Atomic(func(tx *polytm.Tx) error {
+			inner = tx.Semantics()
+			return nil
+		}, polytm.WithSemantics(polytm.Weak))
+	})
+	if inner != polytm.Weak {
+		t.Fatalf("NestParam inner semantics = %v, want weak", inner)
+	}
+}
