@@ -16,6 +16,7 @@ package polytm_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -355,6 +356,71 @@ func BenchmarkListLengthSweep(b *testing.B) {
 				runIntSet(b, s, workload.Mix{UpdatePct: 10, KeyRange: keys})
 			})
 		}
+	}
+}
+
+// Scalability: a mixed-semantics workload (the paper's polymorphism in
+// one memory — def updates, weak elastic walks, snapshot scans, the
+// occasional irrevocable write) at increasing parallelism. This is the
+// benchmark the sharded engine state exists for: before striping, five
+// global contention points (stats counters, txn-id counter, the live
+// map, the snapshot registry, the var-id counter) flatten the curve.
+func BenchmarkScalabilityMixed(b *testing.B) {
+	maxProcs := runtime.GOMAXPROCS(0)
+	procSet := []int{1, 4, maxProcs}
+	seen := map[int]bool{}
+	for _, procs := range procSet {
+		if procs < 1 || seen[procs] {
+			continue
+		}
+		seen[procs] = true
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			e := stm.NewDefaultEngine()
+			vars := workload.MixedVars(e, 64)
+			var seed atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				r := workload.MixedSeed(uint64(seed.Add(1)))
+				op := 0
+				for pb.Next() {
+					workload.MixedStep(e, vars, &r, op)
+					op++
+				}
+			})
+		})
+	}
+}
+
+// Scalability: snapshot-registry churn. Every snapshot transaction
+// registers at begin and unregisters at finish; with many concurrent
+// snapshot readers the pre-sharding registry serialized all of them on
+// one mutex and rescanned the whole active table on every finish —
+// O(live snapshots) work under a global lock. The sharded registry
+// splits both the lock and the rescan.
+func BenchmarkSnapshotRegistryChurn(b *testing.B) {
+	for _, par := range []int{4, 16} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+			e := stm.NewDefaultEngine()
+			const nvars = 16
+			vars := make([]*stm.Var, nvars)
+			for i := range vars {
+				vars[i] = e.NewVar(i)
+			}
+			b.SetParallelism(par)
+			var seed atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(seed.Add(1)) % nvars
+				for pb.Next() {
+					_ = e.Run(stm.SemanticsSnapshot, func(tx *stm.Txn) error {
+						_, err := tx.Read(vars[i])
+						return err
+					})
+				}
+			})
+		})
 	}
 }
 

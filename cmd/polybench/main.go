@@ -10,7 +10,15 @@
 //	polybench -bench skip  -updates 10 -range 4096
 //	polybench -bench scan  -workers 4
 //	polybench -bench cm    -workers 8
+//	polybench -bench scale -workers 1,2,4,8 -shards 0
 //	polybench -bench all
+//
+// -bench scale is the engine-scalability experiment behind the sharded
+// synchronization state: a mixed-semantics transaction stream (def
+// updates, weak elastic walks, snapshot scans, occasional irrevocable
+// writes) across worker counts; -shards overrides the engine's stripe
+// count (0 = GOMAXPROCS-derived default, 1 = the old centralized
+// layout, for A/B comparison).
 package main
 
 import (
@@ -37,6 +45,7 @@ func main() {
 	dur := flag.Duration("dur", 200*time.Millisecond, "duration per configuration")
 	resizeEvery := flag.Duration("resize-every", 10*time.Millisecond, "resize cadence for -bench hash")
 	seed := flag.Int64("seed", 1, "workload seed")
+	shards := flag.Int("shards", 0, "engine shard count for -bench scale (0 = GOMAXPROCS default)")
 	flag.Parse()
 
 	var workers []int
@@ -62,12 +71,15 @@ func main() {
 		benchScan(base, workers)
 	case "cm":
 		benchCM(base, workers)
+	case "scale":
+		benchScale(base, workers, *shards)
 	case "all":
 		benchList(base, workers)
 		benchHash(base, workers, *resizeEvery)
 		benchSkip(base, workers)
 		benchScan(base, workers)
 		benchCM(base, workers)
+		benchScale(base, workers, *shards)
 	default:
 		fmt.Printf("unknown bench %q\n", *bench)
 	}
@@ -215,6 +227,54 @@ func scanList(tm *core.TM, l *structures.TList, sem core.Semantics) uint64 {
 		sum += k
 	}
 	return sum
+}
+
+// benchScale is the engine-scalability experiment (B7): a mixed-
+// semantics transaction stream — the paper's polymorphism exercised as
+// a load profile — directly against one engine, across worker counts.
+// It is the experiment the sharded engine state (striped stats, sharded
+// live/snapshot registries, batched id allocation) exists for.
+func benchScale(base harness.Config, workers []int, shards int) {
+	printedHeader := false
+	for _, w := range workers {
+		e := stm.NewEngine(stm.Config{Shards: shards})
+		if !printedHeader {
+			fmt.Printf("== B7: mixed-semantics engine scalability (shards=%d) ==\n", e.Shards())
+			printedHeader = true
+		}
+		vars := workload.MixedVars(e, 64)
+		stop := make(chan struct{})
+		doneCh := make(chan uint64, w)
+		for i := 0; i < w; i++ {
+			go func(seed uint64) {
+				var n uint64
+				r := workload.MixedSeed(seed + uint64(base.Seed)*7919)
+				op := 0
+				for {
+					select {
+					case <-stop:
+						doneCh <- n
+						return
+					default:
+					}
+					workload.MixedStep(e, vars, &r, op)
+					op++
+					n++
+				}
+			}(uint64(i + 1))
+		}
+		start := time.Now()
+		time.Sleep(base.Duration)
+		close(stop)
+		var total uint64
+		for i := 0; i < w; i++ {
+			total += <-doneCh
+		}
+		el := time.Since(start)
+		s := e.Stats()
+		fmt.Printf("  workers=%-3d %12.0f txns/s  abort-rate=%.3f\n",
+			w, float64(total)/el.Seconds(), s.AbortRate())
+	}
 }
 
 // benchCM is the contention-manager ablation (B5): a high-contention

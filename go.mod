@@ -1,0 +1,3 @@
+module polytm
+
+go 1.24

@@ -106,6 +106,11 @@ type Config struct {
 	// a guaranteed-progress fallback (starvation freedom bought with
 	// serialization).
 	EscalateAfter int
+	// Shards sets the stripe count for the engine's sharded
+	// synchronization state (counters, registries, id spaces); 0 keeps
+	// the engine's GOMAXPROCS-derived default. It is a convenience
+	// passthrough for Engine.Shards, which wins when both are set.
+	Shards int
 	// Engine tunes the underlying STM engine.
 	Engine stm.Config
 }
@@ -120,6 +125,9 @@ type TM struct {
 
 // New creates a polymorphic transactional memory with cfg.
 func New(cfg Config) *TM {
+	if cfg.Shards != 0 && cfg.Engine.Shards == 0 {
+		cfg.Engine.Shards = cfg.Shards
+	}
 	return &TM{
 		eng:           stm.NewEngine(cfg.Engine),
 		def:           cfg.Default,

@@ -19,6 +19,11 @@ type Result struct {
 	Workers  int
 	Duration time.Duration
 	Ops      uint64
+	// WorkerOps is the per-worker breakdown of Ops (WorkerOps[i] is the
+	// number of operations worker i completed; the sum equals Ops). It
+	// is the ground truth the engine-stats exactness tests cross-check
+	// the striped counters against.
+	WorkerOps []uint64
 	// Resizes counts completed resize passes (hash benchmarks only).
 	Resizes uint64
 }
@@ -67,17 +72,19 @@ func Run(s workload.IntSet, cfg Config) Result {
 
 	var ops atomic.Uint64
 	var resizes atomic.Uint64
+	workerOps := make([]uint64, cfg.Workers)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func(seed int64) {
+		go func(w int, seed int64) {
 			defer wg.Done()
 			g := workload.NewGenerator(seed, cfg.Mix)
 			n := uint64(0)
 			for {
 				select {
 				case <-stop:
+					workerOps[w] = n
 					ops.Add(n)
 					return
 				default:
@@ -85,7 +92,7 @@ func Run(s workload.IntSet, cfg Config) Result {
 				workload.Apply(s, g.Next())
 				n++
 			}
-		}(cfg.Seed + int64(w)*7919)
+		}(w, cfg.Seed+int64(w)*7919)
 	}
 	if cfg.Resizer != nil {
 		wg.Add(1)
@@ -115,11 +122,12 @@ func Run(s workload.IntSet, cfg Config) Result {
 	close(stop)
 	wg.Wait()
 	return Result{
-		Name:     cfg.Name,
-		Workers:  cfg.Workers,
-		Duration: cfg.Duration,
-		Ops:      ops.Load(),
-		Resizes:  resizes.Load(),
+		Name:      cfg.Name,
+		Workers:   cfg.Workers,
+		Duration:  cfg.Duration,
+		Ops:       ops.Load(),
+		WorkerOps: workerOps,
+		Resizes:   resizes.Load(),
 	}
 }
 

@@ -87,3 +87,43 @@ func TestSweepShape(t *testing.T) {
 		t.Fatalf("unexpected table:\n%s", tbl)
 	}
 }
+
+// TestStatsCrossCheckAgainstWorkerCounts is the harness half of the
+// striped-counter exactness guarantee: a concurrent run over a
+// transactional list, where every completed operation is exactly one
+// committed transaction (TList ops retry internally until they commit).
+// The engine's aggregated Commits must therefore equal the
+// deterministic prefill insert count plus the per-worker operation
+// counts the harness observed — exactly, not approximately — and every
+// attempt must be accounted for as either a commit or an abort.
+func TestStatsCrossCheckAgainstWorkerCounts(t *testing.T) {
+	for _, sem := range []core.Semantics{core.Def, core.Weak} {
+		tm := core.New(core.Config{Shards: 8})
+		l := structures.NewTList(tm, sem)
+		mix := workload.Mix{UpdatePct: 40, KeyRange: 128}
+		res := Run(l, Config{
+			Name:     "stats-crosscheck",
+			Workers:  4,
+			Duration: 100 * time.Millisecond,
+			Mix:      mix,
+			Seed:     42,
+		})
+		var sum uint64
+		for _, n := range res.WorkerOps {
+			sum += n
+		}
+		if sum != res.Ops {
+			t.Fatalf("sem=%v: WorkerOps sum %d != Ops %d", sem, sum, res.Ops)
+		}
+		prefill := (mix.KeyRange + 1) / 2 // Prefill inserts every other key
+		s := tm.Stats()
+		if want := prefill + res.Ops; s.Commits != want {
+			t.Errorf("sem=%v: Commits = %d, want exactly %d (prefill %d + worker ops %d)",
+				sem, s.Commits, want, prefill, res.Ops)
+		}
+		if s.Starts != s.Commits+s.Aborts {
+			t.Errorf("sem=%v: Starts = %d, want Commits+Aborts = %d",
+				sem, s.Starts, s.Commits+s.Aborts)
+		}
+	}
+}

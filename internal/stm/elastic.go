@@ -120,12 +120,12 @@ func (tx *Txn) readElastic(v *Var, pinned bool) (any, error) {
 		// the still-binding critical step (anchors + the last read).
 		now := tx.eng.clock.Now()
 		if !tx.validateElasticCut() {
-			tx.eng.stats.ReadAborts.Add(1)
+			tx.stat(statReadAborts)
 			tx.abortCleanup()
 			return nil, abortConflict("elastic window invalidated", v.id)
 		}
 		tx.cutUnpinned()
 		tx.rv = now
-		tx.eng.stats.ElasticCuts.Add(1)
+		tx.stat(statElasticCuts)
 	}
 }

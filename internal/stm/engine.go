@@ -24,6 +24,14 @@ type Config struct {
 	// write) joins the commit-validated read set. Values < 2 are
 	// treated as 2.
 	ElasticWindow int
+
+	// Shards is the stripe count for the engine's internal
+	// synchronization state (event counters, the live-transaction
+	// registry, the snapshot registry, the variable-id wells). It is
+	// rounded up to a power of two and capped at 256; <= 0 derives the
+	// count from GOMAXPROCS at engine construction. One shard reproduces
+	// the old centralized behaviour exactly.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -33,6 +41,7 @@ func (c Config) withDefaults() Config {
 	if c.ElasticWindow < 2 {
 		c.ElasticWindow = 2
 	}
+	c.Shards = resolveShardCount(c.Shards)
 	return c
 }
 
@@ -40,50 +49,93 @@ func (c Config) withDefaults() Config {
 // identity space for variables and transactions, a snapshot registry,
 // and the irrevocability token. Engines are independent; variables must
 // not flow between them.
+//
+// All per-attempt bookkeeping — counters, the live registry, the
+// snapshot registry, id allocation — is sharded (see shard.go), so the
+// only state every committing writer still serializes on is the version
+// clock itself, which defines commit order and is irreducible.
 type Engine struct {
-	cfg       Config
-	clock     Clock
-	nextVarID atomic.Uint64
+	cfg   Config
+	clock Clock
+
+	// shardMask selects a stripe from a stripeHint; stripe counts are
+	// powers of two.
+	shardMask uint64
+
+	// varIDs are striped id wells: well w issues ids w+1, w+1+S,
+	// w+1+2S, … (S = shard count), so NewVar calls on different stripes
+	// never contend while ids stay engine-unique and totally ordered —
+	// all that commit-time lock ordering requires.
+	varIDs []idWell
+
+	// nextTxnID is the source of per-Txn attempt-id blocks: each Txn
+	// draws txnIDBlock ids at a time (see Txn.nextAttemptID), so this
+	// counter is touched once per block rather than once per attempt.
 	nextTxnID atomic.Uint64
-	snaps     snapshotRegistry
+
+	snaps snapshotRegistry
 
 	// irrevocable serializes SemanticsIrrevocable transactions.
 	irrevocable sync.Mutex
 
-	// live maps transaction id -> *Txn for contention managers that
+	// live resolves attempt id -> *Txn for contention managers that
 	// need to inspect or kill lock owners.
-	live sync.Map
+	live liveRegistry
 
 	stats Stats
+}
+
+// idWell is one padded stripe of an id space.
+type idWell struct {
+	ctr atomic.Uint64
+	_   [cacheLine - 8]byte
 }
 
 // NewEngine creates an engine with the given configuration.
 func NewEngine(cfg Config) *Engine {
 	e := &Engine{cfg: cfg.withDefaults()}
-	e.snaps.init()
+	shards := e.cfg.Shards
+	e.shardMask = uint64(shards - 1)
+	e.varIDs = make([]idWell, shards)
+	e.snaps.init(shards)
+	e.live.init(shards)
+	e.stats.init(shards)
 	return e
 }
 
 // NewDefaultEngine creates an engine with default configuration.
 func NewDefaultEngine() *Engine { return NewEngine(Config{}) }
 
-// Stats returns a snapshot of the engine counters.
+// Shards returns the engine's resolved stripe count.
+func (e *Engine) Shards() int { return e.cfg.Shards }
+
+// Stats returns a snapshot of the engine counters. The aggregation is
+// exact per counter (see Stats).
 func (e *Engine) Stats() StatsSnapshot { return e.stats.Snapshot() }
 
 // ResetStats zeroes the engine counters (between benchmark phases).
-func (e *Engine) ResetStats() { e.stats = Stats{} }
+func (e *Engine) ResetStats() { e.stats.reset() }
 
 // Clock exposes the engine's global version clock (read-mostly; tests
 // and the schedule executors use it).
 func (e *Engine) Clock() *Clock { return &e.clock }
 
+// newVarID draws a fresh variable id from one of the striped wells.
+func (e *Engine) newVarID() uint64 {
+	w := uint64(stripeHint()) & e.shardMask
+	k := e.varIDs[w].ctr.Add(1)
+	return (k-1)*uint64(len(e.varIDs)) + w + 1
+}
+
 // lookupTxn resolves a live transaction by id, or nil.
 func (e *Engine) lookupTxn(id uint64) *Txn {
-	v, ok := e.live.Load(id)
-	if !ok {
-		return nil
-	}
-	return v.(*Txn)
+	return e.live.lookup(id)
+}
+
+// newTxn builds a transaction shell; its birth id is assigned on the
+// first begin, from the transaction's first attempt-id block.
+func (e *Engine) newTxn(sem Semantics, cm CMFactory) *Txn {
+	return &Txn{eng: e, sem: sem, cmFac: cm}
 }
 
 // Begin starts a transaction with semantics sem and the engine's default
@@ -100,12 +152,7 @@ func (e *Engine) BeginWith(sem Semantics, cm CMFactory) *Txn {
 	if cm == nil {
 		cm = e.cfg.DefaultCM
 	}
-	tx := &Txn{
-		eng:   e,
-		sem:   sem,
-		cmFac: cm,
-		birth: e.nextTxnID.Add(1),
-	}
+	tx := e.newTxn(sem, cm)
 	tx.begin()
 	return tx
 }
@@ -123,7 +170,7 @@ func (e *Engine) RunWith(sem Semantics, cm CMFactory, fn func(*Txn) error) error
 	if cm == nil {
 		cm = e.cfg.DefaultCM
 	}
-	tx := &Txn{eng: e, sem: sem, cmFac: cm, birth: e.nextTxnID.Add(1)}
+	tx := e.newTxn(sem, cm)
 	for attempt := 1; ; attempt++ {
 		tx.begin()
 		err := fn(tx)

@@ -38,6 +38,8 @@ func (tx *Txn) encounterLock(v *Var) error {
 			return nil
 		}
 	}
+	// About to take a lock: become resolvable as a lock owner first.
+	tx.registerLive()
 	for {
 		prev, ok := v.tryLock(tx.id)
 		if ok {
@@ -67,6 +69,6 @@ func (tx *Txn) commitIrrevocable() {
 		}
 	}
 	tx.encLocks = tx.encLocks[:0]
-	tx.eng.stats.Commits.Add(1)
+	tx.stat(statCommits)
 	tx.finish(statusCommitted)
 }

@@ -1,0 +1,67 @@
+package stm
+
+import "sync"
+
+// liveRegistry maps attempt id -> *Txn for the contention managers,
+// which must be able to inspect (and kill) the owner of a busy lock
+// word. Only lock *owners* can ever be looked up — an enemy is always
+// the holder of a busy lock — so registration is lazy: an attempt
+// enters the registry the first time it acquires a lock (commit-time or
+// encounter-time; see Txn.registerLive), and the read-only fast paths
+// never touch the registry at all. The registry is sharded by a mixing
+// hash of the id (shardOf — raw low bits would collapse block-allocated
+// first-attempt ids onto one shard): each shard is a small
+// mutex-guarded map on its own cache line, so concurrent writers
+// almost always lock disjoint shards.
+//
+// A plain map under a shard mutex beats a lock-free concurrent map
+// here: entries are short-lived and mostly unique, so a trie-based map
+// pays an allocation and a root walk per insert, while the uncontended
+// shard mutex costs a few nanoseconds — and lazy registration keeps the
+// shard mutexes off the hot read path where oversubscribed schedulers
+// could convoy on them.
+type liveRegistry struct {
+	shards []liveShard
+	mask   uint64
+}
+
+type liveShard struct {
+	mu sync.Mutex
+	m  map[uint64]*Txn
+	_  [cacheLine - 16]byte
+}
+
+// init sizes the shard array; shards must be a power of two.
+func (r *liveRegistry) init(shards int) {
+	r.shards = make([]liveShard, shards)
+	for i := range r.shards {
+		r.shards[i].m = make(map[uint64]*Txn, 4)
+	}
+	r.mask = uint64(shards - 1)
+}
+
+// store registers tx as the live transaction with attempt id.
+func (r *liveRegistry) store(id uint64, tx *Txn) {
+	sh := &r.shards[shardOf(id, r.mask)]
+	sh.mu.Lock()
+	sh.m[id] = tx
+	sh.mu.Unlock()
+}
+
+// delete removes attempt id from the registry.
+func (r *liveRegistry) delete(id uint64) {
+	sh := &r.shards[shardOf(id, r.mask)]
+	sh.mu.Lock()
+	delete(sh.m, id)
+	sh.mu.Unlock()
+}
+
+// lookup resolves a live transaction by attempt id, or nil if it has
+// already finished.
+func (r *liveRegistry) lookup(id uint64) *Txn {
+	sh := &r.shards[shardOf(id, r.mask)]
+	sh.mu.Lock()
+	tx := sh.m[id]
+	sh.mu.Unlock()
+	return tx
+}

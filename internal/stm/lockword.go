@@ -12,6 +12,12 @@ package stm
 
 const lockBit = uint64(1) << 63
 
+// directStoreOwner is the reserved lock-word owner id used by
+// Var.StoreDirect's CAS-guarded publish. Transaction attempt ids start
+// at 1 (see Txn.nextAttemptID), so 0 can never collide with a live
+// transaction.
+const directStoreOwner = uint64(0)
+
 // packVersion returns the unlocked lock word carrying version v.
 func packVersion(v uint64) uint64 { return v &^ lockBit }
 

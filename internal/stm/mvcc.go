@@ -33,12 +33,12 @@ func (tx *Txn) readSnapshot(v *Var) (any, error) {
 	if res == nil {
 		// Defensive: cannot happen for a registered snapshot (writers
 		// never trim versions a registered reader needs), but fail safe.
-		tx.eng.stats.ReadAborts.Add(1)
+		tx.stat(statReadAborts)
 		tx.abortCleanup()
 		return nil, abortConflict("snapshot history trimmed", v.id)
 	}
 	if res != h {
-		tx.eng.stats.SnapshotReads.Add(1)
+		tx.stat(statSnapshotReads)
 	}
 	return res.val, nil
 }

@@ -59,7 +59,7 @@ func (e *Engine) RunWithOptions(sem Semantics, cm CMFactory, maxAttempts int, fn
 	if maxAttempts == 0 {
 		maxAttempts = e.cfg.MaxAttempts
 	}
-	tx := &Txn{eng: e, sem: sem, cmFac: cm, birth: e.nextTxnID.Add(1)}
+	tx := e.newTxn(sem, cm)
 	for attempt := 1; ; attempt++ {
 		tx.begin()
 		err := fn(tx)

@@ -1,0 +1,70 @@
+package stm
+
+import (
+	"math/rand/v2"
+	"runtime"
+)
+
+// Sharding support for the engine's hot-path synchronization state.
+//
+// Event counters, the live-transaction registry, the snapshot registry
+// and the variable-id space are all striped across a power-of-two
+// number of shards so that concurrent transactions touch disjoint cache
+// lines. The stripe count is a Config knob (Config.Shards); the default
+// is derived from GOMAXPROCS at engine construction.
+//
+// Two global atomics deliberately remain: the version clock (it defines
+// commit order — irreducible in a TL2-style engine, and only writing
+// commits tick it) and the transaction-id block source (one
+// fetch-and-add per id *block*; a single-attempt transaction still pays
+// one, because blocks are private to a Txn. Striping it would make the
+// timestamp contention manager's birth order approximate, so that
+// trade is left to a future change).
+
+// cacheLine is the assumed cache-line size, used to pad shard entries so
+// neighbouring stripes never false-share.
+const cacheLine = 64
+
+// maxShards caps the stripe count; beyond a few hundred stripes the
+// aggregation cost of Stats.Snapshot and snapshotRegistry.minActive
+// grows with no remaining contention to remove.
+const maxShards = 256
+
+// resolveShardCount turns the Config.Shards knob into the actual stripe
+// count: a power of two in [1, maxShards], defaulting to the smallest
+// power of two >= GOMAXPROCS when requested <= 0. Powers of two let
+// every shard selection be a mask instead of a modulo.
+func resolveShardCount(requested int) int {
+	n := requested
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	return s
+}
+
+// shardOf maps an id to a shard index under mask (mask = shards-1,
+// shards a power of two). Ids must be mixed, not masked directly:
+// attempt ids are block-allocated (txnIDBlock apart), so every
+// transaction's first attempt is congruent mod the block size and raw
+// low bits would collapse onto a single shard. Fibonacci hashing
+// spreads any arithmetic progression; the high half of the product is
+// taken because that is where the mixing lands.
+func shardOf(id, mask uint64) uint64 {
+	return (id * 0x9E3779B97F4A7C15) >> 32 & mask
+}
+
+// stripeHint returns a cheap quasi-per-goroutine stripe selector.
+// math/rand/v2's global generator draws from per-thread (per-P) state in
+// the runtime, so concurrent callers never contend here, and goroutines
+// running on distinct Ps — the only ones that can actually race — are
+// steered toward distinct stripes. The hint need not be stable across
+// calls: callers use it to *distribute* updates (striped counters, id
+// wells), never to *find* them again.
+func stripeHint() uint32 { return rand.Uint32() }

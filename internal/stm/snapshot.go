@@ -8,51 +8,105 @@ import (
 
 // snapshotRegistry tracks the start timestamps of live snapshot-semantics
 // transactions so that writers know how much version history they must
-// preserve on each variable's chain. Writers consult only the cached
-// atomic minimum, so the hot path never takes the mutex.
+// preserve on each variable's chain.
+//
+// The registry is sharded by a mixing hash of the transaction id
+// (shardOf). Each shard guards its own id->timestamp map with its own
+// mutex and maintains an atomic cache of its own minimum, so
+// registration (every snapshot begin) and unregistration (every
+// snapshot finish) in different shards never contend. Writers never take any mutex: minActive folds the per-shard
+// atomic minima.
+//
+// The correctness argument of the old single-mutex registry carries over
+// shard by shard. Each shard's cached minimum is maintained under that
+// shard's lock and therefore never exceeds the smallest timestamp
+// registered in the shard; minActive reads each cache atomically, so its
+// result never exceeds the smallest timestamp of any registered
+// snapshot. The register-then-sample ordering invariant (publish a
+// conservative lower bound before sampling the read timestamp — see
+// registerSampling and the commentary in Txn.begin) is what makes the
+// remaining writer/registrar race benign, exactly as before: a writer
+// that reads the minima before our bound was published committed at a
+// timestamp at or below the bound, so its version is visible to the
+// snapshot anyway.
 type snapshotRegistry struct {
+	shards []snapShard
+	mask   uint64
+}
+
+type snapShard struct {
 	mu     sync.Mutex
 	active map[uint64]uint64 // txn id -> start timestamp
 	min    atomic.Uint64     // cached minimum of active, or math.MaxUint64
+	_      [cacheLine - 24]byte
 }
 
-func (r *snapshotRegistry) init() {
-	r.active = make(map[uint64]uint64)
-	r.min.Store(math.MaxUint64)
-}
-
-// register records that transaction id reads at snapshot timestamp ts.
-func (r *snapshotRegistry) register(id, ts uint64) {
-	r.mu.Lock()
-	r.active[id] = ts
-	if ts < r.min.Load() {
-		r.min.Store(ts)
+// init sizes the shard array; shards must be a power of two.
+func (r *snapshotRegistry) init(shards int) {
+	r.shards = make([]snapShard, shards)
+	for i := range r.shards {
+		r.shards[i].active = make(map[uint64]uint64, 4)
+		r.shards[i].min.Store(math.MaxUint64)
 	}
-	r.mu.Unlock()
+	r.mask = uint64(shards - 1)
 }
 
-// unregister removes transaction id and recomputes the cached minimum.
+// registerSampling records transaction id as a live snapshot reader with
+// a start-timestamp lower bound sampled from clock *inside* the shard
+// critical section, and returns that bound. Sampling under the lock
+// guarantees the bound is published to the shard minimum before the
+// caller can go on to sample its actual read timestamp — the
+// register-then-sample invariant minActive's trimming contract needs.
+func (r *snapshotRegistry) registerSampling(id uint64, clock *Clock) uint64 {
+	sh := &r.shards[shardOf(id, r.mask)]
+	sh.mu.Lock()
+	pre := clock.Now()
+	sh.active[id] = pre
+	if pre < sh.min.Load() {
+		sh.min.Store(pre)
+	}
+	sh.mu.Unlock()
+	return pre
+}
+
+// unregister removes transaction id and recomputes its shard's cached
+// minimum. Other shards are untouched.
 func (r *snapshotRegistry) unregister(id uint64) {
-	r.mu.Lock()
-	delete(r.active, id)
+	sh := &r.shards[shardOf(id, r.mask)]
+	sh.mu.Lock()
+	delete(sh.active, id)
 	m := uint64(math.MaxUint64)
-	for _, ts := range r.active {
+	for _, ts := range sh.active {
 		if ts < m {
 			m = ts
 		}
 	}
-	r.min.Store(m)
-	r.mu.Unlock()
+	sh.min.Store(m)
+	sh.mu.Unlock()
 }
 
 // minActive returns the smallest start timestamp of any live snapshot
 // transaction, or math.MaxUint64 if none — writers keep the newest
-// version with ver <= minActive and may trim everything older.
-func (r *snapshotRegistry) minActive() uint64 { return r.min.Load() }
+// version with ver <= minActive and may trim everything older. Lock-free:
+// it folds the per-shard atomic minima.
+func (r *snapshotRegistry) minActive() uint64 {
+	m := uint64(math.MaxUint64)
+	for i := range r.shards {
+		if v := r.shards[i].min.Load(); v < m {
+			m = v
+		}
+	}
+	return m
+}
 
 // activeCount returns the number of live snapshot transactions.
 func (r *snapshotRegistry) activeCount() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.active)
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		n += len(sh.active)
+		sh.mu.Unlock()
+	}
+	return n
 }

@@ -5,43 +5,96 @@ import (
 	"sync/atomic"
 )
 
-// Stats holds engine-wide event counters. All counters are updated with
-// atomic adds on hot paths and are therefore approximate only in their
-// mutual consistency, never in their individual totals.
-type Stats struct {
-	Starts        atomic.Uint64 // transaction attempts begun
-	Commits       atomic.Uint64 // successful commits
-	Aborts        atomic.Uint64 // aborts of any kind
-	ReadAborts    atomic.Uint64 // aborts during read validation/extension
-	LockAborts    atomic.Uint64 // aborts acquiring commit-time locks
-	ValidateAbort atomic.Uint64 // aborts during commit-time validation
-	Kills         atomic.Uint64 // aborts requested by contention managers
-	Extensions    atomic.Uint64 // successful read-timestamp extensions
-	ElasticCuts   atomic.Uint64 // elastic prefix cuts (the paper's γ windows sliding)
-	SnapshotReads atomic.Uint64 // reads resolved from non-head versions
-	Irrevocables  atomic.Uint64 // transactions run irrevocably
-	VarsAllocated atomic.Uint64 // NewVar calls
-	Reads         atomic.Uint64 // transactional reads
-	Writes        atomic.Uint64 // transactional writes
+// statCounter names one engine event counter. Hot paths bump counters
+// through Stats.add with their transaction's stripe, so the enum is the
+// per-event half of the striped layout below.
+type statCounter uint8
+
+const (
+	statStarts        statCounter = iota // transaction attempts begun
+	statCommits                          // successful commits
+	statAborts                           // aborts of any kind
+	statReadAborts                       // aborts during read validation/extension
+	statLockAborts                       // aborts acquiring commit-time locks
+	statValidateAbort                    // aborts during commit-time validation
+	statKills                            // aborts requested by contention managers
+	statExtensions                       // successful read-timestamp extensions
+	statElasticCuts                      // elastic prefix cuts (the paper's γ windows sliding)
+	statSnapshotReads                    // reads resolved from non-head versions
+	statIrrevocables                     // transactions run irrevocably
+	statVarsAllocated                    // NewVar calls
+	statReads                            // transactional reads
+	statWrites                           // transactional writes
+
+	numStatCounters
+)
+
+// statsStripe is one shard's worth of counters, padded out to a
+// cache-line multiple so adjacent stripes never false-share. (The
+// counter block is 14×8 = 112 bytes; the pad rounds it to 128.)
+type statsStripe struct {
+	c [numStatCounters]atomic.Uint64
+	_ [cacheLine - (numStatCounters*8)%cacheLine]byte
 }
 
-// Snapshot copies the counters into a plain struct for reporting.
+// Stats holds the engine-wide event counters, striped across the
+// engine's shard count. Each increment lands on exactly one stripe, so
+// Snapshot — which sums every stripe — is exact for every individual
+// counter: striping relaxes only *where* an event is recorded, never
+// *whether* it is. (As before, counters are mutually consistent only
+// approximately: a snapshot taken mid-flight may see a start whose
+// commit it misses.)
+type Stats struct {
+	stripes []statsStripe
+	mask    uint32
+}
+
+// init sizes the stripe array; shards must be a power of two.
+func (s *Stats) init(shards int) {
+	s.stripes = make([]statsStripe, shards)
+	s.mask = uint32(shards - 1)
+}
+
+// add bumps counter c on the given stripe.
+func (s *Stats) add(stripe uint32, c statCounter) {
+	s.stripes[stripe&s.mask].c[c].Add(1)
+}
+
+// sum aggregates counter c across every stripe.
+func (s *Stats) sum(c statCounter) uint64 {
+	var t uint64
+	for i := range s.stripes {
+		t += s.stripes[i].c[c].Load()
+	}
+	return t
+}
+
+// reset zeroes every counter on every stripe.
+func (s *Stats) reset() {
+	for i := range s.stripes {
+		for c := range s.stripes[i].c {
+			s.stripes[i].c[c].Store(0)
+		}
+	}
+}
+
+// Snapshot aggregates the stripes into a plain struct for reporting.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Starts:        s.Starts.Load(),
-		Commits:       s.Commits.Load(),
-		Aborts:        s.Aborts.Load(),
-		ReadAborts:    s.ReadAborts.Load(),
-		LockAborts:    s.LockAborts.Load(),
-		ValidateAbort: s.ValidateAbort.Load(),
-		Kills:         s.Kills.Load(),
-		Extensions:    s.Extensions.Load(),
-		ElasticCuts:   s.ElasticCuts.Load(),
-		SnapshotReads: s.SnapshotReads.Load(),
-		Irrevocables:  s.Irrevocables.Load(),
-		VarsAllocated: s.VarsAllocated.Load(),
-		Reads:         s.Reads.Load(),
-		Writes:        s.Writes.Load(),
+		Starts:        s.sum(statStarts),
+		Commits:       s.sum(statCommits),
+		Aborts:        s.sum(statAborts),
+		ReadAborts:    s.sum(statReadAborts),
+		LockAborts:    s.sum(statLockAborts),
+		ValidateAbort: s.sum(statValidateAbort),
+		Kills:         s.sum(statKills),
+		Extensions:    s.sum(statExtensions),
+		ElasticCuts:   s.sum(statElasticCuts),
+		SnapshotReads: s.sum(statSnapshotReads),
+		Irrevocables:  s.sum(statIrrevocables),
+		VarsAllocated: s.sum(statVarsAllocated),
+		Reads:         s.sum(statReads),
+		Writes:        s.sum(statWrites),
 	}
 }
 

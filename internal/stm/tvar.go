@@ -23,12 +23,13 @@ type Var struct {
 
 // NewVar allocates a transactional variable owned by engine e holding
 // initial value v at version 0 (committed "before the beginning of
-// time", so it is visible to every transaction).
+// time", so it is visible to every transaction). Ids come from the
+// engine's striped wells, so concurrent allocators never contend.
 func (e *Engine) NewVar(v any) *Var {
-	tv := &Var{eng: e, id: e.nextVarID.Add(1)}
+	tv := &Var{eng: e, id: e.newVarID()}
 	tv.head.Store(&Version{val: v, ver: 0})
 	tv.lw.Store(packVersion(0))
-	e.stats.VarsAllocated.Add(1)
+	e.stats.add(stripeHint(), statVarsAllocated)
 	return tv
 }
 
@@ -47,10 +48,22 @@ func (v *Var) Engine() *Engine { return v.eng }
 func (v *Var) LoadDirect() any { return v.head.Load().val }
 
 // StoreDirect overwrites the variable outside any transaction. It must
-// only be used while no transaction is live; it advances the global
-// clock so concurrent later transactions would observe the change, but
-// it performs no conflict detection.
+// only be used while no transaction is live (e.g. test setup and
+// teardown); it advances the global clock so later transactions observe
+// the change, but it performs no conflict detection.
+//
+// The publish is CAS-guarded: StoreDirect takes the variable's lock
+// word like any committer, under the reserved owner id 0 (transaction
+// ids start at 1), so a misuse that races a live *locking* transaction
+// — a committer, an irrevocable writer, or another StoreDirect — fails
+// loudly with a panic instead of silently splicing a stale head into
+// the version chain. A race against purely optimistic readers remains
+// undetectable; the precondition stands.
 func (v *Var) StoreDirect(val any) {
+	w := v.lw.Load()
+	if isLocked(w) || !v.lw.CompareAndSwap(w, packOwner(directStoreOwner)) {
+		panic("stm: Var.StoreDirect raced with a live transaction (lock word held)")
+	}
 	wv := v.eng.clock.Tick()
 	old := v.head.Load()
 	v.head.Store(&Version{val: val, ver: wv, prev: retainHistory(old, wv, v.eng.snaps.minActive())})

@@ -60,6 +60,14 @@ type Txn struct {
 	// id is the per-attempt identity, used as the lock-word owner.
 	id uint64
 
+	// idNext/idLimit delimit the transaction's private block of attempt
+	// ids, drawn txnIDBlock at a time from the engine's global counter
+	// (see nextAttemptID).
+	idNext, idLimit uint64
+
+	// shard is the stripe this attempt's counter updates land on.
+	shard uint32
+
 	// rv is the read timestamp: all reads are consistent at rv.
 	rv uint64
 
@@ -80,6 +88,7 @@ type Txn struct {
 	attempt int
 
 	snapRegistered  bool
+	liveRegistered  bool
 	irrevocableHeld bool
 	encLocks        []encLock
 
@@ -91,9 +100,39 @@ type Txn struct {
 	elasticFloor int
 }
 
+// txnIDBlock is how many attempt ids a transaction draws from the
+// engine's global counter at a time. Blocks amortize the global
+// fetch-and-add across attempts; unused remainder ids are simply never
+// issued (the 63-bit id space absorbs the waste).
+const txnIDBlock = 64
+
+// nextAttemptID hands out the next per-attempt id from the
+// transaction's private block, refilling from the engine once per
+// txnIDBlock ids. Ids start at 1; id 0 is reserved for the
+// Var.StoreDirect lock-word sentinel. Block allocation keeps ids unique
+// and keeps birth order (first id of the first block) aligned with
+// transaction creation order, which the timestamp contention manager's
+// age priority relies on.
+func (tx *Txn) nextAttemptID() uint64 {
+	if tx.idNext == tx.idLimit {
+		end := tx.eng.nextTxnID.Add(txnIDBlock)
+		tx.idNext, tx.idLimit = end-txnIDBlock+1, end+1
+	}
+	id := tx.idNext
+	tx.idNext++
+	return id
+}
+
+// stat bumps one engine counter on this attempt's stripe.
+func (tx *Txn) stat(c statCounter) { tx.eng.stats.add(tx.shard, c) }
+
 // begin (re)initializes the transaction for a new attempt.
 func (tx *Txn) begin() {
-	tx.id = tx.eng.nextTxnID.Add(1)
+	tx.id = tx.nextAttemptID()
+	if tx.birth == 0 {
+		tx.birth = tx.id
+	}
+	tx.shard = stripeHint()
 	tx.attempt++
 	tx.status.Store(statusActive)
 	tx.killed.Store(false)
@@ -109,15 +148,14 @@ func (tx *Txn) begin() {
 	tx.modes.stack = tx.modes.stack[:0]
 	tx.elasticFloor = 0
 	tx.cm = tx.cmFac()
-	tx.eng.stats.Starts.Add(1)
-	tx.eng.live.Store(tx.id, tx)
+	tx.stat(statStarts)
 
 	switch tx.sem {
 	case SemanticsIrrevocable:
 		tx.eng.irrevocable.Lock()
 		tx.irrevocableHeld = true
 		tx.rv = tx.eng.clock.Now()
-		tx.eng.stats.Irrevocables.Add(1)
+		tx.stat(statIrrevocables)
 	case SemanticsSnapshot:
 		// Registration order matters: publish a conservative lower
 		// bound (pre <= rv) to the registry FIRST, then sample the read
@@ -127,14 +165,9 @@ func (tx *Txn) begin() {
 		// preserve at least every version >= the newest one <= pre —
 		// a superset of what resolving at rv needs. Either way no
 		// version this snapshot requires is ever trimmed.
-		r := &tx.eng.snaps
-		r.mu.Lock()
-		pre := tx.eng.clock.Now()
-		r.active[tx.id] = pre
-		if pre < r.min.Load() {
-			r.min.Store(pre)
-		}
-		r.mu.Unlock()
+		// registerSampling samples pre inside the registry's shard
+		// critical section, preserving exactly this ordering.
+		tx.eng.snaps.registerSampling(tx.id, &tx.eng.clock)
 		tx.rv = tx.eng.clock.Now()
 		tx.snapRegistered = true
 	default:
@@ -142,10 +175,27 @@ func (tx *Txn) begin() {
 	}
 }
 
+// registerLive enters this attempt into the live registry so that
+// contention managers can resolve it as a lock owner. It must be called
+// before the attempt's first lock-word CAS can succeed: a rival that
+// observes our id in a lock word must be able to look us up (a nil
+// lookup is treated as "owner already finished", which would spin
+// rather than arbitrate). Read-only attempts never lock and so never
+// register — that is the point: the registry is off the read fast path.
+func (tx *Txn) registerLive() {
+	if !tx.liveRegistered {
+		tx.eng.live.store(tx.id, tx)
+		tx.liveRegistered = true
+	}
+}
+
 // finish tears down per-attempt registrations.
 func (tx *Txn) finish(st uint32) {
 	tx.status.Store(st)
-	tx.eng.live.Delete(tx.id)
+	if tx.liveRegistered {
+		tx.eng.live.delete(tx.id)
+		tx.liveRegistered = false
+	}
 	if tx.snapRegistered {
 		tx.eng.snaps.unregister(tx.id)
 		tx.snapRegistered = false
@@ -193,7 +243,7 @@ func (tx *Txn) checkLive() error {
 		return ErrTxnDone
 	}
 	if tx.killed.Load() {
-		tx.eng.stats.Kills.Add(1)
+		tx.stat(statKills)
 		tx.abortCleanup()
 		return ErrKilled
 	}
@@ -211,7 +261,7 @@ func (tx *Txn) Read(v *Var) (any, error) {
 		tx.abortCleanup()
 		return nil, ErrCrossEngine
 	}
-	tx.eng.stats.Reads.Add(1)
+	tx.stat(statReads)
 	tx.karma++
 
 	// Read-your-writes.
@@ -243,7 +293,7 @@ func (tx *Txn) ReadPinned(v *Var) (any, error) {
 		tx.abortCleanup()
 		return nil, ErrCrossEngine
 	}
-	tx.eng.stats.Reads.Add(1)
+	tx.stat(statReads)
 	tx.karma++
 	if i, ok := tx.wmap[v]; ok {
 		return tx.wset[i].val, nil
@@ -275,7 +325,7 @@ func (tx *Txn) waitUnlocked(v *Var) error {
 			return nil
 		}
 		if tx.killed.Load() {
-			tx.eng.stats.Kills.Add(1)
+			tx.stat(statKills)
 			tx.abortCleanup()
 			return ErrKilled
 		}
@@ -299,7 +349,7 @@ func (tx *Txn) readDef(v *Var) (any, error) {
 			return h.val, nil
 		}
 		if !tx.extend() {
-			tx.eng.stats.ReadAborts.Add(1)
+			tx.stat(statReadAborts)
 			tx.abortCleanup()
 			return nil, abortConflict("read validation", v.id)
 		}
@@ -314,7 +364,7 @@ func (tx *Txn) extend() bool {
 		return false
 	}
 	tx.rv = now
-	tx.eng.stats.Extensions.Add(1)
+	tx.stat(statExtensions)
 	return true
 }
 
@@ -343,7 +393,7 @@ func (tx *Txn) Write(v *Var, val any) error {
 		tx.abortCleanup()
 		return ErrCrossEngine
 	}
-	tx.eng.stats.Writes.Add(1)
+	tx.stat(statWrites)
 	tx.karma++
 
 	switch tx.effective() {
@@ -393,7 +443,7 @@ func (tx *Txn) abortCleanup() {
 		el.v.unlockTo(el.prevLW)
 	}
 	tx.encLocks = tx.encLocks[:0]
-	tx.eng.stats.Aborts.Add(1)
+	tx.stat(statAborts)
 	tx.finish(statusAborted)
 }
 
@@ -405,7 +455,7 @@ func (tx *Txn) Commit() error {
 		return ErrTxnDone
 	}
 	if tx.killed.Load() && tx.sem != SemanticsIrrevocable {
-		tx.eng.stats.Kills.Add(1)
+		tx.stat(statKills)
 		tx.abortCleanup()
 		return ErrKilled
 	}
@@ -420,10 +470,13 @@ func (tx *Txn) Commit() error {
 	// snapshot: reads resolved at the start timestamp) and commit
 	// without further work.
 	if len(tx.wset) == 0 {
-		tx.eng.stats.Commits.Add(1)
+		tx.stat(statCommits)
 		tx.finish(statusCommitted)
 		return nil
 	}
+
+	// About to take locks: become resolvable as a lock owner first.
+	tx.registerLive()
 
 	// Acquire commit-time locks in variable-id order (deadlock-free).
 	sort.Slice(tx.wset, func(i, j int) bool { return tx.wset[i].v.id < tx.wset[j].v.id })
@@ -443,14 +496,14 @@ func (tx *Txn) Commit() error {
 	// trivially valid.
 	if wv != tx.rv+1 {
 		if !tx.validateReads() {
-			tx.eng.stats.ValidateAbort.Add(1)
+			tx.stat(statValidateAbort)
 			tx.abortCleanup()
 			return abortConflict("commit validation", 0)
 		}
 	}
 
 	tx.publish(wv)
-	tx.eng.stats.Commits.Add(1)
+	tx.stat(statCommits)
 	tx.finish(statusCommitted)
 	return nil
 }
@@ -460,7 +513,7 @@ func (tx *Txn) Commit() error {
 func (tx *Txn) lockForCommit(e *writeEntry) error {
 	for attempt := 0; ; attempt++ {
 		if tx.killed.Load() {
-			tx.eng.stats.Kills.Add(1)
+			tx.stat(statKills)
 			tx.abortCleanup()
 			return ErrKilled
 		}
@@ -481,7 +534,7 @@ func (tx *Txn) lockForCommit(e *writeEntry) error {
 		enemy := tx.eng.lookupTxn(owner)
 		switch tx.cm.OnLockBusy(tx, enemy, attempt) {
 		case ResolutionAbortSelf:
-			tx.eng.stats.LockAborts.Add(1)
+			tx.stat(statLockAborts)
 			tx.abortCleanup()
 			return abortConflict("lock busy", e.v.id)
 		case ResolutionKillEnemy:
@@ -490,7 +543,7 @@ func (tx *Txn) lockForCommit(e *writeEntry) error {
 				continue
 			}
 			// Enemy is unkillable (irrevocable): yield the fight.
-			tx.eng.stats.LockAborts.Add(1)
+			tx.stat(statLockAborts)
 			tx.abortCleanup()
 			return abortConflict("lock busy (irrevocable owner)", e.v.id)
 		case ResolutionRetryLock:

@@ -1,0 +1,61 @@
+package workload
+
+import "polytm/internal/stm"
+
+// MixedVars allocates the variable array the mixed-semantics engine
+// workload runs over.
+func MixedVars(e *stm.Engine, n int) []*stm.Var {
+	vars := make([]*stm.Var, n)
+	for i := range vars {
+		vars[i] = e.NewVar(i)
+	}
+	return vars
+}
+
+// MixedSeed derives the workload's per-worker RNG state from a worker
+// number.
+func MixedSeed(worker uint64) uint64 { return worker*0x9E3779B97F4A7C15 + 1 }
+
+// MixedStep runs one operation of the standard mixed-semantics engine
+// workload — the paper's polymorphism exercised as a load profile: 3/8
+// def read-modify-write pairs, 3/8 weak elastic walks, 1/8 snapshot
+// read-only scans, 1/8 irrevocable single writes. r is the worker's
+// RNG state (advanced in place); op is the worker's operation counter.
+// Both cmd/polybench's -bench scale and BenchmarkScalabilityMixed run
+// exactly this step, so their numbers stay comparable.
+func MixedStep(e *stm.Engine, vars []*stm.Var, r *uint64, op int) {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	i, j := int(*r>>33)%len(vars), int(*r>>45)%len(vars)
+	switch op % 8 {
+	case 0, 1, 2: // def read-modify-write pair
+		_ = e.Run(stm.SemanticsDef, func(tx *stm.Txn) error {
+			v, err := tx.Read(vars[i])
+			if err != nil {
+				return err
+			}
+			return tx.Write(vars[j], v)
+		})
+	case 3, 4, 5: // weak elastic walk over a stretch
+		_ = e.Run(stm.SemanticsWeak, func(tx *stm.Txn) error {
+			for k := 0; k < 8; k++ {
+				if _, err := tx.Read(vars[(i+k)%len(vars)]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case 6: // snapshot read-only scan
+		_ = e.Run(stm.SemanticsSnapshot, func(tx *stm.Txn) error {
+			for k := 0; k < 8; k++ {
+				if _, err := tx.Read(vars[(j+k)%len(vars)]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	default: // irrevocable single write
+		_ = e.Run(stm.SemanticsIrrevocable, func(tx *stm.Txn) error {
+			return tx.Write(vars[i], op)
+		})
+	}
+}
