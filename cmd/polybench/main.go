@@ -1,7 +1,8 @@
 // Command polybench runs the throughput experiments of EXPERIMENTS.md
 // from the shell: the integer-set micro-benchmarks (B1 list, B3 skip
 // list), the resize experiment (B2), the snapshot-scan experiment (B4),
-// and the contention-manager ablation (B5).
+// the contention-manager ablation (B5), the engine-scalability
+// experiment (B7), and the polyserve loopback server experiment (B8).
 //
 // Usage:
 //
@@ -11,7 +12,9 @@
 //	polybench -bench scan  -workers 4
 //	polybench -bench cm    -workers 8
 //	polybench -bench scale -workers 1,2,4,8 -shards 0
+//	polybench -bench server -workers 1,4,8 -get-pct 80 -scan-pct 10
 //	polybench -bench all
+//	polybench -bench scale -json        # machine-readable results
 //
 // -bench scale is the engine-scalability experiment behind the sharded
 // synchronization state: a mixed-semantics transaction stream (def
@@ -19,73 +22,203 @@
 // writes) across worker counts; -shards overrides the engine's stripe
 // count (0 = GOMAXPROCS-derived default, 1 = the old centralized
 // layout, for A/B comparison).
+//
+// -bench server starts an in-process polyserve on a loopback listener
+// and drives it through the wire client with a configurable
+// GET/SCAN/SET mix (-get-pct, -scan-pct; the remainder is SETs, each
+// worker one pipelined connection), reporting txns/s and the
+// per-semantics abort breakdown from the engine's sharded stats — the
+// paper's polymorphism measured as live network traffic.
+//
+// -json switches the output to a JSON array of result records (name,
+// workers, ops, txns/s, aborts, per-semantics classes) for recording
+// BENCH_*.json trajectories; an unknown -bench exits nonzero.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"polytm/internal/baseline"
 	"polytm/internal/core"
 	"polytm/internal/harness"
 	"polytm/internal/lockfree"
+	"polytm/internal/server"
+	"polytm/internal/server/client"
 	"polytm/internal/stm"
 	"polytm/internal/structures"
 	"polytm/internal/workload"
 )
 
+// shutdownContext bounds a loopback server teardown.
+func shutdownContext() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 5*time.Second)
+}
+
+// semRecord is the per-semantics-class slice of a JSON record.
+type semRecord struct {
+	Starts    uint64  `json:"starts"`
+	Commits   uint64  `json:"commits"`
+	Aborts    uint64  `json:"aborts"`
+	AbortRate float64 `json:"abort_rate"`
+}
+
+// record is one machine-readable benchmark result row.
+type record struct {
+	Bench        string               `json:"bench"`
+	Name         string               `json:"name"`
+	Workers      int                  `json:"workers"`
+	DurationSec  float64              `json:"duration_sec"`
+	Ops          uint64               `json:"ops"`
+	TxnsPerSec   float64              `json:"txns_per_sec"`
+	Aborts       *uint64              `json:"aborts,omitempty"`
+	AbortRate    *float64             `json:"abort_rate,omitempty"`
+	PerSemantics map[string]semRecord `json:"per_semantics,omitempty"`
+}
+
+// report collects result rows and owns the output mode: human tables on
+// stdout, or one JSON array at exit.
+type report struct {
+	json bool
+	rows []record
+}
+
+// printf writes table output unless JSON mode is on.
+func (r *report) printf(format string, args ...any) {
+	if !r.json {
+		fmt.Printf(format, args...)
+	}
+}
+
+// add records one row.
+func (r *report) add(rec record) { r.rows = append(r.rows, rec) }
+
+// addResult records a harness row (no engine stats available).
+func (r *report) addResult(bench string, res harness.Result) {
+	r.add(record{
+		Bench:       bench,
+		Name:        res.Name,
+		Workers:     res.Workers,
+		DurationSec: res.Duration.Seconds(),
+		Ops:         res.Ops,
+		TxnsPerSec:  res.Throughput(),
+	})
+}
+
+// addWithStats records a row with engine counters attached.
+func (r *report) addWithStats(bench, name string, workers int, dur time.Duration, ops uint64, s stm.StatsSnapshot) {
+	aborts := s.Aborts
+	rate := s.AbortRate()
+	rec := record{
+		Bench:       bench,
+		Name:        name,
+		Workers:     workers,
+		DurationSec: dur.Seconds(),
+		Ops:         ops,
+		TxnsPerSec:  float64(ops) / dur.Seconds(),
+		Aborts:      &aborts,
+		AbortRate:   &rate,
+	}
+	per := map[string]semRecord{}
+	for _, p := range []stm.Semantics{stm.SemanticsDef, stm.SemanticsWeak, stm.SemanticsSnapshot, stm.SemanticsIrrevocable} {
+		c := s.Sem(p)
+		if c.Starts == 0 {
+			continue
+		}
+		per[p.String()] = semRecord{Starts: c.Starts, Commits: c.Commits, Aborts: c.Aborts, AbortRate: c.AbortRate()}
+	}
+	if len(per) > 0 {
+		rec.PerSemantics = per
+	}
+	r.add(rec)
+}
+
+// flush emits the JSON array in JSON mode.
+func (r *report) flush() {
+	if !r.json {
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.rows); err != nil {
+		fmt.Fprintf(os.Stderr, "polybench: json: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
-	bench := flag.String("bench", "all", "which experiment: list, hash, skip, scan, cm, all")
+	bench := flag.String("bench", "all", "which experiment: list, hash, skip, scan, cm, scale, server, all")
 	updates := flag.Int("updates", 10, "update percentage")
 	keyRange := flag.Uint64("range", 512, "key range (steady-state size is half)")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
 	dur := flag.Duration("dur", 200*time.Millisecond, "duration per configuration")
 	resizeEvery := flag.Duration("resize-every", 10*time.Millisecond, "resize cadence for -bench hash")
 	seed := flag.Int64("seed", 1, "workload seed")
-	shards := flag.Int("shards", 0, "engine shard count for -bench scale (0 = GOMAXPROCS default)")
+	shards := flag.Int("shards", 0, "engine shard count for -bench scale/server (0 = GOMAXPROCS default)")
+	getPct := flag.Int("get-pct", 80, "GET percentage for -bench server")
+	scanPct := flag.Int("scan-pct", 10, "SCAN percentage for -bench server (remainder is SETs)")
+	scanLimit := flag.Uint64("scan-limit", 16, "SCAN window for -bench server")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results instead of tables")
 	flag.Parse()
 
 	var workers []int
 	for _, f := range strings.Split(*workersFlag, ",") {
 		w, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || w <= 0 {
-			fmt.Printf("bad worker count %q\n", f)
-			return
+			fmt.Fprintf(os.Stderr, "polybench: bad worker count %q\n", f)
+			os.Exit(2)
 		}
 		workers = append(workers, w)
 	}
+	if *getPct < 0 || *scanPct < 0 || *getPct+*scanPct > 100 {
+		fmt.Fprintf(os.Stderr, "polybench: bad mix: -get-pct %d -scan-pct %d (must be >= 0 and sum <= 100)\n",
+			*getPct, *scanPct)
+		os.Exit(2)
+	}
 	mix := workload.Mix{UpdatePct: *updates, KeyRange: *keyRange}
 	base := harness.Config{Duration: *dur, Mix: mix, Seed: *seed}
+	rep := &report{json: *jsonOut}
 
 	switch *bench {
 	case "list":
-		benchList(base, workers)
+		benchList(rep, base, workers)
 	case "hash":
-		benchHash(base, workers, *resizeEvery)
+		benchHash(rep, base, workers, *resizeEvery)
 	case "skip":
-		benchSkip(base, workers)
+		benchSkip(rep, base, workers)
 	case "scan":
-		benchScan(base, workers)
+		benchScan(rep, base, workers)
 	case "cm":
-		benchCM(base, workers)
+		benchCM(rep, base, workers)
 	case "scale":
-		benchScale(base, workers, *shards)
+		benchScale(rep, base, workers, *shards)
+	case "server":
+		benchServer(rep, base, workers, *shards, *getPct, *scanPct, *scanLimit)
 	case "all":
-		benchList(base, workers)
-		benchHash(base, workers, *resizeEvery)
-		benchSkip(base, workers)
-		benchScan(base, workers)
-		benchCM(base, workers)
-		benchScale(base, workers, *shards)
+		benchList(rep, base, workers)
+		benchHash(rep, base, workers, *resizeEvery)
+		benchSkip(rep, base, workers)
+		benchScan(rep, base, workers)
+		benchCM(rep, base, workers)
+		benchScale(rep, base, workers, *shards)
+		benchServer(rep, base, workers, *shards, *getPct, *scanPct, *scanLimit)
 	default:
-		fmt.Printf("unknown bench %q\n", *bench)
+		fmt.Fprintf(os.Stderr, "polybench: unknown bench %q (valid: list, hash, skip, scan, cm, scale, server, all)\n", *bench)
+		os.Exit(2)
 	}
+	rep.flush()
 }
 
-func benchList(base harness.Config, workers []int) {
+func benchList(rep *report, base harness.Config, workers []int) {
 	title := fmt.Sprintf("B1: sorted-list integer set, %d%% updates, range %d",
 		base.Mix.UpdatePct, base.Mix.KeyRange)
 	var rows []harness.Result
@@ -101,10 +234,13 @@ func benchList(base harness.Config, workers []int) {
 		cfg.Name = name
 		rows = append(rows, harness.Sweep(mk[name], cfg, workers)...)
 	}
-	fmt.Print(harness.Table(title, rows))
+	for _, r := range rows {
+		rep.addResult("list", r)
+	}
+	rep.printf("%s", harness.Table(title, rows))
 }
 
-func benchHash(base harness.Config, workers []int, every time.Duration) {
+func benchHash(rep *report, base harness.Config, workers []int, every time.Duration) {
 	title := fmt.Sprintf("B2: hash set with background resize every %v, %d%% updates, range %d",
 		every, base.Mix.UpdatePct, base.Mix.KeyRange)
 	var rows []harness.Result
@@ -143,10 +279,13 @@ func benchHash(base harness.Config, workers []int, every time.Duration) {
 		cfg.Resizer = nil // grows automatically; that is its point
 		rows = append(rows, harness.Run(lockfree.NewSplitOrdered(), cfg))
 	}
-	fmt.Print(harness.Table(title, rows))
+	for _, r := range rows {
+		rep.addResult("hash", r)
+	}
+	rep.printf("%s", harness.Table(title, rows))
 }
 
-func benchSkip(base harness.Config, workers []int) {
+func benchSkip(rep *report, base harness.Config, workers []int) {
 	title := fmt.Sprintf("B3: skip-list integer set, %d%% updates, range %d",
 		base.Mix.UpdatePct, base.Mix.KeyRange)
 	var rows []harness.Result
@@ -162,13 +301,16 @@ func benchSkip(base harness.Config, workers []int) {
 		cfg.Name = spec.name
 		rows = append(rows, harness.Sweep(spec.mk, cfg, workers)...)
 	}
-	fmt.Print(harness.Table(title, rows))
+	for _, r := range rows {
+		rep.addResult("skip", r)
+	}
+	rep.printf("%s", harness.Table(title, rows))
 }
 
 // benchScan measures full-structure scans concurrent with writers under
 // def vs snapshot semantics (B4).
-func benchScan(base harness.Config, workers []int) {
-	fmt.Printf("== B4: full-list scans under concurrent writers ==\n")
+func benchScan(rep *report, base harness.Config, workers []int) {
+	rep.printf("== B4: full-list scans under concurrent writers ==\n")
 	for _, w := range workers {
 		for _, sem := range []core.Semantics{core.Def, core.Snapshot} {
 			tm := core.NewDefault()
@@ -194,7 +336,6 @@ func benchScan(base harness.Config, workers []int) {
 			}
 			// One scanner under the chosen semantics.
 			var scans uint64
-			var aborts uint64
 			go func() {
 				defer close(done)
 				for {
@@ -212,8 +353,10 @@ func benchScan(base harness.Config, workers []int) {
 			close(stop)
 			<-done
 			el := time.Since(start)
-			fmt.Printf("  scan(%-8v) writers=%-3d %10.1f scans/s (engine aborts total: %d)\n",
-				sem, w, float64(scans)/el.Seconds(), aborts+tm.Stats().Aborts)
+			s := tm.Stats()
+			rep.printf("  scan(%-8v) writers=%-3d %10.1f scans/s (engine aborts total: %d)\n",
+				sem, w, float64(scans)/el.Seconds(), s.Aborts)
+			rep.addWithStats("scan", fmt.Sprintf("scan-%v", sem), w, el, scans, s)
 		}
 	}
 }
@@ -234,12 +377,12 @@ func scanList(tm *core.TM, l *structures.TList, sem core.Semantics) uint64 {
 // a load profile — directly against one engine, across worker counts.
 // It is the experiment the sharded engine state (striped stats, sharded
 // live/snapshot registries, batched id allocation) exists for.
-func benchScale(base harness.Config, workers []int, shards int) {
+func benchScale(rep *report, base harness.Config, workers []int, shards int) {
 	printedHeader := false
 	for _, w := range workers {
 		e := stm.NewEngine(stm.Config{Shards: shards})
 		if !printedHeader {
-			fmt.Printf("== B7: mixed-semantics engine scalability (shards=%d) ==\n", e.Shards())
+			rep.printf("== B7: mixed-semantics engine scalability (shards=%d) ==\n", e.Shards())
 			printedHeader = true
 		}
 		vars := workload.MixedVars(e, 64)
@@ -272,15 +415,16 @@ func benchScale(base harness.Config, workers []int, shards int) {
 		}
 		el := time.Since(start)
 		s := e.Stats()
-		fmt.Printf("  workers=%-3d %12.0f txns/s  abort-rate=%.3f\n",
+		rep.printf("  workers=%-3d %12.0f txns/s  abort-rate=%.3f\n",
 			w, float64(total)/el.Seconds(), s.AbortRate())
+		rep.addWithStats("scale", fmt.Sprintf("scale-shards%d", e.Shards()), w, el, total, s)
 	}
 }
 
 // benchCM is the contention-manager ablation (B5): a high-contention
 // counter array under each manager.
-func benchCM(base harness.Config, workers []int) {
-	fmt.Printf("== B5: contention-manager ablation (8-counter hotspot) ==\n")
+func benchCM(rep *report, base harness.Config, workers []int) {
+	rep.printf("== B5: contention-manager ablation (8-counter hotspot) ==\n")
 	cms := []struct {
 		name string
 		f    stm.CMFactory
@@ -338,8 +482,109 @@ func benchCM(base harness.Config, workers []int) {
 			}
 			el := time.Since(start)
 			s := tm.Stats()
-			fmt.Printf("  cm=%-10s workers=%-3d %12.0f txns/s  abort-rate=%.3f\n",
+			rep.printf("  cm=%-10s workers=%-3d %12.0f txns/s  abort-rate=%.3f\n",
 				cm.name, w, float64(total)/el.Seconds(), s.AbortRate())
+			rep.addWithStats("cm", "cm-"+cm.name, w, el, total, s)
 		}
+	}
+}
+
+// benchServer is the polyserve loopback experiment (B8): an in-process
+// server driven through real wire connections with a GET/SCAN/SET mix,
+// one pipelined connection per worker. Throughput is wire round trips
+// per second; the per-semantics abort breakdown from the engine's
+// sharded stats shows the polymorphic mapping at work (snapshot GETs
+// never abort regardless of write pressure).
+func benchServer(rep *report, base harness.Config, workers []int, shards, getPct, scanPct int, scanLimit uint64) {
+	rep.printf("== B8: polyserve loopback, %d%% GET / %d%% SCAN / %d%% SET, range %d ==\n",
+		getPct, scanPct, 100-getPct-scanPct, base.Mix.KeyRange)
+	key := func(k uint64) []byte {
+		return []byte(fmt.Sprintf("k%08d", k%base.Mix.KeyRange))
+	}
+	for _, w := range workers {
+		srv := server.New(server.Config{Shards: shards})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polybench: server listen: %v\n", err)
+			os.Exit(1)
+		}
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- srv.Serve(ln) }()
+
+		// Prefill half the key range.
+		pre, err := client.Dial(ln.Addr().String())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polybench: dial: %v\n", err)
+			os.Exit(1)
+		}
+		for k := uint64(0); k < base.Mix.KeyRange; k += 2 {
+			if err := pre.Set(key(k), []byte("0")); err != nil {
+				fmt.Fprintf(os.Stderr, "polybench: prefill: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		srv.TM().ResetStats()
+
+		var ops atomic.Uint64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				cl, err := client.Dial(ln.Addr().String(), client.WithPoolSize(1))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "polybench: worker dial: %v\n", err)
+					return
+				}
+				defer cl.Close()
+				r := seed*0x9E3779B97F4A7C15 + 1
+				var n uint64
+				for {
+					select {
+					case <-stop:
+						ops.Add(n)
+						return
+					default:
+					}
+					r = r*6364136223846793005 + 1442695040888963407
+					k := (r >> 33) % base.Mix.KeyRange
+					var opErr error
+					switch roll := int((r >> 16) % 100); {
+					case roll < getPct:
+						_, _, opErr = cl.Get(key(k))
+					case roll < getPct+scanPct:
+						_, opErr = cl.Scan(key(k), nil, scanLimit)
+					default:
+						opErr = cl.Set(key(k), []byte(strconv.FormatUint(r&0xFFFF, 10)))
+					}
+					if opErr != nil {
+						fmt.Fprintf(os.Stderr, "polybench: worker op: %v\n", opErr)
+						return
+					}
+					n++
+				}
+			}(uint64(base.Seed)*7919 + uint64(i+1))
+		}
+		start := time.Now()
+		time.Sleep(base.Duration)
+		close(stop)
+		wg.Wait()
+		el := time.Since(start)
+		pre.Close()
+
+		s := srv.TM().Stats()
+		total := ops.Load()
+		rep.printf("  workers=%-3d %12.0f txns/s  abort-rate=%.3f\n",
+			w, float64(total)/el.Seconds(), s.AbortRate())
+		rep.printf("      per-semantics: %s\n", s.PerSemString())
+		rep.addWithStats("server", fmt.Sprintf("server-shards%d", srv.TM().Engine().Shards()), w, el, total, s)
+
+		sdCtx, cancel := shutdownContext()
+		if err := srv.Shutdown(sdCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "polybench: shutdown: %v\n", err)
+		}
+		cancel()
+		<-serveDone
 	}
 }

@@ -1,0 +1,96 @@
+// Command polyserve runs the network-facing transactional key-value
+// server: a TCP server whose request classes map onto the four
+// transaction semantics of the polymorphic TM (GET→snapshot,
+// SCAN→elastic, SET/CAS/DEL/TXN→def, FLUSH/REBUILD→irrevocable), each
+// overridable per request by the semantics byte in the frame header —
+// the paper's start(p) exposed on the wire.
+//
+// Usage:
+//
+//	polyserve -addr :7535 -shards 0 -nesting strongest -max-conns 1024
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: it stops
+// accepting, lets in-flight requests complete, and force-closes
+// stragglers after -drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"polytm/internal/core"
+	"polytm/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7535", "listen address")
+	shards := flag.Int("shards", 0, "engine shard count (0 = GOMAXPROCS default)")
+	nesting := flag.String("nesting", "strongest", "nesting-composition policy: strongest, param, parent")
+	maxConns := flag.Int("max-conns", 1024, "max concurrently served connections")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	quiet := flag.Bool("quiet", false, "suppress connection diagnostics")
+	flag.Parse()
+
+	var policy core.NestingPolicy
+	switch *nesting {
+	case "strongest":
+		policy = core.NestStrongest
+	case "param":
+		policy = core.NestParam
+	case "parent":
+		policy = core.NestParent
+	default:
+		fmt.Fprintf(os.Stderr, "polyserve: unknown -nesting %q (valid: strongest, param, parent)\n", *nesting)
+		os.Exit(2)
+	}
+
+	cfg := server.Config{
+		Shards:   *shards,
+		Nesting:  policy,
+		MaxConns: *maxConns,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	srv := server.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polyserve: listen %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	log.Printf("polyserve: listening on %s (shards=%d, nesting=%s, max-conns=%d)",
+		ln.Addr(), srv.TM().Engine().Shards(), policy, *maxConns)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("polyserve: %v — draining (timeout %v)", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("polyserve: %v", err)
+			os.Exit(1)
+		}
+		<-done
+		stats := srv.TM().Stats()
+		log.Printf("polyserve: bye — %s", stats.String())
+		log.Printf("polyserve: per-semantics — %s", stats.PerSemString())
+	case err := <-done:
+		if err != nil && err != server.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "polyserve: serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

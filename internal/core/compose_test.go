@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+
+	"polytm/internal/stm"
+)
+
+var allSemantics = []Semantics{Def, Weak, Snapshot, Irrevocable}
+var allPolicies = []NestingPolicy{NestStrongest, NestParam, NestParent}
+
+// strengthRank is an independent restatement of the paper-derived
+// strength order (Irrevocable > Def > Snapshot > Weak), so the
+// NestStrongest expectations below do not lean on stm.Stronger — the
+// function under test's own helper.
+var strengthRank = map[Semantics]int{
+	Weak:        0,
+	Snapshot:    1,
+	Def:         2,
+	Irrevocable: 3,
+}
+
+// expectedCompose is the specification: the three answers to the
+// paper's concluding question, written out independently of the
+// implementation.
+func expectedCompose(parent, child Semantics, p NestingPolicy) Semantics {
+	switch p {
+	case NestParam:
+		return child
+	case NestParent:
+		return parent
+	default: // NestStrongest
+		if strengthRank[parent] >= strengthRank[child] {
+			return parent
+		}
+		return child
+	}
+}
+
+// TestComposeExhaustive checks Compose over every parent × child ×
+// policy combination — all 4×4×3 = 48 cases of the paper's open
+// composition question.
+func TestComposeExhaustive(t *testing.T) {
+	n := 0
+	for _, policy := range allPolicies {
+		for _, parent := range allSemantics {
+			for _, child := range allSemantics {
+				want := expectedCompose(parent, child, policy)
+				if got := Compose(parent, child, policy); got != want {
+					t.Errorf("Compose(%v, %v, %v) = %v, want %v", parent, child, policy, got, want)
+				}
+				n++
+			}
+		}
+	}
+	if n != 48 {
+		t.Fatalf("covered %d cases, want 48", n)
+	}
+}
+
+// effectiveInScope applies the two hard rules the engine's nesting
+// mechanism (stm/nesting.go) enforces on top of the policy-composed
+// semantics:
+//
+//   - an irrevocable transaction never weakens: every nested scope of
+//     an irrevocable root is irrevocable (optimistic accesses would
+//     forfeit the no-abort guarantee), and
+//   - snapshot applies only as an outermost semantics (its registration
+//     happens at begin); a nested snapshot scope inside a non-snapshot
+//     root runs as def.
+func effectiveInScope(root, composed Semantics) Semantics {
+	if root == Irrevocable {
+		return Irrevocable
+	}
+	if composed == Snapshot && root != Snapshot {
+		return Def
+	}
+	return composed
+}
+
+// TestNestedEffectiveSemanticsExhaustive runs a REAL nested transaction
+// for every parent × child × policy combination and asserts the
+// semantics actually in effect inside the nested scope, after it pops,
+// and the escalation behaviour: when composition demands Irrevocable
+// inside an optimistic parent, the whole transaction must restart
+// irrevocably from the top (the guarantee cannot be granted
+// retroactively), after which the scopes recompose against an
+// irrevocable root.
+func TestNestedEffectiveSemanticsExhaustive(t *testing.T) {
+	for _, policy := range allPolicies {
+		for _, parent := range allSemantics {
+			for _, child := range allSemantics {
+				tm := New(Config{Nesting: policy})
+				v := NewTVar(tm, 0)
+
+				// What the policy composes for the nested scope on the
+				// first pass; if that demands irrevocability inside an
+				// optimistic parent, the transaction restarts with an
+				// irrevocable root and the scopes recompose.
+				firstEff := expectedCompose(parent, child, policy)
+				expectRestart := firstEff == Irrevocable && parent != Irrevocable
+				root := parent
+				if expectRestart {
+					root = Irrevocable
+				}
+				wantOuter := effectiveInScope(root, root)
+				wantInner := effectiveInScope(root, expectedCompose(root, child, policy))
+
+				var outerSeen, innerSeen, afterSeen []Semantics
+				err := tm.Atomic(func(tx *Tx) error {
+					outerSeen = append(outerSeen, tx.Semantics())
+					err := tx.Atomic(func(tx *Tx) error {
+						innerSeen = append(innerSeen, tx.Semantics())
+						_, err := Get(tx, v)
+						return err
+					}, WithSemantics(child))
+					if err != nil {
+						return err
+					}
+					afterSeen = append(afterSeen, tx.Semantics())
+					return nil
+				}, WithSemantics(parent))
+				if err != nil {
+					t.Errorf("policy=%v parent=%v child=%v: Atomic failed: %v", policy, parent, child, err)
+					continue
+				}
+
+				last := len(outerSeen) - 1
+				if expectRestart {
+					if len(outerSeen) < 2 {
+						t.Errorf("policy=%v parent=%v child=%v: expected escalation restart, saw %d passes",
+							policy, parent, child, len(outerSeen))
+						continue
+					}
+					if outerSeen[0] != parent {
+						t.Errorf("policy=%v parent=%v child=%v: first pass ran as %v, want %v",
+							policy, parent, child, outerSeen[0], parent)
+					}
+				} else if len(outerSeen) != 1 {
+					t.Errorf("policy=%v parent=%v child=%v: unexpected restart (%d passes)",
+						policy, parent, child, len(outerSeen))
+					continue
+				}
+				if outerSeen[last] != wantOuter {
+					t.Errorf("policy=%v parent=%v child=%v: outer effective = %v, want %v",
+						policy, parent, child, outerSeen[last], wantOuter)
+				}
+				if got := innerSeen[len(innerSeen)-1]; got != wantInner {
+					t.Errorf("policy=%v parent=%v child=%v: nested effective = %v, want %v",
+						policy, parent, child, got, wantInner)
+				}
+				// Popping the nested scope restores the enclosing
+				// semantics.
+				if got := afterSeen[len(afterSeen)-1]; got != wantOuter {
+					t.Errorf("policy=%v parent=%v child=%v: after-pop effective = %v, want %v",
+						policy, parent, child, got, wantOuter)
+				}
+			}
+		}
+	}
+}
+
+// TestComposeMatchesStronger pins that the NestStrongest policy and the
+// engine's Stronger agree with the independent rank table, so the two
+// orderings cannot drift apart silently.
+func TestComposeMatchesStronger(t *testing.T) {
+	for _, a := range allSemantics {
+		for _, b := range allSemantics {
+			want := a
+			if strengthRank[b] > strengthRank[a] {
+				want = b
+			}
+			if got := stm.Stronger(a, b); got != want {
+				t.Errorf("Stronger(%v, %v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}

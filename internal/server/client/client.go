@@ -1,0 +1,429 @@
+// Package client is the polyserve wire client: a connection-pooled,
+// pipelining KV client used by tests, the load generator, and example
+// programs. Every convenience method accepts the server's per-opcode
+// semantics mapping; the generic Do path takes explicit wire.Requests
+// for per-request semantics overrides (the start(p) byte on the wire).
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"polytm/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// Option configures Dial.
+type Option func(*Client)
+
+// WithPoolSize caps the connection pool (default 4). Connections are
+// dialed lazily up to the cap; concurrent callers beyond it wait.
+func WithPoolSize(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.size = n
+		}
+	}
+}
+
+// WithDialTimeout bounds each connection dial (default 5s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.dialTimeout = d
+		}
+	}
+}
+
+// conn is one pooled connection with its buffered endpoints.
+type conn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// Client is a pooled polyserve client. It is safe for concurrent use;
+// each request batch holds one pooled connection for its duration.
+type Client struct {
+	addr        string
+	size        int
+	dialTimeout time.Duration
+
+	mu     sync.Mutex
+	closed bool
+	idle   []*conn
+	live   int // dialed connections (idle + in use)
+	waitCh chan struct{}
+}
+
+// Dial creates a client for the server at addr. The first connection is
+// dialed eagerly so misconfiguration fails fast.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	cl := &Client{addr: addr, size: 4, dialTimeout: 5 * time.Second, waitCh: make(chan struct{}, 1)}
+	for _, o := range opts {
+		o(cl)
+	}
+	first, err := cl.dial()
+	if err != nil {
+		return nil, err
+	}
+	cl.mu.Lock()
+	cl.live = 1
+	cl.idle = append(cl.idle, first)
+	cl.mu.Unlock()
+	return cl, nil
+}
+
+func (cl *Client) dial() (*conn, error) {
+	c, err := net.DialTimeout("tcp", cl.addr, cl.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &conn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}, nil
+}
+
+// acquire takes an idle connection, dials a new one under the cap, or
+// waits for a release.
+func (cl *Client) acquire() (*conn, error) {
+	for {
+		cl.mu.Lock()
+		if cl.closed {
+			cl.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if n := len(cl.idle); n > 0 {
+			cn := cl.idle[n-1]
+			cl.idle = cl.idle[:n-1]
+			cl.mu.Unlock()
+			return cn, nil
+		}
+		if cl.live < cl.size {
+			cl.live++
+			cl.mu.Unlock()
+			cn, err := cl.dial()
+			if err != nil {
+				cl.mu.Lock()
+				cl.live--
+				cl.mu.Unlock()
+				return nil, err
+			}
+			return cn, nil
+		}
+		cl.mu.Unlock()
+		<-cl.waitCh
+	}
+}
+
+// release returns a healthy connection to the pool.
+func (cl *Client) release(cn *conn) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		cn.c.Close()
+		return
+	}
+	cl.idle = append(cl.idle, cn)
+	cl.mu.Unlock()
+	cl.signal()
+}
+
+// discard drops a broken connection.
+func (cl *Client) discard(cn *conn) {
+	cn.c.Close()
+	cl.mu.Lock()
+	cl.live--
+	cl.mu.Unlock()
+	cl.signal()
+}
+
+func (cl *Client) signal() {
+	select {
+	case cl.waitCh <- struct{}{}:
+	default:
+	}
+}
+
+// Close closes the client and all idle connections. In-flight requests
+// finish; their connections close on release.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	idle := cl.idle
+	cl.idle = nil
+	cl.mu.Unlock()
+	for _, cn := range idle {
+		cn.c.Close()
+	}
+	cl.signal()
+	return nil
+}
+
+// Do sends reqs pipelined over one pooled connection — all frames
+// written back-to-back, then all responses read in order — and returns
+// one response per request. A transport error poisons the connection
+// (it is discarded, not pooled) and is returned; wire-level failures
+// arrive as StatusErr responses instead.
+func (cl *Client) Do(reqs ...*wire.Request) ([]*wire.Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	// Encode every frame BEFORE touching the connection: an encoding
+	// error must not leave a half-written batch in a pooled writer (the
+	// next caller would flush it and read misaligned responses).
+	payloads := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		p, err := wire.AppendRequest(nil, r)
+		if err != nil {
+			return nil, err
+		}
+		payloads[i] = p
+	}
+	cn, err := cl.acquire()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range payloads {
+		if err := wire.WriteFrame(cn.bw, p); err != nil {
+			cl.discard(cn)
+			return nil, err
+		}
+	}
+	if err := cn.bw.Flush(); err != nil {
+		cl.discard(cn)
+		return nil, err
+	}
+	out := make([]*wire.Response, len(reqs))
+	for i, r := range reqs {
+		raw, err := wire.ReadFrame(cn.br, 0)
+		if err != nil {
+			cl.discard(cn)
+			return nil, fmt.Errorf("client: response %d/%d: %w", i+1, len(reqs), err)
+		}
+		var subOps []wire.Op
+		if r.Op == wire.OpTxn {
+			subOps = make([]wire.Op, len(r.Batch))
+			for j := range r.Batch {
+				subOps[j] = r.Batch[j].Op
+			}
+		}
+		resp, err := wire.DecodeResponse(raw, r.Op, subOps)
+		if err != nil {
+			cl.discard(cn)
+			return nil, fmt.Errorf("client: response %d/%d: %w", i+1, len(reqs), err)
+		}
+		out[i] = resp
+	}
+	cl.release(cn)
+	return out, nil
+}
+
+// do1 is the single-request path.
+func (cl *Client) do1(r *wire.Request) (*wire.Response, error) {
+	rs, err := cl.Do(r)
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// Get reads key (server default: snapshot semantics). ok reports
+// whether the key exists.
+func (cl *Client) Get(key []byte) (val []byte, ok bool, err error) {
+	r, err := cl.do1(&wire.Request{Op: wire.OpGet, Sem: wire.SemDefault, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, false, err
+	}
+	return r.Val, r.Status == wire.StatusOK, nil
+}
+
+// Set writes key (server default: def semantics).
+func (cl *Client) Set(key, val []byte) error {
+	r, err := cl.do1(&wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: key, Val: val})
+	if err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+// CAS atomically replaces key's value with new if it currently equals
+// old. swapped reports success; on mismatch, current carries the value
+// found. A missing key reports swapped=false with found=false.
+func (cl *Client) CAS(key, old, new []byte) (swapped, found bool, current []byte, err error) {
+	r, err := cl.do1(&wire.Request{Op: wire.OpCAS, Sem: wire.SemDefault, Key: key, Old: old, Val: new})
+	if err != nil {
+		return false, false, nil, err
+	}
+	if err := r.Err(); err != nil {
+		return false, false, nil, err
+	}
+	switch r.Status {
+	case wire.StatusOK:
+		return true, true, nil, nil
+	case wire.StatusCASMismatch:
+		return false, true, r.Val, nil
+	default: // StatusNotFound
+		return false, false, nil, nil
+	}
+}
+
+// Del removes key, reporting whether it existed.
+func (cl *Client) Del(key []byte) (bool, error) {
+	r, err := cl.do1(&wire.Request{Op: wire.OpDel, Sem: wire.SemDefault, Key: key})
+	if err != nil {
+		return false, err
+	}
+	if err := r.Err(); err != nil {
+		return false, err
+	}
+	return r.Status == wire.StatusOK, nil
+}
+
+// Scan walks [from, to) in key order (server default: weak/elastic
+// semantics). An empty `to` scans to the end; limit 0 is unbounded.
+func (cl *Client) Scan(from, to []byte, limit uint64) ([]wire.KV, error) {
+	r, err := cl.do1(&wire.Request{Op: wire.OpScan, Sem: wire.SemDefault, From: from, To: to, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return r.Pairs, nil
+}
+
+// MGet reads many keys in one transaction (server default: snapshot
+// semantics). vals[i] is nil when found[i] is false.
+func (cl *Client) MGet(keys ...[]byte) (vals [][]byte, found []bool, err error) {
+	r, err := cl.do1(&wire.Request{Op: wire.OpMGet, Sem: wire.SemDefault, Keys: keys})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	vals = make([][]byte, len(r.Batch))
+	found = make([]bool, len(r.Batch))
+	for i := range r.Batch {
+		if r.Batch[i].Status == wire.StatusOK {
+			vals[i] = r.Batch[i].Val
+			found[i] = true
+		}
+	}
+	return vals, found, nil
+}
+
+// Txn runs sub (GET/SET/CAS/DEL requests) as ONE transaction and
+// returns the per-operation responses.
+func (cl *Client) Txn(sub ...wire.Request) ([]wire.Response, error) {
+	r, err := cl.do1(&wire.Request{Op: wire.OpTxn, Sem: wire.SemDefault, Batch: sub})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return r.Batch, nil
+}
+
+// Stats fetches the engine counters as a name→value map.
+func (cl *Client) Stats() (map[string]uint64, error) {
+	r, err := cl.do1(&wire.Request{Op: wire.OpStats, Sem: wire.SemDefault})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	m := make(map[string]uint64, len(r.Counters))
+	for _, c := range r.Counters {
+		m[c.Name] = c.Value
+	}
+	return m, nil
+}
+
+// Flush removes every key (admin; irrevocable semantics), returning the
+// removed count.
+func (cl *Client) Flush() (uint64, error) {
+	r, err := cl.do1(&wire.Request{Op: wire.OpFlush, Sem: wire.SemDefault})
+	if err != nil {
+		return 0, err
+	}
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return r.N, nil
+}
+
+// Rebuild re-levels the store's index (admin; irrevocable semantics),
+// returning the key count.
+func (cl *Client) Rebuild() (uint64, error) {
+	r, err := cl.do1(&wire.Request{Op: wire.OpRebuild, Sem: wire.SemDefault})
+	if err != nil {
+		return 0, err
+	}
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return r.N, nil
+}
+
+// Pipeline accumulates requests to send in one pipelined batch over one
+// connection. Not safe for concurrent use.
+type Pipeline struct {
+	cl   *Client
+	reqs []*wire.Request
+}
+
+// Pipeline starts an empty pipeline.
+func (cl *Client) Pipeline() *Pipeline { return &Pipeline{cl: cl} }
+
+// Add queues an arbitrary request (the hook for per-request semantics
+// overrides).
+func (p *Pipeline) Add(r *wire.Request) *Pipeline { p.reqs = append(p.reqs, r); return p }
+
+// Get queues a GET.
+func (p *Pipeline) Get(key []byte) *Pipeline {
+	return p.Add(&wire.Request{Op: wire.OpGet, Sem: wire.SemDefault, Key: key})
+}
+
+// Set queues a SET.
+func (p *Pipeline) Set(key, val []byte) *Pipeline {
+	return p.Add(&wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: key, Val: val})
+}
+
+// Scan queues a SCAN.
+func (p *Pipeline) Scan(from, to []byte, limit uint64) *Pipeline {
+	return p.Add(&wire.Request{Op: wire.OpScan, Sem: wire.SemDefault, From: from, To: to, Limit: limit})
+}
+
+// Del queues a DEL.
+func (p *Pipeline) Del(key []byte) *Pipeline {
+	return p.Add(&wire.Request{Op: wire.OpDel, Sem: wire.SemDefault, Key: key})
+}
+
+// Len reports the queued request count.
+func (p *Pipeline) Len() int { return len(p.reqs) }
+
+// Exec sends the queued requests pipelined and returns their responses
+// in order, resetting the pipeline.
+func (p *Pipeline) Exec() ([]*wire.Response, error) {
+	reqs := p.reqs
+	p.reqs = nil
+	return p.cl.Do(reqs...)
+}

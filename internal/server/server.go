@@ -1,0 +1,272 @@
+// Package server implements polyserve: a TCP transactional key-value
+// server whose request classes map onto the four transaction semantics
+// of the polymorphic TM (see DefaultSemantics). It is the paper's
+// start(p) made network-facing: point reads, range scans, writes, and
+// admin operations from many concurrent connections become transactions
+// of distinct semantics running over one shared memory, accepting
+// schedules no monomorphic server could.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"polytm/internal/core"
+	"polytm/internal/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// TM, when non-nil, is used directly; otherwise a TM is built from
+	// Shards and Nesting.
+	TM *core.TM
+	// Shards is the engine stripe count (0 = GOMAXPROCS default).
+	Shards int
+	// Nesting is the TM's nesting-composition policy.
+	Nesting core.NestingPolicy
+	// MaxConns bounds concurrently served connections (the handler
+	// pool); excess accepted connections wait for a slot. 0 means 1024.
+	MaxConns int
+	// MaxFrame caps request frame payloads; 0 means wire.MaxFrame.
+	MaxFrame int
+	// Logf, when non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Server is one polyserve instance.
+type Server struct {
+	cfg   Config
+	store *Store
+	slots chan struct{}
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+
+	wg sync.WaitGroup
+}
+
+// New creates a server (not yet listening).
+func New(cfg Config) *Server {
+	if cfg.TM == nil {
+		cfg.TM = core.New(core.Config{Shards: cfg.Shards, Nesting: cfg.Nesting})
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 1024
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.MaxFrame
+	}
+	return &Server{
+		cfg:   cfg,
+		store: NewStore(cfg.TM),
+		slots: make(chan struct{}, cfg.MaxConns),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// TM returns the server's transactional memory (stats, tests).
+func (s *Server) TM() *core.TM { return s.cfg.TM }
+
+// Store returns the server's keyspace.
+func (s *Server) Store() *Store { return s.store }
+
+// Addr returns the bound listener address, or nil before Listen.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// logf emits a diagnostic when configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// ErrServerClosed is returned by Serve after a Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// Serve accepts connections on ln until Shutdown. Each connection is
+// handled by one goroutine from the bounded handler pool.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.shutdown
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		// Claim a handler-pool slot (bounds live goroutines and engine
+		// pressure under accept floods).
+		select {
+		case s.slots <- struct{}{}:
+		default:
+			s.logf("polyserve: handler pool full, connection from %v waits", c.RemoteAddr())
+			s.slots <- struct{}{}
+		}
+
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			<-s.slots
+			c.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go s.handle(c)
+	}
+}
+
+// handle runs one connection's request loop: read frame, execute, queue
+// the response, flushing whenever the pipeline drains (the response
+// writer is buffered so pipelined requests batch their replies).
+func (s *Server) handle(c net.Conn) {
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		<-s.slots
+		s.wg.Done()
+	}()
+
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	var out []byte
+	for {
+		payload, err := wire.ReadFrame(br, s.cfg.MaxFrame)
+		if err != nil {
+			// Responses already executed (and committed) must reach the
+			// client even when the read that follows them fails — e.g. a
+			// shutdown deadline landing on a partially received frame.
+			bw.Flush()
+			// EOF and shutdown-induced deadlines end the connection
+			// silently; anything else is worth a diagnostic.
+			if !isExpectedClose(err) {
+				s.logf("polyserve: %v: read: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+		req, err := wire.DecodeRequest(payload)
+		var resp *wire.Response
+		var op wire.Op
+		if err != nil {
+			// A malformed frame still gets a 1:1 response (the framing
+			// survived), keeping the pipeline aligned.
+			op = wire.OpGet
+			resp = errResponse(err)
+		} else {
+			op = req.Op
+			resp = s.store.Execute(req)
+		}
+		out, err = wire.AppendResponse(out[:0], op, resp)
+		if err != nil {
+			out, _ = wire.AppendResponse(out[:0], op, errResponse(err))
+		}
+		if err := wire.WriteFrame(bw, out); err != nil {
+			s.logf("polyserve: %v: write: %v", c.RemoteAddr(), err)
+			return
+		}
+		// Flush before the next read would block: everything the client
+		// pipelined is answered in one burst.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				if !isExpectedClose(err) {
+					s.logf("polyserve: %v: flush: %v", c.RemoteAddr(), err)
+				}
+				return
+			}
+		}
+	}
+}
+
+// isExpectedClose reports whether err is a normal connection-end: EOF,
+// a closed socket, or the read deadline Shutdown uses to unblock
+// handlers.
+func isExpectedClose(err error) bool {
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// Shutdown stops accepting, unblocks idle connection handlers, and
+// waits for in-flight requests to finish. If ctx expires first the
+// remaining connections are force-closed. In-flight requests always
+// complete their response before their handler observes the shutdown —
+// the engine's irrevocable transactions in particular are never
+// abandoned midway.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.shutdown = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// A read deadline in the past makes every handler's next blocking
+	// read return a timeout; handlers finish the request they are on,
+	// flush, and exit.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now().Add(-time.Second))
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return fmt.Errorf("server: shutdown forced: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,357 @@
+package server
+
+import (
+	"polytm/internal/core"
+	"polytm/internal/stm"
+	"polytm/internal/structures"
+	"polytm/internal/wire"
+)
+
+// DefaultSemantics is the server's per-request-class semantics mapping —
+// the subsystem's rendition of the paper's start(p). Each wire opcode is
+// a request class, and each class gets the weakest semantics that still
+// carries its correctness requirement:
+//
+//   - GET/MGET run as snapshot transactions: point reads need a
+//     consistent committed value but tolerate slight staleness, and the
+//     multi-versioned read path never aborts and never blocks writers —
+//     the ideal profile for read-dominated KV traffic.
+//   - SCAN runs elastically (weak): a range scan is a search traversal;
+//     consecutive hops must be mutually consistent but the window may
+//     slide past concurrent inserts elsewhere in the range, exactly like
+//     the paper's elastic list search.
+//   - SET/CAS/DEL/TXN run under def: updates relink skip-list towers and
+//     read-modify-write values, which need full opacity.
+//   - FLUSH/REBUILD (admin) run irrevocably: whole-store operations
+//     would starve under optimistic retry against heavy traffic, so they
+//     take the guaranteed-commit semantics and serialize.
+//
+// A request may override its class's mapping with an explicit semantics
+// byte in the frame header.
+func DefaultSemantics(op wire.Op) core.Semantics {
+	switch op {
+	case wire.OpGet, wire.OpMGet:
+		return core.Snapshot
+	case wire.OpScan:
+		return core.Weak
+	case wire.OpFlush, wire.OpRebuild:
+		return core.Irrevocable
+	default: // OpSet, OpCAS, OpDel, OpTxn, OpStats
+		return core.Def
+	}
+}
+
+// resolveSemantics applies a request's semantics byte over the class
+// default.
+func resolveSemantics(req *wire.Request) core.Semantics {
+	if req.Sem == wire.SemDefault {
+		return DefaultSemantics(req.Op)
+	}
+	return core.Semantics(req.Sem)
+}
+
+// Store is the server's keyspace: a transactional ordered map over one
+// polymorphic TM. All transaction-semantics policy lives in the request
+// execution path, not in the structure.
+type Store struct {
+	tm *core.TM
+	m  *structures.TSkipMap
+}
+
+// NewStore creates an empty store on tm.
+func NewStore(tm *core.TM) *Store {
+	return &Store{tm: tm, m: structures.NewTSkipMap(tm)}
+}
+
+// TM returns the store's transactional memory (stats, tests).
+func (s *Store) TM() *core.TM { return s.tm }
+
+// Execute runs one decoded request against the store and returns its
+// response. It never returns an error: failures become StatusErr
+// responses so the connection's pipeline keeps its 1:1 ordering.
+func (s *Store) Execute(req *wire.Request) *wire.Response {
+	sem := resolveSemantics(req)
+	switch req.Op {
+	case wire.OpGet:
+		return s.get(req.Key, sem)
+	case wire.OpSet:
+		return s.set(req.Key, req.Val, sem)
+	case wire.OpCAS:
+		return s.cas(req.Key, req.Old, req.Val, sem)
+	case wire.OpDel:
+		return s.del(req.Key, sem)
+	case wire.OpScan:
+		return s.scan(req.From, req.To, req.Limit, sem)
+	case wire.OpMGet:
+		return s.mget(req.Keys, sem)
+	case wire.OpTxn:
+		return s.txn(req.Batch, sem)
+	case wire.OpStats:
+		return s.stats()
+	case wire.OpFlush:
+		return s.flush(sem)
+	case wire.OpRebuild:
+		return s.rebuild(sem)
+	default:
+		return errResponse(wire.ErrBadOp)
+	}
+}
+
+func errResponse(err error) *wire.Response {
+	return &wire.Response{Status: wire.StatusErr, Msg: err.Error()}
+}
+
+func (s *Store) get(key []byte, sem core.Semantics) *wire.Response {
+	resp := &wire.Response{}
+	err := s.tm.Atomic(func(tx *core.Tx) error {
+		v, ok, err := s.m.GetTx(tx, string(key))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			resp.Status = wire.StatusNotFound
+			resp.Val = nil
+			return nil
+		}
+		resp.Status = wire.StatusOK
+		resp.Val = []byte(v)
+		return nil
+	}, core.WithSemantics(sem))
+	if err != nil {
+		return errResponse(err)
+	}
+	return resp
+}
+
+func (s *Store) set(key, val []byte, sem core.Semantics) *wire.Response {
+	err := s.tm.Atomic(func(tx *core.Tx) error {
+		_, err := s.m.PutTx(tx, string(key), string(val))
+		return err
+	}, core.WithSemantics(sem))
+	if err != nil {
+		return errResponse(err)
+	}
+	return &wire.Response{Status: wire.StatusOK}
+}
+
+// cas is an atomic compare-and-swap: mismatches and misses COMMIT as
+// read-only transactions (they are legitimate outcomes, not failures),
+// so wire-level CAS misses never inflate the engine's abort counters.
+func (s *Store) cas(key, old, val []byte, sem core.Semantics) *wire.Response {
+	resp := &wire.Response{}
+	err := s.tm.Atomic(func(tx *core.Tx) error {
+		cur, ok, err := s.m.GetTx(tx, string(key))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			resp.Status = wire.StatusNotFound
+			resp.Val = nil
+			return nil
+		}
+		if cur != string(old) {
+			resp.Status = wire.StatusCASMismatch
+			resp.Val = []byte(cur)
+			return nil
+		}
+		if _, err := s.m.PutTx(tx, string(key), string(val)); err != nil {
+			return err
+		}
+		resp.Status = wire.StatusOK
+		resp.Val = nil
+		return nil
+	}, core.WithSemantics(sem))
+	if err != nil {
+		return errResponse(err)
+	}
+	return resp
+}
+
+func (s *Store) del(key []byte, sem core.Semantics) *wire.Response {
+	resp := &wire.Response{}
+	err := s.tm.Atomic(func(tx *core.Tx) error {
+		removed, err := s.m.DeleteTx(tx, string(key))
+		if err != nil {
+			return err
+		}
+		if removed {
+			resp.Status = wire.StatusOK
+		} else {
+			resp.Status = wire.StatusNotFound
+		}
+		return nil
+	}, core.WithSemantics(sem))
+	if err != nil {
+		return errResponse(err)
+	}
+	return resp
+}
+
+func (s *Store) scan(from, to []byte, limit uint64, sem core.Semantics) *wire.Response {
+	resp := &wire.Response{Status: wire.StatusOK}
+	err := s.tm.Atomic(func(tx *core.Tx) error {
+		resp.Pairs = resp.Pairs[:0]
+		return s.m.RangeTx(tx, string(from), string(to), int(limit), func(k, v string) bool {
+			resp.Pairs = append(resp.Pairs, wire.KV{Key: []byte(k), Val: []byte(v)})
+			return true
+		})
+	}, core.WithSemantics(sem))
+	if err != nil {
+		return errResponse(err)
+	}
+	return resp
+}
+
+func (s *Store) mget(keys [][]byte, sem core.Semantics) *wire.Response {
+	resp := &wire.Response{Status: wire.StatusOK}
+	err := s.tm.Atomic(func(tx *core.Tx) error {
+		resp.Batch = resp.Batch[:0]
+		for _, key := range keys {
+			v, ok, err := s.m.GetTx(tx, string(key))
+			if err != nil {
+				return err
+			}
+			sub := wire.Response{Status: wire.StatusNotFound}
+			if ok {
+				sub = wire.Response{Status: wire.StatusOK, Val: []byte(v)}
+			}
+			resp.Batch = append(resp.Batch, sub)
+		}
+		return nil
+	}, core.WithSemantics(sem))
+	if err != nil {
+		return errResponse(err)
+	}
+	return resp
+}
+
+// txn executes the batch's sub-operations in ONE transaction: all commit
+// together or none do, and the batch observes and produces a single
+// atomic state change under the resolved semantics.
+func (s *Store) txn(batch []wire.Request, sem core.Semantics) *wire.Response {
+	resp := &wire.Response{Status: wire.StatusOK}
+	err := s.tm.Atomic(func(tx *core.Tx) error {
+		resp.Batch = resp.Batch[:0]
+		for i := range batch {
+			sub := &batch[i]
+			out := wire.Response{SubOp: sub.Op}
+			switch sub.Op {
+			case wire.OpGet:
+				v, ok, err := s.m.GetTx(tx, string(sub.Key))
+				if err != nil {
+					return err
+				}
+				if ok {
+					out.Status = wire.StatusOK
+					out.Val = []byte(v)
+				} else {
+					out.Status = wire.StatusNotFound
+				}
+			case wire.OpSet:
+				if _, err := s.m.PutTx(tx, string(sub.Key), string(sub.Val)); err != nil {
+					return err
+				}
+				out.Status = wire.StatusOK
+			case wire.OpCAS:
+				cur, ok, err := s.m.GetTx(tx, string(sub.Key))
+				if err != nil {
+					return err
+				}
+				switch {
+				case !ok:
+					out.Status = wire.StatusNotFound
+				case cur != string(sub.Old):
+					out.Status = wire.StatusCASMismatch
+					out.Val = []byte(cur)
+				default:
+					if _, err := s.m.PutTx(tx, string(sub.Key), string(sub.Val)); err != nil {
+						return err
+					}
+					out.Status = wire.StatusOK
+				}
+			case wire.OpDel:
+				removed, err := s.m.DeleteTx(tx, string(sub.Key))
+				if err != nil {
+					return err
+				}
+				if removed {
+					out.Status = wire.StatusOK
+				} else {
+					out.Status = wire.StatusNotFound
+				}
+			default:
+				return wire.ErrBadSubOp
+			}
+			resp.Batch = append(resp.Batch, out)
+		}
+		return nil
+	}, core.WithSemantics(sem))
+	if err != nil {
+		return errResponse(err)
+	}
+	return resp
+}
+
+// stats snapshots the engine counters, including the per-semantics
+// breakdown that makes the polymorphic schedule-acceptance gap visible
+// from the wire.
+func (s *Store) stats() *wire.Response {
+	snap := s.tm.Stats()
+	cs := []wire.Counter{
+		{Name: "starts", Value: snap.Starts},
+		{Name: "commits", Value: snap.Commits},
+		{Name: "aborts", Value: snap.Aborts},
+		{Name: "read_aborts", Value: snap.ReadAborts},
+		{Name: "lock_aborts", Value: snap.LockAborts},
+		{Name: "validate_aborts", Value: snap.ValidateAbort},
+		{Name: "kills", Value: snap.Kills},
+		{Name: "extensions", Value: snap.Extensions},
+		{Name: "elastic_cuts", Value: snap.ElasticCuts},
+		{Name: "snapshot_reads", Value: snap.SnapshotReads},
+		{Name: "irrevocables", Value: snap.Irrevocables},
+		{Name: "vars", Value: snap.VarsAllocated},
+		{Name: "reads", Value: snap.Reads},
+		{Name: "writes", Value: snap.Writes},
+	}
+	for _, p := range []stm.Semantics{stm.SemanticsDef, stm.SemanticsWeak, stm.SemanticsSnapshot, stm.SemanticsIrrevocable} {
+		c := snap.Sem(p)
+		cs = append(cs,
+			wire.Counter{Name: "starts." + p.String(), Value: c.Starts},
+			wire.Counter{Name: "commits." + p.String(), Value: c.Commits},
+			wire.Counter{Name: "aborts." + p.String(), Value: c.Aborts},
+		)
+	}
+	return &wire.Response{Status: wire.StatusOK, Counters: cs}
+}
+
+func (s *Store) flush(sem core.Semantics) *wire.Response {
+	resp := &wire.Response{Status: wire.StatusOK}
+	err := s.tm.Atomic(func(tx *core.Tx) error {
+		n, err := s.m.ClearTx(tx)
+		if err != nil {
+			return err
+		}
+		resp.N = uint64(n)
+		return nil
+	}, core.WithSemantics(sem))
+	if err != nil {
+		return errResponse(err)
+	}
+	return resp
+}
+
+func (s *Store) rebuild(sem core.Semantics) *wire.Response {
+	resp := &wire.Response{Status: wire.StatusOK}
+	err := s.tm.Atomic(func(tx *core.Tx) error {
+		n, err := s.m.RebuildTx(tx)
+		if err != nil {
+			return err
+		}
+		resp.N = uint64(n)
+		return nil
+	}, core.WithSemantics(sem))
+	if err != nil {
+		return errResponse(err)
+	}
+	return resp
+}

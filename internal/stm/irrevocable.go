@@ -70,5 +70,6 @@ func (tx *Txn) commitIrrevocable() {
 	}
 	tx.encLocks = tx.encLocks[:0]
 	tx.stat(statCommits)
+	tx.statSem(semCommits)
 	tx.finish(statusCommitted)
 }

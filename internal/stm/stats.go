@@ -29,12 +29,34 @@ const (
 	numStatCounters
 )
 
+// semCounter names one per-semantics event counter. The engine keeps a
+// (semantics × event) matrix per stripe so a polymorphic workload can be
+// broken down by the paper's parameter p: how many def transactions
+// aborted while the snapshot readers all committed is precisely the
+// schedule-acceptance gap the paper claims, made observable.
+type semCounter uint8
+
+const (
+	semStarts  semCounter = iota // attempts begun under this semantics
+	semCommits                   // commits under this semantics
+	semAborts                    // aborts under this semantics
+
+	numSemCounters
+)
+
+// numSemClasses is the number of semantics classes tracked (Def, Weak,
+// Snapshot, Irrevocable). Attribution is by the transaction's root
+// parameter p — the semantics passed to start(p) — not by the effective
+// semantics of nested scopes.
+const numSemClasses = 4
+
 // statsStripe is one shard's worth of counters, padded out to a
 // cache-line multiple so adjacent stripes never false-share. (The
-// counter block is 14×8 = 112 bytes; the pad rounds it to 128.)
+// counter block is (14+4×3)×8 = 208 bytes; the pad rounds it to 256.)
 type statsStripe struct {
-	c [numStatCounters]atomic.Uint64
-	_ [cacheLine - (numStatCounters*8)%cacheLine]byte
+	c   [numStatCounters]atomic.Uint64
+	sem [numSemClasses][numSemCounters]atomic.Uint64
+	_   [cacheLine - ((int(numStatCounters)+numSemClasses*int(numSemCounters))*8)%cacheLine]byte
 }
 
 // Stats holds the engine-wide event counters, striped across the
@@ -60,11 +82,27 @@ func (s *Stats) add(stripe uint32, c statCounter) {
 	s.stripes[stripe&s.mask].c[c].Add(1)
 }
 
+// addSem bumps per-semantics counter c for semantics class p on the
+// given stripe.
+func (s *Stats) addSem(stripe uint32, p Semantics, c semCounter) {
+	s.stripes[stripe&s.mask].sem[p][c].Add(1)
+}
+
 // sum aggregates counter c across every stripe.
 func (s *Stats) sum(c statCounter) uint64 {
 	var t uint64
 	for i := range s.stripes {
 		t += s.stripes[i].c[c].Load()
+	}
+	return t
+}
+
+// sumSem aggregates per-semantics counter c of class p across every
+// stripe.
+func (s *Stats) sumSem(p Semantics, c semCounter) uint64 {
+	var t uint64
+	for i := range s.stripes {
+		t += s.stripes[i].sem[p][c].Load()
 	}
 	return t
 }
@@ -75,12 +113,26 @@ func (s *Stats) reset() {
 		for c := range s.stripes[i].c {
 			s.stripes[i].c[c].Store(0)
 		}
+		for p := range s.stripes[i].sem {
+			for c := range s.stripes[i].sem[p] {
+				s.stripes[i].sem[p][c].Store(0)
+			}
+		}
 	}
 }
 
 // Snapshot aggregates the stripes into a plain struct for reporting.
 func (s *Stats) Snapshot() StatsSnapshot {
+	var per [numSemClasses]SemStats
+	for p := Semantics(0); p < numSemClasses; p++ {
+		per[p] = SemStats{
+			Starts:  s.sumSem(p, semStarts),
+			Commits: s.sumSem(p, semCommits),
+			Aborts:  s.sumSem(p, semAborts),
+		}
+	}
 	return StatsSnapshot{
+		PerSemantics:  per,
 		Starts:        s.sum(statStarts),
 		Commits:       s.sum(statCommits),
 		Aborts:        s.sum(statAborts),
@@ -98,6 +150,21 @@ func (s *Stats) Snapshot() StatsSnapshot {
 	}
 }
 
+// SemStats is the per-semantics-class slice of a StatsSnapshot: the
+// attempts, commits, and aborts of transactions whose start(p) parameter
+// was that class.
+type SemStats struct {
+	Starts, Commits, Aborts uint64
+}
+
+// AbortRate returns aborts per attempt for this class, in [0,1].
+func (s SemStats) AbortRate() float64 {
+	if s.Starts == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(s.Starts)
+}
+
 // StatsSnapshot is a point-in-time copy of Stats.
 type StatsSnapshot struct {
 	Starts, Commits, Aborts               uint64
@@ -105,6 +172,22 @@ type StatsSnapshot struct {
 	Kills, Extensions, ElasticCuts        uint64
 	SnapshotReads, Irrevocables           uint64
 	VarsAllocated, Reads, Writes          uint64
+
+	// PerSemantics breaks starts/commits/aborts down by the
+	// transaction's semantic parameter p, indexed by Semantics value
+	// (Def, Weak, Snapshot, Irrevocable). Each class's counters obey the
+	// same exactness as the global ones, and at quiescence the classes
+	// sum to the global Starts/Commits/Aborts.
+	PerSemantics [numSemClasses]SemStats
+}
+
+// Sem returns the per-semantics slice for class p (zero value for an
+// out-of-range p).
+func (s StatsSnapshot) Sem(p Semantics) SemStats {
+	if int(p) >= len(s.PerSemantics) {
+		return SemStats{}
+	}
+	return s.PerSemantics[p]
 }
 
 // AbortRate returns aborts per attempt, in [0,1].
@@ -113,6 +196,27 @@ func (s StatsSnapshot) AbortRate() float64 {
 		return 0
 	}
 	return float64(s.Aborts) / float64(s.Starts)
+}
+
+// PerSemString renders the non-empty per-semantics classes as one
+// diagnostic line.
+func (s StatsSnapshot) PerSemString() string {
+	out := ""
+	for p := Semantics(0); p < numSemClasses; p++ {
+		c := s.PerSemantics[p]
+		if c.Starts == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%v{starts=%d commits=%d aborts=%d rate=%.3f}",
+			p, c.Starts, c.Commits, c.Aborts, c.AbortRate())
+	}
+	if out == "" {
+		return "(no transactions)"
+	}
+	return out
 }
 
 // String renders the snapshot as a single diagnostic line.

@@ -1,0 +1,126 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPerSemanticsStatsExact drives a mixed-semantics workload — the
+// paper's polymorphism as a load profile — and cross-checks the
+// per-semantics counter classes: each class's exact commit count against
+// the per-worker ground truth, the per-class attempt identity
+// (Starts = Commits + Aborts), the cross-class sum identity against the
+// global counters, and the never-abort guarantees of the snapshot and
+// irrevocable classes. Run with -race.
+func TestPerSemanticsStatsExact(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		e := NewEngine(Config{Shards: shards})
+		vars := make([]*Var, 8)
+		for i := range vars {
+			vars[i] = e.NewVar(0)
+		}
+
+		const workers = 8
+		const txnsPerWorker = 200
+		commits := make([][numSemClasses]uint64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				r := uint64(w)*0x9E3779B97F4A7C15 + 1
+				for n := 0; n < txnsPerWorker; n++ {
+					r = r*6364136223846793005 + 1442695040888963407
+					i, j := int(r>>33)%len(vars), int(r>>45)%len(vars)
+					var sem Semantics
+					switch n % 4 {
+					case 0:
+						sem = SemanticsDef
+					case 1:
+						sem = SemanticsWeak
+					case 2:
+						sem = SemanticsSnapshot
+					case 3:
+						sem = SemanticsIrrevocable
+					}
+					err := e.Run(sem, func(tx *Txn) error {
+						v, err := tx.Read(vars[i])
+						if err != nil {
+							return err
+						}
+						if sem == SemanticsSnapshot {
+							_, err = tx.Read(vars[j])
+							return err
+						}
+						return tx.Write(vars[j], v.(int)+1)
+					})
+					if err != nil {
+						t.Errorf("sem=%v: unexpected run error: %v", sem, err)
+						return
+					}
+					commits[w][sem]++
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		var want [numSemClasses]uint64
+		for w := range commits {
+			for p := range want {
+				want[p] += commits[w][p]
+			}
+		}
+		s := e.Stats()
+		var sumStarts, sumCommits, sumAborts uint64
+		for p := Semantics(0); p < numSemClasses; p++ {
+			c := s.Sem(p)
+			if c.Commits != want[p] {
+				t.Errorf("shards=%d sem=%v: Commits = %d, want exactly %d",
+					shards, p, c.Commits, want[p])
+			}
+			if c.Starts != c.Commits+c.Aborts {
+				t.Errorf("shards=%d sem=%v: Starts = %d, want Commits+Aborts = %d",
+					shards, p, c.Starts, c.Commits+c.Aborts)
+			}
+			sumStarts += c.Starts
+			sumCommits += c.Commits
+			sumAborts += c.Aborts
+		}
+		if sumStarts != s.Starts || sumCommits != s.Commits || sumAborts != s.Aborts {
+			t.Errorf("shards=%d: per-semantics sums (%d/%d/%d) != global (%d/%d/%d)",
+				shards, sumStarts, sumCommits, sumAborts, s.Starts, s.Commits, s.Aborts)
+		}
+		// The per-transaction guarantees, visible in the breakdown: a
+		// snapshot transaction never aborts; an irrevocable transaction
+		// commits on its only attempt.
+		if c := s.Sem(SemanticsSnapshot); c.Aborts != 0 {
+			t.Errorf("shards=%d: snapshot class aborted %d times; snapshot never aborts", shards, c.Aborts)
+		}
+		if c := s.Sem(SemanticsIrrevocable); c.Aborts != 0 || c.Starts != c.Commits {
+			t.Errorf("shards=%d: irrevocable class starts=%d commits=%d aborts=%d; must commit first try",
+				shards, c.Starts, c.Commits, c.Aborts)
+		}
+	}
+}
+
+// TestPerSemanticsStatsReset ensures ResetStats reaches the per-semantics
+// matrix on every stripe.
+func TestPerSemanticsStatsReset(t *testing.T) {
+	e := NewEngine(Config{Shards: 4})
+	v := e.NewVar(0)
+	for _, sem := range []Semantics{SemanticsDef, SemanticsWeak, SemanticsSnapshot, SemanticsIrrevocable} {
+		if err := e.Run(sem, func(tx *Txn) error { _, err := tx.Read(v); return err }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := e.Stats(); s.Sem(SemanticsSnapshot).Commits == 0 {
+		t.Fatal("expected nonzero per-semantics counters before reset")
+	}
+	e.ResetStats()
+	s := e.Stats()
+	for p := Semantics(0); p < numSemClasses; p++ {
+		if s.Sem(p) != (SemStats{}) {
+			t.Fatalf("ResetStats left per-semantics residue for %v: %+v", p, s.Sem(p))
+		}
+	}
+}

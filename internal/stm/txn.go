@@ -126,6 +126,11 @@ func (tx *Txn) nextAttemptID() uint64 {
 // stat bumps one engine counter on this attempt's stripe.
 func (tx *Txn) stat(c statCounter) { tx.eng.stats.add(tx.shard, c) }
 
+// statSem bumps one per-semantics counter on this attempt's stripe,
+// attributed to the transaction's root parameter p (nested scopes do not
+// reattribute).
+func (tx *Txn) statSem(c semCounter) { tx.eng.stats.addSem(tx.shard, tx.sem, c) }
+
 // begin (re)initializes the transaction for a new attempt.
 func (tx *Txn) begin() {
 	tx.id = tx.nextAttemptID()
@@ -149,6 +154,7 @@ func (tx *Txn) begin() {
 	tx.elasticFloor = 0
 	tx.cm = tx.cmFac()
 	tx.stat(statStarts)
+	tx.statSem(semStarts)
 
 	switch tx.sem {
 	case SemanticsIrrevocable:
@@ -444,6 +450,7 @@ func (tx *Txn) abortCleanup() {
 	}
 	tx.encLocks = tx.encLocks[:0]
 	tx.stat(statAborts)
+	tx.statSem(semAborts)
 	tx.finish(statusAborted)
 }
 
@@ -471,6 +478,7 @@ func (tx *Txn) Commit() error {
 	// without further work.
 	if len(tx.wset) == 0 {
 		tx.stat(statCommits)
+		tx.statSem(semCommits)
 		tx.finish(statusCommitted)
 		return nil
 	}
@@ -504,6 +512,7 @@ func (tx *Txn) Commit() error {
 
 	tx.publish(wv)
 	tx.stat(statCommits)
+	tx.statSem(semCommits)
 	tx.finish(statusCommitted)
 	return nil
 }

@@ -1,0 +1,325 @@
+package structures
+
+import (
+	"sync/atomic"
+
+	"polytm/internal/core"
+)
+
+// KV is one key/value pair of a TSkipMap range scan.
+type KV struct {
+	Key, Val string
+}
+
+// TSkipMap is a transactional ordered map from string keys to string
+// values, backed by a skip list. Unlike TSkipList it does not fix the
+// semantics of its operations: every method takes an enclosing *core.Tx,
+// so the caller picks the semantics per operation — a point lookup can
+// run as a never-abort snapshot read, a range scan elastically, an
+// update under def, and a whole-map rebuild irrevocably, all over the
+// same structure. That per-request-class choice is exactly what the
+// polyserve server maps wire opcodes onto.
+//
+// Values live in their own TVar, separate from the index links, so an
+// overwrite of an existing key conflicts only with accesses of that key,
+// never with the tower structure around it.
+type TSkipMap struct {
+	tm   *core.TM
+	head *smNode // sentinel; key unused
+	size *core.TVar[int]
+	seed atomic.Uint64
+}
+
+type smNode struct {
+	key  string
+	val  *core.TVar[string]
+	next []*core.TVar[*smNode]
+}
+
+// NewTSkipMap creates an empty ordered map.
+func NewTSkipMap(tm *core.TM) *TSkipMap {
+	head := &smNode{next: make([]*core.TVar[*smNode], skipMaxLevel)}
+	for i := range head.next {
+		head.next[i] = core.NewTVar[*smNode](tm, nil)
+	}
+	m := &TSkipMap{tm: tm, head: head, size: core.NewTVar(tm, 0)}
+	m.seed.Store(0x9e3779b97f4a7c15)
+	return m
+}
+
+// TM returns the owning transactional memory.
+func (m *TSkipMap) TM() *core.TM { return m.tm }
+
+// randLevel draws a geometric(1/2) height in [1, skipMaxLevel] from a
+// lock-free splitmix64 stream.
+func (m *TSkipMap) randLevel() int {
+	x := m.seed.Add(0x9e3779b97f4a7c15)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	lvl := 1
+	for x&1 == 1 && lvl < skipMaxLevel {
+		lvl++
+		x >>= 1
+	}
+	return lvl
+}
+
+// search fills preds/succs per level for key inside tx. Either slice may
+// be nil when only succs[0] (via the return value) is needed.
+func (m *TSkipMap) search(tx *core.Tx, key string, preds, succs []*smNode) (*smNode, error) {
+	pred := m.head
+	var curr *smNode
+	for lvl := skipMaxLevel - 1; lvl >= 0; lvl-- {
+		var err error
+		curr, err = core.Get(tx, pred.next[lvl])
+		if err != nil {
+			return nil, err
+		}
+		for curr != nil && curr.key < key {
+			next, err := core.Get(tx, curr.next[lvl])
+			if err != nil {
+				return nil, err
+			}
+			pred, curr = curr, next
+		}
+		if preds != nil {
+			preds[lvl] = pred
+			succs[lvl] = curr
+		}
+	}
+	return curr, nil
+}
+
+// GetTx looks key up inside tx, under tx's semantics.
+func (m *TSkipMap) GetTx(tx *core.Tx, key string) (string, bool, error) {
+	n, err := m.search(tx, key, nil, nil)
+	if err != nil || n == nil || n.key != key {
+		return "", false, err
+	}
+	v, err := core.Get(tx, n.val)
+	if err != nil {
+		return "", false, err
+	}
+	return v, true, nil
+}
+
+// PutTx inserts or overwrites key inside tx, reporting whether the key
+// already existed.
+func (m *TSkipMap) PutTx(tx *core.Tx, key, val string) (bool, error) {
+	preds := make([]*smNode, skipMaxLevel)
+	succs := make([]*smNode, skipMaxLevel)
+	if _, err := m.search(tx, key, preds, succs); err != nil {
+		return false, err
+	}
+	if succs[0] != nil && succs[0].key == key {
+		return true, core.Set(tx, succs[0].val, val)
+	}
+	lvl := m.randLevel()
+	n := &smNode{key: key, val: core.NewTVar(m.tm, val), next: make([]*core.TVar[*smNode], lvl)}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = core.NewTVar(m.tm, succs[i])
+	}
+	for i := 0; i < lvl; i++ {
+		if err := core.Set(tx, preds[i].next[i], n); err != nil {
+			return false, err
+		}
+	}
+	return false, core.Modify(tx, m.size, func(v int) int { return v + 1 })
+}
+
+// DeleteTx removes key inside tx, reporting whether it was present.
+func (m *TSkipMap) DeleteTx(tx *core.Tx, key string) (bool, error) {
+	preds := make([]*smNode, skipMaxLevel)
+	succs := make([]*smNode, skipMaxLevel)
+	if _, err := m.search(tx, key, preds, succs); err != nil {
+		return false, err
+	}
+	target := succs[0]
+	if target == nil || target.key != key {
+		return false, nil
+	}
+	for i := 0; i < len(target.next); i++ {
+		if preds[i] == nil || succs[i] != target {
+			continue
+		}
+		next, err := core.Get(tx, target.next[i])
+		if err != nil {
+			return false, err
+		}
+		if err := core.Set(tx, preds[i].next[i], next); err != nil {
+			return false, err
+		}
+	}
+	if err := core.Modify(tx, m.size, func(v int) int { return v - 1 }); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// RangeTx walks keys in [from, to) in order inside tx, calling fn for
+// each pair until fn returns false, limit pairs have been visited
+// (limit <= 0 means unbounded), or the range is exhausted. An empty `to`
+// means "to the end".
+func (m *TSkipMap) RangeTx(tx *core.Tx, from, to string, limit int, fn func(key, val string) bool) error {
+	// Descend to the bottom-level predecessor of `from`.
+	pred := m.head
+	for lvl := skipMaxLevel - 1; lvl >= 0; lvl-- {
+		curr, err := core.Get(tx, pred.next[lvl])
+		if err != nil {
+			return err
+		}
+		for curr != nil && curr.key < from {
+			next, err := core.Get(tx, curr.next[lvl])
+			if err != nil {
+				return err
+			}
+			pred, curr = curr, next
+		}
+	}
+	curr, err := core.Get(tx, pred.next[0])
+	if err != nil {
+		return err
+	}
+	n := 0
+	for curr != nil && (to == "" || curr.key < to) {
+		if limit > 0 && n >= limit {
+			return nil
+		}
+		v, err := core.Get(tx, curr.val)
+		if err != nil {
+			return err
+		}
+		if !fn(curr.key, v) {
+			return nil
+		}
+		n++
+		curr, err = core.Get(tx, curr.next[0])
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LenTx reads the element count inside tx.
+func (m *TSkipMap) LenTx(tx *core.Tx) (int, error) {
+	return core.Get(tx, m.size)
+}
+
+// ClearTx unlinks every element inside tx, returning how many were
+// removed. It touches only the sentinel's towers and the size counter,
+// so it is O(levels) regardless of map size.
+func (m *TSkipMap) ClearTx(tx *core.Tx) (int, error) {
+	n, err := core.Get(tx, m.size)
+	if err != nil {
+		return 0, err
+	}
+	for i := range m.head.next {
+		if err := core.Set(tx, m.head.next[i], nil); err != nil {
+			return 0, err
+		}
+	}
+	return n, core.Set(tx, m.size, 0)
+}
+
+// RebuildTx re-levels the whole map inside tx: it walks the bottom
+// level, draws fresh tower heights for every node, and relinks the index
+// levels. Value TVars are carried over, so concurrent readers of a key's
+// value conflict only if the value itself changes. This is the map's
+// "resize"-class admin operation; run it under Irrevocable semantics to
+// guarantee it completes in one attempt.
+func (m *TSkipMap) RebuildTx(tx *core.Tx) (int, error) {
+	type kn struct {
+		key string
+		val *core.TVar[string]
+	}
+	var all []kn
+	curr, err := core.Get(tx, m.head.next[0])
+	if err != nil {
+		return 0, err
+	}
+	for curr != nil {
+		all = append(all, kn{key: curr.key, val: curr.val})
+		curr, err = core.Get(tx, curr.next[0])
+		if err != nil {
+			return 0, err
+		}
+	}
+	// Build the new chain back-to-front so every tower links forward to
+	// an already-built node.
+	tails := make([]*smNode, skipMaxLevel)
+	for i := len(all) - 1; i >= 0; i-- {
+		lvl := m.randLevel()
+		n := &smNode{key: all[i].key, val: all[i].val, next: make([]*core.TVar[*smNode], lvl)}
+		for l := 0; l < lvl; l++ {
+			n.next[l] = core.NewTVar(m.tm, tails[l])
+			tails[l] = n
+		}
+	}
+	for l := 0; l < skipMaxLevel; l++ {
+		if err := core.Set(tx, m.head.next[l], tails[l]); err != nil {
+			return 0, err
+		}
+	}
+	return len(all), core.Set(tx, m.size, len(all))
+}
+
+// Get is the one-shot form of GetTx under semantics sem.
+func (m *TSkipMap) Get(key string, sem core.Semantics) (string, bool) {
+	var val string
+	var ok bool
+	must(m.tm.Atomic(func(tx *core.Tx) error {
+		var err error
+		val, ok, err = m.GetTx(tx, key)
+		return err
+	}, core.WithSemantics(sem)))
+	return val, ok
+}
+
+// Put is the one-shot form of PutTx under semantics sem.
+func (m *TSkipMap) Put(key, val string, sem core.Semantics) bool {
+	var existed bool
+	must(m.tm.Atomic(func(tx *core.Tx) error {
+		var err error
+		existed, err = m.PutTx(tx, key, val)
+		return err
+	}, core.WithSemantics(sem)))
+	return existed
+}
+
+// Delete is the one-shot form of DeleteTx under semantics sem.
+func (m *TSkipMap) Delete(key string, sem core.Semantics) bool {
+	var removed bool
+	must(m.tm.Atomic(func(tx *core.Tx) error {
+		var err error
+		removed, err = m.DeleteTx(tx, key)
+		return err
+	}, core.WithSemantics(sem)))
+	return removed
+}
+
+// Range is the one-shot form of RangeTx under semantics sem, collecting
+// the visited pairs.
+func (m *TSkipMap) Range(from, to string, limit int, sem core.Semantics) []KV {
+	var out []KV
+	must(m.tm.Atomic(func(tx *core.Tx) error {
+		out = out[:0]
+		return m.RangeTx(tx, from, to, limit, func(k, v string) bool {
+			out = append(out, KV{Key: k, Val: v})
+			return true
+		})
+	}, core.WithSemantics(sem)))
+	return out
+}
+
+// Len returns the element count (snapshot read; never aborts).
+func (m *TSkipMap) Len() int {
+	var n int
+	must(m.tm.Atomic(func(tx *core.Tx) error {
+		var err error
+		n, err = m.LenTx(tx)
+		return err
+	}, core.WithSemantics(core.Snapshot)))
+	return n
+}

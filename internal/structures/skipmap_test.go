@@ -1,0 +1,211 @@
+package structures
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"polytm/internal/core"
+)
+
+func TestSkipMapBasic(t *testing.T) {
+	tm := core.NewDefault()
+	m := NewTSkipMap(tm)
+
+	if _, ok := m.Get("a", core.Snapshot); ok {
+		t.Fatal("empty map reported a key")
+	}
+	if existed := m.Put("b", "1", core.Def); existed {
+		t.Fatal("fresh insert reported existing key")
+	}
+	if existed := m.Put("a", "2", core.Def); existed {
+		t.Fatal("fresh insert reported existing key")
+	}
+	if existed := m.Put("b", "3", core.Def); !existed {
+		t.Fatal("overwrite did not report existing key")
+	}
+	if v, ok := m.Get("b", core.Snapshot); !ok || v != "3" {
+		t.Fatalf("Get(b) = %q,%v; want \"3\",true", v, ok)
+	}
+	if v, ok := m.Get("a", core.Weak); !ok || v != "2" {
+		t.Fatalf("Get(a) = %q,%v; want \"2\",true", v, ok)
+	}
+	if n := m.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+	if removed := m.Delete("nope", core.Def); removed {
+		t.Fatal("Delete of absent key reported removal")
+	}
+	if removed := m.Delete("a", core.Def); !removed {
+		t.Fatal("Delete of present key reported no removal")
+	}
+	if n := m.Len(); n != 1 {
+		t.Fatalf("Len after delete = %d, want 1", n)
+	}
+}
+
+func TestSkipMapRangeOrderedAndBounded(t *testing.T) {
+	tm := core.NewDefault()
+	m := NewTSkipMap(tm)
+	keys := []string{"delta", "alpha", "echo", "bravo", "charlie", "foxtrot"}
+	for i, k := range keys {
+		m.Put(k, fmt.Sprint(i), core.Def)
+	}
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+
+	all := m.Range("", "", 0, core.Weak)
+	if len(all) != len(keys) {
+		t.Fatalf("full range returned %d pairs, want %d", len(all), len(keys))
+	}
+	for i, kv := range all {
+		if kv.Key != sorted[i] {
+			t.Fatalf("range out of order at %d: %q, want %q", i, kv.Key, sorted[i])
+		}
+	}
+
+	// Half-open window [bravo, echo) — excludes echo and foxtrot.
+	win := m.Range("bravo", "echo", 0, core.Snapshot)
+	want := []string{"bravo", "charlie", "delta"}
+	if len(win) != len(want) {
+		t.Fatalf("window returned %d pairs, want %d (%v)", len(win), len(want), win)
+	}
+	for i, kv := range win {
+		if kv.Key != want[i] {
+			t.Fatalf("window[%d] = %q, want %q", i, kv.Key, want[i])
+		}
+	}
+
+	// Limit cuts the walk short.
+	if lim := m.Range("", "", 2, core.Weak); len(lim) != 2 || lim[0].Key != "alpha" || lim[1].Key != "bravo" {
+		t.Fatalf("limited range = %v, want first two keys", lim)
+	}
+}
+
+func TestSkipMapClearAndRebuild(t *testing.T) {
+	tm := core.NewDefault()
+	m := NewTSkipMap(tm)
+	const n = 100
+	for i := 0; i < n; i++ {
+		m.Put(fmt.Sprintf("k%03d", i), fmt.Sprint(i), core.Def)
+	}
+
+	var rebuilt int
+	must(tm.Atomic(func(tx *core.Tx) error {
+		var err error
+		rebuilt, err = m.RebuildTx(tx)
+		return err
+	}, core.WithSemantics(core.Irrevocable)))
+	if rebuilt != n {
+		t.Fatalf("RebuildTx touched %d keys, want %d", rebuilt, n)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len after rebuild = %d, want %d", m.Len(), n)
+	}
+	all := m.Range("", "", 0, core.Snapshot)
+	if len(all) != n {
+		t.Fatalf("range after rebuild returned %d, want %d", len(all), n)
+	}
+	for i, kv := range all {
+		if want := fmt.Sprintf("k%03d", i); kv.Key != want || kv.Val != fmt.Sprint(i) {
+			t.Fatalf("after rebuild pair %d = %+v, want {%s %d}", i, kv, want, i)
+		}
+	}
+
+	var cleared int
+	must(tm.Atomic(func(tx *core.Tx) error {
+		var err error
+		cleared, err = m.ClearTx(tx)
+		return err
+	}, core.WithSemantics(core.Irrevocable)))
+	if cleared != n {
+		t.Fatalf("ClearTx removed %d, want %d", cleared, n)
+	}
+	if m.Len() != 0 || len(m.Range("", "", 0, core.Snapshot)) != 0 {
+		t.Fatal("map not empty after clear")
+	}
+}
+
+// TestSkipMapConcurrentMixedSemantics hammers the map from writers (def),
+// elastic scanners (weak), snapshot readers, and an irrevocable
+// rebuilder, then checks the exact final contents. Run with -race.
+func TestSkipMapConcurrentMixedSemantics(t *testing.T) {
+	tm := core.NewDefault()
+	m := NewTSkipMap(tm)
+	const workers = 4
+	const perWorker = 150
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("w%d-%03d", w, i)
+				m.Put(key, fmt.Sprint(i), core.Def)
+				if v, ok := m.Get(key, core.Snapshot); !ok || v != fmt.Sprint(i) {
+					t.Errorf("read-your-writes violated for %s: %q,%v", key, v, ok)
+					return
+				}
+				if i%10 == 9 {
+					m.Delete(key, core.Def)
+				}
+				if i%25 == 0 {
+					// Elastic scan of this worker's prefix: keys must come
+					// back in order even while towers churn.
+					prev := ""
+					for _, kv := range m.Range(fmt.Sprintf("w%d-", w), fmt.Sprintf("w%d.", w), 0, core.Weak) {
+						if kv.Key <= prev {
+							t.Errorf("scan out of order: %q after %q", kv.Key, prev)
+							return
+						}
+						prev = kv.Key
+					}
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var adminWg sync.WaitGroup
+	adminWg.Add(1)
+	go func() {
+		defer adminWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			must(tm.Atomic(func(tx *core.Tx) error {
+				_, err := m.RebuildTx(tx)
+				return err
+			}, core.WithSemantics(core.Irrevocable)))
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	adminWg.Wait()
+
+	want := map[string]string{}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			if i%10 == 9 {
+				continue
+			}
+			want[fmt.Sprintf("w%d-%03d", w, i)] = fmt.Sprint(i)
+		}
+	}
+	got := m.Range("", "", 0, core.Snapshot)
+	if len(got) != len(want) {
+		t.Fatalf("final map has %d keys, want %d", len(got), len(want))
+	}
+	for _, kv := range got {
+		if want[kv.Key] != kv.Val {
+			t.Fatalf("final %q = %q, want %q", kv.Key, kv.Val, want[kv.Key])
+		}
+	}
+	if m.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(want))
+	}
+}

@@ -1,0 +1,663 @@
+// Package wire defines polyserve's length-prefixed binary protocol.
+//
+// Every frame is a 4-byte big-endian payload length followed by the
+// payload. A request payload is
+//
+//	op(1) | sem(1) | body
+//
+// and a response payload is
+//
+//	status(1) | body
+//
+// where sem is the transaction-semantics byte: one of the four
+// stm.Semantics values, or SemDefault (0xFF) to accept the server's
+// per-opcode mapping (GET/MGET → snapshot, SCAN → weak/elastic,
+// SET/CAS/DEL/TXN → def, FLUSH/REBUILD → irrevocable). The byte is the
+// wire rendition of the paper's start(p): each request class picks the
+// semantics that fits it, and a client may override the class default
+// per request.
+//
+// Bodies are built from uvarint-length-prefixed byte strings and bare
+// uvarints; see the per-opcode layout comments on the Op constants.
+// Responses carry no opcode — the protocol is strictly in-order
+// (pipelined requests are answered in arrival order, like Redis), so the
+// client decodes each response against the opcode it sent.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"polytm/internal/stm"
+)
+
+// Op is a request opcode.
+type Op byte
+
+const (
+	// OpGet reads one key. Body: key. OK response body: val.
+	OpGet Op = 1
+	// OpSet writes one key. Body: key, val. OK response body: empty.
+	OpSet Op = 2
+	// OpCAS compares-and-swaps one key. Body: key, old, new. OK response
+	// body: empty; a CASMismatch response carries the current value.
+	OpCAS Op = 3
+	// OpDel removes one key. Body: key. OK / NotFound, body empty.
+	OpDel Op = 4
+	// OpScan walks keys in [from, to) in order. Body: from, to,
+	// uvarint limit (empty `to` = to the end, limit 0 = unbounded).
+	// OK response body: uvarint n, then n × (key, val).
+	OpScan Op = 5
+	// OpMGet reads many keys in one transaction. Body: uvarint n, then
+	// n × key. OK response body: uvarint n, then n × sub-response
+	// (status(1) | val-if-OK).
+	OpMGet Op = 6
+	// OpTxn runs a batch of sub-operations (OpGet/OpSet/OpCAS/OpDel
+	// bodies) in ONE transaction. Body: uvarint n, then n × (op(1) |
+	// body). OK response body: uvarint n, then n × sub-response
+	// (status(1) | body as for the sub-op). Sub-operations share the
+	// batch's semantics.
+	OpTxn Op = 7
+	// OpStats reports engine counters. Body: empty. OK response body:
+	// uvarint n, then n × (name, uvarint value).
+	OpStats Op = 8
+	// OpFlush removes every key (admin). Body: empty. OK response body:
+	// uvarint removed-count.
+	OpFlush Op = 9
+	// OpRebuild re-levels the store's skip-list index (admin; the
+	// "resize" class). Body: empty. OK response body: uvarint key-count.
+	OpRebuild Op = 10
+)
+
+// String names the opcode.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpSet:
+		return "SET"
+	case OpCAS:
+		return "CAS"
+	case OpDel:
+		return "DEL"
+	case OpScan:
+		return "SCAN"
+	case OpMGet:
+		return "MGET"
+	case OpTxn:
+		return "TXN"
+	case OpStats:
+		return "STATS"
+	case OpFlush:
+		return "FLUSH"
+	case OpRebuild:
+		return "REBUILD"
+	default:
+		return fmt.Sprintf("Op(%d)", byte(o))
+	}
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o >= OpGet && o <= OpRebuild }
+
+// Status is a response status byte.
+type Status byte
+
+const (
+	// StatusOK: the operation succeeded.
+	StatusOK Status = 0
+	// StatusNotFound: the key does not exist.
+	StatusNotFound Status = 1
+	// StatusCASMismatch: the key's current value differs from `old`; the
+	// response body carries the current value.
+	StatusCASMismatch Status = 2
+	// StatusErr: the operation failed; the response body is a message.
+	StatusErr Status = 3
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusCASMismatch:
+		return "CAS_MISMATCH"
+	case StatusErr:
+		return "ERR"
+	default:
+		return fmt.Sprintf("Status(%d)", byte(s))
+	}
+}
+
+// SemDefault in the sem byte selects the server's per-opcode semantics
+// mapping. Any other value must be a valid stm.Semantics.
+const SemDefault byte = 0xFF
+
+// MaxFrame is the default cap on a frame payload; a peer announcing a
+// larger frame is protocol-broken (or hostile) and the connection is
+// dropped rather than the length trusted.
+const MaxFrame = 16 << 20
+
+// Protocol errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	ErrTruncated     = errors.New("wire: truncated payload")
+	ErrBadOp         = errors.New("wire: unknown opcode")
+	ErrBadSemantics  = errors.New("wire: invalid semantics byte")
+	ErrBadSubOp      = errors.New("wire: opcode not allowed in TXN batch")
+)
+
+// KV is one key/value pair of a SCAN response.
+type KV struct {
+	Key, Val []byte
+}
+
+// Counter is one named engine counter of a STATS response.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Request is the decoded form of one request frame. Fields are
+// opcode-dependent; unused fields are zero.
+type Request struct {
+	Op  Op
+	Sem byte // SemDefault or a stm.Semantics value
+
+	Key []byte // GET, SET, CAS, DEL
+	Val []byte // SET; CAS new
+	Old []byte // CAS expected
+
+	Keys [][]byte // MGET
+
+	From, To []byte // SCAN
+	Limit    uint64 // SCAN
+
+	Batch []Request // TXN sub-operations (Sem ignored on sub-ops)
+}
+
+// Response is the decoded form of one response frame, against the
+// request opcode it answers.
+type Response struct {
+	Status Status
+
+	Val      []byte     // GET value; CAS current value on mismatch
+	Pairs    []KV       // SCAN
+	Batch    []Response // MGET / TXN sub-responses
+	Counters []Counter  // STATS
+	N        uint64     // FLUSH / REBUILD counts
+	Msg      string     // StatusErr message
+
+	// SubOp is the opcode this TXN sub-response answers. It is consulted
+	// only when encoding the Batch of an OpTxn response (the decoder
+	// takes the sub-opcodes from the request instead); it never crosses
+	// the wire itself.
+	SubOp Op
+}
+
+// Err folds a StatusErr response into a Go error (nil otherwise).
+func (r *Response) Err() error {
+	if r.Status == StatusErr {
+		return fmt.Errorf("wire: server error: %s", r.Msg)
+	}
+	return nil
+}
+
+// ---- primitive encoding ----
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		return nil, ErrTruncated
+	}
+	b := r.buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b, nil
+}
+
+func (r *reader) byte1() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrTruncated
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *reader) done() error {
+	if r.pos != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes in payload", len(r.buf)-r.pos)
+	}
+	return nil
+}
+
+// count reads a collection count and sanity-bounds it against the bytes
+// actually remaining (each element costs at least one byte), so a
+// hostile count cannot demand more elements than the frame can encode.
+func (r *reader) count() (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		return 0, ErrTruncated
+	}
+	return int(n), nil
+}
+
+// prealloc caps speculative slice allocation for a declared element
+// count: decoders start at most this big and grow with append, so a
+// count near the frame limit cannot allocate element-struct memory far
+// exceeding the frame itself.
+func prealloc(n int) int {
+	const cap = 1024
+	if n > cap {
+		return cap
+	}
+	return n
+}
+
+// ---- framing ----
+
+// WriteFrame writes one length-prefixed frame to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame payload from br, refusing frames larger than
+// maxFrame (<= 0 means MaxFrame).
+func ReadFrame(br *bufio.Reader, maxFrame int) ([]byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = MaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > uint32(maxFrame) {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ---- request codec ----
+
+// appendRequestBody encodes the opcode-dependent body (no op/sem bytes).
+func appendRequestBody(dst []byte, r *Request) ([]byte, error) {
+	switch r.Op {
+	case OpGet, OpDel:
+		dst = appendBytes(dst, r.Key)
+	case OpSet:
+		dst = appendBytes(dst, r.Key)
+		dst = appendBytes(dst, r.Val)
+	case OpCAS:
+		dst = appendBytes(dst, r.Key)
+		dst = appendBytes(dst, r.Old)
+		dst = appendBytes(dst, r.Val)
+	case OpScan:
+		dst = appendBytes(dst, r.From)
+		dst = appendBytes(dst, r.To)
+		dst = appendUvarint(dst, r.Limit)
+	case OpMGet:
+		dst = appendUvarint(dst, uint64(len(r.Keys)))
+		for _, k := range r.Keys {
+			dst = appendBytes(dst, k)
+		}
+	case OpTxn:
+		dst = appendUvarint(dst, uint64(len(r.Batch)))
+		for i := range r.Batch {
+			sub := &r.Batch[i]
+			switch sub.Op {
+			case OpGet, OpSet, OpCAS, OpDel:
+			default:
+				return nil, ErrBadSubOp
+			}
+			dst = append(dst, byte(sub.Op))
+			var err error
+			if dst, err = appendRequestBody(dst, sub); err != nil {
+				return nil, err
+			}
+		}
+	case OpStats, OpFlush, OpRebuild:
+		// empty body
+	default:
+		return nil, ErrBadOp
+	}
+	return dst, nil
+}
+
+// AppendRequest appends r's full payload (op | sem | body) to dst.
+func AppendRequest(dst []byte, r *Request) ([]byte, error) {
+	if !r.Op.Valid() {
+		return nil, ErrBadOp
+	}
+	if r.Sem != SemDefault && !stm.Semantics(r.Sem).Valid() {
+		return nil, ErrBadSemantics
+	}
+	dst = append(dst, byte(r.Op), r.Sem)
+	return appendRequestBody(dst, r)
+}
+
+func decodeRequestBody(rd *reader, r *Request) error {
+	var err error
+	switch r.Op {
+	case OpGet, OpDel:
+		r.Key, err = rd.bytes()
+	case OpSet:
+		if r.Key, err = rd.bytes(); err != nil {
+			return err
+		}
+		r.Val, err = rd.bytes()
+	case OpCAS:
+		if r.Key, err = rd.bytes(); err != nil {
+			return err
+		}
+		if r.Old, err = rd.bytes(); err != nil {
+			return err
+		}
+		r.Val, err = rd.bytes()
+	case OpScan:
+		if r.From, err = rd.bytes(); err != nil {
+			return err
+		}
+		if r.To, err = rd.bytes(); err != nil {
+			return err
+		}
+		r.Limit, err = rd.uvarint()
+	case OpMGet:
+		n, err := rd.count()
+		if err != nil {
+			return err
+		}
+		r.Keys = make([][]byte, 0, prealloc(n))
+		for i := 0; i < n; i++ {
+			k, err := rd.bytes()
+			if err != nil {
+				return err
+			}
+			r.Keys = append(r.Keys, k)
+		}
+	case OpTxn:
+		n, err := rd.count()
+		if err != nil {
+			return err
+		}
+		r.Batch = make([]Request, 0, prealloc(n))
+		for i := 0; i < n; i++ {
+			op, err := rd.byte1()
+			if err != nil {
+				return err
+			}
+			switch Op(op) {
+			case OpGet, OpSet, OpCAS, OpDel:
+			default:
+				return ErrBadSubOp
+			}
+			sub := Request{Op: Op(op), Sem: SemDefault}
+			if err := decodeRequestBody(rd, &sub); err != nil {
+				return err
+			}
+			r.Batch = append(r.Batch, sub)
+		}
+	case OpStats, OpFlush, OpRebuild:
+		// empty body
+	default:
+		return ErrBadOp
+	}
+	return err
+}
+
+// DecodeRequest parses one request payload.
+func DecodeRequest(payload []byte) (*Request, error) {
+	rd := &reader{buf: payload}
+	op, err := rd.byte1()
+	if err != nil {
+		return nil, err
+	}
+	sem, err := rd.byte1()
+	if err != nil {
+		return nil, err
+	}
+	r := &Request{Op: Op(op), Sem: sem}
+	if !r.Op.Valid() {
+		return nil, ErrBadOp
+	}
+	if sem != SemDefault && !stm.Semantics(sem).Valid() {
+		return nil, ErrBadSemantics
+	}
+	if err := decodeRequestBody(rd, r); err != nil {
+		return nil, err
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ---- response codec ----
+
+// appendResponseBody encodes the body of a sub- or top-level response
+// answering opcode op.
+func appendResponseBody(dst []byte, op Op, r *Response) ([]byte, error) {
+	if r.Status == StatusErr {
+		return appendBytes(dst, []byte(r.Msg)), nil
+	}
+	switch op {
+	case OpGet:
+		if r.Status == StatusOK {
+			dst = appendBytes(dst, r.Val)
+		}
+	case OpCAS:
+		if r.Status == StatusCASMismatch {
+			dst = appendBytes(dst, r.Val)
+		}
+	case OpSet, OpDel:
+		// empty body
+	case OpScan:
+		dst = appendUvarint(dst, uint64(len(r.Pairs)))
+		for _, kv := range r.Pairs {
+			dst = appendBytes(dst, kv.Key)
+			dst = appendBytes(dst, kv.Val)
+		}
+	case OpMGet:
+		dst = appendUvarint(dst, uint64(len(r.Batch)))
+		for i := range r.Batch {
+			sub := &r.Batch[i]
+			dst = append(dst, byte(sub.Status))
+			var err error
+			if dst, err = appendResponseBody(dst, OpGet, sub); err != nil {
+				return nil, err
+			}
+		}
+	case OpTxn:
+		dst = appendUvarint(dst, uint64(len(r.Batch)))
+		for i := range r.Batch {
+			sub := &r.Batch[i]
+			dst = append(dst, byte(sub.Status))
+			var err error
+			if dst, err = appendResponseBody(dst, sub.SubOp, sub); err != nil {
+				return nil, err
+			}
+		}
+	case OpStats:
+		dst = appendUvarint(dst, uint64(len(r.Counters)))
+		for _, c := range r.Counters {
+			dst = appendBytes(dst, []byte(c.Name))
+			dst = appendUvarint(dst, c.Value)
+		}
+	case OpFlush, OpRebuild:
+		dst = appendUvarint(dst, r.N)
+	default:
+		return nil, ErrBadOp
+	}
+	return dst, nil
+}
+
+// AppendResponse appends the full response payload (status | body) for a
+// response answering opcode op.
+func AppendResponse(dst []byte, op Op, r *Response) ([]byte, error) {
+	dst = append(dst, byte(r.Status))
+	return appendResponseBody(dst, op, r)
+}
+
+func decodeResponseBody(rd *reader, op Op, r *Response, subOps []Op) error {
+	if r.Status == StatusErr {
+		msg, err := rd.bytes()
+		if err != nil {
+			return err
+		}
+		r.Msg = string(msg)
+		return nil
+	}
+	var err error
+	switch op {
+	case OpGet:
+		if r.Status == StatusOK {
+			r.Val, err = rd.bytes()
+		}
+	case OpCAS:
+		if r.Status == StatusCASMismatch {
+			r.Val, err = rd.bytes()
+		}
+	case OpSet, OpDel:
+		// empty body
+	case OpScan:
+		n, err := rd.count()
+		if err != nil {
+			return err
+		}
+		r.Pairs = make([]KV, 0, prealloc(n))
+		for i := 0; i < n; i++ {
+			var kv KV
+			if kv.Key, err = rd.bytes(); err != nil {
+				return err
+			}
+			if kv.Val, err = rd.bytes(); err != nil {
+				return err
+			}
+			r.Pairs = append(r.Pairs, kv)
+		}
+	case OpMGet:
+		n, err := rd.count()
+		if err != nil {
+			return err
+		}
+		r.Batch = make([]Response, 0, prealloc(n))
+		for i := 0; i < n; i++ {
+			st, err := rd.byte1()
+			if err != nil {
+				return err
+			}
+			sub := Response{Status: Status(st)}
+			if err := decodeResponseBody(rd, OpGet, &sub, nil); err != nil {
+				return err
+			}
+			r.Batch = append(r.Batch, sub)
+		}
+	case OpTxn:
+		var n uint64
+		if n, err = rd.uvarint(); err != nil {
+			return err
+		}
+		if n != uint64(len(subOps)) {
+			return fmt.Errorf("wire: TXN response has %d sub-responses, expected %d", n, len(subOps))
+		}
+		r.Batch = make([]Response, n)
+		for i := range r.Batch {
+			st, err := rd.byte1()
+			if err != nil {
+				return err
+			}
+			r.Batch[i].Status = Status(st)
+			if err := decodeResponseBody(rd, subOps[i], &r.Batch[i], nil); err != nil {
+				return err
+			}
+		}
+	case OpStats:
+		n, err := rd.count()
+		if err != nil {
+			return err
+		}
+		r.Counters = make([]Counter, 0, prealloc(n))
+		for i := 0; i < n; i++ {
+			name, err := rd.bytes()
+			if err != nil {
+				return err
+			}
+			v, err := rd.uvarint()
+			if err != nil {
+				return err
+			}
+			r.Counters = append(r.Counters, Counter{Name: string(name), Value: v})
+		}
+	case OpFlush, OpRebuild:
+		r.N, err = rd.uvarint()
+	default:
+		return ErrBadOp
+	}
+	return err
+}
+
+// DecodeResponse parses one response payload answering opcode op. For
+// OpTxn, subOps must list the batch's sub-opcodes in order (the client
+// knows them from the request it sent).
+func DecodeResponse(payload []byte, op Op, subOps []Op) (*Response, error) {
+	rd := &reader{buf: payload}
+	st, err := rd.byte1()
+	if err != nil {
+		return nil, err
+	}
+	r := &Response{Status: Status(st)}
+	if err := decodeResponseBody(rd, op, r, subOps); err != nil {
+		return nil, err
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -32,6 +32,13 @@
 // executable rendition of the paper's formal model (schedules,
 // histories, acceptance, the two theorems) lives in internal/schedule
 // and internal/accept, driven by cmd/schedcheck and cmd/theorems.
+//
+// The polymorphism is also network-facing: cmd/polyserve is a TCP
+// transactional key-value server (internal/wire, internal/server) whose
+// request classes map onto the four semantics — point reads run as
+// snapshot transactions, range scans elastically, writes under def, and
+// admin operations irrevocably, each overridable per request by a
+// semantics byte in the frame header.
 package polytm
 
 import (
