@@ -381,11 +381,9 @@ func BenchmarkScalabilityMixed(b *testing.B) {
 			var seed atomic.Int64
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
-				r := workload.MixedSeed(uint64(seed.Add(1)))
-				op := 0
+				w := workload.NewMixedWorker(e, vars, workload.MixedSeed(uint64(seed.Add(1))))
 				for pb.Next() {
-					workload.MixedStep(e, vars, &r, op)
-					op++
+					w.Step()
 				}
 			})
 		})

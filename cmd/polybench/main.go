@@ -33,6 +33,12 @@
 // -json switches the output to a JSON array of result records (name,
 // workers, ops, txns/s, aborts, per-semantics classes) for recording
 // BENCH_*.json trajectories; an unknown -bench exits nonzero.
+//
+// The scale and server experiments additionally record allocator cost
+// (allocs/op and B/op, from runtime.MemStats deltas across the measured
+// section, all goroutines included — for the server experiment that
+// means client and server side together). -allocs prints those columns
+// in table mode; JSON records always carry them.
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -80,16 +87,45 @@ type record struct {
 	DurationSec  float64              `json:"duration_sec"`
 	Ops          uint64               `json:"ops"`
 	TxnsPerSec   float64              `json:"txns_per_sec"`
+	AllocsPerOp  *float64             `json:"allocs_per_op,omitempty"`
+	BytesPerOp   *float64             `json:"b_per_op,omitempty"`
 	Aborts       *uint64              `json:"aborts,omitempty"`
 	AbortRate    *float64             `json:"abort_rate,omitempty"`
 	PerSemantics map[string]semRecord `json:"per_semantics,omitempty"`
 }
 
+// memCounters snapshots the allocator's monotonic counters around a
+// measured section; the delta divided by the op count gives allocs/op
+// and B/op the way `go test -benchmem` reports them, except that every
+// goroutine in the process is included.
+type memCounters struct{ mallocs, bytes uint64 }
+
+func readMem() memCounters {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return memCounters{mallocs: ms.Mallocs, bytes: ms.TotalAlloc}
+}
+
+// memDelta is the per-op allocator cost of one measured section.
+type memDelta struct{ allocsPerOp, bytesPerOp float64 }
+
+// perOp folds a counter pair and an op count into a memDelta.
+func (m memCounters) perOp(end memCounters, ops uint64) *memDelta {
+	if ops == 0 {
+		return nil
+	}
+	return &memDelta{
+		allocsPerOp: float64(end.mallocs-m.mallocs) / float64(ops),
+		bytesPerOp:  float64(end.bytes-m.bytes) / float64(ops),
+	}
+}
+
 // report collects result rows and owns the output mode: human tables on
 // stdout, or one JSON array at exit.
 type report struct {
-	json bool
-	rows []record
+	json   bool
+	allocs bool
+	rows   []record
 }
 
 // printf writes table output unless JSON mode is on.
@@ -101,6 +137,14 @@ func (r *report) printf(format string, args ...any) {
 
 // add records one row.
 func (r *report) add(rec record) { r.rows = append(r.rows, rec) }
+
+// memSuffix renders the optional allocs/op table column.
+func (r *report) memSuffix(mem *memDelta) string {
+	if !r.allocs || mem == nil {
+		return ""
+	}
+	return fmt.Sprintf("  %7.2f allocs/op %8.0f B/op", mem.allocsPerOp, mem.bytesPerOp)
+}
 
 // addResult records a harness row (no engine stats available).
 func (r *report) addResult(bench string, res harness.Result) {
@@ -114,8 +158,9 @@ func (r *report) addResult(bench string, res harness.Result) {
 	})
 }
 
-// addWithStats records a row with engine counters attached.
-func (r *report) addWithStats(bench, name string, workers int, dur time.Duration, ops uint64, s stm.StatsSnapshot) {
+// addWithStats records a row with engine counters (and, when measured,
+// allocator cost) attached.
+func (r *report) addWithStats(bench, name string, workers int, dur time.Duration, ops uint64, s stm.StatsSnapshot, mem *memDelta) {
 	aborts := s.Aborts
 	rate := s.AbortRate()
 	rec := record{
@@ -127,6 +172,10 @@ func (r *report) addWithStats(bench, name string, workers int, dur time.Duration
 		TxnsPerSec:  float64(ops) / dur.Seconds(),
 		Aborts:      &aborts,
 		AbortRate:   &rate,
+	}
+	if mem != nil {
+		rec.AllocsPerOp = &mem.allocsPerOp
+		rec.BytesPerOp = &mem.bytesPerOp
 	}
 	per := map[string]semRecord{}
 	for _, p := range []stm.Semantics{stm.SemanticsDef, stm.SemanticsWeak, stm.SemanticsSnapshot, stm.SemanticsIrrevocable} {
@@ -168,6 +217,7 @@ func main() {
 	scanPct := flag.Int("scan-pct", 10, "SCAN percentage for -bench server (remainder is SETs)")
 	scanLimit := flag.Uint64("scan-limit", 16, "SCAN window for -bench server")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results instead of tables")
+	allocs := flag.Bool("allocs", false, "print allocs/op and B/op columns for -bench scale/server table output")
 	flag.Parse()
 
 	var workers []int
@@ -186,7 +236,7 @@ func main() {
 	}
 	mix := workload.Mix{UpdatePct: *updates, KeyRange: *keyRange}
 	base := harness.Config{Duration: *dur, Mix: mix, Seed: *seed}
-	rep := &report{json: *jsonOut}
+	rep := &report{json: *jsonOut, allocs: *allocs}
 
 	switch *bench {
 	case "list":
@@ -356,7 +406,7 @@ func benchScan(rep *report, base harness.Config, workers []int) {
 			s := tm.Stats()
 			rep.printf("  scan(%-8v) writers=%-3d %10.1f scans/s (engine aborts total: %d)\n",
 				sem, w, float64(scans)/el.Seconds(), s.Aborts)
-			rep.addWithStats("scan", fmt.Sprintf("scan-%v", sem), w, el, scans, s)
+			rep.addWithStats("scan", fmt.Sprintf("scan-%v", sem), w, el, scans, s, nil)
 		}
 	}
 }
@@ -388,11 +438,12 @@ func benchScale(rep *report, base harness.Config, workers []int, shards int) {
 		vars := workload.MixedVars(e, 64)
 		stop := make(chan struct{})
 		doneCh := make(chan uint64, w)
+		ready := make(chan struct{})
 		for i := 0; i < w; i++ {
 			go func(seed uint64) {
 				var n uint64
-				r := workload.MixedSeed(seed + uint64(base.Seed)*7919)
-				op := 0
+				mw := workload.NewMixedWorker(e, vars, workload.MixedSeed(seed+uint64(base.Seed)*7919))
+				<-ready
 				for {
 					select {
 					case <-stop:
@@ -400,13 +451,14 @@ func benchScale(rep *report, base harness.Config, workers []int, shards int) {
 						return
 					default:
 					}
-					workload.MixedStep(e, vars, &r, op)
-					op++
+					mw.Step()
 					n++
 				}
 			}(uint64(i + 1))
 		}
+		m0 := readMem()
 		start := time.Now()
+		close(ready)
 		time.Sleep(base.Duration)
 		close(stop)
 		var total uint64
@@ -414,10 +466,12 @@ func benchScale(rep *report, base harness.Config, workers []int, shards int) {
 			total += <-doneCh
 		}
 		el := time.Since(start)
+		m1 := readMem()
+		mem := m0.perOp(m1, total)
 		s := e.Stats()
-		rep.printf("  workers=%-3d %12.0f txns/s  abort-rate=%.3f\n",
-			w, float64(total)/el.Seconds(), s.AbortRate())
-		rep.addWithStats("scale", fmt.Sprintf("scale-shards%d", e.Shards()), w, el, total, s)
+		rep.printf("  workers=%-3d %12.0f txns/s  abort-rate=%.3f%s\n",
+			w, float64(total)/el.Seconds(), s.AbortRate(), rep.memSuffix(mem))
+		rep.addWithStats("scale", fmt.Sprintf("scale-shards%d", e.Shards()), w, el, total, s, mem)
 	}
 }
 
@@ -484,7 +538,7 @@ func benchCM(rep *report, base harness.Config, workers []int) {
 			s := tm.Stats()
 			rep.printf("  cm=%-10s workers=%-3d %12.0f txns/s  abort-rate=%.3f\n",
 				cm.name, w, float64(total)/el.Seconds(), s.AbortRate())
-			rep.addWithStats("cm", "cm-"+cm.name, w, el, total, s)
+			rep.addWithStats("cm", "cm-"+cm.name, w, el, total, s, nil)
 		}
 	}
 }
@@ -527,6 +581,7 @@ func benchServer(rep *report, base harness.Config, workers []int, shards, getPct
 
 		var ops atomic.Uint64
 		stop := make(chan struct{})
+		ready := make(chan struct{})
 		var wg sync.WaitGroup
 		for i := 0; i < w; i++ {
 			wg.Add(1)
@@ -540,6 +595,7 @@ func benchServer(rep *report, base harness.Config, workers []int, shards, getPct
 				defer cl.Close()
 				r := seed*0x9E3779B97F4A7C15 + 1
 				var n uint64
+				<-ready
 				for {
 					select {
 					case <-stop:
@@ -566,19 +622,23 @@ func benchServer(rep *report, base harness.Config, workers []int, shards, getPct
 				}
 			}(uint64(base.Seed)*7919 + uint64(i+1))
 		}
+		m0 := readMem()
 		start := time.Now()
+		close(ready)
 		time.Sleep(base.Duration)
 		close(stop)
 		wg.Wait()
 		el := time.Since(start)
+		m1 := readMem()
 		pre.Close()
 
 		s := srv.TM().Stats()
 		total := ops.Load()
-		rep.printf("  workers=%-3d %12.0f txns/s  abort-rate=%.3f\n",
-			w, float64(total)/el.Seconds(), s.AbortRate())
+		mem := m0.perOp(m1, total)
+		rep.printf("  workers=%-3d %12.0f txns/s  abort-rate=%.3f%s\n",
+			w, float64(total)/el.Seconds(), s.AbortRate(), rep.memSuffix(mem))
 		rep.printf("      per-semantics: %s\n", s.PerSemString())
-		rep.addWithStats("server", fmt.Sprintf("server-shards%d", srv.TM().Engine().Shards()), w, el, total, s)
+		rep.addWithStats("server", fmt.Sprintf("server-shards%d", srv.TM().Engine().Shards()), w, el, total, s, mem)
 
 		sdCtx, cancel := shutdownContext()
 		if err := srv.Shutdown(sdCtx); err != nil {

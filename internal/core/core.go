@@ -152,33 +152,38 @@ func (tm *TM) ResetStats() { tm.eng.ResetStats() }
 // NestingPolicy returns the TM's composition policy.
 func (tm *TM) NestingPolicy() NestingPolicy { return tm.nesting }
 
-// txnOpts collects per-transaction options.
-type txnOpts struct {
+// Option customises one transaction. It is a value, not a closure, so
+// building options on a hot path costs nothing; the variadic option
+// slice of an Atomic call stays on the caller's stack.
+type Option struct {
 	sem    Semantics
 	semSet bool
 	cm     stm.CMFactory
 }
 
-// Option customises one transaction.
-type Option func(*txnOpts)
-
 // WithSemantics is the paper's start(p): it sets the transaction's
 // semantic parameter. Omitting it yields the memory's default semantics.
 func WithSemantics(s Semantics) Option {
-	return func(o *txnOpts) { o.sem = s; o.semSet = true }
+	return Option{sem: s, semSet: true}
 }
 
 // WithContentionManager gives the transaction its own liveness policy.
 func WithContentionManager(f stm.CMFactory) Option {
-	return func(o *txnOpts) { o.cm = f }
+	return Option{cm: f}
 }
 
-func (tm *TM) resolve(opts []Option) txnOpts {
-	o := txnOpts{sem: tm.def}
-	for _, f := range opts {
-		f(&o)
+// resolve folds an option list over the TM defaults.
+func (tm *TM) resolve(opts []Option) (sem Semantics, cm stm.CMFactory) {
+	sem = tm.def
+	for i := range opts {
+		if opts[i].semSet {
+			sem = opts[i].sem
+		}
+		if opts[i].cm != nil {
+			cm = opts[i].cm
+		}
 	}
-	return o
+	return sem, cm
 }
 
 // Tx is the handle passed to a transaction body. It is bound to one
@@ -207,16 +212,35 @@ var Retry = stm.ErrRetryWait
 // until the transaction's read set changes. If the TM was configured
 // with EscalateAfter, a transaction that keeps losing conflicts is
 // restarted under Irrevocable semantics, guaranteeing progress.
+//
+// The engine transaction behind the Tx handle is pooled: fn must not
+// retain the *Tx (or anything aliasing the transaction's read/write
+// sets) beyond its return.
 func (tm *TM) Atomic(fn func(*Tx) error, opts ...Option) error {
-	o := tm.resolve(opts)
-	sem := o.sem
+	sem, cm := tm.resolve(opts)
+	return tm.atomic(sem, cm, fn)
+}
+
+// AtomicAs is Atomic(fn, WithSemantics(sem)) with the semantics passed
+// directly — the hot-path form structure and server code uses per
+// operation.
+func (tm *TM) AtomicAs(sem Semantics, fn func(*Tx) error) error {
+	return tm.atomic(sem, nil, fn)
+}
+
+// atomic is the shared Atomic body with resolved options. The Tx
+// handle lives here, outside the retry loop, and is re-pointed at the
+// engine transaction each attempt.
+func (tm *TM) atomic(sem Semantics, cm stm.CMFactory, fn func(*Tx) error) error {
 	bound := 0
 	if tm.escalateAfter > 0 && sem != Irrevocable {
 		bound = tm.escalateAfter
 	}
+	h := Tx{tm: tm}
 	for {
-		err := tm.eng.RunWithOptions(sem, o.cm, bound, func(itx *stm.Txn) error {
-			return fn(&Tx{tm: tm, inner: itx})
+		err := tm.eng.RunWithOptions(sem, cm, bound, func(itx *stm.Txn) error {
+			h.inner = itx
+			return fn(&h)
 		})
 		switch {
 		case errors.Is(err, errEscalate) && sem != Irrevocable:
@@ -242,8 +266,15 @@ func (tm *TM) Atomic(fn func(*Tx) error, opts ...Option) error {
 // retroactively; Atomic aborts the whole transaction and the outermost
 // Atomic restarts it irrevocably from the beginning.
 func (tx *Tx) Atomic(fn func(*Tx) error, opts ...Option) error {
-	o := tx.tm.resolve(opts)
-	eff := Compose(tx.inner.EffectiveSemantics(), o.sem, tx.tm.nesting)
+	sem, _ := tx.tm.resolve(opts)
+	return tx.AtomicAs(sem, fn)
+}
+
+// AtomicAs is the nested-scope form of TM.AtomicAs: the scope's own
+// semantics parameter passed directly, composed with the enclosing
+// semantics under the TM's nesting policy.
+func (tx *Tx) AtomicAs(sem Semantics, fn func(*Tx) error) error {
+	eff := Compose(tx.inner.EffectiveSemantics(), sem, tx.tm.nesting)
 	if eff == Irrevocable && tx.inner.Semantics() != Irrevocable {
 		tx.inner.Abort()
 		return errEscalate

@@ -171,6 +171,12 @@ func (cl *Client) Close() error {
 	return nil
 }
 
+// encBufs pools batch-encoding buffers across Do calls: a batch's
+// frames (length prefixes included) are appended into one buffer and
+// written with a single Write, so the encode path allocates nothing in
+// steady state.
+var encBufs = sync.Pool{New: func() any { return new([]byte) }}
+
 // Do sends reqs pipelined over one pooled connection — all frames
 // written back-to-back, then all responses read in order — and returns
 // one response per request. A transport error poisons the connection
@@ -183,30 +189,37 @@ func (cl *Client) Do(reqs ...*wire.Request) ([]*wire.Response, error) {
 	// Encode every frame BEFORE touching the connection: an encoding
 	// error must not leave a half-written batch in a pooled writer (the
 	// next caller would flush it and read misaligned responses).
-	payloads := make([][]byte, len(reqs))
-	for i, r := range reqs {
-		p, err := wire.AppendRequest(nil, r)
-		if err != nil {
+	bufp := encBufs.Get().(*[]byte)
+	buf := (*bufp)[:0]
+	for _, r := range reqs {
+		var err error
+		if buf, err = wire.AppendRequestFrame(buf, r); err != nil {
+			*bufp = buf
+			encBufs.Put(bufp)
 			return nil, err
 		}
-		payloads[i] = p
 	}
 	cn, err := cl.acquire()
 	if err != nil {
+		*bufp = buf
+		encBufs.Put(bufp)
 		return nil, err
 	}
-	for _, p := range payloads {
-		if err := wire.WriteFrame(cn.bw, p); err != nil {
-			cl.discard(cn)
-			return nil, err
-		}
+	_, werr := cn.bw.Write(buf)
+	if werr == nil {
+		werr = cn.bw.Flush()
 	}
-	if err := cn.bw.Flush(); err != nil {
+	*bufp = buf
+	encBufs.Put(bufp)
+	if werr != nil {
 		cl.discard(cn)
-		return nil, err
+		return nil, werr
 	}
 	out := make([]*wire.Response, len(reqs))
 	for i, r := range reqs {
+		// Response payloads are freshly read per frame (not pooled):
+		// the decoded Response aliases the raw payload and escapes to
+		// the caller, so its storage must outlive this call.
 		raw, err := wire.ReadFrame(cn.br, 0)
 		if err != nil {
 			cl.discard(cn)

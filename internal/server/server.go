@@ -161,6 +161,14 @@ func (s *Server) Serve(ln net.Listener) error {
 // handle runs one connection's request loop: read frame, execute, queue
 // the response, flushing whenever the pipeline drains (the response
 // writer is buffered so pipelined requests batch their replies).
+//
+// The loop owns one payload buffer, one decoded Request, one Response
+// and one response-frame encoding buffer, all reused for every request
+// on the connection — steady-state request handling performs no
+// per-frame allocation at this layer. The reuse is safe because the
+// pipeline is strictly sequential: a request is fully executed and its
+// response fully encoded into the write buffer before the next frame is
+// read over the payload storage.
 func (s *Server) handle(c net.Conn) {
 	defer func() {
 		c.Close()
@@ -173,9 +181,15 @@ func (s *Server) handle(c net.Conn) {
 
 	br := bufio.NewReader(c)
 	bw := bufio.NewWriter(c)
-	var out []byte
+	var (
+		payload []byte        // reusable frame payload storage
+		req     wire.Request  // reusable decoded request
+		resp    wire.Response // reusable response
+		out     []byte        // reusable response-frame encoding
+	)
 	for {
-		payload, err := wire.ReadFrame(br, s.cfg.MaxFrame)
+		var err error
+		payload, err = wire.ReadFrameBuf(br, payload, s.cfg.MaxFrame)
 		if err != nil {
 			// Responses already executed (and committed) must reach the
 			// client even when the read that follows them fails — e.g. a
@@ -188,23 +202,24 @@ func (s *Server) handle(c net.Conn) {
 			}
 			return
 		}
-		req, err := wire.DecodeRequest(payload)
-		var resp *wire.Response
 		var op wire.Op
-		if err != nil {
+		if err := wire.DecodeRequestInto(&req, payload); err != nil {
 			// A malformed frame still gets a 1:1 response (the framing
 			// survived), keeping the pipeline aligned.
 			op = wire.OpGet
-			resp = errResponse(err)
+			resetResponse(&resp)
+			errInto(&resp, err)
 		} else {
 			op = req.Op
-			resp = s.store.Execute(req)
+			s.store.ExecuteInto(&req, &resp)
 		}
-		out, err = wire.AppendResponse(out[:0], op, resp)
+		out, err = wire.AppendResponseFrame(out[:0], op, &resp)
 		if err != nil {
-			out, _ = wire.AppendResponse(out[:0], op, errResponse(err))
+			resetResponse(&resp)
+			errInto(&resp, err)
+			out, _ = wire.AppendResponseFrame(out[:0], op, &resp)
 		}
-		if err := wire.WriteFrame(bw, out); err != nil {
+		if _, err := bw.Write(out); err != nil {
 			s.logf("polyserve: %v: write: %v", c.RemoteAddr(), err)
 			return
 		}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"unsafe"
+
 	"polytm/internal/core"
 	"polytm/internal/stm"
 	"polytm/internal/structures"
@@ -70,107 +72,169 @@ func (s *Store) TM() *core.TM { return s.tm }
 // response. It never returns an error: failures become StatusErr
 // responses so the connection's pipeline keeps its 1:1 ordering.
 func (s *Store) Execute(req *wire.Request) *wire.Response {
+	resp := new(wire.Response)
+	s.ExecuteInto(req, resp)
+	return resp
+}
+
+// ExecuteInto is Execute writing into a caller-owned response, reusing
+// its slice storage (value buffer, scan pairs, sub-responses, counter
+// list) — the execution path of a connection loop that keeps one
+// Response per connection. The previous contents of resp are
+// discarded; the filled resp is valid until the next ExecuteInto on it.
+func (s *Store) ExecuteInto(req *wire.Request, resp *wire.Response) {
+	resetResponse(resp)
 	sem := resolveSemantics(req)
 	switch req.Op {
 	case wire.OpGet:
-		return s.get(req.Key, sem)
+		s.get(req.Key, sem, resp)
 	case wire.OpSet:
-		return s.set(req.Key, req.Val, sem)
+		s.set(req.Key, req.Val, sem, resp)
 	case wire.OpCAS:
-		return s.cas(req.Key, req.Old, req.Val, sem)
+		s.cas(req.Key, req.Old, req.Val, sem, resp)
 	case wire.OpDel:
-		return s.del(req.Key, sem)
+		s.del(req.Key, sem, resp)
 	case wire.OpScan:
-		return s.scan(req.From, req.To, req.Limit, sem)
+		s.scan(req.From, req.To, req.Limit, sem, resp)
 	case wire.OpMGet:
-		return s.mget(req.Keys, sem)
+		s.mget(req.Keys, sem, resp)
 	case wire.OpTxn:
-		return s.txn(req.Batch, sem)
+		s.txn(req.Batch, sem, resp)
 	case wire.OpStats:
-		return s.stats()
+		s.stats(resp)
 	case wire.OpFlush:
-		return s.flush(sem)
+		s.flush(sem, resp)
 	case wire.OpRebuild:
-		return s.rebuild(sem)
+		s.rebuild(sem, resp)
 	default:
-		return errResponse(wire.ErrBadOp)
+		errInto(resp, wire.ErrBadOp)
 	}
 }
 
-func errResponse(err error) *wire.Response {
-	return &wire.Response{Status: wire.StatusErr, Msg: err.Error()}
+// resetResponse scrubs resp for reuse, truncating (not freeing) its
+// slice storage.
+func resetResponse(r *wire.Response) {
+	r.Status = wire.StatusOK
+	r.Val = r.Val[:0]
+	r.Pairs = r.Pairs[:0]
+	r.Batch = r.Batch[:0]
+	r.Counters = r.Counters[:0]
+	r.N = 0
+	r.Msg = ""
+	r.SubOp = 0
 }
 
-func (s *Store) get(key []byte, sem core.Semantics) *wire.Response {
-	resp := &wire.Response{}
-	err := s.tm.Atomic(func(tx *core.Tx) error {
-		v, ok, err := s.m.GetTx(tx, string(key))
+// errInto folds err into resp as a StatusErr response.
+func errInto(resp *wire.Response, err error) {
+	resp.Status = wire.StatusErr
+	resp.Msg = err.Error()
+}
+
+// lookupKey views a wire key as a string without copying. Safe only
+// for operations that compare the key and never retain it (lookups,
+// deletes, range bounds): the skip map stores the keys it inserts, so
+// every insertion path converts with a real copy instead.
+func lookupKey(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// appendPair appends one scan result to resp.Pairs, reusing the
+// entry's key/value storage when the slice has capacity.
+func appendPair(resp *wire.Response, k, v string) {
+	n := len(resp.Pairs)
+	if n < cap(resp.Pairs) {
+		resp.Pairs = resp.Pairs[:n+1]
+	} else {
+		resp.Pairs = append(resp.Pairs, wire.KV{})
+	}
+	p := &resp.Pairs[n]
+	p.Key = append(p.Key[:0], k...)
+	p.Val = append(p.Val[:0], v...)
+}
+
+// appendSub appends one sub-response slot to resp.Batch, reusing the
+// entry's storage when the slice has capacity, and returns it with its
+// value truncated and status OK.
+func appendSub(resp *wire.Response) *wire.Response {
+	n := len(resp.Batch)
+	if n < cap(resp.Batch) {
+		resp.Batch = resp.Batch[:n+1]
+	} else {
+		resp.Batch = append(resp.Batch, wire.Response{})
+	}
+	sub := &resp.Batch[n]
+	sub.Status = wire.StatusOK
+	sub.Val = sub.Val[:0]
+	sub.SubOp = 0
+	return sub
+}
+
+func (s *Store) get(key []byte, sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
+		v, ok, err := s.m.GetTx(tx, lookupKey(key))
 		if err != nil {
 			return err
 		}
 		if !ok {
 			resp.Status = wire.StatusNotFound
-			resp.Val = nil
+			resp.Val = resp.Val[:0]
 			return nil
 		}
 		resp.Status = wire.StatusOK
-		resp.Val = []byte(v)
+		resp.Val = append(resp.Val[:0], v...)
 		return nil
-	}, core.WithSemantics(sem))
+	})
 	if err != nil {
-		return errResponse(err)
+		errInto(resp, err)
 	}
-	return resp
 }
 
-func (s *Store) set(key, val []byte, sem core.Semantics) *wire.Response {
-	err := s.tm.Atomic(func(tx *core.Tx) error {
+func (s *Store) set(key, val []byte, sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
 		_, err := s.m.PutTx(tx, string(key), string(val))
 		return err
-	}, core.WithSemantics(sem))
+	})
 	if err != nil {
-		return errResponse(err)
+		errInto(resp, err)
+		return
 	}
-	return &wire.Response{Status: wire.StatusOK}
+	resp.Status = wire.StatusOK
 }
 
 // cas is an atomic compare-and-swap: mismatches and misses COMMIT as
 // read-only transactions (they are legitimate outcomes, not failures),
 // so wire-level CAS misses never inflate the engine's abort counters.
-func (s *Store) cas(key, old, val []byte, sem core.Semantics) *wire.Response {
-	resp := &wire.Response{}
-	err := s.tm.Atomic(func(tx *core.Tx) error {
-		cur, ok, err := s.m.GetTx(tx, string(key))
+func (s *Store) cas(key, old, val []byte, sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
+		cur, ok, err := s.m.GetTx(tx, lookupKey(key))
 		if err != nil {
 			return err
 		}
 		if !ok {
 			resp.Status = wire.StatusNotFound
-			resp.Val = nil
+			resp.Val = resp.Val[:0]
 			return nil
 		}
-		if cur != string(old) {
+		if cur != lookupKey(old) {
 			resp.Status = wire.StatusCASMismatch
-			resp.Val = []byte(cur)
+			resp.Val = append(resp.Val[:0], cur...)
 			return nil
 		}
 		if _, err := s.m.PutTx(tx, string(key), string(val)); err != nil {
 			return err
 		}
 		resp.Status = wire.StatusOK
-		resp.Val = nil
+		resp.Val = resp.Val[:0]
 		return nil
-	}, core.WithSemantics(sem))
+	})
 	if err != nil {
-		return errResponse(err)
+		errInto(resp, err)
 	}
-	return resp
 }
 
-func (s *Store) del(key []byte, sem core.Semantics) *wire.Response {
-	resp := &wire.Response{}
-	err := s.tm.Atomic(func(tx *core.Tx) error {
-		removed, err := s.m.DeleteTx(tx, string(key))
+func (s *Store) del(key []byte, sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
+		removed, err := s.m.DeleteTx(tx, lookupKey(key))
 		if err != nil {
 			return err
 		}
@@ -180,70 +244,71 @@ func (s *Store) del(key []byte, sem core.Semantics) *wire.Response {
 			resp.Status = wire.StatusNotFound
 		}
 		return nil
-	}, core.WithSemantics(sem))
+	})
 	if err != nil {
-		return errResponse(err)
+		errInto(resp, err)
 	}
-	return resp
 }
 
-func (s *Store) scan(from, to []byte, limit uint64, sem core.Semantics) *wire.Response {
-	resp := &wire.Response{Status: wire.StatusOK}
-	err := s.tm.Atomic(func(tx *core.Tx) error {
+func (s *Store) scan(from, to []byte, limit uint64, sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
 		resp.Pairs = resp.Pairs[:0]
-		return s.m.RangeTx(tx, string(from), string(to), int(limit), func(k, v string) bool {
-			resp.Pairs = append(resp.Pairs, wire.KV{Key: []byte(k), Val: []byte(v)})
+		return s.m.RangeTx(tx, lookupKey(from), lookupKey(to), int(limit), func(k, v string) bool {
+			appendPair(resp, k, v)
 			return true
 		})
-	}, core.WithSemantics(sem))
+	})
 	if err != nil {
-		return errResponse(err)
+		errInto(resp, err)
+		return
 	}
-	return resp
+	resp.Status = wire.StatusOK
 }
 
-func (s *Store) mget(keys [][]byte, sem core.Semantics) *wire.Response {
-	resp := &wire.Response{Status: wire.StatusOK}
-	err := s.tm.Atomic(func(tx *core.Tx) error {
+func (s *Store) mget(keys [][]byte, sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
 		resp.Batch = resp.Batch[:0]
 		for _, key := range keys {
-			v, ok, err := s.m.GetTx(tx, string(key))
+			v, ok, err := s.m.GetTx(tx, lookupKey(key))
 			if err != nil {
 				return err
 			}
-			sub := wire.Response{Status: wire.StatusNotFound}
+			sub := appendSub(resp)
 			if ok {
-				sub = wire.Response{Status: wire.StatusOK, Val: []byte(v)}
+				sub.Status = wire.StatusOK
+				sub.Val = append(sub.Val, v...)
+			} else {
+				sub.Status = wire.StatusNotFound
 			}
-			resp.Batch = append(resp.Batch, sub)
 		}
 		return nil
-	}, core.WithSemantics(sem))
+	})
 	if err != nil {
-		return errResponse(err)
+		errInto(resp, err)
+		return
 	}
-	return resp
+	resp.Status = wire.StatusOK
 }
 
 // txn executes the batch's sub-operations in ONE transaction: all commit
 // together or none do, and the batch observes and produces a single
 // atomic state change under the resolved semantics.
-func (s *Store) txn(batch []wire.Request, sem core.Semantics) *wire.Response {
-	resp := &wire.Response{Status: wire.StatusOK}
-	err := s.tm.Atomic(func(tx *core.Tx) error {
+func (s *Store) txn(batch []wire.Request, sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
 		resp.Batch = resp.Batch[:0]
 		for i := range batch {
 			sub := &batch[i]
-			out := wire.Response{SubOp: sub.Op}
+			out := appendSub(resp)
+			out.SubOp = sub.Op
 			switch sub.Op {
 			case wire.OpGet:
-				v, ok, err := s.m.GetTx(tx, string(sub.Key))
+				v, ok, err := s.m.GetTx(tx, lookupKey(sub.Key))
 				if err != nil {
 					return err
 				}
 				if ok {
 					out.Status = wire.StatusOK
-					out.Val = []byte(v)
+					out.Val = append(out.Val, v...)
 				} else {
 					out.Status = wire.StatusNotFound
 				}
@@ -253,16 +318,16 @@ func (s *Store) txn(batch []wire.Request, sem core.Semantics) *wire.Response {
 				}
 				out.Status = wire.StatusOK
 			case wire.OpCAS:
-				cur, ok, err := s.m.GetTx(tx, string(sub.Key))
+				cur, ok, err := s.m.GetTx(tx, lookupKey(sub.Key))
 				if err != nil {
 					return err
 				}
 				switch {
 				case !ok:
 					out.Status = wire.StatusNotFound
-				case cur != string(sub.Old):
+				case cur != lookupKey(sub.Old):
 					out.Status = wire.StatusCASMismatch
-					out.Val = []byte(cur)
+					out.Val = append(out.Val, cur...)
 				default:
 					if _, err := s.m.PutTx(tx, string(sub.Key), string(sub.Val)); err != nil {
 						return err
@@ -270,7 +335,7 @@ func (s *Store) txn(batch []wire.Request, sem core.Semantics) *wire.Response {
 					out.Status = wire.StatusOK
 				}
 			case wire.OpDel:
-				removed, err := s.m.DeleteTx(tx, string(sub.Key))
+				removed, err := s.m.DeleteTx(tx, lookupKey(sub.Key))
 				if err != nil {
 					return err
 				}
@@ -282,22 +347,22 @@ func (s *Store) txn(batch []wire.Request, sem core.Semantics) *wire.Response {
 			default:
 				return wire.ErrBadSubOp
 			}
-			resp.Batch = append(resp.Batch, out)
 		}
 		return nil
-	}, core.WithSemantics(sem))
+	})
 	if err != nil {
-		return errResponse(err)
+		errInto(resp, err)
+		return
 	}
-	return resp
+	resp.Status = wire.StatusOK
 }
 
 // stats snapshots the engine counters, including the per-semantics
 // breakdown that makes the polymorphic schedule-acceptance gap visible
 // from the wire.
-func (s *Store) stats() *wire.Response {
+func (s *Store) stats(resp *wire.Response) {
 	snap := s.tm.Stats()
-	cs := []wire.Counter{
+	cs := append(resp.Counters[:0], []wire.Counter{
 		{Name: "starts", Value: snap.Starts},
 		{Name: "commits", Value: snap.Commits},
 		{Name: "aborts", Value: snap.Aborts},
@@ -312,7 +377,7 @@ func (s *Store) stats() *wire.Response {
 		{Name: "vars", Value: snap.VarsAllocated},
 		{Name: "reads", Value: snap.Reads},
 		{Name: "writes", Value: snap.Writes},
-	}
+	}...)
 	for _, p := range []stm.Semantics{stm.SemanticsDef, stm.SemanticsWeak, stm.SemanticsSnapshot, stm.SemanticsIrrevocable} {
 		c := snap.Sem(p)
 		cs = append(cs,
@@ -321,37 +386,38 @@ func (s *Store) stats() *wire.Response {
 			wire.Counter{Name: "aborts." + p.String(), Value: c.Aborts},
 		)
 	}
-	return &wire.Response{Status: wire.StatusOK, Counters: cs}
+	resp.Status = wire.StatusOK
+	resp.Counters = cs
 }
 
-func (s *Store) flush(sem core.Semantics) *wire.Response {
-	resp := &wire.Response{Status: wire.StatusOK}
-	err := s.tm.Atomic(func(tx *core.Tx) error {
+func (s *Store) flush(sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
 		n, err := s.m.ClearTx(tx)
 		if err != nil {
 			return err
 		}
 		resp.N = uint64(n)
 		return nil
-	}, core.WithSemantics(sem))
+	})
 	if err != nil {
-		return errResponse(err)
+		errInto(resp, err)
+		return
 	}
-	return resp
+	resp.Status = wire.StatusOK
 }
 
-func (s *Store) rebuild(sem core.Semantics) *wire.Response {
-	resp := &wire.Response{Status: wire.StatusOK}
-	err := s.tm.Atomic(func(tx *core.Tx) error {
+func (s *Store) rebuild(sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
 		n, err := s.m.RebuildTx(tx)
 		if err != nil {
 			return err
 		}
 		resp.N = uint64(n)
 		return nil
-	}, core.WithSemantics(sem))
+	})
 	if err != nil {
-		return errResponse(err)
+		errInto(resp, err)
+		return
 	}
-	return resp
+	resp.Status = wire.StatusOK
 }

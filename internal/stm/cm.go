@@ -1,15 +1,21 @@
 package stm
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"runtime"
 	"time"
 )
 
 // ContentionManager arbitrates conflicts between transactions. Each
-// transaction attempt owns one manager instance (managers may keep
-// per-attempt state such as backoff counters), while priority metadata
-// (karma, birth timestamp) persists across attempts via the Txn.
+// transaction owns one manager instance for its whole Run lifecycle —
+// the factory is invoked once, on the first attempt, and the instance
+// is reused across retries (per-attempt context arrives through the
+// attempt parameter and Txn.Attempt, and priority metadata — karma,
+// birth timestamp — persists on the Txn). Stateless managers go
+// further: their factories hand out one shared instance, so arming a
+// transaction with them costs no allocation at all. A manager with
+// mutable state must therefore either be returned fresh per factory
+// call or be safe for concurrent use.
 //
 // The manager is consulted when the transaction fails to acquire a
 // commit-time lock held by another live transaction. It returns a
@@ -49,7 +55,9 @@ const (
 	ResolutionKillEnemy
 )
 
-// CMFactory builds a fresh manager for each transaction attempt.
+// CMFactory supplies the manager for one transaction lifecycle. It is
+// called once per Run (not per attempt); factories of stateless
+// policies return a shared instance.
 type CMFactory func() ContentionManager
 
 // ---------------------------------------------------------------------
@@ -70,12 +78,15 @@ func (suicide) Name() string                          { return "suicide" }
 // then abort self.
 
 // NewPolite returns a polite manager factory with the given maximum
-// number of spin rounds (<=0 means the default of 8).
+// number of spin rounds (<=0 means the default of 8). The manager is
+// stateless (the attempt counter is supplied by the engine), so the
+// factory shares one instance across all transactions.
 func NewPolite(maxSpins int) CMFactory {
 	if maxSpins <= 0 {
 		maxSpins = 8
 	}
-	return func() ContentionManager { return &polite{max: maxSpins} }
+	p := &polite{max: maxSpins}
+	return func() ContentionManager { return p }
 }
 
 type polite struct{ max int }
@@ -98,7 +109,9 @@ func (p *polite) Name() string { return "polite" }
 
 // NewBackoff returns a backoff manager factory. base is the first-retry
 // backoff (<=0 means 1µs); cap bounds the exponential growth
-// (<=0 means 1ms).
+// (<=0 means 1ms). Randomness comes from math/rand/v2's per-thread
+// generators, so the manager is stateless and the factory shares one
+// instance across all transactions.
 func NewBackoff(base, cap time.Duration) CMFactory {
 	if base <= 0 {
 		base = time.Microsecond
@@ -106,14 +119,12 @@ func NewBackoff(base, cap time.Duration) CMFactory {
 	if cap <= 0 {
 		cap = time.Millisecond
 	}
-	return func() ContentionManager {
-		return &backoff{base: base, cap: cap, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
-	}
+	b := &backoff{base: base, cap: cap}
+	return func() ContentionManager { return b }
 }
 
 type backoff struct {
 	base, cap time.Duration
-	rng       *rand.Rand
 }
 
 func (b *backoff) OnLockBusy(*Txn, *Txn, int) Resolution { return ResolutionAbortSelf }
@@ -124,7 +135,7 @@ func (b *backoff) OnAbort(tx *Txn) {
 		d = b.cap
 	}
 	if d > 0 {
-		time.Sleep(time.Duration(b.rng.Int63n(int64(d)) + 1))
+		time.Sleep(time.Duration(rand.Int64N(int64(d)) + 1))
 	}
 }
 func (b *backoff) Name() string { return "backoff" }

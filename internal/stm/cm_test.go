@@ -145,7 +145,7 @@ func TestKilledTransactionObservesKill(t *testing.T) {
 	if _, err := tx.Read(x); err != nil {
 		t.Fatal(err)
 	}
-	if !tx.kill() {
+	if !tx.kill(tx.ID()) {
 		t.Fatal("def transaction must be killable")
 	}
 	_, err := tx.Read(x)

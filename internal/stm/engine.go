@@ -82,6 +82,14 @@ type Engine struct {
 	// need to inspect or kill lock owners.
 	live liveRegistry
 
+	// txnPool recycles Txn shells across Run calls (per-P free lists
+	// under the hood), so the common transaction allocates nothing: the
+	// shell, its read/write sets, its probe table and its contention
+	// manager are all reused. Txns handed out by Begin are NOT pooled —
+	// they escape to the caller, which could still hold them when the
+	// pool re-issues the value.
+	txnPool sync.Pool
+
 	stats Stats
 }
 
@@ -132,16 +140,46 @@ func (e *Engine) lookupTxn(id uint64) *Txn {
 	return e.live.lookup(id)
 }
 
-// newTxn builds a transaction shell; its birth id is assigned on the
-// first begin, from the transaction's first attempt-id block.
+// newTxn builds a fresh, unpooled transaction shell; its birth id is
+// assigned on the first begin, from the transaction's first attempt-id
+// block.
 func (e *Engine) newTxn(sem Semantics, cm CMFactory) *Txn {
-	return &Txn{eng: e, sem: sem, cmFac: cm}
+	tx := &Txn{eng: e}
+	tx.sem = sem
+	tx.cmFac = cm
+	return tx
+}
+
+// acquireTxn arms a pooled transaction shell (building one on pool
+// miss) for a Run lifecycle.
+func (e *Engine) acquireTxn(sem Semantics, cm CMFactory) *Txn {
+	if tx, ok := e.txnPool.Get().(*Txn); ok {
+		tx.sem = sem
+		tx.cmFac = cm
+		return tx
+	}
+	return e.newTxn(sem, cm)
+}
+
+// releaseTxn scrubs a finished transaction and returns it to the pool.
+// A transaction that is somehow still active (a panicking body unwound
+// through the run loop) is dropped instead — pooling it would hand a
+// live read/write set to an unrelated Run.
+func (e *Engine) releaseTxn(tx *Txn) {
+	if tx.status.Load() == statusActive {
+		return
+	}
+	tx.recycle()
+	e.txnPool.Put(tx)
 }
 
 // Begin starts a transaction with semantics sem and the engine's default
 // contention manager. The returned Txn must be finished with Commit or
-// Abort. Most callers should use Run (or core.Atomic) instead, which
-// handles the retry loop.
+// Abort, after which it must not be touched again; Begin transactions
+// are excluded from the engine's Txn pool (the caller could retain the
+// handle), so each Begin allocates. Most callers should use Run (or
+// core.Atomic) instead, which handles the retry loop and runs
+// allocation-free on the pooled lifecycle.
 func (e *Engine) Begin(sem Semantics) *Txn {
 	return e.BeginWith(sem, nil)
 }
@@ -161,8 +199,12 @@ func (e *Engine) BeginWith(sem Semantics, cm CMFactory) *Txn {
 // conflicts until commit, a non-retryable error from fn, or the
 // configured attempt bound. It returns fn's error (aborting the
 // transaction) or nil after a successful commit.
+//
+// Run drives a pooled Txn: fn must not retain the *Txn, or anything
+// aliasing its read/write sets, beyond its return — the shell is
+// recycled for an arbitrary later Run when this call finishes.
 func (e *Engine) Run(sem Semantics, fn func(*Txn) error) error {
-	return e.RunWith(sem, nil, fn)
+	return e.run(sem, e.cfg.DefaultCM, e.cfg.MaxAttempts, false, fn)
 }
 
 // RunWith is Run with an explicit contention manager factory.
@@ -170,26 +212,7 @@ func (e *Engine) RunWith(sem Semantics, cm CMFactory, fn func(*Txn) error) error
 	if cm == nil {
 		cm = e.cfg.DefaultCM
 	}
-	tx := e.newTxn(sem, cm)
-	for attempt := 1; ; attempt++ {
-		tx.begin()
-		err := fn(tx)
-		if err == nil {
-			err = tx.Commit()
-			if err == nil {
-				return nil
-			}
-		} else {
-			tx.Abort()
-		}
-		if !IsRetryable(err) {
-			return err
-		}
-		tx.cm.OnAbort(tx)
-		if e.cfg.MaxAttempts > 0 && attempt >= e.cfg.MaxAttempts {
-			return ErrTooManyAttempts
-		}
-	}
+	return e.run(sem, cm, e.cfg.MaxAttempts, false, fn)
 }
 
 // Quiesce returns once no snapshot transactions are live. It is a test

@@ -62,7 +62,7 @@ func (tx *Txn) commitIrrevocable() {
 		e.v.head.Store(&Version{val: e.val, ver: wv, prev: retainHistory(e.v.head.Load(), wv, needed)})
 	}
 	for _, el := range tx.encLocks {
-		if _, written := tx.wmap[el.v]; written {
+		if tx.findWrite(el.v) >= 0 {
 			el.v.unlockTo(packVersion(wv))
 		} else {
 			el.v.unlockTo(el.prevLW)

@@ -32,7 +32,7 @@ func TestIrrevocableCommitsFirstAttempt(t *testing.T) {
 func TestIrrevocableCannotBeKilled(t *testing.T) {
 	e := NewDefaultEngine()
 	tx := e.Begin(SemanticsIrrevocable)
-	if tx.kill() {
+	if tx.kill(tx.ID()) {
 		t.Fatal("kill() must refuse irrevocable transactions")
 	}
 	if err := tx.Commit(); err != nil {

@@ -48,10 +48,10 @@ func (e *Engine) RunWithRetry(sem Semantics, cm CMFactory, fn func(*Txn) error) 
 	return e.RunWithOptions(sem, cm, 0, fn)
 }
 
-// RunWithOptions is the fully parameterized run loop: semantics,
+// RunWithOptions is the fully parameterized run entry: semantics,
 // contention-manager factory (nil = engine default), a per-call attempt
 // bound (0 = the engine's configured MaxAttempts), ErrRetryWait
-// blocking, and conflict retry. Every other Run variant delegates here.
+// blocking, and conflict retry.
 func (e *Engine) RunWithOptions(sem Semantics, cm CMFactory, maxAttempts int, fn func(*Txn) error) error {
 	if cm == nil {
 		cm = e.cfg.DefaultCM
@@ -59,7 +59,18 @@ func (e *Engine) RunWithOptions(sem Semantics, cm CMFactory, maxAttempts int, fn
 	if maxAttempts == 0 {
 		maxAttempts = e.cfg.MaxAttempts
 	}
-	tx := e.newTxn(sem, cm)
+	return e.run(sem, cm, maxAttempts, true, fn)
+}
+
+// run is the engine's one retry loop: every Run variant delegates here
+// with resolved options. It drives a pooled Txn through the whole
+// lifecycle — acquire, attempts, recycle — so steady-state transactions
+// allocate nothing. blockOnRetryWait selects the RunWithOptions /
+// RunWithRetry behaviour of sleeping on an ErrRetryWait read set; plain
+// Run keeps its historical behaviour of returning the error unchanged.
+func (e *Engine) run(sem Semantics, cm CMFactory, maxAttempts int, blockOnRetryWait bool, fn func(*Txn) error) error {
+	tx := e.acquireTxn(sem, cm)
+	defer e.releaseTxn(tx)
 	for attempt := 1; ; attempt++ {
 		tx.begin()
 		err := fn(tx)
@@ -68,8 +79,11 @@ func (e *Engine) RunWithOptions(sem Semantics, cm CMFactory, maxAttempts int, fn
 			if err == nil {
 				return nil
 			}
-		} else if errors.Is(err, ErrRetryWait) {
+		} else if blockOnRetryWait && errors.Is(err, ErrRetryWait) {
 			// Capture the read set before aborting, then sleep on it.
+			// The copy is load-bearing under pooling: the Txn (and its
+			// rset storage) may be recycled the moment this run ends,
+			// and must never escape into a wait list by alias.
 			waitSet := make([]readEntry, len(tx.rset))
 			copy(waitSet, tx.rset)
 			tx.Abort()

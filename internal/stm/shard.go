@@ -16,10 +16,14 @@ import (
 // Two global atomics deliberately remain: the version clock (it defines
 // commit order — irreducible in a TL2-style engine, and only writing
 // commits tick it) and the transaction-id block source (one
-// fetch-and-add per id *block*; a single-attempt transaction still pays
-// one, because blocks are private to a Txn. Striping it would make the
-// timestamp contention manager's birth order approximate, so that
-// trade is left to a future change).
+// fetch-and-add per id *block*). Blocks are private to a Txn shell and
+// survive its trips through the engine's Txn pool, so the fetch-and-add
+// is paid once per txnIDBlock attempts, not once per Run — at the
+// already-accepted cost that the timestamp contention manager's birth
+// "age" order is creation order per id block, not global creation
+// order. Ids remain engine-unique and totally ordered, which is what
+// deadlock-free lock ordering and priority arbitration actually
+// require.
 
 // cacheLine is the assumed cache-line size, used to pad shard entries so
 // neighbouring stripes never false-share.

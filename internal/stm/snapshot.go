@@ -51,12 +51,21 @@ func (r *snapshotRegistry) init(shards int) {
 	r.mask = uint64(shards - 1)
 }
 
-// registerSampling records transaction id as a live snapshot reader with
-// a start-timestamp lower bound sampled from clock *inside* the shard
-// critical section, and returns that bound. Sampling under the lock
-// guarantees the bound is published to the shard minimum before the
-// caller can go on to sample its actual read timestamp — the
-// register-then-sample invariant minActive's trimming contract needs.
+// registerSampling records transaction id as a live snapshot reader and
+// returns the attempt's read timestamp. Two clock samples bracket the
+// registration, all inside the shard critical section: the first
+// becomes the published conservative lower bound, and the second —
+// taken strictly AFTER the bound is stored — becomes rv. The bracketing
+// is the register-then-sample invariant minActive's trimming contract
+// needs, and the order is load-bearing: a writer whose minActive fold
+// missed our bound must have read the shard minimum before the bound
+// was stored, hence ticked its commit timestamp before rv was sampled
+// (atomics are totally ordered), so wv <= rv and its new version is
+// itself visible to the snapshot — the reader never needs anything that
+// writer trimmed. Sampling rv BEFORE the store (e.g. reusing the bound
+// as rv to save a clock load) is unsound: a writer could then tick
+// wv > rv, miss the bound, and drop the very version the snapshot
+// resolves to.
 func (r *snapshotRegistry) registerSampling(id uint64, clock *Clock) uint64 {
 	sh := &r.shards[shardOf(id, r.mask)]
 	sh.mu.Lock()
@@ -65,8 +74,9 @@ func (r *snapshotRegistry) registerSampling(id uint64, clock *Clock) uint64 {
 	if pre < sh.min.Load() {
 		sh.min.Store(pre)
 	}
+	rv := clock.Now()
 	sh.mu.Unlock()
-	return pre
+	return rv
 }
 
 // unregister removes transaction id and recomputes its shard's cached

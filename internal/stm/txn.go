@@ -2,7 +2,7 @@ package stm
 
 import (
 	"runtime"
-	"sort"
+	"slices"
 	"sync/atomic"
 )
 
@@ -47,6 +47,15 @@ type encLock struct {
 // attempt gets a fresh id, read timestamp, and read/write sets via
 // begin. Txn is not safe for concurrent use by multiple goroutines; the
 // paper's model runs each operation on one process.
+//
+// Txns created by the Run family are pooled: when the run ends the Txn
+// is scrubbed (recycle) and returned to the engine's pool, so the
+// common transaction costs no allocation at all. The corollary is the
+// reuse contract: a transaction body must not retain its *Txn (or any
+// alias into its read/write sets) beyond the body's return, and a
+// finished Txn must never be used again by the caller — the next Run
+// anywhere in the process may already own it. Begin hands out unpooled
+// Txns for callers that need to drive the lifecycle manually.
 type Txn struct {
 	eng   *Engine
 	sem   Semantics
@@ -54,8 +63,11 @@ type Txn struct {
 	cm    ContentionManager
 
 	// birth is the id of the first attempt; it defines the age order
-	// used by the timestamp contention manager.
-	birth uint64
+	// used by the timestamp contention manager. It is atomic because
+	// rival transactions inspect it (Birth) through live-registry
+	// pointers that may be stale by the time they are dereferenced,
+	// racing the rewrite a pooled reuse performs.
+	birth atomic.Uint64
 
 	// id is the per-attempt identity, used as the lock-word owner.
 	id uint64
@@ -72,17 +84,47 @@ type Txn struct {
 	rv uint64
 
 	status atomic.Uint32
-	killed atomic.Bool
+
+	// killedID holds the attempt id a contention manager asked to
+	// abort, 0 if none. The owner treats the transaction as killed only
+	// while killedID equals the current attempt id, which makes kill
+	// delivery exact under pooling: a kill races with the target
+	// finishing, and when it loses the race it deposits a stale id that
+	// no later attempt ever matches.
+	killedID atomic.Uint64
+
+	// unkillable mirrors sem == SemanticsIrrevocable for rival
+	// transactions: kill must stay safe to call through a stale registry
+	// pointer whose Txn a pooled reuse is re-arming, so the flag is its
+	// own atomic rather than a racy read of sem.
+	unkillable atomic.Bool
 
 	rset []readEntry
-	wmap map[*Var]int
 	wset []writeEntry
+
+	// wtab is the spilled write-set index: open addressing keyed by the
+	// variable id, each slot holding a wset index + 1 (0 = empty). While
+	// the write set is small (<= wsetLinearScan entries) lookups scan
+	// wset directly and the table is not maintained at all; the first
+	// write past the threshold builds it in place (see findWrite,
+	// noteWrite). It holds no pointers, so recycling keeps it as-is.
+	wtab []int32
 
 	// written marks that a SemanticsWeak transaction has performed its
 	// first write and must behave monomorphically from then on.
 	written bool
 
 	// karma accumulates accesses across attempts for the karma manager.
+	// Deliberately a plain field despite rival reads (karma.OnLockBusy
+	// inspects a lock owner's karma through a registry pointer): it is
+	// incremented on EVERY transactional access, and any atomic form —
+	// LOCK-prefixed add or XCHG store — measured 20-30% on the read
+	// fast path. The word-sized unsynchronized read is the same
+	// exposure the seed engine had (pooling's zeroing in recycle is
+	// owner-side, like the increments), and a misread can only steer
+	// the karma heuristic toward a safe outcome: abort-self is always
+	// safe, and kill delivery is attempt-exact (killedID), so even a
+	// wrong kill expires against a finished attempt.
 	karma uint64
 
 	attempt int
@@ -123,6 +165,119 @@ func (tx *Txn) nextAttemptID() uint64 {
 	return id
 }
 
+// wsetLinearScan is the write-set size up to which read-your-writes
+// lookups scan wset linearly. Past it, an open-addressed index over the
+// variable ids (wtab) is built in place and maintained incrementally —
+// the crossover where a probe beats walking the entries. The old
+// map[*Var]int this replaces cost an allocation (and a rehash of every
+// entry) per attempt even for transactions that never wrote.
+const wsetLinearScan = 8
+
+// wtabHash spreads a variable id over the probe table. Ids are
+// sequential per stripe well (see Engine.newVarID), so they need mixing
+// before masking; Fibonacci hashing's high bits do it in one multiply.
+func wtabHash(id uint64) uint64 { return id * 0x9E3779B97F4A7C15 >> 32 }
+
+// findWrite returns the wset index buffering v, or -1.
+func (tx *Txn) findWrite(v *Var) int {
+	if len(tx.wset) <= wsetLinearScan {
+		for i := range tx.wset {
+			if tx.wset[i].v == v {
+				return i
+			}
+		}
+		return -1
+	}
+	mask := uint64(len(tx.wtab) - 1)
+	for h := wtabHash(v.id); ; h++ {
+		slot := tx.wtab[h&mask]
+		if slot == 0 {
+			return -1
+		}
+		if i := int(slot - 1); tx.wset[i].v == v {
+			return i
+		}
+	}
+}
+
+// noteWrite indexes the freshly appended wset entry i, spilling the
+// linear scan into the probe table at the threshold and growing the
+// table before it gets crowded.
+func (tx *Txn) noteWrite(i int) {
+	n := len(tx.wset)
+	switch {
+	case n <= wsetLinearScan:
+		// Still linear; nothing to maintain.
+	case n == wsetLinearScan+1 || 4*n >= 3*len(tx.wtab):
+		tx.rebuildWtab()
+	default:
+		tx.insertWtab(i)
+	}
+}
+
+// rebuildWtab (re)builds the probe table over the whole write set,
+// reusing its storage when capacity allows. Load factor stays below
+// 3/4.
+func (tx *Txn) rebuildWtab() {
+	size := 32
+	for 4*len(tx.wset) >= 3*size {
+		size <<= 1
+	}
+	if cap(tx.wtab) >= size {
+		tx.wtab = tx.wtab[:size]
+		clear(tx.wtab)
+	} else {
+		tx.wtab = make([]int32, size)
+	}
+	for i := range tx.wset {
+		tx.insertWtab(i)
+	}
+}
+
+// insertWtab adds wset entry i to the probe table (which must have a
+// free slot; rebuildWtab maintains the load factor).
+func (tx *Txn) insertWtab(i int) {
+	mask := uint64(len(tx.wtab) - 1)
+	for h := wtabHash(tx.wset[i].v.id); ; h++ {
+		if tx.wtab[h&mask] == 0 {
+			tx.wtab[h&mask] = int32(i + 1)
+			return
+		}
+	}
+}
+
+// recycle scrubs every per-run trace from a finished transaction so a
+// pooled reuse can neither observe nor retain anything from the
+// previous lifecycle: read/write sets, encounter locks and the mode
+// stack are element-cleared (dropping their Var/Version/value
+// references for the GC) and truncated; identity, karma, attempt count
+// and the contention manager reset. Only the slice capacities, the
+// pointer-free probe table, and the remainder of the private attempt-id
+// block survive — the id block keeps ids engine-unique, and reusing it
+// is exactly the amortization the block allocator exists for (at the
+// documented cost that birth "age" order is creation order per id
+// block, not per Run).
+func (tx *Txn) recycle() {
+	clear(tx.rset)
+	tx.rset = tx.rset[:0]
+	clear(tx.wset)
+	tx.wset = tx.wset[:0]
+	clear(tx.encLocks)
+	tx.encLocks = tx.encLocks[:0]
+	tx.modes.stack = tx.modes.stack[:0]
+	tx.sem = 0
+	tx.cmFac = nil
+	tx.cm = nil
+	tx.birth.Store(0)
+	tx.karma = 0
+	tx.attempt = 0
+	tx.rv = 0
+	tx.written = false
+	tx.elasticFloor = 0
+	tx.killedID.Store(0)
+	tx.unkillable.Store(false)
+}
+
 // stat bumps one engine counter on this attempt's stripe.
 func (tx *Txn) stat(c statCounter) { tx.eng.stats.add(tx.shard, c) }
 
@@ -131,28 +286,28 @@ func (tx *Txn) stat(c statCounter) { tx.eng.stats.add(tx.shard, c) }
 // reattribute).
 func (tx *Txn) statSem(c semCounter) { tx.eng.stats.addSem(tx.shard, tx.sem, c) }
 
-// begin (re)initializes the transaction for a new attempt.
+// begin (re)initializes the transaction for a new attempt. The
+// contention manager is built on the first attempt and reused for the
+// rest of the run — managers are values with per-lifecycle state, not
+// per-attempt factory products (see ContentionManager).
 func (tx *Txn) begin() {
 	tx.id = tx.nextAttemptID()
-	if tx.birth == 0 {
-		tx.birth = tx.id
+	if tx.birth.Load() == 0 {
+		tx.birth.Store(tx.id)
 	}
 	tx.shard = stripeHint()
 	tx.attempt++
 	tx.status.Store(statusActive)
-	tx.killed.Store(false)
+	tx.unkillable.Store(tx.sem == SemanticsIrrevocable)
 	tx.rset = tx.rset[:0]
 	tx.wset = tx.wset[:0]
-	if tx.wmap == nil {
-		tx.wmap = make(map[*Var]int, 8)
-	} else {
-		clear(tx.wmap)
-	}
 	tx.written = false
 	tx.encLocks = tx.encLocks[:0]
 	tx.modes.stack = tx.modes.stack[:0]
 	tx.elasticFloor = 0
-	tx.cm = tx.cmFac()
+	if tx.cm == nil {
+		tx.cm = tx.cmFac()
+	}
 	tx.stat(statStarts)
 	tx.statSem(semStarts)
 
@@ -164,17 +319,18 @@ func (tx *Txn) begin() {
 		tx.stat(statIrrevocables)
 	case SemanticsSnapshot:
 		// Registration order matters: publish a conservative lower
-		// bound (pre <= rv) to the registry FIRST, then sample the read
-		// timestamp. Writers that read the registry minimum before our
-		// store committed at wv <= pre's clock <= rv, so their new
-		// version is itself visible at rv; writers that read it after
-		// preserve at least every version >= the newest one <= pre —
-		// a superset of what resolving at rv needs. Either way no
-		// version this snapshot requires is ever trimmed.
-		// registerSampling samples pre inside the registry's shard
-		// critical section, preserving exactly this ordering.
-		tx.eng.snaps.registerSampling(tx.id, &tx.eng.clock)
-		tx.rv = tx.eng.clock.Now()
+		// bound to the registry FIRST, then sample the read timestamp.
+		// Writers that read the registry minimum before our bound was
+		// stored committed at wv <= rv (their tick preceded our
+		// post-store sample), so their new version is itself visible at
+		// rv; writers that read it after preserve the newest version
+		// <= the bound and everything newer — a superset of what
+		// resolving at rv needs. Either way no version this snapshot
+		// requires is ever trimmed. registerSampling performs the
+		// publish and both clock samples in one shard critical section
+		// (see its comment for why the post-store sample is
+		// load-bearing).
+		tx.rv = tx.eng.snaps.registerSampling(tx.id, &tx.eng.clock)
 		tx.snapRegistered = true
 	default:
 		tx.rv = tx.eng.clock.Now()
@@ -216,7 +372,7 @@ func (tx *Txn) finish(st uint32) {
 func (tx *Txn) ID() uint64 { return tx.id }
 
 // Birth returns the id of the transaction's first attempt (its age).
-func (tx *Txn) Birth() uint64 { return tx.birth }
+func (tx *Txn) Birth() uint64 { return tx.birth.Load() }
 
 // Attempt returns the 1-based attempt number.
 func (tx *Txn) Attempt() int { return tx.attempt }
@@ -233,22 +389,33 @@ func (tx *Txn) ReadTimestamp() uint64 { return tx.rv }
 // Engine returns the owning engine.
 func (tx *Txn) Engine() *Engine { return tx.eng }
 
-// kill requests asynchronous abort. It returns false if the transaction
-// cannot be killed (irrevocable transactions are guaranteed to commit).
-func (tx *Txn) kill() bool {
-	if tx.sem == SemanticsIrrevocable {
+// kill requests asynchronous abort of attempt expected — the id the
+// caller observed in the busy lock word. It returns false if the
+// transaction cannot be killed (irrevocable transactions are
+// guaranteed to commit). Delivery is attempt-exact: the kill deposits
+// the expected id, and the owner honours it only while that is still
+// the current attempt, so a kill racing through a stale registry
+// pointer after the target finished (the shell may already be pooled,
+// or re-armed as a different transaction — even an unabortable-by-
+// contract snapshot reader) expires instead of landing. kill reads
+// only atomics for the same reason.
+func (tx *Txn) kill(expected uint64) bool {
+	if tx.unkillable.Load() {
 		return false
 	}
-	tx.killed.Store(true)
+	tx.killedID.Store(expected)
 	return true
 }
+
+// isKilled reports whether a kill was delivered to the current attempt.
+func (tx *Txn) isKilled() bool { return tx.killedID.Load() == tx.id }
 
 // checkLive verifies the transaction is usable and not killed.
 func (tx *Txn) checkLive() error {
 	if tx.status.Load() != statusActive {
 		return ErrTxnDone
 	}
-	if tx.killed.Load() {
+	if tx.isKilled() {
 		tx.stat(statKills)
 		tx.abortCleanup()
 		return ErrKilled
@@ -271,8 +438,10 @@ func (tx *Txn) Read(v *Var) (any, error) {
 	tx.karma++
 
 	// Read-your-writes.
-	if i, ok := tx.wmap[v]; ok {
-		return tx.wset[i].val, nil
+	if len(tx.wset) > 0 {
+		if i := tx.findWrite(v); i >= 0 {
+			return tx.wset[i].val, nil
+		}
 	}
 
 	switch sem := tx.effective(); {
@@ -301,8 +470,10 @@ func (tx *Txn) ReadPinned(v *Var) (any, error) {
 	}
 	tx.stat(statReads)
 	tx.karma++
-	if i, ok := tx.wmap[v]; ok {
-		return tx.wset[i].val, nil
+	if len(tx.wset) > 0 {
+		if i := tx.findWrite(v); i >= 0 {
+			return tx.wset[i].val, nil
+		}
 	}
 	switch sem := tx.effective(); {
 	case sem == SemanticsSnapshot:
@@ -330,7 +501,7 @@ func (tx *Txn) waitUnlocked(v *Var) error {
 		if !locked || owner == tx.id {
 			return nil
 		}
-		if tx.killed.Load() {
+		if tx.isKilled() {
 			tx.stat(statKills)
 			tx.abortCleanup()
 			return ErrKilled
@@ -344,7 +515,28 @@ func (tx *Txn) waitUnlocked(v *Var) error {
 // revalidating the read set; otherwise the head is exactly the newest
 // version <= rv (any commit after this transaction started has a
 // strictly larger timestamp), so it is safe.
+//
+// The preamble is the classic TL2 unlocked fast path: one lock-word
+// load and one head load decide the common case without entering the
+// wait/extend loop. It is sound because observing the lock word
+// unlocked means any commit with a timestamp <= rv has fully published
+// (head.Store precedes the releasing lock-word store), while a commit
+// racing between the two loads must have acquired the lock — and then
+// ticked the clock — after our lock-word load, hence after rv was
+// sampled, so its version is > rv and the h.ver guard routes it to the
+// slow path.
 func (tx *Txn) readDef(v *Var) (any, error) {
+	if w := v.lw.Load(); !isLocked(w) {
+		if h := v.head.Load(); h.ver <= tx.rv {
+			tx.rset = append(tx.rset, readEntry{v: v, ver: h})
+			return h.val, nil
+		}
+	}
+	return tx.readDefSlow(v)
+}
+
+// readDefSlow is readDef's wait/extend loop.
+func (tx *Txn) readDefSlow(v *Var) (any, error) {
 	for {
 		if err := tx.waitUnlocked(v); err != nil {
 			return nil, err
@@ -417,12 +609,12 @@ func (tx *Txn) Write(v *Var, val any) error {
 		tx.written = true
 	}
 
-	if i, ok := tx.wmap[v]; ok {
+	if i := tx.findWrite(v); i >= 0 {
 		tx.wset[i].val = val
 		return nil
 	}
 	tx.wset = append(tx.wset, writeEntry{v: v, val: val})
-	tx.wmap[v] = len(tx.wset) - 1
+	tx.noteWrite(len(tx.wset) - 1)
 	return nil
 }
 
@@ -461,7 +653,7 @@ func (tx *Txn) Commit() error {
 	if tx.status.Load() != statusActive {
 		return ErrTxnDone
 	}
-	if tx.killed.Load() && tx.sem != SemanticsIrrevocable {
+	if tx.isKilled() && tx.sem != SemanticsIrrevocable {
 		tx.stat(statKills)
 		tx.abortCleanup()
 		return ErrKilled
@@ -487,11 +679,21 @@ func (tx *Txn) Commit() error {
 	tx.registerLive()
 
 	// Acquire commit-time locks in variable-id order (deadlock-free).
-	sort.Slice(tx.wset, func(i, j int) bool { return tx.wset[i].v.id < tx.wset[j].v.id })
-	// Rebuild the map: indices moved.
-	for i := range tx.wset {
-		tx.wmap[tx.wset[i].v] = i
-	}
+	// slices.SortFunc, unlike sort.Slice, costs no allocation.
+	slices.SortFunc(tx.wset, func(a, b writeEntry) int {
+		switch {
+		case a.v.id < b.v.id:
+			return -1
+		case a.v.id > b.v.id:
+			return 1
+		default:
+			return 0
+		}
+	})
+	// The sort invalidates a spilled wtab, and that is fine: the engine
+	// performs no write-set lookups after this point, and the next
+	// lifecycle rebuilds the table from scratch when (if) its write set
+	// crosses the spill threshold again.
 	for i := range tx.wset {
 		if err := tx.lockForCommit(&tx.wset[i]); err != nil {
 			return err
@@ -521,7 +723,7 @@ func (tx *Txn) Commit() error {
 // on conflict.
 func (tx *Txn) lockForCommit(e *writeEntry) error {
 	for attempt := 0; ; attempt++ {
-		if tx.killed.Load() {
+		if tx.isKilled() {
 			tx.stat(statKills)
 			tx.abortCleanup()
 			return ErrKilled
@@ -537,7 +739,8 @@ func (tx *Txn) lockForCommit(e *writeEntry) error {
 			continue // released between load and CAS; retry immediately
 		}
 		if owner == tx.id {
-			// Defensive: already ours (cannot happen — wmap dedupes).
+			// Defensive: already ours (cannot happen — the write set
+			// dedupes by variable).
 			return nil
 		}
 		enemy := tx.eng.lookupTxn(owner)
@@ -547,7 +750,7 @@ func (tx *Txn) lockForCommit(e *writeEntry) error {
 			tx.abortCleanup()
 			return abortConflict("lock busy", e.v.id)
 		case ResolutionKillEnemy:
-			if enemy == nil || enemy.kill() {
+			if enemy == nil || enemy.kill(owner) {
 				runtime.Gosched()
 				continue
 			}

@@ -143,54 +143,54 @@ func (h *THash) removeBody(tx *core.Tx, key uint64, out *bool) error {
 // Contains reports whether key is in the set.
 func (h *THash) Contains(key uint64) bool {
 	var found bool
-	must(h.tm.Atomic(func(tx *core.Tx) error {
+	must(h.tm.AtomicAs(h.sem, func(tx *core.Tx) error {
 		return h.containsBody(tx, key, &found)
-	}, core.WithSemantics(h.sem)))
+	}))
 	return found
 }
 
 // ContainsTx is Contains inside an enclosing transaction.
 func (h *THash) ContainsTx(tx *core.Tx, key uint64) (bool, error) {
 	var found bool
-	err := tx.Atomic(func(tx *core.Tx) error {
+	err := tx.AtomicAs(h.sem, func(tx *core.Tx) error {
 		return h.containsBody(tx, key, &found)
-	}, core.WithSemantics(h.sem))
+	})
 	return found, err
 }
 
 // Insert adds key, returning false if present.
 func (h *THash) Insert(key uint64) bool {
 	var added bool
-	must(h.tm.Atomic(func(tx *core.Tx) error {
+	must(h.tm.AtomicAs(h.sem, func(tx *core.Tx) error {
 		return h.insertBody(tx, key, &added)
-	}, core.WithSemantics(h.sem)))
+	}))
 	return added
 }
 
 // InsertTx is Insert inside an enclosing transaction.
 func (h *THash) InsertTx(tx *core.Tx, key uint64) (bool, error) {
 	var added bool
-	err := tx.Atomic(func(tx *core.Tx) error {
+	err := tx.AtomicAs(h.sem, func(tx *core.Tx) error {
 		return h.insertBody(tx, key, &added)
-	}, core.WithSemantics(h.sem))
+	})
 	return added, err
 }
 
 // Remove deletes key, returning false if absent.
 func (h *THash) Remove(key uint64) bool {
 	var removed bool
-	must(h.tm.Atomic(func(tx *core.Tx) error {
+	must(h.tm.AtomicAs(h.sem, func(tx *core.Tx) error {
 		return h.removeBody(tx, key, &removed)
-	}, core.WithSemantics(h.sem)))
+	}))
 	return removed
 }
 
 // RemoveTx is Remove inside an enclosing transaction.
 func (h *THash) RemoveTx(tx *core.Tx, key uint64) (bool, error) {
 	var removed bool
-	err := tx.Atomic(func(tx *core.Tx) error {
+	err := tx.AtomicAs(h.sem, func(tx *core.Tx) error {
 		return h.removeBody(tx, key, &removed)
-	}, core.WithSemantics(h.sem))
+	})
 	return removed, err
 }
 
@@ -235,7 +235,7 @@ func (h *THash) LoadFactor() float64 {
 // returns the new bucket count.
 func (h *THash) Resize(grow bool) int {
 	var newLen int
-	must(h.tm.Atomic(func(tx *core.Tx) error {
+	must(h.tm.AtomicAs(core.Def, func(tx *core.Tx) error {
 		bs, err := core.Get(tx, h.buckets)
 		if err != nil {
 			return err
@@ -289,6 +289,6 @@ func (h *THash) Resize(grow bool) int {
 			}
 		}
 		return core.Set(tx, h.buckets, fresh)
-	}, core.WithSemantics(core.Def)))
+	}))
 	return newLen
 }

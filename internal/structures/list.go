@@ -143,9 +143,9 @@ func (l *TList) removeBody(tx *core.Tx, key uint64, out *bool) error {
 // Contains reports whether key is in the set.
 func (l *TList) Contains(key uint64) bool {
 	var found bool
-	must(l.tm.Atomic(func(tx *core.Tx) error {
+	must(l.tm.AtomicAs(l.sem, func(tx *core.Tx) error {
 		return l.containsBody(tx, key, &found)
-	}, core.WithSemantics(l.sem)))
+	}))
 	return found
 }
 
@@ -154,45 +154,45 @@ func (l *TList) Contains(key uint64) bool {
 // composes from the enclosing semantics and the list's own.
 func (l *TList) ContainsTx(tx *core.Tx, key uint64) (bool, error) {
 	var found bool
-	err := tx.Atomic(func(tx *core.Tx) error {
+	err := tx.AtomicAs(l.sem, func(tx *core.Tx) error {
 		return l.containsBody(tx, key, &found)
-	}, core.WithSemantics(l.sem))
+	})
 	return found, err
 }
 
 // Insert adds key, returning false if it was already present.
 func (l *TList) Insert(key uint64) bool {
 	var added bool
-	must(l.tm.Atomic(func(tx *core.Tx) error {
+	must(l.tm.AtomicAs(l.sem, func(tx *core.Tx) error {
 		return l.insertBody(tx, key, &added)
-	}, core.WithSemantics(l.sem)))
+	}))
 	return added
 }
 
 // InsertTx is Insert inside an enclosing transaction.
 func (l *TList) InsertTx(tx *core.Tx, key uint64) (bool, error) {
 	var added bool
-	err := tx.Atomic(func(tx *core.Tx) error {
+	err := tx.AtomicAs(l.sem, func(tx *core.Tx) error {
 		return l.insertBody(tx, key, &added)
-	}, core.WithSemantics(l.sem))
+	})
 	return added, err
 }
 
 // Remove deletes key, returning false if it was absent.
 func (l *TList) Remove(key uint64) bool {
 	var removed bool
-	must(l.tm.Atomic(func(tx *core.Tx) error {
+	must(l.tm.AtomicAs(l.sem, func(tx *core.Tx) error {
 		return l.removeBody(tx, key, &removed)
-	}, core.WithSemantics(l.sem)))
+	}))
 	return removed
 }
 
 // RemoveTx is Remove inside an enclosing transaction.
 func (l *TList) RemoveTx(tx *core.Tx, key uint64) (bool, error) {
 	var removed bool
-	err := tx.Atomic(func(tx *core.Tx) error {
+	err := tx.AtomicAs(l.sem, func(tx *core.Tx) error {
 		return l.removeBody(tx, key, &removed)
-	}, core.WithSemantics(l.sem))
+	})
 	return removed, err
 }
 
@@ -207,7 +207,7 @@ func (l *TList) Len() int {
 // structure scan, the kind of operation Snapshot semantics exists for.
 func (l *TList) Sum() uint64 {
 	var sum uint64
-	must(l.tm.Atomic(func(tx *core.Tx) error {
+	must(l.tm.AtomicAs(core.Snapshot, func(tx *core.Tx) error {
 		sum = 0
 		curr, err := core.Get(tx, l.head)
 		if err != nil {
@@ -220,14 +220,14 @@ func (l *TList) Sum() uint64 {
 			}
 		}
 		return nil
-	}, core.WithSemantics(core.Snapshot)))
+	}))
 	return sum
 }
 
 // Snapshot returns the keys in order, read atomically.
 func (l *TList) Snapshot() []uint64 {
 	var out []uint64
-	must(l.tm.Atomic(func(tx *core.Tx) error {
+	must(l.tm.AtomicAs(core.Snapshot, func(tx *core.Tx) error {
 		out = out[:0]
 		curr, err := core.Get(tx, l.head)
 		if err != nil {
@@ -240,6 +240,6 @@ func (l *TList) Snapshot() []uint64 {
 			}
 		}
 		return nil
-	}, core.WithSemantics(core.Snapshot)))
+	}))
 	return out
 }

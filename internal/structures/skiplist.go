@@ -82,7 +82,7 @@ func (s *TSkipList) search(tx *core.Tx, key uint64, preds []*slNode, succs []*sl
 // Contains reports whether key is in the set.
 func (s *TSkipList) Contains(key uint64) bool {
 	var found bool
-	must(s.tm.Atomic(func(tx *core.Tx) error {
+	must(s.tm.AtomicAs(s.sem, func(tx *core.Tx) error {
 		pred := s.head
 		var curr *slNode
 		for lvl := skipMaxLevel - 1; lvl >= 0; lvl-- {
@@ -101,7 +101,7 @@ func (s *TSkipList) Contains(key uint64) bool {
 		}
 		found = curr != nil && curr.key == key
 		return nil
-	}, core.WithSemantics(s.sem)))
+	}))
 	return found
 }
 
@@ -109,9 +109,11 @@ func (s *TSkipList) Contains(key uint64) bool {
 func (s *TSkipList) Insert(key uint64) bool {
 	lvl := s.randLevel()
 	var added bool
-	must(s.tm.Atomic(func(tx *core.Tx) error {
-		preds := make([]*slNode, skipMaxLevel)
-		succs := make([]*slNode, skipMaxLevel)
+	must(s.tm.AtomicAs(core.Def, func(tx *core.Tx) error {
+		// Stack-resident search results: search only fills the slices,
+		// so they never escape (no per-op allocation).
+		var predsArr, succsArr [skipMaxLevel]*slNode
+		preds, succs := predsArr[:], succsArr[:]
 		if err := s.search(tx, key, preds, succs); err != nil {
 			return err
 		}
@@ -130,16 +132,16 @@ func (s *TSkipList) Insert(key uint64) bool {
 		}
 		added = true
 		return core.Modify(tx, s.size, func(v int) int { return v + 1 })
-	}, core.WithSemantics(core.Def)))
+	}))
 	return added
 }
 
 // Remove deletes key, returning false if absent. Runs under Def.
 func (s *TSkipList) Remove(key uint64) bool {
 	var removed bool
-	must(s.tm.Atomic(func(tx *core.Tx) error {
-		preds := make([]*slNode, skipMaxLevel)
-		succs := make([]*slNode, skipMaxLevel)
+	must(s.tm.AtomicAs(core.Def, func(tx *core.Tx) error {
+		var predsArr, succsArr [skipMaxLevel]*slNode
+		preds, succs := predsArr[:], succsArr[:]
 		if err := s.search(tx, key, preds, succs); err != nil {
 			return err
 		}
@@ -162,7 +164,7 @@ func (s *TSkipList) Remove(key uint64) bool {
 		}
 		removed = true
 		return core.Modify(tx, s.size, func(v int) int { return v - 1 })
-	}, core.WithSemantics(core.Def)))
+	}))
 	return removed
 }
 

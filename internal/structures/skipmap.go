@@ -107,8 +107,11 @@ func (m *TSkipMap) GetTx(tx *core.Tx, key string) (string, bool, error) {
 // PutTx inserts or overwrites key inside tx, reporting whether the key
 // already existed.
 func (m *TSkipMap) PutTx(tx *core.Tx, key, val string) (bool, error) {
-	preds := make([]*smNode, skipMaxLevel)
-	succs := make([]*smNode, skipMaxLevel)
+	// The per-level search results live on the stack: search only fills
+	// the slices, so they never escape and the per-op make()s this path
+	// used to pay are gone.
+	var predsArr, succsArr [skipMaxLevel]*smNode
+	preds, succs := predsArr[:], succsArr[:]
 	if _, err := m.search(tx, key, preds, succs); err != nil {
 		return false, err
 	}
@@ -130,8 +133,8 @@ func (m *TSkipMap) PutTx(tx *core.Tx, key, val string) (bool, error) {
 
 // DeleteTx removes key inside tx, reporting whether it was present.
 func (m *TSkipMap) DeleteTx(tx *core.Tx, key string) (bool, error) {
-	preds := make([]*smNode, skipMaxLevel)
-	succs := make([]*smNode, skipMaxLevel)
+	var predsArr, succsArr [skipMaxLevel]*smNode
+	preds, succs := predsArr[:], succsArr[:]
 	if _, err := m.search(tx, key, preds, succs); err != nil {
 		return false, err
 	}
@@ -269,33 +272,33 @@ func (m *TSkipMap) RebuildTx(tx *core.Tx) (int, error) {
 func (m *TSkipMap) Get(key string, sem core.Semantics) (string, bool) {
 	var val string
 	var ok bool
-	must(m.tm.Atomic(func(tx *core.Tx) error {
+	must(m.tm.AtomicAs(sem, func(tx *core.Tx) error {
 		var err error
 		val, ok, err = m.GetTx(tx, key)
 		return err
-	}, core.WithSemantics(sem)))
+	}))
 	return val, ok
 }
 
 // Put is the one-shot form of PutTx under semantics sem.
 func (m *TSkipMap) Put(key, val string, sem core.Semantics) bool {
 	var existed bool
-	must(m.tm.Atomic(func(tx *core.Tx) error {
+	must(m.tm.AtomicAs(sem, func(tx *core.Tx) error {
 		var err error
 		existed, err = m.PutTx(tx, key, val)
 		return err
-	}, core.WithSemantics(sem)))
+	}))
 	return existed
 }
 
 // Delete is the one-shot form of DeleteTx under semantics sem.
 func (m *TSkipMap) Delete(key string, sem core.Semantics) bool {
 	var removed bool
-	must(m.tm.Atomic(func(tx *core.Tx) error {
+	must(m.tm.AtomicAs(sem, func(tx *core.Tx) error {
 		var err error
 		removed, err = m.DeleteTx(tx, key)
 		return err
-	}, core.WithSemantics(sem)))
+	}))
 	return removed
 }
 
@@ -303,23 +306,23 @@ func (m *TSkipMap) Delete(key string, sem core.Semantics) bool {
 // the visited pairs.
 func (m *TSkipMap) Range(from, to string, limit int, sem core.Semantics) []KV {
 	var out []KV
-	must(m.tm.Atomic(func(tx *core.Tx) error {
+	must(m.tm.AtomicAs(sem, func(tx *core.Tx) error {
 		out = out[:0]
 		return m.RangeTx(tx, from, to, limit, func(k, v string) bool {
 			out = append(out, KV{Key: k, Val: v})
 			return true
 		})
-	}, core.WithSemantics(sem)))
+	}))
 	return out
 }
 
 // Len returns the element count (snapshot read; never aborts).
 func (m *TSkipMap) Len() int {
 	var n int
-	must(m.tm.Atomic(func(tx *core.Tx) error {
+	must(m.tm.AtomicAs(core.Snapshot, func(tx *core.Tx) error {
 		var err error
 		n, err = m.LenTx(tx)
 		return err
-	}, core.WithSemantics(core.Snapshot)))
+	}))
 	return n
 }

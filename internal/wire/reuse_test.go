@@ -1,0 +1,199 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestReadFrameBufLimits proves the reusable-buffer read path keeps
+// exactly ReadFrame's rejection behaviour on hostile input: an oversize
+// announced length is refused before any buffer is grown, a truncated
+// body surfaces ErrUnexpectedEOF, and a clean EOF stays io.EOF — with a
+// pre-sized reuse buffer in play in every case.
+func TestReadFrameBufLimits(t *testing.T) {
+	reuse := make([]byte, 0, 256)
+
+	// Oversize frame.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrameBuf(bufio.NewReader(bytes.NewReader(buf.Bytes())), reuse, 50); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversize frame error = %v, want ErrFrameTooLarge", err)
+	}
+
+	// Truncated frame body.
+	raw := buf.Bytes()[:20]
+	if _, err := ReadFrameBuf(bufio.NewReader(bytes.NewReader(raw)), reuse, 0); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated frame error = %v, want ErrUnexpectedEOF", err)
+	}
+
+	// Truncated header.
+	if _, err := ReadFrameBuf(bufio.NewReader(bytes.NewReader(raw[:2])), reuse, 0); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated header error = %v, want ErrUnexpectedEOF", err)
+	}
+
+	// Clean EOF at a frame boundary.
+	if _, err := ReadFrameBuf(bufio.NewReader(bytes.NewReader(nil)), reuse, 0); !errors.Is(err, io.EOF) {
+		t.Errorf("empty stream error = %v, want EOF", err)
+	}
+
+	// A hostile announced length larger than maxFrame must not grow the
+	// reuse buffer: the length check runs before any allocation.
+	small := make([]byte, 0, 8)
+	hostile := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrameBuf(bufio.NewReader(bytes.NewReader(hostile)), small, 1<<20); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("hostile length error = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestReadFrameBufReuse streams frames of varying sizes through one
+// reuse buffer and checks contents, growth-only-when-needed, and
+// aliasing (a frame that fits returns a view of the same storage).
+func TestReadFrameBufReuse(t *testing.T) {
+	var buf bytes.Buffer
+	sizes := []int{100, 10, 0, 200, 50}
+	for i, n := range sizes {
+		if err := WriteFrame(&buf, bytes.Repeat([]byte{byte('a' + i)}, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	var frame []byte
+	for i, n := range sizes {
+		var err error
+		prevCap := cap(frame)
+		frame, err = ReadFrameBuf(br, frame, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(frame) != n {
+			t.Fatalf("frame %d: len = %d, want %d", i, len(frame), n)
+		}
+		if !bytes.Equal(frame, bytes.Repeat([]byte{byte('a' + i)}, n)) {
+			t.Fatalf("frame %d: content mismatch", i)
+		}
+		if n <= prevCap && cap(frame) != prevCap {
+			t.Fatalf("frame %d: buffer reallocated (cap %d -> %d) though %d bytes fit", i, prevCap, cap(frame), n)
+		}
+	}
+	if _, err := ReadFrameBuf(br, frame, 0); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF after last frame, got %v", err)
+	}
+}
+
+// TestDecodeRequestIntoHostile drives the in-place decoder over the
+// same hostile corpus as DecodeRequest — a reused Request must reject
+// exactly what a fresh one rejects.
+func TestDecodeRequestIntoHostile(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+		wantErr error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"op only", []byte{byte(OpGet)}, ErrTruncated},
+		{"bad op", []byte{99, SemDefault}, ErrBadOp},
+		{"bad sem", []byte{byte(OpGet), 7}, ErrBadSemantics},
+		{"truncated key", []byte{byte(OpGet), SemDefault, 5, 'a'}, ErrTruncated},
+		{"txn bad subop", []byte{byte(OpTxn), SemDefault, 1, byte(OpFlush)}, ErrBadSubOp},
+		{"mget absurd count", append([]byte{byte(OpMGet), SemDefault}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01), ErrTruncated},
+	}
+	var req Request
+	// Pre-populate the reused request with a rich decode so stale state
+	// is available to leak.
+	seed, err := AppendRequest(nil, &Request{Op: OpMGet, Sem: SemDefault,
+		Keys: [][]byte{[]byte("k1"), []byte("k2"), []byte("k3")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeRequestInto(&req, seed); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		if err := DecodeRequestInto(&req, c.payload); !errors.Is(err, c.wantErr) {
+			t.Errorf("%s: DecodeRequestInto error = %v, want %v", c.name, err, c.wantErr)
+		}
+	}
+	// Trailing bytes are an error too.
+	payload, err := AppendRequest(nil, &Request{Op: OpGet, Sem: SemDefault, Key: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeRequestInto(&req, append(payload, 0)); err == nil {
+		t.Error("DecodeRequestInto accepted trailing bytes")
+	}
+}
+
+// TestDecodeRequestIntoNoStaleState decodes frames of shrinking shapes
+// through one reused Request and checks nothing from an earlier decode
+// survives into a later one.
+func TestDecodeRequestIntoNoStaleState(t *testing.T) {
+	var req Request
+
+	enc := func(r *Request) []byte {
+		p, err := AppendRequest(nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// 1: a TXN batch with three sub-ops.
+	p := enc(&Request{Op: OpTxn, Sem: SemDefault, Batch: []Request{
+		{Op: OpSet, Key: []byte("a"), Val: []byte("1")},
+		{Op: OpCAS, Key: []byte("b"), Old: []byte("x"), Val: []byte("y")},
+		{Op: OpDel, Key: []byte("c")},
+	}})
+	if err := DecodeRequestInto(&req, p); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Batch) != 3 || req.Batch[1].Op != OpCAS || string(req.Batch[1].Old) != "x" {
+		t.Fatalf("txn decode: %+v", req)
+	}
+
+	// 2: a smaller TXN — the third stale sub-entry must be gone, and a
+	// reused DEL entry must not keep the CAS entry's Old/Val.
+	p = enc(&Request{Op: OpTxn, Sem: SemDefault, Batch: []Request{
+		{Op: OpGet, Key: []byte("g")},
+		{Op: OpDel, Key: []byte("d")},
+	}})
+	if err := DecodeRequestInto(&req, p); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Batch) != 2 {
+		t.Fatalf("batch len = %d, want 2", len(req.Batch))
+	}
+	if req.Batch[0].Val != nil || req.Batch[0].Old != nil || req.Batch[1].Val != nil || req.Batch[1].Old != nil {
+		t.Fatalf("stale sub-op fields survived reuse: %+v", req.Batch)
+	}
+
+	// 3: an MGET, then a plain GET — Keys and Batch must both reset.
+	p = enc(&Request{Op: OpMGet, Sem: SemDefault, Keys: [][]byte{[]byte("k1"), []byte("k2")}})
+	if err := DecodeRequestInto(&req, p); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Keys) != 2 || len(req.Batch) != 0 {
+		t.Fatalf("mget decode: keys=%d batch=%d", len(req.Keys), len(req.Batch))
+	}
+	p = enc(&Request{Op: OpGet, Sem: SemDefault, Key: []byte("solo")})
+	if err := DecodeRequestInto(&req, p); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Keys) != 0 || len(req.Batch) != 0 || string(req.Key) != "solo" {
+		t.Fatalf("get after mget: %+v", req)
+	}
+
+	// 4: a failed decode must not be executable as the previous request:
+	// Op is reset before parsing, so a truncated frame leaves a request
+	// that no longer claims to be the old opcode with the old fields.
+	if err := DecodeRequestInto(&req, []byte{byte(OpSet), SemDefault, 3, 'a'}); err == nil {
+		t.Fatal("truncated SET decoded")
+	}
+	if string(req.Key) == "solo" {
+		t.Fatal("failed decode kept the previous request's key")
+	}
+}

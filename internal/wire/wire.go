@@ -302,8 +302,23 @@ func WriteFrame(w io.Writer, payload []byte) error {
 }
 
 // ReadFrame reads one frame payload from br, refusing frames larger than
-// maxFrame (<= 0 means MaxFrame).
+// maxFrame (<= 0 means MaxFrame). The payload is freshly allocated; a
+// loop that processes each frame before reading the next should use
+// ReadFrameBuf with a reusable buffer instead.
 func ReadFrame(br *bufio.Reader, maxFrame int) ([]byte, error) {
+	return ReadFrameBuf(br, nil, maxFrame)
+}
+
+// ReadFrameBuf is ReadFrame with caller-owned payload storage: the
+// frame is read into buf (grown only when the payload exceeds its
+// capacity) and the filled slice, which aliases buf's storage, is
+// returned. The caller passes the returned slice back on the next call
+// and must be done with a payload before reading the next frame into
+// it. Rejection behaviour is identical to ReadFrame — the frame length
+// is validated against maxFrame BEFORE any buffer is grown, so a
+// hostile length cannot force an allocation, and a truncated body
+// surfaces io.ErrUnexpectedEOF.
+func ReadFrameBuf(br *bufio.Reader, buf []byte, maxFrame int) ([]byte, error) {
 	if maxFrame <= 0 {
 		maxFrame = MaxFrame
 	}
@@ -315,7 +330,12 @@ func ReadFrame(br *bufio.Reader, maxFrame int) ([]byte, error) {
 	if n > uint32(maxFrame) {
 		return nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if uint32(cap(buf)) >= n {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(br, payload); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
@@ -323,6 +343,34 @@ func ReadFrame(br *bufio.Reader, maxFrame int) ([]byte, error) {
 		return nil, err
 	}
 	return payload, nil
+}
+
+// AppendRequestFrame appends r's complete frame — 4-byte length prefix
+// plus payload — to dst, so a pipelined batch can be encoded into one
+// reusable buffer and written with a single Write. On error dst is
+// returned truncated to its original length.
+func AppendRequestFrame(dst []byte, r *Request) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	out, err := AppendRequest(dst, r)
+	if err != nil {
+		return dst[:start], err
+	}
+	binary.BigEndian.PutUint32(out[start:], uint32(len(out)-start-4))
+	return out, nil
+}
+
+// AppendResponseFrame appends the complete response frame (length
+// prefix plus status | body) answering opcode op to dst.
+func AppendResponseFrame(dst []byte, op Op, r *Response) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	out, err := AppendResponse(dst, op, r)
+	if err != nil {
+		return dst[:start], err
+	}
+	binary.BigEndian.PutUint32(out[start:], uint32(len(out)-start-4))
+	return out, nil
 }
 
 // ---- request codec ----
@@ -414,7 +462,9 @@ func decodeRequestBody(rd *reader, r *Request) error {
 		if err != nil {
 			return err
 		}
-		r.Keys = make([][]byte, 0, prealloc(n))
+		// Grown by append from the (possibly reused) slice, never
+		// preallocated from the declared count: a hostile count cannot
+		// reserve memory beyond what its elements actually decode to.
 		for i := 0; i < n; i++ {
 			k, err := rd.bytes()
 			if err != nil {
@@ -427,7 +477,6 @@ func decodeRequestBody(rd *reader, r *Request) error {
 		if err != nil {
 			return err
 		}
-		r.Batch = make([]Request, 0, prealloc(n))
 		for i := 0; i < n; i++ {
 			op, err := rd.byte1()
 			if err != nil {
@@ -438,11 +487,22 @@ func decodeRequestBody(rd *reader, r *Request) error {
 			default:
 				return ErrBadSubOp
 			}
-			sub := Request{Op: Op(op), Sem: SemDefault}
-			if err := decodeRequestBody(rd, &sub); err != nil {
+			// Reuse a retained sub-entry when the batch slice has the
+			// capacity (sub-ops never nest, so only the flat fields
+			// need scrubbing).
+			var sub *Request
+			if m := len(r.Batch); m < cap(r.Batch) {
+				r.Batch = r.Batch[:m+1]
+				sub = &r.Batch[m]
+				sub.Op, sub.Sem = Op(op), SemDefault
+				sub.Key, sub.Val, sub.Old = nil, nil, nil
+			} else {
+				r.Batch = append(r.Batch, Request{Op: Op(op), Sem: SemDefault})
+				sub = &r.Batch[m]
+			}
+			if err := decodeRequestBody(rd, sub); err != nil {
 				return err
 			}
-			r.Batch = append(r.Batch, sub)
 		}
 	case OpStats, OpFlush, OpRebuild:
 		// empty body
@@ -452,31 +512,47 @@ func decodeRequestBody(rd *reader, r *Request) error {
 	return err
 }
 
-// DecodeRequest parses one request payload.
+// DecodeRequest parses one request payload into a fresh Request.
 func DecodeRequest(payload []byte) (*Request, error) {
-	rd := &reader{buf: payload}
-	op, err := rd.byte1()
-	if err != nil {
-		return nil, err
-	}
-	sem, err := rd.byte1()
-	if err != nil {
-		return nil, err
-	}
-	r := &Request{Op: Op(op), Sem: sem}
-	if !r.Op.Valid() {
-		return nil, ErrBadOp
-	}
-	if sem != SemDefault && !stm.Semantics(sem).Valid() {
-		return nil, ErrBadSemantics
-	}
-	if err := decodeRequestBody(rd, r); err != nil {
-		return nil, err
-	}
-	if err := rd.done(); err != nil {
+	r := new(Request)
+	if err := DecodeRequestInto(r, payload); err != nil {
 		return nil, err
 	}
 	return r, nil
+}
+
+// DecodeRequestInto parses one request payload into r, reusing r's
+// slice storage (MGET key lists, TXN sub-request entries) across calls
+// — the decode path of a connection loop that keeps one Request per
+// connection. All of r's request fields are reset first; on error r
+// holds partially decoded state and must not be executed. The decoded
+// fields alias payload, so r is only valid while the payload buffer is.
+func DecodeRequestInto(r *Request, payload []byte) error {
+	r.Key, r.Val, r.Old = nil, nil, nil
+	r.From, r.To = nil, nil
+	r.Limit = 0
+	r.Keys = r.Keys[:0]
+	r.Batch = r.Batch[:0]
+	rd := &reader{buf: payload}
+	op, err := rd.byte1()
+	if err != nil {
+		return err
+	}
+	sem, err := rd.byte1()
+	if err != nil {
+		return err
+	}
+	r.Op, r.Sem = Op(op), sem
+	if !r.Op.Valid() {
+		return ErrBadOp
+	}
+	if sem != SemDefault && !stm.Semantics(sem).Valid() {
+		return ErrBadSemantics
+	}
+	if err := decodeRequestBody(rd, r); err != nil {
+		return err
+	}
+	return rd.done()
 }
 
 // ---- response codec ----

@@ -16,46 +16,75 @@ func MixedVars(e *stm.Engine, n int) []*stm.Var {
 // number.
 func MixedSeed(worker uint64) uint64 { return worker*0x9E3779B97F4A7C15 + 1 }
 
-// MixedStep runs one operation of the standard mixed-semantics engine
-// workload — the paper's polymorphism exercised as a load profile: 3/8
-// def read-modify-write pairs, 3/8 weak elastic walks, 1/8 snapshot
-// read-only scans, 1/8 irrevocable single writes. r is the worker's
-// RNG state (advanced in place); op is the worker's operation counter.
-// Both cmd/polybench's -bench scale and BenchmarkScalabilityMixed run
-// exactly this step, so their numbers stay comparable.
-func MixedStep(e *stm.Engine, vars []*stm.Var, r *uint64, op int) {
-	*r = *r*6364136223846793005 + 1442695040888963407
-	i, j := int(*r>>33)%len(vars), int(*r>>45)%len(vars)
-	switch op % 8 {
-	case 0, 1, 2: // def read-modify-write pair
-		_ = e.Run(stm.SemanticsDef, func(tx *stm.Txn) error {
-			v, err := tx.Read(vars[i])
-			if err != nil {
+// MixedWorker is one worker of the standard mixed-semantics engine
+// workload, with its transaction bodies bound once at construction so
+// the per-operation cost is the engine's alone (the earlier stateless
+// step function rebuilt four capturing closures on every call, charging
+// the benchmark an allocation per operation that had nothing to do with
+// the engine under test). Both cmd/polybench's -bench scale and
+// BenchmarkScalabilityMixed run exactly this worker, so their numbers
+// stay comparable.
+type MixedWorker struct {
+	e    *stm.Engine
+	vars []*stm.Var
+	r    uint64
+	op   int
+	i, j int
+
+	defBody  func(*stm.Txn) error
+	weakBody func(*stm.Txn) error
+	snapBody func(*stm.Txn) error
+	irrBody  func(*stm.Txn) error
+}
+
+// NewMixedWorker builds a worker over vars with RNG state seed
+// (typically MixedSeed(worker)).
+func NewMixedWorker(e *stm.Engine, vars []*stm.Var, seed uint64) *MixedWorker {
+	w := &MixedWorker{e: e, vars: vars, r: seed}
+	w.defBody = func(tx *stm.Txn) error {
+		v, err := tx.Read(w.vars[w.i])
+		if err != nil {
+			return err
+		}
+		return tx.Write(w.vars[w.j], v)
+	}
+	w.weakBody = func(tx *stm.Txn) error {
+		for k := 0; k < 8; k++ {
+			if _, err := tx.Read(w.vars[(w.i+k)%len(w.vars)]); err != nil {
 				return err
 			}
-			return tx.Write(vars[j], v)
-		})
-	case 3, 4, 5: // weak elastic walk over a stretch
-		_ = e.Run(stm.SemanticsWeak, func(tx *stm.Txn) error {
-			for k := 0; k < 8; k++ {
-				if _, err := tx.Read(vars[(i+k)%len(vars)]); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-	case 6: // snapshot read-only scan
-		_ = e.Run(stm.SemanticsSnapshot, func(tx *stm.Txn) error {
-			for k := 0; k < 8; k++ {
-				if _, err := tx.Read(vars[(j+k)%len(vars)]); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-	default: // irrevocable single write
-		_ = e.Run(stm.SemanticsIrrevocable, func(tx *stm.Txn) error {
-			return tx.Write(vars[i], op)
-		})
+		}
+		return nil
 	}
+	w.snapBody = func(tx *stm.Txn) error {
+		for k := 0; k < 8; k++ {
+			if _, err := tx.Read(w.vars[(w.j+k)%len(w.vars)]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	w.irrBody = func(tx *stm.Txn) error {
+		return tx.Write(w.vars[w.i], w.op)
+	}
+	return w
+}
+
+// Step runs one operation of the mixed workload: 3/8 def
+// read-modify-write pairs, 3/8 weak elastic walks, 1/8 snapshot
+// read-only scans, 1/8 irrevocable single writes.
+func (w *MixedWorker) Step() {
+	w.r = w.r*6364136223846793005 + 1442695040888963407
+	w.i, w.j = int(w.r>>33)%len(w.vars), int(w.r>>45)%len(w.vars)
+	switch w.op % 8 {
+	case 0, 1, 2:
+		_ = w.e.Run(stm.SemanticsDef, w.defBody)
+	case 3, 4, 5:
+		_ = w.e.Run(stm.SemanticsWeak, w.weakBody)
+	case 6:
+		_ = w.e.Run(stm.SemanticsSnapshot, w.snapBody)
+	default:
+		_ = w.e.Run(stm.SemanticsIrrevocable, w.irrBody)
+	}
+	w.op++
 }
