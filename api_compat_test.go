@@ -1,0 +1,47 @@
+package polytm
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestAPICompat is the public-API golden check: the `go doc` rendering
+// of package polytm must match the committed snapshot, so any API drift
+// — a renamed function, a changed signature, a dropped re-export —
+// shows up as an explicit diff in review instead of a silent change.
+//
+// To regenerate after an INTENTIONAL API change:
+//
+//	go doc . > testdata/api_golden.txt
+func TestAPICompat(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	out, err := exec.Command(goBin, "doc", ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go doc .: %v\n%s", err, out)
+	}
+	want, err := os.ReadFile("testdata/api_golden.txt")
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with `go doc . > testdata/api_golden.txt`)", err)
+	}
+	got := normalizeDoc(string(out))
+	if got != normalizeDoc(string(want)) {
+		t.Errorf("public API drifted from testdata/api_golden.txt.\n"+
+			"If the change is intentional, regenerate: go doc . > testdata/api_golden.txt\n\n--- got ---\n%s", got)
+	}
+}
+
+// normalizeDoc strips trailing whitespace per line and trailing blank
+// lines so formatting-only differences between go versions don't trip
+// the check.
+func normalizeDoc(s string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = strings.TrimRight(lines[i], " \t")
+	}
+	return strings.TrimRight(strings.Join(lines, "\n"), "\n")
+}

@@ -48,11 +48,13 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"polytm/internal/baseline"
@@ -69,6 +71,17 @@ import (
 // shutdownContext bounds a loopback server teardown.
 func shutdownContext() (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), 5*time.Second)
+}
+
+// sleepCtx sleeps the measurement window, waking early when ctx is
+// cancelled (Ctrl-C mid-benchmark).
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
 }
 
 // semRecord is the per-semantics-class slice of a JSON record.
@@ -238,37 +251,52 @@ func main() {
 	base := harness.Config{Duration: *dur, Mix: mix, Seed: *seed}
 	rep := &report{json: *jsonOut, allocs: *allocs}
 
-	switch *bench {
-	case "list":
-		benchList(rep, base, workers)
-	case "hash":
-		benchHash(rep, base, workers, *resizeEvery)
-	case "skip":
-		benchSkip(rep, base, workers)
-	case "scan":
-		benchScan(rep, base, workers)
-	case "cm":
-		benchCM(rep, base, workers)
-	case "scale":
-		benchScale(rep, base, workers, *shards)
-	case "server":
-		benchServer(rep, base, workers, *shards, *getPct, *scanPct, *scanLimit)
-	case "all":
-		benchList(rep, base, workers)
-		benchHash(rep, base, workers, *resizeEvery)
-		benchSkip(rep, base, workers)
-		benchScan(rep, base, workers)
-		benchCM(rep, base, workers)
-		benchScale(rep, base, workers, *shards)
-		benchServer(rep, base, workers, *shards, *getPct, *scanPct, *scanLimit)
-	default:
-		fmt.Fprintf(os.Stderr, "polybench: unknown bench %q (valid: list, hash, skip, scan, cm, scale, server, all)\n", *bench)
+	// Ctrl-C (or SIGTERM) cancels the whole run through the same context
+	// plumbing the engine exposes: measurement sleeps wake, worker loops
+	// drain, the loopback server's Shutdown cancels its in-flight
+	// transactions, and whatever rows completed are still reported. A
+	// second signal falls back to the runtime's immediate exit.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// One source of truth for the bench catalogue: "all" runs the slice
+	// in order, a named bench is looked up in it, and the usage string
+	// is derived from it.
+	benches := []struct {
+		name string
+		run  func()
+	}{
+		{"list", func() { benchList(ctx, rep, base, workers) }},
+		{"hash", func() { benchHash(ctx, rep, base, workers, *resizeEvery) }},
+		{"skip", func() { benchSkip(ctx, rep, base, workers) }},
+		{"scan", func() { benchScan(ctx, rep, base, workers) }},
+		{"cm", func() { benchCM(ctx, rep, base, workers) }},
+		{"scale", func() { benchScale(ctx, rep, base, workers, *shards) }},
+		{"server", func() { benchServer(ctx, rep, base, workers, *shards, *getPct, *scanPct, *scanLimit) }},
+	}
+	ran := false
+	var names []string
+	for _, b := range benches {
+		names = append(names, b.name)
+		if *bench == "all" && ctx.Err() == nil {
+			b.run()
+			ran = true
+		} else if *bench == b.name {
+			b.run()
+			ran = true
+		}
+	}
+	if !ran && !(*bench == "all" && ctx.Err() != nil) {
+		fmt.Fprintf(os.Stderr, "polybench: unknown bench %q (valid: %s, all)\n", *bench, strings.Join(names, ", "))
 		os.Exit(2)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "polybench: interrupted — reporting completed rows")
 	}
 	rep.flush()
 }
 
-func benchList(rep *report, base harness.Config, workers []int) {
+func benchList(ctx context.Context, rep *report, base harness.Config, workers []int) {
 	title := fmt.Sprintf("B1: sorted-list integer set, %d%% updates, range %d",
 		base.Mix.UpdatePct, base.Mix.KeyRange)
 	var rows []harness.Result
@@ -280,6 +308,9 @@ func benchList(rep *report, base harness.Config, workers []int) {
 		"stm-poly (weak)":     func() workload.IntSet { return structures.NewTList(core.NewDefault(), core.Weak) },
 	}
 	for _, name := range []string{"coarse-lock", "lazy-lock (tuned)", "lock-free (Michael)", "stm-mono (def)", "stm-poly (weak)"} {
+		if ctx.Err() != nil {
+			break
+		}
 		cfg := base
 		cfg.Name = name
 		rows = append(rows, harness.Sweep(mk[name], cfg, workers)...)
@@ -290,11 +321,14 @@ func benchList(rep *report, base harness.Config, workers []int) {
 	rep.printf("%s", harness.Table(title, rows))
 }
 
-func benchHash(rep *report, base harness.Config, workers []int, every time.Duration) {
+func benchHash(ctx context.Context, rep *report, base harness.Config, workers []int, every time.Duration) {
 	title := fmt.Sprintf("B2: hash set with background resize every %v, %d%% updates, range %d",
 		every, base.Mix.UpdatePct, base.Mix.KeyRange)
 	var rows []harness.Result
 	for _, w := range workers {
+		if ctx.Err() != nil {
+			break
+		}
 		cfg := base
 		cfg.Workers = w
 		cfg.ResizeEvery = every
@@ -335,7 +369,7 @@ func benchHash(rep *report, base harness.Config, workers []int, every time.Durat
 	rep.printf("%s", harness.Table(title, rows))
 }
 
-func benchSkip(rep *report, base harness.Config, workers []int) {
+func benchSkip(ctx context.Context, rep *report, base harness.Config, workers []int) {
 	title := fmt.Sprintf("B3: skip-list integer set, %d%% updates, range %d",
 		base.Mix.UpdatePct, base.Mix.KeyRange)
 	var rows []harness.Result
@@ -347,6 +381,9 @@ func benchSkip(rep *report, base harness.Config, workers []int) {
 		{"stm-mono (def)", func() workload.IntSet { return structures.NewTSkipList(core.NewDefault(), core.Def) }},
 		{"stm-poly (weak search)", func() workload.IntSet { return structures.NewTSkipList(core.NewDefault(), core.Weak) }},
 	} {
+		if ctx.Err() != nil {
+			break
+		}
 		cfg := base
 		cfg.Name = spec.name
 		rows = append(rows, harness.Sweep(spec.mk, cfg, workers)...)
@@ -359,10 +396,13 @@ func benchSkip(rep *report, base harness.Config, workers []int) {
 
 // benchScan measures full-structure scans concurrent with writers under
 // def vs snapshot semantics (B4).
-func benchScan(rep *report, base harness.Config, workers []int) {
+func benchScan(ctx context.Context, rep *report, base harness.Config, workers []int) {
 	rep.printf("== B4: full-list scans under concurrent writers ==\n")
 	for _, w := range workers {
 		for _, sem := range []core.Semantics{core.Def, core.Snapshot} {
+			if ctx.Err() != nil {
+				return
+			}
 			tm := core.NewDefault()
 			l := structures.NewTList(tm, core.Weak)
 			for k := uint64(0); k < base.Mix.KeyRange; k += 2 {
@@ -399,7 +439,7 @@ func benchScan(rep *report, base harness.Config, workers []int) {
 				}
 			}()
 			start := time.Now()
-			time.Sleep(base.Duration)
+			sleepCtx(ctx, base.Duration)
 			close(stop)
 			<-done
 			el := time.Since(start)
@@ -427,9 +467,12 @@ func scanList(tm *core.TM, l *structures.TList, sem core.Semantics) uint64 {
 // a load profile — directly against one engine, across worker counts.
 // It is the experiment the sharded engine state (striped stats, sharded
 // live/snapshot registries, batched id allocation) exists for.
-func benchScale(rep *report, base harness.Config, workers []int, shards int) {
+func benchScale(ctx context.Context, rep *report, base harness.Config, workers []int, shards int) {
 	printedHeader := false
 	for _, w := range workers {
+		if ctx.Err() != nil {
+			return
+		}
 		e := stm.NewEngine(stm.Config{Shards: shards})
 		if !printedHeader {
 			rep.printf("== B7: mixed-semantics engine scalability (shards=%d) ==\n", e.Shards())
@@ -459,7 +502,7 @@ func benchScale(rep *report, base harness.Config, workers []int, shards int) {
 		m0 := readMem()
 		start := time.Now()
 		close(ready)
-		time.Sleep(base.Duration)
+		sleepCtx(ctx, base.Duration)
 		close(stop)
 		var total uint64
 		for i := 0; i < w; i++ {
@@ -477,7 +520,7 @@ func benchScale(rep *report, base harness.Config, workers []int, shards int) {
 
 // benchCM is the contention-manager ablation (B5): a high-contention
 // counter array under each manager.
-func benchCM(rep *report, base harness.Config, workers []int) {
+func benchCM(ctx context.Context, rep *report, base harness.Config, workers []int) {
 	rep.printf("== B5: contention-manager ablation (8-counter hotspot) ==\n")
 	cms := []struct {
 		name string
@@ -492,6 +535,9 @@ func benchCM(rep *report, base harness.Config, workers []int) {
 	}
 	for _, w := range workers {
 		for _, cm := range cms {
+			if ctx.Err() != nil {
+				return
+			}
 			tm := core.NewDefault()
 			vars := make([]*core.TVar[int], 8)
 			for i := range vars {
@@ -528,7 +574,7 @@ func benchCM(rep *report, base harness.Config, workers []int) {
 				}(uint64(i + 1))
 			}
 			start := time.Now()
-			time.Sleep(base.Duration)
+			sleepCtx(ctx, base.Duration)
 			close(stop)
 			var total uint64
 			for i := 0; i < w; i++ {
@@ -549,13 +595,16 @@ func benchCM(rep *report, base harness.Config, workers []int) {
 // per second; the per-semantics abort breakdown from the engine's
 // sharded stats shows the polymorphic mapping at work (snapshot GETs
 // never abort regardless of write pressure).
-func benchServer(rep *report, base harness.Config, workers []int, shards, getPct, scanPct int, scanLimit uint64) {
+func benchServer(ctx context.Context, rep *report, base harness.Config, workers []int, shards, getPct, scanPct int, scanLimit uint64) {
 	rep.printf("== B8: polyserve loopback, %d%% GET / %d%% SCAN / %d%% SET, range %d ==\n",
 		getPct, scanPct, 100-getPct-scanPct, base.Mix.KeyRange)
 	key := func(k uint64) []byte {
 		return []byte(fmt.Sprintf("k%08d", k%base.Mix.KeyRange))
 	}
 	for _, w := range workers {
+		if ctx.Err() != nil {
+			return
+		}
 		srv := server.New(server.Config{Shards: shards})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -625,7 +674,7 @@ func benchServer(rep *report, base harness.Config, workers []int, shards, getPct
 		m0 := readMem()
 		start := time.Now()
 		close(ready)
-		time.Sleep(base.Duration)
+		sleepCtx(ctx, base.Duration)
 		close(stop)
 		wg.Wait()
 		el := time.Since(start)

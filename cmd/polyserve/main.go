@@ -10,8 +10,10 @@
 //	polyserve -addr :7535 -shards 0 -nesting strongest -max-conns 1024
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops
-// accepting, lets in-flight requests complete, and force-closes
-// stragglers after -drain.
+// accepting, lets in-flight requests complete, and after -drain cancels
+// the in-flight transactions through the context plumbing (they abort
+// cleanly, nothing half-commits) before force-closing stragglers. A
+// second signal during the drain skips straight to that cancellation.
 package main
 
 import (
@@ -72,21 +74,33 @@ func main() {
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	// First SIGINT/SIGTERM starts the graceful drain; the drain context
+	// expires either after -drain or on a second signal, at which point
+	// Shutdown cancels the in-flight transactions through the context
+	// plumbing and force-closes what remains. A third signal falls back
+	// to the runtime's default handling (immediate exit).
+	runCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	select {
-	case s := <-sig:
-		log.Printf("polyserve: %v — draining (timeout %v)", s, *drain)
-		ctx, cancel := context.WithTimeout(context.Background(), *drain)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
+	case <-runCtx.Done():
+		stop() // re-arm signals: the next one cuts the drain short
+		log.Printf("polyserve: signal — draining (timeout %v; signal again to cancel in-flight transactions)", *drain)
+		sdCtx, cancelSd := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer cancelSd()
+		sdCtx, cancelTimeout := context.WithTimeout(sdCtx, *drain)
+		defer cancelTimeout()
+		forced := false
+		if err := srv.Shutdown(sdCtx); err != nil {
 			log.Printf("polyserve: %v", err)
-			os.Exit(1)
+			forced = true
 		}
 		<-done
 		stats := srv.TM().Stats()
 		log.Printf("polyserve: bye — %s", stats.String())
 		log.Printf("polyserve: per-semantics — %s", stats.PerSemString())
+		if forced {
+			os.Exit(1) // an unclean (forced) drain is not a clean exit
+		}
 	case err := <-done:
 		if err != nil && err != server.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "polyserve: serve: %v\n", err)

@@ -1,0 +1,86 @@
+// Cancellation: the context-first transaction lifecycle end to end —
+// a blocked consumer woken by a deadline, backoff interrupted
+// mid-sleep, per-transaction attempt bounds, typed abort errors
+// inspected with errors.Is/errors.As, and an Observer watching every
+// commit, abort and Retry-wait in the process.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"polytm"
+	"polytm/internal/stm"
+	"polytm/internal/structures"
+)
+
+// tally is a TM-wide Observer: every transaction reports its outcome
+// here — the hook a metrics exporter would use.
+type tally struct {
+	commits, aborts, waits atomic.Int64
+}
+
+func (t *tally) OnCommit(ev polytm.TxnEvent) { t.commits.Add(1) }
+func (t *tally) OnAbort(ev polytm.TxnEvent)  { t.aborts.Add(1) }
+func (t *tally) OnWait(ev polytm.TxnEvent)   { t.waits.Add(1) }
+
+func main() {
+	obs := &tally{}
+	tm := polytm.NewWithConfig(polytm.Config{Observer: obs})
+
+	// 1. A consumer parked on an empty queue is woken by its deadline,
+	// not by data: the Retry combinator's wait is a cancellation point,
+	// so a dead request never holds a goroutine hostage.
+	q := structures.NewTQueue[string](tm)
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	start := time.Now()
+	_, err := q.DequeueBlockingCtx(ctx)
+	cancel()
+	fmt.Printf("1. parked consumer released after %v: ErrCancelled=%v DeadlineExceeded=%v\n",
+		time.Since(start).Round(time.Millisecond),
+		errors.Is(err, polytm.ErrCancelled), errors.Is(err, context.DeadlineExceeded))
+
+	// ...while a consumer whose context stays alive is woken by data.
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		q.Enqueue("payload")
+	}()
+	v, err := q.DequeueBlockingCtx(context.Background())
+	fmt.Printf("1b. live consumer got %q (err=%v)\n", v, err)
+
+	// 2. Cancellation interrupts a contention manager's backoff sleep:
+	// this transaction aborts with a conflict every attempt and its
+	// backoff manager sleeps between attempts, yet the deadline holds.
+	x := polytm.NewTVar(tm, 0)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	start = time.Now()
+	err = tm.AtomicCtx(ctx2, func(tx *polytm.Tx) error {
+		if err := polytm.Set(tx, x, 1); err != nil {
+			return err
+		}
+		return &stm.AbortError{Sentinel: stm.ErrConflict} // simulate endless contention
+	}, polytm.WithContentionManager(stm.NewBackoff(5*time.Millisecond, 50*time.Millisecond)),
+		polytm.WithLabel("hopeless-writer"))
+	cancel2()
+	var ae *polytm.AbortError
+	errors.As(err, &ae)
+	fmt.Printf("2. backoff interrupted after %v: attempts=%d sem=%v, x still %d\n",
+		time.Since(start).Round(time.Millisecond), ae.Attempts, ae.Semantics, x.LoadDirect())
+
+	// 3. WithMaxAttempts bounds retries instead of time, and the typed
+	// error reports exactly how the transaction died.
+	err = tm.Atomic(func(tx *polytm.Tx) error {
+		return &stm.AbortError{Sentinel: stm.ErrConflict}
+	}, polytm.WithMaxAttempts(3))
+	errors.As(err, &ae)
+	fmt.Printf("3. bounded transaction: ErrTooManyAttempts=%v attempts=%d\n",
+		errors.Is(err, polytm.ErrTooManyAttempts), ae.Attempts)
+
+	// 4. The observer saw everything: the parked waits, the retry
+	// aborts, the commits of the queue traffic.
+	fmt.Printf("4. observer: commits=%d aborts=%d waits=%d\n",
+		obs.commits.Load(), obs.aborts.Load(), obs.waits.Load())
+}

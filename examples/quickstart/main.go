@@ -1,11 +1,16 @@
 // Quickstart: the polymorphic transaction API in five minutes — typed
 // transactional variables, the default (def) semantics, the paper's
-// start(p) parameter, and atomic composition (a bank transfer).
+// start(p) parameter, atomic composition (a bank transfer), and the
+// context-first lifecycle surface (deadlines, attempt bounds, typed
+// abort errors).
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"polytm"
 )
@@ -92,4 +97,34 @@ func main() {
 		fmt.Printf("snapshot transaction observed counter=%d (never aborts)\n", v)
 		return nil
 	}, polytm.WithSemantics(polytm.Snapshot))
+
+	// The context-first lifecycle: AtomicCtx bounds the whole run — a
+	// deadline (or cancelled request context) releases a transaction
+	// that would otherwise retry or wait forever, and the typed
+	// *AbortError says exactly how the transaction ended.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := tm.AtomicCtx(ctx, func(tx *polytm.Tx) error {
+		v, err := polytm.Get(tx, counter)
+		if err != nil {
+			return err
+		}
+		if v < 1_000_000 { // never true: park in Retry until cancelled
+			return polytm.Retry
+		}
+		return nil
+	}, polytm.WithLabel("quickstart-wait"))
+	var ae *polytm.AbortError
+	if errors.As(err, &ae) {
+		fmt.Printf("deadline released the waiter: sem=%v attempts=%d (is ErrCancelled: %v)\n",
+			ae.Semantics, ae.Attempts, errors.Is(err, polytm.ErrCancelled))
+	}
+
+	// WithMaxAttempts bounds retries instead of time; the error carries
+	// the count and still matches the legacy sentinel.
+	err = tm.Atomic(func(tx *polytm.Tx) error {
+		return polytm.Retry // never satisfied
+	}, polytm.WithMaxAttempts(2))
+	fmt.Printf("attempt bound: errors.Is(err, ErrTooManyAttempts)=%v\n",
+		errors.Is(err, polytm.ErrTooManyAttempts))
 }

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"polytm/internal/stm"
@@ -85,14 +86,36 @@ func Compose(parent, child Semantics, p NestingPolicy) Semantics {
 	}
 }
 
-// errEscalate requests that the outermost transaction restart under
+// ErrEscalated requests that the outermost transaction restart under
 // irrevocable semantics (a nested irrevocable scope cannot be honoured
-// after optimistic accesses have already been performed).
-var errEscalate = errors.New("core: escalate to irrevocable")
+// after optimistic accesses have already been performed). Atomic
+// handles it transparently — callers never receive it — but it IS
+// visible to Observers: the abandoned optimistic run ends with an
+// OnAbort whose Err matches ErrEscalated (or ErrTooManyAttempts for an
+// EscalateAfter-triggered escalation) before the irrevocable run's
+// OnCommit, because observer events describe engine runs, not logical
+// Atomic calls.
+var ErrEscalated = errors.New("core: transaction escalated to irrevocable semantics")
 
 // ErrNoTransaction is returned by operations that require an enclosing
 // transaction when none is active.
 var ErrNoTransaction = errors.New("core: no active transaction")
+
+// Observer receives transaction lifecycle events (commit, abort,
+// retry-wait) from the run loop; see stm.Observer. Register one
+// memory-wide via Config.Observer or per transaction via WithObserver.
+type Observer = stm.Observer
+
+// TxnEvent is the event payload delivered to an Observer.
+type TxnEvent = stm.TxnEvent
+
+// AbortError is the engine's structured abort outcome: every
+// engine-generated error wraps its legacy sentinel (stm.ErrConflict,
+// stm.ErrTooManyAttempts, stm.ErrCancelled, …) together with the
+// transaction's semantics, attempt count and rival involvement.
+// errors.Is against the bare sentinels keeps working unchanged;
+// errors.As(&AbortError{}) recovers the detail.
+type AbortError = stm.AbortError
 
 // Config configures a polymorphic transactional memory.
 type Config struct {
@@ -111,6 +134,11 @@ type Config struct {
 	// the engine's GOMAXPROCS-derived default. It is a convenience
 	// passthrough for Engine.Shards, which wins when both are set.
 	Shards int
+	// Observer, when non-nil, receives lifecycle events for every
+	// transaction of this memory. It is a convenience passthrough for
+	// Engine.Observer, which wins when both are set; a per-transaction
+	// WithObserver overrides either.
+	Observer Observer
 	// Engine tunes the underlying STM engine.
 	Engine stm.Config
 }
@@ -127,6 +155,9 @@ type TM struct {
 func New(cfg Config) *TM {
 	if cfg.Shards != 0 && cfg.Engine.Shards == 0 {
 		cfg.Engine.Shards = cfg.Shards
+	}
+	if cfg.Observer != nil && cfg.Engine.Observer == nil {
+		cfg.Engine.Observer = cfg.Observer
 	}
 	return &TM{
 		eng:           stm.NewEngine(cfg.Engine),
@@ -156,9 +187,12 @@ func (tm *TM) NestingPolicy() NestingPolicy { return tm.nesting }
 // building options on a hot path costs nothing; the variadic option
 // slice of an Atomic call stays on the caller's stack.
 type Option struct {
-	sem    Semantics
-	semSet bool
-	cm     stm.CMFactory
+	sem         Semantics
+	semSet      bool
+	cm          stm.CMFactory
+	maxAttempts int
+	label       string
+	observer    Observer
 }
 
 // WithSemantics is the paper's start(p): it sets the transaction's
@@ -172,18 +206,60 @@ func WithContentionManager(f stm.CMFactory) Option {
 	return Option{cm: f}
 }
 
+// WithMaxAttempts bounds the transaction to n attempts (conflict
+// retries and Retry waits both count); the bound exhausting surfaces as
+// an *AbortError matching stm.ErrTooManyAttempts that carries the
+// attempt count. It overrides the engine's configured MaxAttempts for
+// this transaction. When the TM is also configured with EscalateAfter
+// and that threshold is lower, escalation to Irrevocable wins — the
+// transaction is guaranteed to commit before the bound can trip.
+func WithMaxAttempts(n int) Option {
+	return Option{maxAttempts: n}
+}
+
+// WithLabel tags the transaction for observability: the label travels
+// on every TxnEvent the transaction emits and on nothing else — it
+// costs one string field, no allocation.
+func WithLabel(s string) Option {
+	return Option{label: s}
+}
+
+// WithObserver gives this transaction its own lifecycle observer,
+// overriding the TM-wide one for its events.
+func WithObserver(o Observer) Option {
+	return Option{observer: o}
+}
+
+// txnOpts is an option list folded over the TM defaults.
+type txnOpts struct {
+	sem         Semantics
+	cm          stm.CMFactory
+	maxAttempts int
+	label       string
+	observer    Observer
+}
+
 // resolve folds an option list over the TM defaults.
-func (tm *TM) resolve(opts []Option) (sem Semantics, cm stm.CMFactory) {
-	sem = tm.def
+func (tm *TM) resolve(opts []Option) txnOpts {
+	o := txnOpts{sem: tm.def}
 	for i := range opts {
 		if opts[i].semSet {
-			sem = opts[i].sem
+			o.sem = opts[i].sem
 		}
 		if opts[i].cm != nil {
-			cm = opts[i].cm
+			o.cm = opts[i].cm
+		}
+		if opts[i].maxAttempts != 0 {
+			o.maxAttempts = opts[i].maxAttempts
+		}
+		if opts[i].label != "" {
+			o.label = opts[i].label
+		}
+		if opts[i].observer != nil {
+			o.observer = opts[i].observer
 		}
 	}
-	return sem, cm
+	return o
 }
 
 // Tx is the handle passed to a transaction body. It is bound to one
@@ -196,6 +272,14 @@ type Tx struct {
 // Inner exposes the engine-level transaction (schedule executors and
 // tests need it).
 func (tx *Tx) Inner() *stm.Txn { return tx.inner }
+
+// WrapTx binds a manually-begun engine transaction (Engine.Begin /
+// BeginWith) to a core-level handle so it can drive the typed TVar and
+// structure APIs — the advanced-embedding escape hatch. The caller owns
+// the lifecycle: it must Commit or Abort the inner transaction itself,
+// and none of the run-loop conveniences (retry, escalation, options,
+// observers) apply.
+func WrapTx(tm *TM, inner *stm.Txn) *Tx { return &Tx{tm: tm, inner: inner} }
 
 // Semantics returns the semantics currently in effect for this scope.
 func (tx *Tx) Semantics() Semantics { return tx.inner.EffectiveSemantics() }
@@ -217,36 +301,68 @@ var Retry = stm.ErrRetryWait
 // retain the *Tx (or anything aliasing the transaction's read/write
 // sets) beyond its return.
 func (tm *TM) Atomic(fn func(*Tx) error, opts ...Option) error {
-	sem, cm := tm.resolve(opts)
-	return tm.atomic(sem, cm, fn)
+	return tm.atomic(context.Background(), tm.resolve(opts), fn)
+}
+
+// AtomicCtx is Atomic bounded by ctx: cancellation (or the deadline
+// expiring) aborts the transaction between attempts, interrupts
+// contention-manager backoff sleeps, wakes a transaction parked in
+// Retry's wait, and breaks lock-wait spins. The transaction's buffered
+// writes are discarded — a cancelled transaction is never partially
+// visible — and the returned error is an *AbortError matching both
+// stm.ErrCancelled and the context's own error. Passing
+// context.Background() is exactly Atomic and allocates nothing extra.
+//
+// An irrevocable transaction that has begun its attempt is guaranteed
+// to commit and therefore ignores cancellation until it has.
+func (tm *TM) AtomicCtx(ctx context.Context, fn func(*Tx) error, opts ...Option) error {
+	return tm.atomic(ctx, tm.resolve(opts), fn)
 }
 
 // AtomicAs is Atomic(fn, WithSemantics(sem)) with the semantics passed
 // directly — the hot-path form structure and server code uses per
 // operation.
 func (tm *TM) AtomicAs(sem Semantics, fn func(*Tx) error) error {
-	return tm.atomic(sem, nil, fn)
+	return tm.atomic(context.Background(), txnOpts{sem: sem}, fn)
+}
+
+// AtomicAsCtx is AtomicCtx(ctx, fn, WithSemantics(sem)) with the
+// semantics passed directly — the hot-path form for per-operation
+// semantics under a request-scoped context (polyserve's request path).
+func (tm *TM) AtomicAsCtx(ctx context.Context, sem Semantics, fn func(*Tx) error) error {
+	return tm.atomic(ctx, txnOpts{sem: sem}, fn)
 }
 
 // atomic is the shared Atomic body with resolved options. The Tx
 // handle lives here, outside the retry loop, and is re-pointed at the
 // engine transaction each attempt.
-func (tm *TM) atomic(sem Semantics, cm stm.CMFactory, fn func(*Tx) error) error {
-	bound := 0
-	if tm.escalateAfter > 0 && sem != Irrevocable {
+func (tm *TM) atomic(ctx context.Context, o txnOpts, fn func(*Tx) error) error {
+	sem := o.sem
+	// The run bound is the per-transaction WithMaxAttempts bound unless
+	// the TM's escalation threshold comes first, in which case hitting
+	// it escalates to Irrevocable instead of failing.
+	bound := o.maxAttempts
+	escalate := false
+	if tm.escalateAfter > 0 && sem != Irrevocable && (bound == 0 || tm.escalateAfter < bound) {
 		bound = tm.escalateAfter
+		escalate = true
 	}
 	h := Tx{tm: tm}
 	for {
-		err := tm.eng.RunWithOptions(sem, cm, bound, func(itx *stm.Txn) error {
+		err := tm.eng.RunOpts(ctx, sem, stm.RunOptions{
+			CM:          o.cm,
+			MaxAttempts: bound,
+			Observer:    o.observer,
+			Label:       o.label,
+		}, func(itx *stm.Txn) error {
 			h.inner = itx
 			return fn(&h)
 		})
 		switch {
-		case errors.Is(err, errEscalate) && sem != Irrevocable:
+		case errors.Is(err, ErrEscalated) && sem != Irrevocable:
 			sem = Irrevocable
 			bound = 0
-		case errors.Is(err, stm.ErrTooManyAttempts) && tm.escalateAfter > 0 && sem != Irrevocable:
+		case errors.Is(err, stm.ErrTooManyAttempts) && escalate && sem != Irrevocable:
 			sem = Irrevocable
 			bound = 0
 		default:
@@ -266,8 +382,16 @@ func (tm *TM) atomic(sem Semantics, cm stm.CMFactory, fn func(*Tx) error) error 
 // retroactively; Atomic aborts the whole transaction and the outermost
 // Atomic restarts it irrevocably from the beginning.
 func (tx *Tx) Atomic(fn func(*Tx) error, opts ...Option) error {
-	sem, _ := tx.tm.resolve(opts)
-	return tx.AtomicAs(sem, fn)
+	return tx.AtomicAs(tx.tm.resolve(opts).sem, fn)
+}
+
+// AtomicCtx is the nested-scope form of TM.AtomicCtx. A nested scope
+// runs inside the enclosing transaction's attempt, so the enclosing
+// run's context governs its waits; ctx is checked at scope entry and
+// exit — a cancelled ctx aborts the whole transaction and returns an
+// *AbortError matching stm.ErrCancelled.
+func (tx *Tx) AtomicCtx(ctx context.Context, fn func(*Tx) error, opts ...Option) error {
+	return tx.AtomicAsCtx(ctx, tx.tm.resolve(opts).sem, fn)
 }
 
 // AtomicAs is the nested-scope form of TM.AtomicAs: the scope's own
@@ -277,11 +401,38 @@ func (tx *Tx) AtomicAs(sem Semantics, fn func(*Tx) error) error {
 	eff := Compose(tx.inner.EffectiveSemantics(), sem, tx.tm.nesting)
 	if eff == Irrevocable && tx.inner.Semantics() != Irrevocable {
 		tx.inner.Abort()
-		return errEscalate
+		return ErrEscalated
 	}
 	tx.inner.PushMode(eff)
 	defer tx.inner.PopMode()
 	return fn(tx)
+}
+
+// AtomicAsCtx is the nested-scope form of TM.AtomicAsCtx; see
+// Tx.AtomicCtx for the cancellation contract.
+func (tx *Tx) AtomicAsCtx(ctx context.Context, sem Semantics, fn func(*Tx) error) error {
+	if err := ctx.Err(); err != nil {
+		tx.inner.Abort()
+		return &AbortError{
+			Sentinel: stm.ErrCancelled, Cause: err,
+			Semantics: tx.inner.Semantics(), Attempts: tx.inner.Attempt(),
+			Reason: "context cancelled at nested scope entry",
+		}
+	}
+	if err := tx.AtomicAs(sem, fn); err != nil {
+		return err
+	}
+	// A cancellation that raced the scope body still aborts the whole
+	// transaction rather than letting its writes ride the parent commit.
+	if err := ctx.Err(); err != nil {
+		tx.inner.Abort()
+		return &AbortError{
+			Sentinel: stm.ErrCancelled, Cause: err,
+			Semantics: tx.inner.Semantics(), Attempts: tx.inner.Attempt(),
+			Reason: "context cancelled at nested scope exit",
+		}
+	}
+	return nil
 }
 
 // TVar is a typed transactional variable.

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; its escape-analysis changes inflate allocation counts, so
+// strict allocs/op assertions skip themselves.
+const raceEnabled = true

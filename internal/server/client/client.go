@@ -7,6 +7,7 @@ package client
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -92,8 +93,8 @@ func (cl *Client) dial() (*conn, error) {
 }
 
 // acquire takes an idle connection, dials a new one under the cap, or
-// waits for a release.
-func (cl *Client) acquire() (*conn, error) {
+// waits for a release; the wait (and a fresh dial) honours ctx.
+func (cl *Client) acquire(ctx context.Context) (*conn, error) {
 	for {
 		cl.mu.Lock()
 		if cl.closed {
@@ -119,7 +120,11 @@ func (cl *Client) acquire() (*conn, error) {
 			return cn, nil
 		}
 		cl.mu.Unlock()
-		<-cl.waitCh
+		select {
+		case <-cl.waitCh:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 }
 
@@ -183,8 +188,25 @@ var encBufs = sync.Pool{New: func() any { return new([]byte) }}
 // (it is discarded, not pooled) and is returned; wire-level failures
 // arrive as StatusErr responses instead.
 func (cl *Client) Do(reqs ...*wire.Request) ([]*wire.Response, error) {
+	return cl.DoCtx(context.Background(), reqs...)
+}
+
+// DoCtx is Do bounded by ctx: a context deadline becomes the wire
+// timeout (the pooled connection's read/write deadline for this batch),
+// so a caller's request budget propagates to the socket; cancellation
+// is honoured while waiting for a free pooled connection AND while
+// blocked on the socket (a context.AfterFunc yanks the connection's
+// deadline to now, unblocking the read/write immediately). A batch
+// that is cancelled or times out poisons its connection — the server
+// may still be executing the abandoned requests, so the connection's
+// stream can no longer be trusted — and returns the transport error
+// (matching os.ErrDeadlineExceeded / net.Error timeout).
+func (cl *Client) DoCtx(ctx context.Context, reqs ...*wire.Request) ([]*wire.Response, error) {
 	if len(reqs) == 0 {
 		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Encode every frame BEFORE touching the connection: an encoding
 	// error must not leave a half-written batch in a pooled writer (the
@@ -199,11 +221,37 @@ func (cl *Client) Do(reqs ...*wire.Request) ([]*wire.Response, error) {
 			return nil, err
 		}
 	}
-	cn, err := cl.acquire()
+	cn, err := cl.acquire(ctx)
 	if err != nil {
 		*bufp = buf
 		encBufs.Put(bufp)
 		return nil, err
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline {
+		if err := cn.c.SetDeadline(deadline); err != nil {
+			*bufp = buf
+			encBufs.Put(bufp)
+			cl.discard(cn)
+			return nil, err
+		}
+	}
+	// Cancellation while blocked on the socket: the AfterFunc fires on
+	// ctx.Done and forces an immediate I/O deadline. stopCancel's
+	// return value disambiguates the race at completion — false means
+	// the callback ran (or is running), so the connection must be
+	// treated as poisoned even if the batch happened to finish.
+	var stopCancel func() bool
+	if ctx.Done() != nil {
+		stopCancel = context.AfterFunc(ctx, func() {
+			cn.c.SetDeadline(time.Now())
+		})
+	}
+	finish := func() bool { // true = connection still trustworthy
+		if stopCancel == nil {
+			return true
+		}
+		return stopCancel()
 	}
 	_, werr := cn.bw.Write(buf)
 	if werr == nil {
@@ -212,6 +260,7 @@ func (cl *Client) Do(reqs ...*wire.Request) ([]*wire.Response, error) {
 	*bufp = buf
 	encBufs.Put(bufp)
 	if werr != nil {
+		finish()
 		cl.discard(cn)
 		return nil, werr
 	}
@@ -222,6 +271,7 @@ func (cl *Client) Do(reqs ...*wire.Request) ([]*wire.Response, error) {
 		// the caller, so its storage must outlive this call.
 		raw, err := wire.ReadFrame(cn.br, 0)
 		if err != nil {
+			finish()
 			cl.discard(cn)
 			return nil, fmt.Errorf("client: response %d/%d: %w", i+1, len(reqs), err)
 		}
@@ -234,10 +284,25 @@ func (cl *Client) Do(reqs ...*wire.Request) ([]*wire.Response, error) {
 		}
 		resp, err := wire.DecodeResponse(raw, r.Op, subOps)
 		if err != nil {
+			finish()
 			cl.discard(cn)
 			return nil, fmt.Errorf("client: response %d/%d: %w", i+1, len(reqs), err)
 		}
 		out[i] = resp
+	}
+	if !finish() {
+		// Cancellation raced the batch's completion: the responses are
+		// whole, but the connection's deadline state is tainted.
+		cl.discard(cn)
+		return out, nil
+	}
+	if hasDeadline {
+		// The batch completed inside its budget: clear the deadline so
+		// the connection pools clean for deadline-less callers.
+		if err := cn.c.SetDeadline(time.Time{}); err != nil {
+			cl.discard(cn)
+			return out, nil
+		}
 	}
 	cl.release(cn)
 	return out, nil
@@ -436,7 +501,13 @@ func (p *Pipeline) Len() int { return len(p.reqs) }
 // Exec sends the queued requests pipelined and returns their responses
 // in order, resetting the pipeline.
 func (p *Pipeline) Exec() ([]*wire.Response, error) {
+	return p.ExecCtx(context.Background())
+}
+
+// ExecCtx is Exec bounded by ctx (see Client.DoCtx for the deadline →
+// wire-timeout contract).
+func (p *Pipeline) ExecCtx(ctx context.Context) ([]*wire.Response, error) {
 	reqs := p.reqs
 	p.reqs = nil
-	return p.cl.Do(reqs...)
+	return p.cl.DoCtx(ctx, reqs...)
 }

@@ -1,0 +1,116 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"polytm/internal/wire"
+)
+
+// blackholeListener accepts connections and reads forever without ever
+// answering — the pathological peer a context deadline must defend
+// against.
+func blackholeListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln
+}
+
+// TestDoCtxDeadlineBecomesWireTimeout: a context deadline bounds the
+// whole wire round trip; against a server that never answers, DoCtx
+// returns a timeout error within the budget instead of hanging.
+func TestDoCtxDeadlineBecomesWireTimeout(t *testing.T) {
+	ln := blackholeListener(t)
+	defer ln.Close()
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cl.DoCtx(ctx, &wire.Request{Op: wire.OpGet, Sem: wire.SemDefault, Key: []byte("k")})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("DoCtx against a black hole returned nil")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("err = %v, want a timeout", err)
+		}
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline did not bound the round trip: %v", elapsed)
+	}
+}
+
+// TestDoCtxCancelUnblocksRead: a cancel-only context (no deadline)
+// must still interrupt a DoCtx blocked on a server that never answers —
+// the context.AfterFunc yanks the socket deadline to now.
+func TestDoCtxCancelUnblocksRead(t *testing.T) {
+	ln := blackholeListener(t)
+	defer ln.Close()
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = cl.DoCtx(ctx, &wire.Request{Op: wire.OpGet, Sem: wire.SemDefault, Key: []byte("k")})
+	if err == nil {
+		t.Fatal("cancelled DoCtx returned nil")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancel did not unblock the read: %v", elapsed)
+	}
+}
+
+// TestDoCtxAlreadyCancelled returns immediately without touching a
+// connection.
+func TestDoCtxAlreadyCancelled(t *testing.T) {
+	ln := blackholeListener(t)
+	defer ln.Close()
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cl.DoCtx(ctx, &wire.Request{Op: wire.OpGet, Sem: wire.SemDefault, Key: []byte("k")}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -45,6 +45,13 @@ type Server struct {
 	store *Store
 	slots chan struct{}
 
+	// serveCtx parents every connection's request context; cancelServe
+	// abandons all in-flight transactions at once (forced drain). The
+	// per-connection child context is additionally cancelled when its
+	// handler exits, so a disconnect stops that connection's work.
+	serveCtx    context.Context
+	cancelServe context.CancelFunc
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
@@ -64,11 +71,14 @@ func New(cfg Config) *Server {
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = wire.MaxFrame
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		cfg:   cfg,
-		store: NewStore(cfg.TM),
-		slots: make(chan struct{}, cfg.MaxConns),
-		conns: make(map[net.Conn]struct{}),
+		cfg:         cfg,
+		store:       NewStore(cfg.TM),
+		slots:       make(chan struct{}, cfg.MaxConns),
+		serveCtx:    ctx,
+		cancelServe: cancel,
+		conns:       make(map[net.Conn]struct{}),
 	}
 }
 
@@ -179,6 +189,17 @@ func (s *Server) handle(c net.Conn) {
 		s.wg.Done()
 	}()
 
+	// The connection's request context: every transaction this handler
+	// runs is bounded by it. It is cancelled when the handler exits
+	// (disconnects are observed at the next read or write — the
+	// handler is the one goroutine driving the pipeline, so a
+	// mid-transaction disconnect is noticed once that request's
+	// response fails to write) and by the server's forced drain
+	// (serveCtx), which is what releases a transaction parked in a
+	// retry loop or a lock wait.
+	ctx, cancel := context.WithCancel(s.serveCtx)
+	defer cancel()
+
 	br := bufio.NewReader(c)
 	bw := bufio.NewWriter(c)
 	var (
@@ -211,7 +232,7 @@ func (s *Server) handle(c net.Conn) {
 			errInto(&resp, err)
 		} else {
 			op = req.Op
-			s.store.ExecuteInto(&req, &resp)
+			s.store.ExecuteCtx(ctx, &req, &resp)
 		}
 		out, err = wire.AppendResponseFrame(out[:0], op, &resp)
 		if err != nil {
@@ -248,11 +269,15 @@ func isExpectedClose(err error) bool {
 }
 
 // Shutdown stops accepting, unblocks idle connection handlers, and
-// waits for in-flight requests to finish. If ctx expires first the
-// remaining connections are force-closed. In-flight requests always
-// complete their response before their handler observes the shutdown —
-// the engine's irrevocable transactions in particular are never
-// abandoned midway.
+// waits for in-flight requests to finish. If ctx expires first, the
+// serving context is cancelled — every in-flight transaction aborts
+// cleanly at its next cancellation point (its writes are discarded, so
+// nothing is ever half-committed) — and the remaining connections are
+// force-closed. During the graceful phase in-flight requests complete
+// their response before their handler observes the shutdown; the
+// engine's irrevocable transactions are never abandoned midway in
+// either phase (a begun irrevocable transaction ignores cancellation
+// by contract).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.shutdown = true
@@ -276,6 +301,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
+		// Forced drain: abandon in-flight transactions through the
+		// context plumbing FIRST (they abort between attempts and wake
+		// from backoff/Retry waits), then cut the sockets.
+		s.cancelServe()
 		s.mu.Lock()
 		for c := range s.conns {
 			c.Close()

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"unsafe"
 
 	"polytm/internal/core"
@@ -44,12 +45,11 @@ func DefaultSemantics(op wire.Op) core.Semantics {
 }
 
 // resolveSemantics applies a request's semantics byte over the class
-// default.
-func resolveSemantics(req *wire.Request) core.Semantics {
-	if req.Sem == wire.SemDefault {
-		return DefaultSemantics(req.Op)
-	}
-	return core.Semantics(req.Sem)
+// default. Validation lives in wire.Semantics — the one place the byte
+// range is checked — so requests that bypass the wire decoder (tests,
+// in-process embedding) are rejected identically to decoded ones.
+func resolveSemantics(req *wire.Request) (core.Semantics, error) {
+	return wire.Semantics(req.Sem, DefaultSemantics(req.Op))
 }
 
 // Store is the server's keyspace: a transactional ordered map over one
@@ -73,7 +73,7 @@ func (s *Store) TM() *core.TM { return s.tm }
 // responses so the connection's pipeline keeps its 1:1 ordering.
 func (s *Store) Execute(req *wire.Request) *wire.Response {
 	resp := new(wire.Response)
-	s.ExecuteInto(req, resp)
+	s.ExecuteCtx(context.Background(), req, resp)
 	return resp
 }
 
@@ -83,29 +83,43 @@ func (s *Store) Execute(req *wire.Request) *wire.Response {
 // Response per connection. The previous contents of resp are
 // discarded; the filled resp is valid until the next ExecuteInto on it.
 func (s *Store) ExecuteInto(req *wire.Request, resp *wire.Response) {
+	s.ExecuteCtx(context.Background(), req, resp)
+}
+
+// ExecuteCtx is ExecuteInto bounded by a request-scoped context: the
+// server derives one per connection — cancelled when the connection's
+// handler exits and on forced drain — so an abandoned request's
+// transaction stops retrying instead of running to completion for
+// nobody. A cancelled transaction surfaces as a StatusErr response
+// matching stm.ErrCancelled.
+func (s *Store) ExecuteCtx(ctx context.Context, req *wire.Request, resp *wire.Response) {
 	resetResponse(resp)
-	sem := resolveSemantics(req)
+	sem, err := resolveSemantics(req)
+	if err != nil {
+		errInto(resp, err)
+		return
+	}
 	switch req.Op {
 	case wire.OpGet:
-		s.get(req.Key, sem, resp)
+		s.get(ctx, req.Key, sem, resp)
 	case wire.OpSet:
-		s.set(req.Key, req.Val, sem, resp)
+		s.set(ctx, req.Key, req.Val, sem, resp)
 	case wire.OpCAS:
-		s.cas(req.Key, req.Old, req.Val, sem, resp)
+		s.cas(ctx, req.Key, req.Old, req.Val, sem, resp)
 	case wire.OpDel:
-		s.del(req.Key, sem, resp)
+		s.del(ctx, req.Key, sem, resp)
 	case wire.OpScan:
-		s.scan(req.From, req.To, req.Limit, sem, resp)
+		s.scan(ctx, req.From, req.To, req.Limit, sem, resp)
 	case wire.OpMGet:
-		s.mget(req.Keys, sem, resp)
+		s.mget(ctx, req.Keys, sem, resp)
 	case wire.OpTxn:
-		s.txn(req.Batch, sem, resp)
+		s.txn(ctx, req.Batch, sem, resp)
 	case wire.OpStats:
 		s.stats(resp)
 	case wire.OpFlush:
-		s.flush(sem, resp)
+		s.flush(ctx, sem, resp)
 	case wire.OpRebuild:
-		s.rebuild(sem, resp)
+		s.rebuild(ctx, sem, resp)
 	default:
 		errInto(resp, wire.ErrBadOp)
 	}
@@ -169,8 +183,8 @@ func appendSub(resp *wire.Response) *wire.Response {
 	return sub
 }
 
-func (s *Store) get(key []byte, sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
+func (s *Store) get(ctx context.Context, key []byte, sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 		v, ok, err := s.m.GetTx(tx, lookupKey(key))
 		if err != nil {
 			return err
@@ -189,8 +203,8 @@ func (s *Store) get(key []byte, sem core.Semantics, resp *wire.Response) {
 	}
 }
 
-func (s *Store) set(key, val []byte, sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
+func (s *Store) set(ctx context.Context, key, val []byte, sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 		_, err := s.m.PutTx(tx, string(key), string(val))
 		return err
 	})
@@ -204,8 +218,8 @@ func (s *Store) set(key, val []byte, sem core.Semantics, resp *wire.Response) {
 // cas is an atomic compare-and-swap: mismatches and misses COMMIT as
 // read-only transactions (they are legitimate outcomes, not failures),
 // so wire-level CAS misses never inflate the engine's abort counters.
-func (s *Store) cas(key, old, val []byte, sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
+func (s *Store) cas(ctx context.Context, key, old, val []byte, sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 		cur, ok, err := s.m.GetTx(tx, lookupKey(key))
 		if err != nil {
 			return err
@@ -232,8 +246,8 @@ func (s *Store) cas(key, old, val []byte, sem core.Semantics, resp *wire.Respons
 	}
 }
 
-func (s *Store) del(key []byte, sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
+func (s *Store) del(ctx context.Context, key []byte, sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 		removed, err := s.m.DeleteTx(tx, lookupKey(key))
 		if err != nil {
 			return err
@@ -250,8 +264,8 @@ func (s *Store) del(key []byte, sem core.Semantics, resp *wire.Response) {
 	}
 }
 
-func (s *Store) scan(from, to []byte, limit uint64, sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
+func (s *Store) scan(ctx context.Context, from, to []byte, limit uint64, sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 		resp.Pairs = resp.Pairs[:0]
 		return s.m.RangeTx(tx, lookupKey(from), lookupKey(to), int(limit), func(k, v string) bool {
 			appendPair(resp, k, v)
@@ -265,8 +279,8 @@ func (s *Store) scan(from, to []byte, limit uint64, sem core.Semantics, resp *wi
 	resp.Status = wire.StatusOK
 }
 
-func (s *Store) mget(keys [][]byte, sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
+func (s *Store) mget(ctx context.Context, keys [][]byte, sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 		resp.Batch = resp.Batch[:0]
 		for _, key := range keys {
 			v, ok, err := s.m.GetTx(tx, lookupKey(key))
@@ -293,8 +307,8 @@ func (s *Store) mget(keys [][]byte, sem core.Semantics, resp *wire.Response) {
 // txn executes the batch's sub-operations in ONE transaction: all commit
 // together or none do, and the batch observes and produces a single
 // atomic state change under the resolved semantics.
-func (s *Store) txn(batch []wire.Request, sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
+func (s *Store) txn(ctx context.Context, batch []wire.Request, sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 		resp.Batch = resp.Batch[:0]
 		for i := range batch {
 			sub := &batch[i]
@@ -390,8 +404,8 @@ func (s *Store) stats(resp *wire.Response) {
 	resp.Counters = cs
 }
 
-func (s *Store) flush(sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
+func (s *Store) flush(ctx context.Context, sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 		n, err := s.m.ClearTx(tx)
 		if err != nil {
 			return err
@@ -406,8 +420,8 @@ func (s *Store) flush(sem core.Semantics, resp *wire.Response) {
 	resp.Status = wire.StatusOK
 }
 
-func (s *Store) rebuild(sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAs(sem, func(tx *core.Tx) error {
+func (s *Store) rebuild(ctx context.Context, sem core.Semantics, resp *wire.Response) {
+	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 		n, err := s.m.RebuildTx(tx)
 		if err != nil {
 			return err

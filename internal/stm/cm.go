@@ -135,7 +135,10 @@ func (b *backoff) OnAbort(tx *Txn) {
 		d = b.cap
 	}
 	if d > 0 {
-		time.Sleep(time.Duration(rand.Int64N(int64(d)) + 1))
+		// Txn.Sleep, not time.Sleep: a cancelled run must not be held
+		// hostage by its own backoff — the sleep wakes on cancellation
+		// and the run loop surfaces the cancellation immediately after.
+		tx.Sleep(time.Duration(rand.Int64N(int64(d)) + 1))
 	}
 }
 func (b *backoff) Name() string { return "backoff" }

@@ -1,6 +1,7 @@
 package stm
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -149,8 +150,12 @@ func TestKilledTransactionObservesKill(t *testing.T) {
 		t.Fatal("def transaction must be killable")
 	}
 	_, err := tx.Read(x)
-	if err != ErrKilled {
+	if !errors.Is(err, ErrKilled) {
 		t.Fatalf("read after kill: %v, want ErrKilled", err)
+	}
+	var ae *AbortError
+	if !errors.As(err, &ae) || !ae.ByRival {
+		t.Fatalf("kill abort %v must be a by-rival AbortError", err)
 	}
 	if tx.status.Load() != statusAborted {
 		t.Fatal("killed transaction must be aborted")

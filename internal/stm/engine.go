@@ -1,6 +1,7 @@
 package stm
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -32,6 +33,13 @@ type Config struct {
 	// count from GOMAXPROCS at engine construction. One shard reproduces
 	// the old centralized behaviour exactly.
 	Shards int
+
+	// Observer, when non-nil, receives transaction lifecycle events
+	// (commit, abort, retry-wait) from the run loop for every
+	// transaction of this engine. A per-run observer (RunOptions,
+	// core.WithObserver) overrides it for that transaction. Nil costs
+	// one pointer comparison per event site.
+	Observer Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -144,7 +152,7 @@ func (e *Engine) lookupTxn(id uint64) *Txn {
 // assigned on the first begin, from the transaction's first attempt-id
 // block.
 func (e *Engine) newTxn(sem Semantics, cm CMFactory) *Txn {
-	tx := &Txn{eng: e}
+	tx := &Txn{eng: e, ctx: context.Background()}
 	tx.sem = sem
 	tx.cmFac = cm
 	return tx
@@ -204,7 +212,15 @@ func (e *Engine) BeginWith(sem Semantics, cm CMFactory) *Txn {
 // aliasing its read/write sets, beyond its return — the shell is
 // recycled for an arbitrary later Run when this call finishes.
 func (e *Engine) Run(sem Semantics, fn func(*Txn) error) error {
-	return e.run(sem, e.cfg.DefaultCM, e.cfg.MaxAttempts, false, fn)
+	return e.run(context.Background(), sem, runParams{cm: e.cfg.DefaultCM, maxAttempts: e.cfg.MaxAttempts, obs: e.cfg.Observer}, fn)
+}
+
+// RunCtx is Run bounded by ctx: cancellation aborts the transaction
+// between attempts and breaks its waits (see RunOpts for the exact
+// cancellation points). The ctx == context.Background() path is
+// identical to Run and allocates nothing extra.
+func (e *Engine) RunCtx(ctx context.Context, sem Semantics, fn func(*Txn) error) error {
+	return e.run(ctx, sem, runParams{cm: e.cfg.DefaultCM, maxAttempts: e.cfg.MaxAttempts, obs: e.cfg.Observer}, fn)
 }
 
 // RunWith is Run with an explicit contention manager factory.
@@ -212,7 +228,7 @@ func (e *Engine) RunWith(sem Semantics, cm CMFactory, fn func(*Txn) error) error
 	if cm == nil {
 		cm = e.cfg.DefaultCM
 	}
-	return e.run(sem, cm, e.cfg.MaxAttempts, false, fn)
+	return e.run(context.Background(), sem, runParams{cm: cm, maxAttempts: e.cfg.MaxAttempts, obs: e.cfg.Observer}, fn)
 }
 
 // Quiesce returns once no snapshot transactions are live. It is a test

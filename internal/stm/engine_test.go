@@ -44,7 +44,8 @@ func TestSemanticsStringAndStrength(t *testing.T) {
 }
 
 func TestAbortErrorDetails(t *testing.T) {
-	err := abortConflict("test site", 42)
+	tx := &Txn{sem: SemanticsDef, attempt: 1}
+	err := tx.abortConflict("test site", 42)
 	var ae *AbortError
 	if !errors.As(err, &ae) {
 		t.Fatal("not an AbortError")

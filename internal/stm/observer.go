@@ -1,0 +1,55 @@
+package stm
+
+// TxnEvent describes one transaction-lifecycle event delivered to an
+// Observer. It is passed by value and allocation-free; observers that
+// need to retain it may copy it freely (it holds no engine-internal
+// pointers).
+type TxnEvent struct {
+	// Semantics is the transaction's root parameter p of start(p) —
+	// nested scopes do not reattribute events.
+	Semantics Semantics
+	// Attempts is the 1-based attempt count at the time of the event.
+	Attempts int
+	// Label is the caller-supplied transaction tag (core.WithLabel),
+	// "" when unset.
+	Label string
+	// Err is the abort reason (OnAbort only; nil for commit and wait
+	// events). It is the error the attempt ended with — a retryable
+	// *AbortError for conflicts the run loop is about to retry, or the
+	// terminal error for the final attempt.
+	Err error
+}
+
+// Observer receives transaction lifecycle events from the run loop.
+// Events describe engine runs: every run ends with exactly one
+// terminal event — an OnCommit, or an OnAbort whose Err is
+// non-retryable (the terminal causes are user errors,
+// ErrTooManyAttempts, ErrCancelled, and the misuse sentinels). Before
+// that, each aborted-and-retried attempt fires one OnAbort whose Err
+// IS retryable (inspect with IsRetryable), and each park in the Retry
+// combinator's wait fires one OnWait.
+//
+// One caveat at the core layer: a TM-level escalation to irrevocable
+// restarts the transaction as a NEW engine run, so a logical Atomic
+// call that escalates produces a terminal OnAbort (Err matching
+// core.ErrEscalated or ErrTooManyAttempts) followed by the escalated
+// run's events.
+//
+// Hooks run synchronously on the transaction's goroutine between
+// attempts — never inside one — so they may not call back into the
+// transaction, and slow hooks stretch the retry loop. A nil observer
+// costs one pointer comparison per event site; engines and runs without
+// observers pay nothing else.
+//
+// Register an observer engine-wide via Config.Observer, or per
+// transaction via RunOptions.Observer (core.WithObserver), which
+// overrides the engine's.
+type Observer interface {
+	// OnCommit fires once after the transaction commits.
+	OnCommit(ev TxnEvent)
+	// OnAbort fires after each aborted attempt, terminal or not.
+	OnAbort(ev TxnEvent)
+	// OnWait fires when the transaction parks in Retry's wait loop,
+	// before it starts waiting.
+	OnWait(ev TxnEvent)
+}

@@ -1,6 +1,7 @@
 package stm
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"time"
@@ -15,20 +16,37 @@ var ErrRetryWait = errors.New("stm: retry when read set changes")
 
 // awaitChange blocks until some entry of the recorded read set is no
 // longer current (a writer committed to it) — the wake-up condition of
-// ErrRetryWait. The wait is a backoff poll: versions are compared by
-// head identity, which a commit always replaces. A nil or empty read
-// set returns immediately (nothing can ever change; re-execution would
-// be identical, so treat it as a programming error surfaced by a fast
-// spin instead of a deadlock).
-func awaitChange(entries []readEntry) {
+// ErrRetryWait — or done is closed, in which case it reports false. The
+// wait is a backoff poll: versions are compared by head identity, which
+// a commit always replaces, and the poll interval caps at one
+// millisecond, bounding both wake-up and cancellation latency. A nil
+// done channel (the context.Background fast path) keeps the historical
+// allocation-free plain sleep. A nil or empty read set returns
+// immediately (nothing can ever change; re-execution would be
+// identical, so treat it as a programming error surfaced by a fast spin
+// instead of a deadlock).
+func awaitChange(entries []readEntry, done <-chan struct{}) bool {
 	if len(entries) == 0 {
-		return
+		return true
 	}
 	backoff := time.Microsecond
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		for i := range entries {
 			if entries[i].v.head.Load() != entries[i].ver {
-				return
+				return true
+			}
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return false
+			default:
 			}
 		}
 		if backoff < time.Millisecond {
@@ -36,8 +54,46 @@ func awaitChange(entries []readEntry) {
 			backoff *= 2
 			continue
 		}
-		time.Sleep(backoff)
+		if done == nil {
+			time.Sleep(backoff)
+			continue
+		}
+		if timer == nil {
+			timer = time.NewTimer(backoff)
+		} else {
+			timer.Reset(backoff)
+		}
+		select {
+		case <-done:
+			return false
+		case <-timer.C:
+		}
 	}
+}
+
+// RunOptions bundles the optional per-run parameters of RunOpts. The
+// zero value selects the engine defaults everywhere.
+type RunOptions struct {
+	// CM supplies the contention manager (nil = engine default).
+	CM CMFactory
+	// MaxAttempts bounds re-executions (0 = the engine's configured
+	// MaxAttempts; that default being 0 too means unbounded).
+	MaxAttempts int
+	// Observer receives this run's lifecycle events (nil = the engine's
+	// configured Observer, which may itself be nil).
+	Observer Observer
+	// Label tags the run's events for observers ("" = untagged).
+	Label string
+}
+
+// runParams is RunOptions after defaults resolution, plus the run-mode
+// flag, threaded through the one retry loop.
+type runParams struct {
+	cm          CMFactory
+	maxAttempts int
+	obs         Observer
+	label       string
+	block       bool // honour ErrRetryWait by sleeping on the read set
 }
 
 // RunWithRetry is Engine.Run extended with ErrRetryWait handling: when
@@ -45,41 +101,87 @@ func awaitChange(entries []readEntry) {
 // transaction's read set changes, then re-executes. Conflicts retry
 // immediately as in Run.
 func (e *Engine) RunWithRetry(sem Semantics, cm CMFactory, fn func(*Txn) error) error {
-	return e.RunWithOptions(sem, cm, 0, fn)
+	return e.RunOpts(context.Background(), sem, RunOptions{CM: cm}, fn)
 }
 
-// RunWithOptions is the fully parameterized run entry: semantics,
+// RunWithOptions is the historical parameterized run entry: semantics,
 // contention-manager factory (nil = engine default), a per-call attempt
 // bound (0 = the engine's configured MaxAttempts), ErrRetryWait
-// blocking, and conflict retry.
+// blocking, and conflict retry. New code should prefer RunOpts, its
+// context-aware superset.
 func (e *Engine) RunWithOptions(sem Semantics, cm CMFactory, maxAttempts int, fn func(*Txn) error) error {
-	if cm == nil {
-		cm = e.cfg.DefaultCM
+	return e.RunOpts(context.Background(), sem, RunOptions{CM: cm, MaxAttempts: maxAttempts}, fn)
+}
+
+// RunOpts is the fully parameterized, context-aware run entry. The
+// context bounds the whole run: cancellation aborts the transaction
+// between attempts, interrupts contention-manager backoff sleeps, wakes
+// a transaction parked in Retry's wait loop, and breaks the lock-wait
+// spins — in every case the transaction's buffered writes are discarded
+// and the returned error is a *AbortError matching both ErrCancelled
+// and the context's own error. A context.Background() run takes the
+// exact historical fast path and allocates nothing extra.
+//
+// One deliberate exception: an irrevocable transaction that has begun
+// is guaranteed to commit and therefore ignores cancellation until it
+// has (cancellation is still honoured before its only attempt starts).
+func (e *Engine) RunOpts(ctx context.Context, sem Semantics, opts RunOptions, fn func(*Txn) error) error {
+	p := runParams{
+		cm:          opts.CM,
+		maxAttempts: opts.MaxAttempts,
+		obs:         opts.Observer,
+		label:       opts.Label,
+		block:       true,
 	}
-	if maxAttempts == 0 {
-		maxAttempts = e.cfg.MaxAttempts
+	if p.cm == nil {
+		p.cm = e.cfg.DefaultCM
 	}
-	return e.run(sem, cm, maxAttempts, true, fn)
+	if p.maxAttempts == 0 {
+		p.maxAttempts = e.cfg.MaxAttempts
+	}
+	if p.obs == nil {
+		p.obs = e.cfg.Observer
+	}
+	return e.run(ctx, sem, p, fn)
 }
 
 // run is the engine's one retry loop: every Run variant delegates here
 // with resolved options. It drives a pooled Txn through the whole
 // lifecycle — acquire, attempts, recycle — so steady-state transactions
-// allocate nothing. blockOnRetryWait selects the RunWithOptions /
-// RunWithRetry behaviour of sleeping on an ErrRetryWait read set; plain
-// Run keeps its historical behaviour of returning the error unchanged.
-func (e *Engine) run(sem Semantics, cm CMFactory, maxAttempts int, blockOnRetryWait bool, fn func(*Txn) error) error {
-	tx := e.acquireTxn(sem, cm)
+// allocate nothing. p.block selects the RunOpts / RunWithRetry
+// behaviour of sleeping on an ErrRetryWait read set; plain Run keeps
+// its historical behaviour of returning the error unchanged.
+func (e *Engine) run(ctx context.Context, sem Semantics, p runParams, fn func(*Txn) error) error {
+	done := ctx.Done()
+	tx := e.acquireTxn(sem, p.cm)
+	tx.ctx = ctx
 	defer e.releaseTxn(tx)
 	for attempt := 1; ; attempt++ {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				cancelErr := &AbortError{
+					Sentinel: ErrCancelled, Cause: err, Semantics: sem,
+					Attempts: attempt - 1, Reason: "context cancelled",
+				}
+				// Terminal: every run ends with exactly one OnCommit or
+				// one terminal OnAbort, cancellations included.
+				if p.obs != nil {
+					p.obs.OnAbort(TxnEvent{Semantics: sem, Attempts: attempt - 1, Label: p.label, Err: cancelErr})
+				}
+				return cancelErr
+			}
+		}
 		tx.begin()
 		err := fn(tx)
 		if err == nil {
 			err = tx.Commit()
 			if err == nil {
+				if p.obs != nil {
+					p.obs.OnCommit(TxnEvent{Semantics: sem, Attempts: attempt, Label: p.label})
+				}
 				return nil
 			}
-		} else if blockOnRetryWait && errors.Is(err, ErrRetryWait) {
+		} else if p.block && errors.Is(err, ErrRetryWait) {
 			// Capture the read set before aborting, then sleep on it.
 			// The copy is load-bearing under pooling: the Txn (and its
 			// rset storage) may be recycled the moment this run ends,
@@ -87,21 +189,57 @@ func (e *Engine) run(sem Semantics, cm CMFactory, maxAttempts int, blockOnRetryW
 			waitSet := make([]readEntry, len(tx.rset))
 			copy(waitSet, tx.rset)
 			tx.Abort()
-			if maxAttempts > 0 && attempt >= maxAttempts {
-				return ErrTooManyAttempts
+			if p.maxAttempts > 0 && attempt >= p.maxAttempts {
+				err := &AbortError{
+					Sentinel: ErrTooManyAttempts, Semantics: sem,
+					Attempts: attempt, Reason: "attempt bound exhausted",
+				}
+				if p.obs != nil {
+					p.obs.OnAbort(TxnEvent{Semantics: sem, Attempts: attempt, Label: p.label, Err: err})
+				}
+				return err
 			}
-			awaitChange(waitSet)
+			if p.obs != nil {
+				p.obs.OnWait(TxnEvent{Semantics: sem, Attempts: attempt, Label: p.label})
+			}
+			if !awaitChange(waitSet, done) {
+				cancelErr := &AbortError{
+					Sentinel: ErrCancelled, Cause: ctx.Err(), Semantics: sem,
+					Attempts: attempt, Reason: "context cancelled in retry wait",
+				}
+				if p.obs != nil {
+					p.obs.OnAbort(TxnEvent{Semantics: sem, Attempts: attempt, Label: p.label, Err: cancelErr})
+				}
+				return cancelErr
+			}
 			tx.cm.OnAbort(tx)
 			continue
 		} else {
 			tx.Abort()
 		}
 		if !IsRetryable(err) {
+			if p.obs != nil {
+				p.obs.OnAbort(TxnEvent{Semantics: sem, Attempts: attempt, Label: p.label, Err: err})
+			}
 			return err
 		}
-		tx.cm.OnAbort(tx)
-		if maxAttempts > 0 && attempt >= maxAttempts {
-			return ErrTooManyAttempts
+		// Bound check BEFORE the contention manager's backoff: a run
+		// whose failure is already decided must not sleep one more
+		// backoff, and its one OnAbort carries the terminal error (not
+		// the retryable conflict) so observers see how the run ended.
+		if p.maxAttempts > 0 && attempt >= p.maxAttempts {
+			final := &AbortError{
+				Sentinel: ErrTooManyAttempts, Semantics: sem, Attempts: attempt,
+				ByRival: errors.Is(err, ErrKilled), Reason: "attempt bound exhausted",
+			}
+			if p.obs != nil {
+				p.obs.OnAbort(TxnEvent{Semantics: sem, Attempts: attempt, Label: p.label, Err: final})
+			}
+			return final
 		}
+		if p.obs != nil {
+			p.obs.OnAbort(TxnEvent{Semantics: sem, Attempts: attempt, Label: p.label, Err: err})
+		}
+		tx.cm.OnAbort(tx)
 	}
 }

@@ -1,9 +1,11 @@
 package stm
 
 import (
+	"context"
 	"runtime"
 	"slices"
 	"sync/atomic"
+	"time"
 )
 
 // Transaction status values.
@@ -61,6 +63,12 @@ type Txn struct {
 	sem   Semantics
 	cmFac CMFactory
 	cm    ContentionManager
+
+	// ctx is the run's cancellation scope; never nil (context.Background
+	// when the run is not cancellable). The Background fast path costs
+	// nothing: Done() is nil and Err() is a trivial interface call, so
+	// the cancellation checks in the wait loops stay allocation-free.
+	ctx context.Context
 
 	// birth is the id of the first attempt; it defines the age order
 	// used by the timestamp contention manager. It is atomic because
@@ -268,6 +276,7 @@ func (tx *Txn) recycle() {
 	tx.sem = 0
 	tx.cmFac = nil
 	tx.cm = nil
+	tx.ctx = context.Background()
 	tx.birth.Store(0)
 	tx.karma = 0
 	tx.attempt = 0
@@ -410,15 +419,40 @@ func (tx *Txn) kill(expected uint64) bool {
 // isKilled reports whether a kill was delivered to the current attempt.
 func (tx *Txn) isKilled() bool { return tx.killedID.Load() == tx.id }
 
+// Context returns the run's cancellation scope (context.Background for
+// non-cancellable runs; never nil).
+func (tx *Txn) Context() context.Context { return tx.ctx }
+
+// Sleep pauses for d, waking early when the transaction's context is
+// cancelled first; it reports whether the full duration elapsed.
+// Contention managers route their backoff sleeps through it so a
+// cancelled caller is never held hostage by its own backoff. The
+// Background path is a plain time.Sleep and allocates nothing.
+func (tx *Txn) Sleep(d time.Duration) bool {
+	done := tx.ctx.Done()
+	if done == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-done:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
 // checkLive verifies the transaction is usable and not killed.
 func (tx *Txn) checkLive() error {
 	if tx.status.Load() != statusActive {
-		return ErrTxnDone
+		return tx.opError(ErrTxnDone, "finished handle")
 	}
 	if tx.isKilled() {
 		tx.stat(statKills)
 		tx.abortCleanup()
-		return ErrKilled
+		return tx.abortKilled()
 	}
 	return nil
 }
@@ -432,7 +466,7 @@ func (tx *Txn) Read(v *Var) (any, error) {
 	}
 	if v.eng != tx.eng {
 		tx.abortCleanup()
-		return nil, ErrCrossEngine
+		return nil, tx.opError(ErrCrossEngine, "cross-engine read")
 	}
 	tx.stat(statReads)
 	tx.karma++
@@ -466,7 +500,7 @@ func (tx *Txn) ReadPinned(v *Var) (any, error) {
 	}
 	if v.eng != tx.eng {
 		tx.abortCleanup()
-		return nil, ErrCrossEngine
+		return nil, tx.opError(ErrCrossEngine, "cross-engine read")
 	}
 	tx.stat(statReads)
 	tx.karma++
@@ -494,7 +528,8 @@ func (tx *Txn) ReadPinned(v *Var) (any, error) {
 // read hazard. Optimistic committers hold locks only across the publish
 // loop; an irrevocable writer may hold them for its whole span, and
 // readers of its variables wait it out (it is 2PL, after all). Returns
-// an error if this transaction is killed while waiting.
+// an error if this transaction is killed, or its context cancelled,
+// while waiting.
 func (tx *Txn) waitUnlocked(v *Var) error {
 	for {
 		owner, locked := v.lockedBy()
@@ -504,7 +539,11 @@ func (tx *Txn) waitUnlocked(v *Var) error {
 		if tx.isKilled() {
 			tx.stat(statKills)
 			tx.abortCleanup()
-			return ErrKilled
+			return tx.abortKilled()
+		}
+		if err := tx.ctx.Err(); err != nil {
+			tx.abortCleanup()
+			return tx.abortCancelled(err)
 		}
 		runtime.Gosched()
 	}
@@ -549,7 +588,7 @@ func (tx *Txn) readDefSlow(v *Var) (any, error) {
 		if !tx.extend() {
 			tx.stat(statReadAborts)
 			tx.abortCleanup()
-			return nil, abortConflict("read validation", v.id)
+			return nil, tx.abortConflict("read validation", v.id)
 		}
 	}
 }
@@ -589,7 +628,7 @@ func (tx *Txn) Write(v *Var, val any) error {
 	}
 	if v.eng != tx.eng {
 		tx.abortCleanup()
-		return ErrCrossEngine
+		return tx.opError(ErrCrossEngine, "cross-engine write")
 	}
 	tx.stat(statWrites)
 	tx.karma++
@@ -597,7 +636,7 @@ func (tx *Txn) Write(v *Var, val any) error {
 	switch tx.effective() {
 	case SemanticsSnapshot:
 		tx.abortCleanup()
-		return ErrSnapshotWrite
+		return tx.opError(ErrSnapshotWrite, "write in read-only snapshot")
 	case SemanticsIrrevocable:
 		if err := tx.encounterLock(v); err != nil {
 			return err
@@ -651,12 +690,12 @@ func (tx *Txn) abortCleanup() {
 // transaction is aborted and a retryable error returned.
 func (tx *Txn) Commit() error {
 	if tx.status.Load() != statusActive {
-		return ErrTxnDone
+		return tx.opError(ErrTxnDone, "finished handle")
 	}
 	if tx.isKilled() && tx.sem != SemanticsIrrevocable {
 		tx.stat(statKills)
 		tx.abortCleanup()
-		return ErrKilled
+		return tx.abortKilled()
 	}
 
 	if tx.sem == SemanticsIrrevocable {
@@ -708,7 +747,7 @@ func (tx *Txn) Commit() error {
 		if !tx.validateReads() {
 			tx.stat(statValidateAbort)
 			tx.abortCleanup()
-			return abortConflict("commit validation", 0)
+			return tx.abortConflict("commit validation", 0)
 		}
 	}
 
@@ -726,7 +765,11 @@ func (tx *Txn) lockForCommit(e *writeEntry) error {
 		if tx.isKilled() {
 			tx.stat(statKills)
 			tx.abortCleanup()
-			return ErrKilled
+			return tx.abortKilled()
+		}
+		if err := tx.ctx.Err(); err != nil {
+			tx.abortCleanup()
+			return tx.abortCancelled(err)
 		}
 		prev, ok := e.v.tryLock(tx.id)
 		if ok {
@@ -748,7 +791,7 @@ func (tx *Txn) lockForCommit(e *writeEntry) error {
 		case ResolutionAbortSelf:
 			tx.stat(statLockAborts)
 			tx.abortCleanup()
-			return abortConflict("lock busy", e.v.id)
+			return tx.abortConflict("lock busy", e.v.id)
 		case ResolutionKillEnemy:
 			if enemy == nil || enemy.kill(owner) {
 				runtime.Gosched()
@@ -757,7 +800,7 @@ func (tx *Txn) lockForCommit(e *writeEntry) error {
 			// Enemy is unkillable (irrevocable): yield the fight.
 			tx.stat(statLockAborts)
 			tx.abortCleanup()
-			return abortConflict("lock busy (irrevocable owner)", e.v.id)
+			return tx.abortConflict("lock busy (irrevocable owner)", e.v.id)
 		case ResolutionRetryLock:
 			runtime.Gosched()
 		}

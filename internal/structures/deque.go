@@ -1,6 +1,10 @@
 package structures
 
-import "polytm/internal/core"
+import (
+	"context"
+
+	"polytm/internal/core"
+)
 
 // TDeque is a transactional double-ended queue: a doubly-linked list
 // between two sentinels, every link a TVar. Operations are short Def
@@ -71,7 +75,13 @@ func (d *TDeque[T]) unlink(tx *core.Tx, n *dnode[T]) error {
 
 // PushFront adds v at the front.
 func (d *TDeque[T]) PushFront(v T) {
-	must(d.tm.Atomic(func(tx *core.Tx) error {
+	must(d.PushFrontCtx(context.Background(), v))
+}
+
+// PushFrontCtx is PushFront bounded by ctx; a cancelled push's writes
+// are discarded, never partially applied.
+func (d *TDeque[T]) PushFrontCtx(ctx context.Context, v T) error {
+	return d.tm.AtomicCtx(ctx, func(tx *core.Tx) error {
 		n := &dnode[T]{val: v,
 			prev: core.NewTVar[*dnode[T]](d.tm, nil),
 			next: core.NewTVar[*dnode[T]](d.tm, nil)}
@@ -80,12 +90,17 @@ func (d *TDeque[T]) PushFront(v T) {
 			return err
 		}
 		return d.insertBetween(tx, n, d.head, first)
-	}))
+	})
 }
 
 // PushBack adds v at the back.
 func (d *TDeque[T]) PushBack(v T) {
-	must(d.tm.Atomic(func(tx *core.Tx) error {
+	must(d.PushBackCtx(context.Background(), v))
+}
+
+// PushBackCtx is PushBack bounded by ctx.
+func (d *TDeque[T]) PushBackCtx(ctx context.Context, v T) error {
+	return d.tm.AtomicCtx(ctx, func(tx *core.Tx) error {
 		n := &dnode[T]{val: v,
 			prev: core.NewTVar[*dnode[T]](d.tm, nil),
 			next: core.NewTVar[*dnode[T]](d.tm, nil)}
@@ -94,12 +109,19 @@ func (d *TDeque[T]) PushBack(v T) {
 			return err
 		}
 		return d.insertBetween(tx, n, last, d.tail)
-	}))
+	})
 }
 
 // PopFront removes and returns the front element, ok=false when empty.
 func (d *TDeque[T]) PopFront() (v T, ok bool) {
-	must(d.tm.Atomic(func(tx *core.Tx) error {
+	v, ok, err := d.PopFrontCtx(context.Background())
+	must(err)
+	return v, ok
+}
+
+// PopFrontCtx is PopFront bounded by ctx.
+func (d *TDeque[T]) PopFrontCtx(ctx context.Context) (v T, ok bool, err error) {
+	err = d.tm.AtomicCtx(ctx, func(tx *core.Tx) error {
 		first, err := core.Get(tx, d.head.next)
 		if err != nil {
 			return err
@@ -110,13 +132,20 @@ func (d *TDeque[T]) PopFront() (v T, ok bool) {
 		}
 		v, ok = first.val, true
 		return d.unlink(tx, first)
-	}))
-	return v, ok
+	})
+	return v, ok, err
 }
 
 // PopBack removes and returns the back element, ok=false when empty.
 func (d *TDeque[T]) PopBack() (v T, ok bool) {
-	must(d.tm.Atomic(func(tx *core.Tx) error {
+	v, ok, err := d.PopBackCtx(context.Background())
+	must(err)
+	return v, ok
+}
+
+// PopBackCtx is PopBack bounded by ctx.
+func (d *TDeque[T]) PopBackCtx(ctx context.Context) (v T, ok bool, err error) {
+	err = d.tm.AtomicCtx(ctx, func(tx *core.Tx) error {
 		last, err := core.Get(tx, d.tail.prev)
 		if err != nil {
 			return err
@@ -127,8 +156,8 @@ func (d *TDeque[T]) PopBack() (v T, ok bool) {
 		}
 		v, ok = last.val, true
 		return d.unlink(tx, last)
-	}))
-	return v, ok
+	})
+	return v, ok, err
 }
 
 // Rotate atomically moves the front element to the back, returning

@@ -1,6 +1,10 @@
 package structures
 
-import "polytm/internal/core"
+import (
+	"context"
+
+	"polytm/internal/core"
+)
 
 // THash is a transactional hash set that supports resize — the
 // capability whose absence from tuned lock-free hash tables motivates
@@ -142,11 +146,19 @@ func (h *THash) removeBody(tx *core.Tx, key uint64, out *bool) error {
 
 // Contains reports whether key is in the set.
 func (h *THash) Contains(key uint64) bool {
-	var found bool
-	must(h.tm.AtomicAs(h.sem, func(tx *core.Tx) error {
-		return h.containsBody(tx, key, &found)
-	}))
+	found, err := h.ContainsCtx(context.Background(), key)
+	must(err)
 	return found
+}
+
+// ContainsCtx is Contains bounded by ctx; cancellation surfaces as an
+// error matching stm.ErrCancelled.
+func (h *THash) ContainsCtx(ctx context.Context, key uint64) (bool, error) {
+	var found bool
+	err := h.tm.AtomicAsCtx(ctx, h.sem, func(tx *core.Tx) error {
+		return h.containsBody(tx, key, &found)
+	})
+	return found, err
 }
 
 // ContainsTx is Contains inside an enclosing transaction.
@@ -160,11 +172,19 @@ func (h *THash) ContainsTx(tx *core.Tx, key uint64) (bool, error) {
 
 // Insert adds key, returning false if present.
 func (h *THash) Insert(key uint64) bool {
-	var added bool
-	must(h.tm.AtomicAs(h.sem, func(tx *core.Tx) error {
-		return h.insertBody(tx, key, &added)
-	}))
+	added, err := h.InsertCtx(context.Background(), key)
+	must(err)
 	return added
+}
+
+// InsertCtx is Insert bounded by ctx; a cancelled insert's writes are
+// discarded, never partially applied.
+func (h *THash) InsertCtx(ctx context.Context, key uint64) (bool, error) {
+	var added bool
+	err := h.tm.AtomicAsCtx(ctx, h.sem, func(tx *core.Tx) error {
+		return h.insertBody(tx, key, &added)
+	})
+	return added, err
 }
 
 // InsertTx is Insert inside an enclosing transaction.
@@ -178,11 +198,19 @@ func (h *THash) InsertTx(tx *core.Tx, key uint64) (bool, error) {
 
 // Remove deletes key, returning false if absent.
 func (h *THash) Remove(key uint64) bool {
-	var removed bool
-	must(h.tm.AtomicAs(h.sem, func(tx *core.Tx) error {
-		return h.removeBody(tx, key, &removed)
-	}))
+	removed, err := h.RemoveCtx(context.Background(), key)
+	must(err)
 	return removed
+}
+
+// RemoveCtx is Remove bounded by ctx; a cancelled remove's writes are
+// discarded, never partially applied.
+func (h *THash) RemoveCtx(ctx context.Context, key uint64) (bool, error) {
+	var removed bool
+	err := h.tm.AtomicAsCtx(ctx, h.sem, func(tx *core.Tx) error {
+		return h.removeBody(tx, key, &removed)
+	})
+	return removed, err
 }
 
 // RemoveTx is Remove inside an enclosing transaction.

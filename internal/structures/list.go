@@ -14,6 +14,7 @@
 package structures
 
 import (
+	"context"
 	"fmt"
 
 	"polytm/internal/core"
@@ -142,11 +143,20 @@ func (l *TList) removeBody(tx *core.Tx, key uint64, out *bool) error {
 
 // Contains reports whether key is in the set.
 func (l *TList) Contains(key uint64) bool {
-	var found bool
-	must(l.tm.AtomicAs(l.sem, func(tx *core.Tx) error {
-		return l.containsBody(tx, key, &found)
-	}))
+	found, err := l.ContainsCtx(context.Background(), key)
+	must(err)
 	return found
+}
+
+// ContainsCtx is Contains bounded by ctx: cancellation aborts the
+// operation's retry loop and surfaces as an error matching
+// stm.ErrCancelled; the structure is untouched.
+func (l *TList) ContainsCtx(ctx context.Context, key uint64) (bool, error) {
+	var found bool
+	err := l.tm.AtomicAsCtx(ctx, l.sem, func(tx *core.Tx) error {
+		return l.containsBody(tx, key, &found)
+	})
+	return found, err
 }
 
 // ContainsTx is Contains inside an enclosing transaction; the operation
@@ -162,11 +172,19 @@ func (l *TList) ContainsTx(tx *core.Tx, key uint64) (bool, error) {
 
 // Insert adds key, returning false if it was already present.
 func (l *TList) Insert(key uint64) bool {
-	var added bool
-	must(l.tm.AtomicAs(l.sem, func(tx *core.Tx) error {
-		return l.insertBody(tx, key, &added)
-	}))
+	added, err := l.InsertCtx(context.Background(), key)
+	must(err)
 	return added
+}
+
+// InsertCtx is Insert bounded by ctx; a cancelled insert's writes are
+// discarded, never partially applied.
+func (l *TList) InsertCtx(ctx context.Context, key uint64) (bool, error) {
+	var added bool
+	err := l.tm.AtomicAsCtx(ctx, l.sem, func(tx *core.Tx) error {
+		return l.insertBody(tx, key, &added)
+	})
+	return added, err
 }
 
 // InsertTx is Insert inside an enclosing transaction.
@@ -180,11 +198,19 @@ func (l *TList) InsertTx(tx *core.Tx, key uint64) (bool, error) {
 
 // Remove deletes key, returning false if it was absent.
 func (l *TList) Remove(key uint64) bool {
-	var removed bool
-	must(l.tm.AtomicAs(l.sem, func(tx *core.Tx) error {
-		return l.removeBody(tx, key, &removed)
-	}))
+	removed, err := l.RemoveCtx(context.Background(), key)
+	must(err)
 	return removed
+}
+
+// RemoveCtx is Remove bounded by ctx; a cancelled remove's writes are
+// discarded, never partially applied.
+func (l *TList) RemoveCtx(ctx context.Context, key uint64) (bool, error) {
+	var removed bool
+	err := l.tm.AtomicAsCtx(ctx, l.sem, func(tx *core.Tx) error {
+		return l.removeBody(tx, key, &removed)
+	})
+	return removed, err
 }
 
 // RemoveTx is Remove inside an enclosing transaction.

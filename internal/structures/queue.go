@@ -1,6 +1,10 @@
 package structures
 
-import "polytm/internal/core"
+import (
+	"context"
+
+	"polytm/internal/core"
+)
 
 // TQueue is a transactional FIFO queue with a sentinel head node (the
 // two-pointer layout of Michael & Scott, transactionalized). Operations
@@ -33,7 +37,13 @@ func NewTQueue[T any](tm *core.TM) *TQueue[T] {
 
 // Enqueue appends v.
 func (q *TQueue[T]) Enqueue(v T) {
-	must(q.tm.Atomic(func(tx *core.Tx) error { return q.EnqueueTx(tx, v) }))
+	must(q.EnqueueCtx(context.Background(), v))
+}
+
+// EnqueueCtx is Enqueue bounded by ctx; a cancelled enqueue's writes
+// are discarded, never partially applied.
+func (q *TQueue[T]) EnqueueCtx(ctx context.Context, v T) error {
+	return q.tm.AtomicCtx(ctx, func(tx *core.Tx) error { return q.EnqueueTx(tx, v) })
 }
 
 // EnqueueTx appends v inside an enclosing transaction.
@@ -54,12 +64,19 @@ func (q *TQueue[T]) EnqueueTx(tx *core.Tx, v T) error {
 
 // Dequeue removes and returns the front element, or ok=false if empty.
 func (q *TQueue[T]) Dequeue() (v T, ok bool) {
-	must(q.tm.Atomic(func(tx *core.Tx) error {
+	v, ok, err := q.DequeueCtx(context.Background())
+	must(err)
+	return v, ok
+}
+
+// DequeueCtx is Dequeue bounded by ctx.
+func (q *TQueue[T]) DequeueCtx(ctx context.Context) (v T, ok bool, err error) {
+	err = q.tm.AtomicCtx(ctx, func(tx *core.Tx) error {
 		var err error
 		v, ok, err = q.DequeueTx(tx)
 		return err
-	}))
-	return v, ok
+	})
+	return v, ok, err
 }
 
 // DequeueTx removes the front element inside an enclosing transaction.
@@ -99,8 +116,19 @@ func (q *TQueue[T]) DequeueTx(tx *core.Tx) (v T, ok bool, err error) {
 // (via the Retry combinator: sleeping until the queue changes, not
 // spinning) while the queue is empty.
 func (q *TQueue[T]) DequeueBlocking() T {
+	v, err := q.DequeueBlockingCtx(context.Background())
+	must(err)
+	return v
+}
+
+// DequeueBlockingCtx is DequeueBlocking bounded by ctx — the
+// context-first consumer: it sleeps in the Retry combinator's wait
+// while the queue is empty and wakes either when an element arrives or
+// when ctx is cancelled, returning an error matching stm.ErrCancelled
+// (and the context's own error) in the latter case.
+func (q *TQueue[T]) DequeueBlockingCtx(ctx context.Context) (T, error) {
 	var v T
-	must(q.tm.Atomic(func(tx *core.Tx) error {
+	err := q.tm.AtomicCtx(ctx, func(tx *core.Tx) error {
 		got, ok, err := q.DequeueTx(tx)
 		if err != nil {
 			return err
@@ -110,8 +138,8 @@ func (q *TQueue[T]) DequeueBlocking() T {
 		}
 		v = got
 		return nil
-	}))
-	return v
+	})
+	return v, err
 }
 
 // Len returns the element count.

@@ -1,6 +1,7 @@
 package structures
 
 import (
+	"context"
 	"sync/atomic"
 
 	"polytm/internal/core"
@@ -81,8 +82,16 @@ func (s *TSkipList) search(tx *core.Tx, key uint64, preds []*slNode, succs []*sl
 
 // Contains reports whether key is in the set.
 func (s *TSkipList) Contains(key uint64) bool {
+	found, err := s.ContainsCtx(context.Background(), key)
+	must(err)
+	return found
+}
+
+// ContainsCtx is Contains bounded by ctx; cancellation surfaces as an
+// error matching stm.ErrCancelled.
+func (s *TSkipList) ContainsCtx(ctx context.Context, key uint64) (bool, error) {
 	var found bool
-	must(s.tm.AtomicAs(s.sem, func(tx *core.Tx) error {
+	err := s.tm.AtomicAsCtx(ctx, s.sem, func(tx *core.Tx) error {
 		pred := s.head
 		var curr *slNode
 		for lvl := skipMaxLevel - 1; lvl >= 0; lvl-- {
@@ -101,15 +110,23 @@ func (s *TSkipList) Contains(key uint64) bool {
 		}
 		found = curr != nil && curr.key == key
 		return nil
-	}))
-	return found
+	})
+	return found, err
 }
 
 // Insert adds key, returning false if present. Runs under Def.
 func (s *TSkipList) Insert(key uint64) bool {
+	added, err := s.InsertCtx(context.Background(), key)
+	must(err)
+	return added
+}
+
+// InsertCtx is Insert bounded by ctx; a cancelled insert's writes are
+// discarded, never partially applied.
+func (s *TSkipList) InsertCtx(ctx context.Context, key uint64) (bool, error) {
 	lvl := s.randLevel()
 	var added bool
-	must(s.tm.AtomicAs(core.Def, func(tx *core.Tx) error {
+	err := s.tm.AtomicAsCtx(ctx, core.Def, func(tx *core.Tx) error {
 		// Stack-resident search results: search only fills the slices,
 		// so they never escape (no per-op allocation).
 		var predsArr, succsArr [skipMaxLevel]*slNode
@@ -132,14 +149,22 @@ func (s *TSkipList) Insert(key uint64) bool {
 		}
 		added = true
 		return core.Modify(tx, s.size, func(v int) int { return v + 1 })
-	}))
-	return added
+	})
+	return added, err
 }
 
 // Remove deletes key, returning false if absent. Runs under Def.
 func (s *TSkipList) Remove(key uint64) bool {
+	removed, err := s.RemoveCtx(context.Background(), key)
+	must(err)
+	return removed
+}
+
+// RemoveCtx is Remove bounded by ctx; a cancelled remove's writes are
+// discarded, never partially applied.
+func (s *TSkipList) RemoveCtx(ctx context.Context, key uint64) (bool, error) {
 	var removed bool
-	must(s.tm.AtomicAs(core.Def, func(tx *core.Tx) error {
+	err := s.tm.AtomicAsCtx(ctx, core.Def, func(tx *core.Tx) error {
 		var predsArr, succsArr [skipMaxLevel]*slNode
 		preds, succs := predsArr[:], succsArr[:]
 		if err := s.search(tx, key, preds, succs); err != nil {
@@ -164,8 +189,8 @@ func (s *TSkipList) Remove(key uint64) bool {
 		}
 		removed = true
 		return core.Modify(tx, s.size, func(v int) int { return v - 1 })
-	}))
-	return removed
+	})
+	return removed, err
 }
 
 // Len returns the element count.

@@ -1,6 +1,7 @@
 package structures
 
 import (
+	"context"
 	"sync/atomic"
 
 	"polytm/internal/core"
@@ -270,50 +271,85 @@ func (m *TSkipMap) RebuildTx(tx *core.Tx) (int, error) {
 
 // Get is the one-shot form of GetTx under semantics sem.
 func (m *TSkipMap) Get(key string, sem core.Semantics) (string, bool) {
+	val, ok, err := m.GetCtx(context.Background(), key, sem)
+	must(err)
+	return val, ok
+}
+
+// GetCtx is Get bounded by ctx; cancellation surfaces as an error
+// matching stm.ErrCancelled.
+func (m *TSkipMap) GetCtx(ctx context.Context, key string, sem core.Semantics) (string, bool, error) {
 	var val string
 	var ok bool
-	must(m.tm.AtomicAs(sem, func(tx *core.Tx) error {
+	err := m.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 		var err error
 		val, ok, err = m.GetTx(tx, key)
 		return err
-	}))
-	return val, ok
+	})
+	return val, ok, err
 }
 
 // Put is the one-shot form of PutTx under semantics sem.
 func (m *TSkipMap) Put(key, val string, sem core.Semantics) bool {
+	existed, err := m.PutCtx(context.Background(), key, val, sem)
+	must(err)
+	return existed
+}
+
+// PutCtx is Put bounded by ctx; a cancelled put's writes are discarded,
+// never partially applied.
+func (m *TSkipMap) PutCtx(ctx context.Context, key, val string, sem core.Semantics) (bool, error) {
 	var existed bool
-	must(m.tm.AtomicAs(sem, func(tx *core.Tx) error {
+	err := m.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 		var err error
 		existed, err = m.PutTx(tx, key, val)
 		return err
-	}))
-	return existed
+	})
+	return existed, err
 }
 
 // Delete is the one-shot form of DeleteTx under semantics sem.
 func (m *TSkipMap) Delete(key string, sem core.Semantics) bool {
+	removed, err := m.DeleteCtx(context.Background(), key, sem)
+	must(err)
+	return removed
+}
+
+// DeleteCtx is Delete bounded by ctx; a cancelled delete's writes are
+// discarded, never partially applied.
+func (m *TSkipMap) DeleteCtx(ctx context.Context, key string, sem core.Semantics) (bool, error) {
 	var removed bool
-	must(m.tm.AtomicAs(sem, func(tx *core.Tx) error {
+	err := m.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 		var err error
 		removed, err = m.DeleteTx(tx, key)
 		return err
-	}))
-	return removed
+	})
+	return removed, err
 }
 
 // Range is the one-shot form of RangeTx under semantics sem, collecting
 // the visited pairs.
 func (m *TSkipMap) Range(from, to string, limit int, sem core.Semantics) []KV {
+	out, err := m.RangeCtx(context.Background(), from, to, limit, sem)
+	must(err)
+	return out
+}
+
+// RangeCtx is Range bounded by ctx; cancellation surfaces as an error
+// matching stm.ErrCancelled with no pairs returned.
+func (m *TSkipMap) RangeCtx(ctx context.Context, from, to string, limit int, sem core.Semantics) ([]KV, error) {
 	var out []KV
-	must(m.tm.AtomicAs(sem, func(tx *core.Tx) error {
+	err := m.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 		out = out[:0]
 		return m.RangeTx(tx, from, to, limit, func(k, v string) bool {
 			out = append(out, KV{Key: k, Val: v})
 			return true
 		})
-	}))
-	return out
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Len returns the element count (snapshot read; never aborts).

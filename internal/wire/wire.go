@@ -138,6 +138,34 @@ func (s Status) String() string {
 // mapping. Any other value must be a valid stm.Semantics.
 const SemDefault byte = 0xFF
 
+// SemanticsError is the typed protocol error for an out-of-range
+// semantics byte. It matches ErrBadSemantics via errors.Is and carries
+// the offending byte for diagnostics.
+type SemanticsError struct{ Byte byte }
+
+// Error implements error.
+func (e *SemanticsError) Error() string {
+	return fmt.Sprintf("wire: invalid semantics byte 0x%02X", e.Byte)
+}
+
+// Is makes errors.Is(err, ErrBadSemantics) report true.
+func (e *SemanticsError) Is(target error) bool { return target == ErrBadSemantics }
+
+// Semantics validates a frame's semantics byte in ONE place — the
+// encoder, the decoder and the server's request executor all call it,
+// so no handler re-implements the range check. SemDefault resolves to
+// def (the caller's per-opcode mapping); any other byte must name a
+// defined stm.Semantics or a *SemanticsError is returned.
+func Semantics(b byte, def stm.Semantics) (stm.Semantics, error) {
+	if b == SemDefault {
+		return def, nil
+	}
+	if s := stm.Semantics(b); s.Valid() {
+		return s, nil
+	}
+	return 0, &SemanticsError{Byte: b}
+}
+
 // MaxFrame is the default cap on a frame payload; a peer announcing a
 // larger frame is protocol-broken (or hostile) and the connection is
 // dropped rather than the length trusted.
@@ -424,8 +452,8 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	if !r.Op.Valid() {
 		return nil, ErrBadOp
 	}
-	if r.Sem != SemDefault && !stm.Semantics(r.Sem).Valid() {
-		return nil, ErrBadSemantics
+	if _, err := Semantics(r.Sem, 0); err != nil {
+		return nil, err
 	}
 	dst = append(dst, byte(r.Op), r.Sem)
 	return appendRequestBody(dst, r)
@@ -546,8 +574,8 @@ func DecodeRequestInto(r *Request, payload []byte) error {
 	if !r.Op.Valid() {
 		return ErrBadOp
 	}
-	if sem != SemDefault && !stm.Semantics(sem).Valid() {
-		return ErrBadSemantics
+	if _, err := Semantics(sem, 0); err != nil {
+		return err
 	}
 	if err := decodeRequestBody(rd, r); err != nil {
 		return err

@@ -27,6 +27,15 @@
 // parent, or strongest-of-the-two, the three answers to the paper's
 // concluding question.
 //
+// The whole lifecycle is parametric, not just the semantics: AtomicCtx
+// bounds a transaction by a context.Context (cancellation aborts
+// between attempts, interrupts contention-manager backoff, and wakes a
+// transaction parked in Retry's wait), WithMaxAttempts bounds its
+// retries, WithLabel tags it, and WithObserver / Config.Observer hook
+// its commit/abort/wait events. Every engine-generated failure is an
+// *AbortError carrying the semantics, attempt count and rival
+// involvement while still matching the legacy sentinels via errors.Is.
+//
 // Transactional collections built on this API live in
 // internal/structures and are re-exported by the example programs; the
 // executable rendition of the paper's formal model (schedules,
@@ -67,6 +76,21 @@ type Config = core.Config
 // Option customises one transaction.
 type Option = core.Option
 
+// Observer receives transaction lifecycle events (commit, abort,
+// retry-wait); register one TM-wide via Config.Observer or per
+// transaction via WithObserver.
+type Observer = core.Observer
+
+// TxnEvent is the event payload delivered to an Observer.
+type TxnEvent = core.TxnEvent
+
+// AbortError is the structured abort outcome carried by every
+// engine-generated error: its legacy sentinel identity plus the
+// transaction's semantics, attempt count and rival involvement.
+// errors.Is against the sentinels (ErrTooManyAttempts, ErrCancelled,
+// stm.ErrConflict, …) keeps working; errors.As recovers the detail.
+type AbortError = core.AbortError
+
 // The transaction semantics.
 const (
 	Def         = core.Def
@@ -86,6 +110,15 @@ const (
 // a variable it read changes, then re-executes it — the composable
 // blocking combinator.
 var Retry = core.Retry
+
+// ErrTooManyAttempts matches errors returned when a transaction
+// exhausted its attempt bound (engine MaxAttempts or WithMaxAttempts).
+var ErrTooManyAttempts = stm.ErrTooManyAttempts
+
+// ErrCancelled matches errors returned when a transaction was abandoned
+// because its context was cancelled or its deadline expired; the same
+// error also matches context.Canceled / context.DeadlineExceeded.
+var ErrCancelled = stm.ErrCancelled
 
 // New creates a TM with default configuration (Def default semantics,
 // strongest-wins nesting).
@@ -117,3 +150,13 @@ func WithSemantics(s Semantics) Option { return core.WithSemantics(s) }
 // the factories live in internal/stm (NewSuicide, NewPolite, NewBackoff,
 // NewKarma, NewTimestamp, NewAggressive).
 func WithContentionManager(f stm.CMFactory) Option { return core.WithContentionManager(f) }
+
+// WithMaxAttempts bounds the transaction to n attempts; exhausting the
+// bound surfaces as an *AbortError matching ErrTooManyAttempts.
+func WithMaxAttempts(n int) Option { return core.WithMaxAttempts(n) }
+
+// WithLabel tags the transaction's Observer events.
+func WithLabel(s string) Option { return core.WithLabel(s) }
+
+// WithObserver gives this transaction its own lifecycle observer.
+func WithObserver(o Observer) Option { return core.WithObserver(o) }
