@@ -65,6 +65,7 @@ import (
 	"polytm/internal/server/client"
 	"polytm/internal/stm"
 	"polytm/internal/structures"
+	"polytm/internal/wal"
 	"polytm/internal/workload"
 )
 
@@ -229,6 +230,7 @@ func main() {
 	getPct := flag.Int("get-pct", 80, "GET percentage for -bench server")
 	scanPct := flag.Int("scan-pct", 10, "SCAN percentage for -bench server (remainder is SETs)")
 	scanLimit := flag.Uint64("scan-limit", 16, "SCAN window for -bench server")
+	durable := flag.Bool("durable", false, "for -bench server: also run durable variants (one per fsync mode, fresh temp wal dir each)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results instead of tables")
 	allocs := flag.Bool("allocs", false, "print allocs/op and B/op columns for -bench scale/server table output")
 	flag.Parse()
@@ -272,7 +274,7 @@ func main() {
 		{"scan", func() { benchScan(ctx, rep, base, workers) }},
 		{"cm", func() { benchCM(ctx, rep, base, workers) }},
 		{"scale", func() { benchScale(ctx, rep, base, workers, *shards) }},
-		{"server", func() { benchServer(ctx, rep, base, workers, *shards, *getPct, *scanPct, *scanLimit) }},
+		{"server", func() { benchServer(ctx, rep, base, workers, *shards, *getPct, *scanPct, *scanLimit, *durable) }},
 	}
 	ran := false
 	var names []string
@@ -595,9 +597,36 @@ func benchCM(ctx context.Context, rep *report, base harness.Config, workers []in
 // per second; the per-semantics abort breakdown from the engine's
 // sharded stats shows the polymorphic mapping at work (snapshot GETs
 // never abort regardless of write pressure).
-func benchServer(ctx context.Context, rep *report, base harness.Config, workers []int, shards, getPct, scanPct int, scanLimit uint64) {
-	rep.printf("== B8: polyserve loopback, %d%% GET / %d%% SCAN / %d%% SET, range %d ==\n",
-		getPct, scanPct, 100-getPct-scanPct, base.Mix.KeyRange)
+//
+// With durable, the experiment re-runs once per fsync mode against a
+// durable server on a fresh temp WAL directory (B9): the cost of the
+// write-ahead log — group commit, irrevocable escalation of the SET
+// share, background checkpoints — measured against the non-durable
+// baseline of the same box.
+func benchServer(ctx context.Context, rep *report, base harness.Config, workers []int, shards, getPct, scanPct int, scanLimit uint64, durable bool) {
+	variants := []struct {
+		label string
+		dur   *server.Durability // nil = non-durable baseline
+	}{{label: "baseline"}}
+	if durable {
+		for _, mode := range []wal.Mode{wal.ModeAlways, wal.ModeBatch, wal.ModeOff} {
+			variants = append(variants, struct {
+				label string
+				dur   *server.Durability
+			}{
+				label: "durable-" + mode.String(),
+				dur:   &server.Durability{Fsync: mode, CheckpointEvery: 200 * time.Millisecond},
+			})
+		}
+	}
+	for _, v := range variants {
+		benchServerVariant(ctx, rep, base, workers, shards, getPct, scanPct, scanLimit, v.label, v.dur)
+	}
+}
+
+func benchServerVariant(ctx context.Context, rep *report, base harness.Config, workers []int, shards, getPct, scanPct int, scanLimit uint64, label string, dur *server.Durability) {
+	rep.printf("== B8: polyserve loopback [%s], %d%% GET / %d%% SCAN / %d%% SET, range %d ==\n",
+		label, getPct, scanPct, 100-getPct-scanPct, base.Mix.KeyRange)
 	key := func(k uint64) []byte {
 		return []byte(fmt.Sprintf("k%08d", k%base.Mix.KeyRange))
 	}
@@ -606,6 +635,20 @@ func benchServer(ctx context.Context, rep *report, base harness.Config, workers 
 			return
 		}
 		srv := server.New(server.Config{Shards: shards})
+		if dur != nil {
+			d := *dur
+			tmp, err := os.MkdirTemp("", "polybench-wal-*")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "polybench: wal dir: %v\n", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(tmp)
+			d.Dir = tmp
+			if _, err := srv.Store().EnableDurability(d); err != nil {
+				fmt.Fprintf(os.Stderr, "polybench: durability: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "polybench: server listen: %v\n", err)
@@ -687,7 +730,11 @@ func benchServer(ctx context.Context, rep *report, base harness.Config, workers 
 		rep.printf("  workers=%-3d %12.0f txns/s  abort-rate=%.3f%s\n",
 			w, float64(total)/el.Seconds(), s.AbortRate(), rep.memSuffix(mem))
 		rep.printf("      per-semantics: %s\n", s.PerSemString())
-		rep.addWithStats("server", fmt.Sprintf("server-shards%d", srv.TM().Engine().Shards()), w, el, total, s, mem)
+		name := fmt.Sprintf("server-shards%d", srv.TM().Engine().Shards())
+		if dur != nil {
+			name = fmt.Sprintf("server-%s-shards%d", label, srv.TM().Engine().Shards())
+		}
+		rep.addWithStats("server", name, w, el, total, s, mem)
 
 		sdCtx, cancel := shutdownContext()
 		if err := srv.Shutdown(sdCtx); err != nil {
@@ -695,5 +742,8 @@ func benchServer(ctx context.Context, rep *report, base harness.Config, workers 
 		}
 		cancel()
 		<-serveDone
+		if err := srv.Store().CloseDurability(); err != nil {
+			fmt.Fprintf(os.Stderr, "polybench: wal close: %v\n", err)
+		}
 	}
 }

@@ -8,6 +8,14 @@
 // Usage:
 //
 //	polyserve -addr :7535 -shards 0 -nesting strongest -max-conns 1024
+//	polyserve -addr :7535 -wal-dir /var/lib/polyserve -fsync batch -checkpoint-every 1m
+//
+// With -wal-dir the server is durable: it recovers the directory's
+// newest valid checkpoint plus the write-ahead-log tail on startup
+// (truncating a torn trailing record), logs every mutation through a
+// group-commit batcher before acknowledging it (-fsync picks the
+// policy: always / batch / off), and checkpoints the keyspace in the
+// background every -checkpoint-every, truncating the log.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops
 // accepting, lets in-flight requests complete, and after -drain cancels
@@ -29,6 +37,7 @@ import (
 
 	"polytm/internal/core"
 	"polytm/internal/server"
+	"polytm/internal/wal"
 )
 
 func main() {
@@ -38,6 +47,9 @@ func main() {
 	maxConns := flag.Int("max-conns", 1024, "max concurrently served connections")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	quiet := flag.Bool("quiet", false, "suppress connection diagnostics")
+	walDir := flag.String("wal-dir", "", "write-ahead-log directory (empty = no durability)")
+	fsync := flag.String("fsync", "batch", "wal fsync policy: always, batch, off")
+	ckptEvery := flag.Duration("checkpoint-every", time.Minute, "background checkpoint cadence (<0 disables)")
 	flag.Parse()
 
 	var policy core.NestingPolicy
@@ -62,6 +74,26 @@ func main() {
 		cfg.Logf = log.Printf
 	}
 	srv := server.New(cfg)
+
+	if *walDir != "" {
+		mode, err := wal.ParseMode(*fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polyserve: %v\n", err)
+			os.Exit(2)
+		}
+		res, err := srv.Store().EnableDurability(server.Durability{
+			Dir:             *walDir,
+			Fsync:           mode,
+			CheckpointEvery: *ckptEvery,
+			Logf:            log.Printf,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polyserve: durability: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("polyserve: durable on %s (fsync=%s, checkpoint-every=%v) — recovered: %s",
+			*walDir, mode, *ckptEvery, res)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -95,6 +127,12 @@ func main() {
 			forced = true
 		}
 		<-done
+		// The drain is over: flush and close the write-ahead log so the
+		// final records are durable before the process exits.
+		if err := srv.Store().CloseDurability(); err != nil {
+			log.Printf("polyserve: wal close: %v", err)
+			forced = true
+		}
 		stats := srv.TM().Stats()
 		log.Printf("polyserve: bye — %s", stats.String())
 		log.Printf("polyserve: per-semantics — %s", stats.PerSemString())
@@ -102,6 +140,9 @@ func main() {
 			os.Exit(1) // an unclean (forced) drain is not a clean exit
 		}
 	case err := <-done:
+		if cerr := srv.Store().CloseDurability(); cerr != nil {
+			log.Printf("polyserve: wal close: %v", cerr)
+		}
 		if err != nil && err != server.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "polyserve: serve: %v\n", err)
 			os.Exit(1)

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"polytm/internal/core"
+	"polytm/internal/stm"
+	"polytm/internal/wal"
+)
+
+// Durability configures a Store's write-ahead log.
+type Durability struct {
+	// Dir is the log directory ("" disables durability).
+	Dir string
+	// Fsync is the acknowledgement policy (zero value: wal.ModeBatch).
+	Fsync wal.Mode
+	// BatchWindow is the background fsync cadence for wal.ModeBatch
+	// (0 = the wal default).
+	BatchWindow time.Duration
+	// CheckpointEvery is the background checkpoint cadence
+	// (0 = 1 minute; negative disables background checkpoints).
+	CheckpointEvery time.Duration
+	// Logf, when non-nil, receives recovery/checkpoint diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// walCapture carries one durable mutation's record from the
+// transaction body to the log. It is the store's rendition of the
+// two-phase append protocol (see wal.Log):
+//
+//   - the transaction body builds the record into buf and reserves it
+//     while the body is still running — under the irrevocable token,
+//     so reservation order is exactly commit order;
+//   - the capture is also the transaction's stm.Observer: OnCommit
+//     confirms the reservation, OnAbort tombstones it. A record can
+//     therefore never outlive an aborted transaction.
+//
+// Captures are pooled per store; one capture serves one ExecuteCtx.
+type walCapture struct {
+	log      *wal.Log
+	next     stm.Observer // the engine-wide observer, still owed its events
+	buf      []byte
+	seq      uint64 // last reserved position (meaningful while logged)
+	reserved bool   // reservation outstanding, awaiting OnCommit/OnAbort
+	logged   bool   // this execution reserved a record: wait() has a target
+}
+
+// reset readies a pooled capture for one ExecuteCtx.
+func (c *walCapture) reset() {
+	c.buf = c.buf[:0]
+	c.seq = 0
+	c.reserved = false
+	c.logged = false
+}
+
+// begin resets the capture for one transaction attempt. It is called
+// at the top of the transaction body, so a re-executed body (which
+// cannot happen under irrevocable semantics, but costs nothing to
+// tolerate) rebuilds its record from scratch.
+func (c *walCapture) begin() {
+	if c == nil {
+		return
+	}
+	c.buf = c.buf[:0]
+}
+
+// set/del/flush/rebuild append operations to the record under
+// construction. All are nil-safe no-ops so the non-durable execution
+// path shares the call sites.
+func (c *walCapture) set(key, val []byte) {
+	if c == nil {
+		return
+	}
+	c.buf = wal.AppendSet(c.buf, key, val)
+}
+
+func (c *walCapture) del(key []byte) {
+	if c == nil {
+		return
+	}
+	c.buf = wal.AppendDel(c.buf, key)
+}
+
+func (c *walCapture) flush() {
+	if c == nil {
+		return
+	}
+	c.buf = wal.AppendFlush(c.buf)
+}
+
+func (c *walCapture) rebuild() {
+	if c == nil {
+		return
+	}
+	c.buf = wal.AppendRebuild(c.buf)
+}
+
+// reserve queues the built record (if any) at the log's next position.
+// Called as the body's final step: nothing after it can abort the
+// transaction (irrevocable commit cannot fail), and nothing before it
+// has fixed the order.
+func (c *walCapture) reserve() {
+	if c == nil || len(c.buf) == 0 {
+		return
+	}
+	c.seq = c.log.Reserve(c.buf)
+	c.reserved = true
+	c.logged = true
+}
+
+// wait blocks until the reserved record (if any) is durable under the
+// log's fsync mode — the acknowledgement gate of every durable
+// mutation. Called after the transaction has committed (so the record
+// is already confirmed).
+func (c *walCapture) wait() error {
+	if c == nil || !c.logged {
+		return nil
+	}
+	return c.log.WaitDurable(c.seq)
+}
+
+// OnCommit / OnAbort / OnWait implement stm.Observer. A per-
+// transaction observer REPLACES the engine-wide one, so the capture
+// forwards every event to the observer the TM was configured with —
+// enabling durability must not silently cut the write path out of an
+// operator's metrics.
+func (c *walCapture) OnCommit(ev stm.TxnEvent) {
+	if c.reserved {
+		c.log.Commit(c.seq)
+		c.reserved = false
+	}
+	if c.next != nil {
+		c.next.OnCommit(ev)
+	}
+}
+
+func (c *walCapture) OnAbort(ev stm.TxnEvent) {
+	if c.reserved {
+		c.log.Cancel(c.seq)
+		c.reserved = false
+		c.logged = false
+	}
+	if c.next != nil {
+		c.next.OnAbort(ev)
+	}
+}
+
+func (c *walCapture) OnWait(ev stm.TxnEvent) {
+	if c.next != nil {
+		c.next.OnWait(ev)
+	}
+}
+
+// EnableDurability attaches a write-ahead log to the store: it
+// recovers dir's durable state INTO the store (newest valid checkpoint
+// plus the log tail, torn trailing record truncated), then routes
+// every subsequent mutation through the log — each one runs as an
+// irrevocable transaction whose record is reserved under the
+// irrevocable token and acknowledged only once durable under d.Fsync —
+// and starts the background checkpointer. It must be called before the
+// store serves traffic, and pairs with CloseDurability.
+func (s *Store) EnableDurability(d Durability) (*wal.RecoverResult, error) {
+	if s.wal != nil {
+		return nil, fmt.Errorf("server: durability already enabled")
+	}
+	if d.Dir == "" {
+		return nil, fmt.Errorf("server: durability needs a directory")
+	}
+	l, res, err := wal.Open(d.Dir, wal.Options{Mode: d.Fsync, BatchWindow: d.BatchWindow, Logf: d.Logf}, s.applyRecord)
+	if err != nil {
+		return nil, err
+	}
+	s.wal = l
+	engObs := s.tm.Engine().Observer()
+	s.caps.New = func() any { return &walCapture{log: l, next: engObs} }
+	every := d.CheckpointEvery
+	if every == 0 {
+		every = time.Minute
+	}
+	if every > 0 {
+		s.ckptStop = make(chan struct{})
+		s.ckptDone = make(chan struct{})
+		go s.checkpointLoop(every, d.Logf)
+	}
+	return res, nil
+}
+
+// Durable reports whether the store is backed by a write-ahead log.
+func (s *Store) Durable() bool { return s.wal != nil }
+
+// WAL returns the store's log (nil when not durable) — stats, tests.
+func (s *Store) WAL() *wal.Log { return s.wal }
+
+// CloseDurability stops the checkpointer, flushes the log, and closes
+// it. The store must be drained first (polyserve calls this after
+// Server.Shutdown); mutations after it fail.
+func (s *Store) CloseDurability() error {
+	if s.wal == nil {
+		return nil
+	}
+	if s.ckptStop != nil {
+		close(s.ckptStop)
+		<-s.ckptDone
+		s.ckptStop, s.ckptDone = nil, nil
+	}
+	return s.wal.Close()
+}
+
+// checkpointLoop writes a checkpoint every `every` until stopped. The
+// in-flight checkpoint runs under a context cancelled by the stop
+// signal, so CloseDurability is never held hostage by a long snapshot
+// walk over a big keyspace — the partial .tmp file is abandoned and
+// the log keeps its segments.
+func (s *Store) checkpointLoop(every time.Duration, logf func(string, ...any)) {
+	defer close(s.ckptDone)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-s.ckptStop
+		cancel()
+	}()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ckptStop:
+			return
+		case <-t.C:
+			if err := s.Checkpoint(ctx); err != nil && logf != nil {
+				logf("polyserve: checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// Checkpoint snapshots the keyspace into a compact file and truncates
+// the log. The sequence is what makes it safe:
+//
+//  1. Rotate the log inside an EMPTY irrevocable transaction. Every
+//     durable mutation reserves its record while holding the
+//     irrevocable token, and its memory effect is visible before the
+//     token is released — so once the rotator holds the token, every
+//     record of the sealed segments is a visible mutation.
+//  2. Snapshot the map through one snapshot-semantics Range
+//     (TSkipMap.SnapshotAllCtx). Started after step 1, its consistent
+//     view therefore covers everything in segments < the new one.
+//     Mutations that race with the walk may land in both the snapshot
+//     and the new segment; replay is idempotent (records are
+//     absolute), so the overlap is harmless.
+//  3. Install the checkpoint atomically (tmp + rename) and delete the
+//     sealed segments.
+func (s *Store) Checkpoint(ctx context.Context) error {
+	if s.wal == nil {
+		return fmt.Errorf("server: store is not durable")
+	}
+	var seg uint64
+	err := s.tm.AtomicCtx(ctx, func(tx *core.Tx) error {
+		var rerr error
+		seg, rerr = s.wal.Rotate()
+		return rerr
+	}, core.WithSemantics(core.Irrevocable), core.WithLabel("wal-rotate"))
+	if err != nil {
+		return err
+	}
+	return s.wal.WriteCheckpoint(seg, func(emit func(k, v string) error) error {
+		return s.m.SnapshotAllCtx(ctx, func(k, v string) error {
+			// Per-pair cancellation point: a snapshot transaction's body
+			// is not interrupted by its context mid-walk, so a multi-GB
+			// checkpoint racing a shutdown checks here instead.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return emit(k, v)
+		})
+	})
+}
+
+// applyRecord replays one recovered record — one atomic operation
+// group — into the store as a single transaction, exactly as the
+// original mutation committed. Recovery is single-threaded and
+// in-process, so plain def semantics suffice.
+func (s *Store) applyRecord(ops []wal.Op) error {
+	return s.tm.AtomicAs(core.Def, func(tx *core.Tx) error {
+		for _, op := range ops {
+			switch op.Kind {
+			case wal.OpSet:
+				if _, err := s.m.PutTx(tx, op.Key, op.Val); err != nil {
+					return err
+				}
+			case wal.OpDel:
+				if _, err := s.m.DeleteTx(tx, op.Key); err != nil {
+					return err
+				}
+			case wal.OpFlush:
+				if _, err := s.m.ClearTx(tx); err != nil {
+					return err
+				}
+			case wal.OpRebuild:
+				if _, err := s.m.RebuildTx(tx); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("server: unknown wal op kind %v", op.Kind)
+			}
+		}
+		return nil
+	})
+}

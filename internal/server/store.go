@@ -2,11 +2,13 @@ package server
 
 import (
 	"context"
+	"sync"
 	"unsafe"
 
 	"polytm/internal/core"
 	"polytm/internal/stm"
 	"polytm/internal/structures"
+	"polytm/internal/wal"
 	"polytm/internal/wire"
 )
 
@@ -48,16 +50,42 @@ func DefaultSemantics(op wire.Op) core.Semantics {
 // default. Validation lives in wire.Semantics — the one place the byte
 // range is checked — so requests that bypass the wire decoder (tests,
 // in-process embedding) are rejected identically to decoded ones.
+//
+// A hand-built frame can ask for any combination, including snapshot
+// (read-only) semantics on a write opcode; the engine would reject the
+// write mid-transaction (stm.ErrSnapshotWrite), but only after a
+// transaction has started and begun its attempt. The protocol layer
+// knows the combination is nonsense from the header alone, so it is
+// rejected here — before any transaction starts — with the typed
+// *wire.SnapshotWriteError.
 func resolveSemantics(req *wire.Request) (core.Semantics, error) {
-	return wire.Semantics(req.Sem, DefaultSemantics(req.Op))
+	sem, err := wire.Semantics(req.Sem, DefaultSemantics(req.Op))
+	if err != nil {
+		return 0, err
+	}
+	if sem == core.Snapshot && req.Op.Mutates() {
+		return 0, &wire.SnapshotWriteError{Op: req.Op}
+	}
+	return sem, nil
 }
 
 // Store is the server's keyspace: a transactional ordered map over one
 // polymorphic TM. All transaction-semantics policy lives in the request
 // execution path, not in the structure.
+//
+// A durable store (EnableDurability) additionally owns a write-ahead
+// log: every mutating request runs as an irrevocable transaction that
+// reserves its log record under the irrevocable token, and is
+// acknowledged only once the record is durable.
 type Store struct {
 	tm *core.TM
 	m  *structures.TSkipMap
+
+	wal  *wal.Log
+	caps sync.Pool // *walCapture, created by EnableDurability
+
+	ckptStop chan struct{}
+	ckptDone chan struct{}
 }
 
 // NewStore creates an empty store on tm.
@@ -99,30 +127,57 @@ func (s *Store) ExecuteCtx(ctx context.Context, req *wire.Request, resp *wire.Re
 		errInto(resp, err)
 		return
 	}
+	// Durable stores escalate every mutation to the irrevocable class —
+	// even over an explicit weaker override. The log needs a total
+	// order matching commit order, and the irrevocable token is that
+	// order; it also guarantees a reserved record's transaction commits.
+	var cp *walCapture
+	if s.wal != nil && req.Op.Mutates() {
+		cp = s.caps.Get().(*walCapture)
+		cp.reset()
+		defer s.caps.Put(cp)
+		sem = core.Irrevocable
+	}
 	switch req.Op {
 	case wire.OpGet:
 		s.get(ctx, req.Key, sem, resp)
 	case wire.OpSet:
-		s.set(ctx, req.Key, req.Val, sem, resp)
+		s.set(ctx, req.Key, req.Val, sem, resp, cp)
 	case wire.OpCAS:
-		s.cas(ctx, req.Key, req.Old, req.Val, sem, resp)
+		s.cas(ctx, req.Key, req.Old, req.Val, sem, resp, cp)
 	case wire.OpDel:
-		s.del(ctx, req.Key, sem, resp)
+		s.del(ctx, req.Key, sem, resp, cp)
 	case wire.OpScan:
 		s.scan(ctx, req.From, req.To, req.Limit, sem, resp)
 	case wire.OpMGet:
 		s.mget(ctx, req.Keys, sem, resp)
 	case wire.OpTxn:
-		s.txn(ctx, req.Batch, sem, resp)
+		s.txn(ctx, req.Batch, sem, resp, cp)
 	case wire.OpStats:
 		s.stats(resp)
 	case wire.OpFlush:
-		s.flush(ctx, sem, resp)
+		s.flush(ctx, sem, resp, cp)
 	case wire.OpRebuild:
-		s.rebuild(ctx, sem, resp)
+		s.rebuild(ctx, sem, resp, cp)
 	default:
 		errInto(resp, wire.ErrBadOp)
 	}
+}
+
+// atomicMut runs one mutating request's transaction. The non-durable
+// path is the historical hot path, untouched. The durable path runs fn
+// with the capture as the transaction's observer — confirming or
+// tombstoning the record the body reserved — and gates the
+// acknowledgement on the record being durable.
+func (s *Store) atomicMut(ctx context.Context, sem core.Semantics, cp *walCapture, fn func(tx *core.Tx) error) error {
+	if cp == nil {
+		return s.tm.AtomicAsCtx(ctx, sem, fn)
+	}
+	err := s.tm.AtomicCtx(ctx, fn, core.WithSemantics(sem), core.WithObserver(cp))
+	if err != nil {
+		return err
+	}
+	return cp.wait()
 }
 
 // resetResponse scrubs resp for reuse, truncating (not freeing) its
@@ -167,8 +222,12 @@ func appendPair(resp *wire.Response, k, v string) {
 }
 
 // appendSub appends one sub-response slot to resp.Batch, reusing the
-// entry's storage when the slice has capacity, and returns it with its
-// value truncated and status OK.
+// entry's storage when the slice has capacity, and returns it fully
+// scrubbed (via resetResponse — every field, not just the ones MGET
+// and TXN happen to set: a reused slot carries whatever the previous
+// request left in Msg, N, Pairs, Counters and nested Batch, and any
+// stale field is a wire leak waiting for the encoder to grow a path
+// that reads it).
 func appendSub(resp *wire.Response) *wire.Response {
 	n := len(resp.Batch)
 	if n < cap(resp.Batch) {
@@ -177,9 +236,7 @@ func appendSub(resp *wire.Response) *wire.Response {
 		resp.Batch = append(resp.Batch, wire.Response{})
 	}
 	sub := &resp.Batch[n]
-	sub.Status = wire.StatusOK
-	sub.Val = sub.Val[:0]
-	sub.SubOp = 0
+	resetResponse(sub)
 	return sub
 }
 
@@ -203,10 +260,15 @@ func (s *Store) get(ctx context.Context, key []byte, sem core.Semantics, resp *w
 	}
 }
 
-func (s *Store) set(ctx context.Context, key, val []byte, sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
-		_, err := s.m.PutTx(tx, string(key), string(val))
-		return err
+func (s *Store) set(ctx context.Context, key, val []byte, sem core.Semantics, resp *wire.Response, cp *walCapture) {
+	err := s.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
+		cp.begin()
+		if _, err := s.m.PutTx(tx, string(key), string(val)); err != nil {
+			return err
+		}
+		cp.set(key, val)
+		cp.reserve()
+		return nil
 	})
 	if err != nil {
 		errInto(resp, err)
@@ -218,8 +280,9 @@ func (s *Store) set(ctx context.Context, key, val []byte, sem core.Semantics, re
 // cas is an atomic compare-and-swap: mismatches and misses COMMIT as
 // read-only transactions (they are legitimate outcomes, not failures),
 // so wire-level CAS misses never inflate the engine's abort counters.
-func (s *Store) cas(ctx context.Context, key, old, val []byte, sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
+func (s *Store) cas(ctx context.Context, key, old, val []byte, sem core.Semantics, resp *wire.Response, cp *walCapture) {
+	err := s.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
+		cp.begin()
 		cur, ok, err := s.m.GetTx(tx, lookupKey(key))
 		if err != nil {
 			return err
@@ -239,6 +302,10 @@ func (s *Store) cas(ctx context.Context, key, old, val []byte, sem core.Semantic
 		}
 		resp.Status = wire.StatusOK
 		resp.Val = resp.Val[:0]
+		// Only a successful swap mutates state; misses and mismatches
+		// reserve nothing and the log stays untouched.
+		cp.set(key, val)
+		cp.reserve()
 		return nil
 	})
 	if err != nil {
@@ -246,14 +313,17 @@ func (s *Store) cas(ctx context.Context, key, old, val []byte, sem core.Semantic
 	}
 }
 
-func (s *Store) del(ctx context.Context, key []byte, sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
+func (s *Store) del(ctx context.Context, key []byte, sem core.Semantics, resp *wire.Response, cp *walCapture) {
+	err := s.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
+		cp.begin()
 		removed, err := s.m.DeleteTx(tx, lookupKey(key))
 		if err != nil {
 			return err
 		}
 		if removed {
 			resp.Status = wire.StatusOK
+			cp.del(key)
+			cp.reserve()
 		} else {
 			resp.Status = wire.StatusNotFound
 		}
@@ -307,8 +377,9 @@ func (s *Store) mget(ctx context.Context, keys [][]byte, sem core.Semantics, res
 // txn executes the batch's sub-operations in ONE transaction: all commit
 // together or none do, and the batch observes and produces a single
 // atomic state change under the resolved semantics.
-func (s *Store) txn(ctx context.Context, batch []wire.Request, sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
+func (s *Store) txn(ctx context.Context, batch []wire.Request, sem core.Semantics, resp *wire.Response, cp *walCapture) {
+	err := s.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
+		cp.begin()
 		resp.Batch = resp.Batch[:0]
 		for i := range batch {
 			sub := &batch[i]
@@ -331,6 +402,7 @@ func (s *Store) txn(ctx context.Context, batch []wire.Request, sem core.Semantic
 					return err
 				}
 				out.Status = wire.StatusOK
+				cp.set(sub.Key, sub.Val)
 			case wire.OpCAS:
 				cur, ok, err := s.m.GetTx(tx, lookupKey(sub.Key))
 				if err != nil {
@@ -347,6 +419,7 @@ func (s *Store) txn(ctx context.Context, batch []wire.Request, sem core.Semantic
 						return err
 					}
 					out.Status = wire.StatusOK
+					cp.set(sub.Key, sub.Val)
 				}
 			case wire.OpDel:
 				removed, err := s.m.DeleteTx(tx, lookupKey(sub.Key))
@@ -355,6 +428,7 @@ func (s *Store) txn(ctx context.Context, batch []wire.Request, sem core.Semantic
 				}
 				if removed {
 					out.Status = wire.StatusOK
+					cp.del(sub.Key)
 				} else {
 					out.Status = wire.StatusNotFound
 				}
@@ -362,6 +436,9 @@ func (s *Store) txn(ctx context.Context, batch []wire.Request, sem core.Semantic
 				return wire.ErrBadSubOp
 			}
 		}
+		// The whole batch is ONE record: its operations replay in one
+		// transaction, atomic exactly as they committed.
+		cp.reserve()
 		return nil
 	})
 	if err != nil {
@@ -400,17 +477,30 @@ func (s *Store) stats(resp *wire.Response) {
 			wire.Counter{Name: "aborts." + p.String(), Value: c.Aborts},
 		)
 	}
+	if s.wal != nil {
+		bytes, records, fsyncs, checkpoints := s.wal.Stats()
+		cs = append(cs,
+			wire.Counter{Name: "wal_bytes", Value: bytes},
+			wire.Counter{Name: "wal_records", Value: records},
+			wire.Counter{Name: "wal_fsyncs", Value: fsyncs},
+			wire.Counter{Name: "wal_checkpoints", Value: checkpoints},
+			wire.Counter{Name: "wal_segment", Value: s.wal.Segment()},
+		)
+	}
 	resp.Status = wire.StatusOK
 	resp.Counters = cs
 }
 
-func (s *Store) flush(ctx context.Context, sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
+func (s *Store) flush(ctx context.Context, sem core.Semantics, resp *wire.Response, cp *walCapture) {
+	err := s.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
+		cp.begin()
 		n, err := s.m.ClearTx(tx)
 		if err != nil {
 			return err
 		}
 		resp.N = uint64(n)
+		cp.flush()
+		cp.reserve()
 		return nil
 	})
 	if err != nil {
@@ -420,13 +510,16 @@ func (s *Store) flush(ctx context.Context, sem core.Semantics, resp *wire.Respon
 	resp.Status = wire.StatusOK
 }
 
-func (s *Store) rebuild(ctx context.Context, sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
+func (s *Store) rebuild(ctx context.Context, sem core.Semantics, resp *wire.Response, cp *walCapture) {
+	err := s.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
+		cp.begin()
 		n, err := s.m.RebuildTx(tx)
 		if err != nil {
 			return err
 		}
 		resp.N = uint64(n)
+		cp.rebuild()
+		cp.reserve()
 		return nil
 	})
 	if err != nil {

@@ -125,6 +125,12 @@ func NewDefaultEngine() *Engine { return NewEngine(Config{}) }
 // Shards returns the engine's resolved stripe count.
 func (e *Engine) Shards() int { return e.cfg.Shards }
 
+// Observer returns the engine-wide lifecycle observer (nil if none was
+// configured). A caller installing a per-transaction WithObserver that
+// still wants engine-wide delivery should forward events to this one —
+// per-transaction observers replace, they do not chain.
+func (e *Engine) Observer() Observer { return e.cfg.Observer }
+
 // Stats returns a snapshot of the engine counters. The aggregation is
 // exact per counter (see Stats).
 func (e *Engine) Stats() StatsSnapshot { return e.stats.Snapshot() }

@@ -1,6 +1,7 @@
 package structures
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -207,5 +208,89 @@ func TestSkipMapConcurrentMixedSemantics(t *testing.T) {
 	}
 	if m.Len() != len(want) {
 		t.Fatalf("Len = %d, want %d", m.Len(), len(want))
+	}
+}
+
+// TestSkipMapSnapshotAllConsistent hammers the map with writers that
+// preserve an invariant (key pairs i/i' always hold equal values) and
+// asserts SnapshotAllCtx only ever observes invariant-holding states —
+// the consistency the durability checkpointer depends on.
+func TestSkipMapSnapshotAllConsistent(t *testing.T) {
+	tm := core.NewDefault()
+	m := NewTSkipMap(tm)
+	const pairs = 16
+	key := func(i int, side string) string { return fmt.Sprintf("p%02d-%s", i, side) }
+	for i := 0; i < pairs; i++ {
+		m.Put(key(i, "a"), "0", core.Def)
+		m.Put(key(i, "b"), "0", core.Def)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			r := uint64(seed)*2654435761 + 1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r = r*6364136223846793005 + 1442695040888963407
+				i := int(r>>33) % pairs
+				v := fmt.Sprintf("%d", r&0xFFFF)
+				if err := tm.AtomicAs(core.Def, func(tx *core.Tx) error {
+					if _, err := m.PutTx(tx, key(i, "a"), v); err != nil {
+						return err
+					}
+					_, err := m.PutTx(tx, key(i, "b"), v)
+					return err
+				}); err != nil {
+					t.Errorf("writer: %v", err)
+					return
+				}
+			}
+		}(w + 1)
+	}
+	for scan := 0; scan < 50; scan++ {
+		seen := map[string]string{}
+		prev := ""
+		if err := m.SnapshotAllCtx(context.Background(), func(k, v string) error {
+			if k <= prev && prev != "" {
+				t.Fatalf("keys out of order: %q after %q", k, prev)
+			}
+			prev = k
+			seen[k] = v
+			return nil
+		}); err != nil {
+			t.Fatalf("snapshot: %v", err)
+		}
+		if len(seen) != 2*pairs {
+			t.Fatalf("snapshot saw %d keys, want %d", len(seen), 2*pairs)
+		}
+		for i := 0; i < pairs; i++ {
+			if a, b := seen[key(i, "a")], seen[key(i, "b")]; a != b {
+				t.Fatalf("snapshot tore pair %d: %q != %q", i, a, b)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The error path: a failing callback stops the walk and surfaces.
+	sentinel := fmt.Errorf("stop here")
+	n := 0
+	if err := m.SnapshotAllCtx(context.Background(), func(k, v string) error {
+		n++
+		if n == 3 {
+			return sentinel
+		}
+		return nil
+	}); err != sentinel {
+		t.Fatalf("callback error = %v, want sentinel", err)
+	}
+	if n != 3 {
+		t.Fatalf("walk continued past failing callback: %d", n)
 	}
 }

@@ -1,0 +1,217 @@
+// Package wal is polyserve's durability subsystem: an append-only,
+// checksummed, length-prefixed write-ahead log of committed mutations,
+// periodic compact checkpoints of the whole keyspace, and startup
+// recovery that loads the newest valid checkpoint and replays the log
+// tail, truncating at the first torn or corrupt record.
+//
+// The log records logical mutations, not physical state: each record is
+// one atomic group of operations (a single SET/DEL, a whole TXN batch,
+// a FLUSH) that either replays entirely or — when the record is the
+// torn tail of a crash — not at all. Records are absolute (SET carries
+// the full value, never a delta), which makes replay idempotent: a
+// checkpoint may overlap the head of the segment that follows it, and
+// re-applying the overlap yields the same state.
+//
+// Durability rides the engine's irrevocable semantics: the server runs
+// every durable mutation as an irrevocable transaction, reserves the
+// record inside the transaction body — under the irrevocable token, so
+// reservation order is commit order — and confirms it from the
+// transaction's Observer, so a logged record is never an aborted
+// transaction.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// OpKind tags one logical operation inside a record.
+type OpKind byte
+
+const (
+	// OpSet stores key=val. Body: key, val (uvarint-length-prefixed).
+	OpSet OpKind = 1
+	// OpDel removes key. Body: key.
+	OpDel OpKind = 2
+	// OpFlush clears the whole keyspace. Body: empty.
+	OpFlush OpKind = 3
+	// OpRebuild re-levels the store's index. It changes no content and
+	// replays as a structural no-op, but is logged so the record stream
+	// is the full admin history. Body: empty.
+	OpRebuild OpKind = 4
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpSet:
+		return "SET"
+	case OpDel:
+		return "DEL"
+	case OpFlush:
+		return "FLUSH"
+	case OpRebuild:
+		return "REBUILD"
+	default:
+		return fmt.Sprintf("OpKind(%d)", byte(k))
+	}
+}
+
+// Op is one decoded logical operation.
+type Op struct {
+	Kind     OpKind
+	Key, Val string
+}
+
+// MaxRecord caps one record payload. A stored length beyond it is
+// treated as corruption (the tail is truncated there), so a flipped
+// length byte can never demand a multi-gigabyte allocation.
+const MaxRecord = 64 << 20
+
+// crcTable is the Castagnoli table; CRC-32C has hardware support on
+// every platform this runs on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ---- payload codec ----
+//
+// A record payload is a non-empty sequence of operations,
+//
+//	kind(1) | body, repeated
+//
+// parsed to the end of the payload (the on-disk frame supplies the
+// length, so no operation count is stored). The sequence is one atomic
+// group: replay applies all of it in one transaction.
+
+// AppendSet appends one SET operation to a payload under construction.
+func AppendSet(dst []byte, key, val []byte) []byte {
+	dst = append(dst, byte(OpSet))
+	dst = appendBytes(dst, key)
+	return appendBytes(dst, val)
+}
+
+// AppendDel appends one DEL operation.
+func AppendDel(dst []byte, key []byte) []byte {
+	dst = append(dst, byte(OpDel))
+	return appendBytes(dst, key)
+}
+
+// AppendFlush appends one FLUSH operation.
+func AppendFlush(dst []byte) []byte { return append(dst, byte(OpFlush)) }
+
+// AppendRebuild appends one REBUILD operation.
+func AppendRebuild(dst []byte) []byte { return append(dst, byte(OpRebuild)) }
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// errCorrupt marks a payload that parsed wrong — distinct from a torn
+// frame only in diagnostics; both truncate the replay at the record.
+type errCorrupt struct{ why string }
+
+func (e *errCorrupt) Error() string { return "wal: corrupt record: " + e.why }
+
+// IsCorrupt reports whether err marks on-disk corruption (as opposed
+// to an I/O or apply failure).
+func IsCorrupt(err error) bool {
+	var c *errCorrupt
+	return errors.As(err, &c)
+}
+
+func readBytes(p []byte) (field, rest []byte, err error) {
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return nil, nil, &errCorrupt{"bad field length"}
+	}
+	p = p[sz:]
+	if n > uint64(len(p)) {
+		return nil, nil, &errCorrupt{"field overruns payload"}
+	}
+	return p[:n], p[n:], nil
+}
+
+// DecodeOps parses a record payload into its operation sequence,
+// appending to ops (pass nil or a reused slice). The returned strings
+// are copies; they do not alias payload.
+func DecodeOps(ops []Op, payload []byte) ([]Op, error) {
+	if len(payload) == 0 {
+		return nil, &errCorrupt{"empty payload"}
+	}
+	for len(payload) > 0 {
+		kind := OpKind(payload[0])
+		payload = payload[1:]
+		var op Op
+		op.Kind = kind
+		switch kind {
+		case OpSet:
+			k, rest, err := readBytes(payload)
+			if err != nil {
+				return nil, err
+			}
+			v, rest, err := readBytes(rest)
+			if err != nil {
+				return nil, err
+			}
+			op.Key, op.Val, payload = string(k), string(v), rest
+		case OpDel:
+			k, rest, err := readBytes(payload)
+			if err != nil {
+				return nil, err
+			}
+			op.Key, payload = string(k), rest
+		case OpFlush, OpRebuild:
+			// empty body
+		default:
+			return nil, &errCorrupt{fmt.Sprintf("unknown op kind %d", byte(kind))}
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// ---- on-disk record framing ----
+//
+// Each record is stored as
+//
+//	length(4, BE) | crc32c(payload)(4, BE) | payload
+//
+// A partial header, a partial payload, a length beyond MaxRecord, or a
+// checksum mismatch all mark the durable prefix's end: recovery
+// truncates the segment there.
+
+const recHeader = 8
+
+// appendRecord frames payload into dst.
+func appendRecord(dst, payload []byte) []byte {
+	var hdr [recHeader]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// nextRecord parses the first framed record of buf, returning its
+// payload and the remainder. ok=false means buf holds no complete,
+// well-checksummed record at its head — the torn/corrupt tail.
+func nextRecord(buf []byte) (payload, rest []byte, ok bool) {
+	if len(buf) < recHeader {
+		return nil, nil, false
+	}
+	n := binary.BigEndian.Uint32(buf[:4])
+	if n == 0 || n > MaxRecord {
+		return nil, nil, false
+	}
+	want := binary.BigEndian.Uint32(buf[4:8])
+	body := buf[recHeader:]
+	if uint64(n) > uint64(len(body)) {
+		return nil, nil, false
+	}
+	payload = body[:n]
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, nil, false
+	}
+	return payload, body[n:], true
+}

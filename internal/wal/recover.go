@@ -1,0 +1,215 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RecoverResult describes what Open reconstructed.
+type RecoverResult struct {
+	// CheckpointSeq is the loaded checkpoint's number (0 = none).
+	CheckpointSeq uint64
+	// CheckpointKeys is how many pairs the checkpoint restored.
+	CheckpointKeys int
+	// BadCheckpoints counts checkpoint files that failed validation and
+	// were skipped in favour of an older one (or a bare replay).
+	BadCheckpoints int
+	// Segments and Records count what the log replay applied.
+	Segments int
+	Records  int
+	// TruncatedSeg/TruncatedAt identify the torn or corrupt record that
+	// ended the durable prefix: segment TruncatedSeg was cut back to
+	// byte offset TruncatedAt (TruncatedSeg = 0: the log was clean).
+	TruncatedSeg uint64
+	TruncatedAt  int64
+	// DroppedSegments counts segments beyond the truncation point that
+	// were discarded entirely (they are past the durable prefix).
+	DroppedSegments int
+}
+
+// String summarizes the recovery for logs.
+func (r *RecoverResult) String() string {
+	s := fmt.Sprintf("checkpoint seq=%d keys=%d, replayed %d records from %d segments",
+		r.CheckpointSeq, r.CheckpointKeys, r.Records, r.Segments)
+	if r.TruncatedSeg != 0 {
+		s += fmt.Sprintf(", truncated segment %d at byte %d", r.TruncatedSeg, r.TruncatedAt)
+	}
+	if r.DroppedSegments != 0 {
+		s += fmt.Sprintf(", dropped %d segments past the truncation", r.DroppedSegments)
+	}
+	if r.BadCheckpoints != 0 {
+		s += fmt.Sprintf(", skipped %d invalid checkpoints", r.BadCheckpoints)
+	}
+	return s
+}
+
+// parseName extracts the number from prefix<num>suffix names.
+func parseName(name, prefix, suffix string, out *uint64) bool {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return false
+	}
+	n, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	if err != nil {
+		return false
+	}
+	*out = n
+	return true
+}
+
+// Open recovers the durable state of dir and returns an appendable
+// log. It loads the newest checkpoint that validates, replays every
+// segment at or after it in order — calling apply once per record with
+// that record's atomic operation group — and truncates the log at the
+// first torn or corrupt record, discarding anything beyond it. New
+// appends go to a fresh segment, so a recovered directory is always
+// header-aligned.
+//
+// apply runs on the caller's goroutine before Open returns; an apply
+// error aborts recovery (the store is assumed unusable half-loaded).
+func Open(dir string, opts Options, apply func(ops []Op) error) (*Log, *RecoverResult, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var segs []uint64
+	var ckpts []uint64
+	for _, e := range entries {
+		var n uint64
+		switch {
+		case parseName(e.Name(), "wal-", ".log", &n):
+			segs = append(segs, n)
+		case parseName(e.Name(), "checkpoint-", ".ckpt", &n):
+			ckpts = append(ckpts, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] > ckpts[j] }) // newest first
+
+	res := &RecoverResult{}
+	logf := opts.Logf
+	for _, c := range ckpts {
+		keys, err := loadCheckpoint(filepath.Join(dir, ckptName(c)), apply)
+		if err == nil {
+			res.CheckpointSeq = c
+			res.CheckpointKeys = keys
+			break
+		}
+		if !IsCorrupt(err) && !os.IsNotExist(err) {
+			// loadCheckpoint validates the whole file before applying
+			// anything, so a non-corruption error means apply itself (or
+			// the read) failed — the store is half-loaded and unusable.
+			return nil, nil, fmt.Errorf("wal: applying checkpoint %d: %w", c, err)
+		}
+		res.BadCheckpoints++
+		if logf != nil {
+			logf("wal: skipping invalid checkpoint %d: %v", c, err)
+		}
+	}
+
+	// A replay is only a durable PREFIX if the history is complete up to
+	// wherever it stops. Installing checkpoint N deletes everything
+	// older, so if no checkpoint validates now (bit rot after install),
+	// replaying the surviving suffix onto an empty store would fabricate
+	// a keyspace state that never existed — refuse loudly instead.
+	if res.CheckpointSeq == 0 {
+		if res.BadCheckpoints > 0 {
+			return nil, nil, fmt.Errorf("wal: no checkpoint in %s validates and the pre-checkpoint log history was truncated at install time — refusing to reconstruct a partial keyspace (move the corrupt checkpoint-*.ckpt aside only if losing its state is acceptable)", dir)
+		}
+		if len(segs) > 0 && segs[0] != 1 {
+			return nil, nil, fmt.Errorf("wal: log history in %s starts at segment %d with no checkpoint — earlier segments are missing; refusing partial replay", dir, segs[0])
+		}
+	}
+
+	maxSeg := res.CheckpointSeq
+	truncated := false
+	// The replay chain must be contiguous: from the loaded checkpoint's
+	// own segment (the checkpoint may cover only a prefix of it), or
+	// from segment 1 when there is no checkpoint. A checkpoint with no
+	// surviving segments is still a consistent state on its own.
+	expect := res.CheckpointSeq
+	if expect == 0 {
+		expect = 1
+	}
+	var ops []Op
+	for _, seg := range segs {
+		if seg > maxSeg {
+			maxSeg = seg
+		}
+		if seg < res.CheckpointSeq {
+			continue // superseded by the checkpoint; cleanup missed it
+		}
+		if seg != expect && !truncated {
+			return nil, nil, fmt.Errorf("wal: segment %d missing from %s (found segment %d instead) — the log is not a contiguous history; refusing partial replay", expect, dir, seg)
+		}
+		expect = seg + 1
+		if truncated {
+			// Past the durable prefix: anything here may depend on the
+			// records lost at the truncation point. Drop it.
+			res.DroppedSegments++
+			if err := os.Remove(filepath.Join(dir, segName(seg))); err != nil && logf != nil {
+				logf("wal: dropping segment %d: %v", seg, err)
+			}
+			continue
+		}
+		path := filepath.Join(dir, segName(seg))
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Segments++
+		rest := buf
+		for len(rest) > 0 {
+			payload, next, ok := nextRecord(rest)
+			if !ok {
+				off := int64(len(buf) - len(rest))
+				if err := os.Truncate(path, off); err != nil {
+					return nil, nil, fmt.Errorf("wal: truncating torn segment %d: %w", seg, err)
+				}
+				res.TruncatedSeg = seg
+				res.TruncatedAt = off
+				truncated = true
+				if logf != nil {
+					logf("wal: segment %d: torn/corrupt record at byte %d — durable prefix ends here", seg, off)
+				}
+				break
+			}
+			ops, err = DecodeOps(ops[:0], payload)
+			if err != nil {
+				// The frame checksum held but the payload grammar is bad:
+				// same handling as a torn record.
+				off := int64(len(buf) - len(rest))
+				if terr := os.Truncate(path, off); terr != nil {
+					return nil, nil, fmt.Errorf("wal: truncating corrupt segment %d: %w", seg, terr)
+				}
+				res.TruncatedSeg = seg
+				res.TruncatedAt = off
+				truncated = true
+				if logf != nil {
+					logf("wal: segment %d: corrupt payload at byte %d (%v) — durable prefix ends here", seg, off, err)
+				}
+				break
+			}
+			if err := apply(ops); err != nil {
+				return nil, nil, fmt.Errorf("wal: applying segment %d: %w", seg, err)
+			}
+			res.Records++
+			rest = next
+		}
+	}
+
+	l, err := openLog(dir, opts, maxSeg+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if logf != nil {
+		logf("wal: recovered %s: %s", dir, res)
+	}
+	return l, res, nil
+}

@@ -1,0 +1,471 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects when acknowledged records are fsynced.
+type Mode int
+
+const (
+	// ModeBatch (the default): an append is acknowledged once its
+	// record reaches the OS (the write syscall completed — a process
+	// crash cannot lose it), and a background syncer fsyncs the log on
+	// a short cadence, so a machine crash loses at most one window.
+	ModeBatch Mode = iota
+	// ModeAlways: an append is acknowledged only after an fsync covers
+	// its record. Concurrent appends share one fsync (group commit).
+	ModeAlways
+	// ModeOff: never fsync; the OS flushes on its own schedule.
+	ModeOff
+)
+
+// String names the mode using the -fsync flag vocabulary.
+func (m Mode) String() string {
+	switch m {
+	case ModeAlways:
+		return "always"
+	case ModeBatch:
+		return "batch"
+	case ModeOff:
+		return "off"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses the -fsync flag vocabulary.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "always":
+		return ModeAlways, nil
+	case "batch":
+		return ModeBatch, nil
+	case "off":
+		return ModeOff, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync mode %q (valid: always, batch, off)", s)
+	}
+}
+
+// Options parameterize Open.
+type Options struct {
+	// Mode is the fsync policy (zero value: ModeBatch).
+	Mode Mode
+	// BatchWindow is the background fsync cadence for ModeBatch
+	// (0 = 2ms).
+	BatchWindow time.Duration
+	// Logf, when non-nil, receives recovery and checkpoint diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// recState is a reserved record's lifecycle.
+type recState uint8
+
+const (
+	recReserved recState = iota
+	recCommitted
+	recCancelled
+)
+
+type pendingRec struct {
+	seq     uint64
+	payload []byte
+	state   recState
+}
+
+// Log is the append-only write-ahead log of one directory: a sequence
+// of numbered segment files plus at most one live checkpoint.
+//
+// Appending is a two-phase protocol mirroring the transaction that
+// produces the record:
+//
+//	seq := l.Reserve(payload)  // inside the txn body, under the
+//	                           // irrevocable token: fixes log order
+//	l.Commit(seq)              // from Observer.OnCommit
+//	l.WaitDurable(seq)         // before acknowledging the client
+//
+// Reserve copies the payload into an in-memory queue and assigns the
+// record its position; the flusher goroutine writes records strictly in
+// reservation order, waiting for each to be decided — committed
+// (written) or cancelled (skipped) — so the on-disk order is exactly
+// the commit order and no aborted transaction is ever logged.
+type Log struct {
+	dir    string
+	mode   Mode
+	window time.Duration
+	logf   func(string, ...any)
+
+	mu        sync.Mutex
+	flushCond *sync.Cond // flusher wake-up: head record decided, or close
+	ackCond   *sync.Cond // append wake-up: ackSeq advanced, or error
+	pending   []pendingRec
+	nextSeq   uint64 // next reservation
+	ackSeq    uint64 // every seq <= ackSeq is written (ModeAlways: synced)
+	dirty     bool   // bytes written since the last fsync
+	err       error  // sticky I/O error: the log is poisoned
+	closed    bool
+
+	// fileMu serializes file I/O (write, sync, rotate) so no I/O ever
+	// happens under mu — appends never wait behind an fsync they did
+	// not ask for.
+	fileMu sync.Mutex
+	f      *os.File
+	seg    uint64 // current segment number
+
+	flusherDone chan struct{}
+	syncerStop  chan struct{}
+	syncerDone  chan struct{}
+
+	// Counters for the server's STATS surface.
+	statBytes       atomic.Uint64
+	statRecords     atomic.Uint64
+	statFsyncs      atomic.Uint64
+	statCheckpoints atomic.Uint64
+}
+
+// segName formats a segment file name; segments sort by number.
+func segName(seq uint64) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// ckptName formats a checkpoint file name. checkpoint-N holds every
+// mutation of segments < N (and possibly a prefix of N): recovery loads
+// it and replays segments >= N.
+func ckptName(seq uint64) string { return fmt.Sprintf("checkpoint-%08d.ckpt", seq) }
+
+// openLog creates the Log around an opened segment and starts its
+// background goroutines. Recovery (scanning, replay, truncation) has
+// already happened in Open.
+func openLog(dir string, opts Options, seg uint64) (*Log, error) {
+	f, err := os.OpenFile(filepath.Join(dir, segName(seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		dir:         dir,
+		mode:        opts.Mode,
+		window:      opts.BatchWindow,
+		logf:        opts.Logf,
+		f:           f,
+		seg:         seg,
+		nextSeq:     1,
+		flusherDone: make(chan struct{}),
+	}
+	if l.window <= 0 {
+		l.window = 2 * time.Millisecond
+	}
+	l.flushCond = sync.NewCond(&l.mu)
+	l.ackCond = sync.NewCond(&l.mu)
+	go l.flusher()
+	if l.mode == ModeBatch {
+		l.syncerStop = make(chan struct{})
+		l.syncerDone = make(chan struct{})
+		go l.syncer()
+	}
+	return l, nil
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Mode returns the fsync policy.
+func (l *Log) Mode() Mode { return l.mode }
+
+// Segment returns the current segment number.
+func (l *Log) Segment() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seg
+}
+
+// Stats reports the log's monotonic counters: payload+framing bytes
+// written, records written, fsyncs issued, checkpoints installed.
+func (l *Log) Stats() (bytes, records, fsyncs, checkpoints uint64) {
+	return l.statBytes.Load(), l.statRecords.Load(), l.statFsyncs.Load(), l.statCheckpoints.Load()
+}
+
+// Reserve assigns payload the next position in the log and queues it
+// undecided. It must be called where the mutation order is already
+// fixed (polyserve calls it inside the transaction body, under the
+// irrevocable token). The payload is copied; the caller may reuse it.
+func (l *Log) Reserve(payload []byte) uint64 {
+	l.mu.Lock()
+	seq := l.nextSeq
+	l.nextSeq++
+	l.pending = append(l.pending, pendingRec{
+		seq:     seq,
+		payload: append([]byte(nil), payload...),
+	})
+	l.mu.Unlock()
+	return seq
+}
+
+// decide marks a reservation and wakes the flusher when the head of the
+// queue becomes decided.
+func (l *Log) decide(seq uint64, st recState) {
+	l.mu.Lock()
+	for i := range l.pending {
+		if l.pending[i].seq == seq {
+			l.pending[i].state = st
+			if i == 0 {
+				l.flushCond.Signal()
+			}
+			break
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Commit marks a reserved record as committed: the transaction that
+// produced it has committed, so the record must reach the log.
+func (l *Log) Commit(seq uint64) { l.decide(seq, recCommitted) }
+
+// Cancel tombstones a reserved record: its transaction aborted, so the
+// record is skipped (its sequence position is acknowledged as durable —
+// there is nothing to make durable).
+func (l *Log) Cancel(seq uint64) { l.decide(seq, recCancelled) }
+
+// WaitDurable blocks until the record is durable under the log's mode
+// (written for batch/off; fsynced for always), the log fails, or the
+// log closes. A non-nil return means durability of this record is
+// unknown at best: the server surfaces it as an error without retrying.
+func (l *Log) WaitDurable(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.ackSeq < seq && l.err == nil && !l.closed {
+		l.ackCond.Wait()
+	}
+	if l.ackSeq >= seq {
+		return nil
+	}
+	if l.err != nil {
+		return l.err
+	}
+	return ErrClosed
+}
+
+// decidedPrefix returns how many records at the queue head are decided.
+// Caller holds mu.
+func (l *Log) decidedPrefix() int {
+	n := 0
+	for n < len(l.pending) && l.pending[n].state != recReserved {
+		n++
+	}
+	return n
+}
+
+// flusher is the group-commit loop: it pops the decided prefix of the
+// queue, writes all its committed records with one write (and, under
+// ModeAlways, one fsync), then acknowledges the whole prefix at once.
+func (l *Log) flusher() {
+	defer close(l.flusherDone)
+	var enc []byte
+	l.mu.Lock()
+	for {
+		for l.decidedPrefix() == 0 && !l.closed {
+			l.flushCond.Wait()
+		}
+		n := l.decidedPrefix()
+		if n == 0 {
+			// Closed with nothing flushable. Undecided records can only
+			// remain if a producing transaction was abandoned mid-flight;
+			// their waiters are released by Close's broadcast.
+			l.mu.Unlock()
+			return
+		}
+		batch := l.pending[:n]
+		target := batch[n-1].seq
+		enc = enc[:0]
+		records := 0
+		for i := range batch {
+			if batch[i].state == recCommitted {
+				enc = appendRecord(enc, batch[i].payload)
+				records++
+			}
+		}
+		f := l.f
+		l.mu.Unlock()
+
+		var werr error
+		if len(enc) > 0 {
+			l.fileMu.Lock()
+			_, werr = f.Write(enc)
+			if werr == nil && l.mode == ModeAlways {
+				werr = f.Sync()
+				l.statFsyncs.Add(1)
+			}
+			l.fileMu.Unlock()
+			l.statBytes.Add(uint64(len(enc)))
+			l.statRecords.Add(uint64(records))
+		}
+
+		l.mu.Lock()
+		l.pending = l.pending[:copy(l.pending, l.pending[n:])]
+		if werr != nil {
+			if l.err == nil {
+				l.err = fmt.Errorf("wal: append: %w", werr)
+			}
+		} else {
+			l.ackSeq = target
+			if len(enc) > 0 && l.mode != ModeAlways {
+				l.dirty = true
+			}
+		}
+		l.ackCond.Broadcast()
+		if l.err != nil {
+			l.mu.Unlock()
+			return
+		}
+		if l.closed && l.decidedPrefix() == 0 {
+			l.mu.Unlock()
+			return
+		}
+	}
+}
+
+// syncer is ModeBatch's background fsync: one fsync per window while
+// writes are happening, amortized over every record of the window.
+func (l *Log) syncer() {
+	defer close(l.syncerDone)
+	t := time.NewTicker(l.window)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.syncerStop:
+			return
+		case <-t.C:
+			l.syncDirty()
+		}
+	}
+}
+
+// syncDirty fsyncs the current segment if bytes were written since the
+// last sync.
+func (l *Log) syncDirty() {
+	l.mu.Lock()
+	need := l.dirty && l.err == nil
+	l.dirty = false
+	f := l.f
+	l.mu.Unlock()
+	if !need {
+		return
+	}
+	l.fileMu.Lock()
+	err := f.Sync()
+	l.fileMu.Unlock()
+	l.statFsyncs.Add(1)
+	if err != nil && l.logf != nil {
+		l.logf("wal: background fsync: %v", err)
+	}
+}
+
+// waitFlushed blocks until every reservation made before the call is
+// acknowledged (or the log fails/closes).
+func (l *Log) waitFlushed() error {
+	l.mu.Lock()
+	seal := l.nextSeq - 1
+	l.mu.Unlock()
+	if seal == 0 {
+		return nil
+	}
+	return l.WaitDurable(seal)
+}
+
+// Rotate seals the current segment and opens the next one, returning
+// the new segment's number. It must be called with mutation traffic
+// quiesced — polyserve calls it inside an (empty) irrevocable
+// transaction, so every record of the sealed segment belongs to a
+// transaction whose memory effect is already visible, which is exactly
+// what makes a checkpoint taken after Rotate cover the sealed segment
+// completely.
+func (l *Log) Rotate() (uint64, error) {
+	if err := l.waitFlushed(); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	old := l.f
+	newSeg := l.seg + 1
+	l.mu.Unlock()
+
+	l.fileMu.Lock()
+	defer l.fileMu.Unlock()
+	// Seal: the old segment's contents are complete; make them durable
+	// before the checkpoint that will supersede them can be installed.
+	if l.mode != ModeOff {
+		if err := old.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: rotate sync: %w", err)
+		}
+		l.statFsyncs.Add(1)
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(newSeg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("wal: rotate open: %w", err)
+	}
+	l.mu.Lock()
+	l.f = f
+	l.seg = newSeg
+	l.dirty = false
+	l.mu.Unlock()
+	old.Close()
+	return newSeg, nil
+}
+
+// Close flushes every decided record, fsyncs (unless ModeOff), and
+// closes the segment. Further operations return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.closed = true
+	l.flushCond.Broadcast()
+	l.ackCond.Broadcast()
+	l.mu.Unlock()
+
+	<-l.flusherDone
+	if l.syncerStop != nil {
+		close(l.syncerStop)
+		<-l.syncerDone
+	}
+
+	l.fileMu.Lock()
+	defer l.fileMu.Unlock()
+	var err error
+	if l.mode != ModeOff {
+		if serr := l.f.Sync(); serr != nil {
+			err = serr
+		} else {
+			l.statFsyncs.Add(1)
+		}
+	}
+	if cerr := l.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	l.mu.Lock()
+	if l.err != nil && err == nil {
+		err = l.err
+	}
+	l.mu.Unlock()
+	return err
+}
+
+// Append is the single-phase convenience for callers outside a
+// transaction (tests, tools): Reserve + Commit + WaitDurable.
+func (l *Log) Append(payload []byte) error {
+	seq := l.Reserve(payload)
+	l.Commit(seq)
+	return l.WaitDurable(seq)
+}

@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+
+	"polytm/internal/stm"
+)
+
+// The fuzz targets below are seeded from the hostile-input tests
+// (TestDecodeRejectsGarbage, TestReadFrameLimits) plus valid frames of
+// every opcode, and pin the decoder properties the server depends on:
+//
+//   - no input makes a decoder panic;
+//   - no declared length or count makes a decoder allocate beyond the
+//     input's own size class (`count` bounds elements by remaining
+//     bytes, `prealloc` caps speculative element storage, ReadFrame
+//     validates the frame length before any buffer is grown);
+//   - anything a decoder accepts, the encoder round-trips.
+//
+// A persisted corpus lives in testdata/fuzz/<Target>/; CI runs each
+// target for a short -fuzztime as a smoke test.
+
+// FuzzReadFrame feeds arbitrary streams to the framing layer.
+func FuzzReadFrame(f *testing.F) {
+	frame := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		WriteFrame(&buf, payload)
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})                        // short header
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})         // absurd length
+	f.Add([]byte{0, 0, 0, 5, 'a'})                // truncated body
+	f.Add(frame([]byte{byte(OpGet), SemDefault})) // one clean frame
+	f.Add(append(frame([]byte("abc")), frame([]byte("defg"))...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxFrame = 1 << 16
+		br := bufio.NewReader(bytes.NewReader(data))
+		var buf []byte
+		for i := 0; i < 4; i++ { // a few frames per stream exercises reuse
+			payload, err := ReadFrameBuf(br, buf, maxFrame)
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF && err != ErrFrameTooLarge {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			if len(payload) > maxFrame {
+				t.Fatalf("frame of %d bytes exceeds the %d cap", len(payload), maxFrame)
+			}
+			buf = payload
+		}
+	})
+}
+
+// FuzzDecodeRequest throws arbitrary payloads at the request decoder,
+// and re-encodes whatever it accepts.
+func FuzzDecodeRequest(f *testing.F) {
+	// The hostile-input seeds.
+	f.Add([]byte{})
+	f.Add([]byte{byte(OpGet)})
+	f.Add([]byte{99, SemDefault})
+	f.Add([]byte{byte(OpGet), 7})
+	f.Add([]byte{byte(OpGet), SemDefault, 5, 'a'})
+	f.Add([]byte{byte(OpTxn), SemDefault, 1, byte(OpFlush)})
+	f.Add([]byte{byte(OpSet), byte(stm.SemanticsSnapshot), 1, 'k', 1, 'v'})
+	f.Add(append([]byte{byte(OpMGet), SemDefault}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01))
+	// One valid payload per opcode.
+	for _, r := range []*Request{
+		{Op: OpGet, Sem: SemDefault, Key: []byte("k")},
+		{Op: OpSet, Sem: SemDefault, Key: []byte("k"), Val: []byte("v")},
+		{Op: OpCAS, Sem: byte(stm.SemanticsIrrevocable), Key: []byte("k"), Old: []byte("o"), Val: []byte("n")},
+		{Op: OpDel, Sem: SemDefault, Key: []byte("k")},
+		{Op: OpScan, Sem: byte(stm.SemanticsWeak), From: []byte("a"), To: []byte("z"), Limit: 9},
+		{Op: OpMGet, Sem: byte(stm.SemanticsSnapshot), Keys: [][]byte{[]byte("a"), []byte("b")}},
+		{Op: OpTxn, Sem: SemDefault, Batch: []Request{
+			{Op: OpSet, Sem: SemDefault, Key: []byte("k"), Val: []byte("v")},
+			{Op: OpDel, Sem: SemDefault, Key: []byte("k")},
+		}},
+		{Op: OpStats, Sem: SemDefault},
+		{Op: OpFlush, Sem: SemDefault},
+		{Op: OpRebuild, Sem: SemDefault},
+	} {
+		payload, err := AppendRequest(nil, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must re-encode...
+		enc, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatalf("decoded request does not re-encode: %v (%+v)", err, req)
+		}
+		// ...and the re-encoding must decode to the same thing (the
+		// encoder is canonical, so encode∘decode is a fixpoint there).
+		req2, err := DecodeRequest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded request does not decode: %v", err)
+		}
+		enc2, err := AppendRequest(nil, req2)
+		if err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode is not a fixpoint:\n first %x\nsecond %x", enc, enc2)
+		}
+		// The decoder reuse path must agree with the fresh path.
+		var into Request
+		if err := DecodeRequestInto(&into, data); err != nil {
+			t.Fatalf("DecodeRequestInto rejects what DecodeRequest accepts: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeResponse throws arbitrary payloads at the response decoder
+// under every opcode it could answer.
+func FuzzDecodeResponse(f *testing.F) {
+	txnSubs := []Op{OpGet, OpSet, OpCAS, OpDel}
+	for _, c := range []struct {
+		op   Op
+		resp *Response
+	}{
+		{OpGet, &Response{Status: StatusOK, Val: []byte("v")}},
+		{OpCAS, &Response{Status: StatusCASMismatch, Val: []byte("cur")}},
+		{OpScan, &Response{Status: StatusOK, Pairs: []KV{{Key: []byte("a"), Val: []byte("1")}}}},
+		{OpMGet, &Response{Status: StatusOK, Batch: []Response{{Status: StatusNotFound}}}},
+		{OpTxn, &Response{Status: StatusOK, Batch: []Response{
+			{Status: StatusOK, Val: []byte("g"), SubOp: OpGet},
+			{Status: StatusOK, SubOp: OpSet},
+			{Status: StatusCASMismatch, Val: []byte("c"), SubOp: OpCAS},
+			{Status: StatusNotFound, SubOp: OpDel},
+		}}},
+		{OpStats, &Response{Status: StatusOK, Counters: []Counter{{Name: "commits", Value: 3}}}},
+		{OpFlush, &Response{Status: StatusOK, N: 12}},
+		{OpGet, &Response{Status: StatusErr, Msg: "boom"}},
+	} {
+		payload, err := AppendResponse(nil, c.op, c.resp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(byte(c.op), payload)
+	}
+	f.Add(byte(OpScan), append([]byte{byte(StatusOK)}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01))
+	f.Add(byte(OpTxn), []byte{byte(StatusOK), 4})
+	f.Fuzz(func(t *testing.T, opByte byte, data []byte) {
+		op := Op(opByte)
+		if !op.Valid() {
+			op = OpGet
+		}
+		var subOps []Op
+		if op == OpTxn {
+			subOps = txnSubs
+		}
+		resp, err := DecodeResponse(data, op, subOps)
+		if err != nil {
+			return
+		}
+		// Accepted input must re-encode. TXN sub-responses carry their
+		// opcode on the encode side only; restore it from subOps the
+		// way a client stores them next to the pending request.
+		if op == OpTxn {
+			for i := range resp.Batch {
+				resp.Batch[i].SubOp = subOps[i]
+			}
+		}
+		if _, err := AppendResponse(nil, op, resp); err != nil {
+			t.Fatalf("decoded %v response does not re-encode: %v (%+v)", op, err, resp)
+		}
+	})
+}

@@ -103,6 +103,18 @@ func (o Op) String() string {
 // Valid reports whether o is a defined opcode.
 func (o Op) Valid() bool { return o >= OpGet && o <= OpRebuild }
 
+// Mutates reports whether the opcode can change store state. A TXN
+// batch counts as mutating regardless of its sub-operations (a batch
+// of pure GETs should be an MGET); so do the whole-store admin ops.
+func (o Op) Mutates() bool {
+	switch o {
+	case OpSet, OpCAS, OpDel, OpTxn, OpFlush, OpRebuild:
+		return true
+	default:
+		return false
+	}
+}
+
 // Status is a response status byte.
 type Status byte
 
@@ -151,6 +163,21 @@ func (e *SemanticsError) Error() string {
 // Is makes errors.Is(err, ErrBadSemantics) report true.
 func (e *SemanticsError) Is(target error) bool { return target == ErrBadSemantics }
 
+// SnapshotWriteError is the typed protocol error for a frame that
+// overrides a write opcode to snapshot (read-only) semantics — a
+// combination the engine could only reject after starting a
+// transaction, so the protocol layer rejects it before one starts. It
+// matches ErrSnapshotWriteOp via errors.Is and carries the opcode.
+type SnapshotWriteError struct{ Op Op }
+
+// Error implements error.
+func (e *SnapshotWriteError) Error() string {
+	return fmt.Sprintf("wire: %s cannot run under snapshot (read-only) semantics", e.Op)
+}
+
+// Is makes errors.Is(err, ErrSnapshotWriteOp) report true.
+func (e *SnapshotWriteError) Is(target error) bool { return target == ErrSnapshotWriteOp }
+
 // Semantics validates a frame's semantics byte in ONE place — the
 // encoder, the decoder and the server's request executor all call it,
 // so no handler re-implements the range check. SemDefault resolves to
@@ -178,6 +205,10 @@ var (
 	ErrBadOp         = errors.New("wire: unknown opcode")
 	ErrBadSemantics  = errors.New("wire: invalid semantics byte")
 	ErrBadSubOp      = errors.New("wire: opcode not allowed in TXN batch")
+	// ErrSnapshotWriteOp is matched (via errors.Is) by the typed
+	// *SnapshotWriteError a server raises for snapshot-semantics
+	// override on a write opcode.
+	ErrSnapshotWriteOp = errors.New("wire: write opcode under snapshot semantics")
 )
 
 // KV is one key/value pair of a SCAN response.
@@ -355,7 +386,9 @@ func ReadFrameBuf(br *bufio.Reader, buf []byte, maxFrame int) ([]byte, error) {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > uint32(maxFrame) {
+	// Compare in uint64: a maxFrame above 4GiB must not wrap to a tiny
+	// (or zero) cap and start rejecting everything.
+	if uint64(n) > uint64(maxFrame) {
 		return nil, ErrFrameTooLarge
 	}
 	var payload []byte
