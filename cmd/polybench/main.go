@@ -46,6 +46,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"os/signal"
@@ -105,6 +106,8 @@ type record struct {
 	BytesPerOp   *float64             `json:"b_per_op,omitempty"`
 	Aborts       *uint64              `json:"aborts,omitempty"`
 	AbortRate    *float64             `json:"abort_rate,omitempty"`
+	StoreShards  int                  `json:"store_shards,omitempty"`
+	Dist         string               `json:"dist,omitempty"`
 	PerSemantics map[string]semRecord `json:"per_semantics,omitempty"`
 }
 
@@ -151,6 +154,16 @@ func (r *report) printf(format string, args ...any) {
 
 // add records one row.
 func (r *report) add(rec record) { r.rows = append(r.rows, rec) }
+
+// tagLast annotates the most recently added row with the server
+// experiment's store-shard count and key distribution.
+func (r *report) tagLast(storeShards int, dist string) {
+	if len(r.rows) == 0 {
+		return
+	}
+	r.rows[len(r.rows)-1].StoreShards = storeShards
+	r.rows[len(r.rows)-1].Dist = dist
+}
 
 // memSuffix renders the optional allocs/op table column.
 func (r *report) memSuffix(mem *memDelta) string {
@@ -227,10 +240,13 @@ func main() {
 	resizeEvery := flag.Duration("resize-every", 10*time.Millisecond, "resize cadence for -bench hash")
 	seed := flag.Int64("seed", 1, "workload seed")
 	shards := flag.Int("shards", 0, "engine shard count for -bench scale/server (0 = GOMAXPROCS default)")
+	storeShards := flag.Int("store-shards", 1, "keyspace shard count for -bench server (0 = GOMAXPROCS, capped at 16)")
+	dist := flag.String("dist", "uniform", "key distribution for -bench server: uniform, zipfian (YCSB theta=0.99)")
 	getPct := flag.Int("get-pct", 80, "GET percentage for -bench server")
 	scanPct := flag.Int("scan-pct", 10, "SCAN percentage for -bench server (remainder is SETs)")
 	scanLimit := flag.Uint64("scan-limit", 16, "SCAN window for -bench server")
 	durable := flag.Bool("durable", false, "for -bench server: also run durable variants (one per fsync mode, fresh temp wal dir each)")
+	fsyncFlag := flag.String("fsync", "", "restrict -durable to one fsync mode (always, batch, off); empty = all three")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results instead of tables")
 	allocs := flag.Bool("allocs", false, "print allocs/op and B/op columns for -bench scale/server table output")
 	flag.Parse()
@@ -274,7 +290,9 @@ func main() {
 		{"scan", func() { benchScan(ctx, rep, base, workers) }},
 		{"cm", func() { benchCM(ctx, rep, base, workers) }},
 		{"scale", func() { benchScale(ctx, rep, base, workers, *shards) }},
-		{"server", func() { benchServer(ctx, rep, base, workers, *shards, *getPct, *scanPct, *scanLimit, *durable) }},
+		{"server", func() {
+			benchServer(ctx, rep, base, workers, *shards, *storeShards, *getPct, *scanPct, *scanLimit, *durable, *dist, *fsyncFlag)
+		}},
 	}
 	ran := false
 	var names []string
@@ -603,13 +621,29 @@ func benchCM(ctx context.Context, rep *report, base harness.Config, workers []in
 // write-ahead log — group commit, irrevocable escalation of the SET
 // share, background checkpoints — measured against the non-durable
 // baseline of the same box.
-func benchServer(ctx context.Context, rep *report, base harness.Config, workers []int, shards, getPct, scanPct int, scanLimit uint64, durable bool) {
+//
+// -store-shards partitions the keyspace (B10): each worker's keys hash
+// across independent engine+map+WAL shards, so durable writes stop
+// contending on one irrevocable token and one fsync queue. -dist picks
+// the key popularity: uniform, or zipfian (YCSB theta=0.99) where a few
+// hot keys absorb most of the traffic — the skew that makes single-token
+// serialization hurt and routing pay off.
+func benchServer(ctx context.Context, rep *report, base harness.Config, workers []int, shards, storeShards, getPct, scanPct int, scanLimit uint64, durable bool, dist, fsync string) {
+	modes := []wal.Mode{wal.ModeAlways, wal.ModeBatch, wal.ModeOff}
+	if fsync != "" {
+		m, err := wal.ParseMode(fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polybench: %v\n", err)
+			os.Exit(2)
+		}
+		modes = []wal.Mode{m}
+	}
 	variants := []struct {
 		label string
 		dur   *server.Durability // nil = non-durable baseline
 	}{{label: "baseline"}}
 	if durable {
-		for _, mode := range []wal.Mode{wal.ModeAlways, wal.ModeBatch, wal.ModeOff} {
+		for _, mode := range modes {
 			variants = append(variants, struct {
 				label string
 				dur   *server.Durability
@@ -619,22 +653,87 @@ func benchServer(ctx context.Context, rep *report, base harness.Config, workers 
 			})
 		}
 	}
+	switch dist {
+	case "uniform", "zipfian":
+	default:
+		fmt.Fprintf(os.Stderr, "polybench: unknown -dist %q (valid: uniform, zipfian)\n", dist)
+		os.Exit(2)
+	}
+	if storeShards <= 0 {
+		storeShards = runtime.GOMAXPROCS(0)
+		if storeShards > 16 {
+			storeShards = 16
+		}
+	}
 	for _, v := range variants {
-		benchServerVariant(ctx, rep, base, workers, shards, getPct, scanPct, scanLimit, v.label, v.dur)
+		benchServerVariant(ctx, rep, base, workers, shards, storeShards, getPct, scanPct, scanLimit, v.label, dist, v.dur)
 	}
 }
 
-func benchServerVariant(ctx context.Context, rep *report, base harness.Config, workers []int, shards, getPct, scanPct int, scanLimit uint64, label string, dur *server.Durability) {
-	rep.printf("== B8: polyserve loopback [%s], %d%% GET / %d%% SCAN / %d%% SET, range %d ==\n",
-		label, getPct, scanPct, 100-getPct-scanPct, base.Mix.KeyRange)
+// zipfGen draws keys from a zipfian popularity distribution over
+// [0, n) with the YCSB constant theta=0.99, using the standard
+// Gray et al. rejection-free inversion: the generator is immutable
+// after construction, so one instance is shared read-only across all
+// workers, each feeding it its own uniform stream.
+type zipfGen struct {
+	n                 uint64
+	theta             float64
+	alpha, zetan, eta float64
+	halfPowTheta      float64
+}
+
+func newZipfGen(n uint64) *zipfGen {
+	const theta = 0.99
+	zeta := func(n uint64) float64 {
+		var z float64
+		for i := uint64(1); i <= n; i++ {
+			z += 1 / math.Pow(float64(i), theta)
+		}
+		return z
+	}
+	zetan := zeta(n)
+	zeta2 := zeta(2)
+	return &zipfGen{
+		n:            n,
+		theta:        theta,
+		alpha:        1 / (1 - theta),
+		zetan:        zetan,
+		eta:          (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan),
+		halfPowTheta: 1 + math.Pow(0.5, theta),
+	}
+}
+
+// next maps a uniform u in [0,1) to a zipfian-distributed key rank.
+func (z *zipfGen) next(u float64) uint64 {
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.halfPowTheta {
+		return 1
+	}
+	k := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}
+
+func benchServerVariant(ctx context.Context, rep *report, base harness.Config, workers []int, shards, storeShards, getPct, scanPct int, scanLimit uint64, label, dist string, dur *server.Durability) {
+	rep.printf("== B8: polyserve loopback [%s], %d%% GET / %d%% SCAN / %d%% SET, range %d, store-shards %d, dist %s ==\n",
+		label, getPct, scanPct, 100-getPct-scanPct, base.Mix.KeyRange, storeShards, dist)
 	key := func(k uint64) []byte {
 		return []byte(fmt.Sprintf("k%08d", k%base.Mix.KeyRange))
+	}
+	var zipf *zipfGen
+	if dist == "zipfian" {
+		zipf = newZipfGen(base.Mix.KeyRange)
 	}
 	for _, w := range workers {
 		if ctx.Err() != nil {
 			return
 		}
-		srv := server.New(server.Config{Shards: shards})
+		srv := server.New(server.Config{Shards: shards, StoreShards: storeShards})
 		if dur != nil {
 			d := *dur
 			tmp, err := os.MkdirTemp("", "polybench-wal-*")
@@ -669,7 +768,7 @@ func benchServerVariant(ctx context.Context, rep *report, base harness.Config, w
 				os.Exit(1)
 			}
 		}
-		srv.TM().ResetStats()
+		srv.Store().ResetStats()
 
 		var ops atomic.Uint64
 		stop := make(chan struct{})
@@ -696,7 +795,12 @@ func benchServerVariant(ctx context.Context, rep *report, base harness.Config, w
 					default:
 					}
 					r = r*6364136223846793005 + 1442695040888963407
-					k := (r >> 33) % base.Mix.KeyRange
+					var k uint64
+					if zipf != nil {
+						k = zipf.next(float64(r>>11) / (1 << 53))
+					} else {
+						k = (r >> 33) % base.Mix.KeyRange
+					}
 					var opErr error
 					switch roll := int((r >> 16) % 100); {
 					case roll < getPct:
@@ -724,17 +828,18 @@ func benchServerVariant(ctx context.Context, rep *report, base harness.Config, w
 		m1 := readMem()
 		pre.Close()
 
-		s := srv.TM().Stats()
+		s := srv.Stats()
 		total := ops.Load()
 		mem := m0.perOp(m1, total)
 		rep.printf("  workers=%-3d %12.0f txns/s  abort-rate=%.3f%s\n",
 			w, float64(total)/el.Seconds(), s.AbortRate(), rep.memSuffix(mem))
 		rep.printf("      per-semantics: %s\n", s.PerSemString())
-		name := fmt.Sprintf("server-shards%d", srv.TM().Engine().Shards())
+		name := fmt.Sprintf("server-shards%d-store%d-%s", srv.TM().Engine().Shards(), storeShards, dist)
 		if dur != nil {
-			name = fmt.Sprintf("server-%s-shards%d", label, srv.TM().Engine().Shards())
+			name = fmt.Sprintf("server-%s-shards%d-store%d-%s", label, srv.TM().Engine().Shards(), storeShards, dist)
 		}
 		rep.addWithStats("server", name, w, el, total, s, mem)
+		rep.tagLast(storeShards, dist)
 
 		sdCtx, cancel := shutdownContext()
 		if err := srv.Shutdown(sdCtx); err != nil {

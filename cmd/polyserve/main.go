@@ -10,12 +10,22 @@
 //	polyserve -addr :7535 -shards 0 -nesting strongest -max-conns 1024
 //	polyserve -addr :7535 -wal-dir /var/lib/polyserve -fsync batch -checkpoint-every 1m
 //
-// With -wal-dir the server is durable: it recovers the directory's
-// newest valid checkpoint plus the write-ahead-log tail on startup
-// (truncating a torn trailing record), logs every mutation through a
-// group-commit batcher before acknowledging it (-fsync picks the
-// policy: always / batch / off), and checkpoints the keyspace in the
-// background every -checkpoint-every, truncating the log.
+// The keyspace is hash-partitioned across -store-shards shards (0
+// derives one per core, capped at 16), each with its own engine, map,
+// and — when durable — write-ahead log. Single-key requests route to
+// one shard; MGET/SCAN fan out and merge; a TXN spanning shards (and
+// FLUSH/REBUILD) commits through a 2PC protocol riding the per-shard
+// irrevocable tokens. A durable directory pins its shard count
+// (MANIFEST); reopening it adopts the pinned count over the flag.
+//
+// With -wal-dir the server is durable: it recovers each shard's
+// newest valid checkpoint plus its write-ahead-log tail on startup
+// (truncating a torn trailing record, resolving in-doubt cross-shard
+// prepares against the coordinator shard's decision set), logs every
+// mutation through a group-commit batcher before acknowledging it
+// (-fsync picks the policy: always / batch / off), and checkpoints
+// the keyspace in the background every -checkpoint-every, truncating
+// the logs.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops
 // accepting, lets in-flight requests complete, and after -drain cancels
@@ -32,6 +42,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -43,6 +54,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":7535", "listen address")
 	shards := flag.Int("shards", 0, "engine shard count (0 = GOMAXPROCS default)")
+	storeShards := flag.Int("store-shards", 0, "keyspace shard count (0 = derive from GOMAXPROCS, capped at 16; a durable directory's pinned count wins)")
 	nesting := flag.String("nesting", "strongest", "nesting-composition policy: strongest, param, parent")
 	maxConns := flag.Int("max-conns", 1024, "max concurrently served connections")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
@@ -65,10 +77,36 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Resolve the keyspace shard count: the flag, else one shard per
+	// core (capped — shards beyond the parallelism on the box only cost
+	// fan-out). A durable directory pins the count its logs were
+	// written with (keys hash to shards), so an existing directory's
+	// pinned count overrides the flag rather than refusing to start.
+	nStore := *storeShards
+	if nStore <= 0 {
+		nStore = runtime.GOMAXPROCS(0)
+		if nStore > 16 {
+			nStore = 16
+		}
+	}
+	if *walDir != "" {
+		pinned, err := server.WALShardCount(*walDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polyserve: %v\n", err)
+			os.Exit(1)
+		}
+		if pinned != 0 && pinned != nStore {
+			log.Printf("polyserve: %s is pinned to %d store shards — adopting it (flags asked for %d)",
+				*walDir, pinned, nStore)
+			nStore = pinned
+		}
+	}
+
 	cfg := server.Config{
-		Shards:   *shards,
-		Nesting:  policy,
-		MaxConns: *maxConns,
+		Shards:      *shards,
+		StoreShards: nStore,
+		Nesting:     policy,
+		MaxConns:    *maxConns,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf
@@ -100,8 +138,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "polyserve: listen %s: %v\n", *addr, err)
 		os.Exit(1)
 	}
-	log.Printf("polyserve: listening on %s (shards=%d, nesting=%s, max-conns=%d)",
-		ln.Addr(), srv.TM().Engine().Shards(), policy, *maxConns)
+	log.Printf("polyserve: listening on %s (store-shards=%d, engine-shards=%d, nesting=%s, max-conns=%d)",
+		ln.Addr(), srv.Store().NumShards(), srv.TM().Engine().Shards(), policy, *maxConns)
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
@@ -133,7 +171,7 @@ func main() {
 			log.Printf("polyserve: wal close: %v", err)
 			forced = true
 		}
-		stats := srv.TM().Stats()
+		stats := srv.Stats()
 		log.Printf("polyserve: bye — %s", stats.String())
 		log.Printf("polyserve: per-semantics — %s", stats.PerSemString())
 		if forced {

@@ -3,6 +3,10 @@ package server
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
 	"time"
 
 	"polytm/internal/core"
@@ -10,20 +14,154 @@ import (
 	"polytm/internal/wal"
 )
 
-// Durability configures a Store's write-ahead log.
+// Durability configures a Store's write-ahead log. A sharded store
+// owns one log per shard, laid out under Dir:
+//
+//	Dir/MANIFEST              pins the shard count the logs were written with
+//	Dir/shard-0000/wal-*.log  shard 0's segments and checkpoints
+//	Dir/shard-0001/...        ...
+//
+// A single-shard store keeps its files at Dir's root — the exact
+// layout earlier releases wrote — so existing directories open
+// unchanged and read back as one shard.
 type Durability struct {
 	// Dir is the log directory ("" disables durability).
 	Dir string
 	// Fsync is the acknowledgement policy (zero value: wal.ModeBatch).
 	Fsync wal.Mode
-	// BatchWindow is the background fsync cadence for wal.ModeBatch
-	// (0 = the wal default).
+	// BatchWindow is the background fsync cadence for wal.ModeBatch.
+	// 0 picks a default that keeps the store's TOTAL fsync rate at the
+	// wal base cadence regardless of shard count: each shard's window
+	// is stretched to shards × the base, since every shard log syncs
+	// its own file.
 	BatchWindow time.Duration
 	// CheckpointEvery is the background checkpoint cadence
 	// (0 = 1 minute; negative disables background checkpoints).
 	CheckpointEvery time.Duration
 	// Logf, when non-nil, receives recovery/checkpoint diagnostics.
 	Logf func(format string, args ...any)
+
+	// onDurableRecord is plumbed through to wal.Options.OnDurableRecord
+	// on every shard's log. Crash tests inject kill points through it.
+	onDurableRecord func(firstByte byte)
+}
+
+// RecoverSummary is what EnableDurability reconstructed: one
+// wal.RecoverResult per shard, plus the outcome of the cross-shard
+// resolution pass over in-doubt prepares.
+type RecoverSummary struct {
+	// Shards holds each shard's recovery result, indexed by shard.
+	Shards []*wal.RecoverResult
+	// Committed counts in-doubt prepares that were applied because
+	// their epoch is in the coordinator shard's durable decision set.
+	Committed int
+	// RolledBack counts in-doubt prepares discarded because the
+	// coordinator never durably decided — the crash hit inside the
+	// prepare window, before any client was acknowledged.
+	RolledBack int
+}
+
+// String summarizes the recovery for logs.
+func (r *RecoverSummary) String() string {
+	if len(r.Shards) == 1 {
+		return r.Shards[0].String()
+	}
+	var keys, records, segs int
+	for _, res := range r.Shards {
+		keys += res.CheckpointKeys
+		records += res.Records
+		segs += res.Segments
+	}
+	s := fmt.Sprintf("%d shards: checkpoint keys=%d, replayed %d records from %d segments",
+		len(r.Shards), keys, records, segs)
+	if r.Committed != 0 {
+		s += fmt.Sprintf(", committed %d in-doubt prepares", r.Committed)
+	}
+	if r.RolledBack != 0 {
+		s += fmt.Sprintf(", rolled back %d in-doubt prepares", r.RolledBack)
+	}
+	return s
+}
+
+const manifestName = "MANIFEST"
+
+// shardWALDir maps a shard index to its log directory. Single-shard
+// stores use the root itself for backward compatibility.
+func shardWALDir(dir string, i, n int) string {
+	if n == 1 {
+		return dir
+	}
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d", i))
+}
+
+// WALShardCount inspects a durable directory and reports the shard
+// count its logs were written with: the MANIFEST's pinned count, the
+// number of shard-* subdirectories when the manifest is missing, 1 for
+// a pre-manifest layout (wal files at the root), or 0 for a fresh or
+// absent directory. polyserve uses it to adopt an existing directory's
+// sharding instead of refusing to start over a flag mismatch.
+func WALShardCount(dir string) (int, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err == nil {
+		var n int
+		if _, serr := fmt.Sscanf(string(b), "polyserve-wal shards=%d", &n); serr != nil || n < 1 {
+			return 0, fmt.Errorf("server: malformed %s in %s: %q", manifestName, dir, b)
+		}
+		return n, nil
+	}
+	if !os.IsNotExist(err) {
+		return 0, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	shardDirs := 0
+	legacy := false
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case e.IsDir() && strings.HasPrefix(name, "shard-"):
+			shardDirs++
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"),
+			strings.HasPrefix(name, "checkpoint-") && strings.HasSuffix(name, ".ckpt"):
+			legacy = true
+		}
+	}
+	switch {
+	case shardDirs > 0:
+		return shardDirs, nil
+	case legacy:
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}
+
+// writeManifest durably pins dir's shard count.
+func writeManifest(dir string, n int) error {
+	path := filepath.Join(dir, manifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("polyserve-wal shards=%d\n", n)), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDirBestEffort(dir)
+	return nil
+}
+
+// syncDirBestEffort fsyncs a directory entry; some filesystems refuse.
+func syncDirBestEffort(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 }
 
 // walCapture carries one durable mutation's record from the
@@ -31,13 +169,13 @@ type Durability struct {
 // two-phase append protocol (see wal.Log):
 //
 //   - the transaction body builds the record into buf and reserves it
-//     while the body is still running — under the irrevocable token,
-//     so reservation order is exactly commit order;
+//     while the body is still running — under the shard's irrevocable
+//     token, so reservation order is exactly commit order;
 //   - the capture is also the transaction's stm.Observer: OnCommit
 //     confirms the reservation, OnAbort tombstones it. A record can
 //     therefore never outlive an aborted transaction.
 //
-// Captures are pooled per store; one capture serves one ExecuteCtx.
+// Captures are pooled per shard; one capture serves one ExecuteCtx.
 type walCapture struct {
 	log      *wal.Log
 	next     stm.Observer // the engine-wide observer, still owed its events
@@ -97,6 +235,20 @@ func (c *walCapture) rebuild() {
 	c.buf = wal.AppendRebuild(c.buf)
 }
 
+// appendOp is the generic sink form of set/del, shared with the
+// cross-shard prepare builder through applySubOp.
+func (c *walCapture) appendOp(kind wal.OpKind, key, val []byte) {
+	if c == nil {
+		return
+	}
+	switch kind {
+	case wal.OpSet:
+		c.buf = wal.AppendSet(c.buf, key, val)
+	case wal.OpDel:
+		c.buf = wal.AppendDel(c.buf, key)
+	}
+}
+
 // reserve queues the built record (if any) at the log's next position.
 // Called as the body's final step: nothing after it can abort the
 // transaction (irrevocable commit cannot fail), and nothing before it
@@ -153,28 +305,150 @@ func (c *walCapture) OnWait(ev stm.TxnEvent) {
 	}
 }
 
-// EnableDurability attaches a write-ahead log to the store: it
-// recovers dir's durable state INTO the store (newest valid checkpoint
-// plus the log tail, torn trailing record truncated), then routes
-// every subsequent mutation through the log — each one runs as an
-// irrevocable transaction whose record is reserved under the
-// irrevocable token and acknowledged only once durable under d.Fsync —
-// and starts the background checkpointer. It must be called before the
-// store serves traffic, and pairs with CloseDurability.
-func (s *Store) EnableDurability(d Durability) (*wal.RecoverResult, error) {
-	if s.wal != nil {
+// EnableDurability attaches one write-ahead log per shard to the
+// store: it recovers the directory's durable state INTO the store —
+// every shard in parallel, each replaying its newest valid checkpoint
+// plus its log tail — resolves any in-doubt cross-shard prepares
+// against the coordinator shard's decision set, then routes every
+// subsequent mutation through its shard's log and starts the
+// background checkpointer. It must be called before the store serves
+// traffic, and pairs with CloseDurability.
+//
+// The directory's shard count is pinned at creation (MANIFEST): keys
+// hash to shards, so reopening N shard logs as M shards would scatter
+// records to the wrong stores. A mismatch is an error naming the
+// pinned count; WALShardCount lets callers adopt it up front.
+func (s *Store) EnableDurability(d Durability) (*RecoverSummary, error) {
+	if s.durable() {
 		return nil, fmt.Errorf("server: durability already enabled")
 	}
 	if d.Dir == "" {
 		return nil, fmt.Errorf("server: durability needs a directory")
 	}
-	l, res, err := wal.Open(d.Dir, wal.Options{Mode: d.Fsync, BatchWindow: d.BatchWindow, Logf: d.Logf}, s.applyRecord)
+	n := len(s.shards)
+	pinned, err := WALShardCount(d.Dir)
 	if err != nil {
 		return nil, err
 	}
-	s.wal = l
-	engObs := s.tm.Engine().Observer()
-	s.caps.New = func() any { return &walCapture{log: l, next: engObs} }
+	if pinned != 0 && pinned != n {
+		return nil, fmt.Errorf("server: %s holds a %d-shard log but the store has %d shards — restart with -store-shards=%d, or point at a fresh directory", d.Dir, pinned, n, pinned)
+	}
+	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if pinned == 0 {
+		if err := writeManifest(d.Dir, n); err != nil {
+			return nil, err
+		}
+	}
+
+	// Scale the batch-fsync window by the shard count: each shard's log
+	// has its own background syncer against its own file, so N shards at
+	// the base cadence would fsync the disk N times as often as one
+	// shard did — on a small machine that alone erases the sharding win.
+	// Stretching each window to N× the base keeps the store's TOTAL
+	// fsync rate constant; the machine-crash loss bound becomes at most
+	// one (stretched) window per shard.
+	window := d.BatchWindow
+	if d.Fsync == wal.ModeBatch && window <= 0 && n > 1 {
+		window = time.Duration(n) * 2 * time.Millisecond
+	}
+	opts := wal.Options{Mode: d.Fsync, BatchWindow: window, Logf: d.Logf, OnDurableRecord: d.onDurableRecord}
+	logs := make([]*wal.Log, n)
+	results := make([]*wal.RecoverResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sh := s.shards[i]
+			logs[i], results[i], errs[i] = wal.Open(shardWALDir(d.Dir, i, n), opts, func(ops []wal.Op) error {
+				return s.applyOps(sh, ops)
+			})
+		}(i)
+	}
+	wg.Wait()
+	closeAll := func() {
+		for _, l := range logs {
+			if l != nil {
+				l.Close()
+			}
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+
+	// Resolve in-doubt prepares: a shard whose log ends in a PREPARE
+	// crashed inside a cross-shard commit. The coordinator's durable
+	// DECISION set is the truth — present: the commit point was
+	// reached, apply and re-log the operations as a plain record (so
+	// the next recovery replays them without needing the decision to
+	// still exist); absent: the transaction never committed anywhere,
+	// and no client was acknowledged — drop it.
+	sum := &RecoverSummary{Shards: results}
+	var decisions []map[uint64]bool
+	for i, res := range results {
+		pp := res.InDoubt
+		if pp == nil {
+			continue
+		}
+		committed := false
+		if pp.Coord >= 0 && pp.Coord < n {
+			if decisions == nil {
+				decisions = make([]map[uint64]bool, n)
+			}
+			if decisions[pp.Coord] == nil {
+				m := make(map[uint64]bool, len(results[pp.Coord].Decisions))
+				for _, e := range results[pp.Coord].Decisions {
+					m[e] = true
+				}
+				decisions[pp.Coord] = m
+			}
+			committed = decisions[pp.Coord][pp.Epoch]
+		}
+		if committed {
+			if err := s.applyOps(s.shards[i], pp.Ops); err != nil {
+				closeAll()
+				return nil, fmt.Errorf("server: shard %d: applying in-doubt prepare epoch=%d: %w", i, pp.Epoch, err)
+			}
+			if err := logs[i].Append(wal.AppendOps(nil, pp.Ops)); err != nil {
+				closeAll()
+				return nil, fmt.Errorf("server: shard %d: re-logging in-doubt prepare epoch=%d: %w", i, pp.Epoch, err)
+			}
+			sum.Committed++
+			if d.Logf != nil {
+				d.Logf("polyserve: shard %d: in-doubt prepare epoch=%d committed (decision found on shard %d)", i, pp.Epoch, pp.Coord)
+			}
+		} else {
+			sum.RolledBack++
+			if d.Logf != nil {
+				d.Logf("polyserve: shard %d: in-doubt prepare epoch=%d rolled back (no decision on shard %d)", i, pp.Epoch, pp.Coord)
+			}
+		}
+	}
+
+	// New cross-shard epochs must clear everything still resolvable
+	// from any surviving record.
+	var maxEpoch uint64
+	for _, res := range results {
+		if res.MaxEpoch > maxEpoch {
+			maxEpoch = res.MaxEpoch
+		}
+	}
+	s.epoch.Store(maxEpoch)
+
+	s.logf = d.Logf
+	for i, sh := range s.shards {
+		sh.wal = logs[i]
+		l := logs[i]
+		engObs := sh.tm.Engine().Observer()
+		sh.caps.New = func() any { return &walCapture{log: l, next: engObs} }
+	}
 	every := d.CheckpointEvery
 	if every == 0 {
 		every = time.Minute
@@ -184,20 +458,28 @@ func (s *Store) EnableDurability(d Durability) (*wal.RecoverResult, error) {
 		s.ckptDone = make(chan struct{})
 		go s.checkpointLoop(every, d.Logf)
 	}
-	return res, nil
+	return sum, nil
 }
 
+// durable reports whether the store's shards carry write-ahead logs
+// (all-or-nothing: EnableDurability attaches every shard's log in one
+// step before traffic).
+func (s *Store) durable() bool { return s.shards[0].wal != nil }
+
 // Durable reports whether the store is backed by a write-ahead log.
-func (s *Store) Durable() bool { return s.wal != nil }
+func (s *Store) Durable() bool { return s.durable() }
 
-// WAL returns the store's log (nil when not durable) — stats, tests.
-func (s *Store) WAL() *wal.Log { return s.wal }
+// WAL returns shard 0's log (nil when not durable) — stats, tests.
+func (s *Store) WAL() *wal.Log { return s.shards[0].wal }
 
-// CloseDurability stops the checkpointer, flushes the log, and closes
-// it. The store must be drained first (polyserve calls this after
-// Server.Shutdown); mutations after it fail.
+// ShardWAL returns shard i's log (nil when not durable) — tests.
+func (s *Store) ShardWAL(i int) *wal.Log { return s.shards[i].wal }
+
+// CloseDurability stops the checkpointer, then flushes and closes
+// every shard's log. The store must be drained first (polyserve calls
+// this after Server.Shutdown); mutations after it fail.
 func (s *Store) CloseDurability() error {
-	if s.wal == nil {
+	if !s.durable() {
 		return nil
 	}
 	if s.ckptStop != nil {
@@ -205,7 +487,13 @@ func (s *Store) CloseDurability() error {
 		<-s.ckptDone
 		s.ckptStop, s.ckptDone = nil, nil
 	}
-	return s.wal.Close()
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.wal.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // checkpointLoop writes a checkpoint every `every` until stopped. The
@@ -235,15 +523,20 @@ func (s *Store) checkpointLoop(every time.Duration, logf func(string, ...any)) {
 	}
 }
 
-// Checkpoint snapshots the keyspace into a compact file and truncates
-// the log. The sequence is what makes it safe:
+// Checkpoint snapshots every shard's keyspace into a compact file and
+// truncates its log — shards in parallel, each one independent. The
+// per-shard sequence is what makes it safe:
 //
-//  1. Rotate the log inside an EMPTY irrevocable transaction. Every
-//     durable mutation reserves its record while holding the
-//     irrevocable token, and its memory effect is visible before the
-//     token is released — so once the rotator holds the token, every
-//     record of the sealed segments is a visible mutation.
-//  2. Snapshot the map through one snapshot-semantics Range
+//  1. Rotate the shard's log inside an EMPTY irrevocable transaction.
+//     Every durable mutation reserves its record while holding the
+//     shard's irrevocable token, and its memory effect is visible
+//     before the token is released — so once the rotator holds the
+//     token, every record of the sealed segments is a visible
+//     mutation. (The token also orders rotation against cross-shard
+//     commits: the coordinator keeps its token until every COMMIT
+//     mark is durable, so rotation can never split a DECISION from a
+//     prepare that still needs it.)
+//  2. Snapshot the shard's map through one snapshot-semantics Range
 //     (TSkipMap.SnapshotAllCtx). Started after step 1, its consistent
 //     view therefore covers everything in segments < the new one.
 //     Mutations that race with the walk may land in both the snapshot
@@ -252,20 +545,42 @@ func (s *Store) checkpointLoop(every time.Duration, logf func(string, ...any)) {
 //  3. Install the checkpoint atomically (tmp + rename) and delete the
 //     sealed segments.
 func (s *Store) Checkpoint(ctx context.Context) error {
-	if s.wal == nil {
+	if !s.durable() {
 		return fmt.Errorf("server: store is not durable")
 	}
+	if len(s.shards) == 1 {
+		return s.checkpointShard(ctx, s.shards[0])
+	}
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			errs[i] = s.checkpointShard(ctx, sh)
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) checkpointShard(ctx context.Context, sh *shard) error {
 	var seg uint64
-	err := s.tm.AtomicCtx(ctx, func(tx *core.Tx) error {
+	err := sh.tm.AtomicCtx(ctx, func(tx *core.Tx) error {
 		var rerr error
-		seg, rerr = s.wal.Rotate()
+		seg, rerr = sh.wal.Rotate()
 		return rerr
 	}, core.WithSemantics(core.Irrevocable), core.WithLabel("wal-rotate"))
 	if err != nil {
 		return err
 	}
-	return s.wal.WriteCheckpoint(seg, func(emit func(k, v string) error) error {
-		return s.m.SnapshotAllCtx(ctx, func(k, v string) error {
+	return sh.wal.WriteCheckpoint(seg, func(emit func(k, v string) error) error {
+		return sh.m.SnapshotAllCtx(ctx, func(k, v string) error {
 			// Per-pair cancellation point: a snapshot transaction's body
 			// is not interrupted by its context mid-walk, so a multi-GB
 			// checkpoint racing a shutdown checks here instead.
@@ -277,28 +592,28 @@ func (s *Store) Checkpoint(ctx context.Context) error {
 	})
 }
 
-// applyRecord replays one recovered record — one atomic operation
-// group — into the store as a single transaction, exactly as the
-// original mutation committed. Recovery is single-threaded and
+// applyOps replays one recovered record — one atomic operation group —
+// into a shard as a single transaction, exactly as the original
+// mutation committed. Per-shard recovery is single-threaded and
 // in-process, so plain def semantics suffice.
-func (s *Store) applyRecord(ops []wal.Op) error {
-	return s.tm.AtomicAs(core.Def, func(tx *core.Tx) error {
+func (s *Store) applyOps(sh *shard, ops []wal.Op) error {
+	return sh.tm.AtomicAs(core.Def, func(tx *core.Tx) error {
 		for _, op := range ops {
 			switch op.Kind {
 			case wal.OpSet:
-				if _, err := s.m.PutTx(tx, op.Key, op.Val); err != nil {
+				if _, err := sh.m.PutTx(tx, op.Key, op.Val); err != nil {
 					return err
 				}
 			case wal.OpDel:
-				if _, err := s.m.DeleteTx(tx, op.Key); err != nil {
+				if _, err := sh.m.DeleteTx(tx, op.Key); err != nil {
 					return err
 				}
 			case wal.OpFlush:
-				if _, err := s.m.ClearTx(tx); err != nil {
+				if _, err := sh.m.ClearTx(tx); err != nil {
 					return err
 				}
 			case wal.OpRebuild:
-				if _, err := s.m.RebuildTx(tx); err != nil {
+				if _, err := sh.m.RebuildTx(tx); err != nil {
 					return err
 				}
 			default:

@@ -46,7 +46,7 @@ func newDurable(t *testing.T, dir string, mode wal.Mode) (*Store, *wal.RecoverRe
 	if err != nil {
 		t.Fatalf("EnableDurability: %v", err)
 	}
-	return st, res
+	return st, res.Shards[0]
 }
 
 // TestDurableRoundTrip: every mutation class survives a close/reopen.

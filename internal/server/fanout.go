@@ -1,0 +1,184 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"polytm/internal/core"
+	"polytm/internal/wire"
+)
+
+// Read fan-out: MGET and SCAN on a sharded store run one transaction
+// per participating shard, concurrently, and merge the results.
+//
+// The consistency contract is per-shard, not global: each shard's
+// slice of the answer is internally consistent under the request's
+// semantics (a snapshot MGET never sees a torn single-shard TXN; an
+// elastic SCAN's traversal invariants hold within each shard), but the
+// shards' snapshots are taken independently, so a reader racing a
+// cross-shard TXN may see its effects on one shard and not yet on
+// another. That is the documented trade the sharded store makes —
+// single-key operations and single-shard batches keep full opacity,
+// and readers that need a globally atomic view of specific keys can
+// put those keys in a TXN of GETs (which commits through the
+// cross-shard protocol and serializes against writers).
+
+// mget answers a batch of point reads. Single shard (or a sharded
+// store whose keys all hash to one shard): one transaction, the
+// historical path. Otherwise: group keys by shard, pre-create one
+// sub-response slot per key so the per-shard transactions write
+// disjoint slots, and fan out.
+func (s *Store) mget(ctx context.Context, keys [][]byte, sem core.Semantics, resp *wire.Response) {
+	var only *shard
+	if len(s.shards) > 1 && len(keys) > 0 {
+		only = s.shards[s.shardIdx(keys[0])]
+		for _, k := range keys[1:] {
+			if s.shards[s.shardIdx(k)] != only {
+				only = nil
+				break
+			}
+		}
+	}
+	if len(s.shards) == 1 || len(keys) == 0 {
+		only = s.shards[0]
+	}
+	if only != nil {
+		only.routed.Add(uint64(len(keys)))
+		err := only.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
+			resp.Batch = resp.Batch[:0]
+			for _, key := range keys {
+				v, ok, err := only.m.GetTx(tx, lookupKey(key))
+				if err != nil {
+					return err
+				}
+				sub := appendSub(resp)
+				if ok {
+					sub.Status = wire.StatusOK
+					sub.Val = append(sub.Val, v...)
+				} else {
+					sub.Status = wire.StatusNotFound
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			errInto(resp, err)
+			return
+		}
+		resp.Status = wire.StatusOK
+		return
+	}
+
+	resp.Batch = resp.Batch[:0]
+	for range keys {
+		appendSub(resp)
+	}
+	groups := make([][]int, len(s.shards))
+	for i, k := range keys {
+		si := s.shardIdx(k)
+		groups[si] = append(groups[si], i)
+	}
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := s.shards[si]
+		sh.routed.Add(uint64(len(idxs)))
+		wg.Add(1)
+		go func(sh *shard, idxs []int) {
+			defer wg.Done()
+			errs[sh.idx] = sh.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
+				for _, j := range idxs {
+					v, ok, err := sh.m.GetTx(tx, lookupKey(keys[j]))
+					if err != nil {
+						return err
+					}
+					// Distinct slots per goroutine; a retried body rewrites
+					// only its own. Scrub the slot again here: the first
+					// attempt may have half-filled it.
+					sub := &resp.Batch[j]
+					sub.Val = sub.Val[:0]
+					if ok {
+						sub.Status = wire.StatusOK
+						sub.Val = append(sub.Val, v...)
+					} else {
+						sub.Status = wire.StatusNotFound
+					}
+				}
+				return nil
+			})
+		}(sh, idxs)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			resp.Batch = resp.Batch[:0]
+			errInto(resp, err)
+			return
+		}
+	}
+	resp.Status = wire.StatusOK
+}
+
+// kvPair is one shard-local scan result awaiting the merge.
+type kvPair struct {
+	k, v string
+}
+
+// scanFanout runs the range on every shard concurrently — each shard
+// scans up to the full limit, since in the worst case one shard owns
+// every key of the range — then k-way-merges the per-shard ordered
+// slices into resp.Pairs, stopping at limit. Shard count is small (a
+// handful, bounded by cores), so the linear min-pick per emitted pair
+// beats a heap on real sizes.
+func (s *Store) scanFanout(ctx context.Context, from, to []byte, limit uint64, sem core.Semantics, resp *wire.Response) {
+	n := len(s.shards)
+	results := make([][]kvPair, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		sh.routed.Add(1)
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			var local []kvPair
+			errs[i] = sh.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
+				local = local[:0] // a retried body restarts its slice
+				return sh.m.RangeTx(tx, lookupKey(from), lookupKey(to), int(limit), func(k, v string) bool {
+					local = append(local, kvPair{k, v})
+					return true
+				})
+			})
+			results[i] = local
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			errInto(resp, err)
+			return
+		}
+	}
+	resp.Pairs = resp.Pairs[:0]
+	heads := make([]int, n)
+	for limit == 0 || uint64(len(resp.Pairs)) < limit {
+		best := -1
+		for i := 0; i < n; i++ {
+			if heads[i] >= len(results[i]) {
+				continue
+			}
+			if best < 0 || results[i][heads[i]].k < results[best][heads[best]].k {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		p := &results[best][heads[best]]
+		appendPair(resp, p.k, p.v)
+		heads[best]++
+	}
+	resp.Status = wire.StatusOK
+}

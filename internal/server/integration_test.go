@@ -221,7 +221,7 @@ func TestMixedTrafficIntegration(t *testing.T) {
 	}
 	for round := 0; round < 8; round++ {
 		contentionRound()
-		if srv.TM().Stats().Sem(core.Def).Aborts > 0 {
+		if srv.Stats().Sem(core.Def).Aborts > 0 {
 			break
 		}
 	}
@@ -281,7 +281,7 @@ func TestMixedTrafficIntegration(t *testing.T) {
 	// the snapshot class (all those GETs) committed with ZERO aborts
 	// while the def class (the contended writers) was aborting, and the
 	// irrevocable admin class never aborted either.
-	s := srv.TM().Stats()
+	s := srv.Stats()
 	snap := s.Sem(core.Snapshot)
 	def := s.Sem(core.Def)
 	irr := s.Sem(core.Irrevocable)

@@ -18,16 +18,24 @@ import (
 	"time"
 
 	"polytm/internal/core"
+	"polytm/internal/stm"
 	"polytm/internal/wire"
 )
 
 // Config parameterizes a Server.
 type Config struct {
-	// TM, when non-nil, is used directly; otherwise a TM is built from
+	// TM, when non-nil, is used directly and pins the store to a single
+	// keyspace shard; otherwise one TM per store shard is built from
 	// Shards and Nesting.
 	TM *core.TM
-	// Shards is the engine stripe count (0 = GOMAXPROCS default).
+	// Shards is the engine stripe count (0 = GOMAXPROCS default),
+	// per store shard. Distinct from StoreShards: Shards stripes one
+	// engine's metadata locks; StoreShards partitions the keyspace.
 	Shards int
+	// StoreShards is the keyspace partition count (0 or 1 = a single
+	// shard). Each store shard owns its own engine, map, and — when
+	// durable — write-ahead log; see Store.
+	StoreShards int
 	// Nesting is the TM's nesting-composition policy.
 	Nesting core.NestingPolicy
 	// MaxConns bounds concurrently served connections (the handler
@@ -62,8 +70,18 @@ type Server struct {
 
 // New creates a server (not yet listening).
 func New(cfg Config) *Server {
-	if cfg.TM == nil {
-		cfg.TM = core.New(core.Config{Shards: cfg.Shards, Nesting: cfg.Nesting})
+	n := cfg.StoreShards
+	if n <= 0 || cfg.TM != nil {
+		n = 1
+	}
+	tms := make([]*core.TM, n)
+	if cfg.TM != nil {
+		tms[0] = cfg.TM
+	} else {
+		for i := range tms {
+			tms[i] = core.New(core.Config{Shards: cfg.Shards, Nesting: cfg.Nesting})
+		}
+		cfg.TM = tms[0]
 	}
 	if cfg.MaxConns <= 0 {
 		cfg.MaxConns = 1024
@@ -74,7 +92,7 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:         cfg,
-		store:       NewStore(cfg.TM),
+		store:       NewShardedStore(tms),
 		slots:       make(chan struct{}, cfg.MaxConns),
 		serveCtx:    ctx,
 		cancelServe: cancel,
@@ -82,8 +100,12 @@ func New(cfg Config) *Server {
 	}
 }
 
-// TM returns the server's transactional memory (stats, tests).
+// TM returns shard 0's transactional memory (stats, tests; see Stats
+// for the all-shards aggregate).
 func (s *Server) TM() *core.TM { return s.cfg.TM }
+
+// Stats aggregates the engine counters across every store shard.
+func (s *Server) Stats() stm.StatsSnapshot { return s.store.Stats() }
 
 // Store returns the server's keyspace.
 func (s *Server) Store() *Store { return s.store }

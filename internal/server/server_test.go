@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -14,9 +16,20 @@ import (
 )
 
 // startServer brings up a loopback polyserve and tears it down with the
-// test, returning the server and its dial address.
+// test, returning the server and its dial address. POLYSERVE_STORE_SHARDS
+// overrides the keyspace shard count when the test doesn't pin one — the
+// CI matrix leg sets it to run the whole suite against a sharded store.
 func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
 	t.Helper()
+	if cfg.StoreShards == 0 && cfg.TM == nil {
+		if v := os.Getenv("POLYSERVE_STORE_SHARDS"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				t.Fatalf("POLYSERVE_STORE_SHARDS=%q: %v", v, err)
+			}
+			cfg.StoreShards = n
+		}
+	}
 	srv := server.New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

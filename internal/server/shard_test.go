@@ -1,0 +1,318 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"polytm/internal/core"
+	"polytm/internal/wal"
+	"polytm/internal/wire"
+)
+
+// rmManifest strips a directory's MANIFEST, recreating the layout
+// earlier releases wrote.
+func rmManifest(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newSharded builds an n-shard in-memory store.
+func newSharded(n int) *Store {
+	tms := make([]*core.TM, n)
+	for i := range tms {
+		tms[i] = core.NewDefault()
+	}
+	return NewShardedStore(tms)
+}
+
+// newShardedDurable builds an n-shard durable store on dir.
+func newShardedDurable(t *testing.T, dir string, n int, mode wal.Mode) (*Store, *RecoverSummary) {
+	t.Helper()
+	st := newSharded(n)
+	res, err := st.EnableDurability(Durability{Dir: dir, Fsync: mode, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("EnableDurability: %v", err)
+	}
+	return st, res
+}
+
+// key returns a test key; the i-space spreads over all shards.
+func tkey(i int) []byte { return []byte(fmt.Sprintf("key-%04d", i)) }
+
+// TestShardRoutingDeterministic: the same key always lands on the same
+// shard, and a realistic key population touches every shard.
+func TestShardRoutingDeterministic(t *testing.T) {
+	st := newSharded(4)
+	seen := make(map[int]bool)
+	for i := 0; i < 256; i++ {
+		a := st.shardIdx(tkey(i))
+		b := st.shardIdx(tkey(i))
+		if a != b {
+			t.Fatalf("key %d routed to %d then %d", i, a, b)
+		}
+		if a < 0 || a >= 4 {
+			t.Fatalf("key %d routed out of range: %d", i, a)
+		}
+		seen[a] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("256 keys hit only shards %v", seen)
+	}
+}
+
+// TestShardedBasicOps: point ops, MGET and SCAN behave identically to
+// a single-shard store, including cross-shard merge order and limits.
+func TestShardedBasicOps(t *testing.T) {
+	st := newSharded(4)
+	const n = 100
+	for i := 0; i < n; i++ {
+		execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: tkey(i), Val: []byte(fmt.Sprintf("v%d", i))})
+	}
+	// Point reads route back to the writer's shard.
+	for i := 0; i < n; i++ {
+		resp := execOK(t, st, &wire.Request{Op: wire.OpGet, Sem: wire.SemDefault, Key: tkey(i)})
+		if resp.Status != wire.StatusOK || string(resp.Val) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get %d: %v %q", i, resp.Status, resp.Val)
+		}
+	}
+	// MGET fans out and keeps slot order, hits and misses interleaved.
+	keys := [][]byte{tkey(3), []byte("missing"), tkey(97), tkey(41)}
+	resp := execOK(t, st, &wire.Request{Op: wire.OpMGet, Sem: wire.SemDefault, Keys: keys})
+	if len(resp.Batch) != 4 {
+		t.Fatalf("mget batch = %d", len(resp.Batch))
+	}
+	if string(resp.Batch[0].Val) != "v3" || resp.Batch[1].Status != wire.StatusNotFound ||
+		string(resp.Batch[2].Val) != "v97" || string(resp.Batch[3].Val) != "v41" {
+		t.Fatalf("mget = %+v", resp.Batch)
+	}
+	// SCAN merges the per-shard slices back into global key order.
+	resp = execOK(t, st, &wire.Request{Op: wire.OpScan, Sem: wire.SemDefault})
+	if len(resp.Pairs) != n {
+		t.Fatalf("scan returned %d pairs, want %d", len(resp.Pairs), n)
+	}
+	for i := 1; i < len(resp.Pairs); i++ {
+		if string(resp.Pairs[i-1].Key) >= string(resp.Pairs[i].Key) {
+			t.Fatalf("scan out of order at %d: %q >= %q", i, resp.Pairs[i-1].Key, resp.Pairs[i].Key)
+		}
+	}
+	// Bounded scan honours the limit across shards.
+	resp = execOK(t, st, &wire.Request{Op: wire.OpScan, Sem: wire.SemDefault, Limit: 7})
+	if len(resp.Pairs) != 7 || string(resp.Pairs[0].Key) != "key-0000" {
+		t.Fatalf("limited scan = %d pairs, first %q", len(resp.Pairs), resp.Pairs[0].Key)
+	}
+	// DEL routes too.
+	execOK(t, st, &wire.Request{Op: wire.OpDel, Sem: wire.SemDefault, Key: tkey(0)})
+	resp = execOK(t, st, &wire.Request{Op: wire.OpGet, Sem: wire.SemDefault, Key: tkey(0)})
+	if resp.Status != wire.StatusNotFound {
+		t.Fatalf("deleted key still %v", resp.Status)
+	}
+}
+
+// TestCrossShardTxn: a TXN spanning shards is all-or-nothing and its
+// sub-responses land in order; FLUSH clears every shard atomically.
+func TestCrossShardTxn(t *testing.T) {
+	st := newSharded(4)
+	// Find two keys on different shards.
+	a, b := tkey(0), []byte(nil)
+	for i := 1; b == nil; i++ {
+		if st.shardIdx(tkey(i)) != st.shardIdx(a) {
+			b = tkey(i)
+		}
+	}
+	resp := execOK(t, st, &wire.Request{Op: wire.OpTxn, Sem: wire.SemDefault, Batch: []wire.Request{
+		{Op: wire.OpSet, Key: a, Val: []byte("va")},
+		{Op: wire.OpSet, Key: b, Val: []byte("vb")},
+		{Op: wire.OpGet, Key: a},
+	}})
+	if len(resp.Batch) != 3 || string(resp.Batch[2].Val) != "va" {
+		t.Fatalf("txn batch = %+v", resp.Batch)
+	}
+	if got := scanAll(t, st); len(got) != 2 || got[string(a)] != "va" || got[string(b)] != "vb" {
+		t.Fatalf("state = %v", got)
+	}
+	if st.xshardTxns.Load() == 0 {
+		t.Fatal("cross-shard txn did not use the cross-shard path")
+	}
+	// Cross-shard CAS inside a TXN: the mismatch arm reports per-slot.
+	resp = execOK(t, st, &wire.Request{Op: wire.OpTxn, Sem: wire.SemDefault, Batch: []wire.Request{
+		{Op: wire.OpCAS, Key: a, Old: []byte("wrong"), Val: []byte("x")},
+		{Op: wire.OpCAS, Key: b, Old: []byte("vb"), Val: []byte("vb2")},
+	}})
+	if resp.Batch[0].Status != wire.StatusCASMismatch || resp.Batch[1].Status != wire.StatusOK {
+		t.Fatalf("cas txn = %+v", resp.Batch)
+	}
+	// FLUSH crosses all shards and sums the evictions.
+	resp = execOK(t, st, &wire.Request{Op: wire.OpFlush, Sem: wire.SemDefault})
+	if resp.N != 2 {
+		t.Fatalf("flush N = %d, want 2", resp.N)
+	}
+	if got := scanAll(t, st); len(got) != 0 {
+		t.Fatalf("state after flush = %v", got)
+	}
+}
+
+// TestCrossShardTxnConcurrent: many goroutines hammer cross-shard
+// TXNs over a shared key pair; the two keys move in lockstep, so any
+// torn commit shows up as a mismatched pair. Run with -race in CI.
+func TestCrossShardTxnConcurrent(t *testing.T) {
+	st := newSharded(4)
+	a, b := tkey(0), []byte(nil)
+	for i := 1; b == nil; i++ {
+		if st.shardIdx(tkey(i)) != st.shardIdx(a) {
+			b = tkey(i)
+		}
+	}
+	execOK(t, st, &wire.Request{Op: wire.OpTxn, Sem: wire.SemDefault, Batch: []wire.Request{
+		{Op: wire.OpSet, Key: a, Val: []byte("0")},
+		{Op: wire.OpSet, Key: b, Val: []byte("0")},
+	}})
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := []byte(fmt.Sprintf("%d-%d", w, i))
+				execOK(t, st, &wire.Request{Op: wire.OpTxn, Sem: wire.SemDefault, Batch: []wire.Request{
+					{Op: wire.OpSet, Key: a, Val: v},
+					{Op: wire.OpSet, Key: b, Val: v},
+				}})
+				// Reading both through a cross-shard TXN of GETs serializes
+				// against the writers above, so the pair must match.
+				resp := execOK(t, st, &wire.Request{Op: wire.OpTxn, Sem: wire.SemDefault, Batch: []wire.Request{
+					{Op: wire.OpGet, Key: a},
+					{Op: wire.OpGet, Key: b},
+				}})
+				if string(resp.Batch[0].Val) != string(resp.Batch[1].Val) {
+					t.Errorf("torn pair: %q vs %q", resp.Batch[0].Val, resp.Batch[1].Val)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestShardedDurableRestart: a sharded durable store replays every
+// shard's log — including cross-shard TXN prepares — back to the same
+// state, and the manifest pins the shard count.
+func TestShardedDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, res := newShardedDurable(t, dir, 4, wal.ModeAlways)
+	if len(res.Shards) != 4 {
+		t.Fatalf("recovered %d shards", len(res.Shards))
+	}
+	const n = 60
+	for i := 0; i < n; i++ {
+		execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: tkey(i), Val: []byte("v")})
+	}
+	// One cross-shard TXN so prepares/decision/commit marks hit the logs.
+	a, b := tkey(0), []byte(nil)
+	for i := 1; b == nil; i++ {
+		if st.shardIdx(tkey(i)) != st.shardIdx(a) {
+			b = tkey(i)
+		}
+	}
+	execOK(t, st, &wire.Request{Op: wire.OpTxn, Sem: wire.SemDefault, Batch: []wire.Request{
+		{Op: wire.OpSet, Key: a, Val: []byte("xa")},
+		{Op: wire.OpSet, Key: b, Val: []byte("xb")},
+	}})
+	before := scanAll(t, st)
+	if err := st.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, err := WALShardCount(dir); err != nil || got != 4 {
+		t.Fatalf("WALShardCount = %d, %v; want 4", got, err)
+	}
+
+	st2, res2 := newShardedDurable(t, dir, 4, wal.ModeAlways)
+	defer st2.CloseDurability()
+	if res2.RolledBack != 0 {
+		t.Fatalf("clean restart rolled back %d prepares", res2.RolledBack)
+	}
+	if got := scanAll(t, st2); len(got) != len(before) || got[string(a)] != "xa" || got[string(b)] != "xb" {
+		t.Fatalf("state after restart = %d keys, want %d (a=%q b=%q)", len(got), len(before), got[string(a)], got[string(b)])
+	}
+	// The epoch counter resumed past the recovered maximum: the next
+	// cross-shard commit must not collide with the logged one.
+	if st2.epoch.Load() == 0 {
+		t.Fatal("epoch did not resume from the recovered logs")
+	}
+}
+
+// TestShardCountMismatch: reopening a pinned directory with the wrong
+// shard count refuses, and the error names the pinned count.
+func TestShardCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := newShardedDurable(t, dir, 4, wal.ModeAlways)
+	execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: tkey(1), Val: []byte("v")})
+	if err := st.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := newSharded(2)
+	_, err := st2.EnableDurability(Durability{Dir: dir, Fsync: wal.ModeAlways, CheckpointEvery: -1})
+	if err == nil || !strings.Contains(err.Error(), "4") {
+		t.Fatalf("mismatched open: err = %v, want pinned-count error", err)
+	}
+}
+
+// TestLegacyDirOpensAsSingleShard: a pre-manifest directory (files at
+// the root) reads back as one shard and keeps working.
+func TestLegacyDirOpensAsSingleShard(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := newDurable(t, dir, wal.ModeAlways)
+	execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: []byte("k"), Val: []byte("v")})
+	if err := st.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the manifest: the layout earlier releases wrote.
+	rmManifest(t, dir)
+	if got, err := WALShardCount(dir); err != nil || got != 1 {
+		t.Fatalf("legacy WALShardCount = %d, %v; want 1", got, err)
+	}
+	st2, _ := newDurable(t, dir, wal.ModeAlways)
+	defer st2.CloseDurability()
+	if got := scanAll(t, st2); got["k"] != "v" {
+		t.Fatalf("legacy replay = %v", got)
+	}
+}
+
+// TestShardedStats: STATS surfaces the shard count, distribution rows
+// and per-shard WAL rows.
+func TestShardedStats(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := newShardedDurable(t, dir, 2, wal.ModeAlways)
+	defer st.CloseDurability()
+	for i := 0; i < 32; i++ {
+		execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: tkey(i), Val: []byte("v")})
+	}
+	resp := execOK(t, st, &wire.Request{Op: wire.OpStats})
+	counters := map[string]uint64{}
+	for _, c := range resp.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["store_shards"] != 2 {
+		t.Fatalf("store_shards = %d", counters["store_shards"])
+	}
+	if counters["shard0.ops"]+counters["shard1.ops"] < 32 {
+		t.Fatalf("distribution rows = %d + %d", counters["shard0.ops"], counters["shard1.ops"])
+	}
+	if counters["shard0.wal_records"]+counters["shard1.wal_records"] != 32 {
+		t.Fatalf("per-shard wal_records sum = %d, want 32",
+			counters["shard0.wal_records"]+counters["shard1.wal_records"])
+	}
+	if counters["wal_records"] != 32 {
+		t.Fatalf("aggregate wal_records = %d, want 32", counters["wal_records"])
+	}
+	if counters["commits"] == 0 {
+		t.Fatal("aggregate engine counters missing")
+	}
+}

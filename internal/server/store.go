@@ -2,7 +2,9 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
 	"polytm/internal/core"
@@ -69,32 +71,165 @@ func resolveSemantics(req *wire.Request) (core.Semantics, error) {
 	return sem, nil
 }
 
-// Store is the server's keyspace: a transactional ordered map over one
-// polymorphic TM. All transaction-semantics policy lives in the request
-// execution path, not in the structure.
-//
-// A durable store (EnableDurability) additionally owns a write-ahead
-// log: every mutating request runs as an irrevocable transaction that
-// reserves its log record under the irrevocable token, and is
-// acknowledged only once the record is durable.
-type Store struct {
-	tm *core.TM
-	m  *structures.TSkipMap
+// shard is one hash partition of the keyspace: its own polymorphic TM
+// (so its irrevocable token serializes only this shard's durable
+// writes), its own skip map, and — when durable — its own write-ahead
+// log. Nothing is shared between shards except the Store's routing
+// table and the cross-shard commit protocol.
+type shard struct {
+	idx int
+	tm  *core.TM
+	m   *structures.TSkipMap
 
 	wal  *wal.Log
 	caps sync.Pool // *walCapture, created by EnableDurability
 
+	routed atomic.Uint64 // operations routed here (STATS distribution row)
+}
+
+// capture returns the shard's pooled walCapture (escalating sem to the
+// irrevocable class) when the store is durable, nil (and sem unchanged)
+// otherwise. Durable stores escalate every mutation — even over an
+// explicit weaker override: the log needs a total order matching commit
+// order, the shard's irrevocable token is that order, and it guarantees
+// a reserved record's transaction commits.
+func (sh *shard) capture(sem core.Semantics) (*walCapture, core.Semantics) {
+	if sh.wal == nil {
+		return nil, sem
+	}
+	cp := sh.caps.Get().(*walCapture)
+	cp.reset()
+	return cp, core.Irrevocable
+}
+
+// atomicMut runs one single-shard mutating transaction. The non-durable
+// path is the historical hot path, untouched. The durable path runs fn
+// with the capture as the transaction's observer — confirming or
+// tombstoning the record the body reserved — and gates the
+// acknowledgement on the record being durable.
+func (sh *shard) atomicMut(ctx context.Context, sem core.Semantics, cp *walCapture, fn func(tx *core.Tx) error) error {
+	if cp == nil {
+		return sh.tm.AtomicAsCtx(ctx, sem, fn)
+	}
+	err := sh.tm.AtomicCtx(ctx, fn, core.WithSemantics(sem), core.WithObserver(cp))
+	if err != nil {
+		return err
+	}
+	return cp.wait()
+}
+
+// Store is the server's keyspace: an ordered transactional map
+// hash-partitioned across one or more shards. Single-key requests
+// route to exactly one shard by key hash; MGET and SCAN fan out and
+// merge; a TXN whose keys span shards — and FLUSH/REBUILD, which span
+// all of them — commit through the cross-shard protocol in twopc.go.
+// All transaction-semantics policy lives in the request execution
+// path, not in the structure.
+//
+// A durable store (EnableDurability) additionally owns one write-ahead
+// log per shard: every mutating request runs as an irrevocable
+// transaction on its shard that reserves its log record under that
+// shard's irrevocable token, and is acknowledged only once the record
+// is durable.
+type Store struct {
+	shards []*shard
+
+	// epoch numbers cross-shard transactions; durable stores persist it
+	// through control records and resume past the recovered maximum.
+	epoch atomic.Uint64
+
+	xshardTxns   atomic.Uint64 // cross-shard commits attempted
+	xshardAborts atomic.Uint64 // cross-shard commits that aborted
+
+	logf     func(format string, args ...any) // diagnostics sink (durable stores)
 	ckptStop chan struct{}
 	ckptDone chan struct{}
 }
 
-// NewStore creates an empty store on tm.
+// NewStore creates an empty single-shard store on tm.
 func NewStore(tm *core.TM) *Store {
-	return &Store{tm: tm, m: structures.NewTSkipMap(tm)}
+	return NewShardedStore([]*core.TM{tm})
 }
 
-// TM returns the store's transactional memory (stats, tests).
-func (s *Store) TM() *core.TM { return s.tm }
+// NewShardedStore creates an empty store with one shard per TM.
+func NewShardedStore(tms []*core.TM) *Store {
+	if len(tms) == 0 {
+		panic("server: store needs at least one shard")
+	}
+	s := &Store{shards: make([]*shard, len(tms))}
+	for i, tm := range tms {
+		s.shards[i] = &shard{idx: i, tm: tm, m: structures.NewTSkipMap(tm)}
+	}
+	return s
+}
+
+// TM returns shard 0's transactional memory (stats, tests; see
+// Store.Stats for the all-shards aggregate).
+func (s *Store) TM() *core.TM { return s.shards[0].tm }
+
+// NumShards returns the store's shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Stats aggregates the engine counters across every shard's TM.
+func (s *Store) Stats() stm.StatsSnapshot {
+	var agg stm.StatsSnapshot
+	for _, sh := range s.shards {
+		sn := sh.tm.Stats()
+		agg.Starts += sn.Starts
+		agg.Commits += sn.Commits
+		agg.Aborts += sn.Aborts
+		agg.ReadAborts += sn.ReadAborts
+		agg.LockAborts += sn.LockAborts
+		agg.ValidateAbort += sn.ValidateAbort
+		agg.Kills += sn.Kills
+		agg.Extensions += sn.Extensions
+		agg.ElasticCuts += sn.ElasticCuts
+		agg.SnapshotReads += sn.SnapshotReads
+		agg.Irrevocables += sn.Irrevocables
+		agg.VarsAllocated += sn.VarsAllocated
+		agg.Reads += sn.Reads
+		agg.Writes += sn.Writes
+		for i := range agg.PerSemantics {
+			agg.PerSemantics[i].Starts += sn.PerSemantics[i].Starts
+			agg.PerSemantics[i].Commits += sn.PerSemantics[i].Commits
+			agg.PerSemantics[i].Aborts += sn.PerSemantics[i].Aborts
+		}
+	}
+	return agg
+}
+
+// ResetStats zeroes every shard's engine counters.
+func (s *Store) ResetStats() {
+	for _, sh := range s.shards {
+		sh.tm.ResetStats()
+	}
+}
+
+// shardIdx routes a key: FNV-1a over its bytes, reduced modulo the
+// shard count. The hash must be stable across restarts — it decides
+// which shard's WAL a key's records live in.
+func (s *Store) shardIdx(key []byte) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(h % uint64(len(s.shards)))
+}
+
+// route returns the shard owning key, counting the routing decision.
+func (s *Store) route(key []byte) *shard {
+	sh := s.shards[s.shardIdx(key)]
+	sh.routed.Add(1)
+	return sh
+}
 
 // Execute runs one decoded request against the store and returns its
 // response. It never returns an error: failures become StatusErr
@@ -119,7 +254,9 @@ func (s *Store) ExecuteInto(req *wire.Request, resp *wire.Response) {
 // handler exits and on forced drain — so an abandoned request's
 // transaction stops retrying instead of running to completion for
 // nobody. A cancelled transaction surfaces as a StatusErr response
-// matching stm.ErrCancelled.
+// matching stm.ErrCancelled. (Cross-shard commits are the exception:
+// once begun they ignore cancellation, mirroring the irrevocable
+// contract they ride.)
 func (s *Store) ExecuteCtx(ctx context.Context, req *wire.Request, resp *wire.Response) {
 	resetResponse(resp)
 	sem, err := resolveSemantics(req)
@@ -127,57 +264,30 @@ func (s *Store) ExecuteCtx(ctx context.Context, req *wire.Request, resp *wire.Re
 		errInto(resp, err)
 		return
 	}
-	// Durable stores escalate every mutation to the irrevocable class —
-	// even over an explicit weaker override. The log needs a total
-	// order matching commit order, and the irrevocable token is that
-	// order; it also guarantees a reserved record's transaction commits.
-	var cp *walCapture
-	if s.wal != nil && req.Op.Mutates() {
-		cp = s.caps.Get().(*walCapture)
-		cp.reset()
-		defer s.caps.Put(cp)
-		sem = core.Irrevocable
-	}
 	switch req.Op {
 	case wire.OpGet:
-		s.get(ctx, req.Key, sem, resp)
+		s.get(ctx, s.route(req.Key), req.Key, sem, resp)
 	case wire.OpSet:
-		s.set(ctx, req.Key, req.Val, sem, resp, cp)
+		s.set(ctx, s.route(req.Key), req.Key, req.Val, sem, resp)
 	case wire.OpCAS:
-		s.cas(ctx, req.Key, req.Old, req.Val, sem, resp, cp)
+		s.cas(ctx, s.route(req.Key), req.Key, req.Old, req.Val, sem, resp)
 	case wire.OpDel:
-		s.del(ctx, req.Key, sem, resp, cp)
+		s.del(ctx, s.route(req.Key), req.Key, sem, resp)
 	case wire.OpScan:
 		s.scan(ctx, req.From, req.To, req.Limit, sem, resp)
 	case wire.OpMGet:
 		s.mget(ctx, req.Keys, sem, resp)
 	case wire.OpTxn:
-		s.txn(ctx, req.Batch, sem, resp, cp)
+		s.txn(ctx, req.Batch, sem, resp)
 	case wire.OpStats:
 		s.stats(resp)
 	case wire.OpFlush:
-		s.flush(ctx, sem, resp, cp)
+		s.flush(ctx, sem, resp)
 	case wire.OpRebuild:
-		s.rebuild(ctx, sem, resp, cp)
+		s.rebuild(ctx, sem, resp)
 	default:
 		errInto(resp, wire.ErrBadOp)
 	}
-}
-
-// atomicMut runs one mutating request's transaction. The non-durable
-// path is the historical hot path, untouched. The durable path runs fn
-// with the capture as the transaction's observer — confirming or
-// tombstoning the record the body reserved — and gates the
-// acknowledgement on the record being durable.
-func (s *Store) atomicMut(ctx context.Context, sem core.Semantics, cp *walCapture, fn func(tx *core.Tx) error) error {
-	if cp == nil {
-		return s.tm.AtomicAsCtx(ctx, sem, fn)
-	}
-	err := s.tm.AtomicCtx(ctx, fn, core.WithSemantics(sem), core.WithObserver(cp))
-	if err != nil {
-		return err
-	}
-	return cp.wait()
 }
 
 // resetResponse scrubs resp for reuse, truncating (not freeing) its
@@ -240,9 +350,9 @@ func appendSub(resp *wire.Response) *wire.Response {
 	return sub
 }
 
-func (s *Store) get(ctx context.Context, key []byte, sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
-		v, ok, err := s.m.GetTx(tx, lookupKey(key))
+func (s *Store) get(ctx context.Context, sh *shard, key []byte, sem core.Semantics, resp *wire.Response) {
+	err := sh.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
+		v, ok, err := sh.m.GetTx(tx, lookupKey(key))
 		if err != nil {
 			return err
 		}
@@ -260,10 +370,14 @@ func (s *Store) get(ctx context.Context, key []byte, sem core.Semantics, resp *w
 	}
 }
 
-func (s *Store) set(ctx context.Context, key, val []byte, sem core.Semantics, resp *wire.Response, cp *walCapture) {
-	err := s.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
+func (s *Store) set(ctx context.Context, sh *shard, key, val []byte, sem core.Semantics, resp *wire.Response) {
+	cp, sem := sh.capture(sem)
+	if cp != nil {
+		defer sh.caps.Put(cp)
+	}
+	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
 		cp.begin()
-		if _, err := s.m.PutTx(tx, string(key), string(val)); err != nil {
+		if _, err := sh.m.PutTx(tx, string(key), string(val)); err != nil {
 			return err
 		}
 		cp.set(key, val)
@@ -280,10 +394,14 @@ func (s *Store) set(ctx context.Context, key, val []byte, sem core.Semantics, re
 // cas is an atomic compare-and-swap: mismatches and misses COMMIT as
 // read-only transactions (they are legitimate outcomes, not failures),
 // so wire-level CAS misses never inflate the engine's abort counters.
-func (s *Store) cas(ctx context.Context, key, old, val []byte, sem core.Semantics, resp *wire.Response, cp *walCapture) {
-	err := s.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
+func (s *Store) cas(ctx context.Context, sh *shard, key, old, val []byte, sem core.Semantics, resp *wire.Response) {
+	cp, sem := sh.capture(sem)
+	if cp != nil {
+		defer sh.caps.Put(cp)
+	}
+	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
 		cp.begin()
-		cur, ok, err := s.m.GetTx(tx, lookupKey(key))
+		cur, ok, err := sh.m.GetTx(tx, lookupKey(key))
 		if err != nil {
 			return err
 		}
@@ -297,7 +415,7 @@ func (s *Store) cas(ctx context.Context, key, old, val []byte, sem core.Semantic
 			resp.Val = append(resp.Val[:0], cur...)
 			return nil
 		}
-		if _, err := s.m.PutTx(tx, string(key), string(val)); err != nil {
+		if _, err := sh.m.PutTx(tx, string(key), string(val)); err != nil {
 			return err
 		}
 		resp.Status = wire.StatusOK
@@ -313,10 +431,14 @@ func (s *Store) cas(ctx context.Context, key, old, val []byte, sem core.Semantic
 	}
 }
 
-func (s *Store) del(ctx context.Context, key []byte, sem core.Semantics, resp *wire.Response, cp *walCapture) {
-	err := s.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
+func (s *Store) del(ctx context.Context, sh *shard, key []byte, sem core.Semantics, resp *wire.Response) {
+	cp, sem := sh.capture(sem)
+	if cp != nil {
+		defer sh.caps.Put(cp)
+	}
+	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
 		cp.begin()
-		removed, err := s.m.DeleteTx(tx, lookupKey(key))
+		removed, err := sh.m.DeleteTx(tx, lookupKey(key))
 		if err != nil {
 			return err
 		}
@@ -335,9 +457,15 @@ func (s *Store) del(ctx context.Context, key []byte, sem core.Semantics, resp *w
 }
 
 func (s *Store) scan(ctx context.Context, from, to []byte, limit uint64, sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
+	if len(s.shards) > 1 {
+		s.scanFanout(ctx, from, to, limit, sem, resp)
+		return
+	}
+	sh := s.shards[0]
+	sh.routed.Add(1)
+	err := sh.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 		resp.Pairs = resp.Pairs[:0]
-		return s.m.RangeTx(tx, lookupKey(from), lookupKey(to), int(limit), func(k, v string) bool {
+		return sh.m.RangeTx(tx, lookupKey(from), lookupKey(to), int(limit), func(k, v string) bool {
 			appendPair(resp, k, v)
 			return true
 		})
@@ -349,91 +477,52 @@ func (s *Store) scan(ctx context.Context, from, to []byte, limit uint64, sem cor
 	resp.Status = wire.StatusOK
 }
 
-func (s *Store) mget(ctx context.Context, keys [][]byte, sem core.Semantics, resp *wire.Response) {
-	err := s.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
-		resp.Batch = resp.Batch[:0]
-		for _, key := range keys {
-			v, ok, err := s.m.GetTx(tx, lookupKey(key))
-			if err != nil {
-				return err
-			}
-			sub := appendSub(resp)
-			if ok {
-				sub.Status = wire.StatusOK
-				sub.Val = append(sub.Val, v...)
-			} else {
-				sub.Status = wire.StatusNotFound
+// txn executes the batch's sub-operations in ONE atomic unit: all
+// commit together or none do. A batch whose keys live on one shard is
+// a single transaction under the resolved semantics (the historical
+// path); a batch spanning shards commits through the cross-shard
+// protocol, one irrevocable transaction per participating shard.
+func (s *Store) txn(ctx context.Context, batch []wire.Request, sem core.Semantics, resp *wire.Response) {
+	// Validate before grouping: an unknown sub-op fails the whole batch
+	// before any transaction starts on any shard.
+	for i := range batch {
+		switch batch[i].Op {
+		case wire.OpGet, wire.OpSet, wire.OpCAS, wire.OpDel:
+		default:
+			errInto(resp, wire.ErrBadSubOp)
+			return
+		}
+	}
+	sh := s.shards[0]
+	if len(s.shards) > 1 && len(batch) > 0 {
+		single := true
+		idx := s.shardIdx(batch[0].Key)
+		for i := 1; i < len(batch); i++ {
+			if s.shardIdx(batch[i].Key) != idx {
+				single = false
+				break
 			}
 		}
-		return nil
-	})
-	if err != nil {
-		errInto(resp, err)
-		return
+		if !single {
+			s.txnCross(ctx, batch, resp)
+			return
+		}
+		sh = s.shards[idx]
 	}
-	resp.Status = wire.StatusOK
-}
-
-// txn executes the batch's sub-operations in ONE transaction: all commit
-// together or none do, and the batch observes and produces a single
-// atomic state change under the resolved semantics.
-func (s *Store) txn(ctx context.Context, batch []wire.Request, sem core.Semantics, resp *wire.Response, cp *walCapture) {
-	err := s.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
+	sh.routed.Add(uint64(len(batch)))
+	cp, sem := sh.capture(sem)
+	if cp != nil {
+		defer sh.caps.Put(cp)
+	}
+	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
 		cp.begin()
 		resp.Batch = resp.Batch[:0]
 		for i := range batch {
 			sub := &batch[i]
 			out := appendSub(resp)
 			out.SubOp = sub.Op
-			switch sub.Op {
-			case wire.OpGet:
-				v, ok, err := s.m.GetTx(tx, lookupKey(sub.Key))
-				if err != nil {
-					return err
-				}
-				if ok {
-					out.Status = wire.StatusOK
-					out.Val = append(out.Val, v...)
-				} else {
-					out.Status = wire.StatusNotFound
-				}
-			case wire.OpSet:
-				if _, err := s.m.PutTx(tx, string(sub.Key), string(sub.Val)); err != nil {
-					return err
-				}
-				out.Status = wire.StatusOK
-				cp.set(sub.Key, sub.Val)
-			case wire.OpCAS:
-				cur, ok, err := s.m.GetTx(tx, lookupKey(sub.Key))
-				if err != nil {
-					return err
-				}
-				switch {
-				case !ok:
-					out.Status = wire.StatusNotFound
-				case cur != lookupKey(sub.Old):
-					out.Status = wire.StatusCASMismatch
-					out.Val = append(out.Val, cur...)
-				default:
-					if _, err := s.m.PutTx(tx, string(sub.Key), string(sub.Val)); err != nil {
-						return err
-					}
-					out.Status = wire.StatusOK
-					cp.set(sub.Key, sub.Val)
-				}
-			case wire.OpDel:
-				removed, err := s.m.DeleteTx(tx, lookupKey(sub.Key))
-				if err != nil {
-					return err
-				}
-				if removed {
-					out.Status = wire.StatusOK
-					cp.del(sub.Key)
-				} else {
-					out.Status = wire.StatusNotFound
-				}
-			default:
-				return wire.ErrBadSubOp
+			if err := applySubOp(tx, sh, sub, out, cp.appendOp); err != nil {
+				return err
 			}
 		}
 		// The whole batch is ONE record: its operations replay in one
@@ -448,11 +537,71 @@ func (s *Store) txn(ctx context.Context, batch []wire.Request, sem core.Semantic
 	resp.Status = wire.StatusOK
 }
 
-// stats snapshots the engine counters, including the per-semantics
-// breakdown that makes the polymorphic schedule-acceptance gap visible
-// from the wire.
+// applySubOp runs one TXN sub-operation against a shard inside tx,
+// filling out and reporting each mutation to record (nil-safe via the
+// walCapture-style sink). It is shared by the single-shard TXN path
+// (sink = the shard's walCapture) and the cross-shard prepare bodies
+// (sink = the participant's prepare record under construction).
+func applySubOp(tx *core.Tx, sh *shard, sub *wire.Request, out *wire.Response, record func(kind wal.OpKind, key, val []byte)) error {
+	switch sub.Op {
+	case wire.OpGet:
+		v, ok, err := sh.m.GetTx(tx, lookupKey(sub.Key))
+		if err != nil {
+			return err
+		}
+		if ok {
+			out.Status = wire.StatusOK
+			out.Val = append(out.Val, v...)
+		} else {
+			out.Status = wire.StatusNotFound
+		}
+	case wire.OpSet:
+		if _, err := sh.m.PutTx(tx, string(sub.Key), string(sub.Val)); err != nil {
+			return err
+		}
+		out.Status = wire.StatusOK
+		record(wal.OpSet, sub.Key, sub.Val)
+	case wire.OpCAS:
+		cur, ok, err := sh.m.GetTx(tx, lookupKey(sub.Key))
+		if err != nil {
+			return err
+		}
+		switch {
+		case !ok:
+			out.Status = wire.StatusNotFound
+		case cur != lookupKey(sub.Old):
+			out.Status = wire.StatusCASMismatch
+			out.Val = append(out.Val, cur...)
+		default:
+			if _, err := sh.m.PutTx(tx, string(sub.Key), string(sub.Val)); err != nil {
+				return err
+			}
+			out.Status = wire.StatusOK
+			record(wal.OpSet, sub.Key, sub.Val)
+		}
+	case wire.OpDel:
+		removed, err := sh.m.DeleteTx(tx, lookupKey(sub.Key))
+		if err != nil {
+			return err
+		}
+		if removed {
+			out.Status = wire.StatusOK
+			record(wal.OpDel, sub.Key, nil)
+		} else {
+			out.Status = wire.StatusNotFound
+		}
+	default:
+		return wire.ErrBadSubOp
+	}
+	return nil
+}
+
+// stats snapshots the aggregated engine counters — including the
+// per-semantics breakdown that makes the polymorphic schedule-
+// acceptance gap visible from the wire — plus, on a sharded store, the
+// per-shard routing distribution and per-shard WAL rows.
 func (s *Store) stats(resp *wire.Response) {
-	snap := s.tm.Stats()
+	snap := s.Stats()
 	cs := append(resp.Counters[:0], []wire.Counter{
 		{Name: "starts", Value: snap.Starts},
 		{Name: "commits", Value: snap.Commits},
@@ -477,24 +626,60 @@ func (s *Store) stats(resp *wire.Response) {
 			wire.Counter{Name: "aborts." + p.String(), Value: c.Aborts},
 		)
 	}
-	if s.wal != nil {
-		bytes, records, fsyncs, checkpoints := s.wal.Stats()
+	cs = append(cs, wire.Counter{Name: "store_shards", Value: uint64(len(s.shards))})
+	if s.durable() {
+		var bytes, records, fsyncs, checkpoints uint64
+		for _, sh := range s.shards {
+			b, r, f, c := sh.wal.Stats()
+			bytes += b
+			records += r
+			fsyncs += f
+			checkpoints += c
+		}
 		cs = append(cs,
 			wire.Counter{Name: "wal_bytes", Value: bytes},
 			wire.Counter{Name: "wal_records", Value: records},
 			wire.Counter{Name: "wal_fsyncs", Value: fsyncs},
 			wire.Counter{Name: "wal_checkpoints", Value: checkpoints},
-			wire.Counter{Name: "wal_segment", Value: s.wal.Segment()},
+			wire.Counter{Name: "wal_segment", Value: s.shards[0].wal.Segment()},
 		)
+	}
+	if len(s.shards) > 1 {
+		cs = append(cs,
+			wire.Counter{Name: "xshard_txns", Value: s.xshardTxns.Load()},
+			wire.Counter{Name: "xshard_aborts", Value: s.xshardAborts.Load()},
+		)
+		// The shard-distribution rows: how the workload's keys spread.
+		for _, sh := range s.shards {
+			cs = append(cs, wire.Counter{Name: fmt.Sprintf("shard%d.ops", sh.idx), Value: sh.routed.Load()})
+			if sh.wal != nil {
+				b, r, f, _ := sh.wal.Stats()
+				cs = append(cs,
+					wire.Counter{Name: fmt.Sprintf("shard%d.wal_bytes", sh.idx), Value: b},
+					wire.Counter{Name: fmt.Sprintf("shard%d.wal_records", sh.idx), Value: r},
+					wire.Counter{Name: fmt.Sprintf("shard%d.wal_fsyncs", sh.idx), Value: f},
+				)
+			}
+		}
 	}
 	resp.Status = wire.StatusOK
 	resp.Counters = cs
 }
 
-func (s *Store) flush(ctx context.Context, sem core.Semantics, resp *wire.Response, cp *walCapture) {
-	err := s.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
+func (s *Store) flush(ctx context.Context, sem core.Semantics, resp *wire.Response) {
+	if len(s.shards) > 1 {
+		s.adminCross(ctx, wal.OpFlush, resp)
+		return
+	}
+	sh := s.shards[0]
+	sh.routed.Add(1)
+	cp, sem := sh.capture(sem)
+	if cp != nil {
+		defer sh.caps.Put(cp)
+	}
+	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
 		cp.begin()
-		n, err := s.m.ClearTx(tx)
+		n, err := sh.m.ClearTx(tx)
 		if err != nil {
 			return err
 		}
@@ -510,10 +695,20 @@ func (s *Store) flush(ctx context.Context, sem core.Semantics, resp *wire.Respon
 	resp.Status = wire.StatusOK
 }
 
-func (s *Store) rebuild(ctx context.Context, sem core.Semantics, resp *wire.Response, cp *walCapture) {
-	err := s.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
+func (s *Store) rebuild(ctx context.Context, sem core.Semantics, resp *wire.Response) {
+	if len(s.shards) > 1 {
+		s.adminCross(ctx, wal.OpRebuild, resp)
+		return
+	}
+	sh := s.shards[0]
+	sh.routed.Add(1)
+	cp, sem := sh.capture(sem)
+	if cp != nil {
+		defer sh.caps.Put(cp)
+	}
+	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
 		cp.begin()
-		n, err := s.m.RebuildTx(tx)
+		n, err := sh.m.RebuildTx(tx)
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 )
@@ -126,35 +127,132 @@ func (l *Log) cleanup(keepSeg uint64) {
 	}
 }
 
+// ckptReader streams one checkpoint's entry section through a bounded
+// buffer, so loading never holds more than one entry in memory no
+// matter how large the file is. body is the byte count between the
+// magic and the trailing checksum.
+type ckptReader struct {
+	br   *bufio.Reader
+	body int64  // entry-section bytes left to consume
+	kbuf []byte // reusable key storage
+	vbuf []byte // reusable value storage
+}
+
+// readByte consumes one entry-section byte.
+func (c *ckptReader) readByte() (byte, error) {
+	if c.body < 1 {
+		return 0, &errCorrupt{"checkpoint: truncated entry section"}
+	}
+	b, err := c.br.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	c.body--
+	return b, nil
+}
+
+// readField consumes one uvarint-length-prefixed field into buf.
+func (c *ckptReader) readField(buf []byte) ([]byte, error) {
+	var n uint64
+	for shift := uint(0); ; shift += 7 {
+		if shift >= 64 {
+			return nil, &errCorrupt{"checkpoint: bad field length"}
+		}
+		b, err := c.readByte()
+		if err != nil {
+			return nil, err
+		}
+		n |= uint64(b&0x7F) << shift
+		if b < 0x80 {
+			break
+		}
+	}
+	if int64(n) > c.body {
+		return nil, &errCorrupt{"checkpoint: field overruns entry section"}
+	}
+	if uint64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return nil, err
+	}
+	c.body -= int64(n)
+	return buf, nil
+}
+
 // loadCheckpoint reads and fully validates one checkpoint file —
 // checksum AND grammar — then streams its entries to apply as OpSet
 // operations. Nothing is applied from a checkpoint that does not
 // validate end to end, so a corrupt checkpoint never half-applies.
+//
+// Both the validation pass and the apply pass stream the file through
+// a bufio.Reader: recovery memory is O(largest entry), not O(file), so
+// a multi-GB checkpoint replays in constant space per shard.
 func loadCheckpoint(path string, apply func(ops []Op) error) (keys int, err error) {
-	buf, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
 	}
-	if len(buf) < len(ckptMagic)+1+4 || string(buf[:8]) != string(ckptMagic[:]) {
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := fi.Size()
+	if size < int64(len(ckptMagic))+1+4 {
 		return 0, &errCorrupt{"checkpoint: bad magic or size"}
 	}
-	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
-	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(tail) {
-		return 0, &errCorrupt{"checkpoint: checksum mismatch"}
-	}
-	// Entries are applied in batches: each apply call is one atomic
-	// group on the store side (one transaction), and per-key
-	// transactions would make restarting a large keyspace pay a full
-	// begin/commit cycle per entry. The batch size is a throughput
-	// knob only — the whole file was validated above, so
-	// atomicity granularity is free to choose during recovery.
+
+	// Pass 1: stream the whole file once, checking the magic, the
+	// entry grammar, and the running CRC against the stored trailer.
+	// Pass 2: seek back and stream again, applying entries in batches —
+	// each apply call is one atomic group on the store side (one
+	// transaction), and per-key transactions would make restarting a
+	// large keyspace pay a full begin/commit cycle per entry. The batch
+	// size is a throughput knob only: the whole file was validated by
+	// pass 1, so atomicity granularity is free to choose here.
 	const applyBatch = 256
-	entries := body[8:]
+	br := bufio.NewReaderSize(f, 1<<16)
+	cr := &ckptReader{br: br}
 	for pass := 0; pass < 2; pass++ {
-		p := entries
+		if pass == 1 {
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				return 0, err
+			}
+			br.Reset(f)
+		}
+		var magic [8]byte
+		if _, err := io.ReadFull(br, magic[:]); err != nil {
+			return keys, err
+		}
+		if magic != ckptMagic {
+			return keys, &errCorrupt{"checkpoint: bad magic or size"}
+		}
+		crc := crc32.Checksum(magic[:], crcTable)
+		// Wrap the section reads in a CRC-updating tee on pass 0 only:
+		// once the checksum has held, the apply pass skips the rework.
+		cr.body = size - int64(len(ckptMagic)) - 4
+		if pass == 0 {
+			sum := &crcReader{r: io.LimitReader(br, cr.body), crc: crc}
+			sbr := bufio.NewReaderSize(sum, 1<<16)
+			vcr := &ckptReader{br: sbr, body: cr.body, kbuf: cr.kbuf, vbuf: cr.vbuf}
+			if err := vcr.walk(nil); err != nil {
+				return 0, err
+			}
+			cr.kbuf, cr.vbuf = vcr.kbuf, vcr.vbuf
+			var tail [4]byte
+			if _, err := io.ReadFull(br, tail[:]); err != nil {
+				return 0, err
+			}
+			if sum.crc != binary.BigEndian.Uint32(tail[:]) {
+				return 0, &errCorrupt{"checkpoint: checksum mismatch"}
+			}
+			continue
+		}
 		var ops []Op
 		flush := func() error {
-			if pass == 0 || len(ops) == 0 {
+			if len(ops) == 0 {
 				return nil
 			}
 			if err := apply(ops); err != nil {
@@ -164,44 +262,64 @@ func loadCheckpoint(path string, apply func(ops []Op) error) (keys int, err erro
 			ops = ops[:0]
 			return nil
 		}
-		for {
-			if len(p) == 0 {
-				return keys, &errCorrupt{"checkpoint: missing terminator"}
+		err := cr.walk(func(k, v []byte) error {
+			ops = append(ops, Op{Kind: OpSet, Key: string(k), Val: string(v)})
+			if len(ops) >= applyBatch {
+				return flush()
 			}
-			marker := p[0]
-			p = p[1:]
-			if marker == ckptEnd {
-				if len(p) != 0 {
-					return keys, &errCorrupt{"checkpoint: trailing bytes"}
-				}
-				if err := flush(); err != nil {
-					return keys, err
-				}
-				break
-			}
-			if marker != ckptEntry {
-				return keys, &errCorrupt{"checkpoint: bad entry marker"}
-			}
-			k, rest, err := readBytes(p)
-			if err != nil {
-				return keys, err
-			}
-			v, rest, err := readBytes(rest)
-			if err != nil {
-				return keys, err
-			}
-			p = rest
-			if pass == 1 {
-				ops = append(ops, Op{Kind: OpSet, Key: string(k), Val: string(v)})
-				if len(ops) >= applyBatch {
-					if err := flush(); err != nil {
-						return keys, err
-					}
-				}
-			}
+			return nil
+		})
+		if err != nil {
+			return keys, err
+		}
+		if err := flush(); err != nil {
+			return keys, err
 		}
 	}
 	return keys, nil
+}
+
+// walk streams the entry section, calling emit (when non-nil) per
+// entry, and checks the grammar: entries, a terminator, nothing after.
+func (c *ckptReader) walk(emit func(k, v []byte) error) error {
+	for {
+		marker, err := c.readByte()
+		if err != nil {
+			return err
+		}
+		if marker == ckptEnd {
+			if c.body != 0 {
+				return &errCorrupt{"checkpoint: trailing bytes"}
+			}
+			return nil
+		}
+		if marker != ckptEntry {
+			return &errCorrupt{"checkpoint: bad entry marker"}
+		}
+		if c.kbuf, err = c.readField(c.kbuf[:0]); err != nil {
+			return err
+		}
+		if c.vbuf, err = c.readField(c.vbuf[:0]); err != nil {
+			return err
+		}
+		if emit != nil {
+			if err := emit(c.kbuf, c.vbuf); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// crcReader tees a running CRC-32C over everything read through it.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crcTable, p[:n])
+	return n, err
 }
 
 // syncDir fsyncs a directory so a just-renamed file's directory entry

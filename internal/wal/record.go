@@ -108,6 +108,176 @@ func appendBytes(dst, b []byte) []byte {
 	return append(dst, b...)
 }
 
+// ---- cross-shard control records ----
+//
+// A sharded store runs one write-ahead log per shard, and a mutation
+// spanning several shards commits through a 2PC-style protocol riding
+// the per-shard irrevocable tokens. Its on-log footprint is three
+// control payloads, distinguished from operation payloads by a first
+// byte outside the OpKind range:
+//
+//	PREPARE  = 0x10 | uvarint(epoch) | uvarint(coord) | ops...
+//	DECISION = 0x11 | uvarint(epoch)
+//	COMMIT   = 0x12 | uvarint(epoch)
+//
+// Every participating shard appends PREPARE (its slice of the
+// mutation, tagged with the transaction's epoch and the coordinator
+// shard's index) while holding its irrevocable token. Once every
+// prepare is durable, the coordinator appends DECISION to its own log
+// — the transaction's commit point — and each other participant then
+// appends COMMIT. Tokens are held throughout, so within one shard's
+// log nothing intervenes between its PREPARE and the record that
+// resolves it.
+//
+// Replay applies a prepare's operations when the next record resolves
+// it: COMMIT(epoch) on a participant, DECISION(epoch) on the
+// coordinator (whose decision doubles as its own commit mark). A
+// prepare followed by anything else was aborted live and is dropped. A
+// prepare still pending at the end of the log is in-doubt: recovery
+// reports it and the store resolves it against the coordinator shard's
+// decision set — present means commit, absent means the crash beat the
+// decision and the prepare rolls back.
+
+const (
+	ctlPrepare  byte = 0x10
+	ctlDecision byte = 0x11
+	ctlCommit   byte = 0x12
+)
+
+// RecordKind classifies a decoded record payload.
+type RecordKind byte
+
+const (
+	// RecordOps is a plain operation group (the only kind a
+	// single-shard log ever holds).
+	RecordOps RecordKind = iota
+	// RecordPrepare is one shard's slice of a cross-shard mutation.
+	RecordPrepare
+	// RecordDecision is the coordinator's commit point for an epoch.
+	RecordDecision
+	// RecordCommit is a participant's commit mark for an epoch.
+	RecordCommit
+)
+
+// String names the kind.
+func (k RecordKind) String() string {
+	switch k {
+	case RecordOps:
+		return "OPS"
+	case RecordPrepare:
+		return "PREPARE"
+	case RecordDecision:
+		return "DECISION"
+	case RecordCommit:
+		return "COMMIT"
+	default:
+		return fmt.Sprintf("RecordKind(%d)", byte(k))
+	}
+}
+
+// Record is one decoded record payload. Epoch and Coord are meaningful
+// for control kinds only; Ops for RecordOps and RecordPrepare.
+type Record struct {
+	Kind  RecordKind
+	Epoch uint64
+	Coord int
+	Ops   []Op
+}
+
+// AppendPrepare frames ops (an already-encoded operation sequence) as
+// one shard's PREPARE payload for the given epoch and coordinator.
+func AppendPrepare(dst []byte, epoch uint64, coord int, ops []byte) []byte {
+	dst = append(dst, ctlPrepare)
+	dst = binary.AppendUvarint(dst, epoch)
+	dst = binary.AppendUvarint(dst, uint64(coord))
+	return append(dst, ops...)
+}
+
+// AppendDecision builds the coordinator's DECISION payload.
+func AppendDecision(dst []byte, epoch uint64) []byte {
+	dst = append(dst, ctlDecision)
+	return binary.AppendUvarint(dst, epoch)
+}
+
+// AppendCommitMark builds a participant's COMMIT payload.
+func AppendCommitMark(dst []byte, epoch uint64) []byte {
+	dst = append(dst, ctlCommit)
+	return binary.AppendUvarint(dst, epoch)
+}
+
+// AppendOps re-encodes a decoded operation sequence — recovery uses it
+// to persist a commit-resolved in-doubt prepare as a plain record in
+// the shard's fresh segment.
+func AppendOps(dst []byte, ops []Op) []byte {
+	for _, op := range ops {
+		switch op.Kind {
+		case OpSet:
+			dst = AppendSet(dst, []byte(op.Key), []byte(op.Val))
+		case OpDel:
+			dst = AppendDel(dst, []byte(op.Key))
+		case OpFlush:
+			dst = AppendFlush(dst)
+		case OpRebuild:
+			dst = AppendRebuild(dst)
+		}
+	}
+	return dst
+}
+
+// DecodeRecord parses one record payload, classifying it and — for
+// kinds that carry them — decoding its operations (appended to ops,
+// which may be nil or reused).
+func DecodeRecord(ops []Op, payload []byte) (Record, error) {
+	if len(payload) == 0 {
+		return Record{}, &errCorrupt{"empty payload"}
+	}
+	var rec Record
+	switch payload[0] {
+	case ctlPrepare, ctlDecision, ctlCommit:
+		ctl := payload[0]
+		p := payload[1:]
+		epoch, n := binary.Uvarint(p)
+		if n <= 0 {
+			return Record{}, &errCorrupt{"bad control epoch"}
+		}
+		p = p[n:]
+		rec.Epoch = epoch
+		switch ctl {
+		case ctlDecision, ctlCommit:
+			if len(p) != 0 {
+				return Record{}, &errCorrupt{"trailing bytes in control record"}
+			}
+			if ctl == ctlDecision {
+				rec.Kind = RecordDecision
+			} else {
+				rec.Kind = RecordCommit
+			}
+			return rec, nil
+		}
+		coord, n := binary.Uvarint(p)
+		if n <= 0 {
+			return Record{}, &errCorrupt{"bad prepare coordinator"}
+		}
+		p = p[n:]
+		rec.Kind = RecordPrepare
+		rec.Coord = int(coord)
+		decoded, err := DecodeOps(ops, p)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Ops = decoded
+		return rec, nil
+	default:
+		decoded, err := DecodeOps(ops, payload)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Kind = RecordOps
+		rec.Ops = decoded
+		return rec, nil
+	}
+}
+
 // errCorrupt marks a payload that parsed wrong — distinct from a torn
 // frame only in diagnostics; both truncate the replay at the record.
 type errCorrupt struct{ why string }

@@ -29,6 +29,35 @@ type RecoverResult struct {
 	// DroppedSegments counts segments beyond the truncation point that
 	// were discarded entirely (they are past the durable prefix).
 	DroppedSegments int
+	// InDoubt is a PREPARE record still pending at the end of the log:
+	// the crash landed inside a cross-shard commit, after this shard
+	// prepared but before its outcome record. It was NOT applied; the
+	// caller resolves it against the coordinator shard's decision set
+	// (see Record) and either applies or discards its operations.
+	InDoubt *PendingPrepare
+	// Decisions lists the epochs whose DECISION record lives in this
+	// log — the commit points this shard coordinated. Other shards'
+	// in-doubt prepares naming this shard as coordinator commit iff
+	// their epoch is here.
+	Decisions []uint64
+	// MaxEpoch is the largest cross-shard epoch seen in any control
+	// record. The store resumes its epoch counter above the maximum
+	// across all shards, so a new epoch can never collide with one
+	// still resolvable from a surviving record.
+	MaxEpoch uint64
+	// AbortedPrepares counts PREPARE records that were superseded by a
+	// non-matching next record — transactions aborted live after
+	// preparing. Their operations were dropped.
+	AbortedPrepares int
+}
+
+// PendingPrepare is an unresolved PREPARE at the end of a recovered
+// log: epoch, coordinator shard index, and the operations that commit
+// iff the coordinator decided.
+type PendingPrepare struct {
+	Epoch uint64
+	Coord int
+	Ops   []Op
 }
 
 // String summarizes the recovery for logs.
@@ -43,6 +72,12 @@ func (r *RecoverResult) String() string {
 	}
 	if r.BadCheckpoints != 0 {
 		s += fmt.Sprintf(", skipped %d invalid checkpoints", r.BadCheckpoints)
+	}
+	if r.AbortedPrepares != 0 {
+		s += fmt.Sprintf(", dropped %d aborted prepares", r.AbortedPrepares)
+	}
+	if r.InDoubt != nil {
+		s += fmt.Sprintf(", in-doubt prepare epoch=%d coord=%d", r.InDoubt.Epoch, r.InDoubt.Coord)
 	}
 	return s
 }
@@ -138,6 +173,7 @@ func Open(dir string, opts Options, apply func(ops []Op) error) (*Log, *RecoverR
 		expect = 1
 	}
 	var ops []Op
+	var pending *PendingPrepare
 	for _, seg := range segs {
 		if seg > maxSeg {
 			maxSeg = seg
@@ -180,7 +216,7 @@ func Open(dir string, opts Options, apply func(ops []Op) error) (*Log, *RecoverR
 				}
 				break
 			}
-			ops, err = DecodeOps(ops[:0], payload)
+			rec, err := DecodeRecord(ops[:0], payload)
 			if err != nil {
 				// The frame checksum held but the payload grammar is bad:
 				// same handling as a torn record.
@@ -196,13 +232,53 @@ func Open(dir string, opts Options, apply func(ops []Op) error) (*Log, *RecoverR
 				}
 				break
 			}
-			if err := apply(ops); err != nil {
-				return nil, nil, fmt.Errorf("wal: applying segment %d: %w", seg, err)
+			if rec.Kind != RecordOps && rec.Epoch > res.MaxEpoch {
+				res.MaxEpoch = rec.Epoch
+			}
+			// A pending PREPARE is resolved by the record that follows
+			// it (tokens are held across a cross-shard commit, so
+			// nothing can legitimately intervene): its matching outcome
+			// — COMMIT on a participant, DECISION on the coordinator —
+			// applies it; any other record means the transaction
+			// aborted after preparing, and the prepare is dropped.
+			if pending != nil {
+				if (rec.Kind == RecordCommit || rec.Kind == RecordDecision) && rec.Epoch == pending.Epoch {
+					if err := apply(pending.Ops); err != nil {
+						return nil, nil, fmt.Errorf("wal: applying segment %d: %w", seg, err)
+					}
+				} else {
+					res.AbortedPrepares++
+					if logf != nil {
+						logf("wal: segment %d: prepare epoch=%d superseded by %v — dropped as aborted", seg, pending.Epoch, rec.Kind)
+					}
+				}
+				pending = nil
+			}
+			switch rec.Kind {
+			case RecordOps:
+				if err := apply(rec.Ops); err != nil {
+					return nil, nil, fmt.Errorf("wal: applying segment %d: %w", seg, err)
+				}
+			case RecordPrepare:
+				pending = &PendingPrepare{
+					Epoch: rec.Epoch,
+					Coord: rec.Coord,
+					Ops:   append([]Op(nil), rec.Ops...),
+				}
+			case RecordDecision:
+				res.Decisions = append(res.Decisions, rec.Epoch)
+			}
+			if rec.Ops != nil {
+				ops = rec.Ops // keep the grown buffer for the next record
 			}
 			res.Records++
 			rest = next
 		}
 	}
+
+	// A prepare still pending at the very end of the log is in-doubt:
+	// surface it for the caller to resolve against the coordinator.
+	res.InDoubt = pending
 
 	l, err := openLog(dir, opts, maxSeg+1)
 	if err != nil {

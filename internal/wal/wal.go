@@ -63,6 +63,14 @@ type Options struct {
 	BatchWindow time.Duration
 	// Logf, when non-nil, receives recovery and checkpoint diagnostics.
 	Logf func(format string, args ...any)
+	// OnDurableRecord, when non-nil, is called by the flusher after
+	// each committed record becomes durable (written for batch/off,
+	// fsynced for always), with the record's first payload byte. It
+	// runs on the flusher goroutine, before waiters are acknowledged.
+	// Fault-injection tests use it to kill the process at exact points
+	// of the cross-shard commit protocol (e.g. between PREPARE and
+	// DECISION); production configurations leave it nil.
+	OnDurableRecord func(firstByte byte)
 }
 
 // ErrClosed is returned by operations on a closed log.
@@ -100,10 +108,11 @@ type pendingRec struct {
 // (written) or cancelled (skipped) — so the on-disk order is exactly
 // the commit order and no aborted transaction is ever logged.
 type Log struct {
-	dir    string
-	mode   Mode
-	window time.Duration
-	logf   func(string, ...any)
+	dir       string
+	mode      Mode
+	window    time.Duration
+	logf      func(string, ...any)
+	onDurable func(byte)
 
 	mu        sync.Mutex
 	flushCond *sync.Cond // flusher wake-up: head record decided, or close
@@ -154,6 +163,7 @@ func openLog(dir string, opts Options, seg uint64) (*Log, error) {
 		mode:        opts.Mode,
 		window:      opts.BatchWindow,
 		logf:        opts.Logf,
+		onDurable:   opts.OnDurableRecord,
 		f:           f,
 		seg:         seg,
 		nextSeq:     1,
@@ -268,6 +278,7 @@ func (l *Log) decidedPrefix() int {
 func (l *Log) flusher() {
 	defer close(l.flusherDone)
 	var enc []byte
+	var firsts []byte // first payload byte per committed record, for the hook
 	l.mu.Lock()
 	for {
 		for l.decidedPrefix() == 0 && !l.closed {
@@ -284,10 +295,12 @@ func (l *Log) flusher() {
 		batch := l.pending[:n]
 		target := batch[n-1].seq
 		enc = enc[:0]
+		firsts = firsts[:0]
 		records := 0
 		for i := range batch {
 			if batch[i].state == recCommitted {
 				enc = appendRecord(enc, batch[i].payload)
+				firsts = append(firsts, batch[i].payload[0])
 				records++
 			}
 		}
@@ -305,6 +318,11 @@ func (l *Log) flusher() {
 			l.fileMu.Unlock()
 			l.statBytes.Add(uint64(len(enc)))
 			l.statRecords.Add(uint64(records))
+			if werr == nil && l.onDurable != nil {
+				for _, b := range firsts {
+					l.onDurable(b)
+				}
+			}
 		}
 
 		l.mu.Lock()

@@ -62,7 +62,12 @@ const (
 	// batch's semantics.
 	OpTxn Op = 7
 	// OpStats reports engine counters. Body: empty. OK response body:
-	// uvarint n, then n × (name, uvarint value).
+	// uvarint n, then n × (name, uvarint value). Beyond the aggregate
+	// engine counters (starts, commits, aborts, ... and the sem.<class>.*
+	// per-semantics rows) a sharded store reports store_shards,
+	// xshard_txns/xshard_aborts (cross-shard 2PC traffic), and per-shard
+	// shard<i>.ops plus — when durable — shard<i>.wal_bytes/records/fsyncs
+	// rows exposing routing balance and per-shard log pressure.
 	OpStats Op = 8
 	// OpFlush removes every key (admin). Body: empty. OK response body:
 	// uvarint removed-count.
