@@ -13,6 +13,7 @@
 //	polybench -bench cm    -workers 8
 //	polybench -bench scale -workers 1,2,4,8 -shards 0
 //	polybench -bench server -workers 1,4,8 -get-pct 80 -scan-pct 10
+//	polybench -bench server -replica -workers 4 -get-pct 90 -scan-pct 5
 //	polybench -bench all
 //	polybench -bench scale -json        # machine-readable results
 //
@@ -29,6 +30,13 @@
 // worker one pipelined connection), reporting txns/s and the
 // per-semantics abort breakdown from the engine's sharded stats — the
 // paper's polymorphism measured as live network traffic.
+//
+// -bench server -replica runs the replication read-split experiment
+// instead: a durable batch-fsync primary measured alone, with a
+// streaming follower attached, and with the replica-aware client
+// splitting GET/SCAN across the follower while SETs stay pinned to the
+// primary. JSON rows carry the topology and the replication lag in
+// bytes sampled at the end of the measured window.
 //
 // -json switches the output to a JSON array of result records (name,
 // workers, ops, txns/s, aborts, per-semantics classes) for recording
@@ -62,11 +70,13 @@ import (
 	"polytm/internal/core"
 	"polytm/internal/harness"
 	"polytm/internal/lockfree"
+	"polytm/internal/repl"
 	"polytm/internal/server"
 	"polytm/internal/server/client"
 	"polytm/internal/stm"
 	"polytm/internal/structures"
 	"polytm/internal/wal"
+	"polytm/internal/wire"
 	"polytm/internal/workload"
 )
 
@@ -108,6 +118,8 @@ type record struct {
 	AbortRate    *float64             `json:"abort_rate,omitempty"`
 	StoreShards  int                  `json:"store_shards,omitempty"`
 	Dist         string               `json:"dist,omitempty"`
+	Topology     string               `json:"topology,omitempty"`
+	LagBytes     *uint64              `json:"lag_bytes,omitempty"`
 	PerSemantics map[string]semRecord `json:"per_semantics,omitempty"`
 }
 
@@ -163,6 +175,17 @@ func (r *report) tagLast(storeShards int, dist string) {
 	}
 	r.rows[len(r.rows)-1].StoreShards = storeShards
 	r.rows[len(r.rows)-1].Dist = dist
+}
+
+// tagReplica annotates the most recently added row with the replica
+// experiment's topology and (when a follower was attached) the
+// replication lag sampled at the end of the measured window.
+func (r *report) tagReplica(topology string, lag *uint64) {
+	if len(r.rows) == 0 {
+		return
+	}
+	r.rows[len(r.rows)-1].Topology = topology
+	r.rows[len(r.rows)-1].LagBytes = lag
 }
 
 // memSuffix renders the optional allocs/op table column.
@@ -246,6 +269,7 @@ func main() {
 	scanPct := flag.Int("scan-pct", 10, "SCAN percentage for -bench server (remainder is SETs)")
 	scanLimit := flag.Uint64("scan-limit", 16, "SCAN window for -bench server")
 	durable := flag.Bool("durable", false, "for -bench server: also run durable variants (one per fsync mode, fresh temp wal dir each)")
+	replica := flag.Bool("replica", false, "for -bench server: run the replication read-split experiment instead (durable primary, streaming follower, replica-aware client)")
 	fsyncFlag := flag.String("fsync", "", "restrict -durable to one fsync mode (always, batch, off); empty = all three")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results instead of tables")
 	allocs := flag.Bool("allocs", false, "print allocs/op and B/op columns for -bench scale/server table output")
@@ -291,6 +315,10 @@ func main() {
 		{"cm", func() { benchCM(ctx, rep, base, workers) }},
 		{"scale", func() { benchScale(ctx, rep, base, workers, *shards) }},
 		{"server", func() {
+			if *replica {
+				benchReplica(ctx, rep, base, workers, *shards, *storeShards, *getPct, *scanPct, *scanLimit, *fsyncFlag)
+				return
+			}
 			benchServer(ctx, rep, base, workers, *shards, *storeShards, *getPct, *scanPct, *scanLimit, *durable, *dist, *fsyncFlag)
 		}},
 	}
@@ -850,5 +878,248 @@ func benchServerVariant(ctx context.Context, rep *report, base harness.Config, w
 		if err := srv.Store().CloseDurability(); err != nil {
 			fmt.Fprintf(os.Stderr, "polybench: wal close: %v\n", err)
 		}
+	}
+}
+
+// kvConn is the slice of the client surface the replica experiment
+// drives — both *client.Client and *client.ReplicaSet satisfy it, so
+// the same worker loop measures a plain primary connection and the
+// replica-aware read-splitting client.
+type kvConn interface {
+	Get(key []byte) (val []byte, ok bool, err error)
+	Scan(from, to []byte, limit uint64) ([]wire.KV, error)
+	Set(key, val []byte) error
+	Close() error
+}
+
+// benchReplica is the replication read-split experiment (B11): a
+// durable primary measured three ways — alone (the no-follower
+// baseline), with a streaming follower attached (the cost of shipping
+// the WAL), and with the replica-aware client splitting GET/SCAN
+// across the follower while SETs stay pinned to the primary (the
+// payoff). Throughput is wire round trips per second against the pair;
+// rows carry the topology and the replication lag in bytes sampled at
+// the end of the measured window. Engine stats are the primary's —
+// in the read-split rows the follower absorbs the read transactions,
+// which is the point.
+func benchReplica(ctx context.Context, rep *report, base harness.Config, workers []int, shards, storeShards, getPct, scanPct int, scanLimit uint64, fsync string) {
+	if storeShards <= 0 {
+		storeShards = runtime.GOMAXPROCS(0)
+		if storeShards > 16 {
+			storeShards = 16
+		}
+	}
+	mode := wal.ModeBatch
+	if fsync != "" {
+		m, err := wal.ParseMode(fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polybench: %v\n", err)
+			os.Exit(2)
+		}
+		mode = m
+	}
+	rep.printf("== B11: replication read-split [fsync=%s], %d%% GET / %d%% SCAN / %d%% SET, range %d, store-shards %d ==\n",
+		mode, getPct, scanPct, 100-getPct-scanPct, base.Mix.KeyRange, storeShards)
+	variants := []struct {
+		name     string
+		topology string
+		follower bool // attach a streaming follower
+		split    bool // route reads through it
+	}{
+		{"repl-baseline", "primary-only", false, false},
+		{"repl-attached", "primary+follower", true, false},
+		{"repl-readsplit", "read-split", true, true},
+	}
+	for _, w := range workers {
+		for _, v := range variants {
+			if ctx.Err() != nil {
+				return
+			}
+			benchReplicaVariant(ctx, rep, base, w, shards, storeShards, getPct, scanPct, scanLimit, mode, v.name, v.topology, v.follower, v.split)
+		}
+	}
+}
+
+func benchReplicaVariant(ctx context.Context, rep *report, base harness.Config, w, shards, storeShards, getPct, scanPct int, scanLimit uint64, mode wal.Mode, name, topology string, follower, split bool) {
+	fatal := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "polybench: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	key := func(k uint64) []byte {
+		return []byte(fmt.Sprintf("k%08d", k%base.Mix.KeyRange))
+	}
+
+	// The primary: durable (feeds ship the WAL, so there must be one),
+	// batch-fsync'd, replication enabled whenever a follower will attach.
+	psrv := server.New(server.Config{Shards: shards, StoreShards: storeShards})
+	tmp, err := os.MkdirTemp("", "polybench-repl-*")
+	if err != nil {
+		fatal("wal dir: %v", err)
+	}
+	defer os.RemoveAll(tmp)
+	if _, err := psrv.Store().EnableDurability(server.Durability{Dir: tmp, Fsync: mode, CheckpointEvery: -1}); err != nil {
+		fatal("durability: %v", err)
+	}
+	if follower {
+		if err := psrv.EnableReplication(server.ReplConfig{}); err != nil {
+			fatal("replication: %v", err)
+		}
+	}
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal("primary listen: %v", err)
+	}
+	pServeDone := make(chan error, 1)
+	go func() { pServeDone <- psrv.Serve(pln) }()
+	paddr := pln.Addr().String()
+
+	// Prefill half the key range before the follower attaches, so
+	// catch-up really replays a snapshot, not an empty shard.
+	pre, err := client.Dial(paddr)
+	if err != nil {
+		fatal("dial: %v", err)
+	}
+	prefill := 0
+	for k := uint64(0); k < base.Mix.KeyRange; k += 2 {
+		if err := pre.Set(key(k), []byte("0")); err != nil {
+			fatal("prefill: %v", err)
+		}
+		prefill++
+	}
+
+	var fsrv *server.Server
+	var faddr string
+	if follower {
+		fsrv = server.New(server.Config{Shards: shards, StoreShards: storeShards})
+		if err := fsrv.EnableReplication(server.ReplConfig{
+			Follow:  paddr,
+			Backoff: repl.Backoff{Min: 5 * time.Millisecond},
+		}); err != nil {
+			fatal("follower: %v", err)
+		}
+		fln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal("follower listen: %v", err)
+		}
+		fServeDone := make(chan error, 1)
+		go func() { fServeDone <- fsrv.Serve(fln) }()
+		faddr = fln.Addr().String()
+		defer func() {
+			sdCtx, cancel := shutdownContext()
+			if err := fsrv.Shutdown(sdCtx); err != nil {
+				fmt.Fprintf(os.Stderr, "polybench: follower shutdown: %v\n", err)
+			}
+			cancel()
+			<-fServeDone
+		}()
+
+		// Wait for catch-up: the follower serves the full prefill.
+		fcl, err := client.Dial(faddr, client.WithPoolSize(1))
+		if err != nil {
+			fatal("follower dial: %v", err)
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			kvs, err := fcl.Scan(nil, nil, 0)
+			if err == nil && len(kvs) >= prefill {
+				break
+			}
+			if time.Now().After(deadline) {
+				fatal("follower never caught up (%v)", err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		fcl.Close()
+	}
+	psrv.Store().ResetStats()
+
+	dial := func() (kvConn, error) {
+		if split {
+			return client.DialReplicaSet(paddr, []string{faddr}, client.ReplicaSetConfig{PoolSize: 1})
+		}
+		return client.Dial(paddr, client.WithPoolSize(1))
+	}
+
+	var ops atomic.Uint64
+	stop := make(chan struct{})
+	ready := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			cl, err := dial()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "polybench: worker dial: %v\n", err)
+				return
+			}
+			defer cl.Close()
+			r := seed*0x9E3779B97F4A7C15 + 1
+			var n uint64
+			<-ready
+			for {
+				select {
+				case <-stop:
+					ops.Add(n)
+					return
+				default:
+				}
+				r = r*6364136223846793005 + 1442695040888963407
+				k := (r >> 33) % base.Mix.KeyRange
+				var opErr error
+				switch roll := int((r >> 16) % 100); {
+				case roll < getPct:
+					_, _, opErr = cl.Get(key(k))
+				case roll < getPct+scanPct:
+					_, opErr = cl.Scan(key(k), nil, scanLimit)
+				default:
+					opErr = cl.Set(key(k), []byte(strconv.FormatUint(r&0xFFFF, 10)))
+				}
+				if opErr != nil {
+					fmt.Fprintf(os.Stderr, "polybench: worker op: %v\n", opErr)
+					return
+				}
+				n++
+			}
+		}(uint64(base.Seed)*7919 + uint64(i+1))
+	}
+	m0 := readMem()
+	start := time.Now()
+	close(ready)
+	sleepCtx(ctx, base.Duration)
+	// Sample the lag while the load is still applying — after the
+	// window closes the follower drains it to zero in microseconds.
+	var lag *uint64
+	if h := psrv.Hub(); h != nil {
+		l := h.LagBytes()
+		lag = &l
+	}
+	close(stop)
+	wg.Wait()
+	el := time.Since(start)
+	m1 := readMem()
+	pre.Close()
+
+	s := psrv.Stats()
+	total := ops.Load()
+	mem := m0.perOp(m1, total)
+	lagStr := ""
+	if lag != nil {
+		lagStr = fmt.Sprintf("  lag=%dB", *lag)
+	}
+	rep.printf("  %-15s workers=%-3d %12.0f txns/s  abort-rate=%.3f%s%s\n",
+		name, w, float64(total)/el.Seconds(), s.AbortRate(), lagStr, rep.memSuffix(mem))
+	rep.addWithStats("replica", fmt.Sprintf("%s-store%d", name, storeShards), w, el, total, s, mem)
+	rep.tagLast(storeShards, "uniform")
+	rep.tagReplica(topology, lag)
+
+	sdCtx, cancel := shutdownContext()
+	if err := psrv.Shutdown(sdCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "polybench: shutdown: %v\n", err)
+	}
+	cancel()
+	<-pServeDone
+	if err := psrv.Store().CloseDurability(); err != nil {
+		fmt.Fprintf(os.Stderr, "polybench: wal close: %v\n", err)
 	}
 }

@@ -9,6 +9,8 @@
 //
 //	polyserve -addr :7535 -shards 0 -nesting strongest -max-conns 1024
 //	polyserve -addr :7535 -wal-dir /var/lib/polyserve -fsync batch -checkpoint-every 1m
+//	polyserve -addr :7535 -wal-dir /var/lib/polyserve -repl-sync
+//	polyserve -addr :7536 -follow primary:7535
 //
 // The keyspace is hash-partitioned across -store-shards shards (0
 // derives one per core, capped at 16), each with its own engine, map,
@@ -26,6 +28,16 @@
 // (-fsync picks the policy: always / batch / off), and checkpoints
 // the keyspace in the background every -checkpoint-every, truncating
 // the logs.
+//
+// With -repl a durable server streams its per-shard WAL to followers
+// over SUBSCRIBE-WAL connections (-repl-sync additionally gates each
+// durable write ack on a follower ack). With -follow the server runs
+// as a follower instead: it adopts the primary's shard count, catches
+// up from a snapshot, applies the shipped log in commit order, serves
+// GET/MGET/SCAN locally, and rejects writes with a typed redirect
+// carrying the primary's address. SIGUSR1 promotes a follower to
+// primary: pending cross-shard prepares resolve against the shipped
+// decision sets and the store starts taking writes.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops
 // accepting, lets in-flight requests complete, and after -drain cancels
@@ -48,6 +60,7 @@ import (
 
 	"polytm/internal/core"
 	"polytm/internal/server"
+	"polytm/internal/server/client"
 	"polytm/internal/wal"
 )
 
@@ -62,6 +75,9 @@ func main() {
 	walDir := flag.String("wal-dir", "", "write-ahead-log directory (empty = no durability)")
 	fsync := flag.String("fsync", "batch", "wal fsync policy: always, batch, off")
 	ckptEvery := flag.Duration("checkpoint-every", time.Minute, "background checkpoint cadence (<0 disables)")
+	replicate := flag.Bool("repl", false, "serve replication feeds to followers (requires -wal-dir)")
+	replSync := flag.Bool("repl-sync", false, "gate durable-write acks on a follower ack (implies -repl)")
+	follow := flag.String("follow", "", "run as a follower of this primary address (serves reads, rejects writes; SIGUSR1 promotes)")
 	flag.Parse()
 
 	var policy core.NestingPolicy
@@ -87,6 +103,22 @@ func main() {
 		nStore = runtime.GOMAXPROCS(0)
 		if nStore > 16 {
 			nStore = 16
+		}
+	}
+	// A follower's shard count must match its primary's — keys hash to
+	// shards, and the feed is per-shard. Probe the primary's STATS for
+	// its count and adopt it (retrying briefly: the pair may be starting
+	// together).
+	if *follow != "" {
+		pinned, err := probePrimaryShards(*follow, 30*time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polyserve: probing primary %s: %v\n", *follow, err)
+			os.Exit(1)
+		}
+		if pinned != nStore {
+			log.Printf("polyserve: primary %s has %d store shards — adopting it (flags asked for %d)",
+				*follow, pinned, nStore)
+			nStore = pinned
 		}
 	}
 	if *walDir != "" {
@@ -133,6 +165,21 @@ func main() {
 			*walDir, mode, *ckptEvery, res)
 	}
 
+	switch {
+	case *follow != "":
+		if err := srv.EnableReplication(server.ReplConfig{Follow: *follow}); err != nil {
+			fmt.Fprintf(os.Stderr, "polyserve: replication: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("polyserve: follower of %s (reads served locally; writes redirect; SIGUSR1 promotes)", *follow)
+	case *replicate || *replSync:
+		if err := srv.EnableReplication(server.ReplConfig{SyncAck: *replSync}); err != nil {
+			fmt.Fprintf(os.Stderr, "polyserve: replication: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("polyserve: replication primary (sync-ack=%v)", *replSync)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "polyserve: listen %s: %v\n", *addr, err)
@@ -143,6 +190,26 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
+
+	// SIGUSR1 promotes a follower: the link stops, pending cross-shard
+	// prepares resolve against the shipped decision sets, and the store
+	// starts taking writes (durable stores also start serving feeds, so
+	// the rest of the fleet can re-follow the new primary).
+	if *follow != "" {
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		go func() {
+			for range usr1 {
+				res, err := srv.Promote()
+				if err != nil {
+					log.Printf("polyserve: promote: %v", err)
+					continue
+				}
+				log.Printf("polyserve: promoted to primary (epoch>=%d, prepares committed=%d rolled-back=%d)",
+					res.MaxEpoch, res.Committed, res.RolledBack)
+			}
+		}()
+	}
 
 	// First SIGINT/SIGTERM starts the graceful drain; the drain context
 	// expires either after -drain or on a second signal, at which point
@@ -185,5 +252,39 @@ func main() {
 			fmt.Fprintf(os.Stderr, "polyserve: serve: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// probePrimaryShards asks the primary's STATS for its store-shard
+// count, retrying (the pair may be racing each other up) until the
+// budget runs out.
+func probePrimaryShards(addr string, budget time.Duration) (int, error) {
+	deadline := time.Now().Add(budget)
+	var lastErr error
+	for {
+		n, err := func() (int, error) {
+			cl, err := client.Dial(addr, client.WithPoolSize(1), client.WithDialTimeout(2*time.Second))
+			if err != nil {
+				return 0, err
+			}
+			defer cl.Close()
+			stats, err := cl.Stats()
+			if err != nil {
+				return 0, err
+			}
+			n, ok := stats["store_shards"]
+			if !ok || n == 0 {
+				return 0, fmt.Errorf("primary reported no store_shards")
+			}
+			return int(n), nil
+		}()
+		if err == nil {
+			return n, nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return 0, lastErr
+		}
+		time.Sleep(500 * time.Millisecond)
 	}
 }

@@ -1,0 +1,502 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polytm/internal/wal"
+	"polytm/internal/wire"
+)
+
+// FollowerStore is what a Follower needs from the store it feeds:
+// per-shard atomic application of record groups (the same machinery
+// recovery replays through) and the epoch resume hook promotion uses.
+// polyserve's server.Store implements it.
+type FollowerStore interface {
+	NumShards() int
+	// ApplyShardOps applies one atomic operation group to shard i,
+	// bypassing the follower's write rejection (replication is the one
+	// legitimate writer on a follower).
+	ApplyShardOps(shard int, ops []wal.Op) error
+	// ResumeEpoch raises the store's cross-shard epoch counter to at
+	// least e (promotion: new epochs must clear every epoch the primary
+	// ever used).
+	ResumeEpoch(e uint64)
+}
+
+// FollowerConfig parameterizes StartFollower.
+type FollowerConfig struct {
+	// Primary is the primary's address.
+	Primary string
+	// Store receives the applied records.
+	Store FollowerStore
+	// Timeouts is the link's per-phase budget set.
+	Timeouts Timeouts
+	// Backoff is the reconnection policy.
+	Backoff Backoff
+	// Logf, when non-nil, receives link diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// followerShard is one shard's apply-side state. The live stream is the
+// same grammar recovery replays, so the same state machine runs over
+// it: a PREPARE is held pending and resolved by the next record in that
+// shard's stream (the primary holds the shard's irrevocable token
+// across a cross-shard commit, so nothing can legitimately intervene);
+// DECISION epochs are remembered so prepares still pending at
+// promotion resolve exactly as recovery resolves in-doubt prepares.
+type followerShard struct {
+	ackSeq   uint64
+	ackBytes uint64
+	pending  *wal.PendingPrepare
+	decided  map[uint64]bool
+	cleared  bool // this connection's snapshot clear happened
+}
+
+// maxDecided bounds a shard's remembered decision set. A pending
+// prepare's decision is logged within the same commit window, so only
+// recent epochs can ever be needed; pruning old ones keeps a
+// long-running follower's memory flat.
+const maxDecided = 4096
+
+// Follower maintains the replication link to a primary: it dials,
+// subscribes, applies the catch-up snapshot and the live tail, acks its
+// positions, and reconnects with backoff when the link dies. One
+// Follower owns one goroutine; Close or Promote end it.
+type Follower struct {
+	cfg     FollowerConfig
+	tm      Timeouts
+	bo      Backoff
+	nshards int
+
+	state      atomic.Int32
+	reconnects atomic.Uint64
+	applRecs   atomic.Uint64
+	applBytes  atomic.Uint64
+
+	mu       sync.Mutex
+	shards   []followerShard
+	maxEpoch uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	connMu sync.Mutex
+	conn   net.Conn // live connection, for teardown
+}
+
+// StartFollower starts the replication link. The store should already
+// be in its follower role (rejecting outside writes) before the link
+// starts applying records.
+func StartFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Primary == "" {
+		return nil, fmt.Errorf("repl: follower needs a primary address")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("repl: follower needs a store")
+	}
+	f := &Follower{
+		cfg:     cfg,
+		tm:      cfg.Timeouts.WithDefaults(),
+		bo:      cfg.Backoff.WithDefaults(),
+		nshards: cfg.Store.NumShards(),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	f.shards = make([]followerShard, f.nshards)
+	go f.run()
+	return f, nil
+}
+
+// State reports the link's position in its connection state machine.
+func (f *Follower) State() ConnState { return ConnState(f.state.Load()) }
+
+// Primary returns the configured primary address.
+func (f *Follower) Primary() string { return f.cfg.Primary }
+
+// AppliedRecords returns how many records the follower has applied.
+func (f *Follower) AppliedRecords() uint64 { return f.applRecs.Load() }
+
+// Counters reports the follower's STATS rows.
+func (f *Follower) Counters() []wire.Counter {
+	return []wire.Counter{
+		{Name: "repl_applied_records", Value: f.applRecs.Load()},
+		{Name: "repl_applied_bytes", Value: f.applBytes.Load()},
+		{Name: "repl_reconnects", Value: f.reconnects.Load()},
+		{Name: "repl_state", Value: uint64(f.state.Load())},
+	}
+}
+
+// logf emits a diagnostic when configured.
+func (f *Follower) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+// run is the reconnect loop: each attempt runs one link lifecycle; the
+// backoff resets once a link reaches the streaming state.
+func (f *Follower) run() {
+	defer close(f.done)
+	attempt := 0
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		streamed, err := f.linkOnce()
+		f.state.Store(int32(StateDisconnected))
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		f.reconnects.Add(1)
+		if streamed {
+			attempt = 0
+		}
+		delay := f.bo.Delay(attempt)
+		attempt++
+		f.logf("repl: link to %s down (%v); retrying in %v", f.cfg.Primary, err, delay)
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(delay):
+		}
+	}
+}
+
+// linkOnce runs one connection lifecycle: dial, subscribe, catch up,
+// stream. It returns whether the link reached streaming, and the error
+// that ended it (always non-nil).
+func (f *Follower) linkOnce() (streamed bool, err error) {
+	f.state.Store(int32(StateConnecting))
+	conn, err := net.DialTimeout("tcp", f.cfg.Primary, f.tm.Connect)
+	if err != nil {
+		return false, err
+	}
+	f.connMu.Lock()
+	f.conn = conn
+	f.connMu.Unlock()
+	defer func() {
+		f.connMu.Lock()
+		f.conn = nil
+		f.connMu.Unlock()
+		conn.Close()
+	}()
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	// Subscribe handshake, all under the Connect budget: one request
+	// frame out, one response frame in.
+	conn.SetDeadline(time.Now().Add(f.tm.Connect))
+	sub, err := wire.AppendRequestFrame(nil, &wire.Request{Op: wire.OpSubscribeWAL, Sem: wire.SemDefault})
+	if err != nil {
+		return false, err
+	}
+	if _, err := bw.Write(sub); err != nil {
+		return false, err
+	}
+	if err := bw.Flush(); err != nil {
+		return false, err
+	}
+	payload, err := wire.ReadFrame(br, wire.MaxFrame)
+	if err != nil {
+		return false, err
+	}
+	resp, err := wire.DecodeResponse(payload, wire.OpSubscribeWAL, nil)
+	if err != nil {
+		return false, err
+	}
+	if err := resp.Err(); err != nil {
+		return false, err
+	}
+	if int(resp.N) != f.nshards {
+		return false, fmt.Errorf("repl: primary has %d shards, follower store has %d — shard counts must match", resp.N, f.nshards)
+	}
+	conn.SetDeadline(time.Time{})
+
+	// Fresh connection: the snapshot phase restarts on every shard.
+	f.mu.Lock()
+	for i := range f.shards {
+		f.shards[i].cleared = false
+	}
+	f.mu.Unlock()
+
+	f.state.Store(int32(StateCatchingUp))
+	var frame wire.ReplFrame
+	var ops []wal.Op
+	var ackBuf []byte
+	snapsDone := 0
+	for {
+		select {
+		case <-f.stop:
+			return streamed, fmt.Errorf("repl: follower stopped")
+		default:
+		}
+		conn.SetReadDeadline(time.Now().Add(f.tm.readBudget()))
+		payload, err = wire.ReadFrameBuf(br, payload, wire.MaxFrame)
+		if err != nil {
+			return streamed, err
+		}
+		if err := wire.DecodeReplFrame(&frame, payload); err != nil {
+			return streamed, err
+		}
+		switch frame.Kind {
+		case wire.ReplSnapBatch:
+			if err := f.applySnapBatch(&frame, &ops); err != nil {
+				return streamed, err
+			}
+		case wire.ReplSnapDone:
+			shard := int(frame.Shard)
+			if shard < 0 || shard >= f.nshards {
+				return streamed, fmt.Errorf("repl: SNAP-DONE for shard %d of %d", shard, f.nshards)
+			}
+			f.mu.Lock()
+			// An empty shard sends no SNAP-BATCH; the clear still must
+			// happen so stale keys from a previous link don't survive.
+			if !f.shards[shard].cleared {
+				f.mu.Unlock()
+				if err := f.clearShard(shard); err != nil {
+					return streamed, err
+				}
+				f.mu.Lock()
+			}
+			f.shards[shard].ackSeq = frame.CoverSeq
+			f.mu.Unlock()
+			snapsDone++
+			if snapsDone == f.nshards {
+				f.state.Store(int32(StateStreaming))
+				streamed = true
+			}
+			if ackBuf, err = f.sendAck(conn, bw, ackBuf); err != nil {
+				return streamed, err
+			}
+		case wire.ReplWALBatch:
+			if err := f.applyWALBatch(&frame, &ops); err != nil {
+				return streamed, err
+			}
+			if ackBuf, err = f.sendAck(conn, bw, ackBuf); err != nil {
+				return streamed, err
+			}
+		case wire.ReplPing:
+			if ackBuf, err = f.sendAck(conn, bw, ackBuf); err != nil {
+				return streamed, err
+			}
+		default:
+			return streamed, fmt.Errorf("repl: unexpected %v frame from primary", frame.Kind)
+		}
+	}
+}
+
+// clearShard wipes one shard at the start of its snapshot phase — keys
+// deleted on the primary while the follower was away must not survive —
+// and resets that shard's apply-side 2PC state.
+func (f *Follower) clearShard(shard int) error {
+	if err := f.cfg.Store.ApplyShardOps(shard, []wal.Op{{Kind: wal.OpFlush}}); err != nil {
+		return fmt.Errorf("repl: clearing shard %d: %w", shard, err)
+	}
+	f.mu.Lock()
+	sh := &f.shards[shard]
+	sh.cleared = true
+	sh.pending = nil
+	sh.decided = nil
+	sh.ackSeq = 0
+	sh.ackBytes = 0
+	f.mu.Unlock()
+	return nil
+}
+
+// applySnapBatch applies one SNAP-BATCH frame as a single atomic group
+// of SETs.
+func (f *Follower) applySnapBatch(frame *wire.ReplFrame, ops *[]wal.Op) error {
+	shard := int(frame.Shard)
+	if shard < 0 || shard >= f.nshards {
+		return fmt.Errorf("repl: SNAP-BATCH for shard %d of %d", shard, f.nshards)
+	}
+	f.mu.Lock()
+	cleared := f.shards[shard].cleared
+	f.mu.Unlock()
+	if !cleared {
+		if err := f.clearShard(shard); err != nil {
+			return err
+		}
+	}
+	if len(frame.Pairs) == 0 {
+		return nil
+	}
+	*ops = (*ops)[:0]
+	for _, kv := range frame.Pairs {
+		*ops = append(*ops, wal.Op{Kind: wal.OpSet, Key: string(kv.Key), Val: string(kv.Val)})
+	}
+	if err := f.cfg.Store.ApplyShardOps(shard, *ops); err != nil {
+		return fmt.Errorf("repl: applying snapshot batch to shard %d: %w", shard, err)
+	}
+	return nil
+}
+
+// applyWALBatch runs the recovery state machine over one WAL-BATCH
+// frame's records, in order.
+func (f *Follower) applyWALBatch(frame *wire.ReplFrame, ops *[]wal.Op) error {
+	shard := int(frame.Shard)
+	if shard < 0 || shard >= f.nshards {
+		return fmt.Errorf("repl: WAL-BATCH for shard %d of %d", shard, f.nshards)
+	}
+	for _, r := range frame.Recs {
+		rec, err := wal.DecodeRecord((*ops)[:0], r.Payload)
+		if err != nil {
+			return fmt.Errorf("repl: shard %d seq %d: %w", shard, r.Seq, err)
+		}
+		if rec.Ops != nil {
+			*ops = rec.Ops
+		}
+		f.mu.Lock()
+		sh := &f.shards[shard]
+		if rec.Kind != wal.RecordOps && rec.Epoch > f.maxEpoch {
+			f.maxEpoch = rec.Epoch
+		}
+		var applyNow []wal.Op
+		if sh.pending != nil {
+			if (rec.Kind == wal.RecordCommit || rec.Kind == wal.RecordDecision) && rec.Epoch == sh.pending.Epoch {
+				applyNow = sh.pending.Ops
+			}
+			sh.pending = nil
+		}
+		switch rec.Kind {
+		case wal.RecordPrepare:
+			sh.pending = &wal.PendingPrepare{
+				Epoch: rec.Epoch,
+				Coord: rec.Coord,
+				Ops:   append([]wal.Op(nil), rec.Ops...),
+			}
+		case wal.RecordDecision:
+			if sh.decided == nil {
+				sh.decided = make(map[uint64]bool)
+			}
+			sh.decided[rec.Epoch] = true
+			if len(sh.decided) > maxDecided {
+				min := f.maxEpoch - maxDecided/2
+				for e := range sh.decided {
+					if e < min {
+						delete(sh.decided, e)
+					}
+				}
+			}
+		}
+		f.mu.Unlock()
+
+		if applyNow != nil {
+			if err := f.cfg.Store.ApplyShardOps(shard, applyNow); err != nil {
+				return fmt.Errorf("repl: shard %d seq %d: applying resolved prepare: %w", shard, r.Seq, err)
+			}
+		}
+		if rec.Kind == wal.RecordOps {
+			if err := f.cfg.Store.ApplyShardOps(shard, rec.Ops); err != nil {
+				return fmt.Errorf("repl: shard %d seq %d: %w", shard, r.Seq, err)
+			}
+		}
+
+		f.mu.Lock()
+		f.shards[shard].ackSeq = r.Seq
+		f.shards[shard].ackBytes += uint64(len(r.Payload))
+		f.mu.Unlock()
+		f.applRecs.Add(1)
+		f.applBytes.Add(uint64(len(r.Payload)))
+	}
+	return nil
+}
+
+// sendAck writes one ACK frame carrying every shard's position.
+func (f *Follower) sendAck(conn net.Conn, bw *bufio.Writer, buf []byte) ([]byte, error) {
+	frame := wire.ReplFrame{Kind: wire.ReplAck}
+	f.mu.Lock()
+	for i := range f.shards {
+		frame.Acks = append(frame.Acks, wire.ReplAckEntry{
+			Shard: uint64(i),
+			Seq:   f.shards[i].ackSeq,
+			Bytes: f.shards[i].ackBytes,
+		})
+	}
+	f.mu.Unlock()
+	out, err := wire.AppendReplFrame(buf[:0], &frame)
+	if err != nil {
+		return buf, err
+	}
+	conn.SetWriteDeadline(time.Now().Add(f.tm.Reply))
+	if _, err := bw.Write(out); err != nil {
+		return out, err
+	}
+	if err := bw.Flush(); err != nil {
+		return out, err
+	}
+	conn.SetWriteDeadline(time.Time{})
+	return out, nil
+}
+
+// halt stops the link goroutine and waits for it.
+func (f *Follower) halt() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.connMu.Lock()
+	if f.conn != nil {
+		f.conn.SetDeadline(time.Now().Add(-time.Second))
+	}
+	f.connMu.Unlock()
+	<-f.done
+	f.state.Store(int32(StateDisconnected))
+}
+
+// Close stops the link without promotion.
+func (f *Follower) Close() { f.halt() }
+
+// PromoteResult is what Promote resolved.
+type PromoteResult struct {
+	// Committed / RolledBack count pending prepares resolved for /
+	// against commit (exactly the recovery rule: the coordinator
+	// shard's decision set is the truth).
+	Committed  int
+	RolledBack int
+	// MaxEpoch is the epoch floor handed to the store.
+	MaxEpoch uint64
+}
+
+// Promote ends the link and finalizes the follower's state for taking
+// writes: pending prepares resolve against the decision sets exactly
+// as recovery resolves in-doubt prepares, and the store's epoch
+// counter resumes above every epoch the old primary used. The caller
+// flips the store's role to primary afterwards.
+func (f *Follower) Promote() (PromoteResult, error) {
+	f.halt()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var res PromoteResult
+	res.MaxEpoch = f.maxEpoch
+	for i := range f.shards {
+		sh := &f.shards[i]
+		pp := sh.pending
+		sh.pending = nil
+		if pp == nil {
+			continue
+		}
+		committed := false
+		if pp.Coord >= 0 && pp.Coord < f.nshards {
+			committed = f.shards[pp.Coord].decided[pp.Epoch]
+		}
+		if committed {
+			if err := f.cfg.Store.ApplyShardOps(i, pp.Ops); err != nil {
+				return res, fmt.Errorf("repl: promote: applying pending prepare epoch=%d on shard %d: %w", pp.Epoch, i, err)
+			}
+			res.Committed++
+		} else {
+			res.RolledBack++
+		}
+	}
+	f.cfg.Store.ResumeEpoch(f.maxEpoch)
+	return res, nil
+}

@@ -1,0 +1,569 @@
+package repl
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polytm/internal/wal"
+	"polytm/internal/wire"
+)
+
+// PrimaryStore is what the Hub needs from the store it replicates: the
+// per-shard logs to tap and a consistent per-shard snapshot for
+// catch-up. polyserve's server.Store implements it.
+type PrimaryStore interface {
+	NumShards() int
+	ShardWAL(i int) *wal.Log
+	// SnapshotShard streams one consistent snapshot of shard i (a
+	// single snapshot-semantics range walk) through emit.
+	SnapshotShard(ctx context.Context, shard int, emit func(k, v string) error) error
+}
+
+// HubConfig parameterizes a Hub.
+type HubConfig struct {
+	// Timeouts is the link's per-phase budget set.
+	Timeouts Timeouts
+	// SyncAck makes WaitAcked meaningful: the server gates durable-write
+	// acknowledgement on a follower ack covering the record.
+	SyncAck bool
+	// MaxBuffer caps one follower's live-tail buffer in payload bytes
+	// (0 = 64MB). A follower that falls further behind than the buffer
+	// holds is cut off and re-runs full catch-up on reconnect — bounded
+	// memory beats an unbounded queue to a dead-slow peer.
+	MaxBuffer int
+	// Logf, when non-nil, receives feed diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Hub is the primary side of replication: it serves one feed per
+// subscribed follower, tracks each follower's acked offsets, and (in
+// sync mode) lets the write path wait for a follower ack.
+type Hub struct {
+	store   PrimaryStore
+	tm      Timeouts
+	syncAck bool
+	maxBuf  int
+	logf    func(string, ...any)
+
+	mu     sync.Mutex
+	feeds  map[*feed]struct{}
+	nextID uint64
+	// acked is the per-shard high-water of seqs acked by ANY follower
+	// (monotonic; a dying feed does not lower it).
+	acked  []uint64
+	ackCh  chan struct{} // closed + replaced whenever acked advances or the feed set changes
+	closed bool
+
+	shippedRecs  atomic.Uint64
+	shippedBytes atomic.Uint64
+}
+
+// NewHub creates a hub over store.
+func NewHub(store PrimaryStore, cfg HubConfig) *Hub {
+	if cfg.MaxBuffer <= 0 {
+		cfg.MaxBuffer = 64 << 20
+	}
+	return &Hub{
+		store:   store,
+		tm:      cfg.Timeouts.WithDefaults(),
+		syncAck: cfg.SyncAck,
+		maxBuf:  cfg.MaxBuffer,
+		logf:    cfg.Logf,
+		feeds:   make(map[*feed]struct{}),
+		acked:   make([]uint64, store.NumShards()),
+		ackCh:   make(chan struct{}),
+	}
+}
+
+// SyncAck reports whether the hub was configured for synchronous acks.
+func (h *Hub) SyncAck() bool { return h.syncAck }
+
+// shipRec is one live-tail record queued for a follower.
+type shipRec struct {
+	shard   int
+	seq     uint64
+	payload []byte
+}
+
+// feed is one follower's connection: taps on every shard's log feed its
+// bounded buffer; a writer goroutine drains the buffer into WAL-BATCH
+// frames (after streaming the catch-up snapshot) and heartbeats on
+// idle; a reader goroutine consumes ACK frames.
+type feed struct {
+	h    *Hub
+	id   uint64
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	mu       sync.Mutex
+	buf      []shipRec
+	bufBytes int
+	broken   error // set once; the feed is beyond repair (overflow, I/O)
+	wake     chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	// Per-shard positions, all under mu: shipped high-water vs the
+	// follower's acked offsets (from its ACK frames).
+	shippedSeq   []uint64
+	shippedBytes []uint64
+	ackSeq       []uint64
+	ackBytes     []uint64
+}
+
+// ServeFeed runs one follower feed over an already-subscribed
+// connection (the server has read the SUBSCRIBE-WAL request and written
+// its OK response through bw). It blocks until the feed ends — follower
+// gone, hub closed, or the follower fell too far behind — and always
+// returns a non-nil reason.
+func (h *Hub) ServeFeed(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) error {
+	n := h.store.NumShards()
+	f := &feed{
+		h:            h,
+		conn:         conn,
+		br:           br,
+		bw:           bw,
+		wake:         make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+		shippedSeq:   make([]uint64, n),
+		shippedBytes: make([]uint64, n),
+		ackSeq:       make([]uint64, n),
+		ackBytes:     make([]uint64, n),
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return fmt.Errorf("repl: hub closed")
+	}
+	f.id = h.nextID
+	h.nextID++
+	h.feeds[f] = struct{}{}
+	h.mu.Unlock()
+
+	err := f.run()
+
+	h.mu.Lock()
+	delete(h.feeds, f)
+	// The feed set changed: sync-ack waiters must re-check whether any
+	// follower remains to wait for.
+	close(h.ackCh)
+	h.ackCh = make(chan struct{})
+	h.mu.Unlock()
+	if h.logf != nil {
+		h.logf("repl: follower %d (%v) gone: %v", f.id, conn.RemoteAddr(), err)
+	}
+	return err
+}
+
+// WaitAcked blocks until some follower's ack covers (shard, seq), no
+// follower is connected (sync replication degrades to async rather
+// than stalling the primary's write path), the hub closes, or ctx
+// ends. It is a no-op unless the hub was configured with SyncAck.
+func (h *Hub) WaitAcked(ctx context.Context, shard int, seq uint64) error {
+	if !h.syncAck {
+		return nil
+	}
+	for {
+		h.mu.Lock()
+		if h.acked[shard] >= seq || len(h.feeds) == 0 || h.closed {
+			h.mu.Unlock()
+			return nil
+		}
+		ch := h.ackCh
+		h.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// noteAck folds one follower's ACK frame into the hub's high-water.
+func (h *Hub) noteAck(f *feed, acks []wire.ReplAckEntry) {
+	h.mu.Lock()
+	advanced := false
+	f.mu.Lock()
+	for _, a := range acks {
+		sh := int(a.Shard)
+		if sh < 0 || sh >= len(h.acked) {
+			continue
+		}
+		if a.Seq > f.ackSeq[sh] {
+			f.ackSeq[sh] = a.Seq
+		}
+		if a.Bytes > f.ackBytes[sh] {
+			f.ackBytes[sh] = a.Bytes
+		}
+		if a.Seq > h.acked[sh] {
+			h.acked[sh] = a.Seq
+			advanced = true
+		}
+	}
+	f.mu.Unlock()
+	if advanced {
+		close(h.ackCh)
+		h.ackCh = make(chan struct{})
+	}
+	h.mu.Unlock()
+}
+
+// Counters reports the hub's STATS rows: follower count, shipped
+// totals, and per-follower acked offset plus lag. Followers are
+// numbered by subscription order within the listing (follower0 is the
+// oldest live feed), so the rows are stable while the set is.
+func (h *Hub) Counters() []wire.Counter {
+	h.mu.Lock()
+	feeds := make([]*feed, 0, len(h.feeds))
+	for f := range h.feeds {
+		feeds = append(feeds, f)
+	}
+	h.mu.Unlock()
+	sort.Slice(feeds, func(i, j int) bool { return feeds[i].id < feeds[j].id })
+	sync := uint64(0)
+	if h.syncAck {
+		sync = 1
+	}
+	cs := []wire.Counter{
+		{Name: "repl_followers", Value: uint64(len(feeds))},
+		{Name: "repl_sync", Value: sync},
+		{Name: "repl_shipped_records", Value: h.shippedRecs.Load()},
+		{Name: "repl_shipped_bytes", Value: h.shippedBytes.Load()},
+	}
+	for i, f := range feeds {
+		ackedRecs, lag := f.offsets()
+		cs = append(cs,
+			wire.Counter{Name: fmt.Sprintf("follower%d.acked_records", i), Value: ackedRecs},
+			wire.Counter{Name: fmt.Sprintf("follower%d.lag_bytes", i), Value: lag},
+		)
+	}
+	return cs
+}
+
+// LagBytes reports the worst per-follower replication lag in payload
+// bytes (0 with no followers).
+func (h *Hub) LagBytes() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var worst uint64
+	for f := range h.feeds {
+		if _, lag := f.offsets(); lag > worst {
+			worst = lag
+		}
+	}
+	return worst
+}
+
+// Close tears down every feed. In-flight ServeFeed calls return; new
+// subscriptions are refused.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	h.closed = true
+	feeds := make([]*feed, 0, len(h.feeds))
+	for f := range h.feeds {
+		feeds = append(feeds, f)
+	}
+	close(h.ackCh)
+	h.ackCh = make(chan struct{})
+	h.mu.Unlock()
+	for _, f := range feeds {
+		f.fail(fmt.Errorf("repl: hub closed"))
+	}
+}
+
+// offsets sums a feed's acked records and its lag (shipped − acked
+// payload bytes) across shards.
+func (f *feed) offsets() (ackedRecs, lagBytes uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.ackSeq {
+		ackedRecs += f.ackSeq[i]
+		if f.shippedBytes[i] > f.ackBytes[i] {
+			lagBytes += f.shippedBytes[i] - f.ackBytes[i]
+		}
+	}
+	return ackedRecs, lagBytes
+}
+
+// fail marks the feed broken and unblocks both of its loops.
+func (f *feed) fail(err error) {
+	f.mu.Lock()
+	if f.broken == nil {
+		f.broken = err
+	}
+	f.mu.Unlock()
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.conn.SetDeadline(time.Now().Add(-time.Second))
+}
+
+// failure returns the first recorded failure.
+func (f *feed) failure() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.broken
+}
+
+// offer is the tap function: it runs on the shard's WAL flusher with
+// the log mutex held, so it only appends to the feed's bounded buffer.
+// Overflow breaks the feed instead of blocking the primary's commit
+// path or growing without bound.
+func (f *feed) offer(shard int, seq uint64, payload []byte) {
+	f.mu.Lock()
+	if f.broken != nil {
+		f.mu.Unlock()
+		return
+	}
+	if f.bufBytes+len(payload) > f.h.maxBuf {
+		f.broken = fmt.Errorf("repl: follower %d fell behind (buffer over %d bytes)", f.id, f.h.maxBuf)
+		f.mu.Unlock()
+		f.wakeup()
+		return
+	}
+	f.buf = append(f.buf, shipRec{shard: shard, seq: seq, payload: payload})
+	f.bufBytes += len(payload)
+	f.mu.Unlock()
+	f.wakeup()
+}
+
+func (f *feed) wakeup() {
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
+}
+
+// take swaps out the queued records (nil when empty or broken).
+func (f *feed) take() ([]shipRec, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.broken != nil {
+		return nil, f.broken
+	}
+	if len(f.buf) == 0 {
+		return nil, nil
+	}
+	recs := f.buf
+	f.buf = nil
+	f.bufBytes = 0
+	return recs, nil
+}
+
+// run is the feed lifecycle: attach taps, stream catch-up, drain the
+// live tail; a reader goroutine consumes ACKs concurrently throughout.
+func (f *feed) run() error {
+	n := f.h.store.NumShards()
+
+	// Attach every shard's tap BEFORE any snapshot walk starts: the
+	// returned coverSeq then splits the log exactly — records <=
+	// coverSeq committed before attach and are visible to the snapshot;
+	// records > coverSeq are buffered and shipped. Records landing in
+	// both replay idempotently on the follower (records are absolute).
+	covers := make([]uint64, n)
+	taps := make([]*wal.Tap, n)
+	for i := 0; i < n; i++ {
+		shard := i
+		taps[i], covers[i] = f.h.store.ShardWAL(i).AttachTap(func(seq uint64, payload []byte) {
+			f.offer(shard, seq, payload)
+		})
+	}
+	defer func() {
+		for i, t := range taps {
+			f.h.store.ShardWAL(i).DetachTap(t)
+		}
+	}()
+
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		f.readAcks()
+	}()
+	defer func() {
+		f.stopOnce.Do(func() { close(f.stop) })
+		f.conn.SetDeadline(time.Now().Add(-time.Second))
+		<-readerDone
+	}()
+
+	if err := f.catchUp(covers); err != nil {
+		f.fail(err)
+		return f.failure()
+	}
+	if err := f.tail(); err != nil {
+		f.fail(err)
+	}
+	return f.failure()
+}
+
+// writeFrames writes encoded frames under the Reply budget.
+func (f *feed) writeFrames(frames []byte) error {
+	f.conn.SetWriteDeadline(time.Now().Add(f.h.tm.Reply))
+	if _, err := f.bw.Write(frames); err != nil {
+		return err
+	}
+	return f.bw.Flush()
+}
+
+// snapFlushAt bounds one SNAP-BATCH frame's payload bytes.
+const snapFlushAt = 256 << 10
+
+// catchUp streams each shard's snapshot followed by its SNAP-DONE
+// cover mark. Live records buffered meanwhile are shipped by tail.
+func (f *feed) catchUp(covers []uint64) error {
+	ctx := context.Background()
+	var frame wire.ReplFrame
+	var out []byte
+	for shard := 0; shard < f.h.store.NumShards(); shard++ {
+		if err := f.failure(); err != nil {
+			return err
+		}
+		frame = wire.ReplFrame{Kind: wire.ReplSnapBatch, Shard: uint64(shard)}
+		bytes := 0
+		flush := func() error {
+			if len(frame.Pairs) == 0 {
+				return nil
+			}
+			var err error
+			if out, err = wire.AppendReplFrame(out[:0], &frame); err != nil {
+				return err
+			}
+			frame.Pairs = frame.Pairs[:0]
+			bytes = 0
+			return f.writeFrames(out)
+		}
+		err := f.h.store.SnapshotShard(ctx, shard, func(k, v string) error {
+			if err := f.failure(); err != nil {
+				return err
+			}
+			// Copy: the emitted strings are only valid per contract of the
+			// snapshot walk, and the frame encode happens across calls.
+			frame.Pairs = append(frame.Pairs, wire.KV{Key: []byte(k), Val: []byte(v)})
+			bytes += len(k) + len(v)
+			if bytes >= snapFlushAt {
+				return flush()
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("repl: snapshot shard %d: %w", shard, err)
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		done := wire.ReplFrame{Kind: wire.ReplSnapDone, Shard: uint64(shard), CoverSeq: covers[shard]}
+		if out, err = wire.AppendReplFrame(out[:0], &done); err != nil {
+			return err
+		}
+		if err := f.writeFrames(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchFlushAt bounds one WAL-BATCH frame's payload bytes.
+const batchFlushAt = 256 << 10
+
+// tail is the live loop: drain buffered records into WAL-BATCH frames
+// (one frame per run of same-shard records), heartbeat when idle.
+func (f *feed) tail() error {
+	idle := time.NewTimer(f.h.tm.Idle)
+	defer idle.Stop()
+	var out []byte
+	var frame wire.ReplFrame
+	for {
+		recs, err := f.take()
+		if err != nil {
+			return err
+		}
+		if recs == nil {
+			select {
+			case <-f.wake:
+				continue
+			case <-idle.C:
+				ping := wire.ReplFrame{Kind: wire.ReplPing}
+				if out, err = wire.AppendReplFrame(out[:0], &ping); err != nil {
+					return err
+				}
+				if err := f.writeFrames(out); err != nil {
+					return err
+				}
+				idle.Reset(f.h.tm.Idle)
+				continue
+			case <-f.stop:
+				return fmt.Errorf("repl: feed stopped")
+			}
+		}
+		out = out[:0]
+		var recCount, byteCount uint64
+		i := 0
+		for i < len(recs) {
+			shard := recs[i].shard
+			frame.Kind, frame.Shard = wire.ReplWALBatch, uint64(shard)
+			frame.Recs = frame.Recs[:0]
+			bytes := 0
+			for i < len(recs) && recs[i].shard == shard && bytes < batchFlushAt {
+				frame.Recs = append(frame.Recs, wire.ReplRec{Seq: recs[i].seq, Payload: recs[i].payload})
+				bytes += len(recs[i].payload)
+				f.mu.Lock()
+				f.shippedSeq[shard] = recs[i].seq
+				f.shippedBytes[shard] += uint64(len(recs[i].payload))
+				f.mu.Unlock()
+				recCount++
+				byteCount += uint64(len(recs[i].payload))
+				i++
+			}
+			if out, err = wire.AppendReplFrame(out, &frame); err != nil {
+				return err
+			}
+		}
+		if err := f.writeFrames(out); err != nil {
+			return err
+		}
+		f.h.shippedRecs.Add(recCount)
+		f.h.shippedBytes.Add(byteCount)
+		if !idle.Stop() {
+			select {
+			case <-idle.C:
+			default:
+			}
+		}
+		idle.Reset(f.h.tm.Idle)
+	}
+}
+
+// readAcks consumes the follower's ACK frames until the link dies. The
+// read deadline is the Idle+Reply budget: a follower acks every batch
+// and answers every ping, so a silent follower past the budget is dead.
+func (f *feed) readAcks() {
+	var payload []byte
+	var frame wire.ReplFrame
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		f.conn.SetReadDeadline(time.Now().Add(f.h.tm.readBudget()))
+		var err error
+		payload, err = wire.ReadFrameBuf(f.br, payload, wire.MaxFrame)
+		if err != nil {
+			f.fail(fmt.Errorf("repl: ack read: %w", err))
+			return
+		}
+		if err := wire.DecodeReplFrame(&frame, payload); err != nil {
+			f.fail(fmt.Errorf("repl: ack decode: %w", err))
+			return
+		}
+		if frame.Kind != wire.ReplAck {
+			f.fail(fmt.Errorf("repl: unexpected %v frame from follower", frame.Kind))
+			return
+		}
+		f.h.noteAck(f, frame.Acks)
+	}
+}

@@ -1,0 +1,132 @@
+// Package repl is polyserve's replication subsystem: a primary streams
+// its per-shard write-ahead logs to followers, which apply the records
+// through the same machinery recovery uses and serve snapshot-class
+// reads locally.
+//
+// The design rides what durability already guarantees. PR 5/6 made
+// every mutating request an irrevocable transaction that reserves its
+// WAL record under the shard's irrevocable token, so per-shard log
+// order IS commit order — a follower that applies each shard's records
+// in log order reconstructs, at every moment, a state the primary
+// actually passed through (a prefix-consistent snapshot per shard).
+// Catch-up reuses the checkpoint consistency argument: attach a log tap
+// (wal.Log.AttachTap) first, stream a snapshot of the shard, then the
+// live tail; every record is either covered by the snapshot (seq <=
+// coverSeq) or shipped, and replaying the overlap is idempotent because
+// records are absolute.
+//
+// The link discipline — explicit connection states, reconnection with
+// configurable backoff, and a per-phase timeout taxonomy instead of one
+// socket deadline — follows the HSMS pattern (secs4go): Connect bounds
+// dial+handshake (T5-style), Reply bounds one expected frame exchange
+// (T3-style), Idle bounds link silence before a heartbeat is owed
+// (T6-style linktest).
+package repl
+
+import (
+	"time"
+)
+
+// Timeouts is the per-phase timeout taxonomy shared by the replication
+// link and the pooled client. Each phase gets its own budget, so a slow
+// dial cannot eat the budget of the reply that follows it and a long
+// idle period is not mistaken for a dead peer until a heartbeat goes
+// unanswered.
+type Timeouts struct {
+	// Connect bounds connection establishment: dial plus the
+	// subscribe/handshake exchange (T5-style).
+	Connect time.Duration
+	// Reply bounds one expected frame exchange — a write reaching the
+	// peer, or the answer to a frame that demands one (T3-style).
+	Reply time.Duration
+	// Idle is how long a link may stay silent before a heartbeat is
+	// owed; a peer silent for Idle+Reply is declared dead (T6-style).
+	Idle time.Duration
+}
+
+// WithDefaults fills zero fields with the package defaults.
+func (t Timeouts) WithDefaults() Timeouts {
+	if t.Connect <= 0 {
+		t.Connect = 5 * time.Second
+	}
+	if t.Reply <= 0 {
+		t.Reply = 10 * time.Second
+	}
+	if t.Idle <= 0 {
+		t.Idle = 3 * time.Second
+	}
+	return t
+}
+
+// readBudget is the deadline for one blocking frame read on a live
+// link: the peer may legitimately stay silent for Idle, then owes a
+// heartbeat within Reply; any longer and the peer is dead.
+func (t Timeouts) readBudget() time.Duration { return t.Idle + 2*t.Reply }
+
+// Backoff is the reconnection policy: exponential delay between
+// attempts, from Min doubling up to Max.
+type Backoff struct {
+	// Min is the first retry delay (0 = 50ms).
+	Min time.Duration
+	// Max caps the delay (0 = 3s).
+	Max time.Duration
+}
+
+// WithDefaults fills zero fields with the package defaults.
+func (b Backoff) WithDefaults() Backoff {
+	if b.Min <= 0 {
+		b.Min = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 3 * time.Second
+	}
+	return b
+}
+
+// Delay returns the wait before retry `attempt` (0-based): Min<<attempt
+// capped at Max.
+func (b Backoff) Delay(attempt int) time.Duration {
+	d := b.Min
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= b.Max {
+			return b.Max
+		}
+	}
+	if d > b.Max {
+		return b.Max
+	}
+	return d
+}
+
+// ConnState is a follower link's position in its connection state
+// machine.
+type ConnState int32
+
+const (
+	// StateDisconnected: no connection; waiting out the backoff delay.
+	StateDisconnected ConnState = iota
+	// StateConnecting: dial + SUBSCRIBE-WAL handshake in flight.
+	StateConnecting
+	// StateCatchingUp: receiving the snapshot phase (SNAP-BATCH frames).
+	StateCatchingUp
+	// StateStreaming: snapshot complete on every shard; applying the
+	// live tail.
+	StateStreaming
+)
+
+// String names the state.
+func (s ConnState) String() string {
+	switch s {
+	case StateDisconnected:
+		return "disconnected"
+	case StateConnecting:
+		return "connecting"
+	case StateCatchingUp:
+		return "catching-up"
+	case StateStreaming:
+		return "streaming"
+	default:
+		return "ConnState(?)"
+	}
+}

@@ -1,0 +1,419 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polytm/internal/wire"
+)
+
+// ReplicaSetConfig parameterizes DialReplicaSet. Zero values take the
+// documented defaults.
+type ReplicaSetConfig struct {
+	// PoolSize is the per-endpoint connection pool cap (default 4).
+	PoolSize int
+	// DialTimeout bounds each connection dial (default 5s).
+	DialTimeout time.Duration
+	// IdlePing, when positive, health-checks pooled connections idle
+	// longer than this before reuse (see WithIdlePing).
+	IdlePing time.Duration
+	// MaxHops bounds one write's redirect/failover chain: how many
+	// endpoints it may try before giving up (default 6).
+	MaxHops int
+	// RetryMin/RetryMax shape the backoff between failover attempts
+	// (defaults 50ms/1s, doubling).
+	RetryMin, RetryMax time.Duration
+}
+
+func (c ReplicaSetConfig) withDefaults() ReplicaSetConfig {
+	if c.MaxHops <= 0 {
+		c.MaxHops = 6
+	}
+	if c.RetryMin <= 0 {
+		c.RetryMin = 50 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = time.Second
+	}
+	return c
+}
+
+// endpoint is one server in the set: its address and a lazily dialed
+// pooled client.
+type endpoint struct {
+	addr string
+	mu   sync.Mutex
+	cl   *Client
+}
+
+// client returns the endpoint's pooled client, dialing on first use
+// and after a drop.
+func (e *endpoint) client(opts []Option) (*Client, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cl != nil {
+		return e.cl, nil
+	}
+	cl, err := Dial(e.addr, opts...)
+	if err != nil {
+		return nil, err
+	}
+	e.cl = cl
+	return cl, nil
+}
+
+// drop discards the endpoint's client (it re-dials on next use).
+func (e *endpoint) drop() {
+	e.mu.Lock()
+	cl := e.cl
+	e.cl = nil
+	e.mu.Unlock()
+	if cl != nil {
+		cl.Close()
+	}
+}
+
+// ReplicaSet is a topology-aware client over one primary and any
+// number of follower replicas:
+//
+//   - snapshot-class reads (Get/MGet/Scan) load-balance round-robin
+//     across the replicas, falling back to the primary when a replica
+//     is down (or none are configured);
+//   - writes pin to the primary. A *wire.NotPrimaryError redirect is
+//     followed to the address it names; a transport error triggers
+//     failover — the set walks its known endpoints with backoff until
+//     one accepts the write (a promoted follower) — both bounded by
+//     MaxHops.
+//
+// The consistency contract matches the server's: replica reads are
+// prefix-consistent snapshots (possibly slightly stale), exactly what
+// snapshot/weak semantics already promise on the primary.
+type ReplicaSet struct {
+	cfg  ReplicaSetConfig
+	opts []Option
+
+	mu        sync.Mutex
+	endpoints []*endpoint // endpoints[primary] is the current write target
+	primary   int
+
+	rr atomic.Uint64 // replica round-robin cursor
+
+	failovers atomic.Uint64 // primary re-points observed by this client
+}
+
+// DialReplicaSet creates a set over the primary and its replicas. Only
+// the primary is dialed eagerly; replicas dial on first read (a
+// replica that is down just shifts reads to the others, or the
+// primary). When the set has replicas, an unreachable primary does NOT
+// fail the dial — the cluster may have failed over before this client
+// started, so the first write probes the ring for the new primary
+// instead.
+func DialReplicaSet(primary string, replicas []string, cfg ReplicaSetConfig) (*ReplicaSet, error) {
+	cfg = cfg.withDefaults()
+	var opts []Option
+	if cfg.PoolSize > 0 {
+		opts = append(opts, WithPoolSize(cfg.PoolSize))
+	}
+	if cfg.DialTimeout > 0 {
+		opts = append(opts, WithDialTimeout(cfg.DialTimeout))
+	}
+	if cfg.IdlePing > 0 {
+		opts = append(opts, WithIdlePing(cfg.IdlePing, 0))
+	}
+	rs := &ReplicaSet{cfg: cfg, opts: opts}
+	rs.endpoints = append(rs.endpoints, &endpoint{addr: primary})
+	for _, r := range replicas {
+		if r == "" || r == primary {
+			continue
+		}
+		rs.endpoints = append(rs.endpoints, &endpoint{addr: r})
+	}
+	if _, err := rs.endpoints[0].client(opts); err != nil {
+		if len(rs.endpoints) == 1 {
+			return nil, err
+		}
+		// Leave the dead primary registered: reads already route to the
+		// replicas, and the write hop loop rotates past it (following a
+		// NotPrimary redirect if a replica knows who leads now).
+	}
+	return rs, nil
+}
+
+// Close closes every dialed endpoint.
+func (rs *ReplicaSet) Close() error {
+	rs.mu.Lock()
+	eps := append([]*endpoint(nil), rs.endpoints...)
+	rs.mu.Unlock()
+	for _, e := range eps {
+		e.drop()
+	}
+	return nil
+}
+
+// PrimaryAddr returns the current write target's address.
+func (rs *ReplicaSet) PrimaryAddr() string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.endpoints[rs.primary].addr
+}
+
+// Failovers reports how many times this client re-pointed its primary.
+func (rs *ReplicaSet) Failovers() uint64 { return rs.failovers.Load() }
+
+// primaryEndpoint returns the current write target.
+func (rs *ReplicaSet) primaryEndpoint() *endpoint {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.endpoints[rs.primary]
+}
+
+// setPrimary re-points the write target at addr, registering the
+// address if it is new (a redirect may name an endpoint the set was
+// never configured with).
+func (rs *ReplicaSet) setPrimary(addr string) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for i, e := range rs.endpoints {
+		if e.addr == addr {
+			if rs.primary != i {
+				rs.primary = i
+				rs.failovers.Add(1)
+			}
+			return
+		}
+	}
+	rs.endpoints = append(rs.endpoints, &endpoint{addr: addr})
+	rs.primary = len(rs.endpoints) - 1
+	rs.failovers.Add(1)
+}
+
+// advancePrimary rotates the write target to the next known endpoint
+// (failover probing when no redirect address is available).
+func (rs *ReplicaSet) advancePrimary(from *endpoint) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.endpoints[rs.primary] != from {
+		return // someone else already moved it
+	}
+	rs.primary = (rs.primary + 1) % len(rs.endpoints)
+	rs.failovers.Add(1)
+}
+
+// nextReplica returns the next read endpoint round-robin, preferring
+// non-primary endpoints; nil when the set has no replicas.
+func (rs *ReplicaSet) nextReplica() *endpoint {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	n := len(rs.endpoints)
+	if n <= 1 {
+		return nil
+	}
+	// n-1 non-primary endpoints; pick by cursor, skipping the primary.
+	k := int(rs.rr.Add(1)-1) % (n - 1)
+	for i, j := 0, 0; i < n; i++ {
+		if i == rs.primary {
+			continue
+		}
+		if j == k {
+			return rs.endpoints[i]
+		}
+		j++
+	}
+	return nil
+}
+
+// write sends one mutating request to the primary, following
+// NotPrimary redirects and failing over past dead endpoints, bounded
+// by MaxHops.
+func (rs *ReplicaSet) write(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	var lastErr error
+	delay := rs.cfg.RetryMin
+	for hop := 0; hop < rs.cfg.MaxHops; hop++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ep := rs.primaryEndpoint()
+		cl, err := ep.client(rs.opts)
+		if err == nil {
+			var resps []*wire.Response
+			resps, err = cl.DoCtx(ctx, req)
+			if err == nil {
+				resp := resps[0]
+				var np *wire.NotPrimaryError
+				if err := resp.Err(); errors.As(err, &np) {
+					// The follower told us who leads: go there. With no
+					// address (promotion in progress), probe the ring.
+					if np.Primary != "" {
+						rs.setPrimary(np.Primary)
+					} else {
+						rs.advancePrimary(ep)
+					}
+					lastErr = np
+					continue
+				}
+				return resp, nil
+			}
+		}
+		// Dial or transport failure: this endpoint is gone; drop its
+		// pool, rotate, and back off before the next candidate.
+		lastErr = err
+		ep.drop()
+		rs.advancePrimary(ep)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > rs.cfg.RetryMax {
+			delay = rs.cfg.RetryMax
+		}
+	}
+	return nil, fmt.Errorf("client: no reachable primary after %d attempts: %w", rs.cfg.MaxHops, lastErr)
+}
+
+// read sends one snapshot-class request to a replica (round-robin),
+// falling back to the primary when the replica fails or none exist.
+func (rs *ReplicaSet) read(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	if ep := rs.nextReplica(); ep != nil {
+		if cl, err := ep.client(rs.opts); err == nil {
+			if resps, err := cl.DoCtx(ctx, req); err == nil {
+				return resps[0], nil
+			}
+			ep.drop()
+		}
+	}
+	ep := rs.primaryEndpoint()
+	cl, err := ep.client(rs.opts)
+	if err != nil {
+		return nil, err
+	}
+	resps, err := cl.DoCtx(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return resps[0], nil
+}
+
+// Get reads key from a replica (snapshot semantics; prefix-consistent,
+// possibly stale).
+func (rs *ReplicaSet) Get(key []byte) (val []byte, ok bool, err error) {
+	r, err := rs.read(context.Background(), &wire.Request{Op: wire.OpGet, Sem: wire.SemDefault, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, false, err
+	}
+	return r.Val, r.Status == wire.StatusOK, nil
+}
+
+// MGet reads many keys in one snapshot transaction on a replica.
+func (rs *ReplicaSet) MGet(keys ...[]byte) (vals [][]byte, found []bool, err error) {
+	r, err := rs.read(context.Background(), &wire.Request{Op: wire.OpMGet, Sem: wire.SemDefault, Keys: keys})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	vals = make([][]byte, len(r.Batch))
+	found = make([]bool, len(r.Batch))
+	for i := range r.Batch {
+		if r.Batch[i].Status == wire.StatusOK {
+			vals[i] = r.Batch[i].Val
+			found[i] = true
+		}
+	}
+	return vals, found, nil
+}
+
+// Scan walks [from, to) on a replica.
+func (rs *ReplicaSet) Scan(from, to []byte, limit uint64) ([]wire.KV, error) {
+	r, err := rs.read(context.Background(), &wire.Request{Op: wire.OpScan, Sem: wire.SemDefault, From: from, To: to, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return r.Pairs, nil
+}
+
+// Set writes key on the primary.
+func (rs *ReplicaSet) Set(key, val []byte) error {
+	return rs.SetCtx(context.Background(), key, val)
+}
+
+// SetCtx is Set bounded by ctx (the budget covers redirects and
+// failover retries).
+func (rs *ReplicaSet) SetCtx(ctx context.Context, key, val []byte) error {
+	r, err := rs.write(ctx, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: key, Val: val})
+	if err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+// Del removes key on the primary, reporting whether it existed.
+func (rs *ReplicaSet) Del(key []byte) (bool, error) {
+	r, err := rs.write(context.Background(), &wire.Request{Op: wire.OpDel, Sem: wire.SemDefault, Key: key})
+	if err != nil {
+		return false, err
+	}
+	if err := r.Err(); err != nil {
+		return false, err
+	}
+	return r.Status == wire.StatusOK, nil
+}
+
+// Txn runs sub as one transaction on the primary.
+func (rs *ReplicaSet) Txn(sub ...wire.Request) ([]wire.Response, error) {
+	r, err := rs.write(context.Background(), &wire.Request{Op: wire.OpTxn, Sem: wire.SemDefault, Batch: sub})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return r.Batch, nil
+}
+
+// Stats fetches the primary's counters.
+func (rs *ReplicaSet) Stats() (map[string]uint64, error) {
+	ep := rs.primaryEndpoint()
+	cl, err := ep.client(rs.opts)
+	if err != nil {
+		return nil, err
+	}
+	return cl.Stats()
+}
+
+// ReplicaStats fetches each replica endpoint's counters, keyed by
+// address (for lag observation; endpoints that are down are skipped).
+func (rs *ReplicaSet) ReplicaStats() map[string]map[string]uint64 {
+	rs.mu.Lock()
+	var eps []*endpoint
+	for i, e := range rs.endpoints {
+		if i != rs.primary {
+			eps = append(eps, e)
+		}
+	}
+	rs.mu.Unlock()
+	out := make(map[string]map[string]uint64, len(eps))
+	for _, e := range eps {
+		cl, err := e.client(rs.opts)
+		if err != nil {
+			continue
+		}
+		m, err := cl.Stats()
+		if err != nil {
+			continue
+		}
+		out[e.addr] = m
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"polytm/internal/core"
+	"polytm/internal/repl"
+	"polytm/internal/server/client"
+	"polytm/internal/wal"
+	"polytm/internal/wire"
+)
+
+// failoverChildEnv marks the re-executed test binary as the primary
+// process of TestFailoverKill9; its value is the WAL directory.
+const failoverChildEnv = "POLYSERVE_FAILOVER_DIR"
+
+// failoverItersEnv overrides the iteration count (CI runs the full
+// sweep; local runs keep it short).
+const failoverItersEnv = "POLYSERVE_FAILOVER_ITERS"
+
+// failoverKey formats the i-th sequential key of the failover workload.
+func failoverKey(i int) string { return fmt.Sprintf("fo-%08d", i) }
+
+// failoverChild runs a durable sync-ack replication primary: it prints
+// "ADDR <addr>", waits for a follower to subscribe, then loads itself
+// with sequential SETs printing "ACK n" after each acknowledgement.
+// With -fsync=always AND sync acks, every printed n is both on stable
+// storage and applied by the follower. It runs until SIGKILLed.
+func failoverChild(dir string) {
+	srv := New(Config{StoreShards: 2})
+	if _, err := srv.Store().EnableDurability(Durability{
+		Dir:             dir,
+		Fsync:           wal.ModeAlways,
+		CheckpointEvery: -1,
+	}); err != nil {
+		fmt.Printf("CHILD-ERR durability: %v\n", err)
+		os.Exit(1)
+	}
+	if err := srv.EnableReplication(ReplConfig{SyncAck: true}); err != nil {
+		fmt.Printf("CHILD-ERR replication: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("CHILD-ERR listen: %v\n", err)
+		os.Exit(1)
+	}
+	go srv.Serve(ln)
+	fmt.Printf("ADDR %s\n", ln.Addr())
+
+	// Only load once the follower is attached: sync acks degrade to
+	// local-durability acks while no follower is connected, and this
+	// experiment's contract is "acked ⟹ follower applied".
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		followers := uint64(0)
+		for _, c := range srv.Hub().Counters() {
+			if c.Name == "repl_followers" {
+				followers = c.Value
+			}
+		}
+		if followers >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Printf("CHILD-ERR no follower subscribed\n")
+			os.Exit(1)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	cl, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		fmt.Printf("CHILD-ERR dial: %v\n", err)
+		os.Exit(1)
+	}
+	for i := 1; ; i++ {
+		if err := cl.Set([]byte(failoverKey(i)), []byte(strconv.Itoa(i))); err != nil {
+			fmt.Printf("CHILD-ERR set %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		fmt.Printf("ACK %d\n", i)
+	}
+}
+
+// TestFailoverKill9 is the failover acceptance experiment: a real
+// primary process is SIGKILLed mid-load while replicating with sync
+// acks to an in-process follower; the follower is promoted and must
+// hold EXACTLY the keys 1..N of a prefix with N at least the last
+// acknowledgement the client saw — then take new writes as primary.
+// The iteration count comes from POLYSERVE_FAILOVER_ITERS (CI runs the
+// 20-iteration sweep).
+func TestFailoverKill9(t *testing.T) {
+	if dir := os.Getenv(failoverChildEnv); dir != "" {
+		failoverChild(dir) // never returns
+	}
+	iters := 5
+	if v := os.Getenv(failoverItersEnv); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad %s=%q", failoverItersEnv, v)
+		}
+		iters = n
+	}
+	if testing.Short() {
+		iters = 2
+	}
+	for i := 0; i < iters; i++ {
+		t.Run(fmt.Sprintf("iter%02d", i), runFailoverIteration)
+	}
+}
+
+func runFailoverIteration(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "primary-wal")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestFailoverKill9$", "-test.v")
+	cmd.Env = append(os.Environ(), failoverChildEnv+"="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	watchdog := time.AfterFunc(60*time.Second, func() { cmd.Process.Kill() })
+	defer watchdog.Stop()
+
+	// The in-process follower (non-durable: promotion correctness is
+	// what's under test, and the repl apply path is the same either
+	// way).
+	fstore := NewShardedStore([]*core.TM{core.NewDefault(), core.NewDefault()})
+	var fl *repl.Follower
+	defer func() {
+		if fl != nil {
+			fl.Close()
+		}
+	}()
+
+	const killAfter = 60
+	lastAck := 0
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "CHILD-ERR") {
+			t.Fatalf("failover child failed: %s", line)
+		}
+		if addr, ok := strings.CutPrefix(line, "ADDR "); ok {
+			fstore.BecomeFollower(addr)
+			fl, err = repl.StartFollower(repl.FollowerConfig{
+				Primary: addr,
+				Store:   fstore,
+				Backoff: repl.Backoff{Min: 10 * time.Millisecond, Max: 100 * time.Millisecond},
+			})
+			if err != nil {
+				t.Fatalf("follower: %v", err)
+			}
+			continue
+		}
+		n, ok := strings.CutPrefix(line, "ACK ")
+		if !ok {
+			continue // test-framework chatter
+		}
+		v, err := strconv.Atoi(n)
+		if err != nil {
+			continue
+		}
+		lastAck = v
+		if v == killAfter {
+			cmd.Process.Kill() // SIGKILL: no shutdown path runs
+		}
+	}
+	cmd.Wait() // the kill makes this an error by design
+	if fl == nil {
+		t.Fatal("child never printed its address")
+	}
+	if lastAck < killAfter {
+		t.Fatalf("child died after only %d acks (wanted >= %d)", lastAck, killAfter)
+	}
+
+	// Promote: the link stops, the follower becomes the primary.
+	if _, err := fl.Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	fstore.BecomePrimary()
+
+	// The promoted store holds exactly a prefix 1..n with n >= lastAck:
+	// sync acks mean nothing acknowledged can be missing, and
+	// sequential load means nothing beyond the next in-flight write can
+	// be present.
+	got := scanAll(t, fstore)
+	n := len(got)
+	if n < lastAck {
+		t.Fatalf("promoted follower has %d keys < %d acknowledged — acked writes lost in failover", n, lastAck)
+	}
+	for i := 1; i <= n; i++ {
+		v, ok := got[failoverKey(i)]
+		if !ok {
+			t.Fatalf("promoted state is not a prefix: %d keys but %s missing", n, failoverKey(i))
+		}
+		if v != strconv.Itoa(i) {
+			t.Fatalf("%s = %q, want %q", failoverKey(i), v, strconv.Itoa(i))
+		}
+	}
+	if _, ok := got[failoverKey(n+1)]; ok {
+		t.Fatal("key beyond the prefix present")
+	}
+
+	// And the new primary takes writes.
+	if resp := fstore.Execute(&wire.Request{Op: wire.OpSet, Sem: wire.SemDefault,
+		Key: []byte("post-failover"), Val: []byte("ok")}); resp.Status != wire.StatusOK {
+		t.Fatalf("post-failover write: %v %s", resp.Status, resp.Msg)
+	}
+}

@@ -1,0 +1,358 @@
+// Replication: the store-side role machinery and the server-side
+// wiring that connects a Store to internal/repl.
+//
+// A primary server owns a repl.Hub: SUBSCRIBE-WAL connections are
+// handed off from the request loop to the hub, which streams each
+// shard's WAL (snapshot + live tail) to the follower. A follower
+// server owns a repl.Follower: it applies shipped records through the
+// same per-shard apply machinery recovery uses — on a durable follower
+// every applied record is re-logged in the follower's own WAL, so a
+// promoted follower is durable in its own right — and its store
+// rejects outside writes with *wire.NotPrimaryError.
+//
+// Consistency: per-shard log order is commit order (the irrevocable
+// token), so a follower's shard state is always a prefix of the
+// primary's — snapshot-class reads (GET/MGET/SCAN) served by a
+// follower see a consistent, possibly slightly stale state, the same
+// contract those request classes already have on the primary.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+
+	"polytm/internal/core"
+	"polytm/internal/repl"
+	"polytm/internal/wal"
+	"polytm/internal/wire"
+)
+
+// Role is a store's position in a replication topology.
+type Role int32
+
+const (
+	// RolePrimary: the store accepts writes (the default, even with no
+	// replication configured — a standalone store is its own primary).
+	RolePrimary Role = iota
+	// RoleFollower: the store applies replicated records only; outside
+	// mutating requests are rejected with *wire.NotPrimaryError.
+	RoleFollower
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleFollower:
+		return "follower"
+	default:
+		return "Role(?)"
+	}
+}
+
+// errReplicationDisabled answers SUBSCRIBE-WAL on a server with no hub.
+var errReplicationDisabled = errors.New("server: replication not enabled")
+
+// Role returns the store's current role.
+func (s *Store) Role() Role { return Role(s.role.Load()) }
+
+// PrimaryAddr returns the primary's address as known to a follower
+// store ("" on a primary or when unknown).
+func (s *Store) PrimaryAddr() string {
+	if p := s.primaryAddr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// BecomeFollower flips the store into the follower role: every
+// subsequent mutating request is rejected with a NotPrimaryError
+// carrying primary's address. Replication applies bypass the gate via
+// ApplyShardOps.
+func (s *Store) BecomeFollower(primary string) {
+	s.primaryAddr.Store(&primary)
+	s.role.Store(int32(RoleFollower))
+}
+
+// BecomePrimary flips a follower store into the primary role (a
+// failover), counting the transition. On a store already primary it is
+// a no-op.
+func (s *Store) BecomePrimary() {
+	if s.role.Swap(int32(RolePrimary)) == int32(RoleFollower) {
+		s.failovers.Add(1)
+	}
+}
+
+// Failovers returns how many follower→primary transitions the store
+// has performed.
+func (s *Store) Failovers() uint64 { return s.failovers.Load() }
+
+// setReplCounters installs the live counter source merged into STATS
+// (hub counters on a primary, link counters on a follower; nil
+// detaches).
+func (s *Store) setReplCounters(fn func() []wire.Counter) {
+	if fn == nil {
+		s.replCounters.Store(nil)
+		return
+	}
+	s.replCounters.Store(&fn)
+}
+
+// setSyncAck installs (or, with a nil hub, removes) the per-shard
+// sync-ack gate: a durable mutation's acknowledgement additionally
+// waits for a follower ack covering its record.
+func (s *Store) setSyncAck(h *repl.Hub) {
+	for _, sh := range s.shards {
+		if h == nil {
+			sh.replWait.Store(nil)
+			continue
+		}
+		shard := sh.idx
+		fn := func(ctx context.Context, seq uint64) error {
+			return h.WaitAcked(ctx, shard, seq)
+		}
+		sh.replWait.Store(&fn)
+	}
+}
+
+// SnapshotShard streams one consistent snapshot of shard i through
+// emit (repl.PrimaryStore). The walk is a single snapshot-semantics
+// transaction, so it never aborts and never blocks writers.
+func (s *Store) SnapshotShard(ctx context.Context, i int, emit func(k, v string) error) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("server: snapshot of shard %d of %d", i, len(s.shards))
+	}
+	sh := s.shards[i]
+	return sh.m.SnapshotAllCtx(ctx, func(k, v string) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return emit(k, v)
+	})
+}
+
+// ApplyShardOps applies one replicated operation group to shard i as a
+// single atomic transaction (repl.FollowerStore). It bypasses the
+// follower write gate — replication is the one legitimate writer on a
+// follower. On a durable store the group is re-logged through the
+// shard's own WAL exactly like a client mutation, so the follower's
+// durable state tracks what it has applied and survives its own
+// crashes; a non-durable follower applies in memory only.
+func (s *Store) ApplyShardOps(i int, ops []wal.Op) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("server: apply to shard %d of %d", i, len(s.shards))
+	}
+	sh := s.shards[i]
+	if sh.wal == nil {
+		return s.applyOps(sh, ops)
+	}
+	cp := sh.caps.Get().(*walCapture)
+	cp.reset()
+	defer sh.caps.Put(cp)
+	err := sh.tm.Atomic(func(tx *core.Tx) error {
+		cp.begin()
+		for _, op := range ops {
+			switch op.Kind {
+			case wal.OpSet:
+				if _, err := sh.m.PutTx(tx, op.Key, op.Val); err != nil {
+					return err
+				}
+				cp.set([]byte(op.Key), []byte(op.Val))
+			case wal.OpDel:
+				if _, err := sh.m.DeleteTx(tx, op.Key); err != nil {
+					return err
+				}
+				cp.del([]byte(op.Key))
+			case wal.OpFlush:
+				if _, err := sh.m.ClearTx(tx); err != nil {
+					return err
+				}
+				cp.flush()
+			case wal.OpRebuild:
+				if _, err := sh.m.RebuildTx(tx); err != nil {
+					return err
+				}
+				cp.rebuild()
+			default:
+				return fmt.Errorf("server: unknown wal op kind %v", op.Kind)
+			}
+		}
+		cp.reserve()
+		return nil
+	}, core.WithSemantics(core.Irrevocable), core.WithObserver(cp), core.WithLabel("repl-apply"))
+	if err != nil {
+		return err
+	}
+	return cp.wait()
+}
+
+// ResumeEpoch raises the store's cross-shard epoch counter to at least
+// e (repl.FollowerStore): a promoted follower's new cross-shard
+// transactions must use epochs above every epoch the old primary ever
+// logged.
+func (s *Store) ResumeEpoch(e uint64) {
+	for {
+		cur := s.epoch.Load()
+		if cur >= e || s.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// ---- server wiring ----
+
+// ReplConfig parameterizes Server.EnableReplication.
+type ReplConfig struct {
+	// Follow, when non-empty, runs the server as a follower of this
+	// primary address; empty runs it as a primary serving feeds.
+	Follow string
+	// SyncAck (primary): gate durable-write acknowledgement on a
+	// follower ack covering the record. Degrades to local-durability
+	// acks while no follower is connected.
+	SyncAck bool
+	// Timeouts is the link's per-phase budget set (zero fields take
+	// repl defaults).
+	Timeouts repl.Timeouts
+	// Backoff is the follower's reconnection policy.
+	Backoff repl.Backoff
+	// MaxBuffer caps one follower feed's live-tail buffer (primary;
+	// 0 = repl default).
+	MaxBuffer int
+}
+
+// EnableReplication wires the server into a replication topology. As a
+// primary it creates the feed hub (the store must be durable — feeds
+// tap the per-shard WALs); as a follower it flips the store's role and
+// starts the link to the primary. Call before Serve.
+func (s *Server) EnableReplication(cfg ReplConfig) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hub != nil || s.follower != nil {
+		return errors.New("server: replication already enabled")
+	}
+	s.replCfg = cfg
+	if cfg.Follow == "" {
+		return s.startHubLocked()
+	}
+	s.store.BecomeFollower(cfg.Follow)
+	fl, err := repl.StartFollower(repl.FollowerConfig{
+		Primary:  cfg.Follow,
+		Store:    s.store,
+		Timeouts: cfg.Timeouts,
+		Backoff:  cfg.Backoff,
+		Logf:     s.cfg.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	s.follower = fl
+	s.store.setReplCounters(fl.Counters)
+	return nil
+}
+
+// startHubLocked creates and installs the primary-side hub (s.mu held).
+func (s *Server) startHubLocked() error {
+	if !s.store.Durable() {
+		return errors.New("server: replication primary needs a durable store (the feed streams the WAL)")
+	}
+	h := repl.NewHub(s.store, repl.HubConfig{
+		Timeouts:  s.replCfg.Timeouts,
+		SyncAck:   s.replCfg.SyncAck,
+		MaxBuffer: s.replCfg.MaxBuffer,
+		Logf:      s.cfg.Logf,
+	})
+	s.hub = h
+	s.store.setReplCounters(h.Counters)
+	if s.replCfg.SyncAck {
+		s.store.setSyncAck(h)
+	}
+	return nil
+}
+
+// replHub returns the hub, nil when not a serving primary.
+func (s *Server) replHub() *repl.Hub {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hub
+}
+
+// Follower returns the replication link, nil when not a follower.
+func (s *Server) Follower() *repl.Follower {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.follower
+}
+
+// Hub returns the feed hub, nil when not a replication primary.
+func (s *Server) Hub() *repl.Hub { return s.replHub() }
+
+// Promote fails the server over from follower to primary: the link is
+// stopped, pending cross-shard prepares resolve against the shipped
+// decision sets (exactly the recovery rule), the epoch counter resumes
+// past the old primary's maximum, and the store starts taking writes.
+// A durable store also starts a feed hub, so further followers can
+// chain off the new primary.
+func (s *Server) Promote() (repl.PromoteResult, error) {
+	s.mu.Lock()
+	fl := s.follower
+	s.mu.Unlock()
+	if fl == nil {
+		return repl.PromoteResult{}, errors.New("server: not a follower")
+	}
+	res, err := fl.Promote()
+	if err != nil {
+		return res, err
+	}
+	s.store.BecomePrimary()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.follower = nil
+	s.store.setReplCounters(nil)
+	if s.store.Durable() {
+		if err := s.startHubLocked(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// closeReplication tears down the hub or link (used at shutdown).
+func (s *Server) closeReplication() {
+	s.mu.Lock()
+	h, fl := s.hub, s.follower
+	s.hub, s.follower = nil, nil
+	s.mu.Unlock()
+	s.store.setSyncAck(nil)
+	s.store.setReplCounters(nil)
+	if h != nil {
+		h.Close()
+	}
+	if fl != nil {
+		fl.Close()
+	}
+}
+
+// serveSubscribe hands an accepted connection over to the hub after
+// answering the SUBSCRIBE-WAL request with the store's shard count.
+// The connection never returns to the request loop: from here on it
+// speaks the repl frame family until either side drops.
+func (s *Server) serveSubscribe(c net.Conn, br *bufio.Reader, bw *bufio.Writer, h *repl.Hub) {
+	out, err := wire.AppendResponseFrame(nil, wire.OpSubscribeWAL,
+		&wire.Response{Status: wire.StatusOK, N: uint64(s.store.NumShards())})
+	if err != nil {
+		return
+	}
+	if _, err := bw.Write(out); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	if err := h.ServeFeed(c, br, bw); err != nil && !isExpectedClose(err) {
+		s.logf("polyserve: %v: feed: %v", c.RemoteAddr(), err)
+	}
+}

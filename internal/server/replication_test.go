@@ -1,0 +1,541 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"polytm/internal/core"
+	"polytm/internal/repl"
+	"polytm/internal/server/client"
+	"polytm/internal/wal"
+	"polytm/internal/wire"
+)
+
+// startReplServer builds, wires, and serves one server, returning it
+// with its address. Cleanup shuts it down.
+func startReplServer(t *testing.T, cfg Config, dur *Durability, rc *ReplConfig) (*Server, string) {
+	t.Helper()
+	srv := New(cfg)
+	if dur != nil {
+		if _, err := srv.Store().EnableDurability(*dur); err != nil {
+			t.Fatalf("durability: %v", err)
+		}
+	}
+	if rc != nil {
+		if err := srv.EnableReplication(*rc); err != nil {
+			t.Fatalf("replication: %v", err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		srv.Store().CloseDurability()
+	})
+	return srv, ln.Addr().String()
+}
+
+func waitCond(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// scanPairs fetches the full keyspace through a client as a map.
+func scanPairs(t *testing.T, cl *client.Client) map[string]string {
+	t.Helper()
+	pairs, err := cl.Scan(nil, nil, 0)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	m := make(map[string]string, len(pairs))
+	for _, kv := range pairs {
+		m[string(kv.Key)] = string(kv.Val)
+	}
+	return m
+}
+
+// TestReplicationCatchUpUnderChurn is the tentpole acceptance test: a
+// cold follower attaches to a primary mid-write-storm (so the snapshot
+// races live WAL traffic), and once the lag drains, GET, MGET, and
+// SCAN served by the follower return exactly what the primary returns.
+func TestReplicationCatchUpUnderChurn(t *testing.T) {
+	_, paddr := startReplServer(t, Config{StoreShards: 2},
+		&Durability{Dir: t.TempDir(), Fsync: wal.ModeOff, CheckpointEvery: -1},
+		&ReplConfig{SyncAck: true})
+	pcl, err := client.Dial(paddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pcl.Close()
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("churn-%04d", i)) }
+	for i := 0; i < 300; i++ {
+		if err := pcl.Set(key(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("preload set %d: %v", i, err)
+		}
+	}
+
+	// Writer churn racing the follower's catch-up: overwrites, inserts,
+	// deletes, and a few cross-shard TXNs.
+	stop := make(chan struct{})
+	var churnErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ccl, err := client.Dial(paddr)
+		if err != nil {
+			churnErr = err
+			return
+		}
+		defer ccl.Close()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 5 {
+			case 0, 1, 2:
+				if err := ccl.Set(key(i%400), []byte(fmt.Sprintf("w%d", i))); err != nil {
+					churnErr = fmt.Errorf("churn set: %w", err)
+					return
+				}
+			case 3:
+				if _, err := ccl.Del(key((i * 7) % 400)); err != nil {
+					churnErr = fmt.Errorf("churn del: %w", err)
+					return
+				}
+			case 4:
+				if _, err := ccl.Txn(
+					wire.Request{Op: wire.OpSet, Key: key(i % 400), Val: []byte("txn")},
+					wire.Request{Op: wire.OpSet, Key: key((i + 200) % 400), Val: []byte("txn")},
+				); err != nil {
+					churnErr = fmt.Errorf("churn txn: %w", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// The follower comes up durable in its own right (applied records
+	// re-log through its own WAL) while the storm is in progress.
+	fsrv, faddr := startReplServer(t, Config{StoreShards: 2},
+		&Durability{Dir: t.TempDir(), Fsync: wal.ModeOff, CheckpointEvery: -1},
+		&ReplConfig{Follow: paddr, Backoff: repl.Backoff{Min: 10 * time.Millisecond}})
+	waitCond(t, 10*time.Second, "follower streaming", func() bool {
+		fl := fsrv.Follower()
+		return fl != nil && fl.State() == repl.StateStreaming
+	})
+
+	close(stop)
+	wg.Wait()
+	if churnErr != nil {
+		t.Fatal(churnErr)
+	}
+
+	fcl, err := client.Dial(faddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fcl.Close()
+
+	// Converge: the follower's full scan must reach the primary's.
+	want := scanPairs(t, pcl)
+	waitCond(t, 10*time.Second, "follower to converge", func() bool {
+		got := scanPairs(t, fcl)
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	})
+
+	// GET and MGET through the follower match the primary key-by-key.
+	i := 0
+	var mkeys [][]byte
+	for k := range want {
+		pv, pok, err := pcl.Get([]byte(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fv, fok, err := fcl.Get([]byte(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pok != fok || string(pv) != string(fv) {
+			t.Fatalf("GET %q: primary (%q,%v) vs follower (%q,%v)", k, pv, pok, fv, fok)
+		}
+		mkeys = append(mkeys, []byte(k))
+		if i++; i >= 50 {
+			break
+		}
+	}
+	pvals, pfound, err := pcl.MGet(mkeys...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fvals, ffound, err := fcl.MGet(mkeys...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range mkeys {
+		if pfound[j] != ffound[j] || string(pvals[j]) != string(fvals[j]) {
+			t.Fatalf("MGET %q: primary (%q,%v) vs follower (%q,%v)",
+				mkeys[j], pvals[j], pfound[j], fvals[j], ffound[j])
+		}
+	}
+}
+
+// TestFollowerRejectsWrites: every mutating opcode on a follower store
+// gets exactly one clean StatusErr carrying the primary address, with
+// ZERO engine transactions started and no state change; reads and
+// PING still serve.
+func TestFollowerRejectsWrites(t *testing.T) {
+	st := NewStore(core.NewDefault())
+	if resp := st.Execute(&wire.Request{Op: wire.OpSet, Sem: wire.SemDefault,
+		Key: []byte("pre"), Val: []byte("1")}); resp.Status != wire.StatusOK {
+		t.Fatalf("pre-follower set: %v", resp.Status)
+	}
+	st.BecomeFollower("10.0.0.1:7535")
+
+	starts := st.Stats().Starts
+	muts := []*wire.Request{
+		{Op: wire.OpSet, Sem: wire.SemDefault, Key: []byte("k"), Val: []byte("v")},
+		{Op: wire.OpCAS, Sem: wire.SemDefault, Key: []byte("k"), Old: []byte("a"), Val: []byte("b")},
+		{Op: wire.OpDel, Sem: wire.SemDefault, Key: []byte("pre")},
+		{Op: wire.OpTxn, Sem: wire.SemDefault, Batch: []wire.Request{{Op: wire.OpSet, Key: []byte("k"), Val: []byte("v")}}},
+		{Op: wire.OpFlush, Sem: wire.SemDefault},
+		{Op: wire.OpRebuild, Sem: wire.SemDefault},
+	}
+	for _, req := range muts {
+		resp := st.Execute(req)
+		if resp.Status != wire.StatusErr {
+			t.Fatalf("%v on follower: status %v, want StatusErr", req.Op, resp.Status)
+		}
+		np, ok := wire.ParseNotPrimary(resp.Msg)
+		if !ok {
+			t.Fatalf("%v rejection not a NotPrimaryError: %q", req.Op, resp.Msg)
+		}
+		if np.Primary != "10.0.0.1:7535" {
+			t.Fatalf("%v redirect = %q", req.Op, np.Primary)
+		}
+		if !errors.Is(np, wire.ErrNotPrimary) {
+			t.Fatalf("%v rejection does not match ErrNotPrimary", req.Op)
+		}
+	}
+	if got := st.Stats().Starts; got != starts {
+		t.Fatalf("rejections started %d engine transactions, want 0", got-starts)
+	}
+
+	// No write became visible, and reads/PING still serve.
+	if resp := st.Execute(&wire.Request{Op: wire.OpGet, Sem: wire.SemDefault, Key: []byte("k")}); resp.Status != wire.StatusNotFound {
+		t.Fatalf("rejected SET visible: %v", resp.Status)
+	}
+	if resp := st.Execute(&wire.Request{Op: wire.OpGet, Sem: wire.SemDefault, Key: []byte("pre")}); resp.Status != wire.StatusOK || string(resp.Val) != "1" {
+		t.Fatalf("pre-existing key unreadable on follower: %v %q", resp.Status, resp.Val)
+	}
+	if resp := st.Execute(&wire.Request{Op: wire.OpPing, Sem: wire.SemDefault}); resp.Status != wire.StatusOK {
+		t.Fatalf("PING on follower: %v", resp.Status)
+	}
+	if resp := st.Execute(&wire.Request{Op: wire.OpScan, Sem: wire.SemDefault}); resp.Status != wire.StatusOK || len(resp.Pairs) != 1 {
+		t.Fatalf("SCAN on follower: %v (%d pairs)", resp.Status, len(resp.Pairs))
+	}
+
+	// Promotion restores writes and counts the failover.
+	st.BecomePrimary()
+	if resp := st.Execute(&wire.Request{Op: wire.OpSet, Sem: wire.SemDefault,
+		Key: []byte("k"), Val: []byte("v")}); resp.Status != wire.StatusOK {
+		t.Fatalf("post-promotion set: %v", resp.Status)
+	}
+	if st.Failovers() != 1 {
+		t.Fatalf("failovers = %d, want 1", st.Failovers())
+	}
+}
+
+// TestReplicationStatsRows: the primary's STATS shows its role, the
+// follower count and per-follower offsets; the follower's shows its
+// role and link counters.
+func TestReplicationStatsRows(t *testing.T) {
+	_, paddr := startReplServer(t, Config{StoreShards: 2},
+		&Durability{Dir: t.TempDir(), Fsync: wal.ModeOff, CheckpointEvery: -1},
+		&ReplConfig{})
+	fsrv, faddr := startReplServer(t, Config{StoreShards: 2}, nil,
+		&ReplConfig{Follow: paddr, Backoff: repl.Backoff{Min: 10 * time.Millisecond}})
+	waitCond(t, 10*time.Second, "follower streaming", func() bool {
+		fl := fsrv.Follower()
+		return fl != nil && fl.State() == repl.StateStreaming
+	})
+
+	pcl, err := client.Dial(paddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pcl.Close()
+	if err := pcl.Set([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := pcl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps["repl_role"] != uint64(RolePrimary) {
+		t.Fatalf("primary repl_role = %d", ps["repl_role"])
+	}
+	if ps["repl_followers"] != 1 {
+		t.Fatalf("repl_followers = %d, want 1", ps["repl_followers"])
+	}
+	if _, ok := ps["follower0.acked_records"]; !ok {
+		t.Fatalf("no follower0.acked_records row: %v", ps)
+	}
+	if _, ok := ps["follower0.lag_bytes"]; !ok {
+		t.Fatalf("no follower0.lag_bytes row: %v", ps)
+	}
+
+	fcl, err := client.Dial(faddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fcl.Close()
+	fs, err := fcl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs["repl_role"] != uint64(RoleFollower) {
+		t.Fatalf("follower repl_role = %d", fs["repl_role"])
+	}
+	if _, ok := fs["repl_applied_records"]; !ok {
+		t.Fatalf("no repl_applied_records row: %v", fs)
+	}
+	if fs["repl_state"] != uint64(repl.StateStreaming) {
+		t.Fatalf("repl_state = %d, want streaming", fs["repl_state"])
+	}
+}
+
+// TestClientFailover: a ReplicaSet keeps writing through a primary
+// loss — writes redirect off the dead primary onto the promoted
+// follower — and replica reads serve throughout.
+func TestClientFailover(t *testing.T) {
+	psrv, paddr := startReplServer(t, Config{StoreShards: 2},
+		&Durability{Dir: t.TempDir(), Fsync: wal.ModeOff, CheckpointEvery: -1},
+		&ReplConfig{SyncAck: true})
+	fsrv, faddr := startReplServer(t, Config{StoreShards: 2},
+		&Durability{Dir: t.TempDir(), Fsync: wal.ModeOff, CheckpointEvery: -1},
+		&ReplConfig{Follow: paddr, Backoff: repl.Backoff{Min: 10 * time.Millisecond}})
+	waitCond(t, 10*time.Second, "follower streaming", func() bool {
+		fl := fsrv.Follower()
+		return fl != nil && fl.State() == repl.StateStreaming
+	})
+
+	rs, err := client.DialReplicaSet(paddr, []string{faddr}, client.ReplicaSetConfig{
+		RetryMin: 10 * time.Millisecond, RetryMax: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	// Writes land on the primary; sync-ack means the follower has each
+	// one by the time the write returns, so replica reads see it.
+	if err := rs.Set([]byte("before"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := rs.Get([]byte("before"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("replica read: %q %v %v", v, ok, err)
+	}
+
+	// A write sent straight at the follower comes back as the typed
+	// redirect.
+	fcl, err := client.Dial(faddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fcl.Close()
+	err = fcl.Set([]byte("direct"), []byte("x"))
+	var np *wire.NotPrimaryError
+	if !errors.As(err, &np) {
+		t.Fatalf("follower write error = %v, want NotPrimaryError", err)
+	}
+	if np.Primary != paddr {
+		t.Fatalf("redirect = %q, want %q", np.Primary, paddr)
+	}
+
+	// Primary loss + promotion: the set's next write must fail over.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	psrv.Shutdown(ctx)
+	cancel()
+	if _, err := fsrv.Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer wcancel()
+	if err := rs.SetCtx(wctx, []byte("after"), []byte("2")); err != nil {
+		t.Fatalf("post-failover write: %v", err)
+	}
+	if rs.PrimaryAddr() != faddr {
+		t.Fatalf("client primary = %q, want %q", rs.PrimaryAddr(), faddr)
+	}
+	if rs.Failovers() == 0 {
+		t.Fatal("client observed no failover")
+	}
+	v, ok, err = rs.Get([]byte("after"))
+	if err != nil || !ok || string(v) != "2" {
+		t.Fatalf("post-failover read: %q %v %v", v, ok, err)
+	}
+	// The pre-failover acked write survived the switch.
+	v, ok, err = rs.Get([]byte("before"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("pre-failover key after switch: %q %v %v", v, ok, err)
+	}
+}
+
+// TestPromotedFollowerServesFeeds: a promoted durable follower starts
+// its own hub, so a new follower can chain off it.
+func TestPromotedFollowerServesFeeds(t *testing.T) {
+	psrv, paddr := startReplServer(t, Config{StoreShards: 2},
+		&Durability{Dir: t.TempDir(), Fsync: wal.ModeOff, CheckpointEvery: -1},
+		&ReplConfig{})
+	fsrv, faddr := startReplServer(t, Config{StoreShards: 2},
+		&Durability{Dir: t.TempDir(), Fsync: wal.ModeOff, CheckpointEvery: -1},
+		&ReplConfig{Follow: paddr, Backoff: repl.Backoff{Min: 10 * time.Millisecond}})
+	waitCond(t, 10*time.Second, "follower streaming", func() bool {
+		fl := fsrv.Follower()
+		return fl != nil && fl.State() == repl.StateStreaming
+	})
+
+	pcl, err := client.Dial(paddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pcl.Close()
+	if err := pcl.Set([]byte("handed-down"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	psrv.Shutdown(ctx)
+	cancel()
+	if _, err := fsrv.Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if fsrv.Hub() == nil {
+		t.Fatal("promoted durable follower has no hub")
+	}
+
+	// Chain a fresh follower off the promoted primary.
+	gsrv, gaddr := startReplServer(t, Config{StoreShards: 2}, nil,
+		&ReplConfig{Follow: faddr, Backoff: repl.Backoff{Min: 10 * time.Millisecond}})
+	waitCond(t, 10*time.Second, "grand-follower streaming", func() bool {
+		fl := gsrv.Follower()
+		return fl != nil && fl.State() == repl.StateStreaming
+	})
+	gcl, err := client.Dial(gaddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gcl.Close()
+	waitCond(t, 10*time.Second, "chained key to arrive", func() bool {
+		v, ok, err := gcl.Get([]byte("handed-down"))
+		return err == nil && ok && string(v) == "v"
+	})
+}
+
+// TestApplyShardOpsDurable: a durable follower re-logs what it
+// applies — restart the follower store over its own WAL directory and
+// the applied keys recover.
+func TestApplyShardOpsDurable(t *testing.T) {
+	dir := t.TempDir()
+	st := NewStore(core.NewDefault())
+	if _, err := st.EnableDurability(Durability{Dir: dir, Fsync: wal.ModeAlways, CheckpointEvery: -1}); err != nil {
+		t.Fatal(err)
+	}
+	st.BecomeFollower("x:1")
+	if err := st.ApplyShardOps(0, []wal.Op{
+		{Kind: wal.OpSet, Key: "r1", Val: "a"},
+		{Kind: wal.OpSet, Key: "r2", Val: "b"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ApplyShardOps(0, []wal.Op{{Kind: wal.OpDel, Key: "r1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := NewStore(core.NewDefault())
+	if _, err := st2.EnableDurability(Durability{Dir: dir, Fsync: wal.ModeAlways, CheckpointEvery: -1}); err != nil {
+		t.Fatal(err)
+	}
+	defer st2.CloseDurability()
+	got := scanAll(t, st2)
+	if len(got) != 1 || got["r2"] != "b" {
+		t.Fatalf("recovered follower state = %v, want {r2:b}", got)
+	}
+}
+
+// TestClientDialsWithDeadPrimary pins the cold-start-after-failover
+// path: a replica set configured with a dead primary address must still
+// come up when replicas are listed — reads route to the replicas and
+// the first write probes the ring for whoever leads now.
+func TestClientDialsWithDeadPrimary(t *testing.T) {
+	srv, addr := startReplServer(t, Config{StoreShards: 2}, nil, nil)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	if resp := srv.Store().Execute(&wire.Request{Op: wire.OpSet, Sem: wire.SemDefault,
+		Key: []byte("pre"), Val: []byte("1")}); resp.Status != wire.StatusOK {
+		t.Fatalf("seed write: %v %s", resp.Status, resp.Msg)
+	}
+
+	// 127.0.0.1:1 refuses immediately: the configured primary is dead.
+	rs, err := client.DialReplicaSet("127.0.0.1:1", []string{addr}, client.ReplicaSetConfig{
+		DialTimeout: time.Second,
+		RetryMin:    10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("dial with dead primary: %v", err)
+	}
+	defer rs.Close()
+
+	if v, ok, err := rs.Get([]byte("pre")); err != nil || !ok || string(v) != "1" {
+		t.Fatalf("read via replica: %q %v %v", v, ok, err)
+	}
+	if err := rs.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("write should rotate to the live endpoint: %v", err)
+	}
+	if got := rs.PrimaryAddr(); got != addr {
+		t.Fatalf("primary addr = %s, want %s", got, addr)
+	}
+
+	// A set with ONLY the dead primary still fails the dial eagerly.
+	if _, err := client.DialReplicaSet("127.0.0.1:1", nil, client.ReplicaSetConfig{
+		DialTimeout: time.Second,
+	}); err == nil {
+		t.Fatal("single-endpoint dead set should fail to dial")
+	}
+}

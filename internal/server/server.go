@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"polytm/internal/core"
+	"polytm/internal/repl"
 	"polytm/internal/stm"
 	"polytm/internal/wire"
 )
@@ -64,6 +65,12 @@ type Server struct {
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	shutdown bool
+
+	// Replication wiring (see replication.go): a primary owns a hub
+	// serving follower feeds, a follower owns the link to its primary.
+	hub      *repl.Hub
+	follower *repl.Follower
+	replCfg  ReplConfig
 
 	wg sync.WaitGroup
 }
@@ -252,6 +259,17 @@ func (s *Server) handle(c net.Conn) {
 			op = wire.OpGet
 			resetResponse(&resp)
 			errInto(&resp, err)
+		} else if req.Op == wire.OpSubscribeWAL {
+			// A replication subscribe takes the connection over: answer
+			// the handshake, then the hub streams frames until either
+			// side drops. With no hub, fall through to the execution
+			// path's typed refusal like any other request.
+			if h := s.replHub(); h != nil {
+				s.serveSubscribe(c, br, bw, h)
+				return
+			}
+			op = req.Op
+			s.store.ExecuteCtx(ctx, &req, &resp)
 		} else {
 			op = req.Op
 			s.store.ExecuteCtx(ctx, &req, &resp)
@@ -301,6 +319,10 @@ func isExpectedClose(err error) bool {
 // either phase (a begun irrevocable transaction ignores cancellation
 // by contract).
 func (s *Server) Shutdown(ctx context.Context) error {
+	// Replication first: feeds and links hold connections open in
+	// handler goroutines; closing the hub/link lets them drain with the
+	// rest.
+	s.closeReplication()
 	s.mu.Lock()
 	s.shutdown = true
 	if s.ln != nil {

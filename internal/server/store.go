@@ -84,6 +84,10 @@ type shard struct {
 	wal  *wal.Log
 	caps sync.Pool // *walCapture, created by EnableDurability
 
+	// replWait, when set (sync-ack replication), gates a durable
+	// mutation's acknowledgement on a follower ack covering its record.
+	replWait atomic.Pointer[func(ctx context.Context, seq uint64) error]
+
 	routed atomic.Uint64 // operations routed here (STATS distribution row)
 }
 
@@ -115,7 +119,19 @@ func (sh *shard) atomicMut(ctx context.Context, sem core.Semantics, cp *walCaptu
 	if err != nil {
 		return err
 	}
-	return cp.wait()
+	if err := cp.wait(); err != nil {
+		return err
+	}
+	// Sync-ack replication: the record is locally durable; additionally
+	// wait for a follower ack covering it. (Cross-shard commits go
+	// through twopc.go, not here — they acknowledge on local durability
+	// only; see the replication doc.)
+	if cp.logged {
+		if w := sh.replWait.Load(); w != nil {
+			return (*w)(ctx, cp.seq)
+		}
+	}
+	return nil
 }
 
 // Store is the server's keyspace: an ordered transactional map
@@ -140,6 +156,14 @@ type Store struct {
 
 	xshardTxns   atomic.Uint64 // cross-shard commits attempted
 	xshardAborts atomic.Uint64 // cross-shard commits that aborted
+
+	// Replication role state (see replication.go). A follower rejects
+	// every mutating request before any transaction starts; primaryAddr
+	// rides the rejection so clients can redirect.
+	role         atomic.Int32
+	failovers    atomic.Uint64
+	primaryAddr  atomic.Pointer[string]
+	replCounters atomic.Pointer[func() []wire.Counter]
 
 	logf     func(format string, args ...any) // diagnostics sink (durable stores)
 	ckptStop chan struct{}
@@ -259,6 +283,14 @@ func (s *Store) ExecuteInto(req *wire.Request, resp *wire.Response) {
 // contract they ride.)
 func (s *Store) ExecuteCtx(ctx context.Context, req *wire.Request, resp *wire.Response) {
 	resetResponse(resp)
+	// The follower role gate runs before semantics resolution and before
+	// any routing: a mutating request on a follower gets exactly one
+	// clean StatusErr carrying the primary's address, with zero engine
+	// transactions started.
+	if req.Op.Mutates() && Role(s.role.Load()) == RoleFollower {
+		errInto(resp, &wire.NotPrimaryError{Primary: s.PrimaryAddr()})
+		return
+	}
 	sem, err := resolveSemantics(req)
 	if err != nil {
 		errInto(resp, err)
@@ -285,6 +317,15 @@ func (s *Store) ExecuteCtx(ctx context.Context, req *wire.Request, resp *wire.Re
 		s.flush(ctx, sem, resp)
 	case wire.OpRebuild:
 		s.rebuild(ctx, sem, resp)
+	case wire.OpPing:
+		// Liveness probe: no transaction, no routing; followers answer
+		// too. The response is the health signal.
+		resp.Status = wire.StatusOK
+	case wire.OpSubscribeWAL:
+		// A subscribe reaching the execution path means no replication
+		// hub intercepted it (server not replication-enabled, or an
+		// in-process store with no server at all).
+		errInto(resp, errReplicationDisabled)
 	default:
 		errInto(resp, wire.ErrBadOp)
 	}
@@ -627,6 +668,13 @@ func (s *Store) stats(resp *wire.Response) {
 		)
 	}
 	cs = append(cs, wire.Counter{Name: "store_shards", Value: uint64(len(s.shards))})
+	cs = append(cs,
+		wire.Counter{Name: "repl_role", Value: uint64(s.role.Load())},
+		wire.Counter{Name: "repl_failovers", Value: s.failovers.Load()},
+	)
+	if fn := s.replCounters.Load(); fn != nil {
+		cs = append(cs, (*fn)()...)
+	}
 	if s.durable() {
 		var bytes, records, fsyncs, checkpoints uint64
 		for _, sh := range s.shards {

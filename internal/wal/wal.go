@@ -91,6 +91,14 @@ type pendingRec struct {
 	state   recState
 }
 
+// ShipRec is one committed record as offered to a Tap: the log's
+// sequence number plus the verbatim record payload (read-only for the
+// receiver).
+type ShipRec struct {
+	Seq     uint64
+	Payload []byte
+}
+
 // Log is the append-only write-ahead log of one directory: a sequence
 // of numbered segment files plus at most one live checkpoint.
 //
@@ -118,6 +126,7 @@ type Log struct {
 	flushCond *sync.Cond // flusher wake-up: head record decided, or close
 	ackCond   *sync.Cond // append wake-up: ackSeq advanced, or error
 	pending   []pendingRec
+	taps      []*Tap
 	nextSeq   uint64 // next reservation
 	ackSeq    uint64 // every seq <= ackSeq is written (ModeAlways: synced)
 	dirty     bool   // bytes written since the last fsync
@@ -262,6 +271,47 @@ func (l *Log) WaitDurable(seq uint64) error {
 	return ErrClosed
 }
 
+// Tap is a handle to a committed-record observer registered with
+// AttachTap; replication feeds use one per shard to tail the live log.
+type Tap struct {
+	fn func(seq uint64, payload []byte)
+}
+
+// AttachTap registers fn to observe every committed record the flusher
+// writes from now on, in log order, and returns the tap handle plus
+// coverSeq — the watermark that makes catch-up exact: every record with
+// seq <= coverSeq was already written (and, because records are only
+// written after their transaction committed, is visible to any snapshot
+// taken after AttachTap returns) and is never offered; every committed
+// record with seq > coverSeq is offered exactly once, after it is
+// durable under the log's mode.
+//
+// fn runs on the flusher goroutine with the log's mutex held: it must
+// be fast, must not block, and must not call back into the Log. The
+// payload is owned by the log, may be retained, and must be treated
+// read-only.
+func (l *Log) AttachTap(fn func(seq uint64, payload []byte)) (*Tap, uint64) {
+	t := &Tap{fn: fn}
+	l.mu.Lock()
+	l.taps = append(l.taps, t)
+	cover := l.ackSeq
+	l.mu.Unlock()
+	return t, cover
+}
+
+// DetachTap unregisters t. When it returns, no offer to t is in flight
+// and none will follow.
+func (l *Log) DetachTap(t *Tap) {
+	l.mu.Lock()
+	for i, x := range l.taps {
+		if x == t {
+			l.taps = append(l.taps[:i], l.taps[i+1:]...)
+			break
+		}
+	}
+	l.mu.Unlock()
+}
+
 // decidedPrefix returns how many records at the queue head are decided.
 // Caller holds mu.
 func (l *Log) decidedPrefix() int {
@@ -278,7 +328,8 @@ func (l *Log) decidedPrefix() int {
 func (l *Log) flusher() {
 	defer close(l.flusherDone)
 	var enc []byte
-	var firsts []byte // first payload byte per committed record, for the hook
+	var firsts []byte  // first payload byte per committed record, for the hook
+	var ship []ShipRec // committed records of the batch, for the taps
 	l.mu.Lock()
 	for {
 		for l.decidedPrefix() == 0 && !l.closed {
@@ -296,11 +347,18 @@ func (l *Log) flusher() {
 		target := batch[n-1].seq
 		enc = enc[:0]
 		firsts = firsts[:0]
+		ship = ship[:0]
 		records := 0
 		for i := range batch {
 			if batch[i].state == recCommitted {
 				enc = appendRecord(enc, batch[i].payload)
 				firsts = append(firsts, batch[i].payload[0])
+				// Capture (seq, payload) before the post-write pop
+				// overwrites the pending entries this batch aliases. The
+				// ship list is collected even with no tap attached: a tap
+				// attaching between here and the post-write offer has a
+				// coverSeq below this batch and must still receive it.
+				ship = append(ship, ShipRec{Seq: batch[i].seq, Payload: batch[i].payload})
 				records++
 			}
 		}
@@ -335,6 +393,16 @@ func (l *Log) flusher() {
 			l.ackSeq = target
 			if len(enc) > 0 && l.mode != ModeAlways {
 				l.dirty = true
+			}
+			// Offer the batch to the taps in the same critical section
+			// that advances ackSeq: an AttachTap caller can never observe
+			// an ackSeq that covers records it was not offered.
+			if len(l.taps) > 0 {
+				for _, t := range l.taps {
+					for i := range ship {
+						t.fn(ship[i].Seq, ship[i].Payload)
+					}
+				}
 			}
 		}
 		l.ackCond.Broadcast()

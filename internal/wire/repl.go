@@ -1,0 +1,268 @@
+// Replication streaming frames.
+//
+// After a SUBSCRIBE-WAL request is answered OK the connection leaves the
+// request/response protocol: the primary pushes frames to the follower
+// and the follower pushes ACK frames back, full duplex, both using the
+// same 4-byte length framing as the rest of the protocol. Each push
+// payload is
+//
+//	kind(1) | body
+//
+// with the per-kind layouts documented on the ReplKind constants. The
+// same frame family is the substrate a future watch/subscribe session
+// layer rides on — a subscription is just a feed whose records are
+// filtered, so the framing is designed once here.
+package wire
+
+import (
+	"errors"
+	"strings"
+)
+
+// ReplKind is the first payload byte of a replication push frame.
+type ReplKind byte
+
+const (
+	// ReplWALBatch carries committed WAL records for one shard, in log
+	// order (primary → follower). Body: uvarint shard | uvarint n |
+	// n × (uvarint seq, bytes payload). Payloads are verbatim WAL record
+	// payloads (see internal/wal); seqs are that shard's WAL sequence
+	// numbers and strictly increase within and across batches.
+	ReplWALBatch ReplKind = 1
+	// ReplAck reports the follower's applied positions (follower →
+	// primary). Body: uvarint n | n × (uvarint shard, uvarint seq,
+	// uvarint bytes): for each shard the highest contiguously applied
+	// WAL seq and the cumulative applied payload bytes. Also sent in
+	// answer to ReplPing, so the primary's idle-detection and
+	// acked-offset tracking share one frame.
+	ReplAck ReplKind = 2
+	// ReplSnapBatch carries key/value pairs of the catch-up snapshot for
+	// one shard (primary → follower). Body: uvarint shard | uvarint n |
+	// n × (key, val). The first ReplSnapBatch for a shard implicitly
+	// clears that shard on the follower.
+	ReplSnapBatch ReplKind = 3
+	// ReplSnapDone ends one shard's catch-up snapshot. Body: uvarint
+	// shard | uvarint coverSeq: every WAL record with seq <= coverSeq is
+	// already reflected in the snapshot, and every record with a larger
+	// seq will arrive in ReplWALBatch frames.
+	ReplSnapDone ReplKind = 4
+	// ReplPing is the link heartbeat (primary → follower, sent when the
+	// feed has been idle past its budget). Body: empty. The follower
+	// answers with a ReplAck.
+	ReplPing ReplKind = 5
+)
+
+// String names the frame kind.
+func (k ReplKind) String() string {
+	switch k {
+	case ReplWALBatch:
+		return "WAL-BATCH"
+	case ReplAck:
+		return "ACK"
+	case ReplSnapBatch:
+		return "SNAP-BATCH"
+	case ReplSnapDone:
+		return "SNAP-DONE"
+	case ReplPing:
+		return "PING"
+	default:
+		return "ReplKind(?)"
+	}
+}
+
+// ErrBadReplFrame reports an unknown replication frame kind.
+var ErrBadReplFrame = errors.New("wire: unknown replication frame kind")
+
+// ReplRec is one WAL record of a ReplWALBatch frame.
+type ReplRec struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// ReplAckEntry is one shard's applied position in a ReplAck frame.
+type ReplAckEntry struct {
+	Shard uint64
+	Seq   uint64 // highest contiguously applied WAL seq
+	Bytes uint64 // cumulative applied payload bytes
+}
+
+// ReplFrame is the decoded form of one replication push frame. Fields
+// are kind-dependent; unused fields are zero.
+type ReplFrame struct {
+	Kind ReplKind
+
+	Shard uint64 // WAL-BATCH, SNAP-BATCH, SNAP-DONE
+
+	Recs     []ReplRec      // WAL-BATCH
+	Pairs    []KV           // SNAP-BATCH
+	CoverSeq uint64         // SNAP-DONE
+	Acks     []ReplAckEntry // ACK
+}
+
+// AppendReplFrame appends f's complete frame — 4-byte length prefix plus
+// kind | body — to dst.
+func AppendReplFrame(dst []byte, f *ReplFrame) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, byte(f.Kind))
+	switch f.Kind {
+	case ReplWALBatch:
+		dst = appendUvarint(dst, f.Shard)
+		dst = appendUvarint(dst, uint64(len(f.Recs)))
+		for i := range f.Recs {
+			dst = appendUvarint(dst, f.Recs[i].Seq)
+			dst = appendBytes(dst, f.Recs[i].Payload)
+		}
+	case ReplAck:
+		dst = appendUvarint(dst, uint64(len(f.Acks)))
+		for i := range f.Acks {
+			dst = appendUvarint(dst, f.Acks[i].Shard)
+			dst = appendUvarint(dst, f.Acks[i].Seq)
+			dst = appendUvarint(dst, f.Acks[i].Bytes)
+		}
+	case ReplSnapBatch:
+		dst = appendUvarint(dst, f.Shard)
+		dst = appendUvarint(dst, uint64(len(f.Pairs)))
+		for _, kv := range f.Pairs {
+			dst = appendBytes(dst, kv.Key)
+			dst = appendBytes(dst, kv.Val)
+		}
+	case ReplSnapDone:
+		dst = appendUvarint(dst, f.Shard)
+		dst = appendUvarint(dst, f.CoverSeq)
+	case ReplPing:
+		// empty body
+	default:
+		return dst[:start], ErrBadReplFrame
+	}
+	putFrameLen(dst, start)
+	return dst, nil
+}
+
+// DecodeReplFrame parses one replication push payload into f, reusing
+// f's slice storage across calls (the feed loops keep one ReplFrame per
+// connection). The decoded byte fields alias payload. On error f holds
+// partially decoded state and must not be applied.
+func DecodeReplFrame(f *ReplFrame, payload []byte) error {
+	f.Shard, f.CoverSeq = 0, 0
+	f.Recs = f.Recs[:0]
+	f.Pairs = f.Pairs[:0]
+	f.Acks = f.Acks[:0]
+	rd := &reader{buf: payload}
+	kind, err := rd.byte1()
+	if err != nil {
+		return err
+	}
+	f.Kind = ReplKind(kind)
+	switch f.Kind {
+	case ReplWALBatch:
+		if f.Shard, err = rd.uvarint(); err != nil {
+			return err
+		}
+		n, err := rd.count()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			var rec ReplRec
+			if rec.Seq, err = rd.uvarint(); err != nil {
+				return err
+			}
+			if rec.Payload, err = rd.bytes(); err != nil {
+				return err
+			}
+			f.Recs = append(f.Recs, rec)
+		}
+	case ReplAck:
+		n, err := rd.count()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			var e ReplAckEntry
+			if e.Shard, err = rd.uvarint(); err != nil {
+				return err
+			}
+			if e.Seq, err = rd.uvarint(); err != nil {
+				return err
+			}
+			if e.Bytes, err = rd.uvarint(); err != nil {
+				return err
+			}
+			f.Acks = append(f.Acks, e)
+		}
+	case ReplSnapBatch:
+		if f.Shard, err = rd.uvarint(); err != nil {
+			return err
+		}
+		n, err := rd.count()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			var kv KV
+			if kv.Key, err = rd.bytes(); err != nil {
+				return err
+			}
+			if kv.Val, err = rd.bytes(); err != nil {
+				return err
+			}
+			f.Pairs = append(f.Pairs, kv)
+		}
+	case ReplSnapDone:
+		if f.Shard, err = rd.uvarint(); err != nil {
+			return err
+		}
+		if f.CoverSeq, err = rd.uvarint(); err != nil {
+			return err
+		}
+	case ReplPing:
+		// empty body
+	default:
+		return ErrBadReplFrame
+	}
+	return rd.done()
+}
+
+// ---- not-primary redirect ----
+
+// ErrNotPrimary is matched (via errors.Is) by the typed
+// *NotPrimaryError a follower raises for a mutating opcode.
+var ErrNotPrimary = errors.New("wire: not primary")
+
+const notPrimaryMsg = "wire: not primary"
+
+// NotPrimaryError is the typed redirect error a follower returns for
+// any mutating opcode: the rejection happens at the protocol layer,
+// before any transaction starts, and carries the primary's address so
+// the client can re-aim the write without an extra discovery round
+// trip. It crosses the wire as a StatusErr message in a fixed format
+// that ParseNotPrimary recovers on the client side.
+type NotPrimaryError struct {
+	// Primary is the address writes should go to ("" when the follower
+	// does not know, e.g. mid-failover).
+	Primary string
+}
+
+// Error implements error in the wire format ParseNotPrimary parses.
+func (e *NotPrimaryError) Error() string {
+	if e.Primary == "" {
+		return notPrimaryMsg
+	}
+	return notPrimaryMsg + "; primary=" + e.Primary
+}
+
+// Is makes errors.Is(err, ErrNotPrimary) report true.
+func (e *NotPrimaryError) Is(target error) bool { return target == ErrNotPrimary }
+
+// ParseNotPrimary recovers a NotPrimaryError from a StatusErr message,
+// reporting ok=false for any other message.
+func ParseNotPrimary(msg string) (*NotPrimaryError, bool) {
+	if msg == notPrimaryMsg {
+		return &NotPrimaryError{}, true
+	}
+	rest, found := strings.CutPrefix(msg, notPrimaryMsg+"; primary=")
+	if !found || rest == "" {
+		return nil, false
+	}
+	return &NotPrimaryError{Primary: rest}, true
+}

@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func roundTripReplFrame(t *testing.T, f *ReplFrame) *ReplFrame {
+	t.Helper()
+	frame, err := AppendReplFrame(nil, f)
+	if err != nil {
+		t.Fatalf("AppendReplFrame(%v): %v", f.Kind, err)
+	}
+	payload, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)), 0)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	dec := new(ReplFrame)
+	if err := DecodeReplFrame(dec, payload); err != nil {
+		t.Fatalf("DecodeReplFrame(%v): %v", f.Kind, err)
+	}
+	return dec
+}
+
+func TestReplFrameRoundTrip(t *testing.T) {
+	frames := []*ReplFrame{
+		{Kind: ReplWALBatch, Shard: 3, Recs: []ReplRec{
+			{Seq: 1, Payload: []byte("rec-one")},
+			{Seq: 2, Payload: []byte("")},
+			{Seq: 9000, Payload: []byte("rec-three")},
+		}},
+		{Kind: ReplWALBatch, Shard: 0},
+		{Kind: ReplAck, Acks: []ReplAckEntry{
+			{Shard: 0, Seq: 17, Bytes: 4096},
+			{Shard: 1, Seq: 0, Bytes: 0},
+		}},
+		{Kind: ReplAck},
+		{Kind: ReplSnapBatch, Shard: 2, Pairs: []KV{
+			{Key: []byte("a"), Val: []byte("1")},
+			{Key: []byte(""), Val: []byte("")},
+		}},
+		{Kind: ReplSnapDone, Shard: 5, CoverSeq: 123456},
+		{Kind: ReplPing},
+	}
+	for _, f := range frames {
+		dec := roundTripReplFrame(t, f)
+		norm := func(f *ReplFrame) ReplFrame {
+			c := *f
+			if len(c.Recs) == 0 {
+				c.Recs = nil
+			}
+			if len(c.Pairs) == 0 {
+				c.Pairs = nil
+			}
+			if len(c.Acks) == 0 {
+				c.Acks = nil
+			}
+			return c
+		}
+		if got, want := norm(dec), norm(f); !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: round trip mismatch:\n got  %+v\n want %+v", f.Kind, got, want)
+		}
+	}
+}
+
+func TestReplFrameDecodeReuse(t *testing.T) {
+	// One decode target across frames of different kinds must not leak
+	// state from the previous frame.
+	var f ReplFrame
+	big, err := AppendReplFrame(nil, &ReplFrame{Kind: ReplWALBatch, Shard: 7, Recs: []ReplRec{{Seq: 4, Payload: []byte("p")}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeReplFrame(&f, big[4:]); err != nil {
+		t.Fatal(err)
+	}
+	ping, err := AppendReplFrame(nil, &ReplFrame{Kind: ReplPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeReplFrame(&f, ping[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != ReplPing || f.Shard != 0 || len(f.Recs) != 0 {
+		t.Fatalf("stale state after reuse: %+v", f)
+	}
+}
+
+func TestReplFrameHostileInput(t *testing.T) {
+	cases := [][]byte{
+		{},                          // no kind byte
+		{99},                        // unknown kind
+		{byte(ReplWALBatch)},        // missing shard
+		{byte(ReplWALBatch), 0},     // missing count
+		{byte(ReplWALBatch), 0, 2},  // count > remaining bytes
+		{byte(ReplSnapDone), 1},     // missing coverSeq
+		{byte(ReplPing), 0},         // trailing byte
+		{byte(ReplAck), 0xFF, 0xFF}, // unterminated uvarint count
+	}
+	var f ReplFrame
+	for _, payload := range cases {
+		if err := DecodeReplFrame(&f, payload); err == nil {
+			t.Errorf("DecodeReplFrame(%v): expected error", payload)
+		}
+	}
+}
+
+func TestNewOpcodesRoundTrip(t *testing.T) {
+	for _, op := range []Op{OpPing, OpSubscribeWAL} {
+		dec := roundTripRequest(t, &Request{Op: op, Sem: SemDefault})
+		if dec.Op != op {
+			t.Fatalf("op %v decoded as %v", op, dec.Op)
+		}
+		if op.Mutates() {
+			t.Fatalf("%v must not count as mutating", op)
+		}
+	}
+	// SUBSCRIBE-WAL's OK response carries the store-shard count.
+	payload, err := AppendResponse(nil, OpSubscribeWAL, &Response{Status: StatusOK, N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := DecodeResponse(payload, OpSubscribeWAL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != 8 {
+		t.Fatalf("shard count = %d, want 8", resp.N)
+	}
+	// PING's OK response is empty.
+	payload, err = AppendResponse(nil, OpPing, &Response{Status: StatusOK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != 1 {
+		t.Fatalf("PING response payload = %v, want bare status", payload)
+	}
+	if _, err := DecodeResponse(payload, OpPing, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotPrimaryError(t *testing.T) {
+	e := &NotPrimaryError{Primary: "10.0.0.7:7700"}
+	if !errors.Is(e, ErrNotPrimary) {
+		t.Fatal("NotPrimaryError must match ErrNotPrimary")
+	}
+	got, ok := ParseNotPrimary(e.Error())
+	if !ok || got.Primary != e.Primary {
+		t.Fatalf("ParseNotPrimary(%q) = %+v, %v", e.Error(), got, ok)
+	}
+	// Unknown-primary form round trips too.
+	bare := &NotPrimaryError{}
+	got, ok = ParseNotPrimary(bare.Error())
+	if !ok || got.Primary != "" {
+		t.Fatalf("ParseNotPrimary(%q) = %+v, %v", bare.Error(), got, ok)
+	}
+	for _, msg := range []string{"", "wire: server error", "wire: not primary; primary="} {
+		if _, ok := ParseNotPrimary(msg); ok {
+			t.Errorf("ParseNotPrimary(%q) unexpectedly ok", msg)
+		}
+	}
+}

@@ -67,7 +67,13 @@ const (
 	// per-semantics rows) a sharded store reports store_shards,
 	// xshard_txns/xshard_aborts (cross-shard 2PC traffic), and per-shard
 	// shard<i>.ops plus — when durable — shard<i>.wal_bytes/records/fsyncs
-	// rows exposing routing balance and per-shard log pressure.
+	// rows exposing routing balance and per-shard log pressure. A
+	// replicating node adds repl_role (0 primary / 1 follower) and
+	// repl_failovers (promotions performed); a primary additionally
+	// reports repl_followers, repl_sync, repl_shipped_records/bytes and
+	// per-follower follower<i>.acked_records / follower<i>.lag_bytes; a
+	// follower reports repl_applied_records/bytes, repl_reconnects and
+	// repl_state (its link state-machine position).
 	OpStats Op = 8
 	// OpFlush removes every key (admin). Body: empty. OK response body:
 	// uvarint removed-count.
@@ -75,6 +81,19 @@ const (
 	// OpRebuild re-levels the store's skip-list index (admin; the
 	// "resize" class). Body: empty. OK response body: uvarint key-count.
 	OpRebuild Op = 10
+	// OpPing is a liveness probe: it touches no store state and starts no
+	// transaction. Body: empty. OK response body: empty. Clients use it to
+	// health-check pooled connections that have sat idle past their
+	// heartbeat budget; the replication link uses the push-frame
+	// equivalent (ReplPing).
+	OpPing Op = 11
+	// OpSubscribeWAL converts the connection into a replication feed.
+	// Body: empty. OK response body: uvarint store-shard count. After the
+	// OK response the request/response protocol ends and the server
+	// pushes replication frames (see the Repl* frame kinds) on the same
+	// connection; the subscriber sends ReplAck frames back. Only a
+	// durable primary accepts it.
+	OpSubscribeWAL Op = 12
 )
 
 // String names the opcode.
@@ -100,13 +119,17 @@ func (o Op) String() string {
 		return "FLUSH"
 	case OpRebuild:
 		return "REBUILD"
+	case OpPing:
+		return "PING"
+	case OpSubscribeWAL:
+		return "SUBSCRIBE-WAL"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
 }
 
 // Valid reports whether o is a defined opcode.
-func (o Op) Valid() bool { return o >= OpGet && o <= OpRebuild }
+func (o Op) Valid() bool { return o >= OpGet && o <= OpSubscribeWAL }
 
 // Mutates reports whether the opcode can change store state. A TXN
 // batch counts as mutating regardless of its sub-operations (a batch
@@ -265,8 +288,15 @@ type Response struct {
 }
 
 // Err folds a StatusErr response into a Go error (nil otherwise).
+// Typed server errors that survive the wire as messages are recovered
+// here, so clients can match them with errors.Is/As: a follower's
+// write rejection comes back as *NotPrimaryError (carrying the
+// primary's address), not an opaque string.
 func (r *Response) Err() error {
 	if r.Status == StatusErr {
+		if np, ok := ParseNotPrimary(r.Msg); ok {
+			return np
+		}
 		return fmt.Errorf("wire: server error: %s", r.Msg)
 	}
 	return nil
@@ -411,6 +441,12 @@ func ReadFrameBuf(br *bufio.Reader, buf []byte, maxFrame int) ([]byte, error) {
 	return payload, nil
 }
 
+// putFrameLen back-fills the 4-byte length prefix of a frame whose
+// reserved header starts at `start` in dst.
+func putFrameLen(dst []byte, start int) {
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+}
+
 // AppendRequestFrame appends r's complete frame — 4-byte length prefix
 // plus payload — to dst, so a pipelined batch can be encoded into one
 // reusable buffer and written with a single Write. On error dst is
@@ -477,7 +513,7 @@ func appendRequestBody(dst []byte, r *Request) ([]byte, error) {
 				return nil, err
 			}
 		}
-	case OpStats, OpFlush, OpRebuild:
+	case OpStats, OpFlush, OpRebuild, OpPing, OpSubscribeWAL:
 		// empty body
 	default:
 		return nil, ErrBadOp
@@ -570,7 +606,7 @@ func decodeRequestBody(rd *reader, r *Request) error {
 				return err
 			}
 		}
-	case OpStats, OpFlush, OpRebuild:
+	case OpStats, OpFlush, OpRebuild, OpPing, OpSubscribeWAL:
 		// empty body
 	default:
 		return ErrBadOp
@@ -672,8 +708,10 @@ func appendResponseBody(dst []byte, op Op, r *Response) ([]byte, error) {
 			dst = appendBytes(dst, []byte(c.Name))
 			dst = appendUvarint(dst, c.Value)
 		}
-	case OpFlush, OpRebuild:
+	case OpFlush, OpRebuild, OpSubscribeWAL:
 		dst = appendUvarint(dst, r.N)
+	case OpPing:
+		// empty body
 	default:
 		return nil, ErrBadOp
 	}
@@ -777,8 +815,10 @@ func decodeResponseBody(rd *reader, op Op, r *Response, subOps []Op) error {
 			}
 			r.Counters = append(r.Counters, Counter{Name: string(name), Value: v})
 		}
-	case OpFlush, OpRebuild:
+	case OpFlush, OpRebuild, OpSubscribeWAL:
 		r.N, err = rd.uvarint()
+	case OpPing:
+		// empty body
 	default:
 		return ErrBadOp
 	}
