@@ -14,6 +14,7 @@
 //	polybench -bench scale -workers 1,2,4,8 -shards 0
 //	polybench -bench server -workers 1,4,8 -get-pct 80 -scan-pct 10
 //	polybench -bench server -replica -workers 4 -get-pct 90 -scan-pct 5
+//	polybench -bench recover -recover-keys 200000
 //	polybench -bench all
 //	polybench -bench scale -json        # machine-readable results
 //
@@ -30,6 +31,16 @@
 // worker one pipelined connection), reporting txns/s and the
 // per-semantics abort breakdown from the engine's sharded stats — the
 // paper's polymorphism measured as live network traffic.
+//
+// -bench recover is the checkpoint + restart-cost experiment behind
+// incremental checkpoints: a -recover-keys store is filled, base-
+// checkpointed, churned at 1% and 10%, checkpointed again under the
+// full-only policy (-ckpt-max-chain <= 0 equivalent) and the
+// incremental default, then closed and re-opened with the recovery
+// wall time measured. JSON rows carry churn_pct, ckpt_bytes (the
+// churn checkpoint's cost), base_bytes, and restart_sec — the claim
+// under test is that the incremental ckpt_bytes track churn while the
+// full ones track keyspace size.
 //
 // -bench server -replica runs the replication read-split experiment
 // instead: a durable batch-fsync primary measured alone, with a
@@ -120,6 +131,10 @@ type record struct {
 	Dist         string               `json:"dist,omitempty"`
 	Topology     string               `json:"topology,omitempty"`
 	LagBytes     *uint64              `json:"lag_bytes,omitempty"`
+	ChurnPct     int                  `json:"churn_pct,omitempty"`
+	RestartSec   *float64             `json:"restart_sec,omitempty"`
+	CkptBytes    *uint64              `json:"ckpt_bytes,omitempty"`
+	BaseBytes    *uint64              `json:"base_bytes,omitempty"`
 	PerSemantics map[string]semRecord `json:"per_semantics,omitempty"`
 }
 
@@ -255,7 +270,7 @@ func (r *report) flush() {
 }
 
 func main() {
-	bench := flag.String("bench", "all", "which experiment: list, hash, skip, scan, cm, scale, server, all")
+	bench := flag.String("bench", "all", "which experiment: list, hash, skip, scan, cm, scale, server, recover, all")
 	updates := flag.Int("updates", 10, "update percentage")
 	keyRange := flag.Uint64("range", 512, "key range (steady-state size is half)")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
@@ -270,6 +285,7 @@ func main() {
 	scanLimit := flag.Uint64("scan-limit", 16, "SCAN window for -bench server")
 	durable := flag.Bool("durable", false, "for -bench server: also run durable variants (one per fsync mode, fresh temp wal dir each)")
 	replica := flag.Bool("replica", false, "for -bench server: run the replication read-split experiment instead (durable primary, streaming follower, replica-aware client)")
+	recoverKeys := flag.Int("recover-keys", 200000, "key count for -bench recover")
 	fsyncFlag := flag.String("fsync", "", "restrict -durable to one fsync mode (always, batch, off); empty = all three")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results instead of tables")
 	allocs := flag.Bool("allocs", false, "print allocs/op and B/op columns for -bench scale/server table output")
@@ -321,6 +337,7 @@ func main() {
 			}
 			benchServer(ctx, rep, base, workers, *shards, *storeShards, *getPct, *scanPct, *scanLimit, *durable, *dist, *fsyncFlag)
 		}},
+		{"recover", func() { benchRecover(ctx, rep, *recoverKeys) }},
 	}
 	ran := false
 	var names []string
@@ -1122,4 +1139,118 @@ func benchReplicaVariant(ctx context.Context, rep *report, base harness.Config, 
 	if err := psrv.Store().CloseDurability(); err != nil {
 		fmt.Fprintf(os.Stderr, "polybench: wal close: %v\n", err)
 	}
+}
+
+// benchRecover is the checkpoint + restart-cost experiment (B12): the
+// same fill-checkpoint-churn-checkpoint-restart cycle measured under
+// the full-only checkpoint policy and the incremental default, at two
+// churn ratios. The full policy rewrites the whole keyspace on every
+// pass and replays it all on restart; the incremental one writes a
+// delta sized by the churn and restarts through base + delta — the
+// rows make both costs visible side by side.
+func benchRecover(ctx context.Context, rep *report, keys int) {
+	if keys < 1000 {
+		fmt.Fprintf(os.Stderr, "polybench: -recover-keys %d too small (need >= 1000)\n", keys)
+		os.Exit(2)
+	}
+	rep.printf("== B12: checkpoint + restart cost, %d keys ==\n", keys)
+	for _, churn := range []int{1, 10} {
+		for _, v := range []struct {
+			label    string
+			maxChain int
+		}{{"full", -1}, {"incr", 8}} {
+			if ctx.Err() != nil {
+				return
+			}
+			benchRecoverVariant(ctx, rep, keys, churn, v.maxChain, v.label)
+		}
+	}
+}
+
+func benchRecoverVariant(ctx context.Context, rep *report, keys, churnPct, maxChain int, label string) {
+	fatal := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "polybench: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	tmp, err := os.MkdirTemp("", "polybench-recover-*")
+	if err != nil {
+		fatal("wal dir: %v", err)
+	}
+	defer os.RemoveAll(tmp)
+	dur := server.Durability{Dir: tmp, Fsync: wal.ModeOff, CheckpointEvery: -1, MaxChain: maxChain}
+	st := server.NewStore(core.NewDefault())
+	if _, err := st.EnableDurability(dur); err != nil {
+		fatal("durability: %v", err)
+	}
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+	exec := func(req *wire.Request) {
+		if resp := st.Execute(req); resp.Status == wire.StatusErr {
+			fatal("%v: %s", req.Op, resp.Msg)
+		}
+	}
+
+	// Fill in TXN batches (one WAL record each), then cut the base.
+	const batch = 256
+	for lo := 0; lo < keys; lo += batch {
+		hi := lo + batch
+		if hi > keys {
+			hi = keys
+		}
+		reqs := make([]wire.Request, 0, batch)
+		for i := lo; i < hi; i++ {
+			reqs = append(reqs, wire.Request{Op: wire.OpSet, Key: key(i),
+				Val: []byte(fmt.Sprintf("val-%08d-%08x", i, i*2654435761))})
+		}
+		exec(&wire.Request{Op: wire.OpTxn, Sem: wire.SemDefault, Batch: reqs})
+	}
+	if err := st.Checkpoint(ctx); err != nil {
+		fatal("base checkpoint: %v", err)
+	}
+	chain := st.WAL().Chain()
+	baseBytes := chain.BaseBytes
+
+	// Churn, then cut the checkpoint whose cost is under measurement.
+	for i := 0; i < keys; i += 100 / churnPct {
+		exec(&wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: key(i),
+			Val: []byte("churn-" + strconv.Itoa(i))})
+	}
+	ckptStart := time.Now()
+	if err := st.Checkpoint(ctx); err != nil {
+		fatal("churn checkpoint: %v", err)
+	}
+	ckptDur := time.Since(ckptStart)
+	chain = st.WAL().Chain()
+	ckptBytes := chain.BaseBytes
+	if chain.Len() > 0 {
+		ckptBytes = chain.DeltaBytes()
+	}
+	if err := st.CloseDurability(); err != nil {
+		fatal("wal close: %v", err)
+	}
+
+	// Restart: recovery loads base (+ deltas) and replays the tail.
+	st2 := server.NewStore(core.NewDefault())
+	restartStart := time.Now()
+	if _, err := st2.EnableDurability(dur); err != nil {
+		fatal("recovery: %v", err)
+	}
+	restartSec := time.Since(restartStart).Seconds()
+	if err := st2.CloseDurability(); err != nil {
+		fatal("wal close: %v", err)
+	}
+
+	rep.printf("  %-4s churn=%2d%%  ckpt %9dB in %7.1fms (base %9dB)  restart %7.1fms\n",
+		label, churnPct, ckptBytes, float64(ckptDur.Milliseconds()), baseBytes, restartSec*1000)
+	rep.add(record{
+		Bench:       "recover",
+		Name:        fmt.Sprintf("recover-%s-churn%d", label, churnPct),
+		Workers:     1,
+		DurationSec: restartSec,
+		Ops:         uint64(keys),
+		TxnsPerSec:  float64(keys) / restartSec,
+		ChurnPct:    churnPct,
+		RestartSec:  &restartSec,
+		CkptBytes:   &ckptBytes,
+		BaseBytes:   &baseBytes,
+	})
 }

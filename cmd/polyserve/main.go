@@ -27,7 +27,11 @@
 // mutation through a group-commit batcher before acknowledging it
 // (-fsync picks the policy: always / batch / off), and checkpoints
 // the keyspace in the background every -checkpoint-every, truncating
-// the logs.
+// the logs. Checkpoints are incremental: after a full base, each pass
+// writes only the keys dirtied since the last one (a delta chained to
+// the base), compacting back to a full base once the chain reaches
+// -ckpt-max-chain deltas or -ckpt-compact-ratio of the base's bytes —
+// so steady-state checkpoint I/O tracks churn, not keyspace size.
 //
 // With -repl a durable server streams its per-shard WAL to followers
 // over SUBSCRIBE-WAL connections (-repl-sync additionally gates each
@@ -75,6 +79,8 @@ func main() {
 	walDir := flag.String("wal-dir", "", "write-ahead-log directory (empty = no durability)")
 	fsync := flag.String("fsync", "batch", "wal fsync policy: always, batch, off")
 	ckptEvery := flag.Duration("checkpoint-every", time.Minute, "background checkpoint cadence (<0 disables)")
+	ckptMaxChain := flag.Int("ckpt-max-chain", 8, "max delta checkpoints per base before compacting to a full one (<=0 = full checkpoints only)")
+	ckptRatio := flag.Float64("ckpt-compact-ratio", 0.5, "compact the chain once accumulated delta bytes exceed this fraction of the base")
 	replicate := flag.Bool("repl", false, "serve replication feeds to followers (requires -wal-dir)")
 	replSync := flag.Bool("repl-sync", false, "gate durable-write acks on a follower ack (implies -repl)")
 	follow := flag.String("follow", "", "run as a follower of this primary address (serves reads, rejects writes; SIGUSR1 promotes)")
@@ -151,18 +157,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "polyserve: %v\n", err)
 			os.Exit(2)
 		}
+		maxChain := *ckptMaxChain
+		if maxChain <= 0 {
+			maxChain = -1 // full checkpoints only
+		}
 		res, err := srv.Store().EnableDurability(server.Durability{
 			Dir:             *walDir,
 			Fsync:           mode,
 			CheckpointEvery: *ckptEvery,
+			MaxChain:        maxChain,
+			CompactRatio:    *ckptRatio,
 			Logf:            log.Printf,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "polyserve: durability: %v\n", err)
 			os.Exit(1)
 		}
-		log.Printf("polyserve: durable on %s (fsync=%s, checkpoint-every=%v) — recovered: %s",
-			*walDir, mode, *ckptEvery, res)
+		log.Printf("polyserve: durable on %s (fsync=%s, checkpoint-every=%v, ckpt-max-chain=%d, ckpt-compact-ratio=%g) — recovered: %s",
+			*walDir, mode, *ckptEvery, maxChain, *ckptRatio, res)
 	}
 
 	switch {

@@ -81,6 +81,11 @@ type Follower struct {
 	mu       sync.Mutex
 	shards   []followerShard
 	maxEpoch uint64
+	// primaryInc is the primary incarnation the last completed catch-up
+	// spoke to (from SNAP-DONE). The next HELLO echoes it so the primary
+	// can tell whether our per-shard applied seqs are comparable to its
+	// own — the gate for churn-bounded delta catch-up.
+	primaryInc uint64
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -221,6 +226,27 @@ func (f *Follower) linkOnce() (streamed bool, err error) {
 	if int(resp.N) != f.nshards {
 		return false, fmt.Errorf("repl: primary has %d shards, follower store has %d — shard counts must match", resp.N, f.nshards)
 	}
+
+	// HELLO: announce the incarnation we last caught up against and our
+	// per-shard applied positions, so the primary can choose a
+	// churn-bounded delta catch-up over a full snapshot.
+	hello := wire.ReplFrame{Kind: wire.ReplHello}
+	f.mu.Lock()
+	hello.Incarnation = f.primaryInc
+	for i := range f.shards {
+		hello.Acks = append(hello.Acks, wire.ReplAckEntry{Shard: uint64(i), Seq: f.shards[i].ackSeq})
+	}
+	f.mu.Unlock()
+	out, err := wire.AppendReplFrame(nil, &hello)
+	if err != nil {
+		return false, err
+	}
+	if _, err := bw.Write(out); err != nil {
+		return false, err
+	}
+	if err := bw.Flush(); err != nil {
+		return false, err
+	}
 	conn.SetDeadline(time.Time{})
 
 	// Fresh connection: the snapshot phase restarts on every shard.
@@ -260,9 +286,18 @@ func (f *Follower) linkOnce() (streamed bool, err error) {
 				return streamed, fmt.Errorf("repl: SNAP-DONE for shard %d of %d", shard, f.nshards)
 			}
 			f.mu.Lock()
-			// An empty shard sends no SNAP-BATCH; the clear still must
-			// happen so stale keys from a previous link don't survive.
-			if !f.shards[shard].cleared {
+			if frame.Mode == wire.ReplCatchupDelta {
+				// Delta catch-up layered churn onto this shard's surviving
+				// contents: no data clear. Apply-side 2PC state from the
+				// old link is already embodied in the shipped values, so
+				// drop it; byte accounting restarts with the new feed.
+				sh := &f.shards[shard]
+				sh.pending = nil
+				sh.decided = nil
+				sh.ackBytes = 0
+			} else if !f.shards[shard].cleared {
+				// An empty shard sends no SNAP-BATCH; the clear still must
+				// happen so stale keys from a previous link don't survive.
 				f.mu.Unlock()
 				if err := f.clearShard(shard); err != nil {
 					return streamed, err
@@ -270,6 +305,7 @@ func (f *Follower) linkOnce() (streamed bool, err error) {
 				f.mu.Lock()
 			}
 			f.shards[shard].ackSeq = frame.CoverSeq
+			f.primaryInc = frame.Incarnation
 			f.mu.Unlock()
 			snapsDone++
 			if snapsDone == f.nshards {
@@ -277,6 +313,10 @@ func (f *Follower) linkOnce() (streamed bool, err error) {
 				streamed = true
 			}
 			if ackBuf, err = f.sendAck(conn, bw, ackBuf); err != nil {
+				return streamed, err
+			}
+		case wire.ReplDeltaBatch:
+			if err := f.applyDeltaBatch(&frame, &ops); err != nil {
 				return streamed, err
 			}
 		case wire.ReplWALBatch:
@@ -338,6 +378,31 @@ func (f *Follower) applySnapBatch(frame *wire.ReplFrame, ops *[]wal.Op) error {
 	}
 	if err := f.cfg.Store.ApplyShardOps(shard, *ops); err != nil {
 		return fmt.Errorf("repl: applying snapshot batch to shard %d: %w", shard, err)
+	}
+	return nil
+}
+
+// applyDeltaBatch applies one DELTA-BATCH frame as a single atomic
+// group — SETs for changed keys, DELs for tombstones — layered on top
+// of the shard's surviving contents (delta catch-up never clears).
+func (f *Follower) applyDeltaBatch(frame *wire.ReplFrame, ops *[]wal.Op) error {
+	shard := int(frame.Shard)
+	if shard < 0 || shard >= f.nshards {
+		return fmt.Errorf("repl: DELTA-BATCH for shard %d of %d", shard, f.nshards)
+	}
+	if len(frame.Deltas) == 0 {
+		return nil
+	}
+	*ops = (*ops)[:0]
+	for _, d := range frame.Deltas {
+		if d.Del {
+			*ops = append(*ops, wal.Op{Kind: wal.OpDel, Key: string(d.Key)})
+		} else {
+			*ops = append(*ops, wal.Op{Kind: wal.OpSet, Key: string(d.Key), Val: string(d.Val)})
+		}
+	}
+	if err := f.cfg.Store.ApplyShardOps(shard, *ops); err != nil {
+		return fmt.Errorf("repl: applying delta batch to shard %d: %w", shard, err)
 	}
 	return nil
 }

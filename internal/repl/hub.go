@@ -23,6 +23,16 @@ type PrimaryStore interface {
 	// SnapshotShard streams one consistent snapshot of shard i (a
 	// single snapshot-semantics range walk) through emit.
 	SnapshotShard(ctx context.Context, shard int, emit func(k, v string) error) error
+	// Incarnation identifies one durable lifetime of the store. WAL
+	// seqs restart on every process start, so a follower's applied
+	// position is only meaningful against the incarnation that issued
+	// it — delta catch-up is gated on the match.
+	Incarnation() uint64
+	// DeltaShard streams the churn since applied (checkpoint-chain
+	// deltas plus the live dirty set) as value/tombstone pairs.
+	// ok=false means the delta path cannot prove completeness and the
+	// caller must fall back to SnapshotShard.
+	DeltaShard(ctx context.Context, shard int, applied uint64, emit func(k, v string, del bool) error) (bool, error)
 }
 
 // HubConfig parameterizes a Hub.
@@ -60,8 +70,9 @@ type Hub struct {
 	ackCh  chan struct{} // closed + replaced whenever acked advances or the feed set changes
 	closed bool
 
-	shippedRecs  atomic.Uint64
-	shippedBytes atomic.Uint64
+	shippedRecs   atomic.Uint64
+	shippedBytes  atomic.Uint64
+	deltaCatchups atomic.Uint64
 }
 
 // NewHub creates a hub over store.
@@ -236,6 +247,7 @@ func (h *Hub) Counters() []wire.Counter {
 		{Name: "repl_sync", Value: sync},
 		{Name: "repl_shipped_records", Value: h.shippedRecs.Load()},
 		{Name: "repl_shipped_bytes", Value: h.shippedBytes.Load()},
+		{Name: "repl_delta_catchups", Value: h.deltaCatchups.Load()},
 	}
 	for i, f := range feeds {
 		ackedRecs, lag := f.offsets()
@@ -379,6 +391,15 @@ func (f *feed) run() error {
 		}
 	}()
 
+	// The follower's HELLO (incarnation + per-shard applied positions)
+	// is the first frame on the wire; read it here, before the ack
+	// reader goroutine owns the read side.
+	hello, err := f.readHello()
+	if err != nil {
+		f.fail(err)
+		return f.failure()
+	}
+
 	readerDone := make(chan struct{})
 	go func() {
 		defer close(readerDone)
@@ -390,7 +411,7 @@ func (f *feed) run() error {
 		<-readerDone
 	}()
 
-	if err := f.catchUp(covers); err != nil {
+	if err := f.catchUp(covers, hello); err != nil {
 		f.fail(err)
 		return f.failure()
 	}
@@ -409,53 +430,72 @@ func (f *feed) writeFrames(frames []byte) error {
 	return f.bw.Flush()
 }
 
-// snapFlushAt bounds one SNAP-BATCH frame's payload bytes.
+// snapFlushAt bounds one SNAP-BATCH / DELTA-BATCH frame's payload bytes.
 const snapFlushAt = 256 << 10
 
-// catchUp streams each shard's snapshot followed by its SNAP-DONE
-// cover mark. Live records buffered meanwhile are shipped by tail.
-func (f *feed) catchUp(covers []uint64) error {
+// readHello reads the follower's mandatory HELLO frame.
+func (f *feed) readHello() (*wire.ReplFrame, error) {
+	f.conn.SetReadDeadline(time.Now().Add(f.h.tm.readBudget()))
+	payload, err := wire.ReadFrameBuf(f.br, nil, wire.MaxFrame)
+	if err != nil {
+		return nil, fmt.Errorf("repl: hello read: %w", err)
+	}
+	hello := new(wire.ReplFrame)
+	if err := wire.DecodeReplFrame(hello, payload); err != nil {
+		return nil, fmt.Errorf("repl: hello decode: %w", err)
+	}
+	if hello.Kind != wire.ReplHello {
+		return nil, fmt.Errorf("repl: expected HELLO from follower, got %v", hello.Kind)
+	}
+	return hello, nil
+}
+
+// catchUp brings each shard current — a churn-bounded delta stream when
+// the follower's HELLO proves a usable position within this
+// incarnation, a full snapshot otherwise — then marks it with SNAP-DONE
+// carrying the cover seq, the mode, and the primary's incarnation. Live
+// records buffered meanwhile are shipped by tail.
+func (f *feed) catchUp(covers []uint64, hello *wire.ReplFrame) error {
 	ctx := context.Background()
-	var frame wire.ReplFrame
+	inc := f.h.store.Incarnation()
+	n := f.h.store.NumShards()
+	applied := make([]uint64, n)
+	canDelta := inc != 0 && hello.Incarnation == inc
+	if canDelta {
+		for _, a := range hello.Acks {
+			if int(a.Shard) < n {
+				applied[a.Shard] = a.Seq
+			}
+		}
+	}
 	var out []byte
-	for shard := 0; shard < f.h.store.NumShards(); shard++ {
+	for shard := 0; shard < n; shard++ {
 		if err := f.failure(); err != nil {
 			return err
 		}
-		frame = wire.ReplFrame{Kind: wire.ReplSnapBatch, Shard: uint64(shard)}
-		bytes := 0
-		flush := func() error {
-			if len(frame.Pairs) == 0 {
-				return nil
+		mode := wire.ReplCatchupSnap
+		if canDelta {
+			ok, err := f.streamDelta(ctx, shard, applied[shard], &out)
+			if err != nil {
+				return fmt.Errorf("repl: delta shard %d: %w", shard, err)
 			}
-			var err error
-			if out, err = wire.AppendReplFrame(out[:0], &frame); err != nil {
+			if ok {
+				mode = wire.ReplCatchupDelta
+				f.h.deltaCatchups.Add(1)
+			}
+		}
+		if mode == wire.ReplCatchupSnap {
+			// Safe even after a partial delta emission above: the
+			// snapshot path clears the follower's shard before loading.
+			if err := f.streamSnapshot(ctx, shard, &out); err != nil {
 				return err
 			}
-			frame.Pairs = frame.Pairs[:0]
-			bytes = 0
-			return f.writeFrames(out)
 		}
-		err := f.h.store.SnapshotShard(ctx, shard, func(k, v string) error {
-			if err := f.failure(); err != nil {
-				return err
-			}
-			// Copy: the emitted strings are only valid per contract of the
-			// snapshot walk, and the frame encode happens across calls.
-			frame.Pairs = append(frame.Pairs, wire.KV{Key: []byte(k), Val: []byte(v)})
-			bytes += len(k) + len(v)
-			if bytes >= snapFlushAt {
-				return flush()
-			}
-			return nil
-		})
-		if err != nil {
-			return fmt.Errorf("repl: snapshot shard %d: %w", shard, err)
+		done := wire.ReplFrame{
+			Kind: wire.ReplSnapDone, Shard: uint64(shard),
+			CoverSeq: covers[shard], Mode: mode, Incarnation: inc,
 		}
-		if err := flush(); err != nil {
-			return err
-		}
-		done := wire.ReplFrame{Kind: wire.ReplSnapDone, Shard: uint64(shard), CoverSeq: covers[shard]}
+		var err error
 		if out, err = wire.AppendReplFrame(out[:0], &done); err != nil {
 			return err
 		}
@@ -464,6 +504,81 @@ func (f *feed) catchUp(covers []uint64) error {
 		}
 	}
 	return nil
+}
+
+// streamSnapshot ships one shard's full snapshot as SNAP-BATCH frames.
+func (f *feed) streamSnapshot(ctx context.Context, shard int, out *[]byte) error {
+	frame := wire.ReplFrame{Kind: wire.ReplSnapBatch, Shard: uint64(shard)}
+	bytes := 0
+	flush := func() error {
+		if len(frame.Pairs) == 0 {
+			return nil
+		}
+		var err error
+		if *out, err = wire.AppendReplFrame((*out)[:0], &frame); err != nil {
+			return err
+		}
+		frame.Pairs = frame.Pairs[:0]
+		bytes = 0
+		return f.writeFrames(*out)
+	}
+	err := f.h.store.SnapshotShard(ctx, shard, func(k, v string) error {
+		if err := f.failure(); err != nil {
+			return err
+		}
+		// Copy: the emitted strings are only valid per contract of the
+		// snapshot walk, and the frame encode happens across calls.
+		frame.Pairs = append(frame.Pairs, wire.KV{Key: []byte(k), Val: []byte(v)})
+		bytes += len(k) + len(v)
+		if bytes >= snapFlushAt {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("repl: snapshot shard %d: %w", shard, err)
+	}
+	return flush()
+}
+
+// streamDelta ships one shard's churn since applied as DELTA-BATCH
+// frames. ok=false means the store could not prove delta completeness
+// (frames already sent are harmless — the snapshot fallback clears the
+// shard first); a non-nil error is a dead feed.
+func (f *feed) streamDelta(ctx context.Context, shard int, applied uint64, out *[]byte) (bool, error) {
+	frame := wire.ReplFrame{Kind: wire.ReplDeltaBatch, Shard: uint64(shard)}
+	bytes := 0
+	flush := func() error {
+		if len(frame.Deltas) == 0 {
+			return nil
+		}
+		var err error
+		if *out, err = wire.AppendReplFrame((*out)[:0], &frame); err != nil {
+			return err
+		}
+		frame.Deltas = frame.Deltas[:0]
+		bytes = 0
+		return f.writeFrames(*out)
+	}
+	ok, err := f.h.store.DeltaShard(ctx, shard, applied, func(k, v string, del bool) error {
+		if err := f.failure(); err != nil {
+			return err
+		}
+		d := wire.ReplDelta{Key: []byte(k), Del: del}
+		if !del {
+			d.Val = []byte(v)
+		}
+		frame.Deltas = append(frame.Deltas, d)
+		bytes += len(k) + len(v)
+		if bytes >= snapFlushAt {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil || !ok {
+		return false, err
+	}
+	return true, flush()
 }
 
 // batchFlushAt bounds one WAL-BATCH frame's payload bytes.

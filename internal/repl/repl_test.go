@@ -56,18 +56,21 @@ func TestConnStateString(t *testing.T) {
 // SnapshotShard takes the same mutex, so a snapshot is exactly a log
 // prefix — the same invariant the real store gets from commit ordering.
 type fakePrimary struct {
-	t    *testing.T
-	logs []*wal.Log
-	mus  []sync.Mutex
-	maps []map[string]string
+	t     *testing.T
+	inc   uint64 // 0 = snapshot-only catch-up, like a non-durable store
+	logs  []*wal.Log
+	mus   []sync.Mutex
+	maps  []map[string]string
+	dirty []map[string]bool
 }
 
 func newFakePrimary(t *testing.T, shards int) *fakePrimary {
 	fp := &fakePrimary{
-		t:    t,
-		logs: make([]*wal.Log, shards),
-		mus:  make([]sync.Mutex, shards),
-		maps: make([]map[string]string, shards),
+		t:     t,
+		logs:  make([]*wal.Log, shards),
+		mus:   make([]sync.Mutex, shards),
+		maps:  make([]map[string]string, shards),
+		dirty: make([]map[string]bool, shards),
 	}
 	for i := range fp.logs {
 		l, _, err := wal.Open(t.TempDir(), wal.Options{Mode: wal.ModeOff}, nil)
@@ -76,6 +79,7 @@ func newFakePrimary(t *testing.T, shards int) *fakePrimary {
 		}
 		fp.logs[i] = l
 		fp.maps[i] = make(map[string]string)
+		fp.dirty[i] = make(map[string]bool)
 	}
 	t.Cleanup(func() {
 		for _, l := range fp.logs {
@@ -87,6 +91,7 @@ func newFakePrimary(t *testing.T, shards int) *fakePrimary {
 
 func (fp *fakePrimary) NumShards() int          { return len(fp.logs) }
 func (fp *fakePrimary) ShardWAL(i int) *wal.Log { return fp.logs[i] }
+func (fp *fakePrimary) Incarnation() uint64     { return fp.inc }
 func (fp *fakePrimary) SnapshotShard(ctx context.Context, shard int, emit func(k, v string) error) error {
 	fp.mus[shard].Lock()
 	defer fp.mus[shard].Unlock()
@@ -98,11 +103,30 @@ func (fp *fakePrimary) SnapshotShard(ctx context.Context, shard int, emit func(k
 	return nil
 }
 
+// DeltaShard emits every key ever touched at its current value or as a
+// tombstone — a conservative superset of the real store's
+// chain-plus-dirty-set walk, complete for any applied position > 0.
+func (fp *fakePrimary) DeltaShard(ctx context.Context, shard int, applied uint64, emit func(k, v string, del bool) error) (bool, error) {
+	if fp.inc == 0 || applied == 0 {
+		return false, nil
+	}
+	fp.mus[shard].Lock()
+	defer fp.mus[shard].Unlock()
+	for k := range fp.dirty[shard] {
+		v, ok := fp.maps[shard][k]
+		if err := emit(k, v, !ok); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
 // set writes one key and returns the record's WAL seq.
 func (fp *fakePrimary) set(shard int, k, v string) uint64 {
 	fp.mus[shard].Lock()
 	defer fp.mus[shard].Unlock()
 	fp.maps[shard][k] = v
+	fp.dirty[shard][k] = true
 	payload := wal.AppendOps(nil, []wal.Op{{Kind: wal.OpSet, Key: k, Val: v}})
 	seq := fp.logs[shard].Reserve(payload)
 	fp.logs[shard].Commit(seq)
@@ -116,6 +140,7 @@ func (fp *fakePrimary) del(shard int, k string) {
 	fp.mus[shard].Lock()
 	defer fp.mus[shard].Unlock()
 	delete(fp.maps[shard], k)
+	fp.dirty[shard][k] = true
 	payload := wal.AppendOps(nil, []wal.Op{{Kind: wal.OpDel, Key: k}})
 	seq := fp.logs[shard].Reserve(payload)
 	fp.logs[shard].Commit(seq)
@@ -189,6 +214,13 @@ func (ff *fakeFollower) snapshot(shard int) map[string]string {
 // the request, answer with the shard count, hand the connection to the
 // hub. It returns the listen address.
 func serveHub(t *testing.T, h *Hub, shards int) string {
+	return serveHubFn(t, func() *Hub { return h }, shards)
+}
+
+// serveHubFn is serveHub with a hub accessor, so a test can swap in a
+// fresh hub on the same address (simulating a feed drop without a
+// primary restart).
+func serveHubFn(t *testing.T, getHub func() *Hub, shards int) string {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -223,7 +255,7 @@ func serveHub(t *testing.T, h *Hub, shards int) string {
 				if err := bw.Flush(); err != nil {
 					return
 				}
-				h.ServeFeed(conn, br, bw)
+				getHub().ServeFeed(conn, br, bw)
 			}()
 		}
 	}()
@@ -435,6 +467,118 @@ func TestFollowerReconnectsAfterFeedDrop(t *testing.T) {
 	if m["fresh"] != "y" || m["a"] != "1" {
 		t.Fatalf("follower contents after re-catch-up: %v", m)
 	}
+}
+
+// TestDeltaCatchUpOnReconnect: a follower that reconnects to the same
+// primary incarnation with a usable applied position gets delta
+// catch-up — churn ships as DELTA-BATCH tombstones/values layered onto
+// its surviving state, with no shard clear — while the first, cold
+// connection still takes the snapshot path.
+func TestDeltaCatchUpOnReconnect(t *testing.T) {
+	const shards = 2
+	fp := newFakePrimary(t, shards)
+	fp.inc = 77
+	for i := 0; i < 40; i++ {
+		fp.set(i%shards, fmt.Sprintf("k%03d", i), fmt.Sprintf("v%d", i))
+	}
+
+	var hubMu sync.Mutex
+	h := NewHub(fp, HubConfig{SyncAck: true, Logf: t.Logf})
+	getHub := func() *Hub {
+		hubMu.Lock()
+		defer hubMu.Unlock()
+		return h
+	}
+	addr := serveHubFn(t, getHub, shards)
+
+	ff := newFakeFollower(shards)
+	fl, err := StartFollower(FollowerConfig{
+		Primary: addr,
+		Store:   ff,
+		Backoff: Backoff{Min: 10 * time.Millisecond, Max: 50 * time.Millisecond},
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	waitFor(t, 5*time.Second, "follower streaming", func() bool { return fl.State() == StateStreaming })
+
+	// The cold connection had no position: snapshot, not delta.
+	if got := counterValue(h, "repl_delta_catchups"); got != 0 {
+		t.Fatalf("cold catch-up used the delta path %d times", got)
+	}
+
+	// Make sure every shard's position is acked before the drop, so the
+	// reconnect HELLO carries usable (non-zero) applied seqs.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for s := 0; s < shards; s++ {
+		seq := fp.set(s, "pre-drop", "1")
+		if err := h.WaitAcked(ctx, s, seq); err != nil {
+			t.Fatalf("WaitAcked shard %d: %v", s, err)
+		}
+	}
+
+	// Swap in a fresh hub on the same address, then poison the old one:
+	// the follower's link dies and it reconnects into the new hub with
+	// its incarnation and applied positions intact.
+	h2 := NewHub(fp, HubConfig{SyncAck: true, Logf: t.Logf})
+	defer h2.Close()
+	hubMu.Lock()
+	old := h
+	h = h2
+	hubMu.Unlock()
+	old.Close()
+
+	// Churn while the follower is away: an overwrite, a new key, and a
+	// delete per shard — all must ship as deltas.
+	for s := 0; s < shards; s++ {
+		fp.set(s, fmt.Sprintf("k%03d", s), "rewritten")
+		fp.set(s, "fresh", "after-drop")
+		fp.del(s, fmt.Sprintf("k%03d", s+2*shards))
+	}
+
+	// A key the primary never wrote: a snapshot path would clear it
+	// away, the delta path must leave it untouched.
+	ff.mu.Lock()
+	ff.maps[0]["local-survivor"] = "still-here"
+	ff.mu.Unlock()
+
+	waitFor(t, 5*time.Second, "second link streaming", func() bool { return fl.State() == StateStreaming && counterValue(h2, "repl_followers") == 1 })
+	if got := counterValue(h2, "repl_delta_catchups"); got != shards {
+		t.Fatalf("repl_delta_catchups = %d, want %d", got, shards)
+	}
+	for s := 0; s < shards; s++ {
+		seq := fp.set(s, "fin", "fin")
+		if err := h2.WaitAcked(ctx, s, seq); err != nil {
+			t.Fatalf("WaitAcked shard %d: %v", s, err)
+		}
+	}
+	for s := 0; s < shards; s++ {
+		want, got := fp.snapshot(s), ff.snapshot(s)
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("shard %d key %q: follower %q, primary %q", s, k, got[k], v)
+			}
+		}
+		if _, ok := got[fmt.Sprintf("k%03d", s+2*shards)]; ok {
+			t.Fatalf("shard %d: deleted key survived delta catch-up", s)
+		}
+	}
+	if got := ff.snapshot(0)["local-survivor"]; got != "still-here" {
+		t.Fatalf("delta catch-up cleared the shard (local-survivor = %q)", got)
+	}
+}
+
+// counterValue extracts one named counter from a hub.
+func counterValue(h *Hub, name string) uint64 {
+	for _, c := range h.Counters() {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
 }
 
 // TestWaitAckedNoFollowers: sync-ack degrades to async when no follower

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"polytm/internal/core"
+	"polytm/internal/server/client"
+	"polytm/internal/wal"
+	"polytm/internal/wire"
+)
+
+// ckptCrashEnv marks the re-executed test binary as the victim process
+// of TestCheckpointChainCrash; its value is the WAL directory.
+const ckptCrashEnv = "POLYSERVE_CKPT_CRASH_DIR"
+
+// ckptCrashWindow is the churn keyspace width: every write lands on
+// slot i % window, so the store is 100% churn and every checkpoint
+// cycle exercises the delta path.
+const ckptCrashWindow = 512
+
+// ckptCrashKey formats churn slot s.
+func ckptCrashKey(s int) string { return fmt.Sprintf("churn-%04d", s) }
+
+// ckptCrashChild runs a durable polyserve tuned so the SIGKILL races
+// the incremental-checkpoint machinery: checkpoints every 5ms and a
+// chain bound of 2, so delta installs, compactions, and segment
+// cleanups are all in flight more or less continuously. The workload
+// rewrites a fixed window of slots with the sequence number, which
+// makes the exact post-crash state a pure function of the durable
+// prefix length.
+func ckptCrashChild(dir string) {
+	srv := New(Config{Shards: 1})
+	if _, err := srv.Store().EnableDurability(Durability{
+		Dir:             dir,
+		Fsync:           wal.ModeAlways,
+		CheckpointEvery: 5 * time.Millisecond,
+		MaxChain:        2,
+	}); err != nil {
+		fmt.Printf("CHILD-ERR enable durability: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("CHILD-ERR listen: %v\n", err)
+		os.Exit(1)
+	}
+	go srv.Serve(ln)
+	cl, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		fmt.Printf("CHILD-ERR dial: %v\n", err)
+		os.Exit(1)
+	}
+	for i := 1; ; i++ {
+		slot := i % ckptCrashWindow
+		if err := cl.Set([]byte(ckptCrashKey(slot)), []byte(strconv.Itoa(i))); err != nil {
+			fmt.Printf("CHILD-ERR set %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		fmt.Printf("ACK %d\n", i)
+	}
+}
+
+// TestCheckpointChainCrash is the crash-safety acceptance experiment
+// for incremental checkpoints: SIGKILL a server whose base + delta
+// chain is being cut, compacted, and cleaned on a 5ms cadence, then
+// recover the directory through that chain and demand the state of an
+// exact durable prefix — every slot holding precisely the last value
+// the prefix wrote to it, nothing stale resurrected from a dead delta,
+// nothing lost below the last acknowledgement.
+func TestCheckpointChainCrash(t *testing.T) {
+	if dir := os.Getenv(ckptCrashEnv); dir != "" {
+		ckptCrashChild(dir) // never returns
+	}
+
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=TestCheckpointChainCrash$", "-test.v")
+	cmd.Env = append(os.Environ(), ckptCrashEnv+"="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Let the workload wrap the churn window a couple of times (so real
+	// overwrites are flowing through deltas), then SIGKILL mid-stream.
+	// Acks already in the pipe still count — the client saw them.
+	const killAfter = 2*ckptCrashWindow + 100
+	lastAck := 0
+	sc := bufio.NewScanner(stdout)
+	deadline := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
+	defer deadline.Stop()
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "CHILD-ERR") {
+			t.Fatalf("crash child failed: %s", line)
+		}
+		n, ok := strings.CutPrefix(line, "ACK ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.Atoi(n)
+		if err != nil {
+			continue
+		}
+		lastAck = v
+		if v == killAfter {
+			cmd.Process.Kill() // SIGKILL: no shutdown path runs
+		}
+	}
+	cmd.Wait() // the kill makes this an error by design
+	if lastAck < killAfter {
+		t.Fatalf("child died after only %d acks (wanted >= %d)", lastAck, killAfter)
+	}
+	t.Logf("killed child after ACK %d", lastAck)
+
+	// Recover through whatever base + deltas + tail the kill left.
+	st := NewStore(core.NewDefault())
+	res, err := st.EnableDurability(Durability{Dir: dir, Fsync: wal.ModeAlways, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer st.CloseDurability()
+	t.Logf("recovery: %s", res.Shards[0])
+
+	// The recovered state must be EXACTLY prefix 1..N for some N >=
+	// lastAck: slot s holds the largest i <= N with i == s (mod W), or
+	// is absent when that i would be below 1.
+	got := scanAll(t, st)
+	n := 0
+	for k, v := range got {
+		i, err := strconv.Atoi(v)
+		if err != nil || i < 1 {
+			t.Fatalf("recovered %s = %q: not a sequence number", k, v)
+		}
+		if want := ckptCrashKey(i % ckptCrashWindow); k != want {
+			t.Fatalf("recovered %s = %q, but %d belongs to %s", k, v, i, want)
+		}
+		if i > n {
+			n = i
+		}
+	}
+	if n < lastAck {
+		t.Fatalf("recovered prefix ends at %d < %d acknowledged — durable writes lost", n, lastAck)
+	}
+	for s := 0; s < ckptCrashWindow; s++ {
+		i := n - (n-s)%ckptCrashWindow // largest i <= n, i == s (mod W)
+		if i < 1 {
+			if v, ok := got[ckptCrashKey(s)]; ok {
+				t.Fatalf("slot %d never written by prefix %d but holds %q", s, n, v)
+			}
+			continue
+		}
+		if v := got[ckptCrashKey(s)]; v != strconv.Itoa(i) {
+			t.Fatalf("slot %d = %q, want %d (prefix %d)", s, v, i, n)
+		}
+	}
+
+	// The recovered chain must be live: it accepts writes and can cut
+	// the next checkpoint on top of whatever it loaded.
+	execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault,
+		Key: []byte("post-crash"), Val: []byte("ok")})
+	if err := st.Checkpoint(context.Background()); err != nil {
+		t.Fatalf("post-recovery checkpoint: %v", err)
+	}
+}

@@ -1,0 +1,460 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"polytm/internal/core"
+	"polytm/internal/wal"
+	"polytm/internal/wire"
+)
+
+// newDurableCfg is newDurable with full control over the checkpoint
+// policy knobs (MaxChain, CompactRatio).
+func newDurableCfg(t *testing.T, d Durability) (*Store, *wal.RecoverResult) {
+	t.Helper()
+	st := NewStore(core.NewDefault())
+	res, err := st.EnableDurability(d)
+	if err != nil {
+		t.Fatalf("EnableDurability: %v", err)
+	}
+	return st, res.Shards[0]
+}
+
+// ckptKeyN formats the i-th fill key of the churn-bound workload.
+func ckptKeyN(i int) string { return fmt.Sprintf("key-%08d", i) }
+
+// fillKeys loads keys [0, n) in TXN batches (one WAL record per batch,
+// so the fill is fast even under ModeAlways).
+func fillKeys(t *testing.T, st *Store, n int, val func(i int) string) {
+	t.Helper()
+	const batch = 200
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		reqs := make([]wire.Request, 0, batch)
+		for i := lo; i < hi; i++ {
+			reqs = append(reqs, wire.Request{Op: wire.OpSet,
+				Key: []byte(ckptKeyN(i)), Val: []byte(val(i))})
+		}
+		execOK(t, st, &wire.Request{Op: wire.OpTxn, Sem: wire.SemDefault, Batch: reqs})
+	}
+}
+
+// churnKeys mutates ~pct percent of the first n keys: most are
+// overwritten, every 10th churned key is deleted instead. Returns the
+// churned key count.
+func churnKeys(t *testing.T, st *Store, n, pct int, gen string) int {
+	t.Helper()
+	stride := 100 / pct
+	count := 0
+	for i := 0; i < n; i += stride {
+		if count%10 == 9 {
+			execOK(t, st, &wire.Request{Op: wire.OpDel, Sem: wire.SemDefault,
+				Key: []byte(ckptKeyN(i))})
+		} else {
+			execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault,
+				Key: []byte(ckptKeyN(i)), Val: []byte(gen + "-" + strconv.Itoa(i))})
+		}
+		count++
+	}
+	return count
+}
+
+// TestIncrementalCheckpointChurnBound is the acceptance experiment for
+// incremental checkpoints: on a large store with 1% churn, a delta
+// checkpoint must write <= 5% of the full-checkpoint bytes, and
+// recovery through base + delta + tail must yield exactly the same
+// contents as a store that only ever wrote full checkpoints.
+//
+// The key count defaults to 100k (20k under -short) and scales to the
+// paper-sized 1M-key run with POLYSERVE_CKPT_KEYS=1000000 — the
+// churn-bound ratio only improves with scale, since the delta cost is
+// proportional to churn while the base grows with the keyspace.
+func TestIncrementalCheckpointChurnBound(t *testing.T) {
+	keys := 100_000
+	if testing.Short() {
+		keys = 20_000
+	}
+	if env := os.Getenv("POLYSERVE_CKPT_KEYS"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil || v < 1000 {
+			t.Fatalf("POLYSERVE_CKPT_KEYS=%q: need an int >= 1000", env)
+		}
+		keys = v
+	}
+	ctx := context.Background()
+	val := func(i int) string { return fmt.Sprintf("val-%08d-%08x", i, i*2654435761) }
+
+	dirInc := t.TempDir()
+	dirFull := t.TempDir()
+	inc, _ := newDurableCfg(t, Durability{Dir: dirInc, Fsync: wal.ModeOff, CheckpointEvery: -1})
+	full, _ := newDurableCfg(t, Durability{Dir: dirFull, Fsync: wal.ModeOff, CheckpointEvery: -1,
+		MaxChain: -1})
+	// Identical workload on both stores: fill, base checkpoint, 1%
+	// churn, second checkpoint (delta vs forced-full), then a tail of
+	// un-checkpointed writes.
+	for _, st := range []*Store{inc, full} {
+		fillKeys(t, st, keys, val)
+		if err := st.Checkpoint(ctx); err != nil {
+			t.Fatalf("base checkpoint: %v", err)
+		}
+	}
+	if kind := inc.WAL().LastCheckpointKind(); kind != wal.CkptFull {
+		t.Fatalf("first checkpoint kind = %v, want full", kind)
+	}
+	for _, st := range []*Store{inc, full} {
+		churnKeys(t, st, keys, 1, "churn")
+		if err := st.Checkpoint(ctx); err != nil {
+			t.Fatalf("churn checkpoint: %v", err)
+		}
+		execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault,
+			Key: []byte("tail-key"), Val: []byte("tail-val")})
+	}
+
+	// Churn bound: the second checkpoint on the incremental store must
+	// be a delta costing <= 5% of the base it chains from.
+	chain := inc.WAL().Chain()
+	if kind := inc.WAL().LastCheckpointKind(); kind != wal.CkptDelta {
+		t.Fatalf("churn checkpoint kind = %v, want delta (chain %+v)", kind, chain)
+	}
+	if chain.Len() != 1 || chain.BaseSeg == 0 {
+		t.Fatalf("chain after churn checkpoint = %+v, want base + 1 delta", chain)
+	}
+	if db, bb := chain.DeltaBytes(), chain.BaseBytes; db*20 > bb {
+		t.Fatalf("delta checkpoint = %d bytes, > 5%% of %d-byte base", db, bb)
+	} else {
+		t.Logf("%d keys, 1%% churn: base %d bytes, delta %d bytes (%.2f%%)",
+			keys, bb, db, 100*float64(db)/float64(bb))
+	}
+	if kind := full.WAL().LastCheckpointKind(); kind != wal.CkptFull {
+		t.Fatalf("MaxChain -1 store wrote a %v checkpoint", kind)
+	}
+
+	// Byte-identical recovery: reopen both directories and compare the
+	// full contents. The incremental side must really travel the
+	// base + delta + tail path.
+	want := scanAll(t, inc)
+	inc.CloseDurability()
+	full.CloseDurability()
+	inc2, resInc := newDurableCfg(t, Durability{Dir: dirInc, Fsync: wal.ModeOff, CheckpointEvery: -1})
+	full2, _ := newDurableCfg(t, Durability{Dir: dirFull, Fsync: wal.ModeOff, CheckpointEvery: -1})
+	defer inc2.CloseDurability()
+	defer full2.CloseDurability()
+	if resInc.DeltasLoaded != 1 {
+		t.Fatalf("incremental recovery loaded %d deltas, want 1 (%s)", resInc.DeltasLoaded, resInc)
+	}
+	gotInc, gotFull := scanAll(t, inc2), scanAll(t, full2)
+	if len(gotInc) != len(want) || len(gotFull) != len(want) {
+		t.Fatalf("recovered sizes: inc %d, full %d, want %d", len(gotInc), len(gotFull), len(want))
+	}
+	for k, v := range want {
+		if gotInc[k] != v {
+			t.Fatalf("incremental recovery: %s = %q, want %q", k, gotInc[k], v)
+		}
+		if gotFull[k] != v {
+			t.Fatalf("full recovery: %s = %q, want %q", k, gotFull[k], v)
+		}
+	}
+}
+
+// TestCheckpointChainCompaction: the chain-length bound folds the
+// chain back into a full base once MaxChain deltas accumulate, and the
+// compaction removes every delta file.
+func TestCheckpointChainCompaction(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	st, _ := newDurableCfg(t, Durability{Dir: dir, Fsync: wal.ModeOff, CheckpointEvery: -1,
+		MaxChain: 2, CompactRatio: 1e9})
+	defer st.CloseDurability()
+
+	fillKeys(t, st, 50, func(i int) string { return "v0" })
+	if err := st.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 2; round++ {
+		churnKeys(t, st, 50, 10, "r"+strconv.Itoa(round))
+		if err := st.Checkpoint(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if kind := st.WAL().LastCheckpointKind(); kind != wal.CkptDelta {
+			t.Fatalf("round %d kind = %v, want delta", round, kind)
+		}
+		if chain := st.WAL().Chain(); chain.Len() != round {
+			t.Fatalf("round %d chain len = %d, want %d", round, chain.Len(), round)
+		}
+	}
+	// Chain is at MaxChain: the next checkpoint must compact to a full
+	// base even though more churn arrived.
+	churnKeys(t, st, 50, 10, "r3")
+	if err := st.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if kind := st.WAL().LastCheckpointKind(); kind != wal.CkptFull {
+		t.Fatalf("compaction kind = %v, want full", kind)
+	}
+	if chain := st.WAL().Chain(); chain.Len() != 0 {
+		t.Fatalf("chain after compaction = %+v, want empty", chain)
+	}
+	if left, err := filepath.Glob(filepath.Join(dir, "delta-*.ckpt")); err != nil || len(left) != 0 {
+		t.Fatalf("delta files after compaction: %v (err %v)", left, err)
+	}
+}
+
+// TestCheckpointRatioCompaction: the byte-ratio bound compacts as soon
+// as accumulated delta bytes cross CompactRatio x base bytes.
+func TestCheckpointRatioCompaction(t *testing.T) {
+	ctx := context.Background()
+	st, _ := newDurableCfg(t, Durability{Dir: t.TempDir(), Fsync: wal.ModeOff, CheckpointEvery: -1,
+		MaxChain: 100, CompactRatio: 1e-12})
+	defer st.CloseDurability()
+
+	fillKeys(t, st, 50, func(i int) string { return "v0" })
+	if err := st.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// First post-base checkpoint: zero accumulated delta bytes, so even
+	// a microscopic ratio admits one delta.
+	churnKeys(t, st, 50, 10, "r1")
+	if err := st.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if kind := st.WAL().LastCheckpointKind(); kind != wal.CkptDelta {
+		t.Fatalf("first churn kind = %v, want delta", kind)
+	}
+	// Second: the chain now carries bytes >= ratio x base, so compact.
+	churnKeys(t, st, 50, 10, "r2")
+	if err := st.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if kind := st.WAL().LastCheckpointKind(); kind != wal.CkptFull {
+		t.Fatalf("ratio-bound kind = %v, want full", kind)
+	}
+}
+
+// TestCheckpointIdleSkip: a checkpoint pass over an unchanged store
+// writes nothing — unless a chain is standing, in which case one final
+// compaction folds it down and THEN the store goes quiet.
+func TestCheckpointIdleSkip(t *testing.T) {
+	ctx := context.Background()
+	st, _ := newDurableCfg(t, Durability{Dir: t.TempDir(), Fsync: wal.ModeOff, CheckpointEvery: -1})
+	defer st.CloseDurability()
+
+	fillKeys(t, st, 20, func(i int) string { return "v0" })
+	if err := st.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, ckptsAfterBase := st.WAL().Stats()
+	segAfterBase := st.WAL().Segment()
+
+	// Nothing dirty, no chain: the pass is a no-op.
+	if err := st.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, n := st.WAL().Stats(); n != ckptsAfterBase {
+		t.Fatalf("idle checkpoint ran: %d -> %d", ckptsAfterBase, n)
+	}
+	if seg := st.WAL().Segment(); seg != segAfterBase {
+		t.Fatalf("idle checkpoint rotated: seg %d -> %d", segAfterBase, seg)
+	}
+
+	// Leave a chain standing, then go idle: the next pass compacts the
+	// chain into a base (restart cost folds to one file), and only the
+	// pass after that is the true no-op.
+	churnKeys(t, st, 20, 10, "r1")
+	if err := st.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if kind := st.WAL().LastCheckpointKind(); kind != wal.CkptDelta {
+		t.Fatalf("churn kind = %v, want delta", kind)
+	}
+	if err := st.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if kind := st.WAL().LastCheckpointKind(); kind != wal.CkptFull {
+		t.Fatalf("idle-with-chain kind = %v, want full compaction", kind)
+	}
+	if chain := st.WAL().Chain(); chain.Len() != 0 {
+		t.Fatalf("chain after idle compaction = %+v", chain)
+	}
+	_, _, _, ckptsQuiet := st.WAL().Stats()
+	if err := st.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, n := st.WAL().Stats(); n != ckptsQuiet {
+		t.Fatalf("post-compaction idle checkpoint ran")
+	}
+}
+
+// TestFlushForcesFullCheckpoint: FLUSH empties whole shards without
+// naming keys, so it cannot ride a delta — the next checkpoint must be
+// a full base, and until it lands the delta catch-up path must refuse.
+func TestFlushForcesFullCheckpoint(t *testing.T) {
+	ctx := context.Background()
+	st, _ := newDurableCfg(t, Durability{Dir: t.TempDir(), Fsync: wal.ModeOff, CheckpointEvery: -1})
+	defer st.CloseDurability()
+
+	fillKeys(t, st, 20, func(i int) string { return "v0" })
+	if err := st.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	applied := st.WAL().Chain().BaseCover
+
+	execOK(t, st, &wire.Request{Op: wire.OpFlush, Sem: wire.SemDefault})
+	execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault,
+		Key: []byte("post-flush"), Val: []byte("1")})
+
+	// Delta catch-up cannot express "the shard was emptied": refuse.
+	ok, err := st.DeltaShard(ctx, 0, applied, func(k, v string, del bool) error { return nil })
+	if err != nil || ok {
+		t.Fatalf("DeltaShard with flush pending = %v, %v, want false, nil", ok, err)
+	}
+
+	if err := st.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if kind := st.WAL().LastCheckpointKind(); kind != wal.CkptFull {
+		t.Fatalf("post-flush kind = %v, want full", kind)
+	}
+	st.CloseDurability()
+
+	st2, _ := newDurableCfg(t, Durability{Dir: st.shards[0].wal.Dir(), Fsync: wal.ModeOff, CheckpointEvery: -1})
+	defer st2.CloseDurability()
+	if got := scanAll(t, st2); len(got) != 1 || got["post-flush"] != "1" {
+		t.Fatalf("recovered after flush = %v, want only post-flush", got)
+	}
+}
+
+// TestCheckpointChainStats: the chain gauges are visible through the
+// wire STATS op and track the chain through delta and compaction.
+func TestCheckpointChainStats(t *testing.T) {
+	ctx := context.Background()
+	st, _ := newDurableCfg(t, Durability{Dir: t.TempDir(), Fsync: wal.ModeOff, CheckpointEvery: -1})
+	defer st.CloseDurability()
+
+	stats := func() map[string]uint64 {
+		resp := execOK(t, st, &wire.Request{Op: wire.OpStats, Sem: wire.SemDefault})
+		out := map[string]uint64{}
+		for _, c := range resp.Counters {
+			out[c.Name] = c.Value
+		}
+		return out
+	}
+
+	got := stats()
+	if got["ckpt_last_kind"] != uint64(wal.CkptNone) || got["ckpt_base_bytes"] != 0 {
+		t.Fatalf("fresh store chain stats: %v", got)
+	}
+
+	fillKeys(t, st, 30, func(i int) string { return "v0" })
+	if err := st.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got = stats()
+	if got["ckpt_last_kind"] != uint64(wal.CkptFull) || got["ckpt_base_bytes"] == 0 ||
+		got["ckpt_chain_len"] != 0 || got["ckpt_delta_bytes"] != 0 {
+		t.Fatalf("after base: %v", got)
+	}
+
+	churnKeys(t, st, 30, 10, "r1")
+	if err := st.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got = stats()
+	if got["ckpt_last_kind"] != uint64(wal.CkptDelta) || got["ckpt_chain_len"] != 1 ||
+		got["ckpt_delta_bytes"] == 0 {
+		t.Fatalf("after delta: %v", got)
+	}
+	if got["ckpt_delta_bytes"] >= got["ckpt_base_bytes"] {
+		t.Fatalf("delta bytes %d not churn-bounded vs base %d",
+			got["ckpt_delta_bytes"], got["ckpt_base_bytes"])
+	}
+}
+
+// TestDeltaShardGating walks every refusal edge of the delta catch-up
+// contract, then the success path's exact emitted set.
+func TestDeltaShardGating(t *testing.T) {
+	ctx := context.Background()
+	sink := func(k, v string, del bool) error { return nil }
+
+	// A non-durable store has no chain and no incarnation: refuse.
+	plain := NewStore(core.NewDefault())
+	if ok, err := plain.DeltaShard(ctx, 0, 99, sink); ok || err != nil {
+		t.Fatalf("non-durable DeltaShard = %v, %v", ok, err)
+	}
+	if plain.Incarnation() != 0 {
+		t.Fatalf("non-durable incarnation = %d, want 0", plain.Incarnation())
+	}
+
+	st, _ := newDurableCfg(t, Durability{Dir: t.TempDir(), Fsync: wal.ModeOff, CheckpointEvery: -1})
+	defer st.CloseDurability()
+	if st.Incarnation() == 0 {
+		t.Fatal("durable store must mint a nonzero incarnation")
+	}
+	if ok, err := st.DeltaShard(ctx, -1, 0, sink); ok || err == nil {
+		t.Fatalf("out-of-range shard = %v, %v, want error", ok, err)
+	}
+
+	// No base checkpoint yet: refuse.
+	fillKeys(t, st, 20, func(i int) string { return "v0" })
+	if ok, err := st.DeltaShard(ctx, 0, 999, sink); ok || err != nil {
+		t.Fatalf("no-base DeltaShard = %v, %v", ok, err)
+	}
+	if err := st.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	base := st.WAL().Chain().BaseCover
+	if base == 0 {
+		t.Fatal("base cover = 0 after a live checkpoint")
+	}
+
+	// A follower whose applied position predates the base may have
+	// changes buried in the base itself: refuse.
+	if ok, err := st.DeltaShard(ctx, 0, base-1, sink); ok || err != nil {
+		t.Fatalf("stale-applied DeltaShard = %v, %v", ok, err)
+	}
+
+	// Caught-up follower + live churn: the delta set is exactly the
+	// dirty keys at their current values, deletes as tombstones.
+	execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault,
+		Key: []byte(ckptKeyN(0)), Val: []byte("rewritten")})
+	execOK(t, st, &wire.Request{Op: wire.OpDel, Sem: wire.SemDefault,
+		Key: []byte(ckptKeyN(1))})
+	type ent struct {
+		v   string
+		del bool
+	}
+	got := map[string]ent{}
+	ok, err := st.DeltaShard(ctx, 0, base, func(k, v string, del bool) error {
+		got[k] = ent{v, del}
+		return nil
+	})
+	if !ok || err != nil {
+		t.Fatalf("caught-up DeltaShard = %v, %v", ok, err)
+	}
+	want := map[string]ent{
+		ckptKeyN(0): {"rewritten", false},
+		ckptKeyN(1): {"", true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("delta set = %v, want %v", got, want)
+	}
+	for k, e := range want {
+		if got[k] != e {
+			t.Fatalf("delta[%s] = %+v, want %+v", k, got[k], e)
+		}
+	}
+
+	// Emit errors surface to the caller (the feed must fail, not fall
+	// back, when the connection itself is the problem).
+	bang := fmt.Errorf("conn reset")
+	if ok, err := st.DeltaShard(ctx, 0, base, func(k, v string, del bool) error { return bang }); ok || err != bang {
+		t.Fatalf("emit-error DeltaShard = %v, %v, want false, %v", ok, err, bang)
+	}
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"sync"
+
+	"polytm/internal/wal"
+)
+
+// dirtySet tracks the keys a shard has mutated since its last
+// checkpoint cut — the working set an incremental (delta) checkpoint
+// serializes instead of the whole keyspace, which is what bounds
+// checkpoint I/O by churn rather than keyspace size.
+//
+// Marking is eager: the walCapture marks keys while the transaction
+// body builds its record, before commit is certain. A body that errors
+// out after marking leaves spurious entries behind, which is safe —
+// the delta writes the key's CURRENT committed value (or a tombstone),
+// so an unchanged key costs bytes but never correctness. Irrevocable
+// bodies (every durable mutation) cannot abort after reserving anyway,
+// so spurious marks are limited to pre-reserve error returns.
+//
+// A FLUSH (ClearTx) cannot be expressed in the delta vocabulary — it
+// would need a tombstone per previously-live key, which nobody tracks —
+// so it raises the flushed flag instead, forcing the next checkpoint to
+// be a full base. REBUILD leaves contents untouched and marks nothing.
+type dirtySet struct {
+	mu      sync.Mutex
+	keys    map[string]struct{}
+	flushed bool
+}
+
+// mark records one mutated key. The []byte converts to string only on
+// first insertion (the map lookup itself does not allocate).
+func (d *dirtySet) mark(key []byte) {
+	d.mu.Lock()
+	if d.keys == nil {
+		d.keys = make(map[string]struct{})
+	}
+	d.keys[string(key)] = struct{}{}
+	d.mu.Unlock()
+}
+
+// markString is mark for keys already held as strings.
+func (d *dirtySet) markString(key string) {
+	d.mu.Lock()
+	if d.keys == nil {
+		d.keys = make(map[string]struct{})
+	}
+	d.keys[key] = struct{}{}
+	d.mu.Unlock()
+}
+
+// markFlush records a whole-keyspace clear: the next checkpoint must be
+// a full base.
+func (d *dirtySet) markFlush() {
+	d.mu.Lock()
+	d.flushed = true
+	d.mu.Unlock()
+}
+
+// markOps records a recovered/re-logged operation group — the WAL
+// replay tail and resolved in-doubt prepares feed the dirty set through
+// it, so keys that changed past the checkpoint chain land in the next
+// delta.
+func (d *dirtySet) markOps(ops []wal.Op) {
+	d.mu.Lock()
+	for _, op := range ops {
+		switch op.Kind {
+		case wal.OpSet, wal.OpDel:
+			if d.keys == nil {
+				d.keys = make(map[string]struct{})
+			}
+			d.keys[op.Key] = struct{}{}
+		case wal.OpFlush:
+			d.flushed = true
+		}
+	}
+	d.mu.Unlock()
+}
+
+// peek reports the current size and flush flag without consuming them.
+func (d *dirtySet) peek() (n int, flushed bool) {
+	d.mu.Lock()
+	n, flushed = len(d.keys), d.flushed
+	d.mu.Unlock()
+	return n, flushed
+}
+
+// snapshotKeys copies the current key set without consuming it —
+// replication delta catch-up reads the set but must leave it intact
+// for the next checkpoint cut.
+func (d *dirtySet) snapshotKeys() (keys []string, flushed bool) {
+	d.mu.Lock()
+	keys = make([]string, 0, len(d.keys))
+	for k := range d.keys {
+		keys = append(keys, k)
+	}
+	flushed = d.flushed
+	d.mu.Unlock()
+	return keys, flushed
+}
+
+// take consumes and returns the accumulated set. The checkpointer calls
+// it inside the empty irrevocable rotation transaction, so the cut is
+// the same commit-order boundary the rotation seals.
+func (d *dirtySet) take() (keys map[string]struct{}, flushed bool) {
+	d.mu.Lock()
+	keys, flushed = d.keys, d.flushed
+	d.keys, d.flushed = nil, false
+	d.mu.Unlock()
+	return keys, flushed
+}
+
+// restore merges a taken set back after a failed checkpoint write:
+// losing taken keys would carve them out of every future delta.
+func (d *dirtySet) restore(keys map[string]struct{}, flushed bool) {
+	d.mu.Lock()
+	if d.keys == nil {
+		d.keys = keys
+	} else {
+		for k := range keys {
+			d.keys[k] = struct{}{}
+		}
+	}
+	d.flushed = d.flushed || flushed
+	d.mu.Unlock()
+}

@@ -38,6 +38,17 @@ type Durability struct {
 	// CheckpointEvery is the background checkpoint cadence
 	// (0 = 1 minute; negative disables background checkpoints).
 	CheckpointEvery time.Duration
+	// MaxChain bounds each shard's delta-checkpoint chain length: a
+	// checkpoint that would become the MaxChain+1'th delta writes a full
+	// base instead (compaction). 0 picks the default (8); negative
+	// disables incremental checkpoints entirely — every checkpoint is a
+	// full base, the pre-chain behaviour.
+	MaxChain int
+	// CompactRatio bounds each chain's delta-bytes/base-bytes ratio:
+	// once the chain's accumulated delta bytes reach CompactRatio × the
+	// base's bytes, the next checkpoint compacts into a full base.
+	// 0 picks the default (0.5).
+	CompactRatio float64
 	// Logf, when non-nil, receives recovery/checkpoint diagnostics.
 	Logf func(format string, args ...any)
 
@@ -179,6 +190,7 @@ func syncDirBestEffort(dir string) {
 type walCapture struct {
 	log      *wal.Log
 	next     stm.Observer // the engine-wide observer, still owed its events
+	dirty    *dirtySet    // the shard's since-last-checkpoint key tracker
 	buf      []byte
 	seq      uint64 // last reserved position (meaningful while logged)
 	reserved bool   // reservation outstanding, awaiting OnCommit/OnAbort
@@ -212,6 +224,7 @@ func (c *walCapture) set(key, val []byte) {
 		return
 	}
 	c.buf = wal.AppendSet(c.buf, key, val)
+	c.dirty.mark(key)
 }
 
 func (c *walCapture) del(key []byte) {
@@ -219,6 +232,7 @@ func (c *walCapture) del(key []byte) {
 		return
 	}
 	c.buf = wal.AppendDel(c.buf, key)
+	c.dirty.mark(key)
 }
 
 func (c *walCapture) flush() {
@@ -226,6 +240,7 @@ func (c *walCapture) flush() {
 		return
 	}
 	c.buf = wal.AppendFlush(c.buf)
+	c.dirty.markFlush()
 }
 
 func (c *walCapture) rebuild() {
@@ -247,6 +262,7 @@ func (c *walCapture) appendOp(kind wal.OpKind, key, val []byte) {
 	case wal.OpDel:
 		c.buf = wal.AppendDel(c.buf, key)
 	}
+	c.dirty.mark(key)
 }
 
 // reserve queues the built record (if any) at the log's next position.
@@ -363,7 +379,13 @@ func (s *Store) EnableDurability(d Durability) (*RecoverSummary, error) {
 		go func(i int) {
 			defer wg.Done()
 			sh := s.shards[i]
-			logs[i], results[i], errs[i] = wal.Open(shardWALDir(d.Dir, i, n), opts, func(ops []wal.Op) error {
+			// Replayed tail records seed the dirty set: those keys changed
+			// past the checkpoint chain's head, so the first delta cut
+			// after a restart must carry them (chain loads do not mark —
+			// the chain already covers them).
+			shOpts := opts
+			shOpts.OnReplayOps = func(ops []wal.Op) { sh.dirty.markOps(ops) }
+			logs[i], results[i], errs[i] = wal.Open(shardWALDir(d.Dir, i, n), shOpts, func(ops []wal.Op) error {
 				return s.applyOps(sh, ops)
 			})
 		}(i)
@@ -420,6 +442,7 @@ func (s *Store) EnableDurability(d Durability) (*RecoverSummary, error) {
 				closeAll()
 				return nil, fmt.Errorf("server: shard %d: re-logging in-doubt prepare epoch=%d: %w", i, pp.Epoch, err)
 			}
+			s.shards[i].dirty.markOps(pp.Ops)
 			sum.Committed++
 			if d.Logf != nil {
 				d.Logf("polyserve: shard %d: in-doubt prepare epoch=%d committed (decision found on shard %d)", i, pp.Epoch, pp.Coord)
@@ -443,11 +466,26 @@ func (s *Store) EnableDurability(d Durability) (*RecoverSummary, error) {
 	s.epoch.Store(maxEpoch)
 
 	s.logf = d.Logf
+	// Resolve the chain policy and stamp this process's incarnation: WAL
+	// seqs are per-process, so a follower's applied position is only
+	// comparable to a chain's cover points within one primary lifetime —
+	// the incarnation is how both sides know they are talking about the
+	// same seq space (see Store.DeltaShard).
+	s.ckptMaxChain = d.MaxChain
+	if s.ckptMaxChain == 0 {
+		s.ckptMaxChain = 8
+	}
+	s.ckptRatio = d.CompactRatio
+	if s.ckptRatio == 0 {
+		s.ckptRatio = 0.5
+	}
+	s.incarnation = uint64(time.Now().UnixNano())
 	for i, sh := range s.shards {
 		sh.wal = logs[i]
 		l := logs[i]
+		dirty := &sh.dirty
 		engObs := sh.tm.Engine().Observer()
-		sh.caps.New = func() any { return &walCapture{log: l, next: engObs} }
+		sh.caps.New = func() any { return &walCapture{log: l, next: engObs, dirty: dirty} }
 	}
 	every := d.CheckpointEvery
 	if every == 0 {
@@ -569,27 +607,126 @@ func (s *Store) Checkpoint(ctx context.Context) error {
 	return nil
 }
 
+// checkpointShard cuts one checkpoint for sh: a delta of the keys
+// dirtied since the last cut when the chain policy allows, a full base
+// otherwise (first checkpoint, flush pending, incremental disabled, or
+// the chain hit its length/ratio compaction threshold). Compaction IS
+// the full-base path — the chain merges into the fresh base through the
+// same tmp+rename install as ever, so writers never block longer than
+// the empty irrevocable rotation window either way.
 func (s *Store) checkpointShard(ctx context.Context, sh *shard) error {
-	var seg uint64
+	// One cut at a time per shard: the policy decision, the dirty-set
+	// take, and the file that records them must pair up.
+	sh.ckptMu.Lock()
+	defer sh.ckptMu.Unlock()
+
+	chain := sh.wal.Chain()
+	nDirty, flushPending := sh.dirty.peek()
+	if chain.BaseSeg != 0 && nDirty == 0 && !flushPending && chain.Len() == 0 {
+		// Idle with a lone base: rewriting the same state buys nothing.
+		// (Idle with a chain falls through to the full path below — one
+		// compaction folds the chain away, then this skip takes over.)
+		return nil
+	}
+	full := chain.BaseSeg == 0 || flushPending || s.ckptMaxChain < 0 ||
+		chain.Len() >= s.ckptMaxChain ||
+		float64(chain.DeltaBytes()) >= s.ckptRatio*float64(chain.BaseBytes) ||
+		(nDirty == 0 && chain.Len() > 0)
+
+	var seg, cover uint64
+	var taken map[string]struct{}
+	var takenFlush bool
 	err := sh.tm.AtomicCtx(ctx, func(tx *core.Tx) error {
 		var rerr error
-		seg, rerr = sh.wal.Rotate()
-		return rerr
+		seg, cover, rerr = sh.wal.Rotate()
+		if rerr != nil {
+			return rerr
+		}
+		// Cut the dirty set at the same commit-order boundary the
+		// rotation seals: the irrevocable token blocks every durable
+		// mutation here, so the taken set is exactly the keys changed
+		// between the previous cut and this one. (Taken inside the
+		// transaction — a take after token release would race mutations
+		// that land in the sealed history but mark after the take.)
+		taken, takenFlush = sh.dirty.take()
+		if takenFlush {
+			full = true
+		}
+		return nil
 	}, core.WithSemantics(core.Irrevocable), core.WithLabel("wal-rotate"))
 	if err != nil {
 		return err
 	}
-	return sh.wal.WriteCheckpoint(seg, func(emit func(k, v string) error) error {
-		return sh.m.SnapshotAllCtx(ctx, func(k, v string) error {
-			// Per-pair cancellation point: a snapshot transaction's body
-			// is not interrupted by its context mid-walk, so a multi-GB
-			// checkpoint racing a shutdown checks here instead.
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			return emit(k, v)
+
+	if !full {
+		err = sh.wal.WriteDeltaCheckpoint(seg, cover, func(emit func(k, v string, del bool) error) error {
+			return s.emitDirty(ctx, sh, taken, emit)
 		})
-	})
+	} else {
+		err = sh.wal.WriteCheckpoint(seg, cover, func(emit func(k, v string) error) error {
+			return sh.m.SnapshotAllCtx(ctx, func(k, v string) error {
+				// Per-pair cancellation point: a snapshot transaction's body
+				// is not interrupted by its context mid-walk, so a multi-GB
+				// checkpoint racing a shutdown checks here instead.
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				return emit(k, v)
+			})
+		})
+	}
+	if err != nil {
+		// The cut keys never made it into a chain element: put them back,
+		// or every future delta would silently omit them.
+		sh.dirty.restore(taken, takenFlush)
+		return err
+	}
+	return nil
+}
+
+// emitDirty streams the current committed value — or a tombstone — of
+// every taken dirty key, in snapshot-read batches (one transaction per
+// batch: a single snapshot held across a large dirty set would pin the
+// multi-version window for its whole walk). Batches may observe
+// different states; that is sound because any post-cut change to an
+// emitted key also lives in segments >= the delta's own, and tail
+// replay applies AFTER the chain — last writer wins.
+func (s *Store) emitDirty(ctx context.Context, sh *shard, taken map[string]struct{}, emit func(k, v string, del bool) error) error {
+	keys := make([]string, 0, len(taken))
+	for k := range taken {
+		keys = append(keys, k)
+	}
+	return s.emitKeys(ctx, sh, keys, emit)
+}
+
+// emitKeys is emitDirty's body over an already-flattened key list —
+// shared with replication delta catch-up (DeltaShard), which snapshots
+// the dirty set without consuming it.
+func (s *Store) emitKeys(ctx context.Context, sh *shard, keys []string, emit func(k, v string, del bool) error) error {
+	const batch = 256
+	for start := 0; start < len(keys); start += batch {
+		end := start + batch
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[start:end]
+		err := sh.tm.AtomicAsCtx(ctx, core.Snapshot, func(tx *core.Tx) error {
+			for _, k := range chunk {
+				v, ok, err := sh.m.GetTx(tx, k)
+				if err != nil {
+					return err
+				}
+				if err := emit(k, v, !ok); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // applyOps replays one recovered record — one atomic operation group —

@@ -135,6 +135,90 @@ func (s *Store) SnapshotShard(ctx context.Context, i int, emit func(k, v string)
 	})
 }
 
+// Incarnation returns the durable store's process incarnation — the
+// scope within which this lifetime's WAL seqs are comparable (0 when
+// not durable). Seqs restart at 1 in every process, so a follower's
+// applied position only means something to a primary whose incarnation
+// minted it; the hub gates delta catch-up on a match.
+func (s *Store) Incarnation() uint64 { return s.incarnation }
+
+// errDeltaEmit tags an error raised by DeltaShard's emit callback (the
+// feed connection) apart from chain-file read errors, which merely
+// demote the catch-up to a full snapshot.
+type errDeltaEmit struct{ err error }
+
+func (e *errDeltaEmit) Error() string { return e.err.Error() }
+
+// DeltaShard streams the churn-bounded catch-up set of shard i for a
+// follower whose applied position within the CURRENT incarnation is
+// applied (repl.PrimaryStore): every checkpoint-chain delta with a
+// cover point past applied, then the live dirty set at its current
+// committed values — each key a value or a tombstone, last writer wins
+// on the follower. Completeness: a change at seq q > applied is either
+// in the delta covering (parent, cover] with cover >= q, or — past the
+// newest cut — still in the dirty set; requiring applied >= the base's
+// cover guarantees no needed change is buried in the base itself (a
+// compaction since the follower disconnected raises the base cover
+// above applied and correctly forces the snapshot path).
+//
+// ok=false (with nil error) means the delta path cannot prove
+// completeness — no base, a flush pending (not expressible per-key), a
+// stale applied position, or a chain file lost to a racing compaction —
+// and the caller must fall back to a full snapshot. That fallback is
+// safe even after partial delta emission: the snapshot path clears the
+// follower's shard before loading.
+func (s *Store) DeltaShard(ctx context.Context, i int, applied uint64, emit func(k, v string, del bool) error) (bool, error) {
+	if i < 0 || i >= len(s.shards) {
+		return false, fmt.Errorf("server: delta of shard %d of %d", i, len(s.shards))
+	}
+	if !s.durable() {
+		return false, nil
+	}
+	sh := s.shards[i]
+	// Freeze the chain/dirty pair under the checkpoint lock: a cut
+	// between reading the chain and copying the dirty set would move
+	// keys into a delta this read already missed. Keys mutated after
+	// the copy need no delta — the feed's taps are attached before
+	// catch-up starts, so their records ship in the live tail.
+	sh.ckptMu.Lock()
+	chain := sh.wal.Chain()
+	dirtyKeys, flushPending := sh.dirty.snapshotKeys()
+	sh.ckptMu.Unlock()
+	if chain.BaseSeg == 0 || flushPending || applied < chain.BaseCover {
+		return false, nil
+	}
+	for _, d := range chain.Deltas {
+		if d.Cover <= applied {
+			// Already applied on the follower — including recovered
+			// deltas (cover 0), whose content predates this incarnation
+			// and was covered by the follower's original snapshot.
+			continue
+		}
+		err := wal.ReadDelta(sh.wal.DeltaPath(d.Seg), func(k, v string, del bool) error {
+			if err := ctx.Err(); err != nil {
+				return &errDeltaEmit{err}
+			}
+			if err := emit(k, v, del); err != nil {
+				return &errDeltaEmit{err}
+			}
+			return nil
+		})
+		if err != nil {
+			var ee *errDeltaEmit
+			if errors.As(err, &ee) {
+				return false, ee.err
+			}
+			// The chain moved under us (a compaction removed the file) or
+			// the file failed validation: the snapshot path is the answer.
+			return false, nil
+		}
+	}
+	if err := s.emitKeys(ctx, sh, dirtyKeys, emit); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
 // ApplyShardOps applies one replicated operation group to shard i as a
 // single atomic transaction (repl.FollowerStore). It bypasses the
 // follower write gate — replication is the one legitimate writer on a

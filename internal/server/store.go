@@ -84,6 +84,12 @@ type shard struct {
 	wal  *wal.Log
 	caps sync.Pool // *walCapture, created by EnableDurability
 
+	// dirty tracks the keys mutated since the last checkpoint cut — the
+	// incremental checkpointer's working set; ckptMu serializes cuts so
+	// one policy decision pairs with one installed file.
+	dirty  dirtySet
+	ckptMu sync.Mutex
+
 	// replWait, when set (sync-ack replication), gates a durable
 	// mutation's acknowledgement on a follower ack covering its record.
 	replWait atomic.Pointer[func(ctx context.Context, seq uint64) error]
@@ -168,6 +174,13 @@ type Store struct {
 	logf     func(format string, args ...any) // diagnostics sink (durable stores)
 	ckptStop chan struct{}
 	ckptDone chan struct{}
+
+	// Incremental-checkpoint policy (EnableDurability resolves the
+	// defaults) and the process incarnation scoping this lifetime's WAL
+	// seqs for replication delta catch-up (see DeltaShard).
+	ckptMaxChain int
+	ckptRatio    float64
+	incarnation  uint64
 }
 
 // NewStore creates an empty single-shard store on tm.
@@ -677,12 +690,19 @@ func (s *Store) stats(resp *wire.Response) {
 	}
 	if s.durable() {
 		var bytes, records, fsyncs, checkpoints uint64
+		var chainLen, deltaBytes, baseBytes uint64
 		for _, sh := range s.shards {
 			b, r, f, c := sh.wal.Stats()
 			bytes += b
 			records += r
 			fsyncs += f
 			checkpoints += c
+			ch := sh.wal.Chain()
+			if n := uint64(ch.Len()); n > chainLen {
+				chainLen = n // the longest chain bounds restart work
+			}
+			deltaBytes += ch.DeltaBytes()
+			baseBytes += ch.BaseBytes
 		}
 		cs = append(cs,
 			wire.Counter{Name: "wal_bytes", Value: bytes},
@@ -690,6 +710,10 @@ func (s *Store) stats(resp *wire.Response) {
 			wire.Counter{Name: "wal_fsyncs", Value: fsyncs},
 			wire.Counter{Name: "wal_checkpoints", Value: checkpoints},
 			wire.Counter{Name: "wal_segment", Value: s.shards[0].wal.Segment()},
+			wire.Counter{Name: "ckpt_chain_len", Value: chainLen},
+			wire.Counter{Name: "ckpt_delta_bytes", Value: deltaBytes},
+			wire.Counter{Name: "ckpt_base_bytes", Value: baseBytes},
+			wire.Counter{Name: "ckpt_last_kind", Value: uint64(s.shards[0].wal.LastCheckpointKind())},
 		)
 	}
 	if len(s.shards) > 1 {
@@ -702,10 +726,15 @@ func (s *Store) stats(resp *wire.Response) {
 			cs = append(cs, wire.Counter{Name: fmt.Sprintf("shard%d.ops", sh.idx), Value: sh.routed.Load()})
 			if sh.wal != nil {
 				b, r, f, _ := sh.wal.Stats()
+				ch := sh.wal.Chain()
 				cs = append(cs,
 					wire.Counter{Name: fmt.Sprintf("shard%d.wal_bytes", sh.idx), Value: b},
 					wire.Counter{Name: fmt.Sprintf("shard%d.wal_records", sh.idx), Value: r},
 					wire.Counter{Name: fmt.Sprintf("shard%d.wal_fsyncs", sh.idx), Value: f},
+					wire.Counter{Name: fmt.Sprintf("shard%d.ckpt_chain_len", sh.idx), Value: uint64(ch.Len())},
+					wire.Counter{Name: fmt.Sprintf("shard%d.ckpt_delta_bytes", sh.idx), Value: ch.DeltaBytes()},
+					wire.Counter{Name: fmt.Sprintf("shard%d.ckpt_base_bytes", sh.idx), Value: ch.BaseBytes},
+					wire.Counter{Name: fmt.Sprintf("shard%d.ckpt_last_kind", sh.idx), Value: uint64(sh.wal.LastCheckpointKind())},
 				)
 			}
 		}

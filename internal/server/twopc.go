@@ -246,6 +246,9 @@ func (s *Store) txnCross(ctx context.Context, batch []wire.Request, resp *wire.R
 					case wal.OpDel:
 						rec = wal.AppendDel(rec, key)
 					}
+					if sh.wal != nil {
+						sh.dirty.mark(key)
+					}
 				})
 				if err != nil {
 					return rec, err
@@ -283,6 +286,11 @@ func (s *Store) adminCross(ctx context.Context, kind wal.OpKind, resp *wire.Resp
 			}
 			total.Add(uint64(n))
 			if kind == wal.OpFlush {
+				// A flush empties the delta vocabulary's hands — force the
+				// next checkpoint to a full base (see dirtySet).
+				if sh.wal != nil {
+					sh.dirty.markFlush()
+				}
 				return wal.AppendFlush(rec), nil
 			}
 			return wal.AppendRebuild(rec), nil

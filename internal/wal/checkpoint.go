@@ -45,9 +45,12 @@ func (c *crcWriter) Write(p []byte) (int, error) {
 // called once with an emit function and must stream every key/value
 // pair of a state that includes all mutations of segments < seg (the
 // server guarantees this by calling Rotate first and snapshotting
-// after). On success, segments and checkpoints older than seg are
-// removed — the log's truncation.
-func (l *Log) WriteCheckpoint(seg uint64, snapshot func(emit func(key, val string) error) error) error {
+// after). cover is the seq boundary the snapshot includes (Rotate's
+// second return); it seeds the new chain base so delta catch-up can
+// compare follower positions against it. On success, segments,
+// checkpoints, and deltas older than seg are removed — the log's
+// truncation, and the start of a fresh chain.
+func (l *Log) WriteCheckpoint(seg, cover uint64, snapshot func(emit func(key, val string) error) error) error {
 	tmp := filepath.Join(l.dir, ckptName(seg)+".tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -104,13 +107,24 @@ func (l *Log) WriteCheckpoint(seg uint64, snapshot func(emit func(key, val strin
 		return fmt.Errorf("wal: checkpoint install: %w", err)
 	}
 	syncDir(l.dir)
+	var size uint64
+	if fi, err := os.Stat(final); err == nil {
+		size = uint64(fi.Size())
+	}
 	l.statCheckpoints.Add(1)
-	l.cleanup(seg)
+	l.mu.Lock()
+	l.chain = Chain{BaseSeg: seg, BaseCover: cover, BaseBytes: size}
+	l.lastKind = CkptFull
+	l.mu.Unlock()
+	l.cleanup(seg, seg)
 	return nil
 }
 
-// cleanup removes segments and checkpoints older than keepSeg.
-func (l *Log) cleanup(keepSeg uint64) {
+// cleanup removes segments older than keepSeg and checkpoint/delta
+// files older than keepCkpt. A full checkpoint passes keepCkpt = its
+// own seg (the old chain is superseded whole); a delta passes the
+// chain's base seg (everything at or after the base is still live).
+func (l *Log) cleanup(keepSeg, keepCkpt uint64) {
 	entries, err := os.ReadDir(l.dir)
 	if err != nil {
 		return
@@ -119,7 +133,8 @@ func (l *Log) cleanup(keepSeg uint64) {
 		var n uint64
 		switch {
 		case parseName(e.Name(), "wal-", ".log", &n) && n < keepSeg,
-			parseName(e.Name(), "checkpoint-", ".ckpt", &n) && n < keepSeg:
+			parseName(e.Name(), "checkpoint-", ".ckpt", &n) && n < keepCkpt,
+			parseName(e.Name(), "delta-", ".ckpt", &n) && n < keepCkpt:
 			if err := os.Remove(filepath.Join(l.dir, e.Name())); err != nil && l.logf != nil {
 				l.logf("wal: cleanup %s: %v", e.Name(), err)
 			}

@@ -1,0 +1,475 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Delta checkpoint file format:
+//
+//	magic(8) | header | { 0x01 key val | 0x02 key }* | 0x00 | crc32c(4, BE)
+//
+// where the header is
+//
+//	uvarint self | uvarint base | uvarint parent | uvarint cover | crc32c(4, BE)
+//
+// self is the delta's own segment number (it must match the file name —
+// a renamed or cross-bred file is rejected), base is the segment of the
+// full checkpoint the chain hangs off, parent is the chain predecessor
+// (the base for the first delta, the previous delta otherwise), and
+// cover is the WAL seq sealed by the rotation that cut this delta
+// (diagnostic across restarts: seqs are per-process, so a recovered
+// delta's cover reads as 0 in the live chain). The header checksum
+// covers magic through cover, so chain assembly can read and trust
+// headers without streaming whole files; the trailing checksum covers
+// every preceding byte — header included — so a delta either validates
+// end to end or is rejected whole, exactly like a full checkpoint.
+//
+// Entries are 0x01 key val for a live key and 0x02 key for a tombstone
+// (the key was deleted since the parent was cut). Recovery applies the
+// chain in order, last writer wins, tombstones delete.
+
+var deltaMagic = [8]byte{'P', 'L', 'Y', 'D', 'L', 'T', 'A', '1'}
+
+const (
+	deltaSet = 0x01
+	deltaDel = 0x02
+)
+
+// deltaName formats a delta checkpoint file name. delta-N covers every
+// mutation of segments < N back to its parent's cover point: recovery
+// loads base + chain and replays segments >= the chain head.
+func deltaName(seq uint64) string { return fmt.Sprintf("delta-%08d.ckpt", seq) }
+
+// CkptKind identifies a checkpoint's kind (the STATS ckpt_last_kind
+// vocabulary: 0 none, 1 full, 2 delta).
+type CkptKind uint8
+
+const (
+	CkptNone CkptKind = iota
+	CkptFull
+	CkptDelta
+)
+
+// String names the kind.
+func (k CkptKind) String() string {
+	switch k {
+	case CkptNone:
+		return "none"
+	case CkptFull:
+		return "full"
+	case CkptDelta:
+		return "delta"
+	default:
+		return fmt.Sprintf("CkptKind(%d)", int(k))
+	}
+}
+
+// ChainDelta is one delta checkpoint of a live chain.
+type ChainDelta struct {
+	// Seg is the delta's segment number (file delta-<Seg>.ckpt).
+	Seg uint64
+	// Cover is the WAL seq sealed by the rotation that cut this delta —
+	// 0 when the delta was recovered from disk (seqs are per-process).
+	Cover uint64
+	// Bytes is the installed file's size.
+	Bytes uint64
+}
+
+// Chain is a snapshot of a log's checkpoint chain: at most one base
+// plus its deltas in chain (= apply) order. The zero Chain means no
+// checkpoint exists yet.
+type Chain struct {
+	// BaseSeg is the full checkpoint's segment number (0 = none).
+	BaseSeg uint64
+	// BaseCover is the WAL seq the base's rotation sealed (0 when the
+	// base was recovered from disk).
+	BaseCover uint64
+	// BaseBytes is the base file's size.
+	BaseBytes uint64
+	// Deltas chains off the base, oldest first.
+	Deltas []ChainDelta
+}
+
+// Len is the chain length (delta count).
+func (c *Chain) Len() int { return len(c.Deltas) }
+
+// DeltaBytes sums the chain's delta file sizes.
+func (c *Chain) DeltaBytes() uint64 {
+	var n uint64
+	for _, d := range c.Deltas {
+		n += d.Bytes
+	}
+	return n
+}
+
+// Head is the newest chain element's segment (the base when the chain
+// is empty, 0 when there is no checkpoint at all): recovery replays
+// segments >= Head.
+func (c *Chain) Head() uint64 {
+	if n := len(c.Deltas); n > 0 {
+		return c.Deltas[n-1].Seg
+	}
+	return c.BaseSeg
+}
+
+// clone deep-copies the chain.
+func (c *Chain) clone() Chain {
+	out := *c
+	out.Deltas = append([]ChainDelta(nil), c.Deltas...)
+	return out
+}
+
+// Chain returns a snapshot of the log's live checkpoint chain.
+func (l *Log) Chain() Chain {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.chain.clone()
+}
+
+// LastCheckpointKind reports the kind of the most recent checkpoint
+// install (or recovery-time chain head).
+func (l *Log) LastCheckpointKind() CkptKind {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastKind
+}
+
+// deltaHeader is a delta file's parsed chain header.
+type deltaHeader struct {
+	Self   uint64
+	Base   uint64
+	Parent uint64
+	Cover  uint64
+}
+
+// WriteDeltaCheckpoint atomically installs delta-<seg>, chained to the
+// current chain head: snapshot is called once with an emit function and
+// must stream every key that changed since the chain head was cut —
+// current value for live keys, del=true for keys that no longer exist.
+// cover is the WAL seq Rotate sealed. On success, segments older than
+// seg and checkpoint files older than the chain's base are removed; the
+// base and the chain stay, recovery needs them.
+func (l *Log) WriteDeltaCheckpoint(seg, cover uint64, snapshot func(emit func(key, val string, del bool) error) error) error {
+	l.mu.Lock()
+	base := l.chain.BaseSeg
+	parent := l.chain.Head()
+	l.mu.Unlock()
+	if base == 0 {
+		return fmt.Errorf("wal: delta checkpoint needs a base checkpoint")
+	}
+
+	tmp := filepath.Join(l.dir, deltaName(seg)+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: delta create: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+
+	cw := &crcWriter{w: bufio.NewWriterSize(f, 1<<16)}
+	var scratch [binary.MaxVarintLen64]byte
+	writeField := func(s string) error {
+		n := binary.PutUvarint(scratch[:], uint64(len(s)))
+		if _, err := cw.Write(scratch[:n]); err != nil {
+			return err
+		}
+		_, err := cw.Write([]byte(s))
+		return err
+	}
+	werr := func() error {
+		if _, err := cw.Write(deltaMagic[:]); err != nil {
+			return err
+		}
+		var hbuf []byte
+		for _, v := range []uint64{seg, base, parent, cover} {
+			n := binary.PutUvarint(scratch[:], v)
+			hbuf = append(hbuf, scratch[:n]...)
+		}
+		hcrc := crc32.Update(crc32.Checksum(deltaMagic[:], crcTable), crcTable, hbuf)
+		var crc [4]byte
+		binary.BigEndian.PutUint32(crc[:], hcrc)
+		if _, err := cw.Write(hbuf); err != nil {
+			return err
+		}
+		if _, err := cw.Write(crc[:]); err != nil {
+			return err
+		}
+		if err := snapshot(func(key, val string, del bool) error {
+			marker := byte(deltaSet)
+			if del {
+				marker = deltaDel
+			}
+			if _, err := cw.Write([]byte{marker}); err != nil {
+				return err
+			}
+			if err := writeField(key); err != nil {
+				return err
+			}
+			if del {
+				return nil
+			}
+			return writeField(val)
+		}); err != nil {
+			return err
+		}
+		if _, err := cw.Write([]byte{ckptEnd}); err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint32(crc[:], cw.crc)
+		if _, err := cw.w.Write(crc[:]); err != nil {
+			return err
+		}
+		if err := cw.w.Flush(); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("wal: delta write: %w", werr)
+	}
+	final := filepath.Join(l.dir, deltaName(seg))
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("wal: delta install: %w", err)
+	}
+	syncDir(l.dir)
+	var size uint64
+	if fi, err := os.Stat(final); err == nil {
+		size = uint64(fi.Size())
+	}
+	l.statCheckpoints.Add(1)
+	l.mu.Lock()
+	l.chain.Deltas = append(l.chain.Deltas, ChainDelta{Seg: seg, Cover: cover, Bytes: size})
+	l.lastKind = CkptDelta
+	l.mu.Unlock()
+	l.cleanup(seg, base)
+	return nil
+}
+
+// recordingByteReader tees every byte read into raw, so a parsed header
+// can be checksummed over exactly the bytes it occupied on disk.
+type recordingByteReader struct {
+	br  *bufio.Reader
+	raw []byte
+}
+
+func (r *recordingByteReader) ReadByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err == nil {
+		r.raw = append(r.raw, b)
+	}
+	return b, err
+}
+
+// parseDeltaHeader consumes magic + header from br, validating the
+// header checksum, and returns the header plus the total bytes
+// consumed and the running file CRC over them.
+func parseDeltaHeader(br *bufio.Reader) (hdr deltaHeader, consumed int64, fileCRC uint32, err error) {
+	var magic [8]byte
+	if _, err = io.ReadFull(br, magic[:]); err != nil {
+		return hdr, 0, 0, err
+	}
+	if magic != deltaMagic {
+		return hdr, 0, 0, &errCorrupt{"delta: bad magic or size"}
+	}
+	rec := &recordingByteReader{br: br}
+	for _, dst := range []*uint64{&hdr.Self, &hdr.Base, &hdr.Parent, &hdr.Cover} {
+		v, err := binary.ReadUvarint(rec)
+		if err != nil {
+			return hdr, 0, 0, &errCorrupt{"delta: truncated header"}
+		}
+		*dst = v
+	}
+	var crc [4]byte
+	if _, err = io.ReadFull(br, crc[:]); err != nil {
+		return hdr, 0, 0, &errCorrupt{"delta: truncated header"}
+	}
+	want := crc32.Update(crc32.Checksum(magic[:], crcTable), crcTable, rec.raw)
+	if want != binary.BigEndian.Uint32(crc[:]) {
+		return hdr, 0, 0, &errCorrupt{"delta: header checksum mismatch"}
+	}
+	consumed = int64(len(magic)) + int64(len(rec.raw)) + 4
+	fileCRC = crc32.Update(want, crcTable, crc[:])
+	return hdr, consumed, fileCRC, nil
+}
+
+// readDeltaHeader opens path just far enough to parse and validate its
+// chain header — chain assembly trusts headers without paying a full
+// file scan per candidate.
+func readDeltaHeader(path string) (deltaHeader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return deltaHeader{}, err
+	}
+	defer f.Close()
+	hdr, _, _, err := parseDeltaHeader(bufio.NewReaderSize(f, 512))
+	return hdr, err
+}
+
+// readDeltaFile reads and fully validates one delta file — header
+// checksum, entry grammar, AND the whole-file checksum — then streams
+// its entries to emit in file order. Nothing is emitted from a delta
+// that does not validate end to end. Returns the entry count and the
+// parsed header.
+func readDeltaFile(path string, emit func(k, v []byte, del bool) error) (entries int, hdr deltaHeader, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, hdr, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, hdr, err
+	}
+	size := fi.Size()
+	if size < int64(len(deltaMagic))+4+4+1+4 {
+		return 0, hdr, &errCorrupt{"delta: bad magic or size"}
+	}
+
+	br := bufio.NewReaderSize(f, 1<<16)
+	cr := &ckptReader{br: br}
+	for pass := 0; pass < 2; pass++ {
+		if pass == 1 {
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				return 0, hdr, err
+			}
+			br.Reset(f)
+		}
+		var consumed int64
+		var fileCRC uint32
+		hdr, consumed, fileCRC, err = parseDeltaHeader(br)
+		if err != nil {
+			return 0, hdr, err
+		}
+		body := size - consumed - 4
+		if body < 1 {
+			return 0, hdr, &errCorrupt{"delta: bad magic or size"}
+		}
+		if pass == 0 {
+			sum := &crcReader{r: io.LimitReader(br, body), crc: fileCRC}
+			sbr := bufio.NewReaderSize(sum, 1<<16)
+			vcr := &ckptReader{br: sbr, body: body, kbuf: cr.kbuf, vbuf: cr.vbuf}
+			if err := deltaWalk(vcr, nil); err != nil {
+				return 0, hdr, err
+			}
+			cr.kbuf, cr.vbuf = vcr.kbuf, vcr.vbuf
+			var tail [4]byte
+			if _, err := io.ReadFull(br, tail[:]); err != nil {
+				return 0, hdr, err
+			}
+			if sum.crc != binary.BigEndian.Uint32(tail[:]) {
+				return 0, hdr, &errCorrupt{"delta: checksum mismatch"}
+			}
+			continue
+		}
+		cr.body = body
+		err = deltaWalk(cr, func(k, v []byte, del bool) error {
+			entries++
+			return emit(k, v, del)
+		})
+		if err != nil {
+			return entries, hdr, err
+		}
+	}
+	return entries, hdr, nil
+}
+
+// deltaWalk streams a delta's entry section through a bounded
+// ckptReader, calling emit (when non-nil) per entry, and checks the
+// grammar: set/tombstone entries, a terminator, nothing after.
+func deltaWalk(c *ckptReader, emit func(k, v []byte, del bool) error) error {
+	for {
+		marker, err := c.readByte()
+		if err != nil {
+			return err
+		}
+		switch marker {
+		case ckptEnd:
+			if c.body != 0 {
+				return &errCorrupt{"delta: trailing bytes"}
+			}
+			return nil
+		case deltaSet:
+			if c.kbuf, err = c.readField(c.kbuf[:0]); err != nil {
+				return err
+			}
+			if c.vbuf, err = c.readField(c.vbuf[:0]); err != nil {
+				return err
+			}
+			if emit != nil {
+				if err := emit(c.kbuf, c.vbuf, false); err != nil {
+					return err
+				}
+			}
+		case deltaDel:
+			if c.kbuf, err = c.readField(c.kbuf[:0]); err != nil {
+				return err
+			}
+			if emit != nil {
+				if err := emit(c.kbuf, nil, true); err != nil {
+					return err
+				}
+			}
+		default:
+			return &errCorrupt{"delta: bad entry marker"}
+		}
+	}
+}
+
+// ReadDelta validates one delta checkpoint file end to end and streams
+// its entries — del marks tombstones. The replication hub uses it to
+// ship chain deltas to a follower whose applied position covers the
+// chain's base.
+func ReadDelta(path string, emit func(key, val string, del bool) error) error {
+	_, _, err := readDeltaFile(path, func(k, v []byte, del bool) error {
+		return emit(string(k), string(v), del)
+	})
+	return err
+}
+
+// DeltaPath returns the path of the chain delta with segment seg —
+// the repl hub's bridge from Chain() to ReadDelta.
+func (l *Log) DeltaPath(seg uint64) string {
+	return filepath.Join(l.dir, deltaName(seg))
+}
+
+// loadDelta applies one fully validated delta file in op batches: sets
+// as OpSet, tombstones as OpDel, in file order (last writer wins layer
+// by layer as the chain applies).
+func loadDelta(path string, apply func(ops []Op) error) (keys int, hdr deltaHeader, err error) {
+	const applyBatch = 256
+	var ops []Op
+	flush := func() error {
+		if len(ops) == 0 {
+			return nil
+		}
+		if err := apply(ops); err != nil {
+			return err
+		}
+		keys += len(ops)
+		ops = ops[:0]
+		return nil
+	}
+	_, hdr, err = readDeltaFile(path, func(k, v []byte, del bool) error {
+		if del {
+			ops = append(ops, Op{Kind: OpDel, Key: string(k)})
+		} else {
+			ops = append(ops, Op{Kind: OpSet, Key: string(k), Val: string(v)})
+		}
+		if len(ops) >= applyBatch {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return keys, hdr, err
+	}
+	return keys, hdr, flush()
+}

@@ -18,6 +18,23 @@ type RecoverResult struct {
 	// BadCheckpoints counts checkpoint files that failed validation and
 	// were skipped in favour of an older one (or a bare replay).
 	BadCheckpoints int
+	// DeltasLoaded and DeltaKeys count the delta-checkpoint chain
+	// applied on top of the base, in chain order.
+	DeltasLoaded int
+	DeltaKeys    int
+	// BadDeltas counts delta files that failed validation. The chain is
+	// truncated at the first bad link — everything chained past it is
+	// unreachable — and replay resumes from the surviving head (refusing
+	// loudly if the needed segments were already truncated away).
+	BadDeltas int
+	// StaleDeltas counts delta files that do not belong to the surviving
+	// base's chain: their base was superseded by a newer full checkpoint,
+	// or a crash mid-compaction orphaned them. They are skipped; the next
+	// checkpoint's cleanup removes them.
+	StaleDeltas int
+	// TmpSwept counts stale checkpoint/delta tmp files — a crash landed
+	// between create and rename — deleted on open.
+	TmpSwept int
 	// Segments and Records count what the log replay applied.
 	Segments int
 	Records  int
@@ -62,8 +79,8 @@ type PendingPrepare struct {
 
 // String summarizes the recovery for logs.
 func (r *RecoverResult) String() string {
-	s := fmt.Sprintf("checkpoint seq=%d keys=%d, replayed %d records from %d segments",
-		r.CheckpointSeq, r.CheckpointKeys, r.Records, r.Segments)
+	s := fmt.Sprintf("checkpoint base=%d keys=%d + %d deltas (%d keys), replayed %d records from %d segments",
+		r.CheckpointSeq, r.CheckpointKeys, r.DeltasLoaded, r.DeltaKeys, r.Records, r.Segments)
 	if r.TruncatedSeg != 0 {
 		s += fmt.Sprintf(", truncated segment %d at byte %d", r.TruncatedSeg, r.TruncatedAt)
 	}
@@ -72,6 +89,15 @@ func (r *RecoverResult) String() string {
 	}
 	if r.BadCheckpoints != 0 {
 		s += fmt.Sprintf(", skipped %d invalid checkpoints", r.BadCheckpoints)
+	}
+	if r.BadDeltas != 0 {
+		s += fmt.Sprintf(", truncated chain at %d invalid deltas", r.BadDeltas)
+	}
+	if r.StaleDeltas != 0 {
+		s += fmt.Sprintf(", skipped %d stale deltas", r.StaleDeltas)
+	}
+	if r.TmpSwept != 0 {
+		s += fmt.Sprintf(", swept %d tmp files", r.TmpSwept)
 	}
 	if r.AbortedPrepares != 0 {
 		s += fmt.Sprintf(", dropped %d aborted prepares", r.AbortedPrepares)
@@ -113,8 +139,11 @@ func Open(dir string, opts Options, apply func(ops []Op) error) (*Log, *RecoverR
 	if err != nil {
 		return nil, nil, err
 	}
+	res := &RecoverResult{}
+	logf := opts.Logf
 	var segs []uint64
 	var ckpts []uint64
+	var deltas []uint64
 	for _, e := range entries {
 		var n uint64
 		switch {
@@ -122,13 +151,23 @@ func Open(dir string, opts Options, apply func(ops []Op) error) (*Log, *RecoverR
 			segs = append(segs, n)
 		case parseName(e.Name(), "checkpoint-", ".ckpt", &n):
 			ckpts = append(ckpts, n)
+		case parseName(e.Name(), "delta-", ".ckpt", &n):
+			deltas = append(deltas, n)
+		case strings.HasSuffix(e.Name(), ".ckpt.tmp"):
+			// A crash between os.Create(tmp) and the install rename leaks
+			// the tmp file. It is never valid state — the rename is the
+			// commit point — so sweep it instead of leaking it forever.
+			if err := os.Remove(filepath.Join(dir, e.Name())); err == nil {
+				res.TmpSwept++
+			} else if logf != nil {
+				logf("wal: sweeping %s: %v", e.Name(), err)
+			}
 		}
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
 	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] > ckpts[j] }) // newest first
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i] < deltas[j] })
 
-	res := &RecoverResult{}
-	logf := opts.Logf
 	for _, c := range ckpts {
 		keys, err := loadCheckpoint(filepath.Join(dir, ckptName(c)), apply)
 		if err == nil {
@@ -162,13 +201,105 @@ func Open(dir string, opts Options, apply func(ops []Op) error) (*Log, *RecoverR
 		}
 	}
 
-	maxSeg := res.CheckpointSeq
+	// Assemble and apply the delta chain hanging off the loaded base:
+	// headers are validated first (cheap — no full-file scan per
+	// candidate), the chain is walked base → head by parent links, and
+	// each link is fully validated before any of its entries apply. A
+	// crash mid-compaction can leave a freshly installed base alongside
+	// the old chain's files, or several deltas claiming the same parent;
+	// only links reachable from the surviving base count, the newest
+	// valid candidate wins a contested parent, and the rest are stale.
+	chain := Chain{BaseSeg: res.CheckpointSeq}
+	if chain.BaseSeg != 0 {
+		if fi, err := os.Stat(filepath.Join(dir, ckptName(chain.BaseSeg))); err == nil {
+			chain.BaseBytes = uint64(fi.Size())
+		}
+	}
+	byParent := make(map[uint64][]uint64)
+	for _, d := range deltas {
+		hdr, err := readDeltaHeader(filepath.Join(dir, deltaName(d)))
+		if err == nil && hdr.Self != d {
+			err = &errCorrupt{"delta: header self does not match file name"}
+		}
+		switch {
+		case err != nil:
+			res.BadDeltas++
+			if logf != nil {
+				logf("wal: delta %d: %v — skipped", d, err)
+			}
+		case chain.BaseSeg == 0 || hdr.Base != chain.BaseSeg:
+			res.StaleDeltas++
+		default:
+			byParent[hdr.Parent] = append(byParent[hdr.Parent], d)
+		}
+	}
+	for head := chain.BaseSeg; chain.BaseSeg != 0; {
+		cands := byParent[head]
+		delete(byParent, head)
+		if len(cands) == 0 {
+			break
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i] > cands[j] })
+		next := cands[0]
+		res.StaleDeltas += len(cands) - 1
+		path := filepath.Join(dir, deltaName(next))
+		keys, _, err := loadDelta(path, apply)
+		if err != nil {
+			if !IsCorrupt(err) && !os.IsNotExist(err) {
+				// loadDelta validates the whole file before applying, so a
+				// non-corruption error means apply itself failed — the
+				// store is half-loaded and unusable.
+				return nil, nil, fmt.Errorf("wal: applying delta %d: %w", next, err)
+			}
+			// The chain breaks here: everything linked past this delta is
+			// unreachable. Replay resumes from the surviving head; if the
+			// segments it needs were truncated away at install time, the
+			// contiguity check below refuses loudly rather than fabricate
+			// a partial keyspace.
+			res.BadDeltas++
+			if logf != nil {
+				logf("wal: delta %d: %v — chain truncated here", next, err)
+			}
+			break
+		}
+		var size uint64
+		if fi, serr := os.Stat(path); serr == nil {
+			size = uint64(fi.Size())
+		}
+		chain.Deltas = append(chain.Deltas, ChainDelta{Seg: next, Bytes: size})
+		res.DeltasLoaded++
+		res.DeltaKeys += keys
+		head = next
+	}
+	// Whatever byParent still holds never linked into the surviving
+	// chain: orphans of a crashed compaction or of a truncation above.
+	for _, cands := range byParent {
+		res.StaleDeltas += len(cands)
+	}
+
+	// Replayed segment records — the tail past the chain head, unlike
+	// checkpoint/delta loads — additionally feed the OnReplayOps hook:
+	// their keys changed since the chain head was cut and belong in the
+	// next delta.
+	applyTail := apply
+	if opts.OnReplayOps != nil {
+		applyTail = func(ops []Op) error {
+			if err := apply(ops); err != nil {
+				return err
+			}
+			opts.OnReplayOps(ops)
+			return nil
+		}
+	}
+
+	replayFrom := chain.Head()
+	maxSeg := replayFrom
 	truncated := false
-	// The replay chain must be contiguous: from the loaded checkpoint's
-	// own segment (the checkpoint may cover only a prefix of it), or
-	// from segment 1 when there is no checkpoint. A checkpoint with no
-	// surviving segments is still a consistent state on its own.
-	expect := res.CheckpointSeq
+	// The replay must be contiguous: from the chain head's own segment
+	// (the head may cover only a prefix of it; re-applying the overlap
+	// is idempotent), or from segment 1 when there is no checkpoint. A
+	// chain with no surviving segments is still consistent on its own.
+	expect := replayFrom
 	if expect == 0 {
 		expect = 1
 	}
@@ -178,8 +309,8 @@ func Open(dir string, opts Options, apply func(ops []Op) error) (*Log, *RecoverR
 		if seg > maxSeg {
 			maxSeg = seg
 		}
-		if seg < res.CheckpointSeq {
-			continue // superseded by the checkpoint; cleanup missed it
+		if seg < replayFrom {
+			continue // superseded by the chain; cleanup missed it
 		}
 		if seg != expect && !truncated {
 			return nil, nil, fmt.Errorf("wal: segment %d missing from %s (found segment %d instead) — the log is not a contiguous history; refusing partial replay", expect, dir, seg)
@@ -243,7 +374,7 @@ func Open(dir string, opts Options, apply func(ops []Op) error) (*Log, *RecoverR
 			// aborted after preparing, and the prepare is dropped.
 			if pending != nil {
 				if (rec.Kind == RecordCommit || rec.Kind == RecordDecision) && rec.Epoch == pending.Epoch {
-					if err := apply(pending.Ops); err != nil {
+					if err := applyTail(pending.Ops); err != nil {
 						return nil, nil, fmt.Errorf("wal: applying segment %d: %w", seg, err)
 					}
 				} else {
@@ -256,7 +387,7 @@ func Open(dir string, opts Options, apply func(ops []Op) error) (*Log, *RecoverR
 			}
 			switch rec.Kind {
 			case RecordOps:
-				if err := apply(rec.Ops); err != nil {
+				if err := applyTail(rec.Ops); err != nil {
 					return nil, nil, fmt.Errorf("wal: applying segment %d: %w", seg, err)
 				}
 			case RecordPrepare:
@@ -280,7 +411,7 @@ func Open(dir string, opts Options, apply func(ops []Op) error) (*Log, *RecoverR
 	// surface it for the caller to resolve against the coordinator.
 	res.InDoubt = pending
 
-	l, err := openLog(dir, opts, maxSeg+1)
+	l, err := openLog(dir, opts, maxSeg+1, chain)
 	if err != nil {
 		return nil, nil, err
 	}

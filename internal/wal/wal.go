@@ -71,6 +71,13 @@ type Options struct {
 	// of the cross-shard commit protocol (e.g. between PREPARE and
 	// DECISION); production configurations leave it nil.
 	OnDurableRecord func(firstByte byte)
+	// OnReplayOps, when non-nil, observes every operation group Open
+	// applies from SEGMENT replay — the log tail past the checkpoint
+	// chain, including resolved prepares — but NOT groups loaded from
+	// checkpoint or delta files. The server uses it to seed the dirty-key
+	// set incremental checkpoints track: tail keys changed since the
+	// chain head and belong in the next delta; chain keys do not.
+	OnReplayOps func(ops []Op)
 }
 
 // ErrClosed is returned by operations on a closed log.
@@ -132,6 +139,11 @@ type Log struct {
 	dirty     bool   // bytes written since the last fsync
 	err       error  // sticky I/O error: the log is poisoned
 	closed    bool
+	// chain is the live checkpoint chain (base + deltas); lastKind is
+	// what the most recent install (or recovery) left as the newest
+	// element. Both under mu; see delta.go.
+	chain    Chain
+	lastKind CkptKind
 
 	// fileMu serializes file I/O (write, sync, rotate) so no I/O ever
 	// happens under mu — appends never wait behind an fsync they did
@@ -161,11 +173,18 @@ func ckptName(seq uint64) string { return fmt.Sprintf("checkpoint-%08d.ckpt", se
 
 // openLog creates the Log around an opened segment and starts its
 // background goroutines. Recovery (scanning, replay, truncation) has
-// already happened in Open.
-func openLog(dir string, opts Options, seg uint64) (*Log, error) {
+// already happened in Open; chain is what it reassembled.
+func openLog(dir string, opts Options, seg uint64, chain Chain) (*Log, error) {
 	f, err := os.OpenFile(filepath.Join(dir, segName(seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	kind := CkptNone
+	switch {
+	case len(chain.Deltas) > 0:
+		kind = CkptDelta
+	case chain.BaseSeg != 0:
+		kind = CkptFull
 	}
 	l := &Log{
 		dir:         dir,
@@ -176,6 +195,8 @@ func openLog(dir string, opts Options, seg uint64) (*Log, error) {
 		f:           f,
 		seg:         seg,
 		nextSeq:     1,
+		chain:       chain,
+		lastKind:    kind,
 		flusherDone: make(chan struct{}),
 	}
 	if l.window <= 0 {
@@ -466,23 +487,26 @@ func (l *Log) waitFlushed() error {
 }
 
 // Rotate seals the current segment and opens the next one, returning
-// the new segment's number. It must be called with mutation traffic
+// the new segment's number plus the cover seq — the last seq flushed
+// into the sealed history, the commit-order boundary a checkpoint cut
+// after this rotation covers. It must be called with mutation traffic
 // quiesced — polyserve calls it inside an (empty) irrevocable
 // transaction, so every record of the sealed segment belongs to a
 // transaction whose memory effect is already visible, which is exactly
 // what makes a checkpoint taken after Rotate cover the sealed segment
 // completely.
-func (l *Log) Rotate() (uint64, error) {
+func (l *Log) Rotate() (seg, cover uint64, err error) {
 	if err := l.waitFlushed(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
-		return 0, ErrClosed
+		return 0, 0, ErrClosed
 	}
 	old := l.f
 	newSeg := l.seg + 1
+	cover = l.ackSeq
 	l.mu.Unlock()
 
 	l.fileMu.Lock()
@@ -491,13 +515,13 @@ func (l *Log) Rotate() (uint64, error) {
 	// before the checkpoint that will supersede them can be installed.
 	if l.mode != ModeOff {
 		if err := old.Sync(); err != nil {
-			return 0, fmt.Errorf("wal: rotate sync: %w", err)
+			return 0, 0, fmt.Errorf("wal: rotate sync: %w", err)
 		}
 		l.statFsyncs.Add(1)
 	}
 	f, err := os.OpenFile(filepath.Join(l.dir, segName(newSeg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return 0, fmt.Errorf("wal: rotate open: %w", err)
+		return 0, 0, fmt.Errorf("wal: rotate open: %w", err)
 	}
 	l.mu.Lock()
 	l.f = f
@@ -505,7 +529,7 @@ func (l *Log) Rotate() (uint64, error) {
 	l.dirty = false
 	l.mu.Unlock()
 	old.Close()
-	return newSeg, nil
+	return newSeg, cover, nil
 }
 
 // Close flushes every decided record, fsyncs (unless ModeOff), and

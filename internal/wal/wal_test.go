@@ -313,14 +313,14 @@ func TestCheckpointTruncatesLog(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	seg, err := l.Rotate()
+	seg, cover, err := l.Rotate()
 	if err != nil {
 		t.Fatalf("rotate: %v", err)
 	}
 	if seg != 2 {
 		t.Fatalf("rotate → segment %d, want 2", seg)
 	}
-	if err := l.WriteCheckpoint(seg, func(emit func(k, v string) error) error {
+	if err := l.WriteCheckpoint(seg, cover, func(emit func(k, v string) error) error {
 		for k, v := range state {
 			if err := emit(k, v); err != nil {
 				return err
@@ -359,11 +359,11 @@ func TestCorruptCheckpointFallsBack(t *testing.T) {
 	if err := l.Append(AppendSet(nil, []byte("a"), []byte("1"))); err != nil {
 		t.Fatal(err)
 	}
-	seg, err := l.Rotate()
+	seg, cover, err := l.Rotate()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.WriteCheckpoint(seg, func(emit func(k, v string) error) error {
+	if err := l.WriteCheckpoint(seg, cover, func(emit func(k, v string) error) error {
 		return emit("a", "1")
 	}); err != nil {
 		t.Fatal(err)
@@ -453,11 +453,11 @@ func TestRefusesPartialHistory(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		seg, err := l.Rotate()
+		seg, cover, err := l.Rotate()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := l.WriteCheckpoint(seg, func(emit func(k, v string) error) error {
+		if err := l.WriteCheckpoint(seg, cover, func(emit func(k, v string) error) error {
 			for i := 0; i < 4; i++ {
 				if err := emit(fmt.Sprintf("k%d", i), "v"); err != nil {
 					return err
@@ -495,7 +495,7 @@ func TestRefusesPartialHistory(t *testing.T) {
 		if err := l.Append(AppendSet(nil, []byte("a"), []byte("1"))); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := l.Rotate(); err != nil {
+		if _, _, err := l.Rotate(); err != nil {
 			t.Fatal(err)
 		}
 		if err := l.Append(AppendSet(nil, []byte("b"), []byte("2"))); err != nil {
@@ -518,7 +518,7 @@ func TestRefusesPartialHistory(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < 2; i++ {
-			if _, err := l.Rotate(); err != nil {
+			if _, _, err := l.Rotate(); err != nil {
 				t.Fatal(err)
 			}
 			if err := l.Append(AppendSet(nil, []byte(fmt.Sprintf("r%d", i)), []byte("x"))); err != nil {
@@ -548,11 +548,11 @@ func TestCheckpointBatchedApply(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	seg, err := l.Rotate()
+	seg, cover, err := l.Rotate()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.WriteCheckpoint(seg, func(emit func(k, v string) error) error {
+	if err := l.WriteCheckpoint(seg, cover, func(emit func(k, v string) error) error {
 		for i := 0; i < n; i++ {
 			if err := emit(fmt.Sprintf("k%04d", i), "v"); err != nil {
 				return err

@@ -41,15 +41,42 @@ const (
 	// n × (key, val). The first ReplSnapBatch for a shard implicitly
 	// clears that shard on the follower.
 	ReplSnapBatch ReplKind = 3
-	// ReplSnapDone ends one shard's catch-up snapshot. Body: uvarint
-	// shard | uvarint coverSeq: every WAL record with seq <= coverSeq is
-	// already reflected in the snapshot, and every record with a larger
-	// seq will arrive in ReplWALBatch frames.
+	// ReplSnapDone ends one shard's catch-up — snapshot or delta. Body:
+	// uvarint shard | uvarint coverSeq | mode(1) | uvarint incarnation:
+	// every WAL record with seq <= coverSeq is already reflected in the
+	// shipped state, and every record with a larger seq will arrive in
+	// ReplWALBatch frames. mode is ReplCatchupSnap (the shard was
+	// replaced whole) or ReplCatchupDelta (churn-bounded ReplDeltaBatch
+	// frames were layered onto the follower's existing state).
+	// incarnation identifies the primary process whose WAL seq space
+	// coverSeq lives in; the follower echoes it in its next ReplHello so
+	// the primary can tell whether the follower's applied positions are
+	// comparable to its own chain (seqs restart at 1 per process).
 	ReplSnapDone ReplKind = 4
 	// ReplPing is the link heartbeat (primary → follower, sent when the
 	// feed has been idle past its budget). Body: empty. The follower
 	// answers with a ReplAck.
 	ReplPing ReplKind = 5
+	// ReplHello introduces a (re)connecting follower (follower →
+	// primary, sent once right after the SUBSCRIBE-WAL response). Body:
+	// uvarint incarnation | uvarint n | n × (uvarint shard, uvarint
+	// seq): the primary incarnation the follower last caught up from (0
+	// = never) and its applied position per shard within it. The primary
+	// uses the pair to choose delta catch-up over a full snapshot.
+	ReplHello ReplKind = 6
+	// ReplDeltaBatch carries churn-bounded catch-up entries for one
+	// shard (primary → follower). Body: uvarint shard | uvarint n | n ×
+	// (kind(1) | key | [val]) with kind 0 = set (key, val follow) and 1
+	// = tombstone (key only: delete). Unlike ReplSnapBatch it layers
+	// onto — never clears — the follower's existing shard state; last
+	// writer wins.
+	ReplDeltaBatch ReplKind = 7
+)
+
+// ReplSnapDone catch-up modes.
+const (
+	ReplCatchupSnap  byte = 0
+	ReplCatchupDelta byte = 1
 )
 
 // String names the frame kind.
@@ -65,6 +92,10 @@ func (k ReplKind) String() string {
 		return "SNAP-DONE"
 	case ReplPing:
 		return "PING"
+	case ReplHello:
+		return "HELLO"
+	case ReplDeltaBatch:
+		return "DELTA-BATCH"
 	default:
 		return "ReplKind(?)"
 	}
@@ -80,10 +111,20 @@ type ReplRec struct {
 }
 
 // ReplAckEntry is one shard's applied position in a ReplAck frame.
+// ReplHello reuses it for the follower's per-shard positions (Bytes
+// stays 0 there).
 type ReplAckEntry struct {
 	Shard uint64
 	Seq   uint64 // highest contiguously applied WAL seq
 	Bytes uint64 // cumulative applied payload bytes
+}
+
+// ReplDelta is one entry of a ReplDeltaBatch frame: a key's current
+// value, or its tombstone (Del: the key was deleted).
+type ReplDelta struct {
+	Key []byte
+	Val []byte
+	Del bool
 }
 
 // ReplFrame is the decoded form of one replication push frame. Fields
@@ -91,12 +132,15 @@ type ReplAckEntry struct {
 type ReplFrame struct {
 	Kind ReplKind
 
-	Shard uint64 // WAL-BATCH, SNAP-BATCH, SNAP-DONE
+	Shard uint64 // WAL-BATCH, SNAP-BATCH, SNAP-DONE, DELTA-BATCH
 
-	Recs     []ReplRec      // WAL-BATCH
-	Pairs    []KV           // SNAP-BATCH
-	CoverSeq uint64         // SNAP-DONE
-	Acks     []ReplAckEntry // ACK
+	Recs        []ReplRec      // WAL-BATCH
+	Pairs       []KV           // SNAP-BATCH
+	CoverSeq    uint64         // SNAP-DONE
+	Mode        byte           // SNAP-DONE: ReplCatchupSnap/ReplCatchupDelta
+	Incarnation uint64         // SNAP-DONE, HELLO
+	Acks        []ReplAckEntry // ACK, HELLO
+	Deltas      []ReplDelta    // DELTA-BATCH
 }
 
 // AppendReplFrame appends f's complete frame — 4-byte length prefix plus
@@ -129,8 +173,31 @@ func AppendReplFrame(dst []byte, f *ReplFrame) ([]byte, error) {
 	case ReplSnapDone:
 		dst = appendUvarint(dst, f.Shard)
 		dst = appendUvarint(dst, f.CoverSeq)
+		dst = append(dst, f.Mode)
+		dst = appendUvarint(dst, f.Incarnation)
 	case ReplPing:
 		// empty body
+	case ReplHello:
+		dst = appendUvarint(dst, f.Incarnation)
+		dst = appendUvarint(dst, uint64(len(f.Acks)))
+		for i := range f.Acks {
+			dst = appendUvarint(dst, f.Acks[i].Shard)
+			dst = appendUvarint(dst, f.Acks[i].Seq)
+		}
+	case ReplDeltaBatch:
+		dst = appendUvarint(dst, f.Shard)
+		dst = appendUvarint(dst, uint64(len(f.Deltas)))
+		for i := range f.Deltas {
+			d := &f.Deltas[i]
+			if d.Del {
+				dst = append(dst, 1)
+				dst = appendBytes(dst, d.Key)
+			} else {
+				dst = append(dst, 0)
+				dst = appendBytes(dst, d.Key)
+				dst = appendBytes(dst, d.Val)
+			}
+		}
 	default:
 		return dst[:start], ErrBadReplFrame
 	}
@@ -144,9 +211,11 @@ func AppendReplFrame(dst []byte, f *ReplFrame) ([]byte, error) {
 // partially decoded state and must not be applied.
 func DecodeReplFrame(f *ReplFrame, payload []byte) error {
 	f.Shard, f.CoverSeq = 0, 0
+	f.Mode, f.Incarnation = 0, 0
 	f.Recs = f.Recs[:0]
 	f.Pairs = f.Pairs[:0]
 	f.Acks = f.Acks[:0]
+	f.Deltas = f.Deltas[:0]
 	rd := &reader{buf: payload}
 	kind, err := rd.byte1()
 	if err != nil {
@@ -215,8 +284,67 @@ func DecodeReplFrame(f *ReplFrame, payload []byte) error {
 		if f.CoverSeq, err = rd.uvarint(); err != nil {
 			return err
 		}
+		if f.Mode, err = rd.byte1(); err != nil {
+			return err
+		}
+		if f.Mode != ReplCatchupSnap && f.Mode != ReplCatchupDelta {
+			return ErrBadReplFrame
+		}
+		if f.Incarnation, err = rd.uvarint(); err != nil {
+			return err
+		}
 	case ReplPing:
 		// empty body
+	case ReplHello:
+		if f.Incarnation, err = rd.uvarint(); err != nil {
+			return err
+		}
+		n, err := rd.count()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			var e ReplAckEntry
+			if e.Shard, err = rd.uvarint(); err != nil {
+				return err
+			}
+			if e.Seq, err = rd.uvarint(); err != nil {
+				return err
+			}
+			f.Acks = append(f.Acks, e)
+		}
+	case ReplDeltaBatch:
+		if f.Shard, err = rd.uvarint(); err != nil {
+			return err
+		}
+		n, err := rd.count()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			var d ReplDelta
+			kind, err := rd.byte1()
+			if err != nil {
+				return err
+			}
+			switch kind {
+			case 0:
+				if d.Key, err = rd.bytes(); err != nil {
+					return err
+				}
+				if d.Val, err = rd.bytes(); err != nil {
+					return err
+				}
+			case 1:
+				d.Del = true
+				if d.Key, err = rd.bytes(); err != nil {
+					return err
+				}
+			default:
+				return ErrBadReplFrame
+			}
+			f.Deltas = append(f.Deltas, d)
+		}
 	default:
 		return ErrBadReplFrame
 	}

@@ -43,7 +43,19 @@ func TestReplFrameRoundTrip(t *testing.T) {
 			{Key: []byte(""), Val: []byte("")},
 		}},
 		{Kind: ReplSnapDone, Shard: 5, CoverSeq: 123456},
+		{Kind: ReplSnapDone, Shard: 1, CoverSeq: 77, Mode: ReplCatchupDelta, Incarnation: 1723400000000000000},
 		{Kind: ReplPing},
+		{Kind: ReplHello, Incarnation: 42, Acks: []ReplAckEntry{
+			{Shard: 0, Seq: 9},
+			{Shard: 3, Seq: 0},
+		}},
+		{Kind: ReplHello},
+		{Kind: ReplDeltaBatch, Shard: 2, Deltas: []ReplDelta{
+			{Key: []byte("k1"), Val: []byte("v1")},
+			{Key: []byte("gone"), Del: true},
+			{Key: []byte(""), Val: []byte("")},
+		}},
+		{Kind: ReplDeltaBatch, Shard: 0},
 	}
 	for _, f := range frames {
 		dec := roundTripReplFrame(t, f)
@@ -57,6 +69,9 @@ func TestReplFrameRoundTrip(t *testing.T) {
 			}
 			if len(c.Acks) == 0 {
 				c.Acks = nil
+			}
+			if len(c.Deltas) == 0 {
+				c.Deltas = nil
 			}
 			return c
 		}
@@ -91,14 +106,24 @@ func TestReplFrameDecodeReuse(t *testing.T) {
 
 func TestReplFrameHostileInput(t *testing.T) {
 	cases := [][]byte{
-		{},                          // no kind byte
-		{99},                        // unknown kind
-		{byte(ReplWALBatch)},        // missing shard
-		{byte(ReplWALBatch), 0},     // missing count
-		{byte(ReplWALBatch), 0, 2},  // count > remaining bytes
-		{byte(ReplSnapDone), 1},     // missing coverSeq
-		{byte(ReplPing), 0},         // trailing byte
-		{byte(ReplAck), 0xFF, 0xFF}, // unterminated uvarint count
+		{},                                 // no kind byte
+		{99},                               // unknown kind
+		{byte(ReplWALBatch)},               // missing shard
+		{byte(ReplWALBatch), 0},            // missing count
+		{byte(ReplWALBatch), 0, 2},         // count > remaining bytes
+		{byte(ReplSnapDone), 1},            // missing coverSeq
+		{byte(ReplSnapDone), 1, 7},         // missing mode byte
+		{byte(ReplSnapDone), 1, 7, 9},      // unknown catch-up mode
+		{byte(ReplSnapDone), 1, 7, 1},      // missing incarnation
+		{byte(ReplPing), 0},                // trailing byte
+		{byte(ReplAck), 0xFF, 0xFF},        // unterminated uvarint count
+		{byte(ReplHello)},                  // missing incarnation
+		{byte(ReplHello), 5},               // missing count
+		{byte(ReplHello), 5, 2, 0, 1},      // count > remaining entries
+		{byte(ReplDeltaBatch)},             // missing shard
+		{byte(ReplDeltaBatch), 0, 1},       // count > remaining bytes
+		{byte(ReplDeltaBatch), 0, 1, 2},    // unknown entry kind
+		{byte(ReplDeltaBatch), 0, 1, 0, 1}, // set entry missing key bytes
 	}
 	var f ReplFrame
 	for _, payload := range cases {

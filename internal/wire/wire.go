@@ -67,12 +67,19 @@ const (
 	// per-semantics rows) a sharded store reports store_shards,
 	// xshard_txns/xshard_aborts (cross-shard 2PC traffic), and per-shard
 	// shard<i>.ops plus — when durable — shard<i>.wal_bytes/records/fsyncs
-	// rows exposing routing balance and per-shard log pressure. A
+	// rows exposing routing balance and per-shard log pressure. A durable
+	// store also reports its checkpoint-chain gauges — ckpt_chain_len
+	// (deltas on the current base), ckpt_delta_bytes, ckpt_base_bytes,
+	// and ckpt_last_kind (0 none / 1 full / 2 delta) — aggregated and,
+	// when sharded, per shard as shard<i>.ckpt_*, making the
+	// churn-bounded checkpoint claim observable from the wire. A
 	// replicating node adds repl_role (0 primary / 1 follower) and
 	// repl_failovers (promotions performed); a primary additionally
-	// reports repl_followers, repl_sync, repl_shipped_records/bytes and
-	// per-follower follower<i>.acked_records / follower<i>.lag_bytes; a
-	// follower reports repl_applied_records/bytes, repl_reconnects and
+	// reports repl_followers, repl_sync, repl_shipped_records/bytes,
+	// repl_delta_catchups (reconnects served by churn-bounded delta
+	// catch-up instead of a full snapshot) and per-follower
+	// follower<i>.acked_records / follower<i>.lag_bytes; a follower
+	// reports repl_applied_records/bytes, repl_reconnects and
 	// repl_state (its link state-machine position).
 	OpStats Op = 8
 	// OpFlush removes every key (admin). Body: empty. OK response body:
