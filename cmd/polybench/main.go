@@ -15,6 +15,7 @@
 //	polybench -bench server -workers 1,4,8 -get-pct 80 -scan-pct 10
 //	polybench -bench server -replica -workers 4 -get-pct 90 -scan-pct 5
 //	polybench -bench recover -recover-keys 200000
+//	polybench -bench session -workers 1,4,8
 //	polybench -bench all
 //	polybench -bench scale -json        # machine-readable results
 //
@@ -128,6 +129,7 @@ type record struct {
 	Aborts       *uint64              `json:"aborts,omitempty"`
 	AbortRate    *float64             `json:"abort_rate,omitempty"`
 	StoreShards  int                  `json:"store_shards,omitempty"`
+	Session      map[string]uint64    `json:"session,omitempty"`
 	Dist         string               `json:"dist,omitempty"`
 	Topology     string               `json:"topology,omitempty"`
 	LagBytes     *uint64              `json:"lag_bytes,omitempty"`
@@ -270,7 +272,7 @@ func (r *report) flush() {
 }
 
 func main() {
-	bench := flag.String("bench", "all", "which experiment: list, hash, skip, scan, cm, scale, server, recover, all")
+	bench := flag.String("bench", "all", "which experiment: list, hash, skip, scan, cm, scale, server, recover, session, all")
 	updates := flag.Int("updates", 10, "update percentage")
 	keyRange := flag.Uint64("range", 512, "key range (steady-state size is half)")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
@@ -338,6 +340,7 @@ func main() {
 			benchServer(ctx, rep, base, workers, *shards, *storeShards, *getPct, *scanPct, *scanLimit, *durable, *dist, *fsyncFlag)
 		}},
 		{"recover", func() { benchRecover(ctx, rep, *recoverKeys) }},
+		{"session", func() { benchSession(ctx, rep, base, workers, *shards, *storeShards) }},
 	}
 	ran := false
 	var names []string
@@ -1139,6 +1142,331 @@ func benchReplicaVariant(ctx context.Context, rep *report, base harness.Config, 
 	if err := psrv.Store().CloseDurability(); err != nil {
 		fmt.Fprintf(os.Stderr, "polybench: wal close: %v\n", err)
 	}
+}
+
+// benchSession is the session-layer experiment (B13): the three loads
+// the session subsystem exists for, each measured against a loopback
+// server across worker counts.
+//
+//   - watch-fanout: 8 prefix watchers on dedicated session connections
+//     while w writers SET under the prefix; throughput is EVENTS
+//     DELIVERED per second (writes × fan-out when nothing is lost), and
+//     rows carry the sets/events_pushed/events_lost gauges — the
+//     overflow-cuts-not-blocks contract priced as a number.
+//   - incr vs cas-loop: w workers all incrementing ONE hot counter, as
+//     a server-side INCR (one round trip, def semantics) and as the
+//     client-side GET+CAS retry loop it replaces; the gap is the
+//     round-trip amplification plus the CAS abort tax under contention.
+//   - ttl-churn: w workers SETEX short-lived keys against a fast
+//     reaper; rows carry keys_expired and the deadlines still armed at
+//     window close, showing reap keeping pace with arming.
+func benchSession(ctx context.Context, rep *report, base harness.Config, workers []int, shards, storeShards int) {
+	if storeShards <= 0 {
+		storeShards = runtime.GOMAXPROCS(0)
+		if storeShards > 16 {
+			storeShards = 16
+		}
+	}
+	rep.printf("== B13: session layer (watch fan-out, INCR contention, TTL churn), store-shards %d ==\n", storeShards)
+	for _, w := range workers {
+		if ctx.Err() != nil {
+			return
+		}
+		benchSessionWatch(ctx, rep, base, w, shards, storeShards)
+		benchSessionIncr(ctx, rep, base, w, shards, storeShards, true)
+		benchSessionIncr(ctx, rep, base, w, shards, storeShards, false)
+		benchSessionTTL(ctx, rep, base, w, shards, storeShards)
+	}
+}
+
+// sessionLoopback brings up one loopback server for a session variant
+// and hands back a teardown.
+func sessionLoopback(cfg server.Config) (*server.Server, string, func()) {
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polybench: listen: %v\n", err)
+		os.Exit(1)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	return srv, ln.Addr().String(), func() {
+		sdCtx, cancel := shutdownContext()
+		if err := srv.Shutdown(sdCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "polybench: shutdown: %v\n", err)
+		}
+		cancel()
+		<-serveDone
+	}
+}
+
+// sessionGauges plucks the session stat rows from a live server.
+func sessionGauges(cl *client.Client, extra map[string]uint64) map[string]uint64 {
+	st, err := cl.Stats()
+	if err != nil {
+		return extra
+	}
+	out := map[string]uint64{}
+	for _, k := range []string{"watch_sessions", "events_pushed", "events_lost", "keys_expired", "ttl_armed", "incr_ops"} {
+		if v, ok := st[k]; ok {
+			out[k] = v
+		}
+	}
+	for k, v := range extra {
+		out[k] = v
+	}
+	return out
+}
+
+const sessionFanWatchers = 8
+
+func benchSessionWatch(ctx context.Context, rep *report, base harness.Config, w, shards, storeShards int) {
+	srv, addr, teardown := sessionLoopback(server.Config{Shards: shards, StoreShards: storeShards, TTLReapEvery: -1})
+	defer teardown()
+	_ = srv
+
+	var delivered atomic.Uint64
+	watchers := make([]*client.Watcher, sessionFanWatchers)
+	var drain sync.WaitGroup
+	for i := range watchers {
+		wt, err := client.Watch(addr, []byte("s:"), true, client.WithoutReconnect(), client.WithWatchBuffer(4096))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polybench: watch: %v\n", err)
+			os.Exit(1)
+		}
+		watchers[i] = wt
+		drain.Add(1)
+		go func() {
+			defer drain.Done()
+			for range wt.Events() {
+				delivered.Add(1)
+			}
+		}()
+	}
+
+	var sets atomic.Uint64
+	stop := make(chan struct{})
+	ready := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			cl, err := client.Dial(addr, client.WithPoolSize(1))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "polybench: worker dial: %v\n", err)
+				return
+			}
+			defer cl.Close()
+			r := seed*0x9E3779B97F4A7C15 + 1
+			var n uint64
+			<-ready
+			for {
+				select {
+				case <-stop:
+					sets.Add(n)
+					return
+				default:
+				}
+				r = r*6364136223846793005 + 1442695040888963407
+				k := (r >> 33) % base.Mix.KeyRange
+				if err := cl.Set([]byte(fmt.Sprintf("s:%08d", k)), []byte("v")); err != nil {
+					fmt.Fprintf(os.Stderr, "polybench: worker set: %v\n", err)
+					return
+				}
+				n++
+			}
+		}(uint64(base.Seed)*7919 + uint64(i+1))
+	}
+	start := time.Now()
+	close(ready)
+	sleepCtx(ctx, base.Duration)
+	close(stop)
+	wg.Wait()
+	el := time.Since(start)
+	for _, wt := range watchers {
+		wt.Close()
+	}
+	drain.Wait()
+
+	cl, err := client.Dial(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polybench: dial: %v\n", err)
+		os.Exit(1)
+	}
+	gauges := sessionGauges(cl, map[string]uint64{"sets": sets.Load(), "delivered": delivered.Load()})
+	cl.Close()
+	ev := delivered.Load()
+	rep.printf("  watch-fanout%-2d writers=%-3d %12.0f events/s  (%0.f sets/s, lost=%d)\n",
+		sessionFanWatchers, w, float64(ev)/el.Seconds(), float64(sets.Load())/el.Seconds(), gauges["events_lost"])
+	rep.add(record{
+		Bench:       "session",
+		Name:        fmt.Sprintf("session-watch-fan%d", sessionFanWatchers),
+		Workers:     w,
+		DurationSec: el.Seconds(),
+		Ops:         ev,
+		TxnsPerSec:  float64(ev) / el.Seconds(),
+		StoreShards: storeShards,
+		Session:     gauges,
+	})
+}
+
+func benchSessionIncr(ctx context.Context, rep *report, base harness.Config, w, shards, storeShards int, useIncr bool) {
+	srv, addr, teardown := sessionLoopback(server.Config{Shards: shards, StoreShards: storeShards, TTLReapEvery: -1})
+	defer teardown()
+
+	var ops atomic.Uint64
+	stop := make(chan struct{})
+	ready := make(chan struct{})
+	var wg sync.WaitGroup
+	hot := []byte("hot-counter")
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := client.Dial(addr, client.WithPoolSize(1))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "polybench: worker dial: %v\n", err)
+				return
+			}
+			defer cl.Close()
+			var n uint64
+			<-ready
+			for {
+				select {
+				case <-stop:
+					ops.Add(n)
+					return
+				default:
+				}
+				if useIncr {
+					if _, err := cl.Incr(hot, 1); err != nil {
+						fmt.Fprintf(os.Stderr, "polybench: incr: %v\n", err)
+						return
+					}
+				} else {
+					// The client-side emulation INCR replaces: read, parse,
+					// CAS, retry on interleaved writers.
+					for {
+						cur, ok, err := cl.Get(hot)
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "polybench: get: %v\n", err)
+							return
+						}
+						v := int64(0)
+						if ok {
+							v, _ = strconv.ParseInt(string(cur), 10, 64)
+						}
+						next := []byte(strconv.FormatInt(v+1, 10))
+						if !ok {
+							// First write: CAS can't express create, SET races
+							// are absorbed by the next round's read.
+							if err := cl.Set(hot, next); err != nil {
+								fmt.Fprintf(os.Stderr, "polybench: set: %v\n", err)
+								return
+							}
+							break
+						}
+						swapped, _, _, err := cl.CAS(hot, cur, next)
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "polybench: cas: %v\n", err)
+							return
+						}
+						if swapped {
+							break
+						}
+					}
+				}
+				n++
+			}
+		}()
+	}
+	start := time.Now()
+	close(ready)
+	sleepCtx(ctx, base.Duration)
+	close(stop)
+	wg.Wait()
+	el := time.Since(start)
+
+	name := "session-casloop"
+	if useIncr {
+		name = "session-incr"
+	}
+	s := srv.Stats()
+	total := ops.Load()
+	rep.printf("  %-15s workers=%-3d %12.0f incs/s  abort-rate=%.3f\n",
+		name, w, float64(total)/el.Seconds(), s.AbortRate())
+	rep.addWithStats("session", name, w, el, total, s, nil)
+	rep.tagLast(storeShards, "hotspot")
+}
+
+func benchSessionTTL(ctx context.Context, rep *report, base harness.Config, w, shards, storeShards int) {
+	srv, addr, teardown := sessionLoopback(server.Config{Shards: shards, StoreShards: storeShards, TTLReapEvery: 10 * time.Millisecond})
+	defer teardown()
+	_ = srv
+
+	var ops atomic.Uint64
+	stop := make(chan struct{})
+	ready := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			cl, err := client.Dial(addr, client.WithPoolSize(1))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "polybench: worker dial: %v\n", err)
+				return
+			}
+			defer cl.Close()
+			r := seed*0x9E3779B97F4A7C15 + 1
+			var n uint64
+			<-ready
+			for {
+				select {
+				case <-stop:
+					ops.Add(n)
+					return
+				default:
+				}
+				r = r*6364136223846793005 + 1442695040888963407
+				k := (r >> 33) % base.Mix.KeyRange
+				ttl := time.Duration(10+(r>>20)%40) * time.Millisecond
+				if err := cl.SetEx([]byte(fmt.Sprintf("ttl:%08d", k)), []byte("v"), ttl); err != nil {
+					fmt.Fprintf(os.Stderr, "polybench: setex: %v\n", err)
+					return
+				}
+				n++
+			}
+		}(uint64(base.Seed)*7919 + uint64(i+1))
+	}
+	start := time.Now()
+	close(ready)
+	sleepCtx(ctx, base.Duration)
+	close(stop)
+	wg.Wait()
+	el := time.Since(start)
+
+	cl, err := client.Dial(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polybench: dial: %v\n", err)
+		os.Exit(1)
+	}
+	gauges := sessionGauges(cl, map[string]uint64{"setex": ops.Load()})
+	cl.Close()
+	total := ops.Load()
+	rep.printf("  ttl-churn       workers=%-3d %12.0f setex/s  (expired=%d, armed=%d)\n",
+		w, float64(total)/el.Seconds(), gauges["keys_expired"], gauges["ttl_armed"])
+	rep.add(record{
+		Bench:       "session",
+		Name:        "session-ttl-churn",
+		Workers:     w,
+		DurationSec: el.Seconds(),
+		Ops:         total,
+		TxnsPerSec:  float64(total) / el.Seconds(),
+		StoreShards: storeShards,
+		Session:     gauges,
+	})
 }
 
 // benchRecover is the checkpoint + restart-cost experiment (B12): the

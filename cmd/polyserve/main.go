@@ -84,6 +84,8 @@ func main() {
 	replicate := flag.Bool("repl", false, "serve replication feeds to followers (requires -wal-dir)")
 	replSync := flag.Bool("repl-sync", false, "gate durable-write acks on a follower ack (implies -repl)")
 	follow := flag.String("follow", "", "run as a follower of this primary address (serves reads, rejects writes; SIGUSR1 promotes)")
+	ttlReapEvery := flag.Duration("ttl-reap-every", 0, "background TTL reaper cadence (0 = 250ms default, <0 disables; lazy expiry still hides expired keys)")
+	watchBuffer := flag.Int("watch-buffer", 0, "per-session watch event buffer; overflow cuts the session with EVENT-LOST (0 = 1024 default)")
 	flag.Parse()
 
 	var policy core.NestingPolicy
@@ -141,10 +143,12 @@ func main() {
 	}
 
 	cfg := server.Config{
-		Shards:      *shards,
-		StoreShards: nStore,
-		Nesting:     policy,
-		MaxConns:    *maxConns,
+		Shards:       *shards,
+		StoreShards:  nStore,
+		Nesting:      policy,
+		MaxConns:     *maxConns,
+		TTLReapEvery: *ttlReapEvery,
+		WatchBuffer:  *watchBuffer,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf

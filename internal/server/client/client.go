@@ -477,6 +477,44 @@ func (cl *Client) Txn(sub ...wire.Request) ([]wire.Response, error) {
 	return r.Batch, nil
 }
 
+// Incr atomically adds delta to the integer at key (missing keys start
+// at 0; def semantics server-side, one round trip) and returns the new
+// value. A non-integer value or int64 overflow is a StatusErr.
+func (cl *Client) Incr(key []byte, delta uint64) (int64, error) {
+	r, err := cl.do1(&wire.Request{Op: wire.OpIncr, Sem: wire.SemDefault, Key: key, Delta: delta})
+	if err != nil {
+		return 0, err
+	}
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return r.Int, nil
+}
+
+// Decr is Incr with a negative delta.
+func (cl *Client) Decr(key []byte, delta uint64) (int64, error) {
+	r, err := cl.do1(&wire.Request{Op: wire.OpDecr, Sem: wire.SemDefault, Key: key, Delta: delta})
+	if err != nil {
+		return 0, err
+	}
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return r.Int, nil
+}
+
+// SetEx writes key with a time-to-live. Once the TTL elapses the key
+// reads as absent (lazy expiry) and is eventually deleted by the
+// server's reaper. TTLs below one millisecond are an error server-side
+// (the wire carries whole milliseconds).
+func (cl *Client) SetEx(key, val []byte, ttl time.Duration) error {
+	r, err := cl.do1(&wire.Request{Op: wire.OpSetEx, Sem: wire.SemDefault, Key: key, Val: val, TTLMillis: uint64(ttl / time.Millisecond)})
+	if err != nil {
+		return err
+	}
+	return r.Err()
+}
+
 // Ping runs one liveness round trip (no transaction server-side).
 func (cl *Client) Ping() error {
 	return cl.PingCtx(context.Background())

@@ -1,0 +1,415 @@
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"polytm/internal/repl"
+	"polytm/internal/wire"
+)
+
+// WatchEvent is one server push: a committed mutation that matched one
+// of the watcher's watches. Seq is the server-global commit-order
+// sequence number — strictly increasing across every event the server
+// pushes, so two watchers of the same key see identical Seq sequences.
+type WatchEvent struct {
+	WatchID uint64
+	Seq     uint64
+	Op      wire.EventOp
+	Key     string
+}
+
+// ErrEventsLost reports a server-side cut: the watcher consumed too
+// slowly, the session's buffer overflowed, and the server ended the
+// session after telling us how many events vanished (Watcher.Lost).
+var ErrEventsLost = errors.New("client: watch events lost (session cut by server)")
+
+// WatchOption configures a Watcher.
+type WatchOption func(*Watcher)
+
+// WithWatchTimeouts sets the liveness budget (zero fields take the repl
+// defaults). The watcher answers server PINGs and treats a silence of
+// Idle + 2×Reply as a dead link.
+func WithWatchTimeouts(tv repl.Timeouts) WatchOption {
+	return func(w *Watcher) { w.tv = tv }
+}
+
+// WithWatchBackoff sets the reconnect policy.
+func WithWatchBackoff(b repl.Backoff) WatchOption {
+	return func(w *Watcher) { w.backoff = b }
+}
+
+// WithWatchBuffer sets the delivery channel's capacity (default 256).
+func WithWatchBuffer(n int) WatchOption {
+	return func(w *Watcher) {
+		if n > 0 {
+			w.chanCap = n
+		}
+	}
+}
+
+// WithoutReconnect makes any transport failure terminal instead of
+// triggering redial+resubscribe — tests that reason about a single
+// session want the session's end to be observable.
+func WithoutReconnect() WatchOption {
+	return func(w *Watcher) { w.noReconnect = true }
+}
+
+type watchSpec struct {
+	key    string
+	prefix bool
+}
+
+// Watcher owns one dedicated session connection pushing watch events.
+// Events arrive on Events() in server commit order; within one session
+// delivery is exactly-once (the server cuts the session rather than
+// drop silently). Across a reconnect the watcher re-subscribes its
+// current watch set, but events committed while the link was down are
+// gone and watch ids are reissued — session-scoped, not durable.
+type Watcher struct {
+	addr        string
+	tv          repl.Timeouts
+	backoff     repl.Backoff
+	chanCap     int
+	noReconnect bool
+
+	events chan WatchEvent
+	stop   chan struct{}
+
+	// firstID is set once by Watch before run starts.
+	firstID uint64
+
+	// wmu serializes writes: Add/Unwatch/Ping race the reader's PONG
+	// replies for the connection's write half. It also guards the
+	// connection swap on reconnect (br is only read by run).
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	br  *bufio.Reader
+	c   net.Conn
+
+	mu      sync.Mutex
+	specs   map[uint64]watchSpec // acked watches, by current session id
+	pending []watchSpec          // SessWatch sent, WATCH-OK not yet seen
+	lost    uint64
+	err     error
+	closed  bool
+}
+
+// Watch dials a dedicated session connection and registers the first
+// watch (key, or every key under it when prefix is true). The returned
+// watcher's first watch id is FirstID.
+func Watch(addr string, key []byte, prefix bool, opts ...WatchOption) (*Watcher, error) {
+	w := &Watcher{
+		addr:    addr,
+		chanCap: 256,
+		stop:    make(chan struct{}),
+		specs:   make(map[uint64]watchSpec),
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	w.tv = w.tv.WithDefaults()
+	w.backoff = w.backoff.WithDefaults()
+	w.events = make(chan WatchEvent, w.chanCap)
+
+	first := watchSpec{key: string(key), prefix: prefix}
+	id, err := w.connect([]watchSpec{first})
+	if err != nil {
+		return nil, err
+	}
+	w.firstID = id
+	go w.run()
+	return w, nil
+}
+
+// Events returns the delivery channel. It closes when the watcher ends;
+// Err then says why (nil after Close).
+func (w *Watcher) Events() <-chan WatchEvent { return w.events }
+
+// FirstID returns the id of the watch registered by Watch, valid for
+// the initial session.
+func (w *Watcher) FirstID() uint64 { return w.firstID }
+
+// Lost returns the server-reported dropped-event count (non-zero only
+// after ErrEventsLost).
+func (w *Watcher) Lost() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lost
+}
+
+// Err returns the terminal error after Events closes.
+func (w *Watcher) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Add registers another watch on the live session. Its id arrives with
+// the server's WATCH-OK and is applied to the resubscribe set; Add does
+// not wait for it.
+func (w *Watcher) Add(key []byte, prefix bool) error {
+	w.mu.Lock()
+	w.pending = append(w.pending, watchSpec{key: string(key), prefix: prefix})
+	w.mu.Unlock()
+	return w.send(&wire.SessFrame{Kind: wire.SessWatch, Key: key, Prefix: prefix})
+}
+
+// Unwatch drops a watch by its current-session id (from FirstID or a
+// WATCH-OK observed via events' WatchID).
+func (w *Watcher) Unwatch(id uint64) error {
+	w.mu.Lock()
+	delete(w.specs, id)
+	w.mu.Unlock()
+	return w.send(&wire.SessFrame{Kind: wire.SessUnwatch, WatchID: id})
+}
+
+// Ping sends a client-side liveness probe; the server answers PONG,
+// which refreshes the link without surfacing to Events.
+func (w *Watcher) Ping() error {
+	return w.send(&wire.SessFrame{Kind: wire.SessPing})
+}
+
+// Close ends the watcher: the connection drops, Events closes, Err
+// stays nil.
+func (w *Watcher) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.stop)
+	w.wmu.Lock()
+	if w.c != nil {
+		w.c.Close()
+	}
+	w.wmu.Unlock()
+	return nil
+}
+
+func (w *Watcher) send(f *wire.SessFrame) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	if w.c == nil {
+		return ErrClosed
+	}
+	buf, err := wire.AppendSessFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	w.c.SetWriteDeadline(time.Now().Add(w.tv.Reply))
+	if _, err := w.bw.Write(buf); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// connect dials and performs the session handshake: a WATCH request for
+// specs[0] (whose OK carries the first watch id), then a SessWatch
+// frame per remaining spec (their WATCH-OKs arrive in order on the
+// session stream). On success the watcher's connection fields and
+// spec-tracking state are installed.
+func (w *Watcher) connect(specs []watchSpec) (uint64, error) {
+	if len(specs) == 0 {
+		return 0, errors.New("client: watcher has no watches to subscribe")
+	}
+	c, err := net.DialTimeout("tcp", w.addr, w.tv.Connect)
+	if err != nil {
+		return 0, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+
+	req := wire.Request{Op: wire.OpWatch, Sem: wire.SemDefault, Key: []byte(specs[0].key), Prefix: specs[0].prefix}
+	buf, err := wire.AppendRequestFrame(nil, &req)
+	if err != nil {
+		c.Close()
+		return 0, err
+	}
+	c.SetDeadline(time.Now().Add(w.tv.Reply))
+	if _, err := bw.Write(buf); err != nil {
+		c.Close()
+		return 0, err
+	}
+	for _, sp := range specs[1:] {
+		f := wire.SessFrame{Kind: wire.SessWatch, Key: []byte(sp.key), Prefix: sp.prefix}
+		if buf, err = wire.AppendSessFrame(buf[:0], &f); err != nil {
+			c.Close()
+			return 0, err
+		}
+		if _, err := bw.Write(buf); err != nil {
+			c.Close()
+			return 0, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		c.Close()
+		return 0, err
+	}
+	raw, err := wire.ReadFrame(br, 0)
+	if err != nil {
+		c.Close()
+		return 0, err
+	}
+	resp, err := wire.DecodeResponse(raw, wire.OpWatch, nil)
+	if err != nil {
+		c.Close()
+		return 0, err
+	}
+	if err := resp.Err(); err != nil {
+		c.Close()
+		return 0, err
+	}
+	c.SetDeadline(time.Time{})
+
+	w.wmu.Lock()
+	w.c, w.bw, w.br = c, bw, br
+	w.wmu.Unlock()
+	w.mu.Lock()
+	w.specs = map[uint64]watchSpec{resp.N: specs[0]}
+	w.pending = append(w.pending[:0], specs[1:]...)
+	w.mu.Unlock()
+	return resp.N, nil
+}
+
+// run reads the session stream, delivering events and answering pings,
+// reconnecting (unless disabled) when the transport dies. Terminal
+// server frames — EVENT-LOST, ERR — end the watcher; so does Close.
+func (w *Watcher) run() {
+	defer close(w.events)
+	attempt := 0
+	var payload []byte
+	var f wire.SessFrame
+	for {
+		c, br := w.conn()
+		if c == nil {
+			return // closed
+		}
+		c.SetReadDeadline(time.Now().Add(w.tv.Idle + 2*w.tv.Reply))
+		var err error
+		payload, err = wire.ReadFrameBuf(br, payload, 0)
+		if err == nil {
+			err = wire.DecodeSessFrame(&f, payload)
+			if err != nil {
+				w.fail(fmt.Errorf("client: session frame: %w", err))
+				return
+			}
+			attempt = 0
+			switch f.Kind {
+			case wire.SessEvent:
+				ev := WatchEvent{WatchID: f.WatchID, Seq: f.Seq, Op: f.Op, Key: string(f.Key)}
+				select {
+				case w.events <- ev:
+				case <-w.stop:
+					w.fail(nil)
+					return
+				}
+			case wire.SessEventLost:
+				w.mu.Lock()
+				w.lost += f.Dropped
+				w.mu.Unlock()
+				w.fail(ErrEventsLost)
+				return
+			case wire.SessWatchOK:
+				w.ackWatch(f.WatchID)
+			case wire.SessPing:
+				w.send(&wire.SessFrame{Kind: wire.SessPong})
+			case wire.SessPong:
+				// liveness only
+			case wire.SessErr:
+				pe := &wire.ProtocolError{Code: f.Code, Detail: string(f.Detail)}
+				w.fail(fmt.Errorf("client: session ended by server: %w", pe))
+				return
+			}
+			continue
+		}
+		// Transport failure: closed watcher ends quietly, otherwise
+		// redial and resubscribe whatever the watch set is now.
+		select {
+		case <-w.stop:
+			w.fail(nil)
+			return
+		default:
+		}
+		if w.noReconnect {
+			w.fail(fmt.Errorf("client: session read: %w", err))
+			return
+		}
+		c.Close()
+		for {
+			select {
+			case <-time.After(w.backoff.Delay(attempt)):
+			case <-w.stop:
+				w.fail(nil)
+				return
+			}
+			attempt++
+			if _, err := w.connect(w.snapshotSpecs()); err == nil {
+				break
+			}
+			select {
+			case <-w.stop:
+				w.fail(nil)
+				return
+			default:
+			}
+		}
+	}
+}
+
+// ackWatch maps the next pending spec to its server-issued id.
+func (w *Watcher) ackWatch(id uint64) {
+	w.mu.Lock()
+	if len(w.pending) > 0 {
+		w.specs[id] = w.pending[0]
+		w.pending = w.pending[1:]
+	}
+	w.mu.Unlock()
+}
+
+// snapshotSpecs is the resubscribe set: every acked watch plus any
+// still pending when the link died.
+func (w *Watcher) snapshotSpecs() []watchSpec {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]watchSpec, 0, len(w.specs)+len(w.pending))
+	for _, sp := range w.specs {
+		out = append(out, sp)
+	}
+	out = append(out, w.pending...)
+	return out
+}
+
+// conn returns the live connection pair, or nils after Close.
+func (w *Watcher) conn() (net.Conn, *bufio.Reader) {
+	select {
+	case <-w.stop:
+		return nil, nil
+	default:
+	}
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return w.c, w.br
+}
+
+func (w *Watcher) fail(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+	w.wmu.Lock()
+	if w.c != nil {
+		w.c.Close()
+	}
+	w.wmu.Unlock()
+}

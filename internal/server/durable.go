@@ -10,8 +10,10 @@ import (
 	"time"
 
 	"polytm/internal/core"
+	"polytm/internal/session"
 	"polytm/internal/stm"
 	"polytm/internal/wal"
+	"polytm/internal/wire"
 )
 
 // Durability configures a Store's write-ahead log. A sharded store
@@ -175,34 +177,52 @@ func syncDirBestEffort(dir string) {
 	}
 }
 
-// walCapture carries one durable mutation's record from the
-// transaction body to the log. It is the store's rendition of the
-// two-phase append protocol (see wal.Log):
+// walCapture carries one mutation's side effects from the transaction
+// body to the systems that consume them after commit: the shard's
+// write-ahead log (durable stores) and its session notifier (watch
+// events + TTL effects, when any session state is live). Both follow
+// the same two-phase protocol (see wal.Log and session.Notifier):
 //
-//   - the transaction body builds the record into buf and reserves it
-//     while the body is still running — under the shard's irrevocable
-//     token, so reservation order is exactly commit order;
+//   - the transaction body builds the WAL record into buf, collects
+//     session changes, and reserves both while the body is still
+//     running — under the shard's irrevocable token, so reservation
+//     order is exactly commit order;
 //   - the capture is also the transaction's stm.Observer: OnCommit
-//     confirms the reservation, OnAbort tombstones it. A record can
-//     therefore never outlive an aborted transaction.
+//     confirms the reservations, OnAbort tombstones them. A record or
+//     event can therefore never outlive an aborted transaction.
 //
 // Captures are pooled per shard; one capture serves one ExecuteCtx.
+// On a non-durable store (sh.wal nil) the log half is a no-op and the
+// capture exists only while sessions make it necessary (see
+// shard.capture).
 type walCapture struct {
-	log      *wal.Log
+	sh       *shard
 	next     stm.Observer // the engine-wide observer, still owed its events
-	dirty    *dirtySet    // the shard's since-last-checkpoint key tracker
 	buf      []byte
-	seq      uint64 // last reserved position (meaningful while logged)
-	reserved bool   // reservation outstanding, awaiting OnCommit/OnAbort
+	seq      uint64 // last reserved log position (meaningful while logged)
+	reserved bool   // log reservation outstanding, awaiting OnCommit/OnAbort
 	logged   bool   // this execution reserved a record: wait() has a target
+
+	track    bool             // collect session changes this execution
+	changes  []session.Change // the collected changes, in mutation order
+	slot     uint64           // reserved notifier slot (meaningful while slotUsed)
+	slotRes  bool             // slot reservation outstanding
+	slotUsed bool             // this execution reserved a slot: waitDelivered has a target
 }
 
-// reset readies a pooled capture for one ExecuteCtx.
+// reset readies a pooled capture for one ExecuteCtx, resolving the
+// session gate for this execution: changes are collected only when a
+// watch is live or the shard has armed TTL deadlines (a SETEX forces
+// tracking on top — it is what arms the first deadline).
 func (c *walCapture) reset() {
 	c.buf = c.buf[:0]
 	c.seq = 0
 	c.reserved = false
 	c.logged = false
+	c.track = c.sh.sess.ActiveWatches() > 0 || c.sh.ttl.Len() > 0
+	c.changes = c.changes[:0]
+	c.slotRes = false
+	c.slotUsed = false
 }
 
 // begin resets the capture for one transaction attempt. It is called
@@ -214,40 +234,85 @@ func (c *walCapture) begin() {
 		return
 	}
 	c.buf = c.buf[:0]
+	c.changes = c.changes[:0]
 }
 
 // set/del/flush/rebuild append operations to the record under
 // construction. All are nil-safe no-ops so the non-durable execution
 // path shares the call sites.
 func (c *walCapture) set(key, val []byte) {
+	c.setOpts(key, val, 0, false)
+}
+
+// setOpts is set with the session-side TTL decision spelled out: ttl>0
+// arms a deadline (SETEX), ttl==0 disarms any existing one (a plain
+// SET means "no expiry") unless keep preserves it (INCR/DECR). The WAL
+// record is identical in all cases — TTL never persists or replicates;
+// only the reaper's eventual delete does.
+func (c *walCapture) setOpts(key, val []byte, ttl time.Duration, keep bool) {
 	if c == nil {
 		return
 	}
-	c.buf = wal.AppendSet(c.buf, key, val)
-	c.dirty.mark(key)
+	if c.sh.wal != nil {
+		c.buf = wal.AppendSet(c.buf, key, val)
+		c.sh.dirty.mark(key)
+	}
+	if c.track {
+		c.changes = append(c.changes, session.Change{Op: wire.EventSet, Key: string(key), TTL: ttl, KeepTTL: keep})
+	}
 }
 
 func (c *walCapture) del(key []byte) {
 	if c == nil {
 		return
 	}
-	c.buf = wal.AppendDel(c.buf, key)
-	c.dirty.mark(key)
+	if c.sh.wal != nil {
+		c.buf = wal.AppendDel(c.buf, key)
+		c.sh.dirty.mark(key)
+	}
+	if c.track {
+		c.changes = append(c.changes, session.Change{Op: wire.EventDel, Key: string(key)})
+	}
+}
+
+// expire is the reaper's delete: logged and replicated as an ordinary
+// delete (recovery and followers converge without ever re-deciding
+// expiry), surfaced to watchers as EventExpire.
+func (c *walCapture) expire(key string) {
+	if c == nil {
+		return
+	}
+	if c.sh.wal != nil {
+		c.buf = wal.AppendDel(c.buf, []byte(key))
+		c.sh.dirty.mark([]byte(key))
+	}
+	if c.track {
+		c.changes = append(c.changes, session.Change{Op: wire.EventExpire, Key: key})
+	}
 }
 
 func (c *walCapture) flush() {
 	if c == nil {
 		return
 	}
-	c.buf = wal.AppendFlush(c.buf)
-	c.dirty.markFlush()
+	if c.sh.wal != nil {
+		c.buf = wal.AppendFlush(c.buf)
+		c.sh.dirty.markFlush()
+	}
+	if c.track {
+		c.changes = append(c.changes, session.Change{Op: wire.EventFlush})
+	}
 }
 
 func (c *walCapture) rebuild() {
 	if c == nil {
 		return
 	}
-	c.buf = wal.AppendRebuild(c.buf)
+	if c.sh.wal != nil {
+		c.buf = wal.AppendRebuild(c.buf)
+	}
+	// No session change: REBUILD re-levels the index but every key and
+	// value survives — watchers see nothing, deadlines stay armed.
 }
 
 // appendOp is the generic sink form of set/del, shared with the
@@ -258,24 +323,31 @@ func (c *walCapture) appendOp(kind wal.OpKind, key, val []byte) {
 	}
 	switch kind {
 	case wal.OpSet:
-		c.buf = wal.AppendSet(c.buf, key, val)
+		c.set(key, val)
 	case wal.OpDel:
-		c.buf = wal.AppendDel(c.buf, key)
+		c.del(key)
 	}
-	c.dirty.mark(key)
 }
 
-// reserve queues the built record (if any) at the log's next position.
-// Called as the body's final step: nothing after it can abort the
-// transaction (irrevocable commit cannot fail), and nothing before it
-// has fixed the order.
+// reserve queues the built record (if any) at the log's next position
+// and the collected changes (if any) at the notifier's. Called as the
+// body's final step: nothing after it can abort the transaction
+// (irrevocable commit cannot fail), and nothing before it has fixed
+// the order.
 func (c *walCapture) reserve() {
-	if c == nil || len(c.buf) == 0 {
+	if c == nil {
 		return
 	}
-	c.seq = c.log.Reserve(c.buf)
-	c.reserved = true
-	c.logged = true
+	if len(c.buf) > 0 && c.sh.wal != nil {
+		c.seq = c.sh.wal.Reserve(c.buf)
+		c.reserved = true
+		c.logged = true
+	}
+	if len(c.changes) > 0 {
+		c.slot = c.sh.notif.Reserve()
+		c.slotRes = true
+		c.slotUsed = true
+	}
 }
 
 // wait blocks until the reserved record (if any) is durable under the
@@ -286,7 +358,17 @@ func (c *walCapture) wait() error {
 	if c == nil || !c.logged {
 		return nil
 	}
-	return c.log.WaitDurable(c.seq)
+	return c.sh.wal.WaitDurable(c.seq)
+}
+
+// waitDelivered blocks until the reserved notifier slot (if any) has
+// delivered: the mutation's events are buffered to every matching
+// session and its TTL effects applied before the client sees the ack.
+func (c *walCapture) waitDelivered() {
+	if c == nil || !c.slotUsed {
+		return
+	}
+	c.sh.notif.Wait(c.slot)
 }
 
 // OnCommit / OnAbort / OnWait implement stm.Observer. A per-
@@ -296,8 +378,12 @@ func (c *walCapture) wait() error {
 // operator's metrics.
 func (c *walCapture) OnCommit(ev stm.TxnEvent) {
 	if c.reserved {
-		c.log.Commit(c.seq)
+		c.sh.wal.Commit(c.seq)
 		c.reserved = false
+	}
+	if c.slotRes {
+		c.sh.notif.Commit(c.slot, c.changes)
+		c.slotRes = false
 	}
 	if c.next != nil {
 		c.next.OnCommit(ev)
@@ -306,9 +392,14 @@ func (c *walCapture) OnCommit(ev stm.TxnEvent) {
 
 func (c *walCapture) OnAbort(ev stm.TxnEvent) {
 	if c.reserved {
-		c.log.Cancel(c.seq)
+		c.sh.wal.Cancel(c.seq)
 		c.reserved = false
 		c.logged = false
+	}
+	if c.slotRes {
+		c.sh.notif.Cancel(c.slot)
+		c.slotRes = false
+		c.slotUsed = false
 	}
 	if c.next != nil {
 		c.next.OnAbort(ev)
@@ -480,12 +571,12 @@ func (s *Store) EnableDurability(d Durability) (*RecoverSummary, error) {
 		s.ckptRatio = 0.5
 	}
 	s.incarnation = uint64(time.Now().UnixNano())
+	// The capture pool (sh.caps, wired at store construction) reads the
+	// log through the shard, so attaching it here routes every
+	// subsequent mutation's capture to the WAL — including captures
+	// pooled earlier by session traffic on the then-non-durable store.
 	for i, sh := range s.shards {
 		sh.wal = logs[i]
-		l := logs[i]
-		dirty := &sh.dirty
-		engObs := sh.tm.Engine().Observer()
-		sh.caps.New = func() any { return &walCapture{log: l, next: engObs, dirty: dirty} }
 	}
 	every := d.CheckpointEvery
 	if every == 0 {

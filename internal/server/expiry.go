@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"polytm/internal/core"
+)
+
+// DefaultReapEvery is the background TTL reaper cadence when the
+// server does not configure one.
+const DefaultReapEvery = 250 * time.Millisecond
+
+// reapBatch bounds one shard's deletions per reap pass: expiry runs as
+// small def-class batches so a mass expiration never holds a shard's
+// token for one giant transaction.
+const reapBatch = 128
+
+// StartTTLReaper runs the background expiry loop every `every`
+// (0 picks DefaultReapEvery; negative disables). Pairs with
+// StopTTLReaper. Lazy expiry keeps reads correct without the reaper —
+// it exists so expired entries are physically deleted, their deletes
+// durably logged and replicated, and their watchers told.
+func (s *Store) StartTTLReaper(every time.Duration) {
+	if every < 0 || s.reapStop != nil {
+		return
+	}
+	if every == 0 {
+		every = DefaultReapEvery
+	}
+	s.reapStop = make(chan struct{})
+	s.reapDone = make(chan struct{})
+	go s.reapLoop(every)
+}
+
+// StopTTLReaper stops the background expiry loop, waiting for an
+// in-flight pass to finish.
+func (s *Store) StopTTLReaper() {
+	if s.reapStop == nil {
+		return
+	}
+	close(s.reapStop)
+	<-s.reapDone
+	s.reapStop, s.reapDone = nil, nil
+}
+
+func (s *Store) reapLoop(every time.Duration) {
+	defer close(s.reapDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.reapStop:
+			return
+		case <-t.C:
+			if _, err := s.ReapExpired(context.Background()); err != nil && s.logf != nil {
+				s.logf("polyserve: ttl reap: %v", err)
+			}
+		}
+	}
+}
+
+// ReapExpired runs one expiry pass over every shard, deleting up to
+// reapBatch expired keys per shard, and reports how many it deleted.
+// Exported so tests (and embedders without the background loop) can
+// drive expiry deterministically.
+//
+// Expiry is decided here and ONLY here, and only on a primary: each
+// deleted key becomes an ordinary delete record in the shard's WAL, so
+// recovery and every follower converge on the same post-expiry
+// keyspace without ever re-deciding a deadline. A follower's table is
+// empty by construction (SETEX replicates as a plain set), and the
+// role check keeps a just-demoted store from double-deciding.
+func (s *Store) ReapExpired(ctx context.Context) (int, error) {
+	if Role(s.role.Load()) == RoleFollower {
+		return 0, nil
+	}
+	total := 0
+	for _, sh := range s.shards {
+		n, err := s.reapShard(ctx, sh)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// reapShard deletes one batch of sh's expired keys inside a single
+// captured transaction: the deletes reach the WAL and the watchers
+// (EventExpire) exactly like client mutations, in commit order.
+func (s *Store) reapShard(ctx context.Context, sh *shard) (int, error) {
+	now := nowNanos()
+	candidates := sh.ttl.collectExpired(now, reapBatch)
+	if len(candidates) == 0 {
+		return 0, nil
+	}
+	cp, sem := sh.captureForce()
+	defer sh.caps.Put(cp)
+	reaped := 0
+	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
+		cp.begin()
+		reaped = 0
+		// Close the extension window: a SETEX that committed before this
+		// body took the shard's token may still be delivering its new
+		// deadline. Sync under the token (no new slots can be reserved
+		// while we hold it; pending ones resolve without it) so the
+		// re-check below sees every earlier commit's TTL effect.
+		sh.notif.Sync()
+		for _, k := range candidates {
+			if d, ok := sh.ttl.deadline(k); !ok || d > now {
+				continue // re-armed or disarmed since collection
+			}
+			removed, err := sh.m.DeleteTx(tx, k)
+			if err != nil {
+				return err
+			}
+			if removed {
+				cp.expire(k)
+				reaped++
+			} else {
+				// Deadline armed but no entry — a lost race with a delete
+				// whose disarm is mid-delivery; the disarm will land.
+				continue
+			}
+		}
+		cp.reserve()
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Counted only after the deletes are durable AND delivered: the
+	// counter is the crash tests' "expiry committed" marker.
+	s.keysExpired.Add(uint64(reaped))
+	return reaped, nil
+}

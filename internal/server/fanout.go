@@ -52,7 +52,7 @@ func (s *Store) mget(ctx context.Context, keys [][]byte, sem core.Semantics, res
 					return err
 				}
 				sub := appendSub(resp)
-				if ok {
+				if ok && !only.expiredNow(key) {
 					sub.Status = wire.StatusOK
 					sub.Val = append(sub.Val, v...)
 				} else {
@@ -100,7 +100,7 @@ func (s *Store) mget(ctx context.Context, keys [][]byte, sem core.Semantics, res
 					// attempt may have half-filled it.
 					sub := &resp.Batch[j]
 					sub.Val = sub.Val[:0]
-					if ok {
+					if ok && !sh.expiredNow(keys[j]) {
 						sub.Status = wire.StatusOK
 						sub.Val = append(sub.Val, v...)
 					} else {
@@ -146,9 +146,18 @@ func (s *Store) scanFanout(ctx context.Context, from, to []byte, limit uint64, s
 			var local []kvPair
 			errs[i] = sh.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 				local = local[:0] // a retried body restarts its slice
-				return sh.m.RangeTx(tx, lookupKey(from), lookupKey(to), int(limit), func(k, v string) bool {
+				rangeLimit := int(limit)
+				if sh.ttl.Len() > 0 {
+					// Expired entries are filtered and must not consume the
+					// limit (see Store.scan).
+					rangeLimit = 0
+				}
+				return sh.m.RangeTx(tx, lookupKey(from), lookupKey(to), rangeLimit, func(k, v string) bool {
+					if sh.expiredNowStr(k) {
+						return true
+					}
 					local = append(local, kvPair{k, v})
-					return true
+					return limit == 0 || uint64(len(local)) < limit
 				})
 			})
 			results[i] = local

@@ -226,12 +226,18 @@ func (s *Store) DeltaShard(ctx context.Context, i int, applied uint64, emit func
 // shard's own WAL exactly like a client mutation, so the follower's
 // durable state tracks what it has applied and survives its own
 // crashes; a non-durable follower applies in memory only.
+//
+// Watch sessions on a follower ride the same capture: replicated
+// records push events to the follower's watchers in the primary's
+// per-shard commit order (a replicated SETEX arrives as a plain set —
+// followers never learn deadlines, so expiry is only ever the
+// primary's replicated delete).
 func (s *Store) ApplyShardOps(i int, ops []wal.Op) error {
 	if i < 0 || i >= len(s.shards) {
 		return fmt.Errorf("server: apply to shard %d of %d", i, len(s.shards))
 	}
 	sh := s.shards[i]
-	if sh.wal == nil {
+	if sh.wal == nil && sh.sess.ActiveWatches() == 0 && sh.ttl.Len() == 0 {
 		return s.applyOps(sh, ops)
 	}
 	cp := sh.caps.Get().(*walCapture)
@@ -271,7 +277,11 @@ func (s *Store) ApplyShardOps(i int, ops []wal.Op) error {
 	if err != nil {
 		return err
 	}
-	return cp.wait()
+	if err := cp.wait(); err != nil {
+		return err
+	}
+	cp.waitDelivered()
+	return nil
 }
 
 // ResumeEpoch raises the store's cross-shard epoch counter to at least

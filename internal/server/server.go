@@ -44,6 +44,19 @@ type Config struct {
 	MaxConns int
 	// MaxFrame caps request frame payloads; 0 means wire.MaxFrame.
 	MaxFrame int
+	// WatchBuffer bounds each watch session's event push buffer; a
+	// session that overflows it is cut with EVENT-LOST rather than ever
+	// blocking a commit. 0 means session.DefaultBuffer.
+	WatchBuffer int
+	// TTLReapEvery is the background TTL reaper cadence
+	// (0 = DefaultReapEvery; negative disables the reaper — lazy expiry
+	// still hides expired keys from reads).
+	TTLReapEvery time.Duration
+	// SessionTimeouts is the watch-session liveness budget (zero fields
+	// take the repl defaults): Idle is the server's PING cadence on an
+	// otherwise-quiet session, and the session is cut when
+	// Idle + 2×Reply passes without a frame from the client.
+	SessionTimeouts repl.Timeouts
 	// Logf, when non-nil, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -97,7 +110,7 @@ func New(cfg Config) *Server {
 		cfg.MaxFrame = wire.MaxFrame
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	srv := &Server{
 		cfg:         cfg,
 		store:       NewShardedStore(tms),
 		slots:       make(chan struct{}, cfg.MaxConns),
@@ -105,6 +118,8 @@ func New(cfg Config) *Server {
 		cancelServe: cancel,
 		conns:       make(map[net.Conn]struct{}),
 	}
+	srv.store.StartTTLReaper(cfg.TTLReapEvery)
+	return srv
 }
 
 // TM returns shard 0's transactional memory (stats, tests; see Stats
@@ -245,6 +260,19 @@ func (s *Server) handle(c net.Conn) {
 			// client even when the read that follows them fails — e.g. a
 			// shutdown deadline landing on a partially received frame.
 			bw.Flush()
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				// The stream cannot be resynchronized past an oversize
+				// length prefix, so the connection must end — but the
+				// client still gets one typed refusal before the cut.
+				resetResponse(&resp)
+				errInto(&resp, &wire.ProtocolError{Code: wire.ProtoOversize, Detail: err.Error()})
+				if fr, e := wire.AppendResponseFrame(out[:0], wire.OpGet, &resp); e == nil {
+					bw.Write(fr)
+					bw.Flush()
+				}
+				s.logf("polyserve: %v: read: %v", c.RemoteAddr(), err)
+				return
+			}
 			// EOF and shutdown-induced deadlines end the connection
 			// silently; anything else is worth a diagnostic.
 			if !isExpectedClose(err) {
@@ -254,11 +282,23 @@ func (s *Server) handle(c net.Conn) {
 		}
 		var op wire.Op
 		if err := wire.DecodeRequestInto(&req, payload); err != nil {
-			// A malformed frame still gets a 1:1 response (the framing
-			// survived), keeping the pipeline aligned.
+			// A malformed frame still gets a 1:1 typed reply: the framing
+			// survived, so the pipeline stays aligned and the connection
+			// lives on. Unknown opcodes get their own code so clients can
+			// tell "server too old" from "I sent garbage".
 			op = wire.OpGet
 			resetResponse(&resp)
-			errInto(&resp, err)
+			code := wire.ProtoMalformed
+			if errors.Is(err, wire.ErrBadOp) {
+				code = wire.ProtoUnknownOp
+			}
+			errInto(&resp, &wire.ProtocolError{Code: code, Detail: err.Error()})
+		} else if req.Op == wire.OpWatch {
+			// WATCH takes the connection over: the OK response carries the
+			// first watch id, then the session's writer goroutine pushes
+			// EVENT frames until either side cuts (see session.go).
+			s.serveWatch(c, br, bw, &req)
+			return
 		} else if req.Op == wire.OpSubscribeWAL {
 			// A replication subscribe takes the connection over: answer
 			// the handshake, then the hub streams frames until either
@@ -321,8 +361,11 @@ func isExpectedClose(err error) bool {
 func (s *Server) Shutdown(ctx context.Context) error {
 	// Replication first: feeds and links hold connections open in
 	// handler goroutines; closing the hub/link lets them drain with the
-	// rest.
+	// rest. The TTL reaper stops too — draining requests stay correct
+	// without it (lazy expiry), and a reap mid-teardown has no one left
+	// to tell.
 	s.closeReplication()
+	s.store.StopTTLReaper()
 	s.mu.Lock()
 	s.shutdown = true
 	if s.ln != nil {

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"time"
+
+	"polytm/internal/repl"
+	"polytm/internal/session"
+	"polytm/internal/wire"
+)
+
+// serveWatch converts a connection into a watch session. The WATCH
+// request's OK response (carrying the first watch id) is the last frame
+// written by the request pipeline; after it, the connection is duplex:
+//
+//   - a writer goroutine owns bw and pushes session frames — EVENT in
+//     commit order, control acknowledgements (WATCH-OK, PONG), PING on
+//     an idle push half, and the terminal EVENT-LOST/ERR;
+//   - this goroutine becomes the reader, decoding client session frames
+//     (WATCH, UNWATCH, PING, PONG) and feeding the session's control
+//     queue. It never writes, so reader and writer never race on bw.
+//
+// Liveness is symmetric and uses the repl timeout taxonomy: the writer
+// PINGs every Idle, and the reader cuts the session when
+// Idle + 2×Reply passes without any client frame (a live client echoes
+// PONG, so a healthy link always has traffic inside the budget).
+func (s *Server) serveWatch(c net.Conn, br *bufio.Reader, bw *bufio.Writer, req *wire.Request) {
+	tv := s.cfg.SessionTimeouts.WithDefaults()
+	sess := s.store.Sessions().NewSession(s.cfg.WatchBuffer)
+	defer sess.Close()
+
+	// Register the first watch BEFORE the OK is written: the id must be
+	// known for the response, and any commit from here on is buffered
+	// behind it — the client can't see an event before its ack because
+	// the writer goroutine doesn't exist yet.
+	first := sess.Watch(string(req.Key), req.Prefix)
+	resp := wire.Response{Status: wire.StatusOK, N: first}
+	out, err := wire.AppendResponseFrame(nil, wire.OpWatch, &resp)
+	if err != nil {
+		return
+	}
+	if _, err := bw.Write(out); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	done := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		s.sessionWriter(c, bw, sess, tv, done)
+	}()
+	s.sessionReader(c, br, sess, tv)
+	close(done)
+	<-writerDone
+}
+
+// sessionWriter owns the session connection's write half: it parks on
+// the session's wake channel and drains queued output. It exits when
+// the session is cut (overflow → EVENT-LOST, protocol error → ERR),
+// when a write fails, or when the reader ends (done) — after one final
+// drain so a terminal ERR the reader queued still reaches the client.
+// It closes the connection on exit, which unblocks the reader.
+func (s *Server) sessionWriter(c net.Conn, bw *bufio.Writer, sess *session.Session, tv repl.Timeouts, done <-chan struct{}) {
+	defer c.Close()
+	ping := time.NewTicker(tv.Idle)
+	defer ping.Stop()
+	var (
+		out    []byte
+		keybuf []byte
+		evs    []session.Event
+		ctrls  []session.Ctrl
+	)
+	writeFrame := func(f *wire.SessFrame) bool {
+		var err error
+		out, err = wire.AppendSessFrame(out[:0], f)
+		if err != nil {
+			return false
+		}
+		c.SetWriteDeadline(time.Now().Add(tv.Reply))
+		_, err = bw.Write(out)
+		return err == nil
+	}
+	// drain sends everything the session has queued: control frames
+	// first (a WATCH-OK must precede the watch's first event — the
+	// session buffers them in that order and Take preserves it), then
+	// events, then the terminal EVENT-LOST if the session overflowed.
+	// Returns false when the writer must exit.
+	drain := func() bool {
+		var dropped uint64
+		var cut bool
+		evs, ctrls, dropped, cut = sess.Take(evs, ctrls)
+		for i := range ctrls {
+			ct := &ctrls[i]
+			f := wire.SessFrame{Kind: ct.Kind, WatchID: ct.WatchID, Code: ct.Code}
+			ok := writeFrame(&f)
+			if ct.Kind == wire.SessErr {
+				bw.Flush()
+				return false
+			}
+			if !ok {
+				return false
+			}
+		}
+		for i := range evs {
+			ev := &evs[i]
+			keybuf = append(keybuf[:0], ev.Key...)
+			f := wire.SessFrame{Kind: wire.SessEvent, WatchID: ev.WatchID, Seq: ev.Seq, Op: ev.Op, Key: keybuf}
+			if !writeFrame(&f) {
+				return false
+			}
+		}
+		if cut {
+			// Buffered events above were delivered; the client knows
+			// exactly how many it lost and that the session is over.
+			writeFrame(&wire.SessFrame{Kind: wire.SessEventLost, Dropped: dropped})
+			bw.Flush()
+			return false
+		}
+		return bw.Flush() == nil
+	}
+	for {
+		select {
+		case <-done:
+			drain() // a terminal ERR queued by the reader still goes out
+			return
+		case <-sess.Wake():
+			if !drain() {
+				return
+			}
+		case <-ping.C:
+			if !writeFrame(&wire.SessFrame{Kind: wire.SessPing}) || bw.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// sessionReader consumes the client half of a session connection. A
+// protocol violation (undecodable frame, a kind only the server may
+// send) queues a terminal ERR for the writer and returns; the writer's
+// final drain delivers it.
+func (s *Server) sessionReader(c net.Conn, br *bufio.Reader, sess *session.Session, tv repl.Timeouts) {
+	budget := tv.Idle + 2*tv.Reply
+	var (
+		payload []byte
+		f       wire.SessFrame
+	)
+	for {
+		// Deadline first, shutdown check second: if Shutdown runs before
+		// the check we exit here; if it runs after, its past deadline
+		// overwrites this one and the read below wakes immediately.
+		c.SetReadDeadline(time.Now().Add(budget))
+		s.mu.Lock()
+		down := s.shutdown
+		s.mu.Unlock()
+		if down {
+			return
+		}
+		var err error
+		payload, err = wire.ReadFrameBuf(br, payload, s.cfg.MaxFrame)
+		if err != nil {
+			if !isExpectedClose(err) {
+				s.logf("polyserve: %v: session read: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+		if err := wire.DecodeSessFrame(&f, payload); err != nil {
+			sess.EnqueueErr(wire.ProtoMalformed)
+			return
+		}
+		switch f.Kind {
+		case wire.SessWatch:
+			// Registration and WATCH-OK under one lock: the ack always
+			// precedes the new watch's first event.
+			sess.WatchAck(string(f.Key), f.Prefix)
+		case wire.SessUnwatch:
+			sess.Unwatch(f.WatchID)
+		case wire.SessPing:
+			sess.EnqueueCtrl(wire.SessPong, 0)
+		case wire.SessPong:
+			// The read itself proved liveness; nothing to queue.
+		default:
+			// EVENT, EVENT-LOST, WATCH-OK, ERR are server→client only.
+			sess.EnqueueErr(wire.ProtoBadSession)
+			return
+		}
+	}
+}

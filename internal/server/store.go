@@ -3,11 +3,15 @@ package server
 import (
 	"context"
 	"fmt"
+	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"polytm/internal/core"
+	"polytm/internal/session"
 	"polytm/internal/stm"
 	"polytm/internal/structures"
 	"polytm/internal/wal"
@@ -81,8 +85,16 @@ type shard struct {
 	tm  *core.TM
 	m   *structures.TSkipMap
 
+	// Session wiring (see internal/session and applyChanges): sess is
+	// the store-wide watch registry, notif orders this shard's
+	// committed changes for delivery, ttl holds its armed expiry
+	// deadlines.
+	sess  *session.Registry
+	notif *session.Notifier
+	ttl   ttlTable
+
 	wal  *wal.Log
-	caps sync.Pool // *walCapture, created by EnableDurability
+	caps sync.Pool // *walCapture, wired at store construction
 
 	// dirty tracks the keys mutated since the last checkpoint cut — the
 	// incremental checkpointer's working set; ckptMu serializes cuts so
@@ -98,17 +110,31 @@ type shard struct {
 }
 
 // capture returns the shard's pooled walCapture (escalating sem to the
-// irrevocable class) when the store is durable, nil (and sem unchanged)
-// otherwise. Durable stores escalate every mutation — even over an
-// explicit weaker override: the log needs a total order matching commit
-// order, the shard's irrevocable token is that order, and it guarantees
-// a reserved record's transaction commits.
+// irrevocable class) when the mutation has side effects to order —
+// durability, live watches, or armed TTL deadlines — nil (and sem
+// unchanged) otherwise. The escalation holds in every captured case,
+// even over an explicit weaker override: both the log and the session
+// notifier need a total order matching commit order, the shard's
+// irrevocable token is that order, and it guarantees a reserved
+// record's (and slot's) transaction commits. Session-free non-durable
+// mutations keep the historical un-escalated hot path.
 func (sh *shard) capture(sem core.Semantics) (*walCapture, core.Semantics) {
-	if sh.wal == nil {
+	if sh.wal == nil && sh.sess.ActiveWatches() == 0 && sh.ttl.Len() == 0 {
 		return nil, sem
 	}
 	cp := sh.caps.Get().(*walCapture)
 	cp.reset()
+	return cp, core.Irrevocable
+}
+
+// captureForce is capture with the session gate forced open: SETEX
+// must track its change even on an idle store (arming the first
+// deadline is what opens the gate for everyone else), and the reaper
+// must emit EventExpire regardless of who is watching.
+func (sh *shard) captureForce() (*walCapture, core.Semantics) {
+	cp := sh.caps.Get().(*walCapture)
+	cp.reset()
+	cp.track = true
 	return cp, core.Irrevocable
 }
 
@@ -128,6 +154,10 @@ func (sh *shard) atomicMut(ctx context.Context, sem core.Semantics, cp *walCaptu
 	if err := cp.wait(); err != nil {
 		return err
 	}
+	// Session delivery gate: an acked mutation's events are buffered to
+	// every matching watcher and its TTL effects applied before the
+	// client sees OK.
+	cp.waitDelivered()
 	// Sync-ack replication: the record is locally durable; additionally
 	// wait for a follower ack covering it. (Cross-shard commits go
 	// through twopc.go, not here — they acknowledge on local durability
@@ -171,6 +201,16 @@ type Store struct {
 	primaryAddr  atomic.Pointer[string]
 	replCounters atomic.Pointer[func() []wire.Counter]
 
+	// Session subsystem (see internal/session): the watch registry all
+	// shards publish through, plus the STATS counters the wire reports.
+	sessions    *session.Registry
+	keysExpired atomic.Uint64 // keys the reaper durably deleted
+	incrOps     atomic.Uint64 // INCR/DECR operations served
+
+	// TTL reaper lifecycle (StartTTLReaper / StopTTLReaper).
+	reapStop chan struct{}
+	reapDone chan struct{}
+
 	logf     func(format string, args ...any) // diagnostics sink (durable stores)
 	ckptStop chan struct{}
 	ckptDone chan struct{}
@@ -193,11 +233,67 @@ func NewShardedStore(tms []*core.TM) *Store {
 	if len(tms) == 0 {
 		panic("server: store needs at least one shard")
 	}
-	s := &Store{shards: make([]*shard, len(tms))}
+	s := &Store{shards: make([]*shard, len(tms)), sessions: session.NewRegistry()}
 	for i, tm := range tms {
-		s.shards[i] = &shard{idx: i, tm: tm, m: structures.NewTSkipMap(tm)}
+		sh := &shard{idx: i, tm: tm, m: structures.NewTSkipMap(tm), sess: s.sessions}
+		sh.notif = session.NewNotifier(func(cs []session.Change) { s.applyChanges(sh, cs) })
+		sh.caps.New = func() any { return &walCapture{sh: sh, next: sh.tm.Engine().Observer()} }
+		s.shards[i] = sh
 	}
 	return s
+}
+
+// Sessions returns the store's watch registry (the server's session
+// connections register through it).
+func (s *Store) Sessions() *session.Registry { return s.sessions }
+
+// applyChanges is shard sh's notifier deliver callback: it runs with
+// committed changes strictly in sh's commit order (serialized under
+// the notifier). Each change first lands its TTL effect on the shard's
+// table, then fans out to the watch sessions. A FLUSH drops every
+// deadline on the shard; to keep a multi-shard FLUSH from showing up
+// N times, only shard 0 — a participant of every flush — publishes the
+// event.
+func (s *Store) applyChanges(sh *shard, cs []session.Change) {
+	for i := range cs {
+		ch := &cs[i]
+		switch ch.Op {
+		case wire.EventFlush:
+			sh.ttl.clearAll()
+			if sh.idx != 0 {
+				continue
+			}
+		case wire.EventSet:
+			switch {
+			case ch.TTL > 0:
+				sh.ttl.set(ch.Key, nowNanos()+int64(ch.TTL))
+			case !ch.KeepTTL:
+				sh.ttl.clear(ch.Key)
+			}
+		case wire.EventDel, wire.EventExpire:
+			sh.ttl.clear(ch.Key)
+		}
+		s.sessions.Publish(ch.Op, ch.Key)
+	}
+}
+
+// expiredNow reports whether key is past an armed deadline on sh —
+// the read paths' lazy-expiry check. The Len gate keeps TTL-free
+// stores at one atomic load.
+func (sh *shard) expiredNow(key []byte) bool {
+	if sh.ttl.Len() == 0 {
+		return false
+	}
+	return sh.ttl.expired(lookupKey(key), nowNanos())
+}
+
+// expiredNowStr is expiredNow for keys already materialized as strings
+// (scan callbacks).
+func (sh *shard) expiredNowStr(key string) bool {
+	if sh.ttl.Len() == 0 {
+		return false
+	}
+	return sh.ttl.expired(key, nowNanos())
 }
 
 // TM returns shard 0's transactional memory (stats, tests; see
@@ -324,6 +420,17 @@ func (s *Store) ExecuteCtx(ctx context.Context, req *wire.Request, resp *wire.Re
 		s.mget(ctx, req.Keys, sem, resp)
 	case wire.OpTxn:
 		s.txn(ctx, req.Batch, sem, resp)
+	case wire.OpIncr:
+		s.incr(ctx, s.route(req.Key), req.Key, req.Delta, false, sem, resp)
+	case wire.OpDecr:
+		s.incr(ctx, s.route(req.Key), req.Key, req.Delta, true, sem, resp)
+	case wire.OpSetEx:
+		s.setex(ctx, s.route(req.Key), req.Key, req.Val, time.Duration(req.TTLMillis)*time.Millisecond, resp)
+	case wire.OpWatch:
+		// A watch reaching the execution path means no session-capable
+		// connection intercepted it (in-process store, or a server bug):
+		// there is nowhere to push events to.
+		errInto(resp, &wire.ProtocolError{Code: wire.ProtoBadSession, Detail: "WATCH needs a server connection to push events on"})
 	case wire.OpStats:
 		s.stats(resp)
 	case wire.OpFlush:
@@ -353,6 +460,7 @@ func resetResponse(r *wire.Response) {
 	r.Batch = r.Batch[:0]
 	r.Counters = r.Counters[:0]
 	r.N = 0
+	r.Int = 0
 	r.Msg = ""
 	r.SubOp = 0
 }
@@ -410,7 +518,10 @@ func (s *Store) get(ctx context.Context, sh *shard, key []byte, sem core.Semanti
 		if err != nil {
 			return err
 		}
-		if !ok {
+		// Lazy expiry: a key past its armed deadline reads as absent even
+		// before the reaper's delete lands (the reaper is the only thing
+		// that mutates here — reads never write).
+		if !ok || sh.expiredNow(key) {
 			resp.Status = wire.StatusNotFound
 			resp.Val = resp.Val[:0]
 			return nil
@@ -459,7 +570,7 @@ func (s *Store) cas(ctx context.Context, sh *shard, key, old, val []byte, sem co
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if !ok || sh.expiredNow(key) {
 			resp.Status = wire.StatusNotFound
 			resp.Val = resp.Val[:0]
 			return nil
@@ -492,6 +603,13 @@ func (s *Store) del(ctx context.Context, sh *shard, key []byte, sem core.Semanti
 	}
 	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
 		cp.begin()
+		// An expired entry is absent to DEL too; its physical removal
+		// stays with the reaper so expiry reaches the WAL (and every
+		// follower) exactly once, as the reaper's delete.
+		if sh.expiredNow(key) {
+			resp.Status = wire.StatusNotFound
+			return nil
+		}
 		removed, err := sh.m.DeleteTx(tx, lookupKey(key))
 		if err != nil {
 			return err
@@ -510,6 +628,95 @@ func (s *Store) del(ctx context.Context, sh *shard, key []byte, sem core.Semanti
 	}
 }
 
+// incr is the server-side counter: one def-class read-modify-write
+// round trip, with contention left to the engine's contention manager
+// instead of client CAS loops. A missing (or expired) key counts from
+// zero; a non-integer value is a clean StatusErr committed read-only
+// (like a CAS mismatch, it is an outcome, not an engine failure). The
+// new value rides back in resp.Int. Counters keep an armed TTL ticking
+// (KeepTTL) — touching a counter neither re-arms nor disarms it —
+// except when the increment revives an expired entry, which must not
+// inherit the dead deadline.
+func (s *Store) incr(ctx context.Context, sh *shard, key []byte, delta uint64, negate bool, sem core.Semantics, resp *wire.Response) {
+	if delta > math.MaxInt64 {
+		errInto(resp, fmt.Errorf("server: INCR delta %d overflows int64", delta))
+		return
+	}
+	d := int64(delta)
+	if negate {
+		d = -d
+	}
+	cp, sem := sh.capture(sem)
+	if cp != nil {
+		defer sh.caps.Put(cp)
+	}
+	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
+		cp.begin()
+		cur, ok, err := sh.m.GetTx(tx, lookupKey(key))
+		if err != nil {
+			return err
+		}
+		expired := ok && sh.expiredNow(key)
+		var n int64
+		if ok && !expired {
+			n, err = strconv.ParseInt(cur, 10, 64)
+			if err != nil {
+				resp.Status = wire.StatusErr
+				resp.Msg = fmt.Sprintf("server: INCR on non-integer value %q", cur)
+				return nil
+			}
+		}
+		if (d > 0 && n > math.MaxInt64-d) || (d < 0 && n < math.MinInt64-d) {
+			resp.Status = wire.StatusErr
+			resp.Msg = fmt.Sprintf("server: counter %d%+d overflows int64", n, d)
+			return nil
+		}
+		nv := n + d
+		val := strconv.FormatInt(nv, 10)
+		if _, err := sh.m.PutTx(tx, string(key), val); err != nil {
+			return err
+		}
+		resp.Status = wire.StatusOK
+		resp.Int = nv
+		cp.setOpts(key, []byte(val), 0, !expired)
+		cp.reserve()
+		return nil
+	})
+	if err != nil {
+		errInto(resp, err)
+		return
+	}
+	s.incrOps.Add(1)
+}
+
+// setex is SET with a TTL: the write is logged and replicated as an
+// ordinary set (TTL never persists); the armed deadline lives in the
+// shard's in-memory table, applied through the notifier so it lands in
+// commit order before the ack. The capture is forced: arming the first
+// deadline is what turns the session gate on.
+func (s *Store) setex(ctx context.Context, sh *shard, key, val []byte, ttl time.Duration, resp *wire.Response) {
+	if ttl <= 0 {
+		errInto(resp, wire.ErrZeroTTL)
+		return
+	}
+	cp, sem := sh.captureForce()
+	defer sh.caps.Put(cp)
+	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
+		cp.begin()
+		if _, err := sh.m.PutTx(tx, string(key), string(val)); err != nil {
+			return err
+		}
+		cp.setOpts(key, val, ttl, false)
+		cp.reserve()
+		return nil
+	})
+	if err != nil {
+		errInto(resp, err)
+		return
+	}
+	resp.Status = wire.StatusOK
+}
+
 func (s *Store) scan(ctx context.Context, from, to []byte, limit uint64, sem core.Semantics, resp *wire.Response) {
 	if len(s.shards) > 1 {
 		s.scanFanout(ctx, from, to, limit, sem, resp)
@@ -519,9 +726,18 @@ func (s *Store) scan(ctx context.Context, from, to []byte, limit uint64, sem cor
 	sh.routed.Add(1)
 	err := sh.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 		resp.Pairs = resp.Pairs[:0]
-		return sh.m.RangeTx(tx, lookupKey(from), lookupKey(to), int(limit), func(k, v string) bool {
+		rangeLimit := int(limit)
+		if sh.ttl.Len() > 0 {
+			// Expired entries are filtered below and must not consume the
+			// limit: range unbounded, stop once enough live pairs landed.
+			rangeLimit = 0
+		}
+		return sh.m.RangeTx(tx, lookupKey(from), lookupKey(to), rangeLimit, func(k, v string) bool {
+			if sh.expiredNowStr(k) {
+				return true
+			}
 			appendPair(resp, k, v)
-			return true
+			return limit == 0 || uint64(len(resp.Pairs)) < limit
 		})
 	})
 	if err != nil {
@@ -603,7 +819,7 @@ func applySubOp(tx *core.Tx, sh *shard, sub *wire.Request, out *wire.Response, r
 		if err != nil {
 			return err
 		}
-		if ok {
+		if ok && !sh.expiredNow(sub.Key) {
 			out.Status = wire.StatusOK
 			out.Val = append(out.Val, v...)
 		} else {
@@ -621,7 +837,7 @@ func applySubOp(tx *core.Tx, sh *shard, sub *wire.Request, out *wire.Response, r
 			return err
 		}
 		switch {
-		case !ok:
+		case !ok || sh.expiredNow(sub.Key):
 			out.Status = wire.StatusNotFound
 		case cur != lookupKey(sub.Old):
 			out.Status = wire.StatusCASMismatch
@@ -634,6 +850,10 @@ func applySubOp(tx *core.Tx, sh *shard, sub *wire.Request, out *wire.Response, r
 			record(wal.OpSet, sub.Key, sub.Val)
 		}
 	case wire.OpDel:
+		if sh.expiredNow(sub.Key) {
+			out.Status = wire.StatusNotFound
+			break
+		}
 		removed, err := sh.m.DeleteTx(tx, lookupKey(sub.Key))
 		if err != nil {
 			return err
@@ -681,6 +901,18 @@ func (s *Store) stats(resp *wire.Response) {
 		)
 	}
 	cs = append(cs, wire.Counter{Name: "store_shards", Value: uint64(len(s.shards))})
+	var armed uint64
+	for _, sh := range s.shards {
+		armed += uint64(sh.ttl.Len())
+	}
+	cs = append(cs,
+		wire.Counter{Name: "watch_sessions", Value: uint64(s.sessions.Sessions())},
+		wire.Counter{Name: "events_pushed", Value: s.sessions.EventsPushed()},
+		wire.Counter{Name: "events_lost", Value: s.sessions.EventsLost()},
+		wire.Counter{Name: "keys_expired", Value: s.keysExpired.Load()},
+		wire.Counter{Name: "ttl_armed", Value: armed},
+		wire.Counter{Name: "incr_ops", Value: s.incrOps.Load()},
+	)
 	cs = append(cs,
 		wire.Counter{Name: "repl_role", Value: uint64(s.role.Load())},
 		wire.Counter{Name: "repl_failovers", Value: s.failovers.Load()},

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"polytm/internal/core"
+	"polytm/internal/session"
 	"polytm/internal/wal"
 	"polytm/internal/wire"
 )
@@ -214,6 +215,66 @@ func (s *Store) crossShard(ctx context.Context, parts []xpart, label string) err
 	return errXShardAbort
 }
 
+// sessionTrack reports whether cross-shard commits must collect
+// session changes: a watch is live, or some shard has armed TTL
+// deadlines a SET/DEL/FLUSH would have to disarm.
+func (s *Store) sessionTrack() bool {
+	if s.sessions.ActiveWatches() > 0 {
+		return true
+	}
+	for _, sh := range s.shards {
+		if sh.ttl.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// partSess is one cross-shard participant's session side: the changes
+// its share collected and the notifier slot its body reserved (under
+// its token, so the slot sits at the participant's commit position).
+// The slots resolve after crossShard returns — Commit on success,
+// Cancel on abort — exactly the walCapture lifecycle, hand-rolled
+// because cross-shard bodies build prepare records, not captures.
+type partSess struct {
+	sh   *shard
+	chs  []session.Change
+	slot uint64
+	on   bool
+}
+
+// reserve takes the participant's notifier slot if it collected any
+// changes. Called as the apply body's last step, under the token.
+func (ps *partSess) reserve() {
+	if ps != nil && len(ps.chs) > 0 {
+		ps.slot = ps.sh.notif.Reserve()
+		ps.on = true
+	}
+}
+
+// resolveSess resolves every reserved participant slot: delivery on
+// commit (waiting until watchers and TTL tables have it, like a
+// single-shard ack), tombstone on abort.
+func resolveSess(parts []*partSess, commit bool) {
+	for _, ps := range parts {
+		if !ps.on {
+			continue
+		}
+		if commit {
+			ps.sh.notif.Commit(ps.slot, ps.chs)
+		} else {
+			ps.sh.notif.Cancel(ps.slot)
+		}
+	}
+	if commit {
+		for _, ps := range parts {
+			if ps.on {
+				ps.sh.notif.Wait(ps.slot)
+			}
+		}
+	}
+}
+
 // txnCross commits a TXN batch spanning shards. Sub-responses are
 // pre-created so the per-shard bodies write disjoint slots.
 func (s *Store) txnCross(ctx context.Context, batch []wire.Request, resp *wire.Response) {
@@ -226,7 +287,9 @@ func (s *Store) txnCross(ctx context.Context, batch []wire.Request, resp *wire.R
 	for i := range batch {
 		groups[s.shardIdx(batch[i].Key)] = append(groups[s.shardIdx(batch[i].Key)], i)
 	}
+	track := s.sessionTrack()
 	parts := make([]xpart, 0, len(s.shards))
+	sess := make([]*partSess, 0, len(s.shards))
 	for si, idxs := range groups {
 		if len(idxs) == 0 {
 			continue
@@ -234,6 +297,8 @@ func (s *Store) txnCross(ctx context.Context, batch []wire.Request, resp *wire.R
 		sh := s.shards[si]
 		sh.routed.Add(uint64(len(idxs)))
 		idxs := idxs
+		ps := &partSess{sh: sh}
+		sess = append(sess, ps)
 		parts = append(parts, xpart{sh: sh, apply: func(tx *core.Tx, rec []byte) ([]byte, error) {
 			for _, j := range idxs {
 				out := &resp.Batch[j]
@@ -243,8 +308,14 @@ func (s *Store) txnCross(ctx context.Context, batch []wire.Request, resp *wire.R
 					switch kind {
 					case wal.OpSet:
 						rec = wal.AppendSet(rec, key, val)
+						if track {
+							ps.chs = append(ps.chs, session.Change{Op: wire.EventSet, Key: string(key)})
+						}
 					case wal.OpDel:
 						rec = wal.AppendDel(rec, key)
+						if track {
+							ps.chs = append(ps.chs, session.Change{Op: wire.EventDel, Key: string(key)})
+						}
 					}
 					if sh.wal != nil {
 						sh.dirty.mark(key)
@@ -254,14 +325,17 @@ func (s *Store) txnCross(ctx context.Context, batch []wire.Request, resp *wire.R
 					return rec, err
 				}
 			}
+			ps.reserve()
 			return rec, nil
 		}})
 	}
 	if err := s.crossShard(ctx, parts, "xshard-txn"); err != nil {
+		resolveSess(sess, false)
 		resp.Batch = resp.Batch[:0]
 		errInto(resp, err)
 		return
 	}
+	resolveSess(sess, true)
 	resp.Status = wire.StatusOK
 }
 
@@ -269,10 +343,14 @@ func (s *Store) txnCross(ctx context.Context, batch []wire.Request, resp *wire.R
 // cross-shard commit, summing the per-shard counts into resp.N.
 func (s *Store) adminCross(ctx context.Context, kind wal.OpKind, resp *wire.Response) {
 	var total atomic.Uint64
+	track := s.sessionTrack()
 	parts := make([]xpart, len(s.shards))
+	sess := make([]*partSess, len(s.shards))
 	for i, sh := range s.shards {
 		sh.routed.Add(1)
 		sh := sh
+		ps := &partSess{sh: sh}
+		sess[i] = ps
 		parts[i] = xpart{sh: sh, apply: func(tx *core.Tx, rec []byte) ([]byte, error) {
 			var n int
 			var err error
@@ -291,8 +369,16 @@ func (s *Store) adminCross(ctx context.Context, kind wal.OpKind, resp *wire.Resp
 				if sh.wal != nil {
 					sh.dirty.markFlush()
 				}
+				if track {
+					// Every participant's change clears its own TTL table;
+					// only shard 0's delivery publishes the single FLUSH
+					// event watchers see (see applyChanges).
+					ps.chs = append(ps.chs, session.Change{Op: wire.EventFlush})
+				}
+				ps.reserve()
 				return wal.AppendFlush(rec), nil
 			}
+			// REBUILD keeps every key: no events, deadlines stay armed.
 			return wal.AppendRebuild(rec), nil
 		}}
 	}
@@ -301,9 +387,11 @@ func (s *Store) adminCross(ctx context.Context, kind wal.OpKind, resp *wire.Resp
 		label = "xshard-rebuild"
 	}
 	if err := s.crossShard(ctx, parts, label); err != nil {
+		resolveSess(sess, false)
 		errInto(resp, err)
 		return
 	}
+	resolveSess(sess, true)
 	resp.N = total.Load()
 	resp.Status = wire.StatusOK
 }

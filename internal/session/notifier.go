@@ -1,0 +1,139 @@
+// Package session is polyserve's stateful session subsystem: per-shard
+// commit-ordered change notifiers, a registry of watch sessions with
+// exact/prefix matching, and bounded per-session push buffers whose
+// overflow cuts the session instead of blocking commits.
+//
+// The ordering design mirrors the write-ahead log's two-phase append
+// (see internal/wal and the walCapture in internal/server): a mutating
+// transaction reserves a notifier slot at the end of its body — under a
+// durable shard's irrevocable token, so reservation order is exactly
+// commit order — then confirms the slot with its changes on commit or
+// tombstones it on abort. Slots are DELIVERED strictly in reservation
+// order: a slot resolved early waits for its predecessors, so watchers
+// observe one commit order, the same one the log records.
+package session
+
+import (
+	"sync"
+	"time"
+
+	"polytm/internal/wire"
+)
+
+// Change is one committed mutation handed from a shard's transaction
+// capture to its notifier. Key is an owned copy (wire buffers are
+// reused); TTL carries SETEX's time-to-live.
+type Change struct {
+	Op  wire.EventOp
+	Key string
+	// TTL > 0 arms expiry TTL after delivery (SETEX). TTL == 0 on an
+	// EventSet clears any existing deadline — a plain SET means "no
+	// expiry" — unless KeepTTL is set.
+	TTL time.Duration
+	// KeepTTL preserves the key's existing deadline across this write
+	// (INCR/DECR: touching a counter does not re-arm or disarm it).
+	KeepTTL bool
+}
+
+// Notifier orders one shard's committed changes for delivery. Reserve /
+// Commit / Cancel follow the transaction lifecycle; the deliver
+// callback — TTL-table application plus registry fan-out, supplied by
+// the store — runs with slots in reservation order, serialized under
+// the notifier's lock.
+type Notifier struct {
+	deliver func([]Change)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	next     uint64              // next slot id to hand out
+	head     uint64              // lowest unresolved-or-undelivered slot
+	resolved map[uint64][]Change // slots resolved ahead of head (nil = cancelled)
+}
+
+// NewNotifier creates a notifier delivering through fn.
+func NewNotifier(fn func([]Change)) *Notifier {
+	n := &Notifier{deliver: fn, resolved: make(map[uint64][]Change)}
+	n.cond = sync.NewCond(&n.mu)
+	return n
+}
+
+// Reserve allocates the next slot. Called at the end of a transaction
+// body, after the last mutation and before commit — under a durable
+// shard's irrevocable token that makes slot order commit order.
+func (n *Notifier) Reserve() uint64 {
+	n.mu.Lock()
+	id := n.next
+	n.next++
+	n.mu.Unlock()
+	return id
+}
+
+// Commit resolves a slot with its transaction's changes. When the slot
+// is at the head, it (and any successors resolved early) delivers
+// before Commit returns — so a mutation that waits for its own slot
+// (Wait) is guaranteed its events are buffered and its TTL effects
+// visible before the client sees the ack. changes is borrowed for the
+// duration of the call; the notifier copies it if delivery must wait.
+func (n *Notifier) Commit(id uint64, changes []Change) {
+	n.mu.Lock()
+	if id == n.head {
+		if len(changes) > 0 {
+			n.deliver(changes)
+		}
+		n.head++
+		n.drainLocked()
+	} else {
+		cp := make([]Change, len(changes))
+		copy(cp, changes)
+		n.resolved[id] = cp
+	}
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// Cancel tombstones an aborted transaction's slot.
+func (n *Notifier) Cancel(id uint64) {
+	n.Commit(id, nil)
+}
+
+// drainLocked delivers every already-resolved slot now contiguous with
+// the head.
+func (n *Notifier) drainLocked() {
+	for {
+		ch, ok := n.resolved[n.head]
+		if !ok {
+			return
+		}
+		delete(n.resolved, n.head)
+		if len(ch) > 0 {
+			n.deliver(ch)
+		}
+		n.head++
+	}
+}
+
+// Wait blocks until slot id has been delivered (or cancelled). The
+// store calls it before acknowledging a mutation, closing the window
+// between "committed" and "watchers/TTL see it".
+func (n *Notifier) Wait(id uint64) {
+	n.mu.Lock()
+	for n.head <= id {
+		n.cond.Wait()
+	}
+	n.mu.Unlock()
+}
+
+// Sync blocks until every slot reserved before the call has been
+// delivered or cancelled. The TTL reaper runs it before re-checking
+// deadlines: any SETEX that committed earlier (under the token, every
+// earlier commit also reserved earlier) has applied its deadline by the
+// time Sync returns, so the reaper never deletes a key whose TTL was
+// just extended.
+func (n *Notifier) Sync() {
+	n.mu.Lock()
+	target := n.next
+	for n.head < target {
+		n.cond.Wait()
+	}
+	n.mu.Unlock()
+}

@@ -1,0 +1,229 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"polytm/internal/wire"
+)
+
+// TestNotifierDeliversInReserveOrder resolves slots out of order and
+// asserts delivery still follows reservation order, with cancelled
+// slots skipped.
+func TestNotifierDeliversInReserveOrder(t *testing.T) {
+	var got []string
+	n := NewNotifier(func(cs []Change) {
+		for _, c := range cs {
+			got = append(got, c.Key)
+		}
+	})
+	a, b, c, d := n.Reserve(), n.Reserve(), n.Reserve(), n.Reserve()
+	n.Commit(c, []Change{{Op: wire.EventSet, Key: "c"}})
+	n.Commit(d, []Change{{Op: wire.EventSet, Key: "d"}})
+	if len(got) != 0 {
+		t.Fatalf("delivered %v before head resolved", got)
+	}
+	n.Cancel(b)
+	if len(got) != 0 {
+		t.Fatalf("delivered %v before head resolved", got)
+	}
+	n.Commit(a, []Change{{Op: wire.EventSet, Key: "a"}})
+	want := []string{"a", "c", "d"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("delivery order %v, want %v", got, want)
+	}
+	n.Wait(d) // everything delivered: must not block
+	n.Sync()
+}
+
+// TestNotifierWaitBlocksUntilDelivered runs Wait concurrently with a
+// straggling predecessor.
+func TestNotifierWaitBlocksUntilDelivered(t *testing.T) {
+	delivered := make(chan string, 8)
+	n := NewNotifier(func(cs []Change) {
+		for _, c := range cs {
+			delivered <- c.Key
+		}
+	})
+	first := n.Reserve()
+	second := n.Reserve()
+	n.Commit(second, []Change{{Op: wire.EventSet, Key: "second"}})
+	done := make(chan struct{})
+	go func() {
+		n.Wait(second)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Wait returned before the predecessor resolved")
+	default:
+	}
+	n.Commit(first, []Change{{Op: wire.EventSet, Key: "first"}})
+	<-done
+	if a, b := <-delivered, <-delivered; a != "first" || b != "second" {
+		t.Fatalf("delivery order %q,%q, want first,second", a, b)
+	}
+}
+
+// TestNotifierConcurrent hammers the notifier from many goroutines and
+// asserts every committed change delivers exactly once, in slot order.
+func TestNotifierConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var got []string
+	n := NewNotifier(func(cs []Change) {
+		mu.Lock()
+		for _, c := range cs {
+			got = append(got, c.Key)
+		}
+		mu.Unlock()
+	})
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := n.Reserve()
+				if i%3 == 0 {
+					n.Cancel(id)
+					continue
+				}
+				n.Commit(id, []Change{{Op: wire.EventSet, Key: fmt.Sprintf("w%d-%d", w, i)}})
+				n.Wait(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	n.Sync()
+	perWorker := 0
+	for i := 0; i < per; i++ {
+		if i%3 != 0 {
+			perWorker++
+		}
+	}
+	want := workers * perWorker
+	if len(got) != want {
+		t.Fatalf("delivered %d changes, want %d", len(got), want)
+	}
+	seen := make(map[string]bool, len(got))
+	for _, k := range got {
+		if seen[k] {
+			t.Fatalf("change %q delivered twice", k)
+		}
+		seen[k] = true
+	}
+}
+
+// TestRegistryMatching covers exact and prefix watches, flush
+// broadcast, and the ActiveWatches gate.
+func TestRegistryMatching(t *testing.T) {
+	r := NewRegistry()
+	if r.ActiveWatches() != 0 {
+		t.Fatalf("fresh registry reports %d watches", r.ActiveWatches())
+	}
+	r.Publish(wire.EventSet, "ignored") // no watches: must not count
+	s := r.NewSession(16)
+	exact := s.Watch("k1", false)
+	pre := s.Watch("user:", true)
+	if r.ActiveWatches() != 2 || r.Sessions() != 1 {
+		t.Fatalf("watches=%d sessions=%d, want 2/1", r.ActiveWatches(), r.Sessions())
+	}
+	r.Publish(wire.EventSet, "k1")     // exact only
+	r.Publish(wire.EventSet, "user:7") // prefix only
+	r.Publish(wire.EventDel, "other")  // neither
+	r.Publish(wire.EventFlush, "")     // both
+	evs, _, dropped, cut := s.Take(nil, nil)
+	if dropped != 0 || cut {
+		t.Fatalf("dropped=%d cut=%v on an underfull buffer", dropped, cut)
+	}
+	type k struct {
+		id  uint64
+		op  wire.EventOp
+		key string
+	}
+	want := []k{
+		{exact, wire.EventSet, "k1"},
+		{pre, wire.EventSet, "user:7"},
+		{exact, wire.EventFlush, ""},
+		{pre, wire.EventFlush, ""},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events %v, want %d", len(evs), evs, len(want))
+	}
+	var lastSeq uint64
+	for i, ev := range evs {
+		w := want[i]
+		if ev.WatchID != w.id || ev.Op != w.op || ev.Key != w.key {
+			t.Fatalf("event %d = %+v, want %+v", i, ev, w)
+		}
+		if ev.Seq < lastSeq {
+			t.Fatalf("event %d seq %d below predecessor %d", i, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+	}
+	if got := r.EventsPushed(); got != 4 {
+		t.Fatalf("events_pushed=%d, want 4", got)
+	}
+	if !s.Unwatch(exact) || s.Unwatch(exact) {
+		t.Fatal("Unwatch idempotence broken")
+	}
+	if r.ActiveWatches() != 1 {
+		t.Fatalf("watches=%d after unwatch, want 1", r.ActiveWatches())
+	}
+	s.Close()
+	s.Close() // idempotent
+	if r.ActiveWatches() != 0 || r.Sessions() != 0 {
+		t.Fatalf("watches=%d sessions=%d after close, want 0/0", r.ActiveWatches(), r.Sessions())
+	}
+}
+
+// TestSessionOverflowCuts fills a tiny buffer and asserts the overflow
+// contract: buffered events survive, extra events count as dropped,
+// the session reports cut, and nothing ever blocks.
+func TestSessionOverflowCuts(t *testing.T) {
+	r := NewRegistry()
+	s := r.NewSession(2)
+	s.Watch("k", false)
+	for i := 0; i < 5; i++ {
+		r.Publish(wire.EventSet, "k")
+	}
+	evs, _, dropped, cut := s.Take(nil, nil)
+	if !cut {
+		t.Fatal("overflowed session not marked cut")
+	}
+	if len(evs) != 2 || dropped != 3 {
+		t.Fatalf("events=%d dropped=%d, want 2 buffered / 3 dropped", len(evs), dropped)
+	}
+	if r.EventsLost() != 3 || r.EventsPushed() != 2 {
+		t.Fatalf("lost=%d pushed=%d, want 3/2", r.EventsLost(), r.EventsPushed())
+	}
+	// Once overflowed, nothing buffers again even with room taken.
+	r.Publish(wire.EventSet, "k")
+	evs, _, dropped, cut = s.Take(evs, nil)
+	if len(evs) != 0 || dropped != 4 || !cut {
+		t.Fatalf("post-cut take: events=%d dropped=%d cut=%v, want 0/4/true", len(evs), dropped, cut)
+	}
+	s.Close()
+}
+
+// TestSessionCtrlQueue orders control frames for the writer.
+func TestSessionCtrlQueue(t *testing.T) {
+	r := NewRegistry()
+	s := r.NewSession(4)
+	s.EnqueueCtrl(wire.SessWatchOK, 1)
+	s.EnqueueCtrl(wire.SessPong, 0)
+	s.EnqueueCtrl(wire.SessWatchOK, 2)
+	select {
+	case <-s.Wake():
+	default:
+		t.Fatal("ctrl enqueue did not wake the writer")
+	}
+	_, ctrls, _, _ := s.Take(nil, nil)
+	want := []Ctrl{{Kind: wire.SessWatchOK, WatchID: 1}, {Kind: wire.SessPong}, {Kind: wire.SessWatchOK, WatchID: 2}}
+	if fmt.Sprint(ctrls) != fmt.Sprint(want) {
+		t.Fatalf("ctrl queue %v, want %v", ctrls, want)
+	}
+	s.Close()
+}

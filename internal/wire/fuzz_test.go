@@ -68,6 +68,9 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte{byte(OpTxn), SemDefault, 1, byte(OpFlush)})
 	f.Add([]byte{byte(OpSet), byte(stm.SemanticsSnapshot), 1, 'k', 1, 'v'})
 	f.Add(append([]byte{byte(OpMGet), SemDefault}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01))
+	f.Add([]byte{byte(OpWatch), SemDefault, 9, 1, 'k'})         // bad mode byte
+	f.Add([]byte{byte(OpSetEx), SemDefault, 1, 'k', 1, 'v', 0}) // zero TTL
+	f.Add([]byte{byte(OpIncr), SemDefault, 1, 'k'})             // missing delta
 	// One valid payload per opcode.
 	for _, r := range []*Request{
 		{Op: OpGet, Sem: SemDefault, Key: []byte("k")},
@@ -83,6 +86,11 @@ func FuzzDecodeRequest(f *testing.F) {
 		{Op: OpStats, Sem: SemDefault},
 		{Op: OpFlush, Sem: SemDefault},
 		{Op: OpRebuild, Sem: SemDefault},
+		{Op: OpWatch, Sem: SemDefault, Key: []byte("k")},
+		{Op: OpWatch, Sem: SemDefault, Key: []byte("user:"), Prefix: true},
+		{Op: OpIncr, Sem: SemDefault, Key: []byte("ctr"), Delta: 3},
+		{Op: OpDecr, Sem: SemDefault, Key: []byte("ctr"), Delta: 1},
+		{Op: OpSetEx, Sem: SemDefault, Key: []byte("k"), Val: []byte("v"), TTLMillis: 1500},
 	} {
 		payload, err := AppendRequest(nil, r)
 		if err != nil {
@@ -141,7 +149,12 @@ func FuzzDecodeResponse(f *testing.F) {
 		}}},
 		{OpStats, &Response{Status: StatusOK, Counters: []Counter{{Name: "commits", Value: 3}}}},
 		{OpFlush, &Response{Status: StatusOK, N: 12}},
+		{OpWatch, &Response{Status: StatusOK, N: 7}},
+		{OpIncr, &Response{Status: StatusOK, Int: 42}},
+		{OpDecr, &Response{Status: StatusOK, Int: -5}},
+		{OpSetEx, &Response{Status: StatusOK}},
 		{OpGet, &Response{Status: StatusErr, Msg: "boom"}},
+		{OpIncr, &Response{Status: StatusErr, Msg: (&ProtocolError{Code: ProtoUnknownOp}).Error()}},
 	} {
 		payload, err := AppendResponse(nil, c.op, c.resp)
 		if err != nil {
@@ -174,6 +187,60 @@ func FuzzDecodeResponse(f *testing.F) {
 		}
 		if _, err := AppendResponse(nil, op, resp); err != nil {
 			t.Fatalf("decoded %v response does not re-encode: %v (%+v)", op, err, resp)
+		}
+	})
+}
+
+// FuzzDecodeSessFrame throws arbitrary payloads at the session-frame
+// decoder and re-encodes whatever it accepts.
+func FuzzDecodeSessFrame(f *testing.F) {
+	for _, sf := range []*SessFrame{
+		{Kind: SessEvent, WatchID: 1, Seq: 42, Op: EventSet, Key: []byte("k")},
+		{Kind: SessEvent, WatchID: 2, Seq: 43, Op: EventExpire, Key: []byte("ttl:k")},
+		{Kind: SessEvent, WatchID: 2, Seq: 44, Op: EventFlush},
+		{Kind: SessEventLost, Dropped: 9},
+		{Kind: SessPing},
+		{Kind: SessPong},
+		{Kind: SessWatch, Key: []byte("user:"), Prefix: true},
+		{Kind: SessWatchOK, WatchID: 3},
+		{Kind: SessUnwatch, WatchID: 3},
+		{Kind: SessErr, Code: ProtoBadSession, Detail: []byte("request opcode on session")},
+	} {
+		frame, err := AppendSessFrame(nil, sf)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:]) // payload only: kind | body
+	}
+	// Hostile seeds.
+	f.Add([]byte{})
+	f.Add([]byte{byte(SessEvent)})                   // truncated
+	f.Add([]byte{byte(SessEvent), 1, 1, 99, 1, 'k'}) // bad event op
+	f.Add([]byte{byte(SessWatch), 7, 1, 'k'})        // bad mode byte
+	f.Add([]byte{byte(SessPong), 0})                 // trailing byte
+	f.Add([]byte{0xEE})                              // unknown kind
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sf SessFrame
+		if err := DecodeSessFrame(&sf, data); err != nil {
+			return
+		}
+		// Accepted input must re-encode, and the re-encoded frame's
+		// payload must decode back to an identical re-encoding (the
+		// encoder is canonical).
+		enc, err := AppendSessFrame(nil, &sf)
+		if err != nil {
+			t.Fatalf("decoded session frame does not re-encode: %v (%+v)", err, sf)
+		}
+		var sf2 SessFrame
+		if err := DecodeSessFrame(&sf2, enc[4:]); err != nil {
+			t.Fatalf("re-encoded session frame does not decode: %v", err)
+		}
+		enc2, err := AppendSessFrame(nil, &sf2)
+		if err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode is not a fixpoint:\n first %x\nsecond %x", enc, enc2)
 		}
 	})
 }

@@ -80,7 +80,12 @@ const (
 	// catch-up instead of a full snapshot) and per-follower
 	// follower<i>.acked_records / follower<i>.lag_bytes; a follower
 	// reports repl_applied_records/bytes, repl_reconnects and
-	// repl_state (its link state-machine position).
+	// repl_state (its link state-machine position). The session layer
+	// adds watch_sessions (live watch sessions), events_pushed /
+	// events_lost (push-buffer delivery vs overflow-cut drops),
+	// keys_expired (TTL deadlines the reaper turned into durable
+	// deletes), ttl_armed (deadlines currently pending), and incr_ops
+	// (server-side INCR/DECR commits).
 	OpStats Op = 8
 	// OpFlush removes every key (admin). Body: empty. OK response body:
 	// uvarint removed-count.
@@ -101,6 +106,34 @@ const (
 	// connection; the subscriber sends ReplAck frames back. Only a
 	// durable primary accepts it.
 	OpSubscribeWAL Op = 12
+	// OpWatch converts the connection into a watch session. Body:
+	// mode(1) | key-or-prefix, with mode 0 = exact key and 1 = prefix.
+	// OK response body: uvarint watch-id. After the OK response the
+	// request/response protocol ends and both ends push session frames
+	// (see the Sess* frame kinds): the server delivers EVENT frames for
+	// commits matching the session's watches, the client may register
+	// further watches with SessWatch frames. Followers accept it too —
+	// a watch on a follower observes replicated applies.
+	OpWatch Op = 13
+	// OpIncr atomically adds a delta to a key's integer value under def
+	// semantics (server-side counter: one round trip, contention handled
+	// by the engine's contention manager instead of client CAS loops).
+	// Body: key | uvarint delta. A missing — or expired — key counts
+	// from 0; a non-integer value is a StatusErr. OK response body:
+	// zigzag-varint new value.
+	OpIncr Op = 14
+	// OpDecr is OpIncr with the delta subtracted. Body and response as
+	// OpIncr.
+	OpDecr Op = 15
+	// OpSetEx is SET with a time-to-live: the entry expires TTL
+	// milliseconds after the write commits. Reads under ANY semantics
+	// treat an expired entry as absent (lazy expiry, no write); a
+	// background reaper deletes expired entries in small def-class
+	// batches, logged through the WAL as ordinary deletes so replicas
+	// and recovery converge. Body: key | val | uvarint ttl-ms (0 is
+	// rejected — plain SET already means "no expiry"). OK response
+	// body: empty.
+	OpSetEx Op = 16
 )
 
 // String names the opcode.
@@ -130,20 +163,28 @@ func (o Op) String() string {
 		return "PING"
 	case OpSubscribeWAL:
 		return "SUBSCRIBE-WAL"
+	case OpWatch:
+		return "WATCH"
+	case OpIncr:
+		return "INCR"
+	case OpDecr:
+		return "DECR"
+	case OpSetEx:
+		return "SETEX"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
 }
 
 // Valid reports whether o is a defined opcode.
-func (o Op) Valid() bool { return o >= OpGet && o <= OpSubscribeWAL }
+func (o Op) Valid() bool { return o >= OpGet && o <= OpSetEx }
 
 // Mutates reports whether the opcode can change store state. A TXN
 // batch counts as mutating regardless of its sub-operations (a batch
 // of pure GETs should be an MGET); so do the whole-store admin ops.
 func (o Op) Mutates() bool {
 	switch o {
-	case OpSet, OpCAS, OpDel, OpTxn, OpFlush, OpRebuild:
+	case OpSet, OpCAS, OpDel, OpTxn, OpFlush, OpRebuild, OpIncr, OpDecr, OpSetEx:
 		return true
 	default:
 		return false
@@ -240,6 +281,13 @@ var (
 	ErrBadOp         = errors.New("wire: unknown opcode")
 	ErrBadSemantics  = errors.New("wire: invalid semantics byte")
 	ErrBadSubOp      = errors.New("wire: opcode not allowed in TXN batch")
+	// ErrBadWatchMode rejects a WATCH frame whose mode byte is neither 0
+	// (exact) nor 1 (prefix).
+	ErrBadWatchMode = errors.New("wire: invalid WATCH mode byte")
+	// ErrZeroTTL rejects a SETEX frame with a zero TTL — plain SET
+	// already means "no expiry", so a zero here is a client bug, not a
+	// request.
+	ErrZeroTTL = errors.New("wire: SETEX with zero TTL")
 	// ErrSnapshotWriteOp is matched (via errors.Is) by the typed
 	// *SnapshotWriteError a server raises for snapshot-semantics
 	// override on a write opcode.
@@ -273,6 +321,10 @@ type Request struct {
 	Limit    uint64 // SCAN
 
 	Batch []Request // TXN sub-operations (Sem ignored on sub-ops)
+
+	Delta     uint64 // INCR / DECR magnitude
+	TTLMillis uint64 // SETEX time-to-live in milliseconds
+	Prefix    bool   // WATCH: Key is a prefix, not an exact key
 }
 
 // Response is the decoded form of one response frame, against the
@@ -284,7 +336,8 @@ type Response struct {
 	Pairs    []KV       // SCAN
 	Batch    []Response // MGET / TXN sub-responses
 	Counters []Counter  // STATS
-	N        uint64     // FLUSH / REBUILD counts
+	N        uint64     // FLUSH / REBUILD counts; WATCH watch-id
+	Int      int64      // INCR / DECR new value
 	Msg      string     // StatusErr message
 
 	// SubOp is the opcode this TXN sub-response answers. It is consulted
@@ -303,6 +356,9 @@ func (r *Response) Err() error {
 	if r.Status == StatusErr {
 		if np, ok := ParseNotPrimary(r.Msg); ok {
 			return np
+		}
+		if pe, ok := ParseProtocolError(r.Msg); ok {
+			return pe
 		}
 		return fmt.Errorf("wire: server error: %s", r.Msg)
 	}
@@ -327,6 +383,15 @@ type reader struct {
 
 func (r *reader) uvarint() (uint64, error) {
 	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.pos:])
 	if n <= 0 {
 		return 0, ErrTruncated
 	}
@@ -520,6 +585,20 @@ func appendRequestBody(dst []byte, r *Request) ([]byte, error) {
 				return nil, err
 			}
 		}
+	case OpWatch:
+		if r.Prefix {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendBytes(dst, r.Key)
+	case OpIncr, OpDecr:
+		dst = appendBytes(dst, r.Key)
+		dst = appendUvarint(dst, r.Delta)
+	case OpSetEx:
+		dst = appendBytes(dst, r.Key)
+		dst = appendBytes(dst, r.Val)
+		dst = appendUvarint(dst, r.TTLMillis)
 	case OpStats, OpFlush, OpRebuild, OpPing, OpSubscribeWAL:
 		// empty body
 	default:
@@ -613,6 +692,39 @@ func decodeRequestBody(rd *reader, r *Request) error {
 				return err
 			}
 		}
+	case OpWatch:
+		mode, err := rd.byte1()
+		if err != nil {
+			return err
+		}
+		switch mode {
+		case 0:
+			r.Prefix = false
+		case 1:
+			r.Prefix = true
+		default:
+			return ErrBadWatchMode
+		}
+		r.Key, err = rd.bytes()
+		return err
+	case OpIncr, OpDecr:
+		if r.Key, err = rd.bytes(); err != nil {
+			return err
+		}
+		r.Delta, err = rd.uvarint()
+	case OpSetEx:
+		if r.Key, err = rd.bytes(); err != nil {
+			return err
+		}
+		if r.Val, err = rd.bytes(); err != nil {
+			return err
+		}
+		if r.TTLMillis, err = rd.uvarint(); err != nil {
+			return err
+		}
+		if r.TTLMillis == 0 {
+			return ErrZeroTTL
+		}
 	case OpStats, OpFlush, OpRebuild, OpPing, OpSubscribeWAL:
 		// empty body
 	default:
@@ -642,6 +754,7 @@ func DecodeRequestInto(r *Request, payload []byte) error {
 	r.Limit = 0
 	r.Keys = r.Keys[:0]
 	r.Batch = r.Batch[:0]
+	r.Delta, r.TTLMillis, r.Prefix = 0, 0, false
 	rd := &reader{buf: payload}
 	op, err := rd.byte1()
 	if err != nil {
@@ -715,9 +828,11 @@ func appendResponseBody(dst []byte, op Op, r *Response) ([]byte, error) {
 			dst = appendBytes(dst, []byte(c.Name))
 			dst = appendUvarint(dst, c.Value)
 		}
-	case OpFlush, OpRebuild, OpSubscribeWAL:
+	case OpFlush, OpRebuild, OpSubscribeWAL, OpWatch:
 		dst = appendUvarint(dst, r.N)
-	case OpPing:
+	case OpIncr, OpDecr:
+		dst = binary.AppendVarint(dst, r.Int)
+	case OpPing, OpSetEx:
 		// empty body
 	default:
 		return nil, ErrBadOp
@@ -822,9 +937,11 @@ func decodeResponseBody(rd *reader, op Op, r *Response, subOps []Op) error {
 			}
 			r.Counters = append(r.Counters, Counter{Name: string(name), Value: v})
 		}
-	case OpFlush, OpRebuild, OpSubscribeWAL:
+	case OpFlush, OpRebuild, OpSubscribeWAL, OpWatch:
 		r.N, err = rd.uvarint()
-	case OpPing:
+	case OpIncr, OpDecr:
+		r.Int, err = rd.varint()
+	case OpPing, OpSetEx:
 		// empty body
 	default:
 		return ErrBadOp
