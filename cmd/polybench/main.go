@@ -272,7 +272,7 @@ func (r *report) flush() {
 }
 
 func main() {
-	bench := flag.String("bench", "all", "which experiment: list, hash, skip, scan, cm, scale, server, recover, session, all")
+	bench := flag.String("bench", "all", "which experiment: list, hash, skip, scan, cm, scale, server, recover, session, reshard, all")
 	updates := flag.Int("updates", 10, "update percentage")
 	keyRange := flag.Uint64("range", 512, "key range (steady-state size is half)")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
@@ -305,6 +305,15 @@ func main() {
 	if *getPct < 0 || *scanPct < 0 || *getPct+*scanPct > 100 {
 		fmt.Fprintf(os.Stderr, "polybench: bad mix: -get-pct %d -scan-pct %d (must be >= 0 and sum <= 100)\n",
 			*getPct, *scanPct)
+		os.Exit(2)
+	}
+	// Validate -dist up front for every bench: a typo'd distribution must
+	// exit 2 immediately, not silently run a different bench's default
+	// (only some benches consume it).
+	switch *dist {
+	case "uniform", "zipfian":
+	default:
+		fmt.Fprintf(os.Stderr, "polybench: unknown -dist %q (valid: uniform, zipfian)\n", *dist)
 		os.Exit(2)
 	}
 	mix := workload.Mix{UpdatePct: *updates, KeyRange: *keyRange}
@@ -341,6 +350,9 @@ func main() {
 		}},
 		{"recover", func() { benchRecover(ctx, rep, *recoverKeys) }},
 		{"session", func() { benchSession(ctx, rep, base, workers, *shards, *storeShards) }},
+		{"reshard", func() {
+			benchReshard(ctx, rep, base, workers, *shards, *storeShards, *getPct, *scanPct, *scanLimit)
+		}},
 	}
 	ran := false
 	var names []string
@@ -700,12 +712,6 @@ func benchServer(ctx context.Context, rep *report, base harness.Config, workers 
 				dur:   &server.Durability{Fsync: mode, CheckpointEvery: 200 * time.Millisecond},
 			})
 		}
-	}
-	switch dist {
-	case "uniform", "zipfian":
-	default:
-		fmt.Fprintf(os.Stderr, "polybench: unknown -dist %q (valid: uniform, zipfian)\n", dist)
-		os.Exit(2)
 	}
 	if storeShards <= 0 {
 		storeShards = runtime.GOMAXPROCS(0)
@@ -1467,6 +1473,192 @@ func benchSessionTTL(ctx context.Context, rep *report, base harness.Config, w, s
 		StoreShards: storeShards,
 		Session:     gauges,
 	})
+}
+
+// benchReshard is the online-resharding experiment (B14): a durable
+// loopback server under a zipfian GET/SCAN/SET load — the skew that
+// concentrates most of the traffic on one shard — measured in two
+// windows of the SAME continuously-running worker pool: before and
+// after a live SPLIT of the hottest shard (found by the shard<ID>.ops
+// STATS rows). The load never pauses across the cutover; rows carry
+// the failed-request count (the zero-failures claim under test), the
+// split's wall time, and the routing epoch. The claim: splitting the
+// hot shard raises post-split throughput by halving the keyspace
+// behind its irrevocable token and fsync queue.
+func benchReshard(ctx context.Context, rep *report, base harness.Config, workers []int, shards, storeShards, getPct, scanPct int, scanLimit uint64) {
+	if storeShards <= 0 {
+		storeShards = runtime.GOMAXPROCS(0)
+		if storeShards > 16 {
+			storeShards = 16
+		}
+	}
+	rep.printf("== B14: online SPLIT of the hot shard under zipfian skew, %d%% GET / %d%% SCAN / %d%% SET, range %d, store-shards %d ==\n",
+		getPct, scanPct, 100-getPct-scanPct, base.Mix.KeyRange, storeShards)
+	for _, w := range workers {
+		if ctx.Err() != nil {
+			return
+		}
+		benchReshardVariant(ctx, rep, base, w, shards, storeShards, getPct, scanPct, scanLimit)
+	}
+}
+
+func benchReshardVariant(ctx context.Context, rep *report, base harness.Config, w, shards, storeShards, getPct, scanPct int, scanLimit uint64) {
+	fatal := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "polybench: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	key := func(k uint64) []byte {
+		return []byte(fmt.Sprintf("k%08d", k%base.Mix.KeyRange))
+	}
+	zipf := newZipfGen(base.Mix.KeyRange)
+
+	srv := server.New(server.Config{Shards: shards, StoreShards: storeShards})
+	tmp, err := os.MkdirTemp("", "polybench-reshard-*")
+	if err != nil {
+		fatal("wal dir: %v", err)
+	}
+	defer os.RemoveAll(tmp)
+	if _, err := srv.Store().EnableDurability(server.Durability{Dir: tmp, Fsync: wal.ModeOff, CheckpointEvery: -1}); err != nil {
+		fatal("durability: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	pre, err := client.Dial(addr)
+	if err != nil {
+		fatal("dial: %v", err)
+	}
+	for k := uint64(0); k < base.Mix.KeyRange; k += 2 {
+		if err := pre.Set(key(k), []byte("0")); err != nil {
+			fatal("prefill: %v", err)
+		}
+	}
+
+	// One worker pool runs across BOTH windows — the split happens under
+	// this live load. ops counts per completed round trip (not batched at
+	// exit) so window boundaries can sample it; failed counts request
+	// errors, the acceptance gauge for the online-cutover claim.
+	var ops, failed atomic.Uint64
+	stop := make(chan struct{})
+	ready := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			cl, err := client.Dial(addr, client.WithPoolSize(1))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "polybench: worker dial: %v\n", err)
+				failed.Add(1)
+				return
+			}
+			defer cl.Close()
+			r := seed*0x9E3779B97F4A7C15 + 1
+			<-ready
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r = r*6364136223846793005 + 1442695040888963407
+				k := zipf.next(float64(r>>11) / (1 << 53))
+				var opErr error
+				switch roll := int((r >> 16) % 100); {
+				case roll < getPct:
+					_, _, opErr = cl.Get(key(k))
+				case roll < getPct+scanPct:
+					_, opErr = cl.Scan(key(k), nil, scanLimit)
+				default:
+					opErr = cl.Set(key(k), []byte(strconv.FormatUint(r&0xFFFF, 10)))
+				}
+				if opErr != nil {
+					fmt.Fprintf(os.Stderr, "polybench: worker op: %v\n", opErr)
+					failed.Add(1)
+					return
+				}
+				ops.Add(1)
+			}
+		}(uint64(base.Seed)*7919 + uint64(i+1))
+	}
+	close(ready)
+
+	// Window 1: pre-split.
+	ops.Store(0)
+	preStart := time.Now()
+	sleepCtx(ctx, base.Duration)
+	preOps := ops.Load()
+	preEl := time.Since(preStart)
+
+	// Find the hottest shard by routed ops and SPLIT it — the load keeps
+	// running the whole time.
+	stats, err := pre.Stats()
+	if err != nil {
+		fatal("stats: %v", err)
+	}
+	hot, hotOps := uint64(0), uint64(0)
+	for name, v := range stats {
+		var id uint64
+		if _, err := fmt.Sscanf(name, "shard%d.ops", &id); err == nil && v >= hotOps {
+			hot, hotOps = id, v
+		}
+	}
+	splitStart := time.Now()
+	epoch, err := pre.Split(hot)
+	if err != nil {
+		fatal("SPLIT %d: %v", hot, err)
+	}
+	splitMS := uint64(time.Since(splitStart).Milliseconds())
+
+	// Window 2: post-split, same pool, same skew.
+	ops.Store(0)
+	postStart := time.Now()
+	sleepCtx(ctx, base.Duration)
+	postOps := ops.Load()
+	postEl := time.Since(postStart)
+
+	close(stop)
+	wg.Wait()
+	pre.Close()
+
+	nFailed := failed.Load()
+	rep.printf("  workers=%-3d pre %12.0f txns/s | split shard %d in %dms (epoch %d) | post %12.0f txns/s  failed=%d\n",
+		w, float64(preOps)/preEl.Seconds(), hot, splitMS, epoch, float64(postOps)/postEl.Seconds(), nFailed)
+	gauges := map[string]uint64{
+		"hot_shard": hot, "split_ms": splitMS, "routing_epoch": epoch, "failed_requests": nFailed,
+	}
+	for _, pr := range []struct {
+		phase string
+		ops   uint64
+		el    time.Duration
+	}{{"pre", preOps, preEl}, {"post", postOps, postEl}} {
+		rep.add(record{
+			Bench:       "reshard",
+			Name:        fmt.Sprintf("reshard-%s-store%d", pr.phase, storeShards),
+			Workers:     w,
+			DurationSec: pr.el.Seconds(),
+			Ops:         pr.ops,
+			TxnsPerSec:  float64(pr.ops) / pr.el.Seconds(),
+			StoreShards: storeShards,
+			Dist:        "zipfian",
+			Session:     gauges,
+		})
+	}
+
+	sdCtx, cancel := shutdownContext()
+	if err := srv.Shutdown(sdCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "polybench: shutdown: %v\n", err)
+	}
+	cancel()
+	<-serveDone
+	if err := srv.Store().CloseDurability(); err != nil {
+		fmt.Fprintf(os.Stderr, "polybench: wal close: %v\n", err)
+	}
 }
 
 // benchRecover is the checkpoint + restart-cost experiment (B12): the

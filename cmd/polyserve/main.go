@@ -59,6 +59,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,7 +73,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":7535", "listen address")
 	shards := flag.Int("shards", 0, "engine shard count (0 = GOMAXPROCS default)")
-	storeShards := flag.Int("store-shards", 0, "keyspace shard count (0 = derive from GOMAXPROCS, capped at 16; a durable directory's pinned count wins)")
+	storeShards := flag.Int("store-shards", 0, "keyspace shard count (0 = derive from GOMAXPROCS, derived default capped at 16; explicit values are honored as given; a durable directory's pinned count wins)")
 	nesting := flag.String("nesting", "strongest", "nesting-composition policy: strongest, param, parent")
 	maxConns := flag.Int("max-conns", 1024, "max concurrently served connections")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
@@ -86,7 +88,15 @@ func main() {
 	follow := flag.String("follow", "", "run as a follower of this primary address (serves reads, rejects writes; SIGUSR1 promotes)")
 	ttlReapEvery := flag.Duration("ttl-reap-every", 0, "background TTL reaper cadence (0 = 250ms default, <0 disables; lazy expiry still hides expired keys)")
 	watchBuffer := flag.Int("watch-buffer", 0, "per-session watch event buffer; overflow cuts the session with EVENT-LOST (0 = 1024 default)")
+	splitShard := flag.Int("split-shard", -1, "admin: SPLIT the shard with this stable id on the server at -addr, print the new routing epoch, and exit")
+	mergeShards := flag.String("merge-shards", "", "admin: MERGE buddy shards \"a,b\" (stable ids; a survives) on the server at -addr, print the new routing epoch, and exit")
 	flag.Parse()
+
+	// Admin-client modes: the binary doubles as the resharding CLI so an
+	// operator needs no second tool to drive a live SPLIT/MERGE.
+	if *splitShard >= 0 || *mergeShards != "" {
+		os.Exit(runReshardAdmin(*addr, *splitShard, *mergeShards))
+	}
 
 	var policy core.NestingPolicy
 	switch *nesting {
@@ -112,6 +122,12 @@ func main() {
 		if nStore > 16 {
 			nStore = 16
 		}
+	} else if nStore > 16 {
+		// Explicit counts are honored as given — the 16 cap only tames
+		// the derived default on very wide boxes. Past it, fan-out ops
+		// (MGET/SCAN/FLUSH/2PC) touch every shard, so warn.
+		log.Printf("polyserve: -store-shards %d exceeds the derived-default cap of 16 — honoring it; expect wider fan-outs (and a MANIFEST pinned to %d)",
+			nStore, nStore)
 	}
 	// A follower's shard count must match its primary's — keys hash to
 	// shards, and the feed is per-shard. Probe the primary's STATS for
@@ -269,6 +285,50 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runReshardAdmin is the -split-shard / -merge-shards admin-client
+// mode: one SPLIT or MERGE against the server at addr (the client
+// handles the observe-epoch / retry-on-stale loop), new epoch printed
+// on stdout. Returns the process exit code.
+func runReshardAdmin(addr string, split int, merge string) int {
+	if split >= 0 && merge != "" {
+		fmt.Fprintln(os.Stderr, "polyserve: -split-shard and -merge-shards are mutually exclusive")
+		return 2
+	}
+	cl, err := client.Dial(addr, client.WithPoolSize(1), client.WithDialTimeout(5*time.Second))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polyserve: dialing %s: %v\n", addr, err)
+		return 1
+	}
+	defer cl.Close()
+	if split >= 0 {
+		epoch, err := cl.Split(uint64(split))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polyserve: SPLIT %d: %v\n", split, err)
+			return 1
+		}
+		fmt.Printf("SPLIT shard %d ok: routing epoch %d\n", split, epoch)
+		return 0
+	}
+	aStr, bStr, ok := strings.Cut(merge, ",")
+	if !ok {
+		fmt.Fprintf(os.Stderr, "polyserve: -merge-shards wants \"a,b\" (stable shard ids), got %q\n", merge)
+		return 2
+	}
+	a, errA := strconv.ParseUint(strings.TrimSpace(aStr), 10, 64)
+	b, errB := strconv.ParseUint(strings.TrimSpace(bStr), 10, 64)
+	if errA != nil || errB != nil {
+		fmt.Fprintf(os.Stderr, "polyserve: -merge-shards wants \"a,b\" (stable shard ids), got %q\n", merge)
+		return 2
+	}
+	epoch, err := cl.Merge(a, b)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polyserve: MERGE %d,%d: %v\n", a, b, err)
+		return 1
+	}
+	fmt.Printf("MERGE shards %d,%d ok: routing epoch %d\n", a, b, epoch)
+	return 0
 }
 
 // probePrimaryShards asks the primary's STATS for its store-shard

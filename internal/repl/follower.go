@@ -26,6 +26,14 @@ type FollowerStore interface {
 	// least e (promotion: new epochs must clear every epoch the primary
 	// ever used).
 	ResumeEpoch(e uint64)
+	// RoutingEpoch reports the routing epoch the store's table currently
+	// embodies; the HELLO announces it so the primary can tell whether
+	// the follower's per-shard positions are comparable to its own.
+	RoutingEpoch() uint64
+	// AdoptRouting reshapes the store to the primary's published routing
+	// table (from the TOPOLOGY frame a subscription opens with). Equal
+	// epochs are a no-op; an older epoch is an error.
+	AdoptRouting(epoch uint64, topo []wire.ReplShardSlice) error
 }
 
 // FollowerConfig parameterizes StartFollower.
@@ -80,6 +88,7 @@ type Follower struct {
 
 	mu       sync.Mutex
 	shards   []followerShard
+	topo     []wire.ReplShardSlice // adopted routing table, in position order
 	maxEpoch uint64
 	// primaryInc is the primary incarnation the last completed catch-up
 	// spoke to (from SNAP-DONE). The next HELLO echoes it so the primary
@@ -223,14 +232,19 @@ func (f *Follower) linkOnce() (streamed bool, err error) {
 	if err := resp.Err(); err != nil {
 		return false, err
 	}
-	if int(resp.N) != f.nshards {
-		return false, fmt.Errorf("repl: primary has %d shards, follower store has %d — shard counts must match", resp.N, f.nshards)
+	if resp.N == 0 {
+		return false, fmt.Errorf("repl: primary reports zero shards")
 	}
+	// A count mismatch is no longer fatal here: the TOPOLOGY frame the
+	// primary sends after HELLO carries the authoritative routing table,
+	// and the follower reshapes to it (resharding moves shard counts).
 
-	// HELLO: announce the incarnation we last caught up against and our
-	// per-shard applied positions, so the primary can choose a
-	// churn-bounded delta catch-up over a full snapshot.
+	// HELLO: announce the incarnation we last caught up against, the
+	// routing epoch our table embodies, and our per-shard applied
+	// positions, so the primary can choose a churn-bounded delta
+	// catch-up over a full snapshot.
 	hello := wire.ReplFrame{Kind: wire.ReplHello}
+	hello.Epoch = f.cfg.Store.RoutingEpoch()
 	f.mu.Lock()
 	hello.Incarnation = f.primaryInc
 	for i := range f.shards {
@@ -276,6 +290,10 @@ func (f *Follower) linkOnce() (streamed bool, err error) {
 			return streamed, err
 		}
 		switch frame.Kind {
+		case wire.ReplTopology:
+			if err := f.adoptTopology(&frame); err != nil {
+				return streamed, err
+			}
 		case wire.ReplSnapBatch:
 			if err := f.applySnapBatch(&frame, &ops); err != nil {
 				return streamed, err
@@ -334,6 +352,38 @@ func (f *Follower) linkOnce() (streamed bool, err error) {
 			return streamed, fmt.Errorf("repl: unexpected %v frame from primary", frame.Kind)
 		}
 	}
+}
+
+// adoptTopology handles the TOPOLOGY frame a subscription opens with.
+// At the epoch the store already embodies it only verifies the shape;
+// at a newer epoch it reshapes the store, resets every per-shard
+// position (table positions are meaningless across a reshard — the
+// primary will stream full snapshots), and resizes the link state.
+func (f *Follower) adoptTopology(frame *wire.ReplFrame) error {
+	n := len(frame.Topo)
+	if n == 0 {
+		return fmt.Errorf("repl: TOPOLOGY frame with no shards")
+	}
+	if frame.Epoch == f.cfg.Store.RoutingEpoch() {
+		if n != f.nshards {
+			return fmt.Errorf("repl: primary has %d shards at epoch %d, follower store has %d — shard counts must match", n, frame.Epoch, f.nshards)
+		}
+		f.mu.Lock()
+		f.topo = append(f.topo[:0], frame.Topo...)
+		f.mu.Unlock()
+		return nil
+	}
+	if err := f.cfg.Store.AdoptRouting(frame.Epoch, frame.Topo); err != nil {
+		return fmt.Errorf("repl: adopting routing epoch %d: %w", frame.Epoch, err)
+	}
+	f.mu.Lock()
+	f.topo = append(f.topo[:0], frame.Topo...)
+	f.shards = make([]followerShard, n)
+	f.primaryInc = 0 // old positions are void; the next HELLO asks for snapshots
+	f.mu.Unlock()
+	f.nshards = n
+	f.logf("repl: adopted routing epoch %d (%d shards)", frame.Epoch, n)
+	return nil
 }
 
 // clearShard wipes one shard at the start of its snapshot phase — keys
@@ -478,6 +528,23 @@ func (f *Follower) applyWALBatch(frame *wire.ReplFrame, ops *[]wal.Op) error {
 	return nil
 }
 
+// posOfID maps a stable shard id to its table position (-1 when
+// absent). Before any topology was adopted ids equal positions.
+func (f *Follower) posOfID(id int) int {
+	if len(f.topo) == 0 {
+		if id >= 0 && id < f.nshards {
+			return id
+		}
+		return -1
+	}
+	for p, e := range f.topo {
+		if int(e.ID) == id {
+			return p
+		}
+	}
+	return -1
+}
+
 // sendAck writes one ACK frame carrying every shard's position.
 func (f *Follower) sendAck(conn net.Conn, bw *bufio.Writer, buf []byte) ([]byte, error) {
 	frame := wire.ReplFrame{Kind: wire.ReplAck}
@@ -550,8 +617,11 @@ func (f *Follower) Promote() (PromoteResult, error) {
 			continue
 		}
 		committed := false
-		if pp.Coord >= 0 && pp.Coord < f.nshards {
-			committed = f.shards[pp.Coord].decided[pp.Epoch]
+		// A prepare's Coord is the coordinator's STABLE shard id; the
+		// decision sets are per table position. Pre-reshard the two
+		// coincide; once a topology was adopted, map id → position.
+		if p := f.posOfID(pp.Coord); p >= 0 && p < len(f.shards) {
+			committed = f.shards[p].decided[pp.Epoch]
 		}
 		if committed {
 			if err := f.cfg.Store.ApplyShardOps(i, pp.Ops); err != nil {

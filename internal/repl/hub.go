@@ -20,6 +20,11 @@ import (
 type PrimaryStore interface {
 	NumShards() int
 	ShardWAL(i int) *wal.Log
+	// Routing returns the store's routing epoch and per-shard topology
+	// (stable id + hash slice, table order). A feed pins one epoch at
+	// subscribe time and sends the topology to the follower; a reshard
+	// cuts every feed (CutAll), forcing renegotiation on reconnect.
+	Routing() (uint64, []wire.ReplShardSlice)
 	// SnapshotShard streams one consistent snapshot of shard i (a
 	// single snapshot-semantics range walk) through emit.
 	SnapshotShard(ctx context.Context, shard int, emit func(k, v string) error) error
@@ -113,6 +118,11 @@ type feed struct {
 	br   *bufio.Reader
 	bw   *bufio.Writer
 
+	// The routing view this feed was subscribed under; a reshard
+	// invalidates it and cuts the feed.
+	epoch uint64
+	topo  []wire.ReplShardSlice
+
 	mu       sync.Mutex
 	buf      []shipRec
 	bufBytes int
@@ -135,12 +145,15 @@ type feed struct {
 // gone, hub closed, or the follower fell too far behind — and always
 // returns a non-nil reason.
 func (h *Hub) ServeFeed(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) error {
-	n := h.store.NumShards()
+	epoch, topo := h.store.Routing()
+	n := len(topo)
 	f := &feed{
 		h:            h,
 		conn:         conn,
 		br:           br,
 		bw:           bw,
+		epoch:        epoch,
+		topo:         topo,
 		wake:         make(chan struct{}, 1),
 		stop:         make(chan struct{}),
 		shippedSeq:   make([]uint64, n),
@@ -204,7 +217,7 @@ func (h *Hub) noteAck(f *feed, acks []wire.ReplAckEntry) {
 	f.mu.Lock()
 	for _, a := range acks {
 		sh := int(a.Shard)
-		if sh < 0 || sh >= len(h.acked) {
+		if sh < 0 || sh >= len(h.acked) || sh >= len(f.ackSeq) {
 			continue
 		}
 		if a.Seq > f.ackSeq[sh] {
@@ -271,6 +284,27 @@ func (h *Hub) LagBytes() uint64 {
 		}
 	}
 	return worst
+}
+
+// CutAll fails every live feed without closing the hub — a reshard
+// changed the topology, and every follower must renegotiate it through
+// a reconnect. The acked high-waters reset to the new table's shape, so
+// a stale position can never satisfy a sync-ack wait against a
+// repositioned shard; waiters wake and observe no followers (sync
+// replication degrades to async until followers re-subscribe).
+func (h *Hub) CutAll(reason string) {
+	h.mu.Lock()
+	feeds := make([]*feed, 0, len(h.feeds))
+	for f := range h.feeds {
+		feeds = append(feeds, f)
+	}
+	h.acked = make([]uint64, h.store.NumShards())
+	close(h.ackCh)
+	h.ackCh = make(chan struct{})
+	h.mu.Unlock()
+	for _, f := range feeds {
+		f.fail(fmt.Errorf("repl: feed cut: %s", reason))
+	}
 }
 
 // Close tears down every feed. In-flight ServeFeed calls return; new
@@ -370,32 +404,63 @@ func (f *feed) take() ([]shipRec, error) {
 // run is the feed lifecycle: attach taps, stream catch-up, drain the
 // live tail; a reader goroutine consumes ACKs concurrently throughout.
 func (f *feed) run() error {
-	n := f.h.store.NumShards()
+	n := len(f.topo)
 
 	// Attach every shard's tap BEFORE any snapshot walk starts: the
 	// returned coverSeq then splits the log exactly — records <=
 	// coverSeq committed before attach and are visible to the snapshot;
 	// records > coverSeq are buffered and shipped. Records landing in
 	// both replay idempotently on the follower (records are absolute).
+	// The logs are resolved once, against the epoch pinned at subscribe;
+	// a reshard racing this attach is caught by the epoch re-check below
+	// (and would cut the feed moments later anyway).
 	covers := make([]uint64, n)
 	taps := make([]*wal.Tap, n)
+	logs := make([]*wal.Log, n)
 	for i := 0; i < n; i++ {
 		shard := i
-		taps[i], covers[i] = f.h.store.ShardWAL(i).AttachTap(func(seq uint64, payload []byte) {
+		logs[i] = f.h.store.ShardWAL(i)
+		if logs[i] == nil {
+			err := fmt.Errorf("repl: shard %d's log vanished during subscribe (concurrent reshard)", i)
+			f.fail(err)
+			for j := 0; j < i; j++ {
+				logs[j].DetachTap(taps[j])
+			}
+			return f.failure()
+		}
+		taps[i], covers[i] = logs[i].AttachTap(func(seq uint64, payload []byte) {
 			f.offer(shard, seq, payload)
 		})
 	}
 	defer func() {
 		for i, t := range taps {
-			f.h.store.ShardWAL(i).DetachTap(t)
+			logs[i].DetachTap(t)
 		}
 	}()
+	if e, _ := f.h.store.Routing(); e != f.epoch {
+		err := fmt.Errorf("repl: routing epoch changed during subscribe (%d -> %d)", f.epoch, e)
+		f.fail(err)
+		return f.failure()
+	}
 
 	// The follower's HELLO (incarnation + per-shard applied positions)
 	// is the first frame on the wire; read it here, before the ack
 	// reader goroutine owns the read side.
 	hello, err := f.readHello()
 	if err != nil {
+		f.fail(err)
+		return f.failure()
+	}
+
+	// Tell the follower the topology it is about to receive, so it can
+	// reshape its table (create/drop shards) before the first batch.
+	topoFrame := wire.ReplFrame{Kind: wire.ReplTopology, Epoch: f.epoch, Topo: f.topo}
+	out, err := wire.AppendReplFrame(nil, &topoFrame)
+	if err != nil {
+		f.fail(err)
+		return f.failure()
+	}
+	if err := f.writeFrames(out); err != nil {
 		f.fail(err)
 		return f.failure()
 	}
@@ -458,9 +523,12 @@ func (f *feed) readHello() (*wire.ReplFrame, error) {
 func (f *feed) catchUp(covers []uint64, hello *wire.ReplFrame) error {
 	ctx := context.Background()
 	inc := f.h.store.Incarnation()
-	n := f.h.store.NumShards()
+	n := len(f.topo)
 	applied := make([]uint64, n)
-	canDelta := inc != 0 && hello.Incarnation == inc
+	// Delta catch-up additionally requires the follower to have LEFT at
+	// the same routing epoch it is rejoining: its per-shard applied
+	// positions are table positions, meaningless across a reshard.
+	canDelta := inc != 0 && hello.Incarnation == inc && hello.Epoch == f.epoch
 	if canDelta {
 		for _, a := range hello.Acks {
 			if int(a.Shard) < n {

@@ -92,6 +92,17 @@ func newFakePrimary(t *testing.T, shards int) *fakePrimary {
 func (fp *fakePrimary) NumShards() int          { return len(fp.logs) }
 func (fp *fakePrimary) ShardWAL(i int) *wal.Log { return fp.logs[i] }
 func (fp *fakePrimary) Incarnation() uint64     { return fp.inc }
+
+// Routing reports a static epoch-0 uniform table: one slice per shard,
+// ids equal to positions — a legacy-shaped primary.
+func (fp *fakePrimary) Routing() (uint64, []wire.ReplShardSlice) {
+	topo := make([]wire.ReplShardSlice, len(fp.logs))
+	n := uint64(len(fp.logs))
+	for i := range topo {
+		topo[i] = wire.ReplShardSlice{ID: uint64(i), Mod: n, Res: uint64(i)}
+	}
+	return 0, topo
+}
 func (fp *fakePrimary) SnapshotShard(ctx context.Context, shard int, emit func(k, v string) error) error {
 	fp.mus[shard].Lock()
 	defer fp.mus[shard].Unlock()
@@ -198,6 +209,18 @@ func (ff *fakeFollower) ResumeEpoch(e uint64) {
 	ff.mu.Lock()
 	ff.epoch = e
 	ff.mu.Unlock()
+}
+
+func (ff *fakeFollower) RoutingEpoch() uint64 { return 0 }
+
+func (ff *fakeFollower) AdoptRouting(epoch uint64, topo []wire.ReplShardSlice) error {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	ff.maps = make([]map[string]string, len(topo))
+	for i := range ff.maps {
+		ff.maps[i] = make(map[string]string)
+	}
+	return nil
 }
 
 func (ff *fakeFollower) snapshot(shard int) map[string]string {

@@ -324,7 +324,7 @@ func TestFlushForcesFullCheckpoint(t *testing.T) {
 	}
 	st.CloseDurability()
 
-	st2, _ := newDurableCfg(t, Durability{Dir: st.shards[0].wal.Dir(), Fsync: wal.ModeOff, CheckpointEvery: -1})
+	st2, _ := newDurableCfg(t, Durability{Dir: st.tab().shards[0].wal.Dir(), Fsync: wal.ModeOff, CheckpointEvery: -1})
 	defer st2.CloseDurability()
 	if got := scanAll(t, st2); len(got) != 1 || got["post-flush"] != "1" {
 		t.Fatalf("recovered after flush = %v, want only post-flush", got)

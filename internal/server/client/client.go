@@ -571,6 +571,60 @@ func (cl *Client) Rebuild() (uint64, error) {
 	return r.N, nil
 }
 
+// RoutingEpoch fetches the server's current routing epoch (the STATS
+// routing_epoch gauge; 0 until the first completed SPLIT/MERGE).
+func (cl *Client) RoutingEpoch() (uint64, error) {
+	m, err := cl.Stats()
+	if err != nil {
+		return 0, err
+	}
+	return m["routing_epoch"], nil
+}
+
+// Split asks the server to split the shard with stable id `shard`
+// online (admin), returning the new routing epoch. The request carries
+// the epoch the client observed; on a *wire.WrongEpochError rejection
+// (someone else resharded in between) the client refreshes to the
+// server's epoch and retries, a bounded number of times — each retry
+// re-validates the shard against the topology it is actually splitting.
+func (cl *Client) Split(shard uint64) (uint64, error) {
+	return cl.reshard(&wire.Request{Op: wire.OpSplit, Sem: wire.SemDefault, Shard: shard})
+}
+
+// Merge asks the server to merge buddy shards a and b (stable ids,
+// admin) back into a, returning the new routing epoch. Epoch contract
+// as in Split.
+func (cl *Client) Merge(a, b uint64) (uint64, error) {
+	return cl.reshard(&wire.Request{Op: wire.OpMerge, Sem: wire.SemDefault, Shard: a, Shard2: b})
+}
+
+// reshard runs one SPLIT/MERGE with the observe-epoch / retry-on-stale
+// loop.
+func (cl *Client) reshard(req *wire.Request) (uint64, error) {
+	epoch, err := cl.RoutingEpoch()
+	if err != nil {
+		return 0, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		req.Epoch = epoch
+		r, err := cl.do1(req)
+		if err != nil {
+			return 0, err
+		}
+		err = r.Err()
+		if err == nil {
+			return r.N, nil
+		}
+		var we *wire.WrongEpochError
+		if !errors.As(err, &we) {
+			return 0, err
+		}
+		epoch, lastErr = we.Want, err
+	}
+	return 0, lastErr
+}
+
 // Pipeline accumulates requests to send in one pipelined batch over one
 // connection. Not safe for concurrent use.
 type Pipeline struct {

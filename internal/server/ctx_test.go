@@ -82,14 +82,14 @@ func TestForcedShutdownCancelsInflight(t *testing.T) {
 	// variable: the handler's def SET will spin in waitUnlocked — the
 	// exact in-flight state a forced drain must be able to abandon.
 	if err := srv.TM().Atomic(func(tx *core.Tx) error {
-		_, err := srv.Store().shards[0].m.PutTx(tx, "k", "seed")
+		_, err := srv.Store().tab().shards[0].m.PutTx(tx, "k", "seed")
 		return err
 	}); err != nil {
 		t.Fatal(err)
 	}
 	hostage := srv.TM().Engine().Begin(stm.SemanticsIrrevocable)
 	defer hostage.Abort()
-	if _, ok, err := srv.Store().shards[0].m.GetTx(core.WrapTx(srv.TM(), hostage), "k"); err != nil || !ok {
+	if _, ok, err := srv.Store().tab().shards[0].m.GetTx(core.WrapTx(srv.TM(), hostage), "k"); err != nil || !ok {
 		t.Fatalf("hostage lock: ok=%v err=%v", ok, err)
 	}
 
@@ -125,7 +125,7 @@ func TestForcedShutdownCancelsInflight(t *testing.T) {
 	}
 	// The key keeps its seeded value: the cancelled SET never landed.
 	hostage.Abort()
-	if v, ok := srv.Store().shards[0].m.Get("k", core.Snapshot); !ok || v != "seed" {
+	if v, ok := srv.Store().tab().shards[0].m.Get("k", core.Snapshot); !ok || v != "seed" {
 		t.Fatalf("store after forced drain: %q/%v, want seed", v, ok)
 	}
 	<-serveDone

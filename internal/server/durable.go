@@ -108,22 +108,19 @@ func shardWALDir(dir string, i, n int) string {
 }
 
 // WALShardCount inspects a durable directory and reports the shard
-// count its logs were written with: the MANIFEST's pinned count, the
-// number of shard-* subdirectories when the manifest is missing, 1 for
-// a pre-manifest layout (wal files at the root), or 0 for a fresh or
-// absent directory. polyserve uses it to adopt an existing directory's
+// count its logs were written with: the MANIFEST's pinned count (v1 or
+// the epoch-versioned v2 a reshard writes), the number of shard-*
+// subdirectories when the manifest is missing, 1 for a pre-manifest
+// layout (wal files at the root), or 0 for a fresh or absent
+// directory. polyserve uses it to adopt an existing directory's
 // sharding instead of refusing to start over a flag mismatch.
 func WALShardCount(dir string) (int, error) {
-	b, err := os.ReadFile(filepath.Join(dir, manifestName))
-	if err == nil {
-		var n int
-		if _, serr := fmt.Sscanf(string(b), "polyserve-wal shards=%d", &n); serr != nil || n < 1 {
-			return 0, fmt.Errorf("server: malformed %s in %s: %q", manifestName, dir, b)
-		}
-		return n, nil
-	}
-	if !os.IsNotExist(err) {
+	m, err := openManifest(dir)
+	if err != nil {
 		return 0, err
+	}
+	if m != nil {
+		return len(m.Shards), nil
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -154,19 +151,10 @@ func WALShardCount(dir string) (int, error) {
 	}
 }
 
-// writeManifest durably pins dir's shard count.
+// writeManifest durably pins dir's shard count (the legacy v1 shape;
+// resharded stores write v2 through writeStoreManifest).
 func writeManifest(dir string, n int) error {
-	path := filepath.Join(dir, manifestName)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("polyserve-wal shards=%d\n", n)), 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	syncDirBestEffort(dir)
-	return nil
+	return writeStoreManifest(dir, legacyManifest(n))
 }
 
 // syncDirBestEffort fsyncs a directory entry; some filesystems refuse.
@@ -257,6 +245,9 @@ func (c *walCapture) setOpts(key, val []byte, ttl time.Duration, keep bool) {
 		c.buf = wal.AppendSet(c.buf, key, val)
 		c.sh.dirty.mark(key)
 	}
+	if c.sh.resharding.Load() {
+		c.sh.rdirty.mark(key)
+	}
 	if c.track {
 		c.changes = append(c.changes, session.Change{Op: wire.EventSet, Key: string(key), TTL: ttl, KeepTTL: keep})
 	}
@@ -269,6 +260,9 @@ func (c *walCapture) del(key []byte) {
 	if c.sh.wal != nil {
 		c.buf = wal.AppendDel(c.buf, key)
 		c.sh.dirty.mark(key)
+	}
+	if c.sh.resharding.Load() {
+		c.sh.rdirty.mark(key)
 	}
 	if c.track {
 		c.changes = append(c.changes, session.Change{Op: wire.EventDel, Key: string(key)})
@@ -286,6 +280,9 @@ func (c *walCapture) expire(key string) {
 		c.buf = wal.AppendDel(c.buf, []byte(key))
 		c.sh.dirty.mark([]byte(key))
 	}
+	if c.sh.resharding.Load() {
+		c.sh.rdirty.markString(key)
+	}
 	if c.track {
 		c.changes = append(c.changes, session.Change{Op: wire.EventExpire, Key: key})
 	}
@@ -298,6 +295,11 @@ func (c *walCapture) flush() {
 	if c.sh.wal != nil {
 		c.buf = wal.AppendFlush(c.buf)
 		c.sh.dirty.markFlush()
+	}
+	if c.sh.resharding.Load() {
+		// The copy protocol's shipped set is void (see the delta loop in
+		// reshard.go).
+		c.sh.rdirty.markFlush()
 	}
 	if c.track {
 		c.changes = append(c.changes, session.Change{Op: wire.EventFlush})
@@ -432,22 +434,38 @@ func (s *Store) EnableDurability(d Durability) (*RecoverSummary, error) {
 	if d.Dir == "" {
 		return nil, fmt.Errorf("server: durability needs a directory")
 	}
-	n := len(s.shards)
-	pinned, err := WALShardCount(d.Dir)
+	tab0 := s.tab()
+	n := len(tab0.shards)
+	man, err := openManifest(d.Dir)
 	if err != nil {
 		return nil, err
 	}
-	if pinned != 0 && pinned != n {
-		return nil, fmt.Errorf("server: %s holds a %d-shard log but the store has %d shards — restart with -store-shards=%d, or point at a fresh directory", d.Dir, pinned, n, pinned)
+	if man != nil && len(man.Shards) != n {
+		return nil, fmt.Errorf("server: %s holds a %d-shard log but the store has %d shards — restart with -store-shards=%d, or point at a fresh directory", d.Dir, len(man.Shards), n, len(man.Shards))
 	}
 	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	if pinned == 0 {
-		if err := writeManifest(d.Dir, n); err != nil {
+	if man == nil {
+		man = legacyManifest(n)
+		if err := writeStoreManifest(d.Dir, man); err != nil {
 			return nil, err
 		}
 	}
+
+	// Adopt the manifest's table: stable ids, hash slices, next id. A
+	// fresh or never-resharded directory matches the constructor's
+	// defaults exactly; a resharded one (v2) reassigns them. Safe to
+	// mutate the shard structs here — EnableDurability runs before the
+	// store serves traffic.
+	shards := append([]*shard(nil), tab0.shards...)
+	slices := make([]hashSlice, n)
+	for i, e := range man.Shards {
+		shards[i].idx = e.ID
+		shards[i].walName = e.Dir
+		slices[i] = hashSlice{mod: e.Mod, res: e.Res}
+	}
+	s.nextID = man.NextID
 
 	// Scale the batch-fsync window by the shard count: each shard's log
 	// has its own background syncer against its own file, so N shards at
@@ -465,18 +483,18 @@ func (s *Store) EnableDurability(d Durability) (*RecoverSummary, error) {
 	results := make([]*wal.RecoverResult, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for i := range s.shards {
+	for i := range shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sh := s.shards[i]
+			sh := shards[i]
 			// Replayed tail records seed the dirty set: those keys changed
 			// past the checkpoint chain's head, so the first delta cut
 			// after a restart must carry them (chain loads do not mark —
 			// the chain already covers them).
 			shOpts := opts
 			shOpts.OnReplayOps = func(ops []wal.Op) { sh.dirty.markOps(ops) }
-			logs[i], results[i], errs[i] = wal.Open(shardWALDir(d.Dir, i, n), shOpts, func(ops []wal.Op) error {
+			logs[i], results[i], errs[i] = wal.Open(filepath.Join(d.Dir, man.Shards[i].Dir), shOpts, func(ops []wal.Op) error {
 				return s.applyOps(sh, ops)
 			})
 		}(i)
@@ -496,28 +514,160 @@ func (s *Store) EnableDurability(d Durability) (*RecoverSummary, error) {
 		}
 	}
 
+	// ---- reshard journal resolution ----
+	//
+	// A crash inside a SPLIT/MERGE left a RESHARD BEGIN with an epoch
+	// past the manifest's. Its own log tells the outcome: a matching
+	// COMMIT means the cutover reached its commit point — roll the
+	// directory forward to the journaled table (the crash merely beat
+	// the manifest rewrite); no COMMIT means the copy never finished —
+	// roll it back. Either way the manifest is rewritten before traffic.
+	sawReshard := false
+	for i := range results {
+		var begin *wal.ReshardEvent
+		committed := false
+		for k := range results[i].Reshards {
+			ev := &results[i].Reshards[k]
+			sawReshard = true
+			switch ev.Kind {
+			case wal.RecordReshardBegin:
+				begin, committed = ev, false
+			case wal.RecordReshardCommit:
+				if begin != nil && ev.Epoch == begin.Epoch {
+					committed = true
+				}
+			}
+		}
+		if begin == nil || begin.Epoch <= man.Epoch {
+			continue // no journal, or one the manifest already reflects
+		}
+		r := begin.Reshard
+		switch {
+		case !committed && r.Op == wal.ReshardSplit:
+			// Roll back: the new shard never went live; whatever partial
+			// copy it holds was never acknowledged to anyone.
+			if r.Dir != "" && r.Dir != "." {
+				if err := os.RemoveAll(filepath.Join(d.Dir, r.Dir)); err != nil {
+					closeAll()
+					return nil, fmt.Errorf("server: rolling back split epoch=%d: %w", begin.Epoch, err)
+				}
+			}
+			if d.Logf != nil {
+				d.Logf("polyserve: rolled back uncommitted split epoch=%d (shard %d never went live)", begin.Epoch, r.Dst)
+			}
+		case !committed && r.Op == wal.ReshardMerge:
+			// Roll back: nothing on disk to undo — the copy appended
+			// ordinary records to the survivor's log, and the routing
+			// filter below deletes those not-owned keys again.
+			if d.Logf != nil {
+				d.Logf("polyserve: rolled back uncommitted merge epoch=%d (shard %d stays)", begin.Epoch, r.Src)
+			}
+		case committed && r.Op == wal.ReshardSplit:
+			srcPos := man.posByID(r.Src)
+			if srcPos < 0 {
+				closeAll()
+				return nil, fmt.Errorf("server: split journal epoch=%d names unknown shard %d", begin.Epoch, r.Src)
+			}
+			dst := s.newShard(r.Dst, s.mkTM())
+			dOpts := opts
+			dOpts.OnReplayOps = func(ops []wal.Op) { dst.dirty.markOps(ops) }
+			dlog, dres, derr := wal.Open(filepath.Join(d.Dir, r.Dir), dOpts, func(ops []wal.Op) error {
+				return s.applyOps(dst, ops)
+			})
+			if derr != nil {
+				closeAll()
+				return nil, fmt.Errorf("server: rolling forward split epoch=%d: %w", begin.Epoch, derr)
+			}
+			dst.wal = dlog
+			dst.walName = r.Dir
+			// Insert the new shard in residue order and shrink the source's
+			// slice to its journaled half.
+			slices[srcPos] = hashSlice{mod: r.Mod, res: r.Res}
+			man.Shards[srcPos].Mod, man.Shards[srcPos].Res = r.Mod, r.Res
+			at := len(shards)
+			for k := range slices {
+				if slices[k].res > r.Res2 {
+					at = k
+					break
+				}
+			}
+			shards = insertAt(shards, at, dst)
+			slices = insertAt(slices, at, hashSlice{mod: r.Mod2, res: r.Res2})
+			logs = insertAt(logs, at, dlog)
+			results = insertAt(results, at, dres)
+			man.Shards = insertAt(man.Shards, at, manifestShard{ID: r.Dst, Mod: r.Mod2, Res: r.Res2, Dir: r.Dir})
+			if r.Dst+1 > man.NextID {
+				man.NextID = r.Dst + 1
+			}
+			man.Epoch = begin.Epoch
+			s.nextID = man.NextID
+			if err := writeStoreManifest(d.Dir, man); err != nil {
+				closeAll()
+				return nil, fmt.Errorf("server: rolling forward split epoch=%d: %w", begin.Epoch, err)
+			}
+			if d.Logf != nil {
+				d.Logf("polyserve: rolled forward committed split epoch=%d (shard %d adopted)", begin.Epoch, r.Dst)
+			}
+		case committed && r.Op == wal.ReshardMerge:
+			// The absorbed shard's keys were durably copied into the
+			// survivor's log before the COMMIT, so its replayed state is
+			// already in the survivor; drop the shard and its directory.
+			bPos := man.posByID(r.Src)
+			aPos := man.posByID(r.Dst)
+			if bPos < 0 || aPos < 0 {
+				closeAll()
+				return nil, fmt.Errorf("server: merge journal epoch=%d names unknown shards %d/%d", begin.Epoch, r.Src, r.Dst)
+			}
+			logs[bPos].Close()
+			if bd := man.Shards[bPos].Dir; bd != "" && bd != "." {
+				if err := os.RemoveAll(filepath.Join(d.Dir, bd)); err != nil {
+					closeAll()
+					return nil, fmt.Errorf("server: rolling forward merge epoch=%d: %w", begin.Epoch, err)
+				}
+			}
+			shards = removeAt(shards, bPos)
+			slices = removeAt(slices, bPos)
+			logs = removeAt(logs, bPos)
+			results = removeAt(results, bPos)
+			man.Shards = removeAt(man.Shards, bPos)
+			aPos = man.posByID(r.Dst)
+			slices[aPos] = hashSlice{mod: r.Mod, res: r.Res}
+			man.Shards[aPos].Mod, man.Shards[aPos].Res = r.Mod, r.Res
+			man.Epoch = begin.Epoch
+			if err := writeStoreManifest(d.Dir, man); err != nil {
+				closeAll()
+				return nil, fmt.Errorf("server: rolling forward merge epoch=%d: %w", begin.Epoch, err)
+			}
+			if d.Logf != nil {
+				d.Logf("polyserve: rolled forward committed merge epoch=%d (shard %d absorbed into %d)", begin.Epoch, r.Src, r.Dst)
+			}
+		}
+	}
+
 	// Resolve in-doubt prepares: a shard whose log ends in a PREPARE
 	// crashed inside a cross-shard commit. The coordinator's durable
 	// DECISION set is the truth — present: the commit point was
 	// reached, apply and re-log the operations as a plain record (so
 	// the next recovery replays them without needing the decision to
 	// still exist); absent: the transaction never committed anywhere,
-	// and no client was acknowledged — drop it.
+	// and no client was acknowledged — drop it. Coordinators are named
+	// by STABLE shard id, which pre-resharding equals the position —
+	// legacy logs resolve unchanged.
 	sum := &RecoverSummary{Shards: results}
-	var decisions []map[uint64]bool
+	var decisions map[int]map[uint64]bool
 	for i, res := range results {
 		pp := res.InDoubt
 		if pp == nil {
 			continue
 		}
 		committed := false
-		if pp.Coord >= 0 && pp.Coord < n {
+		if coordPos := posOfID(shards, pp.Coord); coordPos >= 0 {
 			if decisions == nil {
-				decisions = make([]map[uint64]bool, n)
+				decisions = make(map[int]map[uint64]bool)
 			}
 			if decisions[pp.Coord] == nil {
-				m := make(map[uint64]bool, len(results[pp.Coord].Decisions))
-				for _, e := range results[pp.Coord].Decisions {
+				m := make(map[uint64]bool, len(results[coordPos].Decisions))
+				for _, e := range results[coordPos].Decisions {
 					m[e] = true
 				}
 				decisions[pp.Coord] = m
@@ -525,23 +675,23 @@ func (s *Store) EnableDurability(d Durability) (*RecoverSummary, error) {
 			committed = decisions[pp.Coord][pp.Epoch]
 		}
 		if committed {
-			if err := s.applyOps(s.shards[i], pp.Ops); err != nil {
+			if err := s.applyOps(shards[i], pp.Ops); err != nil {
 				closeAll()
-				return nil, fmt.Errorf("server: shard %d: applying in-doubt prepare epoch=%d: %w", i, pp.Epoch, err)
+				return nil, fmt.Errorf("server: shard %d: applying in-doubt prepare epoch=%d: %w", shards[i].idx, pp.Epoch, err)
 			}
 			if err := logs[i].Append(wal.AppendOps(nil, pp.Ops)); err != nil {
 				closeAll()
-				return nil, fmt.Errorf("server: shard %d: re-logging in-doubt prepare epoch=%d: %w", i, pp.Epoch, err)
+				return nil, fmt.Errorf("server: shard %d: re-logging in-doubt prepare epoch=%d: %w", shards[i].idx, pp.Epoch, err)
 			}
-			s.shards[i].dirty.markOps(pp.Ops)
+			shards[i].dirty.markOps(pp.Ops)
 			sum.Committed++
 			if d.Logf != nil {
-				d.Logf("polyserve: shard %d: in-doubt prepare epoch=%d committed (decision found on shard %d)", i, pp.Epoch, pp.Coord)
+				d.Logf("polyserve: shard %d: in-doubt prepare epoch=%d committed (decision found on shard %d)", shards[i].idx, pp.Epoch, pp.Coord)
 			}
 		} else {
 			sum.RolledBack++
 			if d.Logf != nil {
-				d.Logf("polyserve: shard %d: in-doubt prepare epoch=%d rolled back (no decision on shard %d)", i, pp.Epoch, pp.Coord)
+				d.Logf("polyserve: shard %d: in-doubt prepare epoch=%d rolled back (no decision on shard %d)", shards[i].idx, pp.Epoch, pp.Coord)
 			}
 		}
 	}
@@ -571,12 +721,29 @@ func (s *Store) EnableDurability(d Durability) (*RecoverSummary, error) {
 		s.ckptRatio = 0.5
 	}
 	s.incarnation = uint64(time.Now().UnixNano())
+	s.walDir = d.Dir
+	s.walOpts = opts
 	// The capture pool (sh.caps, wired at store construction) reads the
 	// log through the shard, so attaching it here routes every
 	// subsequent mutation's capture to the WAL — including captures
 	// pooled earlier by session traffic on the then-non-durable store.
-	for i, sh := range s.shards {
+	for i, sh := range shards {
 		sh.wal = logs[i]
+	}
+	// Publish the recovered table (its epoch may exceed tab0's if a
+	// journal rolled forward), then scrub reshard leftovers: a shard can
+	// hold keys it no longer owns — a split source the lazy cleanup
+	// never finished, or merge-copy pollution rolled back above. The
+	// scrub deletes them through the WAL like any mutation, so the next
+	// recovery starts cleaner.
+	s.table.Store(newRoutingTable(man.Epoch, shards, slices))
+	if man.Epoch > 0 || sawReshard {
+		for _, sh := range shards {
+			if _, err := s.cleanShard(context.Background(), sh); err != nil {
+				closeAll()
+				return nil, fmt.Errorf("server: shard %d: reshard scrub: %w", sh.idx, err)
+			}
+		}
 	}
 	every := d.CheckpointEvery
 	if every == 0 {
@@ -590,19 +757,53 @@ func (s *Store) EnableDurability(d Durability) (*RecoverSummary, error) {
 	return sum, nil
 }
 
+// insertAt returns sl with v inserted at position i.
+func insertAt[T any](sl []T, i int, v T) []T {
+	sl = append(sl, v)
+	copy(sl[i+1:], sl[i:])
+	sl[i] = v
+	return sl
+}
+
+// removeAt returns sl with position i removed.
+func removeAt[T any](sl []T, i int) []T {
+	return append(sl[:i:i], sl[i+1:]...)
+}
+
+// posOfID returns the position of the shard with the given stable id.
+func posOfID(shards []*shard, id int) int {
+	for i, sh := range shards {
+		if sh.idx == id {
+			return i
+		}
+	}
+	return -1
+}
+
 // durable reports whether the store's shards carry write-ahead logs
 // (all-or-nothing: EnableDurability attaches every shard's log in one
 // step before traffic).
-func (s *Store) durable() bool { return s.shards[0].wal != nil }
+func (s *Store) durable() bool { return s.tab().shards[0].wal != nil }
 
 // Durable reports whether the store is backed by a write-ahead log.
 func (s *Store) Durable() bool { return s.durable() }
 
-// WAL returns shard 0's log (nil when not durable) — stats, tests.
-func (s *Store) WAL() *wal.Log { return s.shards[0].wal }
+// WAL returns the first shard's log (nil when not durable) — stats,
+// tests.
+func (s *Store) WAL() *wal.Log { return s.tab().shards[0].wal }
 
-// ShardWAL returns shard i's log (nil when not durable) — tests.
-func (s *Store) ShardWAL(i int) *wal.Log { return s.shards[i].wal }
+// ShardWAL returns the log of the shard at table position i (nil when
+// not durable) — tests.
+// ShardWAL returns the log at table position i, or nil when a
+// concurrent reshard shrank the table below i — callers (the repl hub)
+// pin a topology before iterating and must tolerate the nil.
+func (s *Store) ShardWAL(i int) *wal.Log {
+	t := s.tab()
+	if i < 0 || i >= len(t.shards) {
+		return nil
+	}
+	return t.shards[i].wal
+}
 
 // CloseDurability stops the checkpointer, then flushes and closes
 // every shard's log. The store must be drained first (polyserve calls
@@ -617,7 +818,7 @@ func (s *Store) CloseDurability() error {
 		s.ckptStop, s.ckptDone = nil, nil
 	}
 	var first error
-	for _, sh := range s.shards {
+	for _, sh := range s.tab().shards {
 		if err := sh.wal.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -677,12 +878,13 @@ func (s *Store) Checkpoint(ctx context.Context) error {
 	if !s.durable() {
 		return fmt.Errorf("server: store is not durable")
 	}
-	if len(s.shards) == 1 {
-		return s.checkpointShard(ctx, s.shards[0])
+	tab := s.tab()
+	if len(tab.shards) == 1 {
+		return s.checkpointShard(ctx, tab.shards[0])
 	}
-	errs := make([]error, len(s.shards))
+	errs := make([]error, len(tab.shards))
 	var wg sync.WaitGroup
-	for i, sh := range s.shards {
+	for i, sh := range tab.shards {
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
@@ -710,6 +912,13 @@ func (s *Store) checkpointShard(ctx context.Context, sh *shard) error {
 	// take, and the file that records them must pair up.
 	sh.ckptMu.Lock()
 	defer sh.ckptMu.Unlock()
+
+	if sh.ckptHold.Load() {
+		// A reshard holds its BEGIN/COMMIT journal pair in this shard's
+		// log; rotating between them would truncate the BEGIN a crash
+		// needs. Skip the cut — the next tick catches up.
+		return nil
+	}
 
 	chain := sh.wal.Chain()
 	nDirty, flushPending := sh.dirty.peek()

@@ -76,7 +76,7 @@ func (s *Store) ReapExpired(ctx context.Context) (int, error) {
 		return 0, nil
 	}
 	total := 0
-	for _, sh := range s.shards {
+	for _, sh := range s.tab().shards {
 		n, err := s.reapShard(ctx, sh)
 		total += n
 		if err != nil {
@@ -101,6 +101,15 @@ func (s *Store) reapShard(ctx context.Context, sh *shard) (int, error) {
 	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
 		cp.begin()
 		reaped = 0
+		// A reshard may have retired or shrunk this shard since the pass
+		// started: a merged-away shard's log is closing, and a split
+		// source's moved keys belong to the new owner (which re-armed
+		// their deadlines at cutover). Re-check membership under the
+		// token and expire only keys the shard still owns.
+		tab := s.tab()
+		if tab.epoch > 0 && tab.byID(sh.idx) != sh {
+			return nil
+		}
 		// Close the extension window: a SETEX that committed before this
 		// body took the shard's token may still be delivering its new
 		// deadline. Sync under the token (no new slots can be reserved
@@ -108,6 +117,9 @@ func (s *Store) reapShard(ctx context.Context, sh *shard) (int, error) {
 		// re-check below sees every earlier commit's TTL effect.
 		sh.notif.Sync()
 		for _, k := range candidates {
+			if tab.epoch > 0 && tab.shardFor(hashKeyStr(k)) != sh {
+				continue // moved by a split; the new owner expires it
+			}
 			if d, ok := sh.ttl.deadline(k); !ok || d > now {
 				continue // re-armed or disarmed since collection
 			}

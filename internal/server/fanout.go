@@ -29,18 +29,19 @@ import (
 // sub-response slot per key so the per-shard transactions write
 // disjoint slots, and fan out.
 func (s *Store) mget(ctx context.Context, keys [][]byte, sem core.Semantics, resp *wire.Response) {
+	tab := s.tab()
 	var only *shard
-	if len(s.shards) > 1 && len(keys) > 0 {
-		only = s.shards[s.shardIdx(keys[0])]
+	if len(tab.shards) > 1 && len(keys) > 0 {
+		only = tab.shardFor(hashKey(keys[0]))
 		for _, k := range keys[1:] {
-			if s.shards[s.shardIdx(k)] != only {
+			if tab.shardFor(hashKey(k)) != only {
 				only = nil
 				break
 			}
 		}
 	}
-	if len(s.shards) == 1 || len(keys) == 0 {
-		only = s.shards[0]
+	if len(tab.shards) == 1 || len(keys) == 0 {
+		only = tab.shards[0]
 	}
 	if only != nil {
 		only.routed.Add(uint64(len(keys)))
@@ -73,23 +74,23 @@ func (s *Store) mget(ctx context.Context, keys [][]byte, sem core.Semantics, res
 	for range keys {
 		appendSub(resp)
 	}
-	groups := make([][]int, len(s.shards))
+	groups := make([][]int, len(tab.shards))
 	for i, k := range keys {
-		si := s.shardIdx(k)
+		si := tab.pos(hashKey(k))
 		groups[si] = append(groups[si], i)
 	}
-	errs := make([]error, len(s.shards))
+	errs := make([]error, len(tab.shards))
 	var wg sync.WaitGroup
 	for si, idxs := range groups {
 		if len(idxs) == 0 {
 			continue
 		}
-		sh := s.shards[si]
+		sh := tab.shards[si]
 		sh.routed.Add(uint64(len(idxs)))
 		wg.Add(1)
-		go func(sh *shard, idxs []int) {
+		go func(si int, sh *shard, idxs []int) {
 			defer wg.Done()
-			errs[sh.idx] = sh.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
+			errs[si] = sh.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 				for _, j := range idxs {
 					v, ok, err := sh.m.GetTx(tx, lookupKey(keys[j]))
 					if err != nil {
@@ -109,7 +110,7 @@ func (s *Store) mget(ctx context.Context, keys [][]byte, sem core.Semantics, res
 				}
 				return nil
 			})
-		}(sh, idxs)
+		}(si, sh, idxs)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -133,27 +134,35 @@ type kvPair struct {
 // slices into resp.Pairs, stopping at limit. Shard count is small (a
 // handful, bounded by cores), so the linear min-pick per emitted pair
 // beats a heap on real sizes.
-func (s *Store) scanFanout(ctx context.Context, from, to []byte, limit uint64, sem core.Semantics, resp *wire.Response) {
-	n := len(s.shards)
+func (s *Store) scanFanout(ctx context.Context, tab *routingTable, from, to []byte, limit uint64, sem core.Semantics, resp *wire.Response) {
+	n := len(tab.shards)
 	results := make([][]kvPair, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for i, sh := range s.shards {
+	for i, sh := range tab.shards {
 		sh.routed.Add(1)
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
+			sl := tab.slices[i]
 			var local []kvPair
 			errs[i] = sh.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 				local = local[:0] // a retried body restarts its slice
 				rangeLimit := int(limit)
-				if sh.ttl.Len() > 0 {
+				if sh.ttl.Len() > 0 || tab.epoch > 0 {
 					// Expired entries are filtered and must not consume the
-					// limit (see Store.scan).
+					// limit (see Store.scan). Post-reshard, so are keys the
+					// shard no longer owns: a split leaves the moved half on
+					// the source until lazy cleanup catches up, and the new
+					// owner scans those same keys — filtering by the routing
+					// slice keeps the merge duplicate-free.
 					rangeLimit = 0
 				}
 				return sh.m.RangeTx(tx, lookupKey(from), lookupKey(to), rangeLimit, func(k, v string) bool {
 					if sh.expiredNowStr(k) {
+						return true
+					}
+					if tab.epoch > 0 && hashKeyStr(k)%sl.mod != sl.res {
 						return true
 					}
 					local = append(local, kvPair{k, v})

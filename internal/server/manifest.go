@@ -1,0 +1,184 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The MANIFEST pins what a durable directory's logs mean. Two formats:
+//
+//	v1 (pre-resharding):  polyserve-wal shards=N
+//	v2 (epoch-versioned): polyserve-wal v2 epoch=E next=I shards=N
+//	                      shard <id> mod=<m> res=<r> dir=<d>   (× N)
+//
+// v1 implies routing epoch 0 with the historical layout: shard i has
+// stable id i, hash slice (N, i), and directory shard-%04d (the root
+// itself when N == 1). A store that has never resharded keeps writing
+// v1, so old binaries and existing tests read its directories
+// unchanged; the first SPLIT/MERGE upgrades the file to v2, where
+// every shard's id, slice, and directory are explicit. The shard lines
+// are in table order (ascending residue).
+//
+// The file is replaced atomically (tmp + rename + dir sync). A crash
+// can strand the .tmp — openManifest sweeps it, since the rename
+// either happened (MANIFEST is the new content) or did not (MANIFEST
+// is the old content); the orphan is dead either way. Malformed
+// content is always a loud error: silently opening N shard logs under
+// a wrong table scatters keys to the wrong stores.
+
+// manifestShard is one shard entry: stable id, hash slice, and the log
+// directory (relative to the store dir; "." = the root itself).
+type manifestShard struct {
+	ID       int
+	Mod, Res uint64
+	Dir      string
+}
+
+// storeManifest is a parsed MANIFEST.
+type storeManifest struct {
+	Epoch  uint64
+	NextID int
+	Shards []manifestShard // table order (ascending residue)
+}
+
+// legacyManifest builds the v1-implied manifest for an n-shard store.
+func legacyManifest(n int) *storeManifest {
+	m := &storeManifest{NextID: n, Shards: make([]manifestShard, n)}
+	for i := range m.Shards {
+		dir := "."
+		if n > 1 {
+			dir = fmt.Sprintf("shard-%04d", i)
+		}
+		m.Shards[i] = manifestShard{ID: i, Mod: uint64(n), Res: uint64(i), Dir: dir}
+	}
+	return m
+}
+
+// legacyShaped reports whether m is exactly what v1 implies — if so,
+// writeStoreManifest keeps the v1 format for compatibility.
+func (m *storeManifest) legacyShaped() bool {
+	if m.Epoch != 0 || m.NextID != len(m.Shards) {
+		return false
+	}
+	n := len(m.Shards)
+	for i, sh := range m.Shards {
+		dir := "."
+		if n > 1 {
+			dir = fmt.Sprintf("shard-%04d", i)
+		}
+		if sh.ID != i || sh.Mod != uint64(n) || sh.Res != uint64(i) || sh.Dir != dir {
+			return false
+		}
+	}
+	return true
+}
+
+// posByID returns the index of the entry with stable id, -1 if absent.
+func (m *storeManifest) posByID(id int) int {
+	for i := range m.Shards {
+		if m.Shards[i].ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// openManifest reads dir's MANIFEST (nil when the file is absent — a
+// fresh directory) and sweeps a stale MANIFEST.tmp left by a crashed
+// rewrite. Every malformed shape is an explicit error.
+func openManifest(dir string) (*storeManifest, error) {
+	if tmp := filepath.Join(dir, manifestName+".tmp"); fileExists(tmp) {
+		// The rename either completed (MANIFEST holds the new content)
+		// or never happened (MANIFEST holds the old); the orphan is
+		// dead weight that would shadow nothing but confuse operators.
+		os.Remove(tmp)
+	}
+	f, err := os.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("server: %s in %s is empty or unreadable", manifestName, dir)
+	}
+	header := sc.Text()
+	if n := 0; !strings.HasPrefix(header, "polyserve-wal v2 ") {
+		// v1: the single legacy line.
+		if _, serr := fmt.Sscanf(header, "polyserve-wal shards=%d", &n); serr != nil || n < 1 {
+			return nil, fmt.Errorf("server: malformed %s in %s: %q", manifestName, dir, header)
+		}
+		return legacyManifest(n), nil
+	}
+	m := &storeManifest{}
+	var n int
+	if _, serr := fmt.Sscanf(header, "polyserve-wal v2 epoch=%d next=%d shards=%d", &m.Epoch, &m.NextID, &n); serr != nil || n < 1 {
+		return nil, fmt.Errorf("server: malformed %s header in %s: %q", manifestName, dir, header)
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e manifestShard
+		if _, serr := fmt.Sscanf(line, "shard %d mod=%d res=%d dir=%s", &e.ID, &e.Mod, &e.Res, &e.Dir); serr != nil {
+			return nil, fmt.Errorf("server: malformed %s shard line in %s: %q", manifestName, dir, line)
+		}
+		m.Shards = append(m.Shards, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(m.Shards) != n {
+		return nil, fmt.Errorf("server: %s in %s is truncated: header says %d shards, found %d", manifestName, dir, n, len(m.Shards))
+	}
+	for i, e := range m.Shards {
+		if e.Mod == 0 || e.Res >= e.Mod {
+			return nil, fmt.Errorf("server: %s in %s: shard %d has invalid slice (%d, %d)", manifestName, dir, e.ID, e.Mod, e.Res)
+		}
+		if e.ID >= m.NextID {
+			return nil, fmt.Errorf("server: %s in %s: shard id %d >= next id %d", manifestName, dir, e.ID, m.NextID)
+		}
+		if i > 0 && e.Res <= m.Shards[i-1].Res {
+			return nil, fmt.Errorf("server: %s in %s: shard lines not in residue order", manifestName, dir)
+		}
+	}
+	return m, nil
+}
+
+// writeStoreManifest durably replaces dir's MANIFEST with m, keeping
+// the v1 format while m is legacy-shaped.
+func writeStoreManifest(dir string, m *storeManifest) error {
+	var b strings.Builder
+	if m.legacyShaped() {
+		fmt.Fprintf(&b, "polyserve-wal shards=%d\n", len(m.Shards))
+	} else {
+		fmt.Fprintf(&b, "polyserve-wal v2 epoch=%d next=%d shards=%d\n", m.Epoch, m.NextID, len(m.Shards))
+		for _, e := range m.Shards {
+			fmt.Fprintf(&b, "shard %d mod=%d res=%d dir=%s\n", e.ID, e.Mod, e.Res, e.Dir)
+		}
+	}
+	path := filepath.Join(dir, manifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDirBestEffort(dir)
+	return nil
+}
+
+// fileExists reports whether path exists (any kind).
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}

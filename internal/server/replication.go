@@ -104,14 +104,16 @@ func (s *Store) setReplCounters(fn func() []wire.Counter) {
 
 // setSyncAck installs (or, with a nil hub, removes) the per-shard
 // sync-ack gate: a durable mutation's acknowledgement additionally
-// waits for a follower ack covering its record.
+// waits for a follower ack covering its record. Feed frames address
+// shards by table position, so the gate is re-installed after every
+// reshard (see the reshard hook) to rebind positions.
 func (s *Store) setSyncAck(h *repl.Hub) {
-	for _, sh := range s.shards {
+	for pos, sh := range s.tab().shards {
 		if h == nil {
 			sh.replWait.Store(nil)
 			continue
 		}
-		shard := sh.idx
+		shard := pos
 		fn := func(ctx context.Context, seq uint64) error {
 			return h.WaitAcked(ctx, shard, seq)
 		}
@@ -119,14 +121,39 @@ func (s *Store) setSyncAck(h *repl.Hub) {
 	}
 }
 
+// setReshardHook installs (nil removes) the function the store calls
+// right after publishing a new routing table (replication teardown on
+// topology change).
+func (s *Store) setReshardHook(fn func(epoch uint64)) {
+	if fn == nil {
+		s.reshardHook.Store(nil)
+		return
+	}
+	s.reshardHook.Store(&fn)
+}
+
+// Routing returns the store's routing epoch and the table's slices in
+// position order (repl.PrimaryStore): the hub sends this to every
+// follower right after HELLO, and all shard indices in subsequent feed
+// frames are positions in this table.
+func (s *Store) Routing() (uint64, []wire.ReplShardSlice) {
+	tab := s.tab()
+	slices := make([]wire.ReplShardSlice, len(tab.shards))
+	for i, sh := range tab.shards {
+		slices[i] = wire.ReplShardSlice{ID: uint64(sh.idx), Mod: tab.slices[i].mod, Res: tab.slices[i].res}
+	}
+	return tab.epoch, slices
+}
+
 // SnapshotShard streams one consistent snapshot of shard i through
 // emit (repl.PrimaryStore). The walk is a single snapshot-semantics
 // transaction, so it never aborts and never blocks writers.
 func (s *Store) SnapshotShard(ctx context.Context, i int, emit func(k, v string) error) error {
-	if i < 0 || i >= len(s.shards) {
-		return fmt.Errorf("server: snapshot of shard %d of %d", i, len(s.shards))
+	tab := s.tab()
+	if i < 0 || i >= len(tab.shards) {
+		return fmt.Errorf("server: snapshot of shard %d of %d", i, len(tab.shards))
 	}
-	sh := s.shards[i]
+	sh := tab.shards[i]
 	return sh.m.SnapshotAllCtx(ctx, func(k, v string) error {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -168,13 +195,14 @@ func (e *errDeltaEmit) Error() string { return e.err.Error() }
 // safe even after partial delta emission: the snapshot path clears the
 // follower's shard before loading.
 func (s *Store) DeltaShard(ctx context.Context, i int, applied uint64, emit func(k, v string, del bool) error) (bool, error) {
-	if i < 0 || i >= len(s.shards) {
-		return false, fmt.Errorf("server: delta of shard %d of %d", i, len(s.shards))
+	tab := s.tab()
+	if i < 0 || i >= len(tab.shards) {
+		return false, fmt.Errorf("server: delta of shard %d of %d", i, len(tab.shards))
 	}
 	if !s.durable() {
 		return false, nil
 	}
-	sh := s.shards[i]
+	sh := tab.shards[i]
 	// Freeze the chain/dirty pair under the checkpoint lock: a cut
 	// between reading the chain and copying the dirty set would move
 	// keys into a delta this read already missed. Keys mutated after
@@ -233,10 +261,11 @@ func (s *Store) DeltaShard(ctx context.Context, i int, applied uint64, emit func
 // followers never learn deadlines, so expiry is only ever the
 // primary's replicated delete).
 func (s *Store) ApplyShardOps(i int, ops []wal.Op) error {
-	if i < 0 || i >= len(s.shards) {
-		return fmt.Errorf("server: apply to shard %d of %d", i, len(s.shards))
+	tab := s.tab()
+	if i < 0 || i >= len(tab.shards) {
+		return fmt.Errorf("server: apply to shard %d of %d", i, len(tab.shards))
 	}
-	sh := s.shards[i]
+	sh := tab.shards[i]
 	if sh.wal == nil && sh.sess.ActiveWatches() == 0 && sh.ttl.Len() == 0 {
 		return s.applyOps(sh, ops)
 	}
@@ -364,6 +393,17 @@ func (s *Server) startHubLocked() error {
 	if s.replCfg.SyncAck {
 		s.store.setSyncAck(h)
 	}
+	// A reshard changes the shard set mid-stream. Cutting every feed
+	// forces each follower through a fresh handshake, where it learns
+	// the new topology; rebinding the sync-ack gate repoints the shards
+	// at their new table positions.
+	syncAck := s.replCfg.SyncAck
+	s.store.setReshardHook(func(epoch uint64) {
+		h.CutAll(fmt.Sprintf("routing epoch %d", epoch))
+		if syncAck {
+			s.store.setSyncAck(h)
+		}
+	})
 	return nil
 }
 
@@ -420,6 +460,7 @@ func (s *Server) closeReplication() {
 	h, fl := s.hub, s.follower
 	s.hub, s.follower = nil, nil
 	s.mu.Unlock()
+	s.store.setReshardHook(nil)
 	s.store.setSyncAck(nil)
 	s.store.setReplCounters(nil)
 	if h != nil {

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"polytm/internal/wal"
+	"polytm/internal/wire"
+)
+
+// Online-resharding crash windows: SIGKILL a durable store inside the
+// two windows of the split protocol and prove recovery restores the
+// exact acknowledged prefix in both.
+//
+//   - "begin" window: the process dies the instant the RESHARD BEGIN
+//     record is durable — the new shard never went live and no routing
+//     change was ever visible. Recovery must roll the split back: the
+//     original shard count, the original epoch, the new shard's
+//     directory gone, every acknowledged key intact.
+//   - "commit" window: the process dies the instant the RESHARD COMMIT
+//     record is durable — the cutover reached its commit point but the
+//     crash beat the MANIFEST rewrite. Recovery must roll the split
+//     forward: adopt the grown table from the journal, rewrite the
+//     manifest, and surface every acknowledged key.
+//
+// Like the 2PC gate, the kill is injected through the WAL's
+// OnDurableRecord hook — on the flusher goroutine, after the record is
+// on stable storage and before any appender is acknowledged.
+
+const (
+	reshardCrashDirEnv  = "POLYSERVE_RESHARD_CRASH_DIR"
+	reshardCrashModeEnv = "POLYSERVE_RESHARD_CRASH_MODE"
+	reshardCrashShards  = 2
+	reshardCrashKeys    = 96
+)
+
+// reshardCrashChild seeds an acknowledged keyspace, arms the kill hook
+// on the journal record for its window, then starts a SPLIT — and dies
+// mid-protocol.
+func reshardCrashChild(dir, mode string) {
+	target := byte(0x13) // RESHARD BEGIN
+	if mode == "commit" {
+		target = 0x14 // RESHARD COMMIT
+	}
+	var armed atomic.Bool
+	st := newSharded(reshardCrashShards)
+	_, err := st.EnableDurability(Durability{
+		Dir: dir, Fsync: wal.ModeAlways, CheckpointEvery: -1,
+		onDurableRecord: func(first byte) {
+			if armed.Load() && first == target {
+				syscall.Kill(syscall.Getpid(), syscall.SIGKILL)
+				select {} // never acknowledge past the kill point
+			}
+		},
+	})
+	if err != nil {
+		fmt.Printf("CHILD-ERR enable durability: %v\n", err)
+		os.Exit(1)
+	}
+	for i := 0; i < reshardCrashKeys; i++ {
+		resp := st.Execute(&wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: tkey(i), Val: []byte(fmt.Sprintf("v%d", i))})
+		if resp.Status != wire.StatusOK {
+			fmt.Printf("CHILD-ERR seed %d: %s\n", i, resp.Msg)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("SEEDED")
+	armed.Store(true)
+	st.Split(context.Background(), 0, 0)
+	fmt.Println("CHILD-ERR survived the kill window")
+	os.Exit(1)
+}
+
+// TestReshardCrashRecovery kills a child process in each split window
+// and verifies the recovered directory. CI runs it -count=10 for the
+// 20-kill acceptance gate.
+func TestReshardCrashRecovery(t *testing.T) {
+	if dir := os.Getenv(reshardCrashDirEnv); dir != "" {
+		reshardCrashChild(dir, os.Getenv(reshardCrashModeEnv)) // never returns
+	}
+	for _, mode := range []string{"begin", "commit"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			cmd := exec.Command(os.Args[0], "-test.run=TestReshardCrashRecovery$", "-test.v")
+			cmd.Env = append(os.Environ(), reshardCrashDirEnv+"="+dir, reshardCrashModeEnv+"="+mode)
+			timer := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
+			out, _ := cmd.CombinedOutput() // dies by SIGKILL: error by design
+			timer.Stop()
+			if s := string(out); strings.Contains(s, "CHILD-ERR") || !strings.Contains(s, "SEEDED") {
+				t.Fatalf("crash child (mode=%s):\n%s", mode, s)
+			}
+
+			// The crash in BOTH windows beat the MANIFEST rewrite, so the
+			// pinned count is still the pre-split one — recovery itself
+			// decides whether the table grows.
+			pinned, err := WALShardCount(dir)
+			if err != nil {
+				t.Fatalf("WALShardCount: %v", err)
+			}
+			if pinned != reshardCrashShards {
+				t.Fatalf("pinned shard count = %d, want %d", pinned, reshardCrashShards)
+			}
+			st := newSharded(reshardCrashShards)
+			res, err := st.EnableDurability(Durability{Dir: dir, Fsync: wal.ModeAlways, CheckpointEvery: -1})
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			defer st.CloseDurability()
+			t.Logf("recovery: %s", res)
+
+			switch mode {
+			case "begin":
+				// Rolled back: original table, no trace of the new shard.
+				if st.NumShards() != reshardCrashShards || st.RoutingEpoch() != 0 {
+					t.Fatalf("begin-window crash left shards=%d epoch=%d", st.NumShards(), st.RoutingEpoch())
+				}
+				if fileExists(filepath.Join(dir, "shard-0002")) {
+					t.Fatal("rolled-back split left the new shard's directory")
+				}
+			case "commit":
+				// Rolled forward: the journaled table, manifest healed.
+				if st.NumShards() != reshardCrashShards+1 || st.RoutingEpoch() != 1 {
+					t.Fatalf("commit-window crash recovered to shards=%d epoch=%d", st.NumShards(), st.RoutingEpoch())
+				}
+				if n, err := WALShardCount(dir); err != nil || n != reshardCrashShards+1 {
+					t.Fatalf("manifest not healed after roll-forward: n=%d err=%v", n, err)
+				}
+			}
+
+			// Both windows: the exact acknowledged prefix, no more, no less.
+			got := scanAll(t, st)
+			if len(got) != reshardCrashKeys {
+				t.Fatalf("recovered %d keys, want %d", len(got), reshardCrashKeys)
+			}
+			for i := 0; i < reshardCrashKeys; i++ {
+				if got[string(tkey(i))] != fmt.Sprintf("v%d", i) {
+					t.Fatalf("key %d: %q", i, got[string(tkey(i))])
+				}
+			}
+			// And the recovered store serves writes on every shard.
+			for i := 0; i < 32; i++ {
+				execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: tkey(1000 + i), Val: []byte("post")})
+			}
+		})
+	}
+}

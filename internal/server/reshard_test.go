@@ -1,0 +1,504 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"polytm/internal/wal"
+	"polytm/internal/wire"
+)
+
+// statsMap fetches the STATS counters as a map.
+func statsMap(t *testing.T, st *Store) map[string]uint64 {
+	t.Helper()
+	resp := execOK(t, st, &wire.Request{Op: wire.OpStats, Sem: wire.SemDefault})
+	m := make(map[string]uint64, len(resp.Counters))
+	for _, c := range resp.Counters {
+		m[c.Name] = c.Value
+	}
+	return m
+}
+
+// TestSplitMovesKeys: a SPLIT doubles the table, keeps every key at its
+// pre-split value, routes each key to the slice that owns its hash, and
+// leaves the store fully writable.
+func TestSplitMovesKeys(t *testing.T) {
+	ctx := context.Background()
+	st := newSharded(2)
+	const n = 512
+	for i := 0; i < n; i++ {
+		execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: tkey(i), Val: []byte(fmt.Sprintf("v%d", i))})
+	}
+	epoch, err := st.Split(ctx, 0, 0)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if epoch != 1 || st.RoutingEpoch() != 1 {
+		t.Fatalf("epoch = %d / %d, want 1", epoch, st.RoutingEpoch())
+	}
+	if st.NumShards() != 3 {
+		t.Fatalf("NumShards = %d, want 3", st.NumShards())
+	}
+	got := scanAll(t, st)
+	if len(got) != n {
+		t.Fatalf("post-split scan found %d keys, want %d", len(got), n)
+	}
+	for i := 0; i < n; i++ {
+		if got[string(tkey(i))] != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d: %q", i, got[string(tkey(i))])
+		}
+	}
+	// Every key's owning table position actually owns its hash.
+	tab := st.tab()
+	for i := 0; i < n; i++ {
+		h := hashKey(tkey(i))
+		sl := tab.slices[tab.pos(h)]
+		if h%sl.mod != sl.res {
+			t.Fatalf("key %d routed to a slice that does not own it", i)
+		}
+	}
+	// Point reads and writes still work for moved and unmoved keys.
+	for i := 0; i < n; i += 7 {
+		execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: tkey(i), Val: []byte("post")})
+		r := execOK(t, st, &wire.Request{Op: wire.OpGet, Sem: wire.SemDefault, Key: tkey(i)})
+		if string(r.Val) != "post" {
+			t.Fatalf("post-split rewrite of key %d read %q", i, r.Val)
+		}
+	}
+	sm := statsMap(t, st)
+	if sm["routing_epoch"] != 1 || sm["reshard_splits"] != 1 {
+		t.Fatalf("stats: routing_epoch=%d reshard_splits=%d", sm["routing_epoch"], sm["reshard_splits"])
+	}
+}
+
+// TestSplitWrongEpoch: a stale epoch is rejected with the typed error,
+// both at the Store API and through the wire dispatch.
+func TestSplitWrongEpoch(t *testing.T) {
+	st := newSharded(2)
+	_, err := st.Split(context.Background(), 7, 0)
+	var we *wire.WrongEpochError
+	if !errors.As(err, &we) || we.Have != 7 || we.Want != 0 {
+		t.Fatalf("Split with stale epoch: %v", err)
+	}
+	resp := st.Execute(&wire.Request{Op: wire.OpSplit, Sem: wire.SemDefault, Epoch: 7, Shard: 0})
+	if resp.Status != wire.StatusErr || !errors.Is(resp.Err(), wire.ErrWrongEpoch) {
+		t.Fatalf("wire SPLIT with stale epoch: status=%v err=%v", resp.Status, resp.Err())
+	}
+	if !errors.As(resp.Err(), &we) || we.Want != 0 {
+		t.Fatalf("wire error lost the typed payload: %v", resp.Err())
+	}
+	// Unknown shard id and over-split guards surface as plain errors.
+	if _, err := st.Split(context.Background(), 0, 99); err == nil {
+		t.Fatal("SPLIT of unknown shard accepted")
+	}
+}
+
+// TestMergeRoundTrip: split, then merge the buddies back — twice, down
+// to a single shard — with the keyspace intact throughout.
+func TestMergeRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	st := newSharded(2)
+	const n = 384
+	for i := 0; i < n; i++ {
+		execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: tkey(i), Val: []byte(fmt.Sprintf("v%d", i))})
+	}
+	if _, err := st.Split(ctx, 0, 0); err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	// id 0 now owns (4,0); the new shard id 2 owns (4,2) — buddies.
+	epoch, err := st.Merge(ctx, 1, 0, 2)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if epoch != 2 || st.NumShards() != 2 {
+		t.Fatalf("after merge: epoch=%d shards=%d", epoch, st.NumShards())
+	}
+	// (2,0) and (2,1) are buddies too: fold to a single shard.
+	if _, err := st.Merge(ctx, 2, 0, 1); err != nil {
+		t.Fatalf("Merge to one: %v", err)
+	}
+	if st.NumShards() != 1 {
+		t.Fatalf("NumShards = %d, want 1", st.NumShards())
+	}
+	got := scanAll(t, st)
+	if len(got) != n {
+		t.Fatalf("found %d keys, want %d", len(got), n)
+	}
+	for i := 0; i < n; i++ {
+		if got[string(tkey(i))] != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d: %q", i, got[string(tkey(i))])
+		}
+	}
+	execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: []byte("post-merge"), Val: []byte("ok")})
+	sm := statsMap(t, st)
+	if sm["reshard_merges"] != 2 || sm["routing_epoch"] != 3 {
+		t.Fatalf("stats: %v", sm)
+	}
+	// Merging the last shard with itself (or a ghost) is rejected.
+	if _, err := st.Merge(ctx, 3, 0, 0); err == nil {
+		t.Fatal("self-merge accepted")
+	}
+}
+
+// TestReshardUnderLiveLoad is the online-cutover contract: SPLITs and
+// MERGEs run while writers hammer the store, no request may fail, and
+// every acknowledged write must read back at its acknowledged value.
+func TestReshardUnderLiveLoad(t *testing.T) {
+	ctx := context.Background()
+	st := newSharded(2)
+	const workers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failures atomic.Uint64
+	last := make([]map[string]string, workers) // per-worker acknowledged values
+	for g := 0; g < workers; g++ {
+		last[g] = make(map[string]string)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			seq := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("live-%d-%04d", g, seq%97)
+				v := fmt.Sprintf("%d", seq)
+				resp := st.Execute(&wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: []byte(k), Val: []byte(v)})
+				if resp.Status == wire.StatusErr {
+					failures.Add(1)
+					t.Errorf("SET failed mid-reshard: %s", resp.Msg)
+					return
+				}
+				last[g][k] = v
+				if r := st.Execute(&wire.Request{Op: wire.OpGet, Sem: wire.SemDefault, Key: []byte(k)}); r.Status == wire.StatusErr {
+					failures.Add(1)
+					t.Errorf("GET failed mid-reshard: %s", r.Msg)
+					return
+				}
+				seq++
+			}
+		}(g)
+	}
+	// A full reshard cycle under load: split both initial shards, then
+	// merge everything back.
+	time.Sleep(20 * time.Millisecond)
+	epoch := uint64(0)
+	for _, id := range []int{0, 1} {
+		e, err := st.Split(ctx, epoch, id)
+		if err != nil {
+			t.Fatalf("Split %d under load: %v", id, err)
+		}
+		epoch = e
+		time.Sleep(20 * time.Millisecond)
+	}
+	// After splitting ids 0 and 1 of a 2-shard store: id0 (4,0),
+	// id2 (4,2) and id1 (4,1), id3 (4,3) are the buddy pairs.
+	for _, pair := range [][2]int{{0, 2}, {1, 3}} {
+		e, err := st.Merge(ctx, epoch, pair[0], pair[1])
+		if err != nil {
+			t.Fatalf("Merge %v under load: %v", pair, err)
+		}
+		epoch = e
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d requests failed across the reshard cycle", n)
+	}
+	if st.NumShards() != 2 || st.RoutingEpoch() != 4 {
+		t.Fatalf("end state: shards=%d epoch=%d", st.NumShards(), st.RoutingEpoch())
+	}
+	// Every acknowledged write reads back at its final value.
+	got := scanAll(t, st)
+	for g := 0; g < workers; g++ {
+		for k, v := range last[g] {
+			if got[k] != v {
+				t.Fatalf("acknowledged %s=%q reads back %q", k, v, got[k])
+			}
+		}
+	}
+}
+
+// TestSplitPreservesTTL: deadlines armed before a split survive the
+// move — every short-lived key physically expires afterwards.
+func TestSplitPreservesTTL(t *testing.T) {
+	ctx := context.Background()
+	st := newSharded(2)
+	const n = 128
+	for i := 0; i < n; i++ {
+		execOK(t, st, &wire.Request{Op: wire.OpSetEx, Sem: wire.SemDefault, Key: tkey(i), Val: []byte("x"), TTLMillis: 40})
+	}
+	if _, err := st.Split(ctx, 0, 0); err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	total := 0
+	for i := 0; i < 20; i++ {
+		r, err := st.ReapExpired(ctx)
+		if err != nil {
+			t.Fatalf("ReapExpired: %v", err)
+		}
+		total += r
+		if r == 0 {
+			break
+		}
+	}
+	if total != n {
+		t.Fatalf("reaped %d of %d keys after a split — deadlines lost in the move", total, n)
+	}
+}
+
+// TestDurableSplitReopen: a durable split survives close + reopen —
+// the MANIFEST pins the grown table and recovery adopts it.
+func TestDurableSplitReopen(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	st, _ := newShardedDurable(t, dir, 2, wal.ModeOff)
+	const n = 256
+	for i := 0; i < n; i++ {
+		execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: tkey(i), Val: []byte(fmt.Sprintf("v%d", i))})
+	}
+	if _, err := st.Split(ctx, 0, 0); err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	// Writes AFTER the split land in the new layout's logs.
+	for i := 0; i < n; i += 3 {
+		execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: tkey(i), Val: []byte("post")})
+	}
+	if err := st.CloseDurability(); err != nil {
+		t.Fatalf("CloseDurability: %v", err)
+	}
+
+	pinned, err := WALShardCount(dir)
+	if err != nil {
+		t.Fatalf("WALShardCount: %v", err)
+	}
+	if pinned != 3 {
+		t.Fatalf("pinned shard count = %d, want 3", pinned)
+	}
+	st2, _ := newShardedDurable(t, dir, 3, wal.ModeOff)
+	defer st2.CloseDurability()
+	if st2.RoutingEpoch() != 1 {
+		t.Fatalf("reopened epoch = %d, want 1", st2.RoutingEpoch())
+	}
+	got := scanAll(t, st2)
+	if len(got) != n {
+		t.Fatalf("reopened store has %d keys, want %d", len(got), n)
+	}
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("v%d", i)
+		if i%3 == 0 {
+			want = "post"
+		}
+		if got[string(tkey(i))] != want {
+			t.Fatalf("key %d: %q, want %q", i, got[string(tkey(i))], want)
+		}
+	}
+}
+
+// TestDurableMergeReopen: a durable split + merge-back survives reopen
+// at the original shard count, and the absorbed shard's directory is
+// gone.
+func TestDurableMergeReopen(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	st, _ := newShardedDurable(t, dir, 2, wal.ModeOff)
+	const n = 256
+	for i := 0; i < n; i++ {
+		execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: tkey(i), Val: []byte(fmt.Sprintf("v%d", i))})
+	}
+	if _, err := st.Split(ctx, 0, 0); err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if !fileExists(filepath.Join(dir, "shard-0002")) {
+		t.Fatal("split did not create the new shard's directory")
+	}
+	if _, err := st.Merge(ctx, 1, 0, 2); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if fileExists(filepath.Join(dir, "shard-0002")) {
+		t.Fatal("absorbed shard's directory survived the merge")
+	}
+	if err := st.CloseDurability(); err != nil {
+		t.Fatalf("CloseDurability: %v", err)
+	}
+	pinned, err := WALShardCount(dir)
+	if err != nil {
+		t.Fatalf("WALShardCount: %v", err)
+	}
+	if pinned != 2 {
+		t.Fatalf("pinned shard count = %d, want 2", pinned)
+	}
+	st2, _ := newShardedDurable(t, dir, 2, wal.ModeOff)
+	defer st2.CloseDurability()
+	if st2.RoutingEpoch() != 2 {
+		t.Fatalf("reopened epoch = %d, want 2", st2.RoutingEpoch())
+	}
+	if got := scanAll(t, st2); len(got) != n {
+		t.Fatalf("reopened store has %d keys, want %d", len(got), n)
+	}
+}
+
+// TestAdoptRouting: the follower-side reshape — survivors keep their
+// contents, new ids appear empty, dropped ids disappear, and a
+// regressing epoch is refused.
+func TestAdoptRouting(t *testing.T) {
+	st := newSharded(2)
+	for i := 0; i < 64; i++ {
+		execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: tkey(i), Val: []byte("v")})
+	}
+	grown := []wire.ReplShardSlice{{ID: 0, Mod: 4, Res: 0}, {ID: 1, Mod: 2, Res: 1}, {ID: 2, Mod: 4, Res: 2}}
+	if err := st.AdoptRouting(1, grown); err != nil {
+		t.Fatalf("AdoptRouting: %v", err)
+	}
+	if st.NumShards() != 3 || st.RoutingEpoch() != 1 {
+		t.Fatalf("after adopt: shards=%d epoch=%d", st.NumShards(), st.RoutingEpoch())
+	}
+	if err := st.AdoptRouting(1, grown); err != nil {
+		t.Fatalf("same-epoch adopt must be a no-op: %v", err)
+	}
+	if err := st.AdoptRouting(0, grown[:2]); err == nil {
+		t.Fatal("regressing epoch accepted")
+	}
+	if err := st.AdoptRouting(2, []wire.ReplShardSlice{{ID: 2, Mod: 4, Res: 2}, {ID: 0, Mod: 4, Res: 0}, {ID: 1, Mod: 2, Res: 1}}); err == nil {
+		t.Fatal("out-of-residue-order topology accepted")
+	}
+	// Shrink back: id 2 is dropped.
+	if err := st.AdoptRouting(2, []wire.ReplShardSlice{{ID: 0, Mod: 2, Res: 0}, {ID: 1, Mod: 2, Res: 1}}); err != nil {
+		t.Fatalf("shrinking adopt: %v", err)
+	}
+	if st.NumShards() != 2 || st.tab().byID(2) != nil {
+		t.Fatalf("dropped shard still present")
+	}
+}
+
+// TestManifestCorruption (satellite): every torn or malformed MANIFEST
+// shape must either recover to a correct table or fail loudly — never
+// silently open the wrong shard count.
+func TestManifestCorruption(t *testing.T) {
+	write := func(t *testing.T, dir, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Build one real post-split directory to corrupt per case.
+	mkSplitDir := func(t *testing.T) string {
+		t.Helper()
+		dir := t.TempDir()
+		st, _ := newShardedDurable(t, dir, 2, wal.ModeOff)
+		for i := 0; i < 32; i++ {
+			execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: tkey(i), Val: []byte("v")})
+		}
+		if _, err := st.Split(context.Background(), 0, 0); err != nil {
+			t.Fatalf("Split: %v", err)
+		}
+		if err := st.CloseDurability(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		dir := mkSplitDir(t)
+		write(t, dir, "polyserve-wal v2 epoch=1 next=3 shards=3\nshard 0 mod=4 res=0 dir=shard-0000\n")
+		st := newSharded(3)
+		if _, err := st.EnableDurability(Durability{Dir: dir, Fsync: wal.ModeOff, CheckpointEvery: -1}); err == nil {
+			st.CloseDurability()
+			t.Fatal("truncated MANIFEST opened silently")
+		}
+	})
+	t.Run("bad-epoch", func(t *testing.T) {
+		dir := mkSplitDir(t)
+		write(t, dir, "polyserve-wal v2 epoch=zebra next=3 shards=3\n")
+		st := newSharded(3)
+		if _, err := st.EnableDurability(Durability{Dir: dir, Fsync: wal.ModeOff, CheckpointEvery: -1}); err == nil {
+			st.CloseDurability()
+			t.Fatal("garbage epoch opened silently")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		dir := mkSplitDir(t)
+		write(t, dir, "")
+		st := newSharded(3)
+		if _, err := st.EnableDurability(Durability{Dir: dir, Fsync: wal.ModeOff, CheckpointEvery: -1}); err == nil {
+			st.CloseDurability()
+			t.Fatal("empty MANIFEST opened silently")
+		}
+	})
+	t.Run("invalid-slice", func(t *testing.T) {
+		dir := mkSplitDir(t)
+		write(t, dir, "polyserve-wal v2 epoch=1 next=3 shards=2\nshard 0 mod=4 res=0 dir=shard-0000\nshard 1 mod=2 res=7 dir=shard-0001\n")
+		st := newSharded(2)
+		if _, err := st.EnableDurability(Durability{Dir: dir, Fsync: wal.ModeOff, CheckpointEvery: -1}); err == nil {
+			st.CloseDurability()
+			t.Fatal("res >= mod opened silently")
+		}
+	})
+	t.Run("stale-tmp", func(t *testing.T) {
+		// A crash between writing MANIFEST.tmp and the rename leaves the
+		// orphan next to a VALID manifest: recovery sweeps it and opens
+		// the real table.
+		dir := mkSplitDir(t)
+		tmp := filepath.Join(dir, manifestName+".tmp")
+		if err := os.WriteFile(tmp, []byte("polyserve-wal v2 epoch=9 next=9 shards=1\nshard 0 mod=1 res=0 dir=.\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, _ := newShardedDurable(t, dir, 3, wal.ModeOff)
+		defer st.CloseDurability()
+		if st.RoutingEpoch() != 1 || st.NumShards() != 3 {
+			t.Fatalf("stale .tmp leaked into the table: epoch=%d shards=%d", st.RoutingEpoch(), st.NumShards())
+		}
+		if fileExists(tmp) {
+			t.Fatal("stale MANIFEST.tmp survived recovery")
+		}
+		if got := scanAll(t, st); len(got) != 32 {
+			t.Fatalf("recovered %d keys, want 32", len(got))
+		}
+	})
+	t.Run("v1-compat", func(t *testing.T) {
+		// A never-resharded directory keeps the v1 format; reopening it
+		// must imply the legacy table (epoch 0, uniform slices).
+		dir := t.TempDir()
+		st, _ := newShardedDurable(t, dir, 2, wal.ModeOff)
+		execOK(t, st, &wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: []byte("k"), Val: []byte("v")})
+		if err := st.CloseDurability(); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != "polyserve-wal shards=2\n" {
+			t.Fatalf("legacy-shaped store wrote %q", raw)
+		}
+		st2, _ := newShardedDurable(t, dir, 2, wal.ModeOff)
+		defer st2.CloseDurability()
+		if st2.RoutingEpoch() != 0 {
+			t.Fatalf("v1 manifest implied epoch %d", st2.RoutingEpoch())
+		}
+		if got := scanAll(t, st2); got["k"] != "v" {
+			t.Fatalf("v1 reopen lost data: %v", got)
+		}
+	})
+	t.Run("shard-count-mismatch", func(t *testing.T) {
+		// Opening a 3-shard directory with a 2-shard store must refuse,
+		// not scatter keys across a wrong table.
+		dir := mkSplitDir(t)
+		st := newSharded(2)
+		if _, err := st.EnableDurability(Durability{Dir: dir, Fsync: wal.ModeOff, CheckpointEvery: -1}); err == nil {
+			st.CloseDurability()
+			t.Fatal("shard-count mismatch opened silently")
+		}
+	})
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -81,9 +82,30 @@ func resolveSemantics(req *wire.Request) (core.Semantics, error) {
 // log. Nothing is shared between shards except the Store's routing
 // table and the cross-shard commit protocol.
 type shard struct {
+	// idx is the shard's STABLE id: assigned once (at construction or
+	// when a split creates the shard), persisted in the MANIFEST, and
+	// never reused. It names the shard in 2PC coordinator records,
+	// STATS rows, and admin ops — unlike the shard's position in the
+	// routing table, which shifts as shards split and merge.
 	idx int
 	tm  *core.TM
 	m   *structures.TSkipMap
+
+	// The shard's hash slice lives in the routing table (hashSlice),
+	// not here: tables are immutable and a cutover publishes the new
+	// slice only with the new table.
+
+	// resharding is the split/merge capture gate: while set, every
+	// mutation on this shard runs under the irrevocable token and marks
+	// rdirty, so the copy protocol's delta rounds see exactly the keys
+	// that changed since its snapshot. rdirty reuses the incremental-
+	// checkpoint dirty-set machinery, but tracks a different consumer.
+	// ckptHold additionally pauses the shard's checkpoints — a rotation
+	// between a RESHARD BEGIN and its COMMIT could truncate the journal
+	// record recovery needs.
+	resharding atomic.Bool
+	ckptHold   atomic.Bool
+	rdirty     dirtySet
 
 	// Session wiring (see internal/session and applyChanges): sess is
 	// the store-wide watch registry, notif orders this shard's
@@ -93,8 +115,12 @@ type shard struct {
 	notif *session.Notifier
 	ttl   ttlTable
 
-	wal  *wal.Log
-	caps sync.Pool // *walCapture, wired at store construction
+	wal *wal.Log
+	// walName is the shard's log directory relative to the store's WAL
+	// root ("." = the root itself; "" when not durable) — what the
+	// MANIFEST records and a retiring merge removes.
+	walName string
+	caps    sync.Pool // *walCapture, wired at store construction
 
 	// dirty tracks the keys mutated since the last checkpoint cut — the
 	// incremental checkpointer's working set; ckptMu serializes cuts so
@@ -119,7 +145,8 @@ type shard struct {
 // record's (and slot's) transaction commits. Session-free non-durable
 // mutations keep the historical un-escalated hot path.
 func (sh *shard) capture(sem core.Semantics) (*walCapture, core.Semantics) {
-	if sh.wal == nil && sh.sess.ActiveWatches() == 0 && sh.ttl.Len() == 0 {
+	if sh.wal == nil && sh.sess.ActiveWatches() == 0 && sh.ttl.Len() == 0 &&
+		!sh.resharding.Load() {
 		return nil, sem
 	}
 	cp := sh.caps.Get().(*walCapture)
@@ -184,7 +211,30 @@ func (sh *shard) atomicMut(ctx context.Context, sem core.Semantics, cp *walCaptu
 // shard's irrevocable token, and is acknowledged only once the record
 // is durable.
 type Store struct {
-	shards []*shard
+	// table is the current routing epoch: the shards in table order
+	// with their hash slices, immutable once published. Every request
+	// snapshots it once (tab) and works against that one view; a
+	// SPLIT/MERGE publishes a successor with the epoch incremented.
+	table atomic.Pointer[routingTable]
+
+	// Reshard machinery: reshardMu serializes SPLIT/MERGE (and guards
+	// nextID, the next stable shard id); grace fences the capture-gate
+	// flip (see graceGate); the counters feed STATS.
+	reshardMu     sync.Mutex
+	nextID        int
+	grace         graceGate
+	reshardSplits atomic.Uint64
+	reshardMerges atomic.Uint64
+
+	// mkTM builds the engine for a shard a split creates. server.New
+	// overrides it with the configured engine parameters; the default
+	// clones nothing and uses the engine's own defaults.
+	mkTM func() *core.TM
+
+	// reshardHook, when set (replication), runs after a reshard
+	// publishes its new table — the hub cuts every feed so followers
+	// renegotiate topology through a reconnect.
+	reshardHook atomic.Pointer[func(epoch uint64)]
 
 	// epoch numbers cross-shard transactions; durable stores persist it
 	// through control records and resume past the recovered maximum.
@@ -221,6 +271,11 @@ type Store struct {
 	ckptMaxChain int
 	ckptRatio    float64
 	incarnation  uint64
+
+	// Durable-store layout, kept so a SPLIT can open the new shard's log
+	// with the same options under the same root (empty when not durable).
+	walDir  string
+	walOpts wal.Options
 }
 
 // NewStore creates an empty single-shard store on tm.
@@ -228,20 +283,48 @@ func NewStore(tm *core.TM) *Store {
 	return NewShardedStore([]*core.TM{tm})
 }
 
-// NewShardedStore creates an empty store with one shard per TM.
+// NewShardedStore creates an empty store with one shard per TM. Shard
+// i starts with stable id i and hash slice (N, i) — the historical
+// h % N routing — at routing epoch 0.
 func NewShardedStore(tms []*core.TM) *Store {
 	if len(tms) == 0 {
 		panic("server: store needs at least one shard")
 	}
-	s := &Store{shards: make([]*shard, len(tms)), sessions: session.NewRegistry()}
+	s := &Store{sessions: session.NewRegistry()}
+	s.mkTM = func() *core.TM { return core.New(core.Config{}) }
+	shards := make([]*shard, len(tms))
+	slices := make([]hashSlice, len(tms))
 	for i, tm := range tms {
-		sh := &shard{idx: i, tm: tm, m: structures.NewTSkipMap(tm), sess: s.sessions}
-		sh.notif = session.NewNotifier(func(cs []session.Change) { s.applyChanges(sh, cs) })
-		sh.caps.New = func() any { return &walCapture{sh: sh, next: sh.tm.Engine().Observer()} }
-		s.shards[i] = sh
+		shards[i] = s.newShard(i, tm)
+		slices[i] = hashSlice{mod: uint64(len(tms)), res: uint64(i)}
 	}
+	s.nextID = len(tms)
+	s.table.Store(newRoutingTable(0, shards, slices))
 	return s
 }
+
+// newShard wires one shard: engine, skip map, session plumbing. The
+// capture pool closes over the shard, so a pool is per-shard by
+// construction.
+func (s *Store) newShard(id int, tm *core.TM) *shard {
+	sh := &shard{idx: id, tm: tm, m: structures.NewTSkipMap(tm), sess: s.sessions}
+	sh.notif = session.NewNotifier(func(cs []session.Change) { s.applyChanges(sh, cs) })
+	sh.caps.New = func() any { return &walCapture{sh: sh, next: sh.tm.Engine().Observer()} }
+	return sh
+}
+
+// tab snapshots the current routing table. All multi-step work —
+// fan-outs, cross-shard groups, stats — runs against ONE snapshot so
+// a concurrent reshard cannot split a request across two epochs.
+func (s *Store) tab() *routingTable { return s.table.Load() }
+
+// RoutingEpoch returns the current routing epoch (0 until the first
+// completed SPLIT/MERGE).
+func (s *Store) RoutingEpoch() uint64 { return s.tab().epoch }
+
+// shardIdx returns the table position owning key under the current
+// table (tests and diagnostics; request paths snapshot a table first).
+func (s *Store) shardIdx(key []byte) int { return s.tab().pos(hashKey(key)) }
 
 // Sessions returns the store's watch registry (the server's session
 // connections register through it).
@@ -296,17 +379,17 @@ func (sh *shard) expiredNowStr(key string) bool {
 	return sh.ttl.expired(key, nowNanos())
 }
 
-// TM returns shard 0's transactional memory (stats, tests; see
-// Store.Stats for the all-shards aggregate).
-func (s *Store) TM() *core.TM { return s.shards[0].tm }
+// TM returns the first shard's transactional memory (stats, tests;
+// see Store.Stats for the all-shards aggregate).
+func (s *Store) TM() *core.TM { return s.tab().shards[0].tm }
 
-// NumShards returns the store's shard count.
-func (s *Store) NumShards() int { return len(s.shards) }
+// NumShards returns the store's current shard count.
+func (s *Store) NumShards() int { return len(s.tab().shards) }
 
 // Stats aggregates the engine counters across every shard's TM.
 func (s *Store) Stats() stm.StatsSnapshot {
 	var agg stm.StatsSnapshot
-	for _, sh := range s.shards {
+	for _, sh := range s.tab().shards {
 		sn := sh.tm.Stats()
 		agg.Starts += sn.Starts
 		agg.Commits += sn.Commits
@@ -333,35 +416,43 @@ func (s *Store) Stats() stm.StatsSnapshot {
 
 // ResetStats zeroes every shard's engine counters.
 func (s *Store) ResetStats() {
-	for _, sh := range s.shards {
+	for _, sh := range s.tab().shards {
 		sh.tm.ResetStats()
 	}
 }
 
-// shardIdx routes a key: FNV-1a over its bytes, reduced modulo the
-// shard count. The hash must be stable across restarts — it decides
-// which shard's WAL a key's records live in.
-func (s *Store) shardIdx(key []byte) int {
-	if len(s.shards) == 1 {
-		return 0
-	}
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, b := range key {
-		h ^= uint64(b)
-		h *= prime64
-	}
-	return int(h % uint64(len(s.shards)))
-}
-
-// route returns the shard owning key, counting the routing decision.
+// route returns the shard owning key under the current table, counting
+// the routing decision.
 func (s *Store) route(key []byte) *shard {
-	sh := s.shards[s.shardIdx(key)]
+	t := s.tab()
+	var sh *shard
+	if len(t.shards) == 1 {
+		sh = t.shards[0]
+	} else {
+		sh = t.shardFor(hashKey(key))
+	}
 	sh.routed.Add(1)
 	return sh
+}
+
+// errMovedKey is the internal retry signal for a mutation that raced a
+// reshard cutover: the request routed through the pre-cutover table,
+// but by the time its transaction body ran (serialized behind the
+// cutover barrier on the frozen shard's token) the key's owner had
+// changed. The body aborts with this sentinel before writing anything
+// and ExecuteCtx re-routes through the published table — the caller
+// never sees a failure, only the bounded barrier latency.
+var errMovedKey = errors.New("server: key moved by concurrent reshard")
+
+// ownsKey re-checks, inside a transaction body, that sh still owns key
+// under the CURRENT table. Free until the first reshard (epoch 0 means
+// routing can never have changed).
+func (s *Store) ownsKey(sh *shard, key []byte) bool {
+	t := s.tab()
+	if t.epoch == 0 {
+		return true
+	}
+	return t.shardFor(hashKey(key)) == sh
 }
 
 // Execute runs one decoded request against the store and returns its
@@ -391,6 +482,20 @@ func (s *Store) ExecuteInto(req *wire.Request, resp *wire.Response) {
 // once begun they ignore cancellation, mirroring the irrevocable
 // contract they ride.)
 func (s *Store) ExecuteCtx(ctx context.Context, req *wire.Request, resp *wire.Response) {
+	// A mutation that raced a reshard cutover aborts with errMovedKey
+	// before writing anything; re-dispatching routes it through the
+	// published table. Bounded: each retry needs another cutover to
+	// land inside the request's own window, and reshards serialize.
+	for attempt := 0; ; attempt++ {
+		s.executeOnce(ctx, req, resp)
+		if attempt < 3 && resp.Status == wire.StatusErr && resp.Msg == errMovedKey.Error() {
+			continue
+		}
+		return
+	}
+}
+
+func (s *Store) executeOnce(ctx context.Context, req *wire.Request, resp *wire.Response) {
 	resetResponse(resp)
 	// The follower role gate runs before semantics resolution and before
 	// any routing: a mutating request on a follower gets exactly one
@@ -446,6 +551,10 @@ func (s *Store) ExecuteCtx(ctx context.Context, req *wire.Request, resp *wire.Re
 		// hub intercepted it (server not replication-enabled, or an
 		// in-process store with no server at all).
 		errInto(resp, errReplicationDisabled)
+	case wire.OpSplit:
+		s.splitOp(ctx, req, resp)
+	case wire.OpMerge:
+		s.mergeOp(ctx, req, resp)
 	default:
 		errInto(resp, wire.ErrBadOp)
 	}
@@ -522,6 +631,12 @@ func (s *Store) get(ctx context.Context, sh *shard, key []byte, sem core.Semanti
 		// before the reaper's delete lands (the reaper is the only thing
 		// that mutates here — reads never write).
 		if !ok || sh.expiredNow(key) {
+			// A miss on a shard that no longer owns the key is a routing
+			// race with a reshard cutover, not an answer: the value may
+			// live on the new owner. Re-route instead of reporting absent.
+			if !s.ownsKey(sh, key) {
+				return errMovedKey
+			}
 			resp.Status = wire.StatusNotFound
 			resp.Val = resp.Val[:0]
 			return nil
@@ -536,12 +651,17 @@ func (s *Store) get(ctx context.Context, sh *shard, key []byte, sem core.Semanti
 }
 
 func (s *Store) set(ctx context.Context, sh *shard, key, val []byte, sem core.Semantics, resp *wire.Response) {
+	g := s.grace.enter()
+	defer s.grace.exit(g)
 	cp, sem := sh.capture(sem)
 	if cp != nil {
 		defer sh.caps.Put(cp)
 	}
 	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
 		cp.begin()
+		if !s.ownsKey(sh, key) {
+			return errMovedKey
+		}
 		if _, err := sh.m.PutTx(tx, string(key), string(val)); err != nil {
 			return err
 		}
@@ -560,12 +680,17 @@ func (s *Store) set(ctx context.Context, sh *shard, key, val []byte, sem core.Se
 // read-only transactions (they are legitimate outcomes, not failures),
 // so wire-level CAS misses never inflate the engine's abort counters.
 func (s *Store) cas(ctx context.Context, sh *shard, key, old, val []byte, sem core.Semantics, resp *wire.Response) {
+	g := s.grace.enter()
+	defer s.grace.exit(g)
 	cp, sem := sh.capture(sem)
 	if cp != nil {
 		defer sh.caps.Put(cp)
 	}
 	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
 		cp.begin()
+		if !s.ownsKey(sh, key) {
+			return errMovedKey
+		}
 		cur, ok, err := sh.m.GetTx(tx, lookupKey(key))
 		if err != nil {
 			return err
@@ -597,12 +722,17 @@ func (s *Store) cas(ctx context.Context, sh *shard, key, old, val []byte, sem co
 }
 
 func (s *Store) del(ctx context.Context, sh *shard, key []byte, sem core.Semantics, resp *wire.Response) {
+	g := s.grace.enter()
+	defer s.grace.exit(g)
 	cp, sem := sh.capture(sem)
 	if cp != nil {
 		defer sh.caps.Put(cp)
 	}
 	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
 		cp.begin()
+		if !s.ownsKey(sh, key) {
+			return errMovedKey
+		}
 		// An expired entry is absent to DEL too; its physical removal
 		// stays with the reaper so expiry reaches the WAL (and every
 		// follower) exactly once, as the reaper's delete.
@@ -646,12 +776,17 @@ func (s *Store) incr(ctx context.Context, sh *shard, key []byte, delta uint64, n
 	if negate {
 		d = -d
 	}
+	g := s.grace.enter()
+	defer s.grace.exit(g)
 	cp, sem := sh.capture(sem)
 	if cp != nil {
 		defer sh.caps.Put(cp)
 	}
 	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
 		cp.begin()
+		if !s.ownsKey(sh, key) {
+			return errMovedKey
+		}
 		cur, ok, err := sh.m.GetTx(tx, lookupKey(key))
 		if err != nil {
 			return err
@@ -699,10 +834,15 @@ func (s *Store) setex(ctx context.Context, sh *shard, key, val []byte, ttl time.
 		errInto(resp, wire.ErrZeroTTL)
 		return
 	}
+	g := s.grace.enter()
+	defer s.grace.exit(g)
 	cp, sem := sh.captureForce()
 	defer sh.caps.Put(cp)
 	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
 		cp.begin()
+		if !s.ownsKey(sh, key) {
+			return errMovedKey
+		}
 		if _, err := sh.m.PutTx(tx, string(key), string(val)); err != nil {
 			return err
 		}
@@ -718,11 +858,12 @@ func (s *Store) setex(ctx context.Context, sh *shard, key, val []byte, ttl time.
 }
 
 func (s *Store) scan(ctx context.Context, from, to []byte, limit uint64, sem core.Semantics, resp *wire.Response) {
-	if len(s.shards) > 1 {
-		s.scanFanout(ctx, from, to, limit, sem, resp)
+	tab := s.tab()
+	if len(tab.shards) > 1 {
+		s.scanFanout(ctx, tab, from, to, limit, sem, resp)
 		return
 	}
-	sh := s.shards[0]
+	sh := tab.shards[0]
 	sh.routed.Add(1)
 	err := sh.tm.AtomicAsCtx(ctx, sem, func(tx *core.Tx) error {
 		resp.Pairs = resp.Pairs[:0]
@@ -763,29 +904,37 @@ func (s *Store) txn(ctx context.Context, batch []wire.Request, sem core.Semantic
 			return
 		}
 	}
-	sh := s.shards[0]
-	if len(s.shards) > 1 && len(batch) > 0 {
+	tab := s.tab()
+	sh := tab.shards[0]
+	if len(tab.shards) > 1 && len(batch) > 0 {
 		single := true
-		idx := s.shardIdx(batch[0].Key)
+		pos := tab.pos(hashKey(batch[0].Key))
 		for i := 1; i < len(batch); i++ {
-			if s.shardIdx(batch[i].Key) != idx {
+			if tab.pos(hashKey(batch[i].Key)) != pos {
 				single = false
 				break
 			}
 		}
 		if !single {
-			s.txnCross(ctx, batch, resp)
+			s.txnCross(ctx, tab, batch, resp)
 			return
 		}
-		sh = s.shards[idx]
+		sh = tab.shards[pos]
 	}
 	sh.routed.Add(uint64(len(batch)))
+	g := s.grace.enter()
+	defer s.grace.exit(g)
 	cp, sem := sh.capture(sem)
 	if cp != nil {
 		defer sh.caps.Put(cp)
 	}
 	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
 		cp.begin()
+		for i := range batch {
+			if batch[i].Op != wire.OpGet && !s.ownsKey(sh, batch[i].Key) {
+				return errMovedKey
+			}
+		}
 		resp.Batch = resp.Batch[:0]
 		for i := range batch {
 			sub := &batch[i]
@@ -875,6 +1024,7 @@ func applySubOp(tx *core.Tx, sh *shard, sub *wire.Request, out *wire.Response, r
 // acceptance gap visible from the wire — plus, on a sharded store, the
 // per-shard routing distribution and per-shard WAL rows.
 func (s *Store) stats(resp *wire.Response) {
+	tab := s.tab()
 	snap := s.Stats()
 	cs := append(resp.Counters[:0], []wire.Counter{
 		{Name: "starts", Value: snap.Starts},
@@ -900,9 +1050,14 @@ func (s *Store) stats(resp *wire.Response) {
 			wire.Counter{Name: "aborts." + p.String(), Value: c.Aborts},
 		)
 	}
-	cs = append(cs, wire.Counter{Name: "store_shards", Value: uint64(len(s.shards))})
+	cs = append(cs,
+		wire.Counter{Name: "store_shards", Value: uint64(len(tab.shards))},
+		wire.Counter{Name: "routing_epoch", Value: tab.epoch},
+		wire.Counter{Name: "reshard_splits", Value: s.reshardSplits.Load()},
+		wire.Counter{Name: "reshard_merges", Value: s.reshardMerges.Load()},
+	)
 	var armed uint64
-	for _, sh := range s.shards {
+	for _, sh := range tab.shards {
 		armed += uint64(sh.ttl.Len())
 	}
 	cs = append(cs,
@@ -923,7 +1078,7 @@ func (s *Store) stats(resp *wire.Response) {
 	if s.durable() {
 		var bytes, records, fsyncs, checkpoints uint64
 		var chainLen, deltaBytes, baseBytes uint64
-		for _, sh := range s.shards {
+		for _, sh := range tab.shards {
 			b, r, f, c := sh.wal.Stats()
 			bytes += b
 			records += r
@@ -941,21 +1096,28 @@ func (s *Store) stats(resp *wire.Response) {
 			wire.Counter{Name: "wal_records", Value: records},
 			wire.Counter{Name: "wal_fsyncs", Value: fsyncs},
 			wire.Counter{Name: "wal_checkpoints", Value: checkpoints},
-			wire.Counter{Name: "wal_segment", Value: s.shards[0].wal.Segment()},
+			wire.Counter{Name: "wal_segment", Value: tab.shards[0].wal.Segment()},
 			wire.Counter{Name: "ckpt_chain_len", Value: chainLen},
 			wire.Counter{Name: "ckpt_delta_bytes", Value: deltaBytes},
 			wire.Counter{Name: "ckpt_base_bytes", Value: baseBytes},
-			wire.Counter{Name: "ckpt_last_kind", Value: uint64(s.shards[0].wal.LastCheckpointKind())},
+			wire.Counter{Name: "ckpt_last_kind", Value: uint64(tab.shards[0].wal.LastCheckpointKind())},
 		)
 	}
-	if len(s.shards) > 1 {
+	if len(tab.shards) > 1 {
 		cs = append(cs,
 			wire.Counter{Name: "xshard_txns", Value: s.xshardTxns.Load()},
 			wire.Counter{Name: "xshard_aborts", Value: s.xshardAborts.Load()},
 		)
-		// The shard-distribution rows: how the workload's keys spread.
-		for _, sh := range s.shards {
+		// The shard-distribution rows, keyed by stable shard id: how the
+		// workload's keys spread, and (post-reshard) each shard's slice.
+		for i, sh := range tab.shards {
 			cs = append(cs, wire.Counter{Name: fmt.Sprintf("shard%d.ops", sh.idx), Value: sh.routed.Load()})
+			if tab.epoch > 0 {
+				cs = append(cs,
+					wire.Counter{Name: fmt.Sprintf("shard%d.mod", sh.idx), Value: tab.slices[i].mod},
+					wire.Counter{Name: fmt.Sprintf("shard%d.res", sh.idx), Value: tab.slices[i].res},
+				)
+			}
 			if sh.wal != nil {
 				b, r, f, _ := sh.wal.Stats()
 				ch := sh.wal.Chain()
@@ -976,18 +1138,27 @@ func (s *Store) stats(resp *wire.Response) {
 }
 
 func (s *Store) flush(ctx context.Context, sem core.Semantics, resp *wire.Response) {
-	if len(s.shards) > 1 {
-		s.adminCross(ctx, wal.OpFlush, resp)
+	tab := s.tab()
+	if len(tab.shards) > 1 {
+		s.adminCross(ctx, tab, wal.OpFlush, resp)
 		return
 	}
-	sh := s.shards[0]
+	sh := tab.shards[0]
 	sh.routed.Add(1)
+	g := s.grace.enter()
+	defer s.grace.exit(g)
 	cp, sem := sh.capture(sem)
 	if cp != nil {
 		defer sh.caps.Put(cp)
 	}
 	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
 		cp.begin()
+		// Freshness: a split racing this flush may have published a
+		// second shard this body would miss — retry through the new
+		// table so FLUSH stays whole-store atomic.
+		if s.tab() != tab {
+			return errMovedKey
+		}
 		n, err := sh.m.ClearTx(tx)
 		if err != nil {
 			return err
@@ -1005,18 +1176,24 @@ func (s *Store) flush(ctx context.Context, sem core.Semantics, resp *wire.Respon
 }
 
 func (s *Store) rebuild(ctx context.Context, sem core.Semantics, resp *wire.Response) {
-	if len(s.shards) > 1 {
-		s.adminCross(ctx, wal.OpRebuild, resp)
+	tab := s.tab()
+	if len(tab.shards) > 1 {
+		s.adminCross(ctx, tab, wal.OpRebuild, resp)
 		return
 	}
-	sh := s.shards[0]
+	sh := tab.shards[0]
 	sh.routed.Add(1)
+	g := s.grace.enter()
+	defer s.grace.exit(g)
 	cp, sem := sh.capture(sem)
 	if cp != nil {
 		defer sh.caps.Put(cp)
 	}
 	err := sh.atomicMut(ctx, sem, cp, func(tx *core.Tx) error {
 		cp.begin()
+		if s.tab() != tab {
+			return errMovedKey
+		}
 		n, err := sh.m.RebuildTx(tx)
 		if err != nil {
 			return err

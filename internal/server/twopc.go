@@ -218,11 +218,11 @@ func (s *Store) crossShard(ctx context.Context, parts []xpart, label string) err
 // sessionTrack reports whether cross-shard commits must collect
 // session changes: a watch is live, or some shard has armed TTL
 // deadlines a SET/DEL/FLUSH would have to disarm.
-func (s *Store) sessionTrack() bool {
+func (s *Store) sessionTrack(tab *routingTable) bool {
 	if s.sessions.ActiveWatches() > 0 {
 		return true
 	}
-	for _, sh := range s.shards {
+	for _, sh := range tab.shards {
 		if sh.ttl.Len() > 0 {
 			return true
 		}
@@ -275,31 +275,41 @@ func resolveSess(parts []*partSess, commit bool) {
 	}
 }
 
-// txnCross commits a TXN batch spanning shards. Sub-responses are
-// pre-created so the per-shard bodies write disjoint slots.
-func (s *Store) txnCross(ctx context.Context, batch []wire.Request, resp *wire.Response) {
+// txnCross commits a TXN batch spanning shards of the snapshot table.
+// Sub-responses are pre-created so the per-shard bodies write disjoint
+// slots. Each participant re-checks table freshness under its token: a
+// cutover that published a newer table between grouping and commit
+// means some key may have a new owner (or FLUSH would miss a brand-new
+// shard), so the whole unit aborts with errMovedKey and the dispatcher
+// retries through the current table.
+func (s *Store) txnCross(ctx context.Context, tab *routingTable, batch []wire.Request, resp *wire.Response) {
 	resp.Batch = resp.Batch[:0]
 	for i := range batch {
 		sub := appendSub(resp)
 		sub.SubOp = batch[i].Op
 	}
-	groups := make([][]int, len(s.shards))
+	groups := make([][]int, len(tab.shards))
 	for i := range batch {
-		groups[s.shardIdx(batch[i].Key)] = append(groups[s.shardIdx(batch[i].Key)], i)
+		si := tab.pos(hashKey(batch[i].Key))
+		groups[si] = append(groups[si], i)
 	}
-	track := s.sessionTrack()
-	parts := make([]xpart, 0, len(s.shards))
-	sess := make([]*partSess, 0, len(s.shards))
+	track := s.sessionTrack(tab)
+	parts := make([]xpart, 0, len(tab.shards))
+	sess := make([]*partSess, 0, len(tab.shards))
 	for si, idxs := range groups {
 		if len(idxs) == 0 {
 			continue
 		}
-		sh := s.shards[si]
+		sh := tab.shards[si]
 		sh.routed.Add(uint64(len(idxs)))
 		idxs := idxs
 		ps := &partSess{sh: sh}
 		sess = append(sess, ps)
 		parts = append(parts, xpart{sh: sh, apply: func(tx *core.Tx, rec []byte) ([]byte, error) {
+			if s.tab() != tab {
+				return rec, errMovedKey
+			}
+			resharding := sh.resharding.Load()
 			for _, j := range idxs {
 				out := &resp.Batch[j]
 				out.Status = wire.StatusOK
@@ -319,6 +329,9 @@ func (s *Store) txnCross(ctx context.Context, batch []wire.Request, resp *wire.R
 					}
 					if sh.wal != nil {
 						sh.dirty.mark(key)
+					}
+					if resharding {
+						sh.rdirty.mark(key)
 					}
 				})
 				if err != nil {
@@ -340,18 +353,23 @@ func (s *Store) txnCross(ctx context.Context, batch []wire.Request, resp *wire.R
 }
 
 // adminCross runs FLUSH or REBUILD across every shard as one
-// cross-shard commit, summing the per-shard counts into resp.N.
-func (s *Store) adminCross(ctx context.Context, kind wal.OpKind, resp *wire.Response) {
+// cross-shard commit, summing the per-shard counts into resp.N. Like
+// txnCross, each participant re-checks table freshness under its token
+// so a FLUSH can never miss a shard a concurrent split just published.
+func (s *Store) adminCross(ctx context.Context, tab *routingTable, kind wal.OpKind, resp *wire.Response) {
 	var total atomic.Uint64
-	track := s.sessionTrack()
-	parts := make([]xpart, len(s.shards))
-	sess := make([]*partSess, len(s.shards))
-	for i, sh := range s.shards {
+	track := s.sessionTrack(tab)
+	parts := make([]xpart, len(tab.shards))
+	sess := make([]*partSess, len(tab.shards))
+	for i, sh := range tab.shards {
 		sh.routed.Add(1)
 		sh := sh
 		ps := &partSess{sh: sh}
 		sess[i] = ps
 		parts[i] = xpart{sh: sh, apply: func(tx *core.Tx, rec []byte) ([]byte, error) {
+			if s.tab() != tab {
+				return rec, errMovedKey
+			}
 			var n int
 			var err error
 			if kind == wal.OpFlush {
@@ -368,6 +386,11 @@ func (s *Store) adminCross(ctx context.Context, kind wal.OpKind, resp *wire.Resp
 				// next checkpoint to a full base (see dirtySet).
 				if sh.wal != nil {
 					sh.dirty.markFlush()
+				}
+				if sh.resharding.Load() {
+					// Tell the copy protocol everything it shipped so far
+					// is void (see the delta loop in reshard.go).
+					sh.rdirty.markFlush()
 				}
 				if track {
 					// Every participant's change clears its own TTL table;

@@ -142,6 +142,23 @@ const (
 	ctlPrepare  byte = 0x10
 	ctlDecision byte = 0x11
 	ctlCommit   byte = 0x12
+
+	// Online-resharding journal records (see the Reshard type):
+	//
+	//	RESHARD-BEGIN  = 0x13 | uvarint(epoch) | op(1) | uvarint(src) |
+	//	                 uvarint(dst) | uvarint(mod) | uvarint(res) |
+	//	                 uvarint(mod2) | uvarint(res2) | dir
+	//	RESHARD-COMMIT = 0x14 | uvarint(epoch)
+	//
+	// BEGIN is journaled to the surviving shard's log before any key
+	// moves; COMMIT — appended at the end of the cutover barrier, while
+	// the frozen shard's token is held — is the reshard's commit point.
+	// Recovery finding a BEGIN whose epoch has no later COMMIT (and is
+	// newer than the MANIFEST's epoch) rolls the reshard back; a BEGIN
+	// with a COMMIT rolls it forward, rewriting the MANIFEST the crash
+	// preempted.
+	ctlReshardBegin  byte = 0x13
+	ctlReshardCommit byte = 0x14
 )
 
 // RecordKind classifies a decoded record payload.
@@ -157,6 +174,11 @@ const (
 	RecordDecision
 	// RecordCommit is a participant's commit mark for an epoch.
 	RecordCommit
+	// RecordReshardBegin journals the intent to split or merge a shard
+	// (its Reshard payload names both sides and the new hash slices).
+	RecordReshardBegin
+	// RecordReshardCommit is a reshard's commit point.
+	RecordReshardCommit
 )
 
 // String names the kind.
@@ -170,18 +192,61 @@ func (k RecordKind) String() string {
 		return "DECISION"
 	case RecordCommit:
 		return "COMMIT"
+	case RecordReshardBegin:
+		return "RESHARD-BEGIN"
+	case RecordReshardCommit:
+		return "RESHARD-COMMIT"
 	default:
 		return fmt.Sprintf("RecordKind(%d)", byte(k))
 	}
 }
 
+// ReshardOp distinguishes the two reshard directions.
+type ReshardOp byte
+
+const (
+	// ReshardSplit halves a shard's hash slice onto a new shard.
+	ReshardSplit ReshardOp = 0
+	// ReshardMerge folds an absorbed shard back into its buddy.
+	ReshardMerge ReshardOp = 1
+)
+
+// String names the direction.
+func (o ReshardOp) String() string {
+	if o == ReshardMerge {
+		return "MERGE"
+	}
+	return "SPLIT"
+}
+
+// Reshard is the journaled description of one split or merge, carried
+// by a RESHARD-BEGIN record. Src is the shard whose keys move (the
+// split source / the merge's absorbed shard), Dst the shard that
+// receives them (the split's new shard / the merge's survivor); both
+// are stable shard ids. Mod/Res is the surviving source-side slice
+// after the reshard (the split source's halved slice, or the merge
+// survivor's widened one); Mod2/Res2 is the split's new-shard slice
+// (zero for a merge). Dir is the WAL directory (base name, relative to
+// the store's WAL root) that roll-forward must adopt or roll-back /
+// merge-roll-forward must delete: the split's new shard dir, or the
+// merge's absorbed shard dir.
+type Reshard struct {
+	Op         ReshardOp
+	Src, Dst   int
+	Mod, Res   uint64
+	Mod2, Res2 uint64
+	Dir        string
+}
+
 // Record is one decoded record payload. Epoch and Coord are meaningful
-// for control kinds only; Ops for RecordOps and RecordPrepare.
+// for control kinds only; Ops for RecordOps and RecordPrepare; Reshard
+// for RecordReshardBegin.
 type Record struct {
-	Kind  RecordKind
-	Epoch uint64
-	Coord int
-	Ops   []Op
+	Kind    RecordKind
+	Epoch   uint64
+	Coord   int
+	Ops     []Op
+	Reshard Reshard
 }
 
 // AppendPrepare frames ops (an already-encoded operation sequence) as
@@ -202,6 +267,28 @@ func AppendDecision(dst []byte, epoch uint64) []byte {
 // AppendCommitMark builds a participant's COMMIT payload.
 func AppendCommitMark(dst []byte, epoch uint64) []byte {
 	dst = append(dst, ctlCommit)
+	return binary.AppendUvarint(dst, epoch)
+}
+
+// AppendReshardBegin builds a RESHARD-BEGIN payload journaling r under
+// the given routing epoch (the epoch the reshard will publish).
+func AppendReshardBegin(dst []byte, epoch uint64, r *Reshard) []byte {
+	dst = append(dst, ctlReshardBegin)
+	dst = binary.AppendUvarint(dst, epoch)
+	dst = append(dst, byte(r.Op))
+	dst = binary.AppendUvarint(dst, uint64(r.Src))
+	dst = binary.AppendUvarint(dst, uint64(r.Dst))
+	dst = binary.AppendUvarint(dst, r.Mod)
+	dst = binary.AppendUvarint(dst, r.Res)
+	dst = binary.AppendUvarint(dst, r.Mod2)
+	dst = binary.AppendUvarint(dst, r.Res2)
+	return appendBytes(dst, []byte(r.Dir))
+}
+
+// AppendReshardCommit builds a reshard's RESHARD-COMMIT payload — its
+// commit point.
+func AppendReshardCommit(dst []byte, epoch uint64) []byte {
+	dst = append(dst, ctlReshardCommit)
 	return binary.AppendUvarint(dst, epoch)
 }
 
@@ -233,6 +320,52 @@ func DecodeRecord(ops []Op, payload []byte) (Record, error) {
 	}
 	var rec Record
 	switch payload[0] {
+	case ctlReshardBegin, ctlReshardCommit:
+		ctl := payload[0]
+		p := payload[1:]
+		epoch, n := binary.Uvarint(p)
+		if n <= 0 {
+			return Record{}, &errCorrupt{"bad reshard epoch"}
+		}
+		p = p[n:]
+		rec.Epoch = epoch
+		if ctl == ctlReshardCommit {
+			if len(p) != 0 {
+				return Record{}, &errCorrupt{"trailing bytes in reshard commit"}
+			}
+			rec.Kind = RecordReshardCommit
+			return rec, nil
+		}
+		if len(p) == 0 {
+			return Record{}, &errCorrupt{"truncated reshard begin"}
+		}
+		op := ReshardOp(p[0])
+		if op != ReshardSplit && op != ReshardMerge {
+			return Record{}, &errCorrupt{"bad reshard op"}
+		}
+		p = p[1:]
+		rec.Reshard.Op = op
+		fields := []*uint64{nil, nil, &rec.Reshard.Mod, &rec.Reshard.Res, &rec.Reshard.Mod2, &rec.Reshard.Res2}
+		var src, dst uint64
+		fields[0], fields[1] = &src, &dst
+		for _, f := range fields {
+			v, n := binary.Uvarint(p)
+			if n <= 0 {
+				return Record{}, &errCorrupt{"truncated reshard begin"}
+			}
+			*f, p = v, p[n:]
+		}
+		rec.Reshard.Src, rec.Reshard.Dst = int(src), int(dst)
+		dir, rest, err := readBytes(p)
+		if err != nil {
+			return Record{}, err
+		}
+		if len(rest) != 0 {
+			return Record{}, &errCorrupt{"trailing bytes in reshard begin"}
+		}
+		rec.Reshard.Dir = string(dir)
+		rec.Kind = RecordReshardBegin
+		return rec, nil
 	case ctlPrepare, ctlDecision, ctlCommit:
 		ctl := payload[0]
 		p := payload[1:]

@@ -57,11 +57,17 @@ type RecoverResult struct {
 	// in-doubt prepares naming this shard as coordinator commit iff
 	// their epoch is here.
 	Decisions []uint64
-	// MaxEpoch is the largest cross-shard epoch seen in any control
+	// MaxEpoch is the largest cross-shard epoch seen in any 2PC control
 	// record. The store resumes its epoch counter above the maximum
 	// across all shards, so a new epoch can never collide with one
-	// still resolvable from a surviving record.
+	// still resolvable from a surviving record. (Reshard records carry
+	// routing epochs — a separate counter — and do not feed this.)
 	MaxEpoch uint64
+	// Reshards lists the RESHARD-BEGIN/COMMIT records of this log in
+	// log order. The store resolves the last BEGIN against a matching
+	// later COMMIT and the MANIFEST's epoch: committed but not yet in
+	// the MANIFEST rolls forward, uncommitted rolls back.
+	Reshards []ReshardEvent
 	// AbortedPrepares counts PREPARE records that were superseded by a
 	// non-matching next record — transactions aborted live after
 	// preparing. Their operations were dropped.
@@ -69,12 +75,22 @@ type RecoverResult struct {
 }
 
 // PendingPrepare is an unresolved PREPARE at the end of a recovered
-// log: epoch, coordinator shard index, and the operations that commit
+// log: epoch, coordinator shard id, and the operations that commit
 // iff the coordinator decided.
 type PendingPrepare struct {
 	Epoch uint64
 	Coord int
 	Ops   []Op
+}
+
+// ReshardEvent is one RESHARD-BEGIN or RESHARD-COMMIT record seen
+// during replay: Kind is RecordReshardBegin or RecordReshardCommit,
+// Epoch the routing epoch the reshard publishes, and Reshard the
+// journaled description (BEGIN only).
+type ReshardEvent struct {
+	Kind    RecordKind
+	Epoch   uint64
+	Reshard Reshard
 }
 
 // String summarizes the recovery for logs.
@@ -363,7 +379,8 @@ func Open(dir string, opts Options, apply func(ops []Op) error) (*Log, *RecoverR
 				}
 				break
 			}
-			if rec.Kind != RecordOps && rec.Epoch > res.MaxEpoch {
+			isReshard := rec.Kind == RecordReshardBegin || rec.Kind == RecordReshardCommit
+			if rec.Kind != RecordOps && !isReshard && rec.Epoch > res.MaxEpoch {
 				res.MaxEpoch = rec.Epoch
 			}
 			// A pending PREPARE is resolved by the record that follows
@@ -398,6 +415,8 @@ func Open(dir string, opts Options, apply func(ops []Op) error) (*Log, *RecoverR
 				}
 			case RecordDecision:
 				res.Decisions = append(res.Decisions, rec.Epoch)
+			case RecordReshardBegin, RecordReshardCommit:
+				res.Reshards = append(res.Reshards, ReshardEvent{Kind: rec.Kind, Epoch: rec.Epoch, Reshard: rec.Reshard})
 			}
 			if rec.Ops != nil {
 				ops = rec.Ops // keep the grown buffer for the next record

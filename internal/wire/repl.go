@@ -60,9 +60,13 @@ const (
 	// ReplHello introduces a (re)connecting follower (follower →
 	// primary, sent once right after the SUBSCRIBE-WAL response). Body:
 	// uvarint incarnation | uvarint n | n × (uvarint shard, uvarint
-	// seq): the primary incarnation the follower last caught up from (0
-	// = never) and its applied position per shard within it. The primary
-	// uses the pair to choose delta catch-up over a full snapshot.
+	// seq) | uvarint epoch: the primary incarnation the follower last
+	// caught up from (0 = never), its applied position per shard within
+	// it, and the routing epoch of the topology those positions are
+	// indexed by. The primary uses the triple to choose delta catch-up
+	// over a full snapshot: positions under a different routing epoch
+	// are incomparable (shards may have split or merged), so an epoch
+	// mismatch forces snapshot catch-up for every shard.
 	ReplHello ReplKind = 6
 	// ReplDeltaBatch carries churn-bounded catch-up entries for one
 	// shard (primary → follower). Body: uvarint shard | uvarint n | n ×
@@ -71,6 +75,16 @@ const (
 	// onto — never clears — the follower's existing shard state; last
 	// writer wins.
 	ReplDeltaBatch ReplKind = 7
+	// ReplTopology announces the primary's routing table (primary →
+	// follower, sent once right after reading the follower's HELLO and
+	// again never — a topology change cuts every feed, so a follower
+	// always learns the new table through a reconnect). Body: uvarint
+	// epoch | uvarint n | n × (uvarint id, uvarint mod, uvarint res):
+	// the routing epoch and, per table position, the shard's stable id
+	// and hash slice (a key routes to the shard where hash % mod ==
+	// res). All shard indices in subsequent frames of this feed are
+	// positions in this table.
+	ReplTopology ReplKind = 8
 )
 
 // ReplSnapDone catch-up modes.
@@ -96,6 +110,8 @@ func (k ReplKind) String() string {
 		return "HELLO"
 	case ReplDeltaBatch:
 		return "DELTA-BATCH"
+	case ReplTopology:
+		return "TOPOLOGY"
 	default:
 		return "ReplKind(?)"
 	}
@@ -127,6 +143,13 @@ type ReplDelta struct {
 	Del bool
 }
 
+// ReplShardSlice is one table position of a ReplTopology frame: a
+// shard's stable id and its hash slice. A key with FNV-1a hash h
+// routes to the shard where h % Mod == Res.
+type ReplShardSlice struct {
+	ID, Mod, Res uint64
+}
+
 // ReplFrame is the decoded form of one replication push frame. Fields
 // are kind-dependent; unused fields are zero.
 type ReplFrame struct {
@@ -134,13 +157,15 @@ type ReplFrame struct {
 
 	Shard uint64 // WAL-BATCH, SNAP-BATCH, SNAP-DONE, DELTA-BATCH
 
-	Recs        []ReplRec      // WAL-BATCH
-	Pairs       []KV           // SNAP-BATCH
-	CoverSeq    uint64         // SNAP-DONE
-	Mode        byte           // SNAP-DONE: ReplCatchupSnap/ReplCatchupDelta
-	Incarnation uint64         // SNAP-DONE, HELLO
-	Acks        []ReplAckEntry // ACK, HELLO
-	Deltas      []ReplDelta    // DELTA-BATCH
+	Recs        []ReplRec        // WAL-BATCH
+	Pairs       []KV             // SNAP-BATCH
+	CoverSeq    uint64           // SNAP-DONE
+	Mode        byte             // SNAP-DONE: ReplCatchupSnap/ReplCatchupDelta
+	Incarnation uint64           // SNAP-DONE, HELLO
+	Acks        []ReplAckEntry   // ACK, HELLO
+	Deltas      []ReplDelta      // DELTA-BATCH
+	Epoch       uint64           // HELLO, TOPOLOGY: routing epoch
+	Topo        []ReplShardSlice // TOPOLOGY: table positions in order
 }
 
 // AppendReplFrame appends f's complete frame — 4-byte length prefix plus
@@ -184,6 +209,7 @@ func AppendReplFrame(dst []byte, f *ReplFrame) ([]byte, error) {
 			dst = appendUvarint(dst, f.Acks[i].Shard)
 			dst = appendUvarint(dst, f.Acks[i].Seq)
 		}
+		dst = appendUvarint(dst, f.Epoch)
 	case ReplDeltaBatch:
 		dst = appendUvarint(dst, f.Shard)
 		dst = appendUvarint(dst, uint64(len(f.Deltas)))
@@ -197,6 +223,14 @@ func AppendReplFrame(dst []byte, f *ReplFrame) ([]byte, error) {
 				dst = appendBytes(dst, d.Key)
 				dst = appendBytes(dst, d.Val)
 			}
+		}
+	case ReplTopology:
+		dst = appendUvarint(dst, f.Epoch)
+		dst = appendUvarint(dst, uint64(len(f.Topo)))
+		for i := range f.Topo {
+			dst = appendUvarint(dst, f.Topo[i].ID)
+			dst = appendUvarint(dst, f.Topo[i].Mod)
+			dst = appendUvarint(dst, f.Topo[i].Res)
 		}
 	default:
 		return dst[:start], ErrBadReplFrame
@@ -212,10 +246,12 @@ func AppendReplFrame(dst []byte, f *ReplFrame) ([]byte, error) {
 func DecodeReplFrame(f *ReplFrame, payload []byte) error {
 	f.Shard, f.CoverSeq = 0, 0
 	f.Mode, f.Incarnation = 0, 0
+	f.Epoch = 0
 	f.Recs = f.Recs[:0]
 	f.Pairs = f.Pairs[:0]
 	f.Acks = f.Acks[:0]
 	f.Deltas = f.Deltas[:0]
+	f.Topo = f.Topo[:0]
 	rd := &reader{buf: payload}
 	kind, err := rd.byte1()
 	if err != nil {
@@ -313,6 +349,9 @@ func DecodeReplFrame(f *ReplFrame, payload []byte) error {
 			}
 			f.Acks = append(f.Acks, e)
 		}
+		if f.Epoch, err = rd.uvarint(); err != nil {
+			return err
+		}
 	case ReplDeltaBatch:
 		if f.Shard, err = rd.uvarint(); err != nil {
 			return err
@@ -344,6 +383,27 @@ func DecodeReplFrame(f *ReplFrame, payload []byte) error {
 				return ErrBadReplFrame
 			}
 			f.Deltas = append(f.Deltas, d)
+		}
+	case ReplTopology:
+		if f.Epoch, err = rd.uvarint(); err != nil {
+			return err
+		}
+		n, err := rd.count()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			var e ReplShardSlice
+			if e.ID, err = rd.uvarint(); err != nil {
+				return err
+			}
+			if e.Mod, err = rd.uvarint(); err != nil {
+				return err
+			}
+			if e.Res, err = rd.uvarint(); err != nil {
+				return err
+			}
+			f.Topo = append(f.Topo, e)
 		}
 	default:
 		return ErrBadReplFrame

@@ -30,6 +30,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"polytm/internal/stm"
 )
@@ -134,6 +136,23 @@ const (
 	// rejected — plain SET already means "no expiry"). OK response
 	// body: empty.
 	OpSetEx Op = 16
+	// OpSplit splits one keyspace shard in two (admin): the shard's
+	// hash slice (mod, res) halves into (2·mod, res) on the source and
+	// (2·mod, res+mod) on a freshly created shard, online — the bulk of
+	// the key range copies under a snapshot read plus dirty-delta
+	// rounds, and only the final cutover runs inside a short
+	// irrevocable barrier. Body: uvarint epoch | uvarint shard-id,
+	// where epoch is the routing epoch the caller observed (STATS
+	// routing_epoch): a stale epoch is rejected with the typed
+	// *WrongEpochError so concurrent admin ops cannot split against a
+	// topology they never saw. OK response body: uvarint new epoch.
+	OpSplit Op = 17
+	// OpMerge merges two buddy shards (admin): valid only for slices
+	// (mod, r) and (mod, r+mod/2), which fold back into (mod/2, r) on
+	// the surviving first shard. Body: uvarint epoch | uvarint shard-a
+	// | uvarint shard-b (stable shard ids). Epoch contract and response
+	// as OpSplit.
+	OpMerge Op = 18
 )
 
 // String names the opcode.
@@ -171,20 +190,27 @@ func (o Op) String() string {
 		return "DECR"
 	case OpSetEx:
 		return "SETEX"
+	case OpSplit:
+		return "SPLIT"
+	case OpMerge:
+		return "MERGE"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
 }
 
 // Valid reports whether o is a defined opcode.
-func (o Op) Valid() bool { return o >= OpGet && o <= OpSetEx }
+func (o Op) Valid() bool { return o >= OpGet && o <= OpMerge }
 
 // Mutates reports whether the opcode can change store state. A TXN
 // batch counts as mutating regardless of its sub-operations (a batch
-// of pure GETs should be an MGET); so do the whole-store admin ops.
+// of pure GETs should be an MGET); so do the whole-store admin ops,
+// including the resharding ops (a follower must redirect them to the
+// primary — topology changes flow through the replication feed).
 func (o Op) Mutates() bool {
 	switch o {
-	case OpSet, OpCAS, OpDel, OpTxn, OpFlush, OpRebuild, OpIncr, OpDecr, OpSetEx:
+	case OpSet, OpCAS, OpDel, OpTxn, OpFlush, OpRebuild, OpIncr, OpDecr, OpSetEx,
+		OpSplit, OpMerge:
 		return true
 	default:
 		return false
@@ -325,6 +351,15 @@ type Request struct {
 	Delta     uint64 // INCR / DECR magnitude
 	TTLMillis uint64 // SETEX time-to-live in milliseconds
 	Prefix    bool   // WATCH: Key is a prefix, not an exact key
+
+	// Resharding admin fields (SPLIT / MERGE). Epoch is the routing
+	// epoch the caller last observed; the server rejects the request
+	// with *WrongEpochError when it no longer matches, so an admin op
+	// can never act on a topology its issuer never saw. Shard (and
+	// Shard2 for MERGE) are stable shard ids, not table positions.
+	Epoch  uint64
+	Shard  uint64 // SPLIT target; MERGE first (surviving) shard
+	Shard2 uint64 // MERGE second (absorbed) shard
 }
 
 // Response is the decoded form of one response frame, against the
@@ -357,12 +392,59 @@ func (r *Response) Err() error {
 		if np, ok := ParseNotPrimary(r.Msg); ok {
 			return np
 		}
+		if we, ok := ParseWrongEpoch(r.Msg); ok {
+			return we
+		}
 		if pe, ok := ParseProtocolError(r.Msg); ok {
 			return pe
 		}
 		return fmt.Errorf("wire: server error: %s", r.Msg)
 	}
 	return nil
+}
+
+// ErrWrongEpoch is matched (via errors.Is) by the typed
+// *WrongEpochError a server raises for a resharding admin op carrying
+// a stale routing epoch.
+var ErrWrongEpoch = errors.New("wire: wrong routing epoch")
+
+// WrongEpochError is the typed rejection for a SPLIT/MERGE whose
+// Epoch field does not match the server's current routing epoch. It
+// carries both sides so the client can refresh and retry: Have is the
+// epoch the request carried, Want the server's current one. Its
+// Error() string is the exact wire format ParseWrongEpoch recovers on
+// the client side.
+type WrongEpochError struct {
+	Have, Want uint64
+}
+
+// Error implements error in the wire format ParseWrongEpoch parses.
+func (e *WrongEpochError) Error() string {
+	return fmt.Sprintf("wire: wrong routing epoch; have=%d want=%d", e.Have, e.Want)
+}
+
+// Is matches ErrWrongEpoch so callers can errors.Is without the
+// concrete type.
+func (e *WrongEpochError) Is(target error) bool { return target == ErrWrongEpoch }
+
+// ParseWrongEpoch recovers a WrongEpochError from a StatusErr message,
+// reporting whether the message was one.
+func ParseWrongEpoch(msg string) (*WrongEpochError, bool) {
+	const prefix = "wire: wrong routing epoch; have="
+	rest, ok := strings.CutPrefix(msg, prefix)
+	if !ok {
+		return nil, false
+	}
+	havePart, wantPart, ok := strings.Cut(rest, " want=")
+	if !ok {
+		return nil, false
+	}
+	have, err1 := strconv.ParseUint(havePart, 10, 64)
+	want, err2 := strconv.ParseUint(wantPart, 10, 64)
+	if err1 != nil || err2 != nil {
+		return nil, false
+	}
+	return &WrongEpochError{Have: have, Want: want}, true
 }
 
 // ---- primitive encoding ----
@@ -599,6 +681,13 @@ func appendRequestBody(dst []byte, r *Request) ([]byte, error) {
 		dst = appendBytes(dst, r.Key)
 		dst = appendBytes(dst, r.Val)
 		dst = appendUvarint(dst, r.TTLMillis)
+	case OpSplit:
+		dst = appendUvarint(dst, r.Epoch)
+		dst = appendUvarint(dst, r.Shard)
+	case OpMerge:
+		dst = appendUvarint(dst, r.Epoch)
+		dst = appendUvarint(dst, r.Shard)
+		dst = appendUvarint(dst, r.Shard2)
 	case OpStats, OpFlush, OpRebuild, OpPing, OpSubscribeWAL:
 		// empty body
 	default:
@@ -725,6 +814,19 @@ func decodeRequestBody(rd *reader, r *Request) error {
 		if r.TTLMillis == 0 {
 			return ErrZeroTTL
 		}
+	case OpSplit:
+		if r.Epoch, err = rd.uvarint(); err != nil {
+			return err
+		}
+		r.Shard, err = rd.uvarint()
+	case OpMerge:
+		if r.Epoch, err = rd.uvarint(); err != nil {
+			return err
+		}
+		if r.Shard, err = rd.uvarint(); err != nil {
+			return err
+		}
+		r.Shard2, err = rd.uvarint()
 	case OpStats, OpFlush, OpRebuild, OpPing, OpSubscribeWAL:
 		// empty body
 	default:
@@ -755,6 +857,7 @@ func DecodeRequestInto(r *Request, payload []byte) error {
 	r.Keys = r.Keys[:0]
 	r.Batch = r.Batch[:0]
 	r.Delta, r.TTLMillis, r.Prefix = 0, 0, false
+	r.Epoch, r.Shard, r.Shard2 = 0, 0, 0
 	rd := &reader{buf: payload}
 	op, err := rd.byte1()
 	if err != nil {
@@ -828,7 +931,7 @@ func appendResponseBody(dst []byte, op Op, r *Response) ([]byte, error) {
 			dst = appendBytes(dst, []byte(c.Name))
 			dst = appendUvarint(dst, c.Value)
 		}
-	case OpFlush, OpRebuild, OpSubscribeWAL, OpWatch:
+	case OpFlush, OpRebuild, OpSubscribeWAL, OpWatch, OpSplit, OpMerge:
 		dst = appendUvarint(dst, r.N)
 	case OpIncr, OpDecr:
 		dst = binary.AppendVarint(dst, r.Int)
@@ -937,7 +1040,7 @@ func decodeResponseBody(rd *reader, op Op, r *Response, subOps []Op) error {
 			}
 			r.Counters = append(r.Counters, Counter{Name: string(name), Value: v})
 		}
-	case OpFlush, OpRebuild, OpSubscribeWAL, OpWatch:
+	case OpFlush, OpRebuild, OpSubscribeWAL, OpWatch, OpSplit, OpMerge:
 		r.N, err = rd.uvarint()
 	case OpIncr, OpDecr:
 		r.Int, err = rd.varint()
