@@ -1,0 +1,90 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"polytm/internal/wal"
+	"polytm/internal/wire"
+)
+
+// Repro: crash the instant a MERGE's RESHARD COMMIT is durable (before
+// the manifest rewrite), then recover. Mirrors TestReshardCrashRecovery
+// but for the merge commit window.
+
+const mergeCrashDirEnv = "POLYSERVE_MERGE_CRASH_DIR"
+
+func mergeCrashChild(dir string) {
+	var armed atomic.Bool
+	st := newSharded(2)
+	_, err := st.EnableDurability(Durability{
+		Dir: dir, Fsync: wal.ModeAlways, CheckpointEvery: -1,
+		onDurableRecord: func(first byte) {
+			if armed.Load() && first == 0x14 { // RESHARD COMMIT
+				syscall.Kill(syscall.Getpid(), syscall.SIGKILL)
+				select {}
+			}
+		},
+	})
+	if err != nil {
+		fmt.Printf("CHILD-ERR enable durability: %v\n", err)
+		os.Exit(1)
+	}
+	for i := 0; i < 64; i++ {
+		resp := st.Execute(&wire.Request{Op: wire.OpSet, Sem: wire.SemDefault, Key: tkey(i), Val: []byte(fmt.Sprintf("v%d", i))})
+		if resp.Status != wire.StatusOK {
+			fmt.Printf("CHILD-ERR seed %d: %s\n", i, resp.Msg)
+			os.Exit(1)
+		}
+	}
+	if _, err := st.Split(context.Background(), 0, 0); err != nil {
+		fmt.Printf("CHILD-ERR split: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("SPLITDONE")
+	armed.Store(true)
+	st.Merge(context.Background(), 1, 0, 2)
+	fmt.Println("CHILD-ERR survived the kill window")
+	os.Exit(1)
+}
+
+func TestMergeCommitCrashRecoveryRepro(t *testing.T) {
+	if dir := os.Getenv(mergeCrashDirEnv); dir != "" {
+		mergeCrashChild(dir) // never returns
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=TestMergeCommitCrashRecoveryRepro$", "-test.v")
+	cmd.Env = append(os.Environ(), mergeCrashDirEnv+"="+dir)
+	timer := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
+	out, _ := cmd.CombinedOutput()
+	timer.Stop()
+	if s := string(out); strings.Contains(s, "CHILD-ERR") || !strings.Contains(s, "SPLITDONE") {
+		t.Fatalf("crash child:\n%s", s)
+	}
+
+	// Manifest still says 3 shards (the crash beat the rewrite).
+	pinned, err := WALShardCount(dir)
+	if err != nil {
+		t.Fatalf("WALShardCount: %v", err)
+	}
+	t.Logf("pinned shards after crash: %d", pinned)
+	st := newSharded(pinned)
+	res, err := st.EnableDurability(Durability{Dir: dir, Fsync: wal.ModeAlways, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer st.CloseDurability()
+	t.Logf("recovery: %s, shards=%d epoch=%d", res, st.NumShards(), st.RoutingEpoch())
+
+	got := scanAll(t, st)
+	if len(got) != 64 {
+		t.Fatalf("recovered %d keys, want 64", len(got))
+	}
+}
